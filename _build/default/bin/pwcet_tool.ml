@@ -1,0 +1,268 @@
+(* Command-line front end for the fault-aware pWCET analyzer.
+
+   Subcommands:
+     list                     enumerate the benchmark suite
+     disasm <bench>           disassembly of a compiled benchmark
+     analyze <bench>          WCET / pWCET analysis of one benchmark
+     suite                    the Fig. 4 table over the whole suite
+     simulate <bench>         Monte-Carlo faulty simulation vs the bound *)
+
+open Cmdliner
+
+let default_pfail = 1e-4
+let default_target = 1e-15
+
+(* A target is a registered benchmark name or a path to a mini-C source
+   file (anything containing '/' or ending in .c). *)
+let load_target name =
+  let from_file () =
+    match Minic.Parser.program_of_file name with
+    | prog -> (name, prog)
+    | exception Minic.Parser.Error msg ->
+      Printf.eprintf "%s: parse error: %s\n" name msg;
+      exit 1
+    | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+  in
+  if Sys.file_exists name && not (Sys.is_directory name) then from_file ()
+  else
+    match Benchmarks.Registry.find name with
+    | Some e -> (e.Benchmarks.Registry.name, e.Benchmarks.Registry.program)
+    | None ->
+      Printf.eprintf "unknown benchmark or file %s; try 'pwcet_tool list'\n" name;
+      exit 1
+
+let compile_target name =
+  let label, prog = load_target name in
+  try (label, Minic.Compile.compile prog)
+  with
+  | Minic.Typecheck.Error msg | Minic.Compile.Error msg ->
+    Printf.eprintf "%s: %s\n" label msg;
+    exit 1
+
+let config_of sets ways line =
+  Cache.Config.make ~sets ~ways ~line_bytes:line ()
+
+(* --- common options ---------------------------------------------------- *)
+
+let bench_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc:"Benchmark name or mini-C source file.")
+
+let pfail_arg =
+  Arg.(value & opt float default_pfail
+       & info [ "pfail" ] ~docv:"P" ~doc:"Per-bit permanent failure probability (paper: 1e-4).")
+
+let target_arg =
+  Arg.(value & opt float default_target
+       & info [ "target" ] ~docv:"P"
+           ~doc:"Target exceedance probability for the reported pWCET (paper: 1e-15).")
+
+let sets_arg = Arg.(value & opt int 16 & info [ "sets" ] ~doc:"Cache sets (power of two).")
+let ways_arg = Arg.(value & opt int 4 & info [ "ways" ] ~doc:"Cache associativity.")
+let line_arg = Arg.(value & opt int 16 & info [ "line" ] ~doc:"Cache line size in bytes.")
+
+let engine_conv = Arg.enum [ ("path", `Path); ("ilp", `Ilp) ]
+
+let engine_arg =
+  Arg.(value & opt engine_conv `Path
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Bounding engine: tree-based 'path' (default) or 'ilp'.")
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Benchmarks.Registry.entry) ->
+        let compiled = Minic.Compile.compile e.Benchmarks.Registry.program in
+        Printf.printf "%-14s %5d instructions  %s\n" e.Benchmarks.Registry.name
+          (Isa.Program.instruction_count compiled.Minic.Compile.program)
+          e.Benchmarks.Registry.description)
+      Benchmarks.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite")
+    Term.(const run $ const ())
+
+(* --- disasm --------------------------------------------------------------- *)
+
+let disasm_cmd =
+  let run name =
+    let _, compiled = compile_target name in
+    Format.printf "%a" Isa.Program.pp compiled.Minic.Compile.program
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a compiled benchmark or mini-C file")
+    Term.(const run $ bench_arg)
+
+(* --- analyze --------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run name pfail target sets ways line engine show_curve show_fmm =
+    let label, compiled = compile_target name in
+    let config = config_of sets ways line in
+    let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine () in
+    Printf.printf "benchmark      : %s\n" label;
+    Format.printf "cache          : %a@." Cache.Config.pp config;
+    Printf.printf "pfail          : %g   pbf: %g\n" pfail
+      (Fault.Model.pbf_of_config ~pfail config);
+    Printf.printf "fault-free WCET: %d cycles\n\n" (Pwcet.Estimator.fault_free_wcet task);
+    let results =
+      List.map
+        (fun mech ->
+          let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine () in
+          (mech, est))
+        Pwcet.Mechanism.all
+    in
+    List.iter
+      (fun (mech, est) ->
+        Printf.printf "%-30s pWCET(%g) = %d cycles\n" (Pwcet.Mechanism.name mech) target
+          (Pwcet.Estimator.pwcet est ~target);
+        if show_fmm then
+          Format.printf "%a@." Pwcet.Fmm.pp est.Pwcet.Estimator.fmm)
+      results;
+    if show_curve then begin
+      let series =
+        List.map
+          (fun (mech, est) ->
+            (Pwcet.Mechanism.short_name mech, Pwcet.Estimator.exceedance_curve est))
+          results
+      in
+      print_newline ();
+      print_string (Reporting.Ascii_plot.exceedance ~series ())
+    end
+  in
+  let curve_arg = Arg.(value & flag & info [ "curve" ] ~doc:"Plot the exceedance curves (Fig. 3).") in
+  let fmm_arg = Arg.(value & flag & info [ "fmm" ] ~doc:"Print the fault miss maps.") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"pWCET analysis of one benchmark (or mini-C file) under all three mechanisms")
+    Term.(const run $ bench_arg $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg
+          $ engine_arg $ curve_arg $ fmm_arg)
+
+(* --- suite ------------------------------------------------------------------ *)
+
+let suite_row config ~pfail ~target ~engine (e : Benchmarks.Registry.entry) =
+  let compiled = Minic.Compile.compile e.Benchmarks.Registry.program in
+  let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine () in
+  let pwcet mech =
+    Pwcet.Estimator.pwcet
+      (Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ())
+      ~target
+  in
+  {
+    Pwcet.Report_data.name = e.Benchmarks.Registry.name;
+    wcet_ff = Pwcet.Estimator.fault_free_wcet task;
+    pwcet_none = pwcet Pwcet.Mechanism.No_protection;
+    pwcet_srb = pwcet Pwcet.Mechanism.Shared_reliable_buffer;
+    pwcet_rw = pwcet Pwcet.Mechanism.Reliable_way;
+  }
+
+let suite_cmd =
+  let run pfail target sets ways line engine =
+    let config = config_of sets ways line in
+    let rows = List.map (suite_row config ~pfail ~target ~engine) Benchmarks.Registry.all in
+    print_string (Reporting.Table.fig4 rows);
+    print_newline ();
+    print_string (Reporting.Table.aggregates rows)
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"Fig. 4 table: the whole suite under all three mechanisms")
+    Term.(const run $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg $ engine_arg)
+
+(* --- simulate -------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run name pfail samples seed =
+    let _, compiled = compile_target name in
+    let config = Cache.Config.paper_default in
+    let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () in
+    let est =
+      Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.No_protection ()
+    in
+    let state = Random.State.make [| seed |] in
+    let worst = ref 0 in
+    let violations = ref 0 in
+    for _ = 1 to samples do
+      let fm = Fault.Sampler.fault_map config ~pfail state in
+      let sim = Cache.Lru.create ~fault_map:fm config in
+      let cycles =
+        (Minic.Compile.run ~fetch:(Cache.Lru.latency_oracle sim) compiled).Isa.Machine.cycles
+      in
+      worst := max !worst cycles;
+      (* The analytic bound for this very fault pattern. *)
+      let bound = ref (Pwcet.Estimator.fault_free_wcet task) in
+      Array.iteri
+        (fun s f ->
+          bound :=
+            !bound
+            + Pwcet.Fmm.misses est.Pwcet.Estimator.fmm ~set:s ~faulty:f
+              * Cache.Config.miss_penalty config)
+        (Cache.Fault_map.faulty_counts fm);
+      if cycles > !bound then incr violations
+    done;
+    Printf.printf "samples          : %d (pfail = %g)\n" samples pfail;
+    Printf.printf "worst simulated  : %d cycles\n" !worst;
+    Printf.printf "pWCET (1e-15)    : %d cycles\n" (Pwcet.Estimator.pwcet est ~target:1e-15);
+    Printf.printf "bound violations : %d (must be 0)\n" !violations;
+    if !violations > 0 then exit 1
+  in
+  let samples_arg =
+    Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Number of sampled fault maps.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte-Carlo faulty execution checked against the analytic bound")
+    Term.(const run $ bench_arg $ pfail_arg $ samples_arg $ seed_arg)
+
+(* --- source ------------------------------------------------------------------ *)
+
+let source_cmd =
+  let run name =
+    let _, prog = load_target name in
+    Format.printf "%a@." Minic.Ast.pp_program prog
+  in
+  Cmd.v (Cmd.info "source" ~doc:"Print the mini-C source of a benchmark")
+    Term.(const run $ bench_arg)
+
+(* --- refined (future-work SRB analysis) ------------------------------------- *)
+
+let refined_cmd =
+  let run name pfail target =
+    let _, compiled = compile_target name in
+    let config = Cache.Config.paper_default in
+    let pbf = Fault.Model.pbf_of_config ~pfail config in
+    let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () in
+    let ff = Pwcet.Estimator.fault_free_wcet task in
+    let srb =
+      Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.Shared_reliable_buffer ()
+    in
+    let refined =
+      Pwcet.Srb_refined.compute ~graph:task.Pwcet.Estimator.graph
+        ~loops:task.Pwcet.Estimator.loops ~config ~pbf ()
+    in
+    let q_srb = ff + Prob.Dist.quantile srb.Pwcet.Estimator.penalty ~target in
+    let q_ref = ff + Pwcet.Srb_refined.quantile refined ~target in
+    Printf.printf "benchmark            : %s (pfail %g, target %g)\n" name pfail target;
+    Printf.printf "fault-free WCET      : %d\n" ff;
+    Printf.printf "SRB pWCET (paper)    : %d\n" q_srb;
+    Printf.printf "SRB pWCET (refined)  : %d  (gain %.1f%%)\n" q_ref
+      (100.0 *. float_of_int (q_srb - q_ref) /. float_of_int (max 1 q_srb));
+    Printf.printf "\nexclusive dead-set miss bounds vs conservative FMM column:\n";
+    let excl = Pwcet.Srb_refined.exclusive_dead_set_misses refined in
+    Array.iteri
+      (fun s e ->
+        Printf.printf "  set %2d: exclusive %6d   conservative %6d\n" s e
+          (Pwcet.Fmm.misses srb.Pwcet.Estimator.fmm ~set:s ~faulty:config.Cache.Config.ways))
+      excl
+  in
+  Cmd.v
+    (Cmd.info "refined"
+       ~doc:"Refined SRB analysis (the paper's future-work direction) vs the paper's bound")
+    Term.(const run $ bench_arg $ pfail_arg $ target_arg)
+
+let () =
+  let doc = "probabilistic WCET estimation with fault-mitigation hardware (DATE'16 reproduction)" in
+  let info = Cmd.info "pwcet_tool" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; suite_cmd; simulate_cmd; refined_cmd ]))

@@ -1,0 +1,1 @@
+examples/data_cache.ml: Array Benchmarks Cache Dcache Isa List Minic Printf Pwcet Random Sys

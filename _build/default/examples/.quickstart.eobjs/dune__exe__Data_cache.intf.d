@@ -1,0 +1,1 @@
+examples/data_cache.mli:

@@ -1,0 +1,1 @@
+examples/fault_sweep.ml: Array Benchmarks Cache Fault List Minic Printf Pwcet Sys

@@ -1,0 +1,1 @@
+examples/mechanism_tradeoff.ml: Array Benchmarks Cache Fault List Minic Printf Pwcet Reporting Sys

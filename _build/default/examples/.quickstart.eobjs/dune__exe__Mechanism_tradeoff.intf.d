@@ -1,0 +1,1 @@
+examples/mechanism_tradeoff.mli:

@@ -1,0 +1,1 @@
+examples/montecarlo_validation.ml: Array Benchmarks Cache Fault Isa List Minic Printf Prob Pwcet Random Sys

@@ -1,0 +1,1 @@
+examples/montecarlo_validation.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cache Format Isa List Minic Printf Prob Pwcet

@@ -1,0 +1,45 @@
+(* How fast do pWCET estimates degrade as the per-bit failure
+   probability grows, and how much of that degradation do the RW and SRB
+   mechanisms absorb? This reproduces the motivating observation of the
+   paper (from its predecessor [1]): unprotected pWCETs blow up quickly
+   with pfail, which is what makes mitigation hardware necessary.
+
+     dune exec examples/fault_sweep.exe [benchmark] *)
+
+let () =
+  let bench_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "crc" in
+  let entry =
+    match Benchmarks.Registry.find bench_name with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown benchmark %s\n" bench_name;
+      exit 1
+  in
+  let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
+  let config = Cache.Config.paper_default in
+  let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () in
+  let ff = Pwcet.Estimator.fault_free_wcet task in
+  let target = 1e-15 in
+  Printf.printf "benchmark %s, fault-free WCET %d cycles, target probability %g\n\n"
+    bench_name ff target;
+  Printf.printf "  %-8s %-10s %12s %12s %12s %9s %9s\n" "pfail" "pbf" "none" "srb" "rw"
+    "gain srb" "gain rw";
+  List.iter
+    (fun pfail ->
+      let pwcet mechanism =
+        Pwcet.Estimator.pwcet (Pwcet.Estimator.estimate task ~pfail ~mechanism ()) ~target
+      in
+      let none = pwcet Pwcet.Mechanism.No_protection in
+      let srb = pwcet Pwcet.Mechanism.Shared_reliable_buffer in
+      let rw = pwcet Pwcet.Mechanism.Reliable_way in
+      let gain x = 100.0 *. float_of_int (none - x) /. float_of_int none in
+      Printf.printf "  %-8g %-10.3g %12d %12d %12d %8.1f%% %8.1f%%\n" pfail
+        (Fault.Model.pbf_of_config ~pfail config)
+        none srb rw (gain srb) (gain rw))
+    [ 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2 ];
+  Printf.printf
+    "\nReading: as pfail grows, the all-ways-faulty probability per set\n\
+     (pbf^4) crosses the 1e-15 target and the unprotected pWCET jumps;\n\
+     RW removes that point entirely, the SRB caps it near the spatial-\n\
+     locality cost. At pfail = 1e-4 (the paper's setting) the gap is\n\
+     already decisive.\n"

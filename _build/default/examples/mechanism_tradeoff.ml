@@ -1,0 +1,76 @@
+(* The designer's view: exceedance curves (the paper's Fig. 3) for one
+   benchmark, plus the pWCET/hardware-cost tradeoff across cache
+   geometries. RW costs one hardened way per set (S hardened blocks);
+   the SRB costs a single hardened block regardless of geometry — the
+   paper's point is that which one is worth it depends on the
+   application (Section IV-B).
+
+     dune exec examples/mechanism_tradeoff.exe [benchmark] *)
+
+let () =
+  let bench_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "adpcm" in
+  let entry =
+    match Benchmarks.Registry.find bench_name with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown benchmark %s\n" bench_name;
+      exit 1
+  in
+  let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
+  let pfail = 1e-4 and target = 1e-15 in
+
+  (* Fig. 3: the three exceedance curves on the paper's configuration. *)
+  let config = Cache.Config.paper_default in
+  let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () in
+  let series =
+    List.map
+      (fun mechanism ->
+        let est = Pwcet.Estimator.estimate task ~pfail ~mechanism () in
+        (Pwcet.Mechanism.short_name mechanism, Pwcet.Estimator.exceedance_curve est))
+      Pwcet.Mechanism.all
+  in
+  Printf.printf "Fig. 3 reproduction — %s, pfail = %g:\n\n" bench_name pfail;
+  print_string (Reporting.Ascii_plot.exceedance ~series ());
+
+  (* Geometry sweep at constant 1 KB capacity: the hardware cost of RW
+     (hardened blocks) scales with the set count, the SRB's does not. *)
+  Printf.printf "\npWCET(%g) across 1 KB geometries (hardened blocks: RW = sets, SRB = 1):\n\n"
+    target;
+  Printf.printf "  %-22s %10s %10s %10s %8s %8s\n" "geometry" "none" "srb" "rw" "rw-cost"
+    "srb-cost";
+  List.iter
+    (fun (sets, ways) ->
+      let config = Cache.Config.make ~sets ~ways ~line_bytes:16 () in
+      let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () in
+      let pwcet mechanism =
+        Pwcet.Estimator.pwcet (Pwcet.Estimator.estimate task ~pfail ~mechanism ()) ~target
+      in
+      Printf.printf "  %2d sets x %d ways       %10d %10d %10d %8d %8d\n" sets ways
+        (pwcet Pwcet.Mechanism.No_protection)
+        (pwcet Pwcet.Mechanism.Shared_reliable_buffer)
+        (pwcet Pwcet.Mechanism.Reliable_way)
+        sets 1)
+    [ (64, 1); (32, 2); (16, 4); (8, 8) ];
+
+  (* Extension: the related-work Reliable Victim Cache (paper Section V,
+     Abella et al.). How many hardened supplementary lines does it need
+     to fully mask faults at the target probability? *)
+  let pbf = Fault.Model.pbf_of_config ~pfail config in
+  let rvc_size = Pwcet.Victim.min_entries_for_target config ~pbf ~target in
+  let est_none =
+    Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.No_protection ()
+  in
+  let rvc_pwcet entries =
+    Pwcet.Estimator.fault_free_wcet task
+    + Pwcet.Victim.quantile
+        ~none_penalty:est_none.Pwcet.Estimator.penalty
+        ~overflow:(Pwcet.Victim.prob_overflow config ~pbf ~entries)
+        ~target
+  in
+  Printf.printf
+    "\nRVC extension (paper's related work, Section V), paper cache, %s:\n\n" bench_name;
+  Printf.printf "  full masking at %g needs %d hardened lines (RW: 16, SRB: 1)\n" target rvc_size;
+  List.iter
+    (fun entries ->
+      Printf.printf "  RVC with %2d entries: pWCET %d\n" entries (rvc_pwcet entries))
+    [ 0; rvc_size / 2; rvc_size ]

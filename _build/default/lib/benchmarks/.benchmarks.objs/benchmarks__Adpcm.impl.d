@@ -1,0 +1,1 @@
+lib/benchmarks/adpcm.ml: Array Minic

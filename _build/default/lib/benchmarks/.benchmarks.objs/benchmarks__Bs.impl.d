@@ -1,0 +1,1 @@
+lib/benchmarks/bs.ml: Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/bsort100.ml: Array Minic

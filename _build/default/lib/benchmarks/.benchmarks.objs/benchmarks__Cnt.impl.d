@@ -1,0 +1,1 @@
+lib/benchmarks/cnt.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/cover.ml: Minic

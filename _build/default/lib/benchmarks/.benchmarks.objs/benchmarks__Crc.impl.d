@@ -1,0 +1,1 @@
+lib/benchmarks/crc.ml: Array Minic

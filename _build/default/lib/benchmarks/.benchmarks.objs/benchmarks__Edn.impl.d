@@ -1,0 +1,1 @@
+lib/benchmarks/edn.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/expint.ml: Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/fdct.ml: Array Minic

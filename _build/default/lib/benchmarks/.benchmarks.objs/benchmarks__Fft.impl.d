@@ -1,0 +1,1 @@
+lib/benchmarks/fft.ml: Array Float Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/fibcall.ml: Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/fir.ml: Array Minic

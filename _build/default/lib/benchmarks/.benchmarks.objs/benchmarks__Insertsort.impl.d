@@ -1,0 +1,1 @@
+lib/benchmarks/insertsort.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/janne_complex.ml: Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/jfdctint.ml: Array Float Minic

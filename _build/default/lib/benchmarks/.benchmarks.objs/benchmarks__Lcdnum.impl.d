@@ -1,0 +1,1 @@
+lib/benchmarks/lcdnum.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/ludcmp.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/matmult.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/minver.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/ndes.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/ns.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/nsichneu.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/prime.ml: Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/qsort_exam.ml: Array Minic

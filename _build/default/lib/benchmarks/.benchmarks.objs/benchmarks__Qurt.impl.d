@@ -1,0 +1,1 @@
+lib/benchmarks/qurt.ml: Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/select.ml: Array Minic

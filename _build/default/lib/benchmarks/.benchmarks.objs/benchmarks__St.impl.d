@@ -1,0 +1,1 @@
+lib/benchmarks/st.ml: Array Minic

@@ -1,0 +1,1 @@
+lib/benchmarks/statemate.ml: Array List Minic

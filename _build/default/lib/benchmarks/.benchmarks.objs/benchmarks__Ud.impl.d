@@ -1,0 +1,1 @@
+lib/benchmarks/ud.ml: Array Minic

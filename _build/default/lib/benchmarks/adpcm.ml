@@ -1,0 +1,154 @@
+(* IMA-style ADPCM encode/decode round trip (Mälardalen adpcm.c):
+   4-bit adaptive quantisation with step-size and index tables,
+   prediction state shared through globals, 64-sample main loop. *)
+
+open Minic.Dsl
+
+let name = "adpcm"
+let description = "ADPCM encoder/decoder round trip over 64 samples"
+
+let step_table =
+  [| 7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37; 41; 45; 50; 55; 60
+   ; 66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173; 190; 209; 230; 253; 279; 307; 337; 371
+   ; 408; 449; 494; 544; 598; 658; 724; 796; 876; 963; 1060; 1166; 1282; 1411; 1552; 1707
+   ; 1878; 2066; 2272; 2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358; 5894; 6484
+   ; 7132; 7845; 8630; 9493; 10442; 11487; 12635; 13899; 15289; 16818; 18500; 20350; 22385
+   ; 24623; 27086; 29794; 32767
+  |]
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8; -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+let samples = 64
+let input = Array.init samples (fun k -> ((k * 331) mod 4001) - 2000)
+
+let program =
+  program
+    ~globals:
+      [ array "steps" step_table
+      ; array "indices" index_table
+      ; array "inp" input
+      ; scalar "enc_pred" 0
+      ; scalar "enc_index" 0
+      ; scalar "dec_pred" 0
+      ; scalar "dec_index" 0
+      ]
+    [ fn "clamp_index" [ "ix" ]
+        [ when_ (v "ix" <: i 0) [ ret (i 0) ]
+        ; when_ (v "ix" >: i 88) [ ret (i 88) ]
+        ; ret (v "ix")
+        ]
+    ; fn "clamp16" [ "x" ]
+        [ when_ (v "x" >: i 32767) [ ret (i 32767) ]
+        ; when_ (v "x" <: i (-32768)) [ ret (i (-32768)) ]
+        ; ret (v "x")
+        ]
+    ; fn "encode" [ "sample" ]
+        [ decl "step" (idx "steps" (v "enc_index"))
+        ; decl "diff" (v "sample" -: v "enc_pred")
+        ; decl "code" (i 0)
+        ; when_ (v "diff" <: i 0) [ set "code" (i 8); set "diff" (i 0 -: v "diff") ]
+        ; (* Successive approximation over 3 bits. *)
+          decl "tmpstep" (v "step")
+        ; decl "delta" (v "step" >>>: i 3)
+        ; when_ (v "diff" >=: v "tmpstep")
+            [ set "code" (v "code" |: i 4)
+            ; set "diff" (v "diff" -: v "tmpstep")
+            ; set "delta" (v "delta" +: v "step")
+            ]
+        ; set "tmpstep" (v "tmpstep" >>>: i 1)
+        ; when_ (v "diff" >=: v "tmpstep")
+            [ set "code" (v "code" |: i 2)
+            ; set "diff" (v "diff" -: v "tmpstep")
+            ; set "delta" (v "delta" +: (v "step" >>>: i 1))
+            ]
+        ; set "tmpstep" (v "tmpstep" >>>: i 1)
+        ; when_ (v "diff" >=: v "tmpstep")
+            [ set "code" (v "code" |: i 1); set "delta" (v "delta" +: (v "step" >>>: i 2)) ]
+        ; (* Update prediction with the reconstructed difference. *)
+          if_ ((v "code" &: i 8) <>: i 0)
+            [ set "enc_pred" (call "clamp16" [ v "enc_pred" -: v "delta" ]) ]
+            [ set "enc_pred" (call "clamp16" [ v "enc_pred" +: v "delta" ]) ]
+        ; set "enc_index" (call "clamp_index" [ v "enc_index" +: idx "indices" (v "code") ])
+        ; ret (v "code")
+        ]
+    ; fn "decode" [ "code" ]
+        [ decl "step" (idx "steps" (v "dec_index"))
+        ; decl "delta" (v "step" >>>: i 3)
+        ; when_ ((v "code" &: i 4) <>: i 0) [ set "delta" (v "delta" +: v "step") ]
+        ; when_ ((v "code" &: i 2) <>: i 0) [ set "delta" (v "delta" +: (v "step" >>>: i 1)) ]
+        ; when_ ((v "code" &: i 1) <>: i 0) [ set "delta" (v "delta" +: (v "step" >>>: i 2)) ]
+        ; if_ ((v "code" &: i 8) <>: i 0)
+            [ set "dec_pred" (call "clamp16" [ v "dec_pred" -: v "delta" ]) ]
+            [ set "dec_pred" (call "clamp16" [ v "dec_pred" +: v "delta" ]) ]
+        ; set "dec_index" (call "clamp_index" [ v "dec_index" +: idx "indices" (v "code") ])
+        ; ret (v "dec_pred")
+        ]
+    ; fn "main" []
+        [ decl "err" (i 0)
+        ; for_ "k" (i 0) (i samples)
+            [ decl "sample" (idx "inp" (v "k"))
+            ; decl "code" (call "encode" [ v "sample" ])
+            ; decl "rec" (call "decode" [ v "code" ])
+            ; decl "d" (v "sample" -: v "rec")
+            ; when_ (v "d" <: i 0) [ set "d" (i 0 -: v "d") ]
+            ; set "err" (v "err" +: v "d")
+            ]
+        ; ret (v "err")
+        ]
+    ]
+
+(* OCaml oracle: identical integer pipeline. *)
+let expected =
+  let clamp_index ix = if ix < 0 then 0 else if ix > 88 then 88 else ix in
+  let clamp16 x = if x > 32767 then 32767 else if x < -32768 then -32768 else x in
+  let enc_pred = ref 0 and enc_index = ref 0 and dec_pred = ref 0 and dec_index = ref 0 in
+  let encode sample =
+    let step = step_table.(!enc_index) in
+    let diff = ref (sample - !enc_pred) in
+    let code = ref 0 in
+    if !diff < 0 then begin
+      code := 8;
+      diff := - !diff
+    end;
+    let tmpstep = ref step in
+    let delta = ref (step asr 3) in
+    if !diff >= !tmpstep then begin
+      code := !code lor 4;
+      diff := !diff - !tmpstep;
+      delta := !delta + step
+    end;
+    tmpstep := !tmpstep asr 1;
+    if !diff >= !tmpstep then begin
+      code := !code lor 2;
+      diff := !diff - !tmpstep;
+      delta := !delta + (step asr 1)
+    end;
+    tmpstep := !tmpstep asr 1;
+    if !diff >= !tmpstep then begin
+      code := !code lor 1;
+      delta := !delta + (step asr 2)
+    end;
+    if !code land 8 <> 0 then enc_pred := clamp16 (!enc_pred - !delta)
+    else enc_pred := clamp16 (!enc_pred + !delta);
+    enc_index := clamp_index (!enc_index + index_table.(!code));
+    !code
+  in
+  let decode code =
+    let step = step_table.(!dec_index) in
+    let delta = ref (step asr 3) in
+    if code land 4 <> 0 then delta := !delta + step;
+    if code land 2 <> 0 then delta := !delta + (step asr 1);
+    if code land 1 <> 0 then delta := !delta + (step asr 2);
+    if code land 8 <> 0 then dec_pred := clamp16 (!dec_pred - !delta)
+    else dec_pred := clamp16 (!dec_pred + !delta);
+    dec_index := clamp_index (!dec_index + index_table.(code));
+    !dec_pred
+  in
+  let err = ref 0 in
+  Array.iter
+    (fun sample ->
+      let code = encode sample in
+      let rec_ = decode code in
+      err := !err + abs (sample - rec_))
+    input;
+  !err

@@ -1,0 +1,31 @@
+(* Binary search of a 15-entry sorted table (Mälardalen bs.c). *)
+
+open Minic.Dsl
+
+let name = "bs"
+let description = "binary search of a 15-entry sorted array"
+
+let program =
+  program
+    ~globals:[ array_n "data" 15 (fun k -> (k * 4) + 1) ]
+    [ fn "binary_search" [ "x" ]
+        [ decl "fvalue" (i (-1))
+        ; decl "low" (i 0)
+        ; decl "up" (i 14)
+        ; (* 15 elements: the interval halves each round, 4 rounds max. *)
+          while_ ~bound:4
+            (v "low" <=: v "up")
+            [ decl "mid" ((v "low" +: v "up") /: i 2)
+            ; if_
+                (idx "data" (v "mid") ==: v "x")
+                [ set "up" (v "low" -: i 1); set "fvalue" (v "mid") ]
+                [ if_
+                    (idx "data" (v "mid") >: v "x")
+                    [ set "up" (v "mid" -: i 1) ]
+                    [ set "low" (v "mid" +: i 1) ]
+                ]
+            ]
+        ; ret (v "fvalue")
+        ]
+    ; fn "main" [] [ ret (call "binary_search" [ i 29 ] +: (call "binary_search" [ i 30 ] *: i 100)) ]
+    ]

@@ -1,0 +1,41 @@
+(* Bubble sort of 100 elements (Mälardalen bsort100.c). *)
+
+open Minic.Dsl
+
+let name = "bsort100"
+let description = "bubble sort of a 100-element array"
+
+let initial = Array.init 100 (fun k -> ((k * 71) + 13) mod 199)
+
+let program =
+  program
+    ~globals:[ array "arr" initial ]
+    [ fn "main" []
+        [ decl "sorted" (i 0)
+        ; for_b "pass" (i 0) (i 99) ~bound:99
+            [ when_
+                (v "sorted" ==: i 0)
+                [ set "sorted" (i 1)
+                ; for_ "j" (i 0) (i 99)
+                    [ when_
+                        (idx "arr" (v "j") >: idx "arr" (v "j" +: i 1))
+                        [ decl "temp" (idx "arr" (v "j"))
+                        ; store "arr" (v "j") (idx "arr" (v "j" +: i 1))
+                        ; store "arr" (v "j" +: i 1) (v "temp")
+                        ; set "sorted" (i 0)
+                        ]
+                    ]
+                ]
+            ]
+        ; decl "sum" (i 0)
+        ; for_ "k" (i 0) (i 100) [ set "sum" (v "sum" +: (idx "arr" (v "k") *: (v "k" +: i 1))) ]
+        ; ret (v "sum")
+        ]
+    ]
+
+let expected =
+  let sorted = Array.copy initial in
+  Array.sort compare sorted;
+  let total = ref 0 in
+  Array.iteri (fun k x -> total := !total + (x * (k + 1))) sorted;
+  !total

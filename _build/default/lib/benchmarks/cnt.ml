@@ -1,0 +1,53 @@
+(* Count and sum positive/negative entries of a 10x10 matrix
+   (Mälardalen cnt.c). *)
+
+open Minic.Dsl
+
+let name = "cnt"
+let description = "count and sum positives/negatives in a 10x10 matrix"
+
+let initial = Array.init 100 (fun k -> ((k * 37) mod 19) - 9)
+
+let program =
+  program
+    ~globals:
+      [ array "mat" initial
+      ; scalar "postotal" 0
+      ; scalar "negtotal" 0
+      ; scalar "poscnt" 0
+      ; scalar "negcnt" 0
+      ]
+    [ fn "sum_matrix" []
+        [ for_ "r" (i 0) (i 10)
+            [ for_ "c" (i 0) (i 10)
+                [ decl "x" (idx "mat" ((v "r" *: i 10) +: v "c"))
+                ; if_
+                    (v "x" >: i 0)
+                    [ set "postotal" (v "postotal" +: v "x"); set "poscnt" (v "poscnt" +: i 1) ]
+                    [ set "negtotal" (v "negtotal" +: v "x"); set "negcnt" (v "negcnt" +: i 1) ]
+                ]
+            ]
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "sum_matrix" [])
+        ; ret
+            ((v "postotal" *: i 1000000) +: (v "poscnt" *: i 10000)
+            +: (v "negcnt" *: i 100) -: v "negtotal")
+        ]
+    ]
+
+let expected =
+  let postotal = ref 0 and negtotal = ref 0 and poscnt = ref 0 and negcnt = ref 0 in
+  Array.iter
+    (fun x ->
+      if x > 0 then begin
+        postotal := !postotal + x;
+        incr poscnt
+      end
+      else begin
+        negtotal := !negtotal + x;
+        incr negcnt
+      end)
+    initial;
+  (!postotal * 1000000) + (!poscnt * 10000) + (!negcnt * 100) - !negtotal

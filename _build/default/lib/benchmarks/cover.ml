@@ -1,0 +1,46 @@
+(* Large switch coverage (Mälardalen cover.c): three dispatch functions
+   of 60, 20 and 10 cases driven in a loop. The if-else chains give the
+   program a large straight-line footprint, like the original's
+   switches. *)
+
+open Minic.Dsl
+
+let name = "cover"
+let description = "switch coverage: 60/20/10-case dispatchers in a loop"
+
+let encode k = ((k * k) + (3 * k) + 7) mod 97
+
+(* if (c == 0) return e0; else if (c == 1) ... else return e_{n-1}; *)
+let rec cases c k n =
+  if k = n - 1 then [ ret (i (encode k)) ]
+  else [ if_ (v c ==: i k) [ ret (i (encode k)) ] (cases c (k + 1) n) ]
+
+let program =
+  program
+    [ fn "swi60" [ "c" ] (cases "c" 0 60)
+    ; fn "swi20" [ "c" ] (cases "c" 0 20)
+    ; fn "swi10" [ "c" ] (cases "c" 0 10)
+    ; fn "main" []
+        [ decl "s" (i 0)
+        ; for_ "k" (i 0) (i 60)
+            [ set "s" (v "s" +: call "swi60" [ v "k" ]) ]
+        ; for_ "k" (i 0) (i 60)
+            [ set "s" (v "s" +: call "swi20" [ v "k" %: i 20 ]) ]
+        ; for_ "k" (i 0) (i 60)
+            [ set "s" (v "s" +: call "swi10" [ v "k" %: i 10 ]) ]
+        ; ret (v "s")
+        ]
+    ]
+
+let expected =
+  let sum = ref 0 in
+  for k = 0 to 59 do
+    sum := !sum + encode k
+  done;
+  for k = 0 to 59 do
+    sum := !sum + encode (k mod 20)
+  done;
+  for k = 0 to 59 do
+    sum := !sum + encode (k mod 10)
+  done;
+  !sum

@@ -1,0 +1,40 @@
+(* CCITT CRC-16 over a 40-byte message, bitwise (Mälardalen crc.c,
+   table-free variant). *)
+
+open Minic.Dsl
+
+let name = "crc"
+let description = "bitwise CRC-16/CCITT over a 40-byte message"
+
+let message = Array.init 40 (fun k -> ((k * k) + 3) mod 256)
+
+let program =
+  program
+    ~globals:[ array "msg" message ]
+    [ fn "crc16" []
+        [ decl "crc" (i 0xFFFF)
+        ; for_ "k" (i 0) (i 40)
+            [ set "crc" (v "crc" ^: (idx "msg" (v "k") <<: i 8))
+            ; for_ "bit" (i 0) (i 8)
+                [ if_
+                    ((v "crc" &: i 0x8000) <>: i 0)
+                    [ set "crc" (((v "crc" <<: i 1) ^: i 0x1021) &: i 0xFFFF) ]
+                    [ set "crc" ((v "crc" <<: i 1) &: i 0xFFFF) ]
+                ]
+            ]
+        ; ret (v "crc")
+        ]
+    ; fn "main" [] [ ret (call "crc16" []) ]
+    ]
+
+let expected =
+  let crc = ref 0xFFFF in
+  Array.iter
+    (fun byte ->
+      crc := !crc lxor (byte lsl 8);
+      for _ = 0 to 7 do
+        if !crc land 0x8000 <> 0 then crc := ((!crc lsl 1) lxor 0x1021) land 0xFFFF
+        else crc := (!crc lsl 1) land 0xFFFF
+      done)
+    message;
+  !crc

@@ -1,0 +1,83 @@
+(* Signal-processing kernel collection (Mälardalen edn.c): vector
+   multiply-accumulate, dot-product MAC, lattice synthesis, IIR
+   biquad and codebook search, chained from main. *)
+
+open Minic.Dsl
+
+let name = "edn"
+let description = "DSP kernel collection: vec_mpy, mac, latsynth, iir, codebook"
+
+let len = 60
+let a_init = Array.init len (fun k -> ((k * 23) mod 101) - 50)
+let b_init = Array.init len (fun k -> ((k * 47) mod 89) - 44)
+let coef_init = Array.init 16 (fun k -> ((k * 9) mod 25) - 12)
+
+let program =
+  program
+    ~globals:
+      [ array "va" a_init
+      ; array "vb" b_init
+      ; array "coef" coef_init
+      ; array "state" (Array.make 16 0)
+      ; scalar "acc" 0
+      ]
+    [ fn "vec_mpy" [ "shift" ]
+        [ for_ "k" (i 0) (i len)
+            [ store "va" (v "k") (idx "va" (v "k") +: ((idx "vb" (v "k") *: i 25) >>>: v "shift")) ]
+        ; ret0
+        ]
+    ; fn "mac" []
+        [ decl "dot" (i 0)
+        ; decl "sqr" (i 0)
+        ; for_ "k" (i 0) (i len)
+            [ set "dot" (v "dot" +: (idx "va" (v "k") *: idx "vb" (v "k")))
+            ; set "sqr" (v "sqr" +: (idx "vb" (v "k") *: idx "vb" (v "k")))
+            ]
+        ; ret (v "dot" +: v "sqr")
+        ]
+    ; fn "latsynth" [ "n" ]
+        [ decl "top" (idx "va" (i 0))
+        ; decl "k" (v "n" -: i 1)
+        ; while_ ~bound:16
+            (v "k" >: i 0)
+            [ set "top" (v "top" -: ((idx "coef" (v "k") *: idx "state" (v "k")) >>>: i 4))
+            ; store "state" (v "k")
+                (idx "state" (v "k" -: i 1) +: ((idx "coef" (v "k") *: v "top") >>>: i 4))
+            ; set "k" (v "k" -: i 1)
+            ]
+        ; store "state" (i 0) (v "top")
+        ; ret (v "top")
+        ]
+    ; fn "iir1" [ "x" ]
+        [ (* Direct-form biquad with fixed coefficients. *)
+          decl "y"
+            (((i 29 *: v "x") +: (i 17 *: idx "state" (i 14)) -: (i 11 *: idx "state" (i 15)))
+            >>>: i 5)
+        ; store "state" (i 15) (idx "state" (i 14))
+        ; store "state" (i 14) (v "y")
+        ; ret (v "y")
+        ]
+    ; fn "codebook" [ "mask" ]
+        [ decl "best" (i 0)
+        ; decl "bestdist" (i 1000000000)
+        ; for_ "c" (i 0) (i 16)
+            [ decl "dist" (i 0)
+            ; for_ "k" (i 0) (i 16)
+                [ decl "d" (idx "va" (v "k") -: (idx "coef" (v "k") ^: (v "c" &: v "mask")))
+                ; set "dist" (v "dist" +: (v "d" *: v "d"))
+                ]
+            ; when_ (v "dist" <: v "bestdist") [ set "bestdist" (v "dist"); set "best" (v "c") ]
+            ]
+        ; ret (v "best")
+        ]
+    ; fn "main" []
+        [ expr (call "vec_mpy" [ i 3 ])
+        ; decl "m" (call "mac" [])
+        ; decl "l" (i 0)
+        ; for_ "r" (i 0) (i 8) [ set "l" (v "l" +: call "latsynth" [ i 16 ]) ]
+        ; decl "y" (i 0)
+        ; for_ "r" (i 0) (i 16) [ set "y" (v "y" +: call "iir1" [ idx "vb" (v "r") ]) ]
+        ; decl "cb" (call "codebook" [ i 7 ])
+        ; ret (v "m" +: v "l" +: v "y" +: v "cb")
+        ]
+    ]

@@ -1,0 +1,46 @@
+(* Exponential integral (Mälardalen expint.c), transcribed to
+   fixed-point: the continued-fraction branch and the power-series
+   branch, preserving the original's loop structure. *)
+
+open Minic.Dsl
+
+let name = "expint"
+let description = "fixed-point exponential integral (series + continued fraction)"
+
+let scale = 1 lsl 10
+
+let program =
+  program
+    [ fn "expint_cf" [ "n"; "x" ]
+        [ (* Continued-fraction branch, 20 refinement rounds. *)
+          decl "b" (v "x" +: i (scale * 1))
+        ; decl "c" (i (1 lsl 20))
+        ; decl "d" ((i (scale * scale)) /: (v "b" +: i 1))
+        ; decl "h" (v "d")
+        ; for_ "k" (i 1) (i 21)
+            [ decl "an" (v "k" *: (v "n" -: i 1 +: v "k"))
+            ; set "b" (v "b" +: i (2 * scale))
+            ; set "d" ((i (scale * scale)) /: ((v "an" /: i 16) +: v "b" +: i 1))
+            ; set "c" (v "b" +: ((v "an" *: i 16) /: (v "c" +: i 1)))
+            ; when_ (v "c" ==: i 0) [ set "c" (i 1) ]
+            ; decl "del" ((v "c" *: v "d") /: i scale)
+            ; set "h" ((v "h" *: v "del") /: i scale)
+            ]
+        ; ret (v "h")
+        ]
+    ; fn "expint_series" [ "n"; "x" ]
+        [ decl "sum" (i 0)
+        ; decl "fact" (i 1)
+        ; for_ "k" (i 1) (i 11)
+            [ set "fact" (v "fact" *: v "k")
+            ; when_ (v "fact" >: i 100000) [ set "fact" (i 100000) ]
+            ; set "sum" (v "sum" +: ((v "x" *: i scale) /: (v "fact" *: v "k")))
+            ]
+        ; ret (v "sum" +: v "n")
+        ]
+    ; fn "main" []
+        [ decl "r1" (call "expint_cf" [ i 50; i (2 * scale) ])
+        ; decl "r2" (call "expint_series" [ i 50; i (scale / 2) ])
+        ; ret (v "r1" +: v "r2")
+        ]
+    ]

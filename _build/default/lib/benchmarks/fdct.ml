@@ -1,0 +1,115 @@
+(* Fast 8x8 forward DCT, JPEG islow butterflies (Mälardalen fdct.c):
+   row pass then column pass over an integer block. *)
+
+open Minic.Dsl
+
+let name = "fdct"
+let description = "8x8 integer DCT, butterfly (islow) implementation"
+
+let block_init = Array.init 64 (fun k -> ((k * 49) mod 255) - 127)
+
+(* JPEG 13-bit fixed-point constants. *)
+let c0_298 = 2446
+let c0_541 = 4433
+let c0_765 = 6270
+let c0_899 = 7373
+let c1_175 = 9633
+let c1_501 = 12299
+let c1_847 = 15137
+let c1_961 = 16069
+let c2_053 = 16819
+let c2_562 = 20995
+let c3_072 = 25172
+let c0_390 = 3196
+let const_bits = 13
+
+(* One butterfly pass; [at] computes the index expression of lane [k]. *)
+let pass at out_shift =
+  [ decl "b0" (idx "blk" (at 0)); decl "b1" (idx "blk" (at 1))
+  ; decl "b2" (idx "blk" (at 2)); decl "b3" (idx "blk" (at 3))
+  ; decl "b4" (idx "blk" (at 4)); decl "b5" (idx "blk" (at 5))
+  ; decl "b6" (idx "blk" (at 6)); decl "b7" (idx "blk" (at 7))
+  ; decl "t0" (v "b0" +: v "b7"); decl "t7" (v "b0" -: v "b7")
+  ; decl "t1" (v "b1" +: v "b6"); decl "t6" (v "b1" -: v "b6")
+  ; decl "t2" (v "b2" +: v "b5"); decl "t5" (v "b2" -: v "b5")
+  ; decl "t3" (v "b3" +: v "b4"); decl "t4" (v "b3" -: v "b4")
+  ; decl "t10" (v "t0" +: v "t3"); decl "t13" (v "t0" -: v "t3")
+  ; decl "t11" (v "t1" +: v "t2"); decl "t12" (v "t1" -: v "t2")
+  ; store "blk" (at 0) ((v "t10" +: v "t11") <<: i 2 >>>: i out_shift)
+  ; store "blk" (at 4) ((v "t10" -: v "t11") <<: i 2 >>>: i out_shift)
+  ; decl "z1e" ((v "t12" +: v "t13") *: i c0_541)
+  ; store "blk" (at 2)
+      ((v "z1e" +: (v "t13" *: i c0_765)) >>>: i (const_bits - 2) >>>: i out_shift)
+  ; store "blk" (at 6)
+      ((v "z1e" -: (v "t12" *: i c1_847)) >>>: i (const_bits - 2) >>>: i out_shift)
+  ; decl "z1" (v "t4" +: v "t7"); decl "z2" (v "t5" +: v "t6")
+  ; decl "z3" (v "t4" +: v "t6"); decl "z4" (v "t5" +: v "t7")
+  ; decl "z5" ((v "z3" +: v "z4") *: i c1_175)
+  ; decl "s4" (v "t4" *: i c0_298); decl "s5" (v "t5" *: i c2_053)
+  ; decl "s6" (v "t6" *: i c3_072); decl "s7" (v "t7" *: i c1_501)
+  ; set "z1" (i 0 -: (v "z1" *: i c0_899)); set "z2" (i 0 -: (v "z2" *: i c2_562))
+  ; set "z3" ((i 0 -: (v "z3" *: i c1_961)) +: v "z5")
+  ; set "z4" ((i 0 -: (v "z4" *: i c0_390)) +: v "z5")
+  ; store "blk" (at 7)
+      ((v "s4" +: v "z1" +: v "z3") >>>: i (const_bits - 2) >>>: i out_shift)
+  ; store "blk" (at 5)
+      ((v "s5" +: v "z2" +: v "z4") >>>: i (const_bits - 2) >>>: i out_shift)
+  ; store "blk" (at 3)
+      ((v "s6" +: v "z2" +: v "z3") >>>: i (const_bits - 2) >>>: i out_shift)
+  ; store "blk" (at 1)
+      ((v "s7" +: v "z1" +: v "z4") >>>: i (const_bits - 2) >>>: i out_shift)
+  ]
+
+let program =
+  program
+    ~globals:[ array "blk" block_init ]
+    [ fn "fdct_rows" []
+        [ for_ "r" (i 0) (i 8) (pass (fun k -> (v "r" *: i 8) +: i k) 0); ret0 ]
+    ; fn "fdct_cols" []
+        [ for_ "c" (i 0) (i 8) (pass (fun k -> (i (8 * k)) +: v "c") 5); ret0 ]
+    ; fn "main" []
+        [ expr (call "fdct_rows" [])
+        ; expr (call "fdct_cols" [])
+        ; decl "sum" (i 0)
+        ; for_ "k" (i 0) (i 64)
+            [ decl "x" (idx "blk" (v "k"))
+            ; when_ (v "x" <: i 0) [ set "x" (i 0 -: v "x") ]
+            ; set "sum" (v "sum" +: v "x")
+            ]
+        ; ret (v "sum")
+        ]
+    ]
+
+(* OCaml oracle mirroring the integer pipeline. *)
+let expected =
+  let blk = Array.copy block_init in
+  let pass at out_shift =
+    let b = Array.init 8 (fun k -> blk.(at k)) in
+    let t0 = b.(0) + b.(7) and t7 = b.(0) - b.(7) in
+    let t1 = b.(1) + b.(6) and t6 = b.(1) - b.(6) in
+    let t2 = b.(2) + b.(5) and t5 = b.(2) - b.(5) in
+    let t3 = b.(3) + b.(4) and t4 = b.(3) - b.(4) in
+    let t10 = t0 + t3 and t13 = t0 - t3 in
+    let t11 = t1 + t2 and t12 = t1 - t2 in
+    blk.(at 0) <- (((t10 + t11) lsl 2)) asr out_shift;
+    blk.(at 4) <- ((t10 - t11) lsl 2) asr out_shift;
+    let z1e = (t12 + t13) * c0_541 in
+    blk.(at 2) <- ((z1e + (t13 * c0_765)) asr (const_bits - 2)) asr out_shift;
+    blk.(at 6) <- ((z1e - (t12 * c1_847)) asr (const_bits - 2)) asr out_shift;
+    let z1 = t4 + t7 and z2 = t5 + t6 and z3 = t4 + t6 and z4 = t5 + t7 in
+    let z5 = (z3 + z4) * c1_175 in
+    let s4 = t4 * c0_298 and s5 = t5 * c2_053 and s6 = t6 * c3_072 and s7 = t7 * c1_501 in
+    let z1 = -(z1 * c0_899) and z2 = -(z2 * c2_562) in
+    let z3 = -(z3 * c1_961) + z5 and z4 = -(z4 * c0_390) + z5 in
+    blk.(at 7) <- ((s4 + z1 + z3) asr (const_bits - 2)) asr out_shift;
+    blk.(at 5) <- ((s5 + z2 + z4) asr (const_bits - 2)) asr out_shift;
+    blk.(at 3) <- ((s6 + z2 + z3) asr (const_bits - 2)) asr out_shift;
+    blk.(at 1) <- ((s7 + z1 + z4) asr (const_bits - 2)) asr out_shift
+  in
+  for r = 0 to 7 do
+    pass (fun k -> (r * 8) + k) 0
+  done;
+  for c = 0 to 7 do
+    pass (fun k -> (8 * k) + c) 5
+  done;
+  Array.fold_left (fun acc x -> acc + abs x) 0 blk

@@ -1,0 +1,137 @@
+(* 32-point radix-2 decimation-in-time FFT in fixed point (Mälardalen
+   fft1.c transcribed to integers, scale 2^14 twiddles). *)
+
+open Minic.Dsl
+
+let name = "fft"
+let description = "32-point fixed-point radix-2 FFT"
+
+let n = 32
+let scale = 1 lsl 14
+
+(* Quarter-resolution twiddle tables, indexed by angle step. *)
+let cos_table = Array.init n (fun k -> int_of_float (Float.round (cos (2.0 *. Float.pi *. float_of_int k /. float_of_int n) *. float_of_int scale)))
+let sin_table = Array.init n (fun k -> int_of_float (Float.round (sin (2.0 *. Float.pi *. float_of_int k /. float_of_int n) *. float_of_int scale)))
+
+let signal = Array.init n (fun k -> ((k * 97) mod 127) - 63)
+
+let program =
+  program
+    ~globals:
+      [ array "re" signal
+      ; array "im" (Array.make n 0)
+      ; array "ct" cos_table
+      ; array "st" sin_table
+      ]
+    [ fn "bit_reverse" []
+        [ decl "j" (i 0)
+        ; for_ "k" (i 0) (i (n - 1))
+            [ when_
+                (v "k" <: v "j")
+                [ decl "tr" (idx "re" (v "k"))
+                ; store "re" (v "k") (idx "re" (v "j"))
+                ; store "re" (v "j") (v "tr")
+                ; decl "ti" (idx "im" (v "k"))
+                ; store "im" (v "k") (idx "im" (v "j"))
+                ; store "im" (v "j") (v "ti")
+                ]
+            ; decl "m" (i (n / 2))
+            ; while_ ~bound:5
+                ((v "m" >=: i 1) &&: (v "j" >=: v "m"))
+                [ set "j" (v "j" -: v "m"); set "m" (v "m" /: i 2) ]
+            ; set "j" (v "j" +: v "m")
+            ]
+        ; ret0
+        ]
+    ; fn "fft" []
+        [ expr (call "bit_reverse" [])
+        ; decl "le" (i 2)
+        ; (* log2(32) = 5 stages. *)
+          while_ ~bound:5
+            (v "le" <=: i n)
+            [ decl "le2" (v "le" /: i 2)
+            ; decl "step" (i n /: v "le")
+            ; for_b "j" (i 0) (v "le2") ~bound:16
+                [ decl "wr" (idx "ct" (v "j" *: v "step"))
+                ; decl "wi" (i 0 -: idx "st" (v "j" *: v "step"))
+                ; decl "k" (v "j")
+                ; while_ ~bound:16
+                    (v "k" <: i n)
+                    [ decl "ip" (v "k" +: v "le2")
+                    ; decl "tr"
+                        (((v "wr" *: idx "re" (v "ip")) -: (v "wi" *: idx "im" (v "ip")))
+                        >>>: i 14)
+                    ; decl "ti"
+                        (((v "wr" *: idx "im" (v "ip")) +: (v "wi" *: idx "re" (v "ip")))
+                        >>>: i 14)
+                    ; store "re" (v "ip") (idx "re" (v "k") -: v "tr")
+                    ; store "im" (v "ip") (idx "im" (v "k") -: v "ti")
+                    ; store "re" (v "k") (idx "re" (v "k") +: v "tr")
+                    ; store "im" (v "k") (idx "im" (v "k") +: v "ti")
+                    ; set "k" (v "k" +: v "le")
+                    ]
+                ]
+            ; set "le" (v "le" *: i 2)
+            ]
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "fft" [])
+        ; decl "sum" (i 0)
+        ; for_ "k" (i 0) (i n)
+            [ decl "r" (idx "re" (v "k"))
+            ; when_ (v "r" <: i 0) [ set "r" (i 0 -: v "r") ]
+            ; decl "q" (idx "im" (v "k"))
+            ; when_ (v "q" <: i 0) [ set "q" (i 0 -: v "q") ]
+            ; set "sum" (v "sum" +: v "r" +: v "q")
+            ]
+        ; ret (v "sum")
+        ]
+    ]
+
+(* OCaml oracle mirroring the integer arithmetic exactly. *)
+let expected =
+  let re = Array.copy signal and im = Array.make n 0 in
+  (* bit reverse *)
+  let j = ref 0 in
+  for k = 0 to n - 2 do
+    if k < !j then begin
+      let t = re.(k) in
+      re.(k) <- re.(!j);
+      re.(!j) <- t;
+      let t = im.(k) in
+      im.(k) <- im.(!j);
+      im.(!j) <- t
+    end;
+    let m = ref (n / 2) in
+    while !m >= 1 && !j >= !m do
+      j := !j - !m;
+      m := !m / 2
+    done;
+    j := !j + !m
+  done;
+  let le = ref 2 in
+  while !le <= n do
+    let le2 = !le / 2 in
+    let step = n / !le in
+    for j = 0 to le2 - 1 do
+      let wr = cos_table.(j * step) and wi = -sin_table.(j * step) in
+      let k = ref j in
+      while !k < n do
+        let ip = !k + le2 in
+        let tr = ((wr * re.(ip)) - (wi * im.(ip))) asr 14 in
+        let ti = ((wr * im.(ip)) + (wi * re.(ip))) asr 14 in
+        re.(ip) <- re.(!k) - tr;
+        im.(ip) <- im.(!k) - ti;
+        re.(!k) <- re.(!k) + tr;
+        im.(!k) <- im.(!k) + ti;
+        k := !k + !le
+      done
+    done;
+    le := !le * 2
+  done;
+  let sum = ref 0 in
+  for k = 0 to n - 1 do
+    sum := !sum + abs re.(k) + abs im.(k)
+  done;
+  !sum

@@ -1,0 +1,22 @@
+(* Iterative Fibonacci (Mälardalen fibcall.c): fib(30). *)
+
+open Minic.Dsl
+
+let name = "fibcall"
+let description = "iterative Fibonacci, fib(30)"
+
+let program =
+  program
+    [ fn "fib" [ "n" ]
+        [ decl "fnew" (i 1)
+        ; decl "fold" (i 0)
+        ; decl "temp" (i 0)
+        ; for_b "j" (i 2) (v "n" +: i 1) ~bound:29
+            [ set "temp" (v "fnew")
+            ; set "fnew" (v "fnew" +: v "fold")
+            ; set "fold" (v "temp")
+            ]
+        ; ret (v "fnew")
+        ]
+    ; fn "main" [] [ ret (call "fib" [ i 30 ]) ]
+    ]

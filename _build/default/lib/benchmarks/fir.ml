@@ -1,0 +1,43 @@
+(* FIR filter over a sample buffer (Mälardalen fir.c). *)
+
+open Minic.Dsl
+
+let name = "fir"
+let description = "16-tap FIR filter over 64 samples"
+
+let taps = 16
+let samples = 64
+let coef = Array.init taps (fun k -> ((k * 11) mod 31) - 15)
+let input = Array.init samples (fun k -> ((k * 57) mod 201) - 100)
+
+let program =
+  program
+    ~globals:
+      [ array "coef" coef; array "inp" input; array "outp" (Array.make samples 0) ]
+    [ fn "fir_filter" []
+        [ for_ "n" (i (taps - 1)) (i samples)
+            [ decl "acc" (i 0)
+            ; for_ "k" (i 0) (i taps)
+                [ set "acc" (v "acc" +: (idx "coef" (v "k") *: idx "inp" (v "n" -: v "k"))) ]
+            ; store "outp" (v "n") (v "acc" >>>: i 6)
+            ]
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "fir_filter" [])
+        ; decl "sum" (i 0)
+        ; for_ "n" (i 0) (i samples) [ set "sum" (v "sum" +: idx "outp" (v "n")) ]
+        ; ret (v "sum")
+        ]
+    ]
+
+let expected =
+  let out = Array.make samples 0 in
+  for n = taps - 1 to samples - 1 do
+    let acc = ref 0 in
+    for k = 0 to taps - 1 do
+      acc := !acc + (coef.(k) * input.(n - k))
+    done;
+    out.(n) <- !acc asr 6
+  done;
+  Array.fold_left ( + ) 0 out

@@ -1,0 +1,35 @@
+(* Insertion sort of 10 elements (Mälardalen insertsort.c). *)
+
+open Minic.Dsl
+
+let name = "insertsort"
+let description = "insertion sort of a 10-element array"
+
+let initial = [| 11; 10; 9; 8; 7; 6; 5; 4; 3; 2 |]
+
+let program =
+  program
+    ~globals:[ array "a" initial ]
+    [ fn "main" []
+        [ for_ "k" (i 1) (i 10)
+            [ decl "key" (idx "a" (v "k"))
+            ; decl "j" (v "k" -: i 1)
+            ; while_ ~bound:9
+                ((v "j" >=: i 0) &&: (idx "a" (v "j") >: v "key"))
+                [ store "a" (v "j" +: i 1) (idx "a" (v "j")); set "j" (v "j" -: i 1) ]
+            ; store "a" (v "j" +: i 1) (v "key")
+            ]
+        ; (* Position-weighted checksum proves sortedness. *)
+          decl "sum" (i 0)
+        ; for_ "k" (i 0) (i 10) [ set "sum" (v "sum" +: (idx "a" (v "k") *: (v "k" +: i 1))) ]
+        ; ret (v "sum")
+        ]
+    ]
+
+(* The checksum an OCaml oracle computes on the same input. *)
+let expected =
+  let sorted = Array.copy initial in
+  Array.sort compare sorted;
+  let total = ref 0 in
+  Array.iteri (fun k x -> total := !total + (x * (k + 1))) sorted;
+  !total

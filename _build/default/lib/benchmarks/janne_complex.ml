@@ -1,0 +1,30 @@
+(* Interdependent nested while loops (Mälardalen janne_complex.c) —
+   designed to stress loop-bound reasoning. *)
+
+open Minic.Dsl
+
+let name = "janne_complex"
+let description = "two nested while loops with interdependent counters"
+
+let program =
+  program
+    [ fn "complex" [ "a"; "b" ]
+        [ while_ ~bound:30
+            (v "a" <: i 30)
+            [ while_ ~bound:30
+                (v "b" <: v "a")
+                [ if_ (v "b" >: i 5) [ set "b" (v "b" *: i 3) ] [ set "b" (v "b" +: i 2) ]
+                ; if_
+                    ((v "b" >=: i 10) &&: (v "b" <=: i 12))
+                    [ set "a" (v "a" +: i 10) ]
+                    [ set "a" (v "a" +: i 1) ]
+                ]
+            ; set "a" (v "a" +: i 2)
+            ; set "b" (v "b" -: i 10)
+            ]
+        ; ret (i 1)
+        ]
+    ; fn "main" [] [ ret (call "complex" [ i 1; i 1 ]) ]
+    ]
+
+let expected = 1

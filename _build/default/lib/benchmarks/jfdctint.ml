@@ -1,0 +1,95 @@
+(* Accurate table-driven 8x8 DCT (Mälardalen jfdctint.c flavour): the
+   "slow" variant as a separable matrix product against a fixed-point
+   cosine table — structurally a 3-level loop nest per pass, in
+   contrast to fdct's straight-line butterflies. *)
+
+open Minic.Dsl
+
+let name = "jfdctint"
+let description = "8x8 integer DCT, table-driven (slow accurate) implementation"
+
+let block_init = Array.init 64 (fun k -> ((k * 31) mod 255) - 127)
+
+let cos_bits = 12
+
+(* ct[u*8+x] = round(cos((2x+1) u pi / 16) * 2^12 * c(u)) with the
+   orthonormalisation folded in. *)
+let cos_table =
+  Array.init 64 (fun k ->
+      let u = k / 8 and x = k mod 8 in
+      let cu = if u = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+      let angle = (float_of_int ((2 * x) + 1)) *. float_of_int u *. Float.pi /. 16.0 in
+      int_of_float (Float.round (cu *. cos angle *. 0.5 *. float_of_int (1 lsl cos_bits))))
+
+let program =
+  program
+    ~globals:
+      [ array "blk" block_init
+      ; array "ct" cos_table
+      ; array "tmp" (Array.make 64 0)
+      ]
+    [ fn "dct_pass_rows" []
+        [ for_ "r" (i 0) (i 8)
+            [ for_ "u" (i 0) (i 8)
+                [ decl "acc" (i 0)
+                ; for_ "x" (i 0) (i 8)
+                    [ set "acc"
+                        (v "acc"
+                        +: (idx "ct" ((v "u" *: i 8) +: v "x")
+                           *: idx "blk" ((v "r" *: i 8) +: v "x")))
+                    ]
+                ; store "tmp" ((v "r" *: i 8) +: v "u") (v "acc" >>>: i cos_bits)
+                ]
+            ]
+        ; ret0
+        ]
+    ; fn "dct_pass_cols" []
+        [ for_ "c" (i 0) (i 8)
+            [ for_ "u" (i 0) (i 8)
+                [ decl "acc" (i 0)
+                ; for_ "x" (i 0) (i 8)
+                    [ set "acc"
+                        (v "acc"
+                        +: (idx "ct" ((v "u" *: i 8) +: v "x")
+                           *: idx "tmp" ((v "x" *: i 8) +: v "c")))
+                    ]
+                ; store "blk" ((v "u" *: i 8) +: v "c") (v "acc" >>>: i cos_bits)
+                ]
+            ]
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "dct_pass_rows" [])
+        ; expr (call "dct_pass_cols" [])
+        ; decl "sum" (i 0)
+        ; for_ "k" (i 0) (i 64)
+            [ decl "x" (idx "blk" (v "k"))
+            ; when_ (v "x" <: i 0) [ set "x" (i 0 -: v "x") ]
+            ; set "sum" (v "sum" +: v "x")
+            ]
+        ; ret (v "sum")
+        ]
+    ]
+
+let expected =
+  let tmp = Array.make 64 0 in
+  let out = Array.make 64 0 in
+  for r = 0 to 7 do
+    for u = 0 to 7 do
+      let acc = ref 0 in
+      for x = 0 to 7 do
+        acc := !acc + (cos_table.((u * 8) + x) * block_init.((r * 8) + x))
+      done;
+      tmp.((r * 8) + u) <- !acc asr cos_bits
+    done
+  done;
+  for c = 0 to 7 do
+    for u = 0 to 7 do
+      let acc = ref 0 in
+      for x = 0 to 7 do
+        acc := !acc + (cos_table.((u * 8) + x) * tmp.((x * 8) + c))
+      done;
+      out.((u * 8) + c) <- !acc asr cos_bits
+    done
+  done;
+  Array.fold_left (fun acc x -> acc + abs x) 0 out

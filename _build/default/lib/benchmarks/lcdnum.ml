@@ -1,0 +1,44 @@
+(* Hex digit to 7-segment LCD code (Mälardalen lcdnum.c). *)
+
+open Minic.Dsl
+
+let name = "lcdnum"
+let description = "hex nibbles to 7-segment codes over a 10-byte input"
+
+let seven_seg =
+  (* Segment encodings for 0..15, as in the original. *)
+  [| 0x3F; 0x06; 0x5B; 0x4F; 0x66; 0x6D; 0x7D; 0x07; 0x7F; 0x6F; 0x77; 0x7C; 0x39; 0x5E; 0x79; 0x71 |]
+
+let input = Array.init 10 (fun k -> ((k * 29) + 5) mod 256)
+
+let rec cases k =
+  if k = 15 then [ ret (i seven_seg.(k)) ]
+  else [ if_ (v "n" ==: i k) [ ret (i seven_seg.(k)) ] (cases (k + 1)) ]
+
+let program =
+  program
+    ~globals:[ array "inp" input ]
+    [ fn "num_to_lcd" [ "n" ] (cases 0)
+    ; fn "main" []
+        [ decl "out" (i 0)
+        ; for_ "k" (i 0) (i 10)
+            [ decl "b" (idx "inp" (v "k"))
+            ; (* Low nibble always; high nibble only every other byte,
+                 like the original's masked phases. *)
+              set "out" (v "out" +: call "num_to_lcd" [ v "b" &: i 0x0F ])
+            ; when_
+                (v "k" %: i 2 ==: i 0)
+                [ set "out" (v "out" +: call "num_to_lcd" [ (v "b" >>: i 4) &: i 0x0F ]) ]
+            ]
+        ; ret (v "out")
+        ]
+    ]
+
+let expected =
+  let out = ref 0 in
+  Array.iteri
+    (fun k b ->
+      out := !out + seven_seg.(b land 0x0F);
+      if k mod 2 = 0 then out := !out + seven_seg.((b lsr 4) land 0x0F))
+    input;
+  !out

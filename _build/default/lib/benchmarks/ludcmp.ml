@@ -1,0 +1,114 @@
+(* LU decomposition and linear-system solve, 6x6 fixed point
+   (Mälardalen ludcmp.c). The matrix is diagonally dominant so integer
+   pivots never vanish. *)
+
+open Minic.Dsl
+
+let name = "ludcmp"
+let description = "6x6 LU decomposition + forward/backward substitution"
+
+let dim = 6
+let scale = 256
+
+(* a[i][j] = small off-diagonal, strong diagonal; b = row sums so the
+   exact solution of the real-valued system is all-ones. *)
+let a_init =
+  Array.init (dim * dim) (fun k ->
+      let r = k / dim and c = k mod dim in
+      if r = c then scale * (dim + 1) else scale / (1 + abs (r - c)))
+
+let b_init =
+  Array.init dim (fun r ->
+      let sum = ref 0 in
+      for c = 0 to dim - 1 do
+        sum := !sum + a_init.((r * dim) + c)
+      done;
+      !sum)
+
+let program =
+  program
+    ~globals:
+      [ array "a" a_init
+      ; array "b" b_init
+      ; array "x" (Array.make dim 0)
+      ; array "y" (Array.make dim 0)
+      ]
+    [ fn "ludcmp" []
+        [ (* Doolittle elimination, in place. *)
+          for_ "p" (i 0) (i (dim - 1))
+            [ for_b "r" (v "p" +: i 1) (i dim) ~bound:(dim - 1)
+                [ decl "factor"
+                    ((idx "a" ((v "r" *: i dim) +: v "p") *: i scale)
+                    /: idx "a" ((v "p" *: i dim) +: v "p"))
+                ; store "a" ((v "r" *: i dim) +: v "p") (v "factor")
+                ; for_b "c" (v "p" +: i 1) (i dim) ~bound:(dim - 1)
+                    [ store "a"
+                        ((v "r" *: i dim) +: v "c")
+                        (idx "a" ((v "r" *: i dim) +: v "c")
+                        -: ((v "factor" *: idx "a" ((v "p" *: i dim) +: v "c")) /: i scale))
+                    ]
+                ]
+            ]
+        ; ret0
+        ]
+    ; fn "solve" []
+        [ (* Forward substitution: L y = b (unit diagonal). *)
+          for_ "r" (i 0) (i dim)
+            [ decl "acc" (idx "b" (v "r"))
+            ; for_b "c" (i 0) (v "r") ~bound:(dim - 1)
+                [ set "acc"
+                    (v "acc" -: ((idx "a" ((v "r" *: i dim) +: v "c") *: idx "y" (v "c")) /: i scale))
+                ]
+            ; store "y" (v "r") (v "acc")
+            ]
+        ; (* Backward substitution: U x = y. *)
+          decl "r" (i (dim - 1))
+        ; while_ ~bound:dim
+            (v "r" >=: i 0)
+            [ decl "acc" (idx "y" (v "r"))
+            ; for_b "c" (v "r" +: i 1) (i dim) ~bound:(dim - 1)
+                [ set "acc"
+                    (v "acc" -: ((idx "a" ((v "r" *: i dim) +: v "c") *: idx "x" (v "c")) /: i scale))
+                ]
+            ; store "x" (v "r") ((v "acc" *: i scale) /: idx "a" ((v "r" *: i dim) +: v "r"))
+            ; set "r" (v "r" -: i 1)
+            ]
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "ludcmp" [])
+        ; expr (call "solve" [])
+        ; decl "sum" (i 0)
+        ; for_ "k" (i 0) (i dim) [ set "sum" (v "sum" +: idx "x" (v "k")) ]
+        ; ret (v "sum")
+        ]
+    ]
+
+(* OCaml oracle with identical integer arithmetic. *)
+let expected =
+  let a = Array.copy a_init and b = Array.copy b_init in
+  let x = Array.make dim 0 and y = Array.make dim 0 in
+  for p = 0 to dim - 2 do
+    for r = p + 1 to dim - 1 do
+      let factor = a.((r * dim) + p) * scale / a.((p * dim) + p) in
+      a.((r * dim) + p) <- factor;
+      for c = p + 1 to dim - 1 do
+        a.((r * dim) + c) <- a.((r * dim) + c) - (factor * a.((p * dim) + c) / scale)
+      done
+    done
+  done;
+  for r = 0 to dim - 1 do
+    let acc = ref b.(r) in
+    for c = 0 to r - 1 do
+      acc := !acc - (a.((r * dim) + c) * y.(c) / scale)
+    done;
+    y.(r) <- !acc
+  done;
+  for r = dim - 1 downto 0 do
+    let acc = ref y.(r) in
+    for c = r + 1 to dim - 1 do
+      acc := !acc - (a.((r * dim) + c) * x.(c) / scale)
+    done;
+    x.(r) <- !acc * scale / a.((r * dim) + r)
+  done;
+  Array.fold_left ( + ) 0 x

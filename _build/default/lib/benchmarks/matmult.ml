@@ -1,0 +1,45 @@
+(* 20x20 integer matrix multiplication (Mälardalen matmult.c). *)
+
+open Minic.Dsl
+
+let name = "matmult"
+let description = "20x20 integer matrix product"
+
+let dim = 20
+let a_init = Array.init (dim * dim) (fun k -> (k mod 7) + 1)
+let b_init = Array.init (dim * dim) (fun k -> (k mod 5) + 2)
+
+let program =
+  program
+    ~globals:
+      [ array "ma" a_init; array "mb" b_init; array "mc" (Array.make (dim * dim) 0) ]
+    [ fn "multiply" []
+        [ for_ "r" (i 0) (i dim)
+            [ for_ "c" (i 0) (i dim)
+                [ decl "acc" (i 0)
+                ; for_ "k" (i 0) (i dim)
+                    [ set "acc"
+                        (v "acc"
+                        +: (idx "ma" ((v "r" *: i dim) +: v "k")
+                           *: idx "mb" ((v "k" *: i dim) +: v "c")))
+                    ]
+                ; store "mc" ((v "r" *: i dim) +: v "c") (v "acc")
+                ]
+            ]
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "multiply" [])
+        ; ret (idx "mc" (i 0) +: idx "mc" (i 210) +: idx "mc" (i ((dim * dim) - 1)))
+        ]
+    ]
+
+let expected =
+  let cell r c =
+    let acc = ref 0 in
+    for k = 0 to dim - 1 do
+      acc := !acc + (a_init.((r * dim) + k) * b_init.((k * dim) + c))
+    done;
+    !acc
+  in
+  cell 0 0 + cell 10 10 + cell 19 19

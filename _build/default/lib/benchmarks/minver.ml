@@ -1,0 +1,123 @@
+(* 3x3 matrix inversion by Gauss-Jordan with partial pivoting
+   (Mälardalen minver.c, fixed point). *)
+
+open Minic.Dsl
+
+let name = "minver"
+let description = "3x3 fixed-point matrix inversion (Gauss-Jordan)"
+
+let dim = 3
+let scale = 1024
+
+(* A well-conditioned integer matrix (times scale). *)
+let a_init = Array.map (fun x -> x * scale) [| 5; 1; 2; 1; 6; 1; 2; 1; 7 |]
+
+let program =
+  program
+    ~globals:
+      [ array "a" a_init
+      ; array "inv" (Array.make (dim * dim) 0)
+      ]
+    [ fn "minver" []
+        [ (* Initialise inv to identity * scale. *)
+          for_ "r" (i 0) (i dim)
+            [ for_ "c" (i 0) (i dim)
+                [ if_ (v "r" ==: v "c")
+                    [ store "inv" ((v "r" *: i dim) +: v "c") (i scale) ]
+                    [ store "inv" ((v "r" *: i dim) +: v "c") (i 0) ]
+                ]
+            ]
+        ; for_ "p" (i 0) (i dim)
+            [ (* Partial pivot: swap in the largest row below. *)
+              decl "best" (v "p")
+            ; for_b "r" (v "p" +: i 1) (i dim) ~bound:(dim - 1)
+                [ decl "cur" (idx "a" ((v "r" *: i dim) +: v "p"))
+                ; when_ (v "cur" <: i 0) [ set "cur" (i 0 -: v "cur") ]
+                ; decl "top" (idx "a" ((v "best" *: i dim) +: v "p"))
+                ; when_ (v "top" <: i 0) [ set "top" (i 0 -: v "top") ]
+                ; when_ (v "cur" >: v "top") [ set "best" (v "r") ]
+                ]
+            ; when_
+                (v "best" <>: v "p")
+                [ for_ "c" (i 0) (i dim)
+                    [ decl "t" (idx "a" ((v "p" *: i dim) +: v "c"))
+                    ; store "a" ((v "p" *: i dim) +: v "c") (idx "a" ((v "best" *: i dim) +: v "c"))
+                    ; store "a" ((v "best" *: i dim) +: v "c") (v "t")
+                    ; decl "t2" (idx "inv" ((v "p" *: i dim) +: v "c"))
+                    ; store "inv" ((v "p" *: i dim) +: v "c") (idx "inv" ((v "best" *: i dim) +: v "c"))
+                    ; store "inv" ((v "best" *: i dim) +: v "c") (v "t2")
+                    ]
+                ]
+            ; decl "pivot" (idx "a" ((v "p" *: i dim) +: v "p"))
+            ; (* Normalise the pivot row. *)
+              for_ "c" (i 0) (i dim)
+                [ store "a" ((v "p" *: i dim) +: v "c")
+                    ((idx "a" ((v "p" *: i dim) +: v "c") *: i scale) /: v "pivot")
+                ; store "inv" ((v "p" *: i dim) +: v "c")
+                    ((idx "inv" ((v "p" *: i dim) +: v "c") *: i scale) /: v "pivot")
+                ]
+            ; (* Eliminate the column from every other row. *)
+              for_ "r" (i 0) (i dim)
+                [ when_
+                    (v "r" <>: v "p")
+                    [ decl "factor" (idx "a" ((v "r" *: i dim) +: v "p"))
+                    ; for_ "c" (i 0) (i dim)
+                        [ store "a" ((v "r" *: i dim) +: v "c")
+                            (idx "a" ((v "r" *: i dim) +: v "c")
+                            -: ((v "factor" *: idx "a" ((v "p" *: i dim) +: v "c")) /: i scale))
+                        ; store "inv" ((v "r" *: i dim) +: v "c")
+                            (idx "inv" ((v "r" *: i dim) +: v "c")
+                            -: ((v "factor" *: idx "inv" ((v "p" *: i dim) +: v "c")) /: i scale))
+                        ]
+                    ]
+                ]
+            ]
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "minver" [])
+        ; decl "sum" (i 0)
+        ; for_ "k" (i 0) (i (dim * dim))
+            [ set "sum" (v "sum" +: (idx "inv" (v "k") *: (v "k" +: i 1))) ]
+        ; ret (v "sum")
+        ]
+    ]
+
+let expected =
+  let a = Array.copy a_init in
+  let inv = Array.make (dim * dim) 0 in
+  for r = 0 to dim - 1 do
+    inv.((r * dim) + r) <- scale
+  done;
+  for p = 0 to dim - 1 do
+    let best = ref p in
+    for r = p + 1 to dim - 1 do
+      if abs a.((r * dim) + p) > abs a.((!best * dim) + p) then best := r
+    done;
+    if !best <> p then
+      for c = 0 to dim - 1 do
+        let t = a.((p * dim) + c) in
+        a.((p * dim) + c) <- a.((!best * dim) + c);
+        a.((!best * dim) + c) <- t;
+        let t2 = inv.((p * dim) + c) in
+        inv.((p * dim) + c) <- inv.((!best * dim) + c);
+        inv.((!best * dim) + c) <- t2
+      done;
+    let pivot = a.((p * dim) + p) in
+    for c = 0 to dim - 1 do
+      a.((p * dim) + c) <- a.((p * dim) + c) * scale / pivot;
+      inv.((p * dim) + c) <- inv.((p * dim) + c) * scale / pivot
+    done;
+    for r = 0 to dim - 1 do
+      if r <> p then begin
+        let factor = a.((r * dim) + p) in
+        for c = 0 to dim - 1 do
+          a.((r * dim) + c) <- a.((r * dim) + c) - (factor * a.((p * dim) + c) / scale);
+          inv.((r * dim) + c) <- inv.((r * dim) + c) - (factor * inv.((p * dim) + c) / scale)
+        done
+      end
+    done
+  done;
+  let sum = ref 0 in
+  Array.iteri (fun k x -> sum := !sum + (x * (k + 1))) inv;
+  !sum

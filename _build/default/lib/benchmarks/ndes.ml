@@ -1,0 +1,76 @@
+(* Bit-manipulation heavy block cipher round in the spirit of
+   Mälardalen ndes.c: repeated permutation/substitution rounds with
+   table lookups over a 64-bit block held as two 32-bit halves. *)
+
+open Minic.Dsl
+
+let name = "ndes"
+let description = "block cipher rounds: permutations + S-box lookups"
+
+let sbox = Array.init 64 (fun k -> ((k * 43) + 17) mod 16)
+let keys = Array.init 16 (fun k -> ((k * 2654435761) land 0xFFFFFF) lor 1)
+
+let program =
+  program
+    ~globals:[ array "sbox" sbox; array "keys" keys ]
+    [ fn "feistel" [ "half"; "key" ]
+        [ decl "x" (v "half" ^: v "key")
+        ; decl "out" (i 0)
+        ; (* Eight 6-bit groups through the S-box. *)
+          for_ "g" (i 0) (i 8)
+            [ decl "chunk" ((v "x" >>: (v "g" *: i 4)) &: i 0x3F)
+            ; set "out" (v "out" ^: (idx "sbox" (v "chunk") <<: (v "g" *: i 4)))
+            ]
+        ; (* A cheap permutation: rotate by 11. *)
+          ret (((v "out" <<: i 11) |: (v "out" >>: i 21)) &: i 0xFFFFFFFF)
+        ]
+    ; fn "encrypt" [ "left"; "right" ]
+        [ decl "l" (v "left")
+        ; decl "r" (v "right")
+        ; for_ "round" (i 0) (i 16)
+            [ decl "t" (v "r")
+            ; set "r" (v "l" ^: call "feistel" [ v "r"; idx "keys" (v "round") ])
+            ; set "l" (v "t")
+            ]
+        ; ret (v "l" ^: v "r")
+        ]
+    ; fn "main" []
+        [ decl "acc" (i 0)
+        ; for_ "blk" (i 0) (i 4)
+            [ set "acc"
+                (v "acc" ^: call "encrypt" [ v "blk" *: i 0x01234567; v "blk" +: i 0x89ABCD ])
+            ]
+        ; ret (v "acc")
+        ]
+    ]
+
+(* Oracle with identical 32-bit semantics. *)
+let expected =
+  let wrap32 x =
+    let m = x land 0xFFFFFFFF in
+    if m >= 0x80000000 then m - 0x100000000 else m
+  in
+  let to_u x = x land 0xFFFFFFFF in
+  let feistel half key =
+    let x = wrap32 (half lxor key) in
+    let out = ref 0 in
+    for g = 0 to 7 do
+      let chunk = (to_u x lsr (g * 4)) land 0x3F in
+      out := wrap32 (!out lxor wrap32 (to_u sbox.(chunk) lsl (g * 4)))
+    done;
+    wrap32 ((wrap32 (to_u !out lsl 11) lor (to_u !out lsr 21)) land 0xFFFFFFFF)
+  in
+  let encrypt left right =
+    let l = ref (wrap32 left) and r = ref (wrap32 right) in
+    for round = 0 to 15 do
+      let t = !r in
+      r := wrap32 (!l lxor feistel !r keys.(round));
+      l := t
+    done;
+    wrap32 (!l lxor !r)
+  in
+  let acc = ref 0 in
+  for blk = 0 to 3 do
+    acc := wrap32 (!acc lxor encrypt (wrap32 (blk * 0x01234567)) (blk + 0x89ABCD))
+  done;
+  !acc

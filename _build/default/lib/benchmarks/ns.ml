@@ -1,0 +1,54 @@
+(* Search in a 4-dimensional 5x5x5x5 table (Mälardalen ns.c). *)
+
+open Minic.Dsl
+
+let name = "ns"
+let description = "4-level nested search in a 5^4 table"
+
+let table = Array.init 625 (fun k -> (k * 13) mod 400)
+
+let program =
+  program
+    ~globals:[ array "keys" table ]
+    [ fn "foo" [ "x" ]
+        [ for_ "a" (i 0) (i 5)
+            [ for_ "b" (i 0) (i 5)
+                [ for_ "c" (i 0) (i 5)
+                    [ for_ "d" (i 0) (i 5)
+                        [ when_
+                            (idx "keys"
+                               ((v "a" *: i 125) +: (v "b" *: i 25) +: (v "c" *: i 5) +: v "d")
+                            ==: v "x")
+                            [ ret
+                                ((v "a" *: i 1000) +: (v "b" *: i 100) +: (v "c" *: i 10)
+                                +: v "d")
+                            ]
+                        ]
+                    ]
+                ]
+            ]
+        ; ret (i (-1))
+        ]
+    ; fn "main" [] [ ret (call "foo" [ i 399 ] +: call "foo" [ i 401 ]) ]
+    ]
+
+let expected =
+  let find x =
+    let result = ref (-1) in
+    (try
+       for a = 0 to 4 do
+         for b = 0 to 4 do
+           for c = 0 to 4 do
+             for d = 0 to 4 do
+               if table.((a * 125) + (b * 25) + (c * 5) + d) = x then begin
+                 result := (a * 1000) + (b * 100) + (c * 10) + d;
+                 raise Exit
+               end
+             done
+           done
+         done
+       done
+     with Exit -> ());
+    !result
+  in
+  find 399 + find 401

@@ -1,0 +1,68 @@
+(* Petri-net simulation with a very large body of transition rules
+   (Mälardalen nsichneu.c). The original is thousands of generated
+   if-blocks; this transcription generates 96 rules over 32 places —
+   still far larger than the 1 KB instruction cache, which is the
+   benchmark's role in the evaluation. The rule table is generated
+   deterministically so the OCaml oracle can replay it. *)
+
+open Minic.Dsl
+
+let name = "nsichneu"
+let description = "Petri net: 96 generated transition rules over 32 places, 2 rounds"
+
+let places = 32
+let rules = 96
+
+(* Deterministic LCG for rule generation. *)
+let rule_table =
+  let seed = ref 12345 in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed
+  in
+  Array.init rules (fun _ ->
+      let a = next () mod places in
+      let b = next () mod places in
+      let c = next () mod places in
+      let d = next () mod places in
+      (a, b, c, d))
+
+let initial_marking = Array.init places (fun k -> (k mod 3) + 1)
+
+let rule_stmt (a, b, c, d) =
+  when_
+    ((idx "pl" (i a) >=: i 1) &&: (idx "pl" (i b) >=: i 1))
+    [ store "pl" (i a) (idx "pl" (i a) -: i 1)
+    ; store "pl" (i b) (idx "pl" (i b) -: i 1)
+    ; store "pl" (i c) (idx "pl" (i c) +: i 1)
+    ; store "pl" (i d) (idx "pl" (i d) +: i 1)
+    ]
+
+let program =
+  program
+    ~globals:[ array "pl" initial_marking ]
+    [ fn "main" []
+        [ for_ "round" (i 0) (i 2) (Array.to_list (Array.map rule_stmt rule_table))
+        ; decl "sum" (i 0)
+        ; for_ "k" (i 0) (i places)
+            [ set "sum" (v "sum" +: (idx "pl" (v "k") *: (v "k" +: i 1))) ]
+        ; ret (v "sum")
+        ]
+    ]
+
+let expected =
+  let pl = Array.copy initial_marking in
+  for _round = 0 to 1 do
+    Array.iter
+      (fun (a, b, c, d) ->
+        if pl.(a) >= 1 && pl.(b) >= 1 then begin
+          pl.(a) <- pl.(a) - 1;
+          pl.(b) <- pl.(b) - 1;
+          pl.(c) <- pl.(c) + 1;
+          pl.(d) <- pl.(d) + 1
+        end)
+      rule_table
+  done;
+  let sum = ref 0 in
+  Array.iteri (fun k x -> sum := !sum + (x * (k + 1))) pl;
+  !sum

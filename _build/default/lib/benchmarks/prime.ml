@@ -1,0 +1,28 @@
+(* Primality tests by trial division (Mälardalen prime.c). *)
+
+open Minic.Dsl
+
+let name = "prime"
+let description = "trial-division primality of two numbers"
+
+let program =
+  program
+    [ fn "divides" [ "n"; "m" ] [ ret (v "m" %: v "n" ==: i 0) ]
+    ; fn "even" [ "n" ] [ ret (call "divides" [ i 2; v "n" ]) ]
+    ; fn "prime" [ "n" ]
+        [ when_ (call "even" [ v "n" ]) [ ret (v "n" ==: i 2) ]
+        ; decl "result" (i 1)
+        ; decl "d" (i 3)
+        ; (* d ranges over odd numbers up to sqrt(3571) ~ 60. *)
+          while_ ~bound:30
+            ((v "d" *: v "d" <=: v "n") &&: (v "result" ==: i 1))
+            [ when_ (call "divides" [ v "d"; v "n" ]) [ set "result" (i 0) ]
+            ; set "d" (v "d" +: i 2)
+            ]
+        ; ret (v "result")
+        ]
+    ; fn "main" [] [ ret (call "prime" [ i 3571 ] +: (i 10 *: call "prime" [ i 3573 ])) ]
+    ]
+
+(* 3571 is prime, 3573 = 3 * 1191 is not. *)
+let expected = 1

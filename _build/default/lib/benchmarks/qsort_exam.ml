@@ -1,0 +1,69 @@
+(* Iterative quicksort with an explicit stack (Mälardalen
+   qsort-exam.c): recursion is not available in mini-C, exactly like the
+   original's non-recursive formulation. *)
+
+open Minic.Dsl
+
+let name = "qsort_exam"
+let description = "iterative quicksort of 20 elements with an explicit stack"
+
+let initial = [| 44; 5; 77; 13; 2; 89; 34; 21; 55; 8; 99; 1; 67; 30; 12; 71; 26; 18; 60; 40 |]
+let size = Array.length initial
+
+let program =
+  program
+    ~globals:[ array "arr" initial; array "stack" (Array.make 64 0) ]
+    [ fn "qsort" []
+        [ decl "top" (i 0)
+        ; store "stack" (i 0) (i 0)
+        ; store "stack" (i 1) (i (size - 1))
+        ; set "top" (i 2)
+        ; (* Each partition pushes at most two subranges; 4 * size bounds
+             the number of pops comfortably. *)
+          while_ ~bound:(4 * size)
+            (v "top" >: i 0)
+            [ set "top" (v "top" -: i 2)
+            ; decl "lo" (idx "stack" (v "top"))
+            ; decl "hi" (idx "stack" (v "top" +: i 1))
+            ; when_
+                (v "lo" <: v "hi")
+                [ (* Lomuto partition on arr[lo..hi]. *)
+                  decl "pivot" (idx "arr" (v "hi"))
+                ; decl "ins" (v "lo")
+                ; for_b "j" (v "lo") (v "hi") ~bound:size
+                    [ when_
+                        (idx "arr" (v "j") <: v "pivot")
+                        [ decl "t" (idx "arr" (v "ins"))
+                        ; store "arr" (v "ins") (idx "arr" (v "j"))
+                        ; store "arr" (v "j") (v "t")
+                        ; set "ins" (v "ins" +: i 1)
+                        ]
+                    ]
+                ; decl "t2" (idx "arr" (v "ins"))
+                ; store "arr" (v "ins") (idx "arr" (v "hi"))
+                ; store "arr" (v "hi") (v "t2")
+                ; (* Push both halves. *)
+                  store "stack" (v "top") (v "lo")
+                ; store "stack" (v "top" +: i 1) (v "ins" -: i 1)
+                ; set "top" (v "top" +: i 2)
+                ; store "stack" (v "top") (v "ins" +: i 1)
+                ; store "stack" (v "top" +: i 1) (v "hi")
+                ; set "top" (v "top" +: i 2)
+                ]
+            ]
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "qsort" [])
+        ; decl "sum" (i 0)
+        ; for_ "k" (i 0) (i size) [ set "sum" (v "sum" +: (idx "arr" (v "k") *: (v "k" +: i 1))) ]
+        ; ret (v "sum")
+        ]
+    ]
+
+let expected =
+  let sorted = Array.copy initial in
+  Array.sort compare sorted;
+  let sum = ref 0 in
+  Array.iteri (fun k x -> sum := !sum + (x * (k + 1))) sorted;
+  !sum

@@ -1,0 +1,43 @@
+(* Roots of quadratic equations via integer Newton square root
+   (Mälardalen qurt.c, fixed-point transcription). *)
+
+open Minic.Dsl
+
+let name = "qurt"
+let description = "quadratic roots with Newton integer square root"
+
+let program =
+  program
+    [ fn "isqrt" [ "x" ]
+        [ when_ (v "x" <=: i 0) [ ret (i 0) ]
+        ; decl "r" (v "x")
+        ; when_ (v "r" >: i 46340) [ set "r" (i 46340) ]
+        ; (* Newton iteration converges well within 20 rounds on 31-bit
+             inputs. *)
+          for_b "it" (i 0) (i 20) ~bound:20
+            [ decl "next" ((v "r" +: (v "x" /: v "r")) /: i 2)
+            ; when_ (v "next" <: v "r") [ set "r" (v "next") ]
+            ]
+        ; ret (v "r")
+        ]
+    ; fn "qroots" [ "a"; "b"; "c" ]
+        [ when_ (v "a" ==: i 0) [ ret (i (-1)) ]
+        ; decl "disc" ((v "b" *: v "b") -: (i 4 *: v "a" *: v "c"))
+        ; if_
+            (v "disc" <: i 0)
+            [ (* Complex roots: code them as 1000000 + |imag part|. *)
+              ret (i 1000000 +: call "isqrt" [ i 0 -: v "disc" ]) ]
+            [ decl "sq" (call "isqrt" [ v "disc" ])
+            ; decl "r1" ((i 0 -: v "b" +: v "sq") /: (i 2 *: v "a"))
+            ; decl "r2" ((i 0 -: v "b" -: v "sq") /: (i 2 *: v "a"))
+            ; ret ((v "r1" *: i 1000) +: v "r2")
+            ]
+        ]
+    ; fn "main" []
+        [ decl "s" (i 0)
+        ; set "s" (v "s" +: call "qroots" [ i 1; i (-7); i 12 ])   (* roots 4, 3 *)
+        ; set "s" (v "s" +: call "qroots" [ i 1; i 2; i 10 ])      (* complex *)
+        ; set "s" (v "s" +: call "qroots" [ i 2; i (-90); i 1000 ]) (* 25, 20 *)
+        ; ret (v "s")
+        ]
+    ]

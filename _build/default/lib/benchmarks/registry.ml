@@ -1,0 +1,46 @@
+type entry = {
+  name : string;
+  description : string;
+  program : Minic.Ast.program;
+}
+
+let entry name description program = { name; description; program }
+
+let all =
+  [ entry Adpcm.name Adpcm.description Adpcm.program
+  ; entry Bs.name Bs.description Bs.program
+  ; entry Bsort100.name Bsort100.description Bsort100.program
+  ; entry Cnt.name Cnt.description Cnt.program
+  ; entry Cover.name Cover.description Cover.program
+  ; entry Crc.name Crc.description Crc.program
+  ; entry Edn.name Edn.description Edn.program
+  ; entry Expint.name Expint.description Expint.program
+  ; entry Fdct.name Fdct.description Fdct.program
+  ; entry Fft.name Fft.description Fft.program
+  ; entry Fibcall.name Fibcall.description Fibcall.program
+  ; entry Fir.name Fir.description Fir.program
+  ; entry Insertsort.name Insertsort.description Insertsort.program
+  ; entry Jfdctint.name Jfdctint.description Jfdctint.program
+  ; entry Lcdnum.name Lcdnum.description Lcdnum.program
+  ; entry Ludcmp.name Ludcmp.description Ludcmp.program
+  ; entry Matmult.name Matmult.description Matmult.program
+  ; entry Minver.name Minver.description Minver.program
+  ; entry Ns.name Ns.description Ns.program
+  ; entry Nsichneu.name Nsichneu.description Nsichneu.program
+  ; entry Prime.name Prime.description Prime.program
+  ; entry Qurt.name Qurt.description Qurt.program
+  ; entry Select.name Select.description Select.program
+  ; entry Statemate.name Statemate.description Statemate.program
+  ; entry Ud.name Ud.description Ud.program
+  ]
+
+(* Additional programs kept outside the paper's 25-benchmark set. *)
+let extras =
+  [ entry Janne_complex.name Janne_complex.description Janne_complex.program
+  ; entry St.name St.description St.program
+  ; entry Ndes.name Ndes.description Ndes.program
+  ; entry Qsort_exam.name Qsort_exam.description Qsort_exam.program
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) (all @ extras)
+let names = List.map (fun e -> e.name) all

@@ -1,0 +1,25 @@
+(** The benchmark suite: 25 mini-C programs modelled on the Mälardalen
+    WCET benchmarks the paper evaluates on (Section IV-A).
+
+    Floating-point kernels of the original suite (fft, qurt, minver,
+    ...) are transcribed to fixed-point integer arithmetic — the target
+    ISA, like the paper's analysis, only times instruction fetches, so
+    what matters is preserving each program's control structure and
+    code footprint. *)
+
+type entry = {
+  name : string;
+  description : string;
+  program : Minic.Ast.program;
+}
+
+val all : entry list
+(** The 25 benchmarks, alphabetically. *)
+
+val extras : entry list
+(** Additional programs outside the paper's benchmark set (currently
+    [janne_complex], a loop-bound stress test). [find] also sees
+    these. *)
+
+val find : string -> entry option
+val names : string list

@@ -1,0 +1,73 @@
+(* k-th smallest element by quickselect (Mälardalen select.c), with the
+   original's in-place partitioning loops expressed via flags (mini-C
+   has no break). *)
+
+open Minic.Dsl
+
+let name = "select"
+let description = "quickselect of the 10th smallest among 20 elements"
+
+let initial = [| 5; 37; 2; 91; 44; 13; 8; 72; 55; 1; 66; 29; 17; 83; 40; 23; 9; 61; 34; 50 |]
+
+let swap a b =
+  [ decl "tswap" (idx "arr" a); store "arr" a (idx "arr" b); store "arr" b (v "tswap") ]
+
+let program =
+  program
+    ~globals:[ array "arr" initial ]
+    [ fn "select_kth" [ "k" ]
+        [ decl "l" (i 0)
+        ; decl "ir" (i 19)
+        ; decl "done" (i 0)
+        ; decl "result" (i 0)
+        ; while_ ~bound:20
+            (v "done" ==: i 0)
+            [ if_
+                (v "ir" <=: v "l" +: i 1)
+                ([ when_
+                     ((v "ir" ==: v "l" +: i 1) &&: (idx "arr" (v "ir") <: idx "arr" (v "l")))
+                     (swap (v "l") (v "ir"))
+                 ]
+                @ [ set "result" (idx "arr" (v "k")); set "done" (i 1) ])
+                ([ decl "mid" ((v "l" +: v "ir") /: i 2) ]
+                @ swap (v "mid") (v "l" +: i 1)
+                @ [ when_
+                      (idx "arr" (v "l") >: idx "arr" (v "ir"))
+                      (swap (v "l") (v "ir"))
+                  ; when_
+                      (idx "arr" (v "l" +: i 1) >: idx "arr" (v "ir"))
+                      (swap (v "l" +: i 1) (v "ir"))
+                  ; when_
+                      (idx "arr" (v "l") >: idx "arr" (v "l" +: i 1))
+                      (swap (v "l") (v "l" +: i 1))
+                  ; decl "pi" (v "l" +: i 1)
+                  ; decl "pj" (v "ir")
+                  ; decl "pivot" (idx "arr" (v "l" +: i 1))
+                  ; decl "part_done" (i 0)
+                  ; while_ ~bound:20
+                      (v "part_done" ==: i 0)
+                      [ set "pi" (v "pi" +: i 1)
+                      ; while_ ~bound:20 (idx "arr" (v "pi") <: v "pivot")
+                          [ set "pi" (v "pi" +: i 1) ]
+                      ; set "pj" (v "pj" -: i 1)
+                      ; while_ ~bound:20 (idx "arr" (v "pj") >: v "pivot")
+                          [ set "pj" (v "pj" -: i 1) ]
+                      ; if_ (v "pj" <: v "pi")
+                          [ set "part_done" (i 1) ]
+                          (swap (v "pi") (v "pj"))
+                      ]
+                  ; store "arr" (v "l" +: i 1) (idx "arr" (v "pj"))
+                  ; store "arr" (v "pj") (v "pivot")
+                  ; when_ (v "pj" >=: v "k") [ set "ir" (v "pj" -: i 1) ]
+                  ; when_ (v "pj" <=: v "k") [ set "l" (v "pi") ]
+                  ])
+            ]
+        ; ret (v "result")
+        ]
+    ; fn "main" [] [ ret (call "select_kth" [ i 9 ]) ]
+    ]
+
+let expected =
+  let sorted = Array.copy initial in
+  Array.sort compare sorted;
+  sorted.(9)

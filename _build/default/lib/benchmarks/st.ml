@@ -1,0 +1,69 @@
+(* Statistics over two correlated series (Mälardalen st.c): sums, means,
+   variances and covariance in fixed point over 100-element arrays. *)
+
+open Minic.Dsl
+
+let name = "st"
+let description = "statistics: mean/variance/covariance over two 100-element series"
+
+let size = 100
+let scale = 16
+
+let a_init = Array.init size (fun k -> (((k * 37) + 11) mod 401) - 200)
+let b_init = Array.init size (fun k -> (((k * 73) + 29) mod 401) - 200)
+
+let program =
+  program
+    ~globals:
+      [ array "sa" a_init
+      ; array "sb" b_init
+      ; scalar "mean_a" 0
+      ; scalar "mean_b" 0
+      ; scalar "var_a" 0
+      ; scalar "var_b" 0
+      ; scalar "cov" 0
+      ]
+    [ fn "mean" []
+        [ decl "ta" (i 0)
+        ; decl "tb" (i 0)
+        ; for_ "k" (i 0) (i size)
+            [ set "ta" (v "ta" +: idx "sa" (v "k")); set "tb" (v "tb" +: idx "sb" (v "k")) ]
+        ; set "mean_a" ((v "ta" *: i scale) /: i size)
+        ; set "mean_b" ((v "tb" *: i scale) /: i size)
+        ; ret0
+        ]
+    ; fn "moments" []
+        [ decl "va" (i 0)
+        ; decl "vb" (i 0)
+        ; decl "cv" (i 0)
+        ; for_ "k" (i 0) (i size)
+            [ decl "da" ((idx "sa" (v "k") *: i scale) -: v "mean_a")
+            ; decl "db" ((idx "sb" (v "k") *: i scale) -: v "mean_b")
+            ; set "va" (v "va" +: ((v "da" *: v "da") /: (i (scale * scale) *: i size)))
+            ; set "vb" (v "vb" +: ((v "db" *: v "db") /: (i (scale * scale) *: i size)))
+            ; set "cv" (v "cv" +: ((v "da" *: v "db") /: (i (scale * scale) *: i size)))
+            ]
+        ; set "var_a" (v "va")
+        ; set "var_b" (v "vb")
+        ; set "cov" (v "cv")
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "mean" [])
+        ; expr (call "moments" [])
+        ; ret (v "var_a" +: v "var_b" +: v "cov" +: v "mean_a" +: v "mean_b")
+        ]
+    ]
+
+let expected =
+  let mean xs = Array.fold_left ( + ) 0 xs * scale / size in
+  let ma = mean a_init and mb = mean b_init in
+  let va = ref 0 and vb = ref 0 and cv = ref 0 in
+  for k = 0 to size - 1 do
+    let da = (a_init.(k) * scale) - ma in
+    let db = (b_init.(k) * scale) - mb in
+    va := !va + (da * da / (scale * scale * size));
+    vb := !vb + (db * db / (scale * scale * size));
+    cv := !cv + (da * db / (scale * scale * size))
+  done;
+  !va + !vb + !cv + ma + mb

@@ -1,0 +1,67 @@
+(* Generated statechart code (Mälardalen statemate.c): a large body of
+   guard/action blocks driven once per activation, with the guards
+   if-converted to straight-line arithmetic (as a flattening code
+   generator would emit). The code footprint is several times the 1 KB
+   cache and every block runs exactly once per activation, so the cache
+   captures spatial locality only — the paper's "category 1" behaviour
+   where both RW and SRB fully mask the impact of faults. *)
+
+open Minic.Dsl
+
+let name = "statemate"
+let description = "generated statechart: 140 guard/action blocks, one activation"
+
+let state_vars = 24
+
+(* Deterministic generator for the guard/action blocks. *)
+let blocks =
+  let seed = ref 777 in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed
+  in
+  Array.init 140 (fun _ ->
+      let guard_var = next () mod state_vars in
+      let guard_const = next () mod 4 in
+      let dst = next () mod state_vars in
+      let src_a = next () mod state_vars in
+      let src_b = next () mod state_vars in
+      let add = next () mod 7 in
+      (guard_var, guard_const, dst, src_a, src_b, add))
+
+let initial = Array.init state_vars (fun k -> k mod 4)
+
+(* If-converted guard: g = (sv[gv] == gc) in {0,1};
+   sv[dst] = (g * (sv[a] + sv[b] + add) + (1-g) * (sv[dst] + 1)) % 4. *)
+let block_stmt (guard_var, guard_const, dst, src_a, src_b, add) =
+  store "sv" (i dst)
+    ((((idx "sv" (i guard_var) ==: i guard_const)
+      *: (idx "sv" (i src_a) +: idx "sv" (i src_b) +: i add))
+     +: ((idx "sv" (i guard_var) <>: i guard_const) *: (idx "sv" (i dst) +: i 1)))
+    %: i 4)
+
+let program =
+  program
+    ~globals:[ array "sv" initial ]
+    [ fn "main" []
+        ((* One activation: every block runs exactly once, straight-line.
+            Even the final checksum is unrolled so that no instruction is
+            ever re-fetched — the cache can only exploit spatial
+            locality. *)
+         Array.to_list (Array.map block_stmt blocks)
+        @ [ decl "sum" (i 0) ]
+        @ List.init state_vars (fun k ->
+              set "sum" (v "sum" +: (idx "sv" (i k) *: i (k + 1))))
+        @ [ ret (v "sum") ])
+    ]
+
+let expected =
+  let sv = Array.copy initial in
+  Array.iter
+    (fun (guard_var, guard_const, dst, src_a, src_b, add) ->
+      if sv.(guard_var) = guard_const then sv.(dst) <- (sv.(src_a) + sv.(src_b) + add) mod 4
+      else sv.(dst) <- (sv.(dst) + 1) mod 4)
+    blocks;
+  let sum = ref 0 in
+  Array.iteri (fun k x -> sum := !sum + (x * (k + 1))) sv;
+  !sum

@@ -1,0 +1,120 @@
+(* LU-based linear equation solver, single combined routine
+   (Mälardalen ud.c) — same mathematics as ludcmp but the original's
+   distinct loop organisation: decomposition and substitutions fused in
+   one function over a 5x5 fixed-point system. *)
+
+open Minic.Dsl
+
+let name = "ud"
+let description = "fused 5x5 LU solve (decomposition + substitutions in one routine)"
+
+let dim = 5
+let scale = 128
+
+let a_init =
+  Array.init (dim * dim) (fun k ->
+      let r = k / dim and c = k mod dim in
+      if r = c then scale * (dim + 2) else scale / (2 + ((r + c) mod 3)))
+
+let b_init =
+  Array.init dim (fun r ->
+      let sum = ref 0 in
+      for c = 0 to dim - 1 do
+        sum := !sum + (a_init.((r * dim) + c) * (c + 1))
+      done;
+      !sum)
+
+let program =
+  program
+    ~globals:
+      [ array "a" a_init; array "b" b_init; array "x" (Array.make dim 0) ]
+    [ fn "ludcmp_solve" []
+        [ (* Decomposition with the ud.c loop order: for each i, first
+             the U row, then the L column, both via dot products. *)
+          for_ "ii" (i 1) (i dim)
+            [ for_b "jj" (v "ii") (i dim) ~bound:(dim - 1)
+                [ decl "w" (idx "a" ((v "ii" *: i dim) +: v "jj"))
+                ; for_b "kk" (i 0) (v "ii") ~bound:(dim - 1)
+                    [ set "w"
+                        (v "w"
+                        -: ((idx "a" ((v "ii" *: i dim) +: v "kk")
+                            *: idx "a" ((v "kk" *: i dim) +: v "jj"))
+                           /: i scale))
+                    ]
+                ; store "a" ((v "ii" *: i dim) +: v "jj") (v "w")
+                ]
+            ; for_b "jj" (v "ii" +: i 1) (i dim) ~bound:(dim - 1)
+                [ decl "w" (idx "a" ((v "jj" *: i dim) +: v "ii"))
+                ; for_b "kk" (i 0) (v "ii") ~bound:(dim - 1)
+                    [ set "w"
+                        (v "w"
+                        -: ((idx "a" ((v "jj" *: i dim) +: v "kk")
+                            *: idx "a" ((v "kk" *: i dim) +: v "ii"))
+                           /: i scale))
+                    ]
+                ; store "a" ((v "jj" *: i dim) +: v "ii")
+                    ((v "w" *: i scale) /: idx "a" ((v "ii" *: i dim) +: v "ii"))
+                ]
+            ]
+        ; (* y overwrites b (forward), x from backward substitution. *)
+          for_ "ii" (i 1) (i dim)
+            [ decl "w" (idx "b" (v "ii"))
+            ; for_b "jj" (i 0) (v "ii") ~bound:(dim - 1)
+                [ set "w" (v "w" -: ((idx "a" ((v "ii" *: i dim) +: v "jj") *: idx "b" (v "jj")) /: i scale)) ]
+            ; store "b" (v "ii") (v "w")
+            ]
+        ; decl "ii" (i (dim - 1))
+        ; while_ ~bound:dim
+            (v "ii" >=: i 0)
+            [ decl "w" (idx "b" (v "ii"))
+            ; for_b "jj" (v "ii" +: i 1) (i dim) ~bound:(dim - 1)
+                [ set "w" (v "w" -: ((idx "a" ((v "ii" *: i dim) +: v "jj") *: idx "x" (v "jj")) /: i scale)) ]
+            ; store "x" (v "ii") ((v "w" *: i scale) /: idx "a" ((v "ii" *: i dim) +: v "ii"))
+            ; set "ii" (v "ii" -: i 1)
+            ]
+        ; ret0
+        ]
+    ; fn "main" []
+        [ expr (call "ludcmp_solve" [])
+        ; decl "sum" (i 0)
+        ; for_ "k" (i 0) (i dim) [ set "sum" (v "sum" +: (idx "x" (v "k") *: (v "k" +: i 1))) ]
+        ; ret (v "sum")
+        ]
+    ]
+
+let expected =
+  let a = Array.copy a_init and b = Array.copy b_init in
+  let x = Array.make dim 0 in
+  for ii = 1 to dim - 1 do
+    for jj = ii to dim - 1 do
+      let w = ref a.((ii * dim) + jj) in
+      for kk = 0 to ii - 1 do
+        w := !w - (a.((ii * dim) + kk) * a.((kk * dim) + jj) / scale)
+      done;
+      a.((ii * dim) + jj) <- !w
+    done;
+    for jj = ii + 1 to dim - 1 do
+      let w = ref a.((jj * dim) + ii) in
+      for kk = 0 to ii - 1 do
+        w := !w - (a.((jj * dim) + kk) * a.((kk * dim) + ii) / scale)
+      done;
+      a.((jj * dim) + ii) <- !w * scale / a.((ii * dim) + ii)
+    done
+  done;
+  for ii = 1 to dim - 1 do
+    let w = ref b.(ii) in
+    for jj = 0 to ii - 1 do
+      w := !w - (a.((ii * dim) + jj) * b.(jj) / scale)
+    done;
+    b.(ii) <- !w
+  done;
+  for ii = dim - 1 downto 0 do
+    let w = ref b.(ii) in
+    for jj = ii + 1 to dim - 1 do
+      w := !w - (a.((ii * dim) + jj) * x.(jj) / scale)
+    done;
+    x.(ii) <- !w * scale / a.((ii * dim) + ii)
+  done;
+  let sum = ref 0 in
+  Array.iteri (fun k xv -> sum := !sum + (xv * (k + 1))) x;
+  !sum

@@ -1,0 +1,1 @@
+lib/cache/config.mli: Format

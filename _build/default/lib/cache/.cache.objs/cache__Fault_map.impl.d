@@ -1,0 +1,1 @@
+lib/cache/fault_map.ml: Array Config Float Format List Random String

@@ -1,0 +1,1 @@
+lib/cache/fault_map.mli: Config Format Random

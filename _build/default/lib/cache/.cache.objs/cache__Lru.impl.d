@@ -1,0 +1,1 @@
+lib/cache/lru.ml: Array Config Fault_map List

@@ -1,0 +1,1 @@
+lib/cache/reliable.ml: Array Config Fault_map Lru

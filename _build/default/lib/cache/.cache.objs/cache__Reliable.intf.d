@@ -1,0 +1,1 @@
+lib/cache/reliable.mli: Config Fault_map Lru

@@ -1,0 +1,36 @@
+(** Concrete permanent-fault maps: which physical cache block (set, way)
+    is faulty. The paper's fault model (Section II-A): each SRAM bit
+    fails independently with probability [pfail]; a block with any
+    faulty bit is disabled; LRU makes the position of faulty ways in a
+    set irrelevant — only the count matters. *)
+
+type t
+
+val fault_free : Config.t -> t
+
+val of_faulty_counts : Config.t -> int array -> t
+(** [of_faulty_counts cfg counts] marks the first [counts.(s)] ways of
+    each set faulty (position is immaterial under LRU).
+    @raise Invalid_argument on bad array length or counts outside
+    [0, ways]. *)
+
+val sample : Config.t -> pbf:float -> Random.State.t -> t
+(** Independent Bernoulli([pbf]) per physical block — the concrete
+    counterpart of paper eq. 2. *)
+
+val is_faulty : t -> set:int -> way:int -> bool
+val faulty_in_set : t -> int -> int
+val working_in_set : t -> int -> int
+val total_faulty : t -> int
+val faulty_counts : t -> int array
+
+val repair_first : budget:int -> t -> t
+(** Clear up to [budget] faults, scanning sets then ways in order — the
+    boot-time assignment of a reliable victim cache's supplementary
+    lines. @raise Invalid_argument on a negative budget. *)
+
+val mask_way : t -> way:int -> t
+(** [mask_way t ~way] returns a map where faults in the given way are
+    masked (repaired) in every set — the RW mechanism's effect. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cache_analysis/acs.ml: Format Int List Map Printf String

@@ -1,0 +1,1 @@
+lib/cache_analysis/acs.mli: Format

@@ -1,0 +1,1 @@
+lib/cache_analysis/chmc.ml: Acs Array Cache Cfg Fixpoint Format Int List Set

@@ -1,0 +1,1 @@
+lib/cache_analysis/chmc.mli: Cache Cfg Format

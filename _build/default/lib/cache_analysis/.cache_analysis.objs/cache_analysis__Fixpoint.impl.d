@@ -1,0 +1,1 @@
+lib/cache_analysis/fixpoint.ml: Array Cfg Int List Set

@@ -1,0 +1,1 @@
+lib/cache_analysis/fixpoint.mli: Cfg

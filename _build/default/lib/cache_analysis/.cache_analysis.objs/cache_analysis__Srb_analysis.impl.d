@@ -1,0 +1,1 @@
+lib/cache_analysis/srb_analysis.ml: Acs Array Cache Cfg Fixpoint List

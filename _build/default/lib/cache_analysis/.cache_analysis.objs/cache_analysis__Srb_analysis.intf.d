@@ -1,0 +1,1 @@
+lib/cache_analysis/srb_analysis.mli: Cache Cfg

@@ -1,0 +1,169 @@
+type scope =
+  | Global
+  | Loop of int
+
+type classification =
+  | Always_hit
+  | First_miss of scope
+  | Always_miss
+  | Not_classified
+
+type t = {
+  classes : classification array array;  (* per node, per instruction offset *)
+  blocks : int array array;
+  sets : int array array;
+  reachable : bool array;
+}
+
+module IntSet = Set.Make (Int)
+
+let ref_info graph config =
+  let n = Cfg.Graph.node_count graph in
+  let blocks = Array.make n [||] and sets = Array.make n [||] in
+  for u = 0 to n - 1 do
+    let addrs = Array.of_list (Cfg.Graph.addresses graph (Cfg.Graph.node graph u)) in
+    blocks.(u) <- Array.map (Cache.Config.block_of_address config) addrs;
+    sets.(u) <- Array.map (Cache.Config.set_of_block config) blocks.(u)
+  done;
+  (blocks, sets)
+
+(* Must and may in-states for the given cache set, then per-reference
+   presence flags obtained by replaying each node's accesses. *)
+let presence_for_set graph blocks sets ~set ~assoc =
+  let transfer update u acs =
+    let b = blocks.(u) and ss = sets.(u) in
+    let acc = ref acs in
+    Array.iteri (fun k blk -> if ss.(k) = set then acc := update !acc blk) b;
+    !acc
+  in
+  let must_in =
+    Fixpoint.run ~graph ~entry_state:Acs.empty
+      ~transfer:(transfer (Acs.must_update ~assoc))
+      ~join:Acs.must_join ~equal:Acs.equal
+  in
+  let may_in =
+    Fixpoint.run ~graph ~entry_state:Acs.empty
+      ~transfer:(transfer (Acs.may_update ~assoc))
+      ~join:Acs.may_join ~equal:Acs.equal
+  in
+  let n = Cfg.Graph.node_count graph in
+  let must_hit = Array.make n [||] and may_present = Array.make n [||] in
+  for u = 0 to n - 1 do
+    let len = Array.length blocks.(u) in
+    must_hit.(u) <- Array.make len false;
+    may_present.(u) <- Array.make len false;
+    (match (must_in.(u), may_in.(u)) with
+    | Some must0, Some may0 ->
+      let must = ref must0 and may = ref may0 in
+      for k = 0 to len - 1 do
+        let blk = blocks.(u).(k) in
+        if sets.(u).(k) = set then begin
+          must_hit.(u).(k) <- Acs.mem !must blk;
+          may_present.(u).(k) <- Acs.mem !may blk;
+          must := Acs.must_update ~assoc !must blk;
+          may := Acs.may_update ~assoc !may blk
+        end
+      done
+    | _ -> () (* unreachable node *))
+  done;
+  (must_hit, may_present)
+
+let analyze ~graph ~loops ~config ?assoc ?only_sets () =
+  let ways = config.Cache.Config.ways in
+  let assoc = match assoc with Some f -> f | None -> fun _ -> ways in
+  let blocks, sets = ref_info graph config in
+  let n = Cfg.Graph.node_count graph in
+  let reachable = Array.make n false in
+  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+  (* Distinct blocks per cache set, globally and per loop body. *)
+  let distinct_blocks nodes =
+    let per_set = Array.make config.Cache.Config.sets IntSet.empty in
+    List.iter
+      (fun u ->
+        Array.iteri (fun k blk -> per_set.(sets.(u).(k)) <- IntSet.add blk per_set.(sets.(u).(k))) blocks.(u))
+      nodes;
+    per_set
+  in
+  let reachable_nodes =
+    List.filter (fun u -> reachable.(u)) (List.init n (fun u -> u))
+  in
+  let global_conflicts = distinct_blocks reachable_nodes in
+  let loop_conflicts =
+    List.map (fun (l : Cfg.Loop.loop) -> (l, distinct_blocks l.Cfg.Loop.body)) loops
+  in
+  (* Referenced cache sets, optionally restricted. *)
+  let used_sets =
+    Array.fold_left
+      (fun acc ss -> Array.fold_left (fun acc s -> IntSet.add s acc) acc ss)
+      IntSet.empty sets
+  in
+  let used_sets =
+    match only_sets with
+    | None -> used_sets
+    | Some keep -> IntSet.inter used_sets (IntSet.of_list keep)
+  in
+  let classes = Array.init n (fun u -> Array.make (Array.length blocks.(u)) Not_classified) in
+  IntSet.iter
+    (fun set ->
+      let assoc_s = assoc set in
+      let must_hit, may_present = presence_for_set graph blocks sets ~set ~assoc:assoc_s in
+      for u = 0 to n - 1 do
+        if reachable.(u) then
+          Array.iteri
+            (fun k s ->
+              if s = set then begin
+                let cls =
+                  if must_hit.(u).(k) then Always_hit
+                  else if assoc_s > 0 && IntSet.cardinal global_conflicts.(set) <= assoc_s then
+                    First_miss Global
+                  else begin
+                    (* Outermost enclosing loop whose conflict set fits. *)
+                    let enclosing =
+                      List.filter (fun ((l : Cfg.Loop.loop), _) -> List.mem u l.Cfg.Loop.body) loop_conflicts
+                    in
+                    let by_size_desc =
+                      List.sort
+                        (fun ((a : Cfg.Loop.loop), _) (b, _) ->
+                          compare (List.length b.Cfg.Loop.body) (List.length a.Cfg.Loop.body))
+                        enclosing
+                    in
+                    match
+                      List.find_opt
+                        (fun (_, conflicts) ->
+                          assoc_s > 0 && IntSet.cardinal conflicts.(set) <= assoc_s)
+                        by_size_desc
+                    with
+                    | Some (l, _) -> First_miss (Loop l.Cfg.Loop.header)
+                    | None -> if not may_present.(u).(k) then Always_miss else Not_classified
+                  end
+                in
+                classes.(u).(k) <- cls
+              end)
+            sets.(u)
+      done)
+    used_sets;
+  { classes; blocks; sets; reachable }
+
+let classification t ~node ~offset = t.classes.(node).(offset)
+let block t ~node ~offset = t.blocks.(node).(offset)
+let cache_set t ~node ~offset = t.sets.(node).(offset)
+
+let fold_refs f t init =
+  let acc = ref init in
+  Array.iteri
+    (fun u row ->
+      if t.reachable.(u) then
+        Array.iteri (fun k cls -> acc := f ~node:u ~offset:k cls !acc) row)
+    t.classes;
+  !acc
+
+let miss_cost_per_execution = function
+  | Always_miss | Not_classified -> true
+  | Always_hit | First_miss _ -> false
+
+let pp_classification fmt = function
+  | Always_hit -> Format.pp_print_string fmt "AH"
+  | First_miss Global -> Format.pp_print_string fmt "FM(global)"
+  | First_miss (Loop h) -> Format.fprintf fmt "FM(loop n%d)" h
+  | Always_miss -> Format.pp_print_string fmt "AM"
+  | Not_classified -> Format.pp_print_string fmt "NC"

@@ -1,0 +1,62 @@
+(** Cache Hit/Miss Classification (CHMC) of every instruction fetch.
+
+    Combines three analyses (paper Section II-B.1):
+    - {b Must} (abstract interpretation): proves always-hit;
+    - {b Persistence} (conflict-set based, per loop scope and globally):
+      proves first-miss — at most one miss per entry of the scope;
+    - {b May}: proves always-miss (absence from the may-cache).
+
+    Everything else is not-classified, which the paper costs exactly
+    like always-miss.
+
+    The per-set associativity override [assoc] is how faulty blocks
+    enter the picture: a set with [f] disabled ways is analysed with
+    associativity [W - f] (paper Section II-C); [0] means the set
+    caches nothing. The conflict-set persistence criterion (a block is
+    persistent in a scope when the number of distinct blocks mapping to
+    its set within that scope does not exceed the set's associativity)
+    is a sound simplification of Ferdinand's persistence that avoids
+    its known unsoundness (Cullmann 2013). *)
+
+type scope =
+  | Global  (** at most one miss over the whole execution *)
+  | Loop of int  (** at most one miss per entry of the loop with this header node *)
+
+type classification =
+  | Always_hit
+  | First_miss of scope
+  | Always_miss
+  | Not_classified
+
+type t
+
+val analyze :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  config:Cache.Config.t ->
+  ?assoc:(int -> int) ->
+  ?only_sets:int list ->
+  unit ->
+  t
+(** [assoc] maps a cache set to its effective associativity (default:
+    [config.ways] everywhere). [only_sets] restricts the analysis to
+    references mapping to the given cache sets (others stay
+    [Not_classified]) — the FMM computation re-analyses one degraded
+    set at a time. *)
+
+val classification : t -> node:int -> offset:int -> classification
+(** Classification of the [offset]-th instruction of node [node]. *)
+
+val block : t -> node:int -> offset:int -> int
+(** Memory-block number fetched by that instruction. *)
+
+val cache_set : t -> node:int -> offset:int -> int
+
+val fold_refs : (node:int -> offset:int -> classification -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over all reachable references in node/offset order. *)
+
+val miss_cost_per_execution : classification -> bool
+(** True when the reference must be costed as a miss on {e every}
+    execution (always-miss / not-classified). *)
+
+val pp_classification : Format.formatter -> classification -> unit

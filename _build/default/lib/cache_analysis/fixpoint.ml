@@ -1,0 +1,38 @@
+let run ~graph ~entry_state ~transfer ~join ~equal =
+  let n = Cfg.Graph.node_count graph in
+  let in_state : 'a option array = Array.make n None in
+  let rpo = Cfg.Graph.reverse_postorder graph in
+  let rpo_pos = Array.make n max_int in
+  Array.iteri (fun i u -> rpo_pos.(u) <- i) rpo;
+  in_state.(graph.Cfg.Graph.entry) <- Some entry_state;
+  (* Worklist keyed by rpo position so that nodes are processed in a
+     near-topological order; a module-level set gives O(log n) pops. *)
+  let module IS = Set.Make (Int) in
+  let work = ref (IS.singleton rpo_pos.(graph.Cfg.Graph.entry)) in
+  let node_at = Array.make n (-1) in
+  Array.iteri (fun i u -> node_at.(i) <- u) rpo;
+  while not (IS.is_empty !work) do
+    let p = IS.min_elt !work in
+    work := IS.remove p !work;
+    let u = node_at.(p) in
+    match in_state.(u) with
+    | None -> ()
+    | Some s ->
+      let out = transfer u s in
+      List.iter
+        (fun v ->
+          let updated =
+            match in_state.(v) with
+            | None -> Some out
+            | Some old ->
+              let joined = join old out in
+              if equal joined old then None else Some joined
+          in
+          match updated with
+          | None -> ()
+          | Some j ->
+            in_state.(v) <- Some j;
+            work := IS.add rpo_pos.(v) !work)
+        (Cfg.Graph.successors graph u)
+  done;
+  in_state

@@ -1,0 +1,17 @@
+(** Generic forward data-flow fixpoint over a control-flow graph.
+
+    Worklist iteration in reverse-postorder. The in-state of a node is
+    the join of its predecessors' out-states; unreachable nodes keep no
+    state ([None]). *)
+
+val run :
+  graph:Cfg.Graph.t ->
+  entry_state:'a ->
+  transfer:(int -> 'a -> 'a) ->
+  join:('a -> 'a -> 'a) ->
+  equal:('a -> 'a -> bool) ->
+  'a option array
+(** [run ~graph ~entry_state ~transfer ~join ~equal] returns the
+    stabilised {e in}-state of every node (indexed by node id). The
+    entry node's in-state additionally joins [entry_state] (the state
+    on the virtual entry edge). *)

@@ -1,0 +1,58 @@
+type t = {
+  hits : bool array array;
+  reachable : bool array;
+}
+
+(* The abstract SRB state: the set of blocks the buffer is guaranteed to
+   hold. With capacity one this is either one block or unknown, which is
+   exactly a Must-ACS of associativity 1 over a single set. [touches]
+   selects which references go through the buffer: all of them for the
+   paper's conservative analysis, only one cache set's for the exclusive
+   refinement. *)
+let analyze_with ~graph ~config ~touches =
+  let n = Cfg.Graph.node_count graph in
+  let blocks = Array.make n [||] in
+  for u = 0 to n - 1 do
+    blocks.(u) <-
+      Array.of_list
+        (List.map (Cache.Config.block_of_address config) (Cfg.Graph.addresses graph (Cfg.Graph.node graph u)))
+  done;
+  let update acs blk = if touches blk then Acs.must_update ~assoc:1 acs blk else acs in
+  let transfer u acs = Array.fold_left update acs blocks.(u) in
+  let must_in =
+    Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer ~join:Acs.must_join ~equal:Acs.equal
+  in
+  let reachable = Array.make n false in
+  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+  let hits = Array.make n [||] in
+  for u = 0 to n - 1 do
+    let len = Array.length blocks.(u) in
+    hits.(u) <- Array.make len false;
+    match must_in.(u) with
+    | Some acs0 ->
+      let acs = ref acs0 in
+      for k = 0 to len - 1 do
+        let blk = blocks.(u).(k) in
+        if touches blk then begin
+          hits.(u).(k) <- Acs.mem !acs blk;
+          acs := update !acs blk
+        end
+      done
+    | None -> ()
+  done;
+  { hits; reachable }
+
+let analyze ~graph ~config = analyze_with ~graph ~config ~touches:(fun _ -> true)
+
+let analyze_exclusive ~graph ~config ~sets =
+  analyze_with ~graph ~config ~touches:(fun blk ->
+      List.mem (Cache.Config.set_of_block config blk) sets)
+
+let always_hit t ~node ~offset = t.hits.(node).(offset)
+
+let hit_count t =
+  let acc = ref 0 in
+  Array.iteri
+    (fun u row -> if t.reachable.(u) then Array.iter (fun h -> if h then incr acc) row)
+    t.hits;
+  !acc

@@ -1,0 +1,31 @@
+(** Must analysis of the Shared Reliable Buffer viewed as the only
+    cache in the system (paper Section III-B.2).
+
+    The SRB holds exactly one cache block, so the analysis is a Must
+    analysis with a single fully-associative entry over {e all}
+    references: a reference is always-hit in the SRB precisely when, on
+    every path, the immediately preceding reference touched the same
+    memory block — i.e. the SRB preserves spatial locality only. This
+    also realises the paper's deliberate conservatism: no information
+    is retained across distinct series of SRB accesses, because any
+    intervening reference (whether its set is faulty or not) replaces
+    the abstract buffer content. *)
+
+type t
+
+val analyze : graph:Cfg.Graph.t -> config:Cache.Config.t -> t
+
+val analyze_exclusive : graph:Cfg.Graph.t -> config:Cache.Config.t -> sets:int list -> t
+(** Variant for the refined SRB analysis (the paper's future-work
+    direction): assumes references mapping to [sets] are the {e only}
+    ones routed through the buffer — sound exactly when [sets] are the
+    only fully-faulty sets, because references to healthy sets never
+    consult the SRB. Temporal locality within the dead sets is then
+    preserved across interleaved accesses to healthy ones. *)
+
+val always_hit : t -> node:int -> offset:int -> bool
+(** Whether the [offset]-th fetch of the node is guaranteed to hit in
+    the SRB when its set is fully faulty. *)
+
+val hit_count : t -> int
+(** Number of references classified always-hit (over reachable nodes). *)

@@ -1,0 +1,1 @@
+lib/cfg/dominance.ml: Array Graph List

@@ -1,0 +1,1 @@
+lib/cfg/dominance.mli: Graph

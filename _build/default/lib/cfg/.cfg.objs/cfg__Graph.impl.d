@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Array Format Hashtbl Instr Isa List Printf Program Reg String

@@ -1,0 +1,1 @@
+lib/cfg/loop.ml: Array Dominance Format Graph Hashtbl Isa List Option

@@ -1,0 +1,1 @@
+lib/cfg/loop.mli: Graph

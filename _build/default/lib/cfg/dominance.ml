@@ -1,0 +1,53 @@
+type t = {
+  idom : int array;      (* idom.(entry) = entry; -1 = unreachable *)
+  pos : int array;       (* reverse-postorder position; -1 = unreachable *)
+  entry : int;
+}
+
+let compute (g : Graph.t) =
+  let n = Graph.node_count g in
+  let rpo = Graph.reverse_postorder g in
+  let pos = Array.make n (-1) in
+  Array.iteri (fun i u -> pos.(u) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(g.Graph.entry) <- g.Graph.entry;
+  let rec intersect a b =
+    if a = b then a
+    else if pos.(a) > pos.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun u ->
+        if u <> g.Graph.entry then begin
+          let processed_preds =
+            List.filter (fun p -> pos.(p) >= 0 && idom.(p) >= 0) (Graph.predecessors g u)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(u) <> new_idom then begin
+              idom.(u) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { idom; pos; entry = g.Graph.entry }
+
+let reachable t u = t.pos.(u) >= 0
+
+let idom t u =
+  if u = t.entry || t.idom.(u) < 0 then None else Some t.idom.(u)
+
+let dominates t a b =
+  if not (reachable t a && reachable t b) then false
+  else begin
+    (* Climb the dominator tree from b; dominators have smaller rpo
+       positions. *)
+    let rec climb b = if t.pos.(b) > t.pos.(a) then climb t.idom.(b) else b in
+    climb b = a
+  end

@@ -1,0 +1,19 @@
+(** Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+
+    Used to identify natural loops and check reducibility. Unreachable
+    nodes have no dominator information. *)
+
+type t
+
+val compute : Graph.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry node and for unreachable
+    nodes. *)
+
+val reachable : t -> int -> bool
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — every path from the entry to [b] goes through
+    [a]. False when either node is unreachable (except [a = b]
+    reachable). *)

@@ -1,0 +1,230 @@
+open Isa
+
+type node = {
+  id : int;
+  first : int;
+  len : int;
+  context : int list;
+}
+
+type t = {
+  program : Program.t;
+  nodes : node array;
+  succ : int list array;
+  pred : int list array;
+  entry : int;
+  exits : int list;
+}
+
+exception Build_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Build_error s)) fmt
+
+(* --- intra-function block structure ----------------------------------- *)
+
+type terminator =
+  | Fallthrough
+  | Goto of int
+  | Branch of int  (* taken target; also falls through *)
+  | Call of int    (* callee entry index; continues after the jal *)
+  | Return
+  | Stop
+
+type proto_block = { pb_first : int; pb_len : int; pb_term : terminator }
+
+let analyze_function program (f : Program.func) : proto_block list =
+  let fn_end = f.fn_start + f.fn_len in
+  let in_function i = i >= f.fn_start && i < fn_end in
+  let leaders = Hashtbl.create 16 in
+  Hashtbl.replace leaders f.fn_start ();
+  for i = f.fn_start to fn_end - 1 do
+    let instr = Program.instruction program i in
+    (match instr with
+    | Instr.Beq2 (_, _, _, target) | Instr.Beqz (_, _, target) | Instr.J target ->
+      if not (in_function target) then
+        error "%s: branch at index %d targets outside the function" f.fn_name i;
+      Hashtbl.replace leaders target ()
+    | Instr.Jal _ | Instr.Jr _ | Instr.Halt -> ()
+    | Instr.Alu _ | Instr.Alui _ | Instr.Shift _ | Instr.Li _ | Instr.Lw _ | Instr.Sw _
+    | Instr.Lb _ | Instr.Sb _ | Instr.Nop ->
+      ());
+    if Instr.is_control_flow instr && i + 1 < fn_end then Hashtbl.replace leaders (i + 1) ()
+  done;
+  let sorted_leaders = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) leaders []) in
+  let rec blocks = function
+    | [] -> []
+    | first :: rest ->
+      let stop = match rest with next :: _ -> next | [] -> fn_end in
+      let len = stop - first in
+      let term =
+        match Program.instruction program (stop - 1) with
+        | Instr.Beq2 (_, _, _, target) | Instr.Beqz (_, _, target) -> Branch target
+        | Instr.J target -> Goto target
+        | Instr.Jal target -> Call target
+        | Instr.Jr r ->
+          if Reg.equal r Reg.ra then Return
+          else error "%s: indirect jump through %s is not analysable" f.fn_name (Reg.name r)
+        | Instr.Halt -> Stop
+        | Instr.Alu _ | Instr.Alui _ | Instr.Shift _ | Instr.Li _ | Instr.Lw _ | Instr.Sw _
+        | Instr.Lb _ | Instr.Sb _ | Instr.Nop ->
+          if stop = fn_end then
+            error "%s: control falls off the end of the function" f.fn_name
+          else Fallthrough
+      in
+      { pb_first = first; pb_len = len; pb_term = term } :: blocks rest
+  in
+  blocks sorted_leaders
+
+(* --- interprocedural expansion ----------------------------------------- *)
+
+type builder = {
+  b_program : Program.t;
+  mutable b_nodes : node list;  (* reversed *)
+  mutable b_count : int;
+  mutable b_edges : (int * int) list;
+  mutable b_halts : int list;
+  protos : (string, proto_block list) Hashtbl.t;
+}
+
+let get_protos b (f : Program.func) =
+  match Hashtbl.find_opt b.protos f.fn_name with
+  | Some p -> p
+  | None ->
+    let p = analyze_function b.b_program f in
+    Hashtbl.add b.protos f.fn_name p;
+    p
+
+let add_node b ~first ~len ~context =
+  let id = b.b_count in
+  b.b_count <- id + 1;
+  b.b_nodes <- { id; first; len; context } :: b.b_nodes;
+  id
+
+let add_edge b src dst = b.b_edges <- (src, dst) :: b.b_edges
+
+(* Expands [f] under calling context [ctx]; returns the entry node id
+   and the ids of the blocks that return to the caller. *)
+let rec expand b (f : Program.func) ctx (stack : string list) : int * int list =
+  if List.mem f.Program.fn_name stack then
+    error "recursion through %s (the analysis requires an acyclic call graph)" f.fn_name;
+  let protos = get_protos b f in
+  let id_of_first = Hashtbl.create 16 in
+  List.iter
+    (fun pb ->
+      let id = add_node b ~first:pb.pb_first ~len:pb.pb_len ~context:ctx in
+      Hashtbl.add id_of_first pb.pb_first id)
+    protos;
+  let block_id first =
+    match Hashtbl.find_opt id_of_first first with
+    | Some id -> id
+    | None -> error "%s: no block starts at index %d" f.fn_name first
+  in
+  let returns = ref [] in
+  List.iter
+    (fun pb ->
+      let id = block_id pb.pb_first in
+      let next () = block_id (pb.pb_first + pb.pb_len) in
+      match pb.pb_term with
+      | Fallthrough -> add_edge b id (next ())
+      | Goto target -> add_edge b id (block_id target)
+      | Branch target ->
+        add_edge b id (block_id target);
+        if target <> pb.pb_first + pb.pb_len then add_edge b id (next ())
+      | Call callee_start ->
+        let callee =
+          match
+            List.find_opt
+              (fun (g : Program.func) -> g.fn_start = callee_start)
+              b.b_program.Program.functions
+          with
+          | Some g -> g
+          | None -> error "%s: jal into the middle of a function (index %d)" f.fn_name callee_start
+        in
+        let call_site = pb.pb_first + pb.pb_len - 1 in
+        let centry, cexits = expand b callee (call_site :: ctx) (f.fn_name :: stack) in
+        add_edge b id centry;
+        let cont = next () in
+        List.iter (fun e -> add_edge b e cont) cexits
+      | Return -> returns := id :: !returns
+      | Stop -> b.b_halts <- id :: b.b_halts)
+    protos;
+  (block_id f.fn_start, !returns)
+
+let build program =
+  let main =
+    match program.Program.functions with
+    | [] -> error "program has no functions"
+    | f :: _ -> f
+  in
+  let b =
+    {
+      b_program = program;
+      b_nodes = [];
+      b_count = 0;
+      b_edges = [];
+      b_halts = [];
+      protos = Hashtbl.create 8;
+    }
+  in
+  let entry, main_returns = expand b main [] [] in
+  let nodes = Array.of_list (List.rev b.b_nodes) in
+  let n = Array.length nodes in
+  let succ = Array.make n [] and pred = Array.make n [] in
+  let seen = Hashtbl.create (List.length b.b_edges) in
+  List.iter
+    (fun (u, v) ->
+      if not (Hashtbl.mem seen (u, v)) then begin
+        Hashtbl.add seen (u, v) ();
+        succ.(u) <- v :: succ.(u);
+        pred.(v) <- u :: pred.(v)
+      end)
+    b.b_edges;
+  Array.iteri (fun i l -> succ.(i) <- List.rev l) succ;
+  Array.iteri (fun i l -> pred.(i) <- List.rev l) pred;
+  (* A jr in main terminates the program just like halt. *)
+  let exits = b.b_halts @ main_returns in
+  if exits = [] then error "program has no exit (no halt reachable)";
+  { program; nodes; succ; pred; entry; exits }
+
+let node_count t = Array.length t.nodes
+let node t id = t.nodes.(id)
+let successors t id = t.succ.(id)
+let predecessors t id = t.pred.(id)
+
+let instruction_indices node = List.init node.len (fun k -> node.first + k)
+
+let addresses t node =
+  List.map (Program.address_of_index t.program) (instruction_indices node)
+
+let edges t =
+  let acc = ref [] in
+  Array.iteri (fun u vs -> List.iter (fun v -> acc := (u, v) :: !acc) vs) t.succ;
+  List.rev !acc
+
+let reverse_postorder t =
+  let n = Array.length t.nodes in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs u =
+    if not visited.(u) then begin
+      visited.(u) <- true;
+      List.iter dfs t.succ.(u);
+      order := u :: !order
+    end
+  in
+  dfs t.entry;
+  Array.of_list !order
+
+let pp fmt t =
+  Array.iter
+    (fun nd ->
+      let ctx =
+        match nd.context with
+        | [] -> ""
+        | c -> Printf.sprintf " ctx:%s" (String.concat "," (List.map string_of_int c))
+      in
+      Format.fprintf fmt "n%d [%d..%d]%s -> %s@." nd.id nd.first
+        (nd.first + nd.len - 1)
+        ctx
+        (String.concat " " (List.map (Printf.sprintf "n%d") t.succ.(nd.id))))
+    t.nodes

@@ -1,0 +1,56 @@
+(** Interprocedural control-flow graphs over assembled programs.
+
+    The graph is built by {e virtual inlining}: every call site expands
+    the callee's blocks into fresh nodes tagged with the call context,
+    while the underlying instruction addresses stay shared. Cache
+    analyses therefore see the real (physically shared) address stream
+    per calling context, and the IPET formulation needs no special
+    call/return pairing constraints — exactly the context mechanism of
+    Heptane-style WCET tools. Recursion is rejected.
+
+    Nodes are basic blocks: a context plus a contiguous instruction
+    range of the program. *)
+
+type node = {
+  id : int;
+  first : int;  (** index of the first instruction in the program *)
+  len : int;  (** number of instructions (>= 1) *)
+  context : int list;
+      (** call string: instruction indices of the active [jal]s,
+          innermost first; [[]] for code of [main] *)
+}
+
+type t = private {
+  program : Isa.Program.t;
+  nodes : node array;  (** indexed by [id] *)
+  succ : int list array;
+  pred : int list array;
+  entry : int;  (** node id *)
+  exits : int list;  (** nodes ending in [Halt] *)
+}
+
+exception Build_error of string
+
+val build : Isa.Program.t -> t
+(** @raise Build_error on recursion, a [jal] into the middle of a
+    function, a [jr] through a non-[ra] register, or code falling off
+    the end of a function. *)
+
+val node_count : t -> int
+val node : t -> int -> node
+val successors : t -> int -> int list
+val predecessors : t -> int -> int list
+
+val instruction_indices : node -> int list
+(** Program instruction indices covered by the node, in order. *)
+
+val addresses : t -> node -> int list
+(** Byte addresses of the node's instructions, in fetch order. *)
+
+val edges : t -> (int * int) list
+(** All edges as (source id, destination id), deduplicated. *)
+
+val reverse_postorder : t -> int array
+(** Node ids in reverse postorder from the entry. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type loop = {
+  header : int;
+  back_edges : (int * int) list;
+  entry_edges : (int * int) list;
+  body : int list;
+  bound : int;
+}
+
+exception Loop_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Loop_error s)) fmt
+
+let detect (g : Graph.t) =
+  let dom = Dominance.compute g in
+  let rpo = Graph.reverse_postorder g in
+  let pos = Array.make (Graph.node_count g) (-1) in
+  Array.iteri (fun i u -> pos.(u) <- i) rpo;
+  (* Classify edges: among reachable nodes, an edge u->h with
+     pos(h) <= pos(u) is retreating; a reducible graph has only
+     retreating edges whose target dominates their source. *)
+  let back_edges_by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (u, h) ->
+      if pos.(u) >= 0 && pos.(h) >= 0 && pos.(h) <= pos.(u) then
+        if Dominance.dominates dom h u then
+          Hashtbl.replace back_edges_by_header h
+            ((u, h) :: (Option.value (Hashtbl.find_opt back_edges_by_header h) ~default:[]))
+        else
+          error "irreducible control flow: retreating edge n%d -> n%d without domination" u h)
+    (Graph.edges g);
+  let bound_of header_node =
+    let first = (Graph.node g header_node).Graph.first in
+    match List.assoc_opt first g.Graph.program.Isa.Program.loop_bounds with
+    | Some b -> b
+    | None ->
+      error "loop header n%d (instruction %d) has no bound annotation" header_node first
+  in
+  (* The natural loop of header h: h plus every reachable node that
+     reaches a back-edge source without going through h. Unreachable
+     predecessors (dead code branching into the body) are excluded —
+     they execute never and would break the header-dominates-body
+     invariant downstream consumers rely on. *)
+  let natural_loop h sources =
+    let in_body = Hashtbl.create 16 in
+    Hashtbl.replace in_body h ();
+    let rec pull u =
+      if pos.(u) >= 0 && not (Hashtbl.mem in_body u) then begin
+        Hashtbl.replace in_body u ();
+        List.iter pull (Graph.predecessors g u)
+      end
+    in
+    List.iter pull sources;
+    Hashtbl.fold (fun k () acc -> k :: acc) in_body []
+  in
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) back_edges_by_header [] in
+  List.map
+    (fun h ->
+      let back_edges = Hashtbl.find back_edges_by_header h in
+      let body = List.sort compare (natural_loop h (List.map fst back_edges)) in
+      let body_set = Hashtbl.create 16 in
+      List.iter (fun u -> Hashtbl.replace body_set u ()) body;
+      let entry_edges =
+        List.filter (fun p -> not (Hashtbl.mem body_set p)) (Graph.predecessors g h)
+        |> List.map (fun p -> (p, h))
+      in
+      { header = h; back_edges; entry_edges; body; bound = bound_of h })
+    (List.sort compare headers)
+
+let loops_containing loops u = List.filter (fun l -> List.mem u l.body) loops

@@ -1,0 +1,26 @@
+(** Natural-loop detection with bound attachment.
+
+    Back edges are grouped per header into one natural loop; the loop
+    bound comes from the program's annotations (attached by the
+    compiler to the loop-header instruction). Bound semantics: the
+    total count of back-edge traversals is at most [bound] times the
+    count of loop entries — i.e. the body runs at most [bound] times
+    per entry, matching the compiler's loop shapes. *)
+
+type loop = {
+  header : int;  (** node id *)
+  back_edges : (int * int) list;
+  entry_edges : (int * int) list;  (** edges into the header from outside the body *)
+  body : int list;  (** node ids, header included, sorted *)
+  bound : int;
+}
+
+exception Loop_error of string
+
+val detect : Graph.t -> loop list
+(** Loops sorted by header id.
+    @raise Loop_error on an irreducible graph or a back edge whose
+    header carries no bound annotation. *)
+
+val loops_containing : loop list -> int -> loop list
+(** Loops whose body contains the given node. *)

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Cache Cache_analysis Cfg Fault Fmm Ipet List Mechanism Penalty Prob

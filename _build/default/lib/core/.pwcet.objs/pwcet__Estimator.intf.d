@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Cache Cache_analysis Cfg Fmm Isa Mechanism Prob

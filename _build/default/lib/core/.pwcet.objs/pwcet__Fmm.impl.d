@@ -1,0 +1,1 @@
+lib/core/fmm.ml: Array Cache Cache_analysis Format Ipet Mechanism Printf

@@ -1,0 +1,1 @@
+lib/core/fmm.mli: Cache Cfg Format Mechanism

@@ -1,0 +1,1 @@
+lib/core/mechanism.ml: Format String

@@ -1,0 +1,1 @@
+lib/core/mechanism.mli: Format

@@ -1,0 +1,1 @@
+lib/core/penalty.ml: Array Cache Fault Fmm List Mechanism Prob

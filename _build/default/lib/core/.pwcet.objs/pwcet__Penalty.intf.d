@@ -1,0 +1,1 @@
+lib/core/penalty.mli: Fmm Prob

@@ -1,0 +1,1 @@
+lib/core/srb_refined.ml: Array Cache Cache_analysis Fault Float Fmm Ipet List Mechanism Numeric Penalty Prob

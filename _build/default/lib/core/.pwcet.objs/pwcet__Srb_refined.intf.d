@@ -1,0 +1,1 @@
+lib/core/srb_refined.mli: Cache Cfg

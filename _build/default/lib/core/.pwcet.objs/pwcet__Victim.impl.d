@@ -1,0 +1,1 @@
+lib/core/victim.ml: Cache Float Numeric Prob

@@ -1,0 +1,1 @@
+lib/core/victim.mli: Cache Prob

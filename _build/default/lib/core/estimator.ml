@@ -1,0 +1,38 @@
+type task = {
+  graph : Cfg.Graph.t;
+  loops : Cfg.Loop.loop list;
+  config : Cache.Config.t;
+  chmc : Cache_analysis.Chmc.t;
+  wcet_ff : int;
+}
+
+type estimate = {
+  task : task;
+  mechanism : Mechanism.t;
+  pfail : float;
+  pbf : float;
+  fmm : Fmm.t;
+  penalty : Prob.Dist.t;
+}
+
+let prepare ~program ~config ?(engine = `Path) ?(exact = false) () =
+  let graph = Cfg.Graph.build program in
+  let loops = Cfg.Loop.detect graph in
+  let chmc = Cache_analysis.Chmc.analyze ~graph ~loops ~config () in
+  let result = Ipet.Wcet.compute ~graph ~loops ~chmc ~config ~engine ~exact () in
+  { graph; loops; config; chmc; wcet_ff = result.Ipet.Wcet.wcet }
+
+let estimate task ~pfail ~mechanism ?(engine = `Path) ?(exact = false) () =
+  let pbf = Fault.Model.pbf_of_config ~pfail task.config in
+  let fmm =
+    Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine ~exact ()
+  in
+  let penalty = Penalty.total_distribution ~fmm ~pbf () in
+  { task; mechanism; pfail; pbf; fmm; penalty }
+
+let pwcet e ~target = e.task.wcet_ff + Prob.Dist.quantile e.penalty ~target
+
+let exceedance_curve e =
+  List.map (fun (x, p) -> (e.task.wcet_ff + x, p)) (Prob.Dist.exceedance_curve e.penalty)
+
+let fault_free_wcet task = task.wcet_ff

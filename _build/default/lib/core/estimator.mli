@@ -1,0 +1,50 @@
+(** End-to-end probabilistic WCET estimation — the paper's full pipeline.
+
+    [prepare] runs the fault-free analysis (CFG recovery, cache
+    analysis, IPET) once per program/configuration. [estimate] adds the
+    fault dimension for one mechanism: FMM, per-set penalty
+    distributions, cross-set convolution. The resulting pWCET
+    distribution is [wcet_ff + penalty]; {!pwcet} reads the exceedance
+    quantile at the target probability (the paper uses [1e-15]). *)
+
+type task = private {
+  graph : Cfg.Graph.t;
+  loops : Cfg.Loop.loop list;
+  config : Cache.Config.t;
+  chmc : Cache_analysis.Chmc.t;
+  wcet_ff : int;  (** fault-free WCET, cycles *)
+}
+
+type estimate = private {
+  task : task;
+  mechanism : Mechanism.t;
+  pfail : float;
+  pbf : float;  (** derived block-failure probability (eq. 1) *)
+  fmm : Fmm.t;
+  penalty : Prob.Dist.t;  (** total fault-induced penalty distribution *)
+}
+
+val prepare :
+  program:Isa.Program.t ->
+  config:Cache.Config.t ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  unit ->
+  task
+
+val estimate :
+  task ->
+  pfail:float ->
+  mechanism:Mechanism.t ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  unit ->
+  estimate
+
+val pwcet : estimate -> target:float -> int
+(** pWCET at the target exceedance probability, in cycles. *)
+
+val exceedance_curve : estimate -> (int * float) list
+(** [(wcet_value, P(WCET >= value))] staircase — Fig. 3's curves. *)
+
+val fault_free_wcet : task -> int

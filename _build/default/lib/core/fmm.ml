@@ -1,0 +1,119 @@
+module Chmc = Cache_analysis.Chmc
+module Srb_analysis = Cache_analysis.Srb_analysis
+
+type t = {
+  misses : int array array;  (* sets x (ways + 1); column 0 is all zeros *)
+  config : Cache.Config.t;
+  mechanism : Mechanism.t;
+}
+
+let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) () =
+  let n_sets = config.Cache.Config.sets and ways = config.Cache.Config.ways in
+  let baseline = Chmc.analyze ~graph ~loops ~config () in
+  let srb =
+    match mechanism with
+    | Mechanism.Shared_reliable_buffer -> Some (Srb_analysis.analyze ~graph ~config)
+    | Mechanism.No_protection | Mechanism.Reliable_way -> None
+  in
+  let used = Array.make n_sets false in
+  Chmc.fold_refs
+    (fun ~node ~offset _ () -> used.(Chmc.cache_set baseline ~node ~offset) <- true)
+    baseline ();
+  let misses = Array.make_matrix n_sets (ways + 1) 0 in
+  for set = 0 to n_sets - 1 do
+    if used.(set) then begin
+      (* With RW the all-faulty situation cannot occur (the reliable way
+         survives); the last meaningful column is W-1. *)
+      let max_f = match mechanism with Mechanism.Reliable_way -> ways - 1 | _ -> ways in
+      let previous : (Chmc.classification list * int) option ref = ref None in
+      for f = 1 to max_f do
+        let degraded =
+          if f < ways then begin
+            let chmc_f =
+              Chmc.analyze ~graph ~loops ~config
+                ~assoc:(fun s -> if s = set then ways - f else ways)
+                ~only_sets:[ set ] ()
+            in
+            fun ~node ~offset -> Chmc.classification chmc_f ~node ~offset
+          end
+          else
+            match srb with
+            | Some srb_result ->
+              fun ~node ~offset ->
+                if Srb_analysis.always_hit srb_result ~node ~offset then Chmc.Always_hit
+                else Chmc.Always_miss
+            | None -> fun ~node:_ ~offset:_ -> Chmc.Always_miss
+        in
+        (* Successive fault counts often leave the classification of the
+           set unchanged; reuse the ILP bound when they do. *)
+        let signature =
+          Chmc.fold_refs
+            (fun ~node ~offset _ acc ->
+              if Chmc.cache_set baseline ~node ~offset = set then degraded ~node ~offset :: acc
+              else acc)
+            baseline []
+        in
+        let value =
+          match !previous with
+          | Some (prev_sig, prev_value) when prev_sig = signature -> prev_value
+          | _ ->
+            let v =
+              Ipet.Delta.extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets:[ set ] ~engine ~exact ()
+            in
+            previous := Some (signature, v);
+            v
+        in
+        (* The map is monotone in the fault count by construction;
+           enforce it against any relaxation tie-break wobble. *)
+        misses.(set).(f) <- max value misses.(set).(f - 1)
+      done;
+      if max_f < ways then misses.(set).(ways) <- misses.(set).(max_f)
+    end
+  done;
+  { misses; config; mechanism }
+
+let of_table ~config ~mechanism table =
+  if Array.length table <> config.Cache.Config.sets then
+    invalid_arg "Fmm.of_table: wrong number of rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> config.Cache.Config.ways + 1 then
+        invalid_arg "Fmm.of_table: wrong row width";
+      if row.(0) <> 0 then invalid_arg "Fmm.of_table: column 0 must be zero";
+      for f = 1 to config.Cache.Config.ways do
+        if row.(f) < row.(f - 1) then invalid_arg "Fmm.of_table: non-monotone row"
+      done)
+    table;
+  { misses = Array.map Array.copy table; config; mechanism }
+
+let misses t ~set ~faulty =
+  if set < 0 || set >= Array.length t.misses then invalid_arg "Fmm.misses: bad set";
+  if faulty < 0 || faulty > t.config.Cache.Config.ways then invalid_arg "Fmm.misses: bad count";
+  t.misses.(set).(faulty)
+
+let config t = t.config
+let mechanism t = t.mechanism
+
+let max_penalty_misses t =
+  let last =
+    match t.mechanism with
+    | Mechanism.Reliable_way -> t.config.Cache.Config.ways - 1
+    | _ -> t.config.Cache.Config.ways
+  in
+  Array.fold_left (fun acc row -> acc + row.(last)) 0 t.misses
+
+let pp fmt t =
+  let ways = t.config.Cache.Config.ways in
+  Format.fprintf fmt "      ";
+  for f = 1 to ways do
+    Format.fprintf fmt "%8s" (Printf.sprintf "%d faulty" f)
+  done;
+  Format.fprintf fmt "@.";
+  Array.iteri
+    (fun s row ->
+      Format.fprintf fmt "set %2d" s;
+      for f = 1 to ways do
+        Format.fprintf fmt "%8d" row.(f)
+      done;
+      Format.fprintf fmt "@.")
+    t.misses

@@ -1,0 +1,49 @@
+(** The Fault Miss Map (paper Fig. 1a and Section II-C).
+
+    [misses t ~set ~faulty] upper-bounds the number of {e fault-induced}
+    additional misses the program can suffer when [faulty] blocks of
+    cache set [set] are disabled, relative to the fault-free analysis.
+    Entries are in misses; multiply by the configuration's miss penalty
+    for cycles.
+
+    Mechanism variants (Section III-B):
+    - {b RW}: the all-faulty column can never materialise (the reliable
+      way survives); it is stored as the [W-1] column's bound would
+      dictate but is simply never weighted by the penalty distribution.
+    - {b SRB}: the all-faulty column is recomputed with the references
+      proven always-hit by the SRB analysis removed. *)
+
+type t
+
+val compute :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  config:Cache.Config.t ->
+  mechanism:Mechanism.t ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  unit ->
+  t
+(** Runs the fault-free analysis once, then one degraded analysis +
+    miss-delta bound per (referenced set, fault count). [engine] picks
+    the bounding engine (tree-based path engine by default, or the IPET
+    ILP); [exact] selects branch-and-bound when the ILP engine is
+    used. *)
+
+val of_table : config:Cache.Config.t -> mechanism:Mechanism.t -> int array array -> t
+(** Wraps an explicit [sets x (ways+1)] miss table (column 0 must be
+    zero, rows monotone) — for worked examples and tests.
+    @raise Invalid_argument on bad dimensions or non-monotone rows. *)
+
+val misses : t -> set:int -> faulty:int -> int
+(** @raise Invalid_argument outside [0 <= set < S], [0 <= faulty <= W]. *)
+
+val config : t -> Cache.Config.t
+val mechanism : t -> Mechanism.t
+
+val max_penalty_misses : t -> int
+(** Sum over sets of the worst column — the support ceiling of the total
+    penalty distribution. *)
+
+val pp : Format.formatter -> t -> unit
+(** The tabular rendering of Fig. 1a. *)

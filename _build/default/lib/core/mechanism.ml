@@ -1,0 +1,26 @@
+type t =
+  | No_protection
+  | Reliable_way
+  | Shared_reliable_buffer
+
+let all = [ No_protection; Shared_reliable_buffer; Reliable_way ]
+
+let name = function
+  | No_protection -> "no protection"
+  | Reliable_way -> "reliable way (RW)"
+  | Shared_reliable_buffer -> "shared reliable buffer (SRB)"
+
+let short_name = function
+  | No_protection -> "none"
+  | Reliable_way -> "rw"
+  | Shared_reliable_buffer -> "srb"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "none" | "no-protection" | "unprotected" -> Some No_protection
+  | "rw" | "reliable-way" -> Some Reliable_way
+  | "srb" | "shared-reliable-buffer" -> Some Shared_reliable_buffer
+  | _ -> None
+
+let equal a b = a = b
+let pp fmt t = Format.pp_print_string fmt (name t)

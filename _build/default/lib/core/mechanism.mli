@@ -1,0 +1,18 @@
+(** The hardware configurations the paper compares (Section III-A):
+    no protection, the Reliable Way, and the Shared Reliable Buffer. *)
+
+type t =
+  | No_protection
+  | Reliable_way
+  | Shared_reliable_buffer
+
+val all : t list
+(** In the paper's presentation order: no protection, SRB, RW. *)
+
+val name : t -> string
+val short_name : t -> string
+(** ["none"], ["srb"], ["rw"]. *)
+
+val of_string : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

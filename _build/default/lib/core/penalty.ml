@@ -1,0 +1,22 @@
+let set_distribution ~fmm ~pbf ~set =
+  let config = Fmm.config fmm in
+  let ways = config.Cache.Config.ways in
+  let penalty = Cache.Config.miss_penalty config in
+  let pmf =
+    match Fmm.mechanism fmm with
+    | Mechanism.Reliable_way -> Fault.Model.way_distribution_rw ~ways ~pbf
+    | Mechanism.No_protection | Mechanism.Shared_reliable_buffer ->
+      Fault.Model.way_distribution ~ways ~pbf
+  in
+  let points = ref [] in
+  Array.iteri
+    (fun w p -> if p > 0.0 then points := (Fmm.misses fmm ~set ~faulty:w * penalty, p) :: !points)
+    pmf;
+  Prob.Dist.of_points !points
+
+let total_distribution ?max_points ~fmm ~pbf () =
+  let config = Fmm.config fmm in
+  let dists =
+    List.init config.Cache.Config.sets (fun set -> set_distribution ~fmm ~pbf ~set)
+  in
+  Prob.Dist.convolve_all ?max_points dists

@@ -1,0 +1,13 @@
+(** Fault-induced penalty distributions (paper Fig. 1b).
+
+    The per-set distribution has at most [W+1] points: penalty
+    [FMM[s][w] * miss_penalty] cycles with probability [pwf(w)]
+    (eq. 2, or eq. 3 under RW, where the all-faulty point disappears).
+    Sets fail independently, so the program-level distribution is the
+    convolution across sets. *)
+
+val set_distribution : fmm:Fmm.t -> pbf:float -> set:int -> Prob.Dist.t
+(** The penalty distribution of one cache set. *)
+
+val total_distribution : ?max_points:int -> fmm:Fmm.t -> pbf:float -> unit -> Prob.Dist.t
+(** Convolution over all sets. *)

@@ -1,0 +1,43 @@
+type row = {
+  name : string;
+  wcet_ff : int;
+  pwcet_none : int;
+  pwcet_srb : int;
+  pwcet_rw : int;
+}
+
+let gain row ~protected =
+  if row.pwcet_none = 0 then 0.0
+  else float_of_int (row.pwcet_none - protected) /. float_of_int row.pwcet_none
+
+let gain_srb row = gain row ~protected:row.pwcet_srb
+let gain_rw row = gain row ~protected:row.pwcet_rw
+
+let normalized row =
+  let n = float_of_int row.pwcet_none in
+  (float_of_int row.wcet_ff /. n, float_of_int row.pwcet_srb /. n, float_of_int row.pwcet_rw /. n)
+
+(* Two pWCETs are "equal" up to half a percent of the no-protection
+   baseline: analysis granularity, not real differences. *)
+let category row =
+  let tol = max 1 (row.pwcet_none / 200) in
+  let close a b = abs (a - b) <= tol in
+  let rw_ff = close row.pwcet_rw row.wcet_ff in
+  let srb_ff = close row.pwcet_srb row.wcet_ff in
+  if rw_ff && srb_ff then 1
+  else if rw_ff then 2
+  else if close row.pwcet_rw row.pwcet_srb then 3
+  else 4
+
+let average_gains rows =
+  let n = float_of_int (max 1 (List.length rows)) in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  (sum gain_rw /. n, sum gain_srb /. n)
+
+let min_gain rows f =
+  match rows with
+  | [] -> invalid_arg "Report_data.min_gain: empty"
+  | first :: rest ->
+    List.fold_left
+      (fun (name, g) r -> if f r < g then (r.name, f r) else (name, g))
+      (first.name, f first) rest

@@ -1,0 +1,52 @@
+(** Refined pWCET estimation for the SRB — an implementation of the
+    paper's future-work direction (Section VI: "a more precise pWCET
+    estimation technique for the SRB could be devised to limit the
+    conservatism of the proposed technique").
+
+    The conservatism of the paper's SRB analysis comes from assuming
+    the buffer is clobbered by {e any} interleaved reference. But the
+    SRB is only consulted for fully-faulty ("dead") sets, and dead sets
+    are rare: at the paper's operating point
+    [P(a set is dead) = pbf^W ~ 2.6e-8], so two dead sets at once carry
+    probability [~8e-14]. We therefore split on the number of dead
+    sets [D] and use, for each case, the tightest sound bound:
+
+    - [D = 0]: the ordinary per-set penalty columns [f < W]
+      (sub-distribution of mass [(1 - pwf(W))^S]);
+    - [D = 1], dead set [s]: an {e exclusive} SRB analysis of [s]
+      (only references to [s] touch the buffer — true in this case)
+      bounds the dead-set misses, other sets use their [f < W] columns;
+    - [D = 2], dead pair [{s1, s2}]: a pair-exclusive SRB analysis
+      (the two dead sets share and contend for the buffer, healthy
+      sets never touch it);
+    - [D >= 3]: fall back to the paper's conservative SRB distribution,
+      capped by [P(D >= 3)] (about [1e-20] at the paper's operating
+      point — far below the [1e-15] target).
+
+    The exceedance bound is the sum of the three terms, each a
+    sub-probability exceedance — sound because the cases partition the
+    sample space and each case's penalty is bounded by its own sound
+    per-pattern bound. *)
+
+type t
+
+val compute :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  config:Cache.Config.t ->
+  pbf:float ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?max_points:int ->
+  unit ->
+  t
+
+val exceedance : t -> int -> float
+(** Upper bound on [P(fault-induced penalty > x)] in cycles. *)
+
+val quantile : t -> target:float -> int
+(** Smallest penalty with {!exceedance} at or below the target. *)
+
+val exclusive_dead_set_misses : t -> int array
+(** The per-set miss bounds of the [D = 1] case (for reporting):
+    entry [s] bounds the fault-induced misses when [s] is the only
+    dead set. *)

@@ -1,0 +1,20 @@
+let total_blocks (config : Cache.Config.t) =
+  config.Cache.Config.sets * config.Cache.Config.ways
+
+let prob_overflow config ~pbf ~entries =
+  Numeric.Binomial.survival ~n:(total_blocks config) ~p:pbf entries
+
+let exceedance ~none_penalty ~overflow x =
+  Float.min overflow (Prob.Dist.exceedance none_penalty x)
+
+let quantile ~none_penalty ~overflow ~target =
+  if overflow <= target then 0 else Prob.Dist.quantile none_penalty ~target
+
+let min_entries_for_target config ~pbf ~target =
+  let n = total_blocks config in
+  let rec search entries =
+    if entries > n then n
+    else if prob_overflow config ~pbf ~entries <= target then entries
+    else search (entries + 1)
+  in
+  search 0

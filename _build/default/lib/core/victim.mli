@@ -1,0 +1,29 @@
+(** pWCET analysis of the Reliable Victim Cache (RVC) — the
+    related-work mechanism of the paper's Section V (Abella et al.,
+    HiPEAC 2011), implemented here as an extension for cost/benefit
+    comparison against RW and SRB.
+
+    An RVC of [entries] supplementary resilient lines repairs up to
+    [entries] faulty blocks at boot. The sound exceedance bound used:
+
+    [P(penalty > x) <= min(P(#faults > entries), P_none(penalty > x))]
+
+    because with at most [entries] faults the cache is exactly
+    fault-free, and otherwise the residual faults are a subset of the
+    original ones (the no-protection distribution dominates). The
+    per-pattern bound [penalty_rvc(F) <= penalty_none(repair(F))] is
+    validated against the concrete simulator in the tests. *)
+
+val prob_overflow : Cache.Config.t -> pbf:float -> entries:int -> float
+(** [P(total faulty blocks > entries)]; binomial over [S*W] blocks. *)
+
+val exceedance : none_penalty:Prob.Dist.t -> overflow:float -> int -> float
+(** The RVC penalty exceedance bound at a penalty value. *)
+
+val quantile : none_penalty:Prob.Dist.t -> overflow:float -> target:float -> int
+(** Smallest penalty whose exceedance bound meets the target. *)
+
+val min_entries_for_target : Cache.Config.t -> pbf:float -> target:float -> int
+(** Smallest RVC size that fully masks faults at the target probability
+    (i.e. [prob_overflow <= target]) — the hardware-cost figure to set
+    against RW's [S] hardened blocks and the SRB's single one. *)

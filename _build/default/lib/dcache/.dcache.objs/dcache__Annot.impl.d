@@ -1,0 +1,1 @@
+lib/dcache/annot.ml: Cfg Hashtbl Isa List Minic

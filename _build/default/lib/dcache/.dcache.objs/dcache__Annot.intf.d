@@ -1,0 +1,1 @@
+lib/dcache/annot.mli: Cfg Minic

@@ -1,0 +1,1 @@
+lib/dcache/danalysis.ml: Annot Array Cache Cache_analysis Cfg Int List Minic Option Set

@@ -1,0 +1,1 @@
+lib/dcache/danalysis.mli: Annot Cache Cache_analysis Cfg

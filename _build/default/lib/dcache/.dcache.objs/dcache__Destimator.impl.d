@@ -1,0 +1,1 @@
+lib/dcache/destimator.ml: Annot Array Cache Cache_analysis Cfg Danalysis Fault Ipet List Minic Option Prob Pwcet

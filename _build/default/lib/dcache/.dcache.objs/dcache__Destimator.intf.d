@@ -1,0 +1,1 @@
+lib/dcache/destimator.mli: Annot Cache Cache_analysis Cfg Danalysis Minic Prob Pwcet

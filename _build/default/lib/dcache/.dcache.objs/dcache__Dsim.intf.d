@@ -1,0 +1,1 @@
+lib/dcache/dsim.mli: Cache

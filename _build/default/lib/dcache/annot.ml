@@ -1,0 +1,25 @@
+type t = {
+  graph : Cfg.Graph.t;
+  by_index : (int, Minic.Compile.data_target) Hashtbl.t;
+}
+
+let build graph refs =
+  let by_index = Hashtbl.create (List.length refs) in
+  List.iter (fun (index, target) -> Hashtbl.replace by_index index target) refs;
+  { graph; by_index }
+
+let instruction_index t ~node ~offset = (Cfg.Graph.node t.graph node).Cfg.Graph.first + offset
+
+let target t ~node ~offset = Hashtbl.find_opt t.by_index (instruction_index t ~node ~offset)
+
+let is_load t ~node ~offset =
+  match Isa.Program.instruction t.graph.Cfg.Graph.program (instruction_index t ~node ~offset) with
+  | Isa.Instr.Lw _ | Isa.Instr.Lb _ -> true
+  | _ -> false
+
+let cached_load t ~node ~offset =
+  if not (is_load t ~node ~offset) then None
+  else
+    match target t ~node ~offset with
+    | Some Minic.Compile.Data_stack | None -> None
+    | Some t -> Some t

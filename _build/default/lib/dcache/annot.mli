@@ -1,0 +1,24 @@
+(** Data-reference annotations projected onto the expanded CFG.
+
+    The compiler records, per memory instruction, where its effective
+    address lives ({!Minic.Compile.data_target}). This module indexes
+    those records by (node, offset) so the data-cache analysis can walk
+    the graph exactly like the instruction-cache one. The same
+    instruction appears in several nodes (one per calling context) and
+    shares its annotation, mirroring the physically-shared code. *)
+
+type t
+
+val build : Cfg.Graph.t -> (int * Minic.Compile.data_target) list -> t
+
+val target : t -> node:int -> offset:int -> Minic.Compile.data_target option
+(** [None] for instructions that are not loads/stores. *)
+
+val is_load : t -> node:int -> offset:int -> bool
+(** Whether the instruction is a load ([Lw]/[Lb]) — the data cache is
+    read-allocate/write-through-no-allocate, so only loads are timed
+    and only loads update the abstract states. *)
+
+val cached_load : t -> node:int -> offset:int -> Minic.Compile.data_target option
+(** The target when the instruction is a load whose address is cached
+    (not a stack/scratchpad access); [None] otherwise. *)

@@ -1,0 +1,176 @@
+module Acs = Cache_analysis.Acs
+module Chmc = Cache_analysis.Chmc
+module IntSet = Set.Make (Int)
+
+(* What a cached data load can touch. *)
+type kind =
+  | Precise of int  (* single memory block *)
+  | Imprecise of int list  (* every block of the range *)
+
+type t = {
+  classes : Chmc.classification option array array;
+  kinds : kind option array array;
+  config : Cache.Config.t;
+  reachable : bool array;
+}
+
+let blocks_of_range config ~base ~bytes =
+  let first = Cache.Config.block_of_address config base in
+  let last = Cache.Config.block_of_address config (base + bytes - 1) in
+  List.init (last - first + 1) (fun k -> first + k)
+
+let kind_of config = function
+  | Minic.Compile.Data_exact addr -> Precise (Cache.Config.block_of_address config addr)
+  | Minic.Compile.Data_range { base; bytes } -> (
+    match blocks_of_range config ~base ~bytes with
+    | [ b ] -> Precise b
+    | bs -> Imprecise bs)
+  | Minic.Compile.Data_stack -> assert false
+
+let analyze ~graph ~loops ~config ~annot ?assoc ?only_sets () =
+  let ways = config.Cache.Config.ways in
+  let assoc = match assoc with Some f -> f | None -> fun _ -> ways in
+  let n = Cfg.Graph.node_count graph in
+  let reachable = Array.make n false in
+  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+  (* Load kinds per node/offset. *)
+  let kinds =
+    Array.init n (fun u ->
+        let len = (Cfg.Graph.node graph u).Cfg.Graph.len in
+        Array.init len (fun k ->
+            Option.map (kind_of config) (Annot.cached_load annot ~node:u ~offset:k)))
+  in
+  let set_of_block = Cache.Config.set_of_block config in
+  (* Distinct possibly-touched blocks per cache set over a node set. *)
+  let conflicts nodes =
+    let per_set = Array.make config.Cache.Config.sets IntSet.empty in
+    List.iter
+      (fun u ->
+        Array.iter
+          (function
+            | Some (Precise b) -> per_set.(set_of_block b) <- IntSet.add b per_set.(set_of_block b)
+            | Some (Imprecise bs) ->
+              List.iter (fun b -> per_set.(set_of_block b) <- IntSet.add b per_set.(set_of_block b)) bs
+            | None -> ())
+          kinds.(u))
+      nodes;
+    per_set
+  in
+  let reachable_nodes = List.filter (fun u -> reachable.(u)) (List.init n (fun u -> u)) in
+  let global_conflicts = conflicts reachable_nodes in
+  let loop_conflicts =
+    List.map (fun (l : Cfg.Loop.loop) -> (l, conflicts l.Cfg.Loop.body)) loops
+  in
+  (* Sets actually touched. *)
+  let used =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc k ->
+            match k with
+            | Some (Precise b) -> IntSet.add (set_of_block b) acc
+            | Some (Imprecise bs) ->
+              List.fold_left (fun acc b -> IntSet.add (set_of_block b) acc) acc bs
+            | None -> acc)
+          acc row)
+      IntSet.empty kinds
+  in
+  let used =
+    match only_sets with None -> used | Some keep -> IntSet.inter used (IntSet.of_list keep)
+  in
+  let classes = Array.init n (fun u -> Array.make (Array.length kinds.(u)) None) in
+  IntSet.iter
+    (fun set ->
+      let assoc_s = assoc set in
+      (* Must fixpoint restricted to this set. *)
+      let step acs = function
+        | Some (Precise b) when set_of_block b = set -> Acs.must_update ~assoc:assoc_s acs b
+        | Some (Imprecise bs) when List.exists (fun b -> set_of_block b = set) bs ->
+          Acs.must_age_all ~assoc:assoc_s acs
+        | _ -> acs
+      in
+      let transfer u acs = Array.fold_left step acs kinds.(u) in
+      let must_in =
+        Cache_analysis.Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer
+          ~join:Acs.must_join ~equal:Acs.equal
+      in
+      for u = 0 to n - 1 do
+        if reachable.(u) then begin
+          match must_in.(u) with
+          | None -> ()
+          | Some acs0 ->
+            let acs = ref acs0 in
+            Array.iteri
+              (fun k kind ->
+                match kind with
+                | Some (Precise b) when set_of_block b = set ->
+                  let hit = Acs.mem !acs b in
+                  let cls =
+                    if hit then Chmc.Always_hit
+                    else if assoc_s > 0 && IntSet.cardinal global_conflicts.(set) <= assoc_s
+                    then Chmc.First_miss Chmc.Global
+                    else begin
+                      let enclosing =
+                        List.filter
+                          (fun ((l : Cfg.Loop.loop), _) -> List.mem u l.Cfg.Loop.body)
+                          loop_conflicts
+                      in
+                      let by_size_desc =
+                        List.sort
+                          (fun ((a : Cfg.Loop.loop), _) (b, _) ->
+                            compare (List.length b.Cfg.Loop.body) (List.length a.Cfg.Loop.body))
+                          enclosing
+                      in
+                      match
+                        List.find_opt
+                          (fun (_, c) -> assoc_s > 0 && IntSet.cardinal c.(set) <= assoc_s)
+                          by_size_desc
+                      with
+                      | Some (l, _) -> Chmc.First_miss (Chmc.Loop l.Cfg.Loop.header)
+                      | None -> Chmc.Not_classified
+                    end
+                  in
+                  classes.(u).(k) <- Some cls;
+                  acs := step !acs kind
+                | Some _ -> acs := step !acs kind
+                | None -> ())
+              kinds.(u)
+        end
+      done)
+    used;
+  (* Imprecise loads are NC regardless of set. *)
+  for u = 0 to n - 1 do
+    if reachable.(u) then
+      Array.iteri
+        (fun k kind ->
+          match kind with
+          | Some (Imprecise _) -> classes.(u).(k) <- Some Chmc.Not_classified
+          | _ -> ())
+        kinds.(u)
+  done;
+  { classes; kinds; config; reachable }
+
+let classification t ~node ~offset = t.classes.(node).(offset)
+
+let cache_set t ~node ~offset =
+  match t.kinds.(node).(offset) with
+  | Some (Precise b) -> Some (Cache.Config.set_of_block t.config b)
+  | Some (Imprecise _) | None -> None
+
+let touched_sets t ~node ~offset =
+  match t.kinds.(node).(offset) with
+  | Some (Precise b) -> [ Cache.Config.set_of_block t.config b ]
+  | Some (Imprecise bs) ->
+    List.sort_uniq compare (List.map (Cache.Config.set_of_block t.config) bs)
+  | None -> []
+
+let fold_loads f t init =
+  let acc = ref init in
+  Array.iteri
+    (fun u row ->
+      if t.reachable.(u) then
+        Array.iteri
+          (fun k cls -> match cls with Some c -> acc := f ~node:u ~offset:k c !acc | None -> ())
+          row)
+    t.classes;
+  !acc

@@ -1,0 +1,46 @@
+(** Data-cache CHMC — the paper's analysis transposed to data caches
+    (its Section VI future-work direction).
+
+    The modelled data cache is read-allocate, write-through with a
+    non-blocking write buffer: stores cost no time and do not disturb
+    the LRU state, so only loads are classified. Loads come in two
+    precisions (from the compiler's {!Minic.Compile.data_target}
+    annotations):
+
+    - {e precise}: global scalars, and array accesses whose whole array
+      fits in one cache block — analysed exactly like instruction
+      fetches (Must + conflict-set persistence);
+    - {e imprecise}: array accesses spanning several blocks. They are
+      classified not-classified (costed as misses) and treated by the
+      Must analysis as unknown accesses that age every tracked block,
+      and by the persistence criterion as touching every block of the
+      array — both conservative.
+
+    Stack accesses go to the scratchpad and are not classified. *)
+
+type t
+
+val analyze :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  config:Cache.Config.t ->
+  annot:Annot.t ->
+  ?assoc:(int -> int) ->
+  ?only_sets:int list ->
+  unit ->
+  t
+(** Same override knobs as {!Cache_analysis.Chmc.analyze}, for the
+    data-cache FMM. *)
+
+val classification : t -> node:int -> offset:int -> Cache_analysis.Chmc.classification option
+(** [None] when the instruction is not a cached data load. *)
+
+val cache_set : t -> node:int -> offset:int -> int option
+(** The cache set of a precise load; [None] for imprecise ones. *)
+
+val touched_sets : t -> node:int -> offset:int -> int list
+(** Sets a cached load can touch (singleton for precise loads). *)
+
+val fold_loads :
+  (node:int -> offset:int -> Cache_analysis.Chmc.classification -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over reachable cached loads. *)

@@ -1,0 +1,227 @@
+module Chmc = Cache_analysis.Chmc
+module Acs = Cache_analysis.Acs
+module Dist = Prob.Dist
+module PE = Ipet.Path_engine
+
+type task = {
+  graph : Cfg.Graph.t;
+  loops : Cfg.Loop.loop list;
+  iconfig : Cache.Config.t;
+  dconfig : Cache.Config.t;
+  ichmc : Chmc.t;
+  dchmc : Danalysis.t;
+  annot : Annot.t;
+  wcet_ff : int;
+}
+
+type estimate = {
+  task : task;
+  imech : Pwcet.Mechanism.t;
+  dmech : Pwcet.Mechanism.t;
+  ifmm : Pwcet.Fmm.t;
+  dfmm : Pwcet.Fmm.t;
+  penalty : Dist.t;
+}
+
+let path_scope = function
+  | Chmc.Global -> PE.Whole_program
+  | Chmc.Loop header -> PE.Loop_scope header
+
+(* Per-execution data-fetch cost and one-shots of one node. *)
+let data_node_costs ~graph ~dchmc ~dconfig u =
+  let node = Cfg.Graph.node graph u in
+  let hit = dconfig.Cache.Config.hit_latency in
+  let miss = dconfig.Cache.Config.miss_latency in
+  let penalty = Cache.Config.miss_penalty dconfig in
+  let per_exec = ref 0 in
+  let shots = ref [] in
+  for k = 0 to node.Cfg.Graph.len - 1 do
+    match Danalysis.classification dchmc ~node:u ~offset:k with
+    | None -> ()
+    | Some Chmc.Always_hit -> per_exec := !per_exec + hit
+    | Some (Chmc.First_miss scope) ->
+      per_exec := !per_exec + hit;
+      shots := (scope, penalty) :: !shots
+    | Some (Chmc.Always_miss | Chmc.Not_classified) -> per_exec := !per_exec + miss
+  done;
+  (!per_exec, !shots)
+
+let combined_wcet ~graph ~loops ~iconfig ~dconfig ~ichmc ~dchmc =
+  let n = Cfg.Graph.node_count graph in
+  let reachable = Array.make n false in
+  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+  let cost = Array.make n 0 in
+  let one_shots = ref [] in
+  for u = 0 to n - 1 do
+    if reachable.(u) then begin
+      let icost, ishots = Ipet.Wcet.node_costs ~graph ~chmc:ichmc ~config:iconfig u in
+      let dcost, dshots = data_node_costs ~graph ~dchmc ~dconfig u in
+      cost.(u) <- icost + dcost;
+      List.iter
+        (fun (scope, amount) -> one_shots := (path_scope scope, amount) :: !one_shots)
+        (ishots @ dshots)
+    end
+  done;
+  PE.longest ~graph ~loops ~node_cost:(fun u -> cost.(u)) ~one_shots:!one_shots
+
+let prepare ~compiled ~iconfig ~dconfig () =
+  let program = compiled.Minic.Compile.program in
+  let graph = Cfg.Graph.build program in
+  let loops = Cfg.Loop.detect graph in
+  let ichmc = Chmc.analyze ~graph ~loops ~config:iconfig () in
+  let annot = Annot.build graph compiled.Minic.Compile.data_refs in
+  let dchmc = Danalysis.analyze ~graph ~loops ~config:dconfig ~annot () in
+  let wcet_ff = combined_wcet ~graph ~loops ~iconfig ~dconfig ~ichmc ~dchmc in
+  { graph; loops; iconfig; dconfig; ichmc; dchmc; annot; wcet_ff }
+
+(* --- data-cache fault miss map ------------------------------------------- *)
+
+let per_exec_miss = function
+  | Chmc.Always_miss | Chmc.Not_classified -> 1
+  | Chmc.Always_hit | Chmc.First_miss _ -> 0
+
+(* Miss-delta bound for precise data loads of [set], via the path
+   engine — the data-cache counterpart of Ipet.Delta. *)
+let data_extra_misses ~task ~degraded ~set =
+  let graph = task.graph in
+  let n = Cfg.Graph.node_count graph in
+  let reachable = Array.make n false in
+  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+  let per_exec = Array.make n 0 in
+  let one_shots = ref [] in
+  let any = ref false in
+  for u = 0 to n - 1 do
+    if reachable.(u) then begin
+      let node = Cfg.Graph.node graph u in
+      for k = 0 to node.Cfg.Graph.len - 1 do
+        if Danalysis.cache_set task.dchmc ~node:u ~offset:k = Some set then begin
+          let base = Option.get (Danalysis.classification task.dchmc ~node:u ~offset:k) in
+          let degr = degraded ~node:u ~offset:k in
+          if base <> degr then begin
+            let d = max 0 (per_exec_miss degr - per_exec_miss base) in
+            if d > 0 then begin
+              per_exec.(u) <- per_exec.(u) + d;
+              any := true
+            end;
+            match (degr, base) with
+            | Chmc.First_miss scope, (Chmc.Always_hit | Chmc.First_miss _) ->
+              any := true;
+              one_shots := (path_scope scope, 1) :: !one_shots
+            | _ -> ()
+          end
+        end
+      done
+    end
+  done;
+  if not !any then 0
+  else
+    PE.longest ~graph ~loops:task.loops ~node_cost:(fun u -> per_exec.(u))
+      ~one_shots:!one_shots
+
+(* Must analysis of a data SRB: a 1-block buffer over precise loads;
+   imprecise loads clobber it. *)
+let dsrb_hits task =
+  let graph = task.graph in
+  let n = Cfg.Graph.node_count graph in
+  let kinds u k = Annot.cached_load task.annot ~node:u ~offset:k in
+  let block_of = Cache.Config.block_of_address task.dconfig in
+  let step acs (u, k) =
+    match kinds u k with
+    | Some (Minic.Compile.Data_exact addr) -> Acs.must_update ~assoc:1 acs (block_of addr)
+    | Some (Minic.Compile.Data_range _) -> Acs.must_age_all ~assoc:1 acs
+    | _ -> acs
+  in
+  let transfer u acs =
+    let node = Cfg.Graph.node graph u in
+    let result = ref acs in
+    for k = 0 to node.Cfg.Graph.len - 1 do
+      result := step !result (u, k)
+    done;
+    !result
+  in
+  let must_in =
+    Cache_analysis.Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer ~join:Acs.must_join
+      ~equal:Acs.equal
+  in
+  let hits = Array.init n (fun u -> Array.make (Cfg.Graph.node graph u).Cfg.Graph.len false) in
+  for u = 0 to n - 1 do
+    match must_in.(u) with
+    | None -> ()
+    | Some acs0 ->
+      let acs = ref acs0 in
+      let node = Cfg.Graph.node graph u in
+      for k = 0 to node.Cfg.Graph.len - 1 do
+        (match kinds u k with
+        | Some (Minic.Compile.Data_exact addr) -> hits.(u).(k) <- Acs.mem !acs (block_of addr)
+        | _ -> ());
+        acs := step !acs (u, k)
+      done
+  done;
+  hits
+
+let compute_dfmm task ~mechanism =
+  let dconfig = task.dconfig in
+  let n_sets = dconfig.Cache.Config.sets and ways = dconfig.Cache.Config.ways in
+  let used = Array.make n_sets false in
+  Danalysis.fold_loads
+    (fun ~node ~offset _ () ->
+      match Danalysis.cache_set task.dchmc ~node ~offset with
+      | Some s -> used.(s) <- true
+      | None -> ())
+    task.dchmc ();
+  let srb_hits =
+    match mechanism with
+    | Pwcet.Mechanism.Shared_reliable_buffer -> Some (dsrb_hits task)
+    | _ -> None
+  in
+  let misses = Array.make_matrix n_sets (ways + 1) 0 in
+  for set = 0 to n_sets - 1 do
+    if used.(set) then begin
+      let max_f = match mechanism with Pwcet.Mechanism.Reliable_way -> ways - 1 | _ -> ways in
+      for f = 1 to max_f do
+        let degraded =
+          if f < ways then begin
+            let dchmc_f =
+              Danalysis.analyze ~graph:task.graph ~loops:task.loops ~config:dconfig
+                ~annot:task.annot
+                ~assoc:(fun s -> if s = set then ways - f else ways)
+                ~only_sets:[ set ] ()
+            in
+            fun ~node ~offset ->
+              Option.value
+                (Danalysis.classification dchmc_f ~node ~offset)
+                ~default:Chmc.Not_classified
+          end
+          else
+            match srb_hits with
+            | Some hits ->
+              fun ~node ~offset ->
+                if hits.(node).(offset) then Chmc.Always_hit else Chmc.Always_miss
+            | None -> fun ~node:_ ~offset:_ -> Chmc.Always_miss
+        in
+        let v = data_extra_misses ~task ~degraded ~set in
+        misses.(set).(f) <- max v misses.(set).(f - 1)
+      done;
+      if max_f < ways then misses.(set).(ways) <- misses.(set).(max_f)
+    end
+  done;
+  misses
+
+let estimate task ~pfail ~imech ~dmech () =
+  let ifmm =
+    Pwcet.Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.iconfig
+      ~mechanism:imech ()
+  in
+  let dfmm =
+    Pwcet.Fmm.of_table ~config:task.dconfig ~mechanism:dmech (compute_dfmm task ~mechanism:dmech)
+  in
+  let ipbf = Fault.Model.pbf_of_config ~pfail task.iconfig in
+  let dpbf = Fault.Model.pbf_of_config ~pfail task.dconfig in
+  let ipenalty = Pwcet.Penalty.total_distribution ~fmm:ifmm ~pbf:ipbf () in
+  let dpenalty = Pwcet.Penalty.total_distribution ~fmm:dfmm ~pbf:dpbf () in
+  let penalty = Dist.convolve ipenalty dpenalty in
+  { task; imech; dmech; ifmm; dfmm; penalty }
+
+let pwcet e ~target = e.task.wcet_ff + Dist.quantile e.penalty ~target
+
+let dfmm_misses e ~set ~faulty = Pwcet.Fmm.misses e.dfmm ~set ~faulty

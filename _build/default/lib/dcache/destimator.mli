@@ -1,0 +1,49 @@
+(** Combined instruction + data cache pWCET estimation — the paper's
+    pipeline with its Section-VI data-cache transposition.
+
+    The WCET costs both caches' contributions; faults strike the two
+    cache arrays independently, so the total fault-induced penalty is
+    the convolution of the two penalty distributions (each built
+    exactly as in the paper: per-set FMM columns weighted by the
+    binomial law, convolved across sets). Each cache can carry its own
+    protection mechanism. *)
+
+type task = private {
+  graph : Cfg.Graph.t;
+  loops : Cfg.Loop.loop list;
+  iconfig : Cache.Config.t;
+  dconfig : Cache.Config.t;
+  ichmc : Cache_analysis.Chmc.t;
+  dchmc : Danalysis.t;
+  annot : Annot.t;
+  wcet_ff : int;  (** combined fault-free WCET, cycles *)
+}
+
+val prepare :
+  compiled:Minic.Compile.compiled ->
+  iconfig:Cache.Config.t ->
+  dconfig:Cache.Config.t ->
+  unit ->
+  task
+
+type estimate = private {
+  task : task;
+  imech : Pwcet.Mechanism.t;
+  dmech : Pwcet.Mechanism.t;
+  ifmm : Pwcet.Fmm.t;
+  dfmm : Pwcet.Fmm.t;
+  penalty : Prob.Dist.t;  (** convolution of both caches' penalties *)
+}
+
+val estimate :
+  task ->
+  pfail:float ->
+  imech:Pwcet.Mechanism.t ->
+  dmech:Pwcet.Mechanism.t ->
+  unit ->
+  estimate
+
+val pwcet : estimate -> target:float -> int
+
+val dfmm_misses : estimate -> set:int -> faulty:int -> int
+(** Data-cache fault-miss-map entries (for reporting and tests). *)

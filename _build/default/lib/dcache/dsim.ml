@@ -1,0 +1,21 @@
+let data_segment_start = 0x1000_0000
+let data_segment_end = 0x7000_0000
+
+let in_data_segment addr = addr >= data_segment_start && addr < data_segment_end
+
+let of_lru cache config addr ~write =
+  if write || not (in_data_segment addr) then 0
+  else Cache.Config.latency config ~hit:(Cache.Lru.access cache addr)
+
+let unprotected ~fault_map config =
+  of_lru (Cache.Lru.create ~fault_map config) config
+
+let rw ~fault_map config = of_lru (Cache.Reliable.rw_cache ~fault_map config) config
+
+let srb ~fault_map config =
+  let cache = Cache.Reliable.Srb.create ~fault_map config in
+  fun addr ~write ->
+    if write || not (in_data_segment addr) then 0
+    else Cache.Config.latency config ~hit:(Cache.Reliable.Srb.access cache addr)
+
+let fault_free config = of_lru (Cache.Lru.create config) config

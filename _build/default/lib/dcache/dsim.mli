@@ -1,0 +1,18 @@
+(** Concrete data-cache timing oracles for {!Isa.Machine.run}.
+
+    The modelled memory system: addresses in the data segment
+    ([0x10000000, 0x70000000)) go through the data cache; the stack
+    (above) lives in a scratchpad and costs nothing extra; stores are
+    write-through into a non-blocking buffer — no latency charged, no
+    cache-state change (no-allocate). *)
+
+val in_data_segment : int -> bool
+
+val unprotected : fault_map:Cache.Fault_map.t -> Cache.Config.t -> int -> write:bool -> int
+(** Oracle over a faulty LRU data cache. *)
+
+val rw : fault_map:Cache.Fault_map.t -> Cache.Config.t -> int -> write:bool -> int
+
+val srb : fault_map:Cache.Fault_map.t -> Cache.Config.t -> int -> write:bool -> int
+
+val fault_free : Cache.Config.t -> int -> write:bool -> int

@@ -1,0 +1,1 @@
+lib/fault/model.ml: Array Cache Numeric

@@ -1,0 +1,1 @@
+lib/fault/model.mli: Cache

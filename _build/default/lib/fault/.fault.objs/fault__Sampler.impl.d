@@ -1,0 +1,1 @@
+lib/fault/sampler.ml: Array Cache Model Random

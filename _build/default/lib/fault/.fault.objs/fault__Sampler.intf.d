@@ -1,0 +1,1 @@
+lib/fault/sampler.mli: Cache Random

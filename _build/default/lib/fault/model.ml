@@ -1,0 +1,18 @@
+module B = Numeric.Binomial
+module Pf = Numeric.Probfloat
+
+let pbf ~pfail ~block_bits = Pf.one_minus_pow_one_minus ~p:pfail ~k:block_bits
+
+let pbf_of_config ~pfail cfg = pbf ~pfail ~block_bits:(Cache.Config.block_bits cfg)
+
+let pwf ~ways ~pbf w = B.pmf ~n:ways ~p:pbf w
+
+let pwf_rw ~ways ~pbf w =
+  if ways <= 0 then invalid_arg "Model.pwf_rw: non-positive ways";
+  B.pmf ~n:(ways - 1) ~p:pbf w
+
+let way_distribution ~ways ~pbf = Array.init (ways + 1) (pwf ~ways ~pbf)
+
+let way_distribution_rw ~ways ~pbf = Array.init (ways + 1) (pwf_rw ~ways ~pbf)
+
+let prob_all_ways_faulty ~ways ~pbf = pwf ~ways ~pbf ways

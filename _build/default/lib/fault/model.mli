@@ -1,0 +1,29 @@
+(** The paper's analytic fault model (Section II-A).
+
+    Every SRAM bit fails independently with probability [pfail]; a
+    block is disabled if any of its [K] bits is faulty (eq. 1); the
+    number of faulty ways in a set follows a binomial law over the
+    [W] ways (eq. 2), or over [W - 1] ways under the RW mechanism,
+    which masks faults in the reliable way (eq. 3). *)
+
+val pbf : pfail:float -> block_bits:int -> float
+(** Eq. 1: [1 - (1 - pfail)^K], computed without cancellation. *)
+
+val pbf_of_config : pfail:float -> Cache.Config.t -> float
+
+val pwf : ways:int -> pbf:float -> int -> float
+(** Eq. 2: probability of exactly [w] faulty ways among [ways]. *)
+
+val pwf_rw : ways:int -> pbf:float -> int -> float
+(** Eq. 3: RW variant — binomial over [ways - 1]; the reliable way's
+    faults are masked. [pwf_rw ~ways ~pbf ways = 0]. *)
+
+val way_distribution : ways:int -> pbf:float -> float array
+(** [pwf] for w = 0..ways; sums to 1. *)
+
+val way_distribution_rw : ways:int -> pbf:float -> float array
+(** [pwf_rw] for w = 0..ways (last entry 0); sums to 1. *)
+
+val prob_all_ways_faulty : ways:int -> pbf:float -> float
+(** [pwf ways] — the probability a set is entirely dead, the situation
+    both mechanisms target. *)

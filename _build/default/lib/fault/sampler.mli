@@ -1,0 +1,10 @@
+(** Monte-Carlo sampling of fault configurations, for cross-validating
+    the analytic pipeline against concrete simulation. *)
+
+val fault_map : Cache.Config.t -> pfail:float -> Random.State.t -> Cache.Fault_map.t
+(** Samples per-block failures with [pbf] derived from [pfail]
+    (eq. 1) — the concrete realisation of the paper's model. *)
+
+val faulty_way_counts : Cache.Config.t -> pfail:float -> Random.State.t -> int array
+(** Per-set faulty-way counts drawn from the binomial law (eq. 2) by
+    inversion; statistically identical to counting in [fault_map]. *)

@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.ml: Array List Lp Numeric Simplex

@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.mli: Lp Simplex

@@ -1,0 +1,1 @@
+lib/ilp/lp.ml: Format Hashtbl List Numeric Option Printf

@@ -1,0 +1,1 @@
+lib/ilp/lp.mli: Format Numeric

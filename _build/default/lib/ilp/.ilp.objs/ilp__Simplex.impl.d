@@ -1,0 +1,1 @@
+lib/ilp/simplex.ml: Array List Lp Numeric

@@ -1,0 +1,1 @@
+lib/ilp/simplex.mli: Lp Numeric

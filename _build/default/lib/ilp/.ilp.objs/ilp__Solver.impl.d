@@ -1,0 +1,1 @@
+lib/ilp/solver.ml: Array Branch_bound Lp Numeric Simplex

@@ -1,0 +1,1 @@
+lib/ilp/solver.mli: Lp Numeric

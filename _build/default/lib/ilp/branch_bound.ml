@@ -1,0 +1,69 @@
+module Rat = Numeric.Rat
+module Bigint = Numeric.Bigint
+
+type result =
+  | Optimal of Simplex.solution
+  | Infeasible
+  | Unbounded
+
+(* A subproblem is the base LP plus variable bound cuts. *)
+type cut = {
+  var : Lp.var;
+  relation : Lp.relation;
+  bound : Bigint.t;
+}
+
+let rebuild base cuts =
+  let lp = Lp.create () in
+  for _ = 1 to Lp.num_vars base do
+    ignore (Lp.add_var lp ())
+  done;
+  List.iter
+    (fun (c : Lp.constr) -> Lp.add_constr lp ~name:c.Lp.cname c.Lp.coeffs c.Lp.relation c.Lp.rhs)
+    (Lp.constraints base);
+  List.iter
+    (fun cut -> Lp.add_constr lp [ (cut.var, Rat.one) ] cut.relation (Rat.of_bigint cut.bound))
+    cuts;
+  Lp.set_objective lp (Lp.objective base);
+  lp
+
+let first_fractional base (sol : Simplex.solution) =
+  let n = Array.length sol.Simplex.values in
+  let rec go v =
+    if v >= n then None
+    else if Lp.is_integer base v && not (Rat.is_integer sol.Simplex.values.(v)) then
+      Some (v, sol.Simplex.values.(v))
+    else go (v + 1)
+  in
+  go 0
+
+let solve ?(max_nodes = 100_000) base =
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let root_unbounded = ref false in
+  let rec branch cuts =
+    incr nodes;
+    if !nodes > max_nodes then failwith "Branch_bound.solve: node budget exhausted";
+    match Simplex.solve (rebuild base cuts) with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded ->
+      (* Only possible at the root: cuts merely restrict the region. *)
+      root_unbounded := true
+    | Simplex.Optimal sol ->
+      let dominated =
+        match !incumbent with
+        | Some (inc : Simplex.solution) -> Rat.compare sol.Simplex.objective inc.Simplex.objective <= 0
+        | None -> false
+      in
+      if not dominated then begin
+        match first_fractional base sol with
+        | None -> incumbent := Some sol
+        | Some (v, value) ->
+          branch ({ var = v; relation = Lp.Le; bound = Rat.floor value } :: cuts);
+          if not !root_unbounded then
+            branch ({ var = v; relation = Lp.Ge; bound = Rat.ceil value } :: cuts)
+      end
+  in
+  branch [];
+  if !root_unbounded then Unbounded
+  else match !incumbent with Some sol -> Optimal sol | None -> Infeasible

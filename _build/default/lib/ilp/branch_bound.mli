@@ -1,0 +1,15 @@
+(** Branch-and-bound for integer programs on top of {!Simplex}.
+
+    Depth-first search branching on the first fractional
+    integer-marked variable, pruning with the incumbent objective.
+    IPET systems have near-integral relaxations, so the tree is almost
+    always trivial. *)
+
+type result =
+  | Optimal of Simplex.solution
+  | Infeasible
+  | Unbounded  (** the root relaxation is unbounded *)
+
+val solve : ?max_nodes:int -> Lp.t -> result
+(** @raise Failure when the node budget (default 100000) is exhausted —
+    never silently under-approximates. *)

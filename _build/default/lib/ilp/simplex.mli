@@ -1,0 +1,20 @@
+(** Exact two-phase primal simplex over arbitrary-precision rationals.
+
+    Solves the LP relaxation of an {!Lp.t} (integrality markers are
+    ignored): maximise the objective subject to the constraints and
+    non-negativity. Bland's rule guarantees termination; exact
+    arithmetic sidesteps every floating-point feasibility tolerance
+    issue — important because WCET soundness rests on the bound being a
+    true optimum (or over-estimate), never an under-estimate. *)
+
+type solution = {
+  objective : Numeric.Rat.t;
+  values : Numeric.Rat.t array;  (** one value per structural variable *)
+}
+
+type result =
+  | Optimal of solution
+  | Unbounded
+  | Infeasible
+
+val solve : Lp.t -> result

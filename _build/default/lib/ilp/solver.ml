@@ -1,0 +1,56 @@
+module Rat = Numeric.Rat
+module Bigint = Numeric.Bigint
+
+type outcome = {
+  objective : Rat.t;
+  values : Rat.t array;
+  integral : bool;
+}
+
+type result =
+  | Solution of outcome
+  | Infeasible
+  | Unbounded
+
+let is_integral lp (sol : Simplex.solution) =
+  let n = Array.length sol.Simplex.values in
+  let rec go v =
+    v >= n || ((not (Lp.is_integer lp v)) || Rat.is_integer sol.Simplex.values.(v)) && go (v + 1)
+  in
+  go 0
+
+let of_simplex lp = function
+  | Simplex.Optimal sol ->
+    Solution
+      {
+        objective = sol.Simplex.objective;
+        values = sol.Simplex.values;
+        integral = is_integral lp sol;
+      }
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+
+let relaxation lp = of_simplex lp (Simplex.solve lp)
+
+let integer lp =
+  match Branch_bound.solve lp with
+  | Branch_bound.Optimal sol ->
+    Solution
+      {
+        objective = sol.Simplex.objective;
+        values = sol.Simplex.values;
+        integral = true;
+      }
+  | Branch_bound.Infeasible -> Infeasible
+  | Branch_bound.Unbounded -> Unbounded
+
+let maximize ?(exact = true) lp =
+  match relaxation lp with
+  | Solution o when (not o.integral) && exact -> integer lp
+  | r -> r
+
+let objective_upper_bound lp =
+  match relaxation lp with
+  | Solution o -> Bigint.to_int_exn (Rat.ceil o.objective)
+  | Infeasible -> failwith "Solver.objective_upper_bound: infeasible model"
+  | Unbounded -> failwith "Solver.objective_upper_bound: unbounded model"

@@ -1,0 +1,31 @@
+(** Facade over {!Simplex} and {!Branch_bound} with the conventions the
+    WCET pipeline needs. *)
+
+type outcome = {
+  objective : Numeric.Rat.t;
+  values : Numeric.Rat.t array;
+  integral : bool;  (** every integer-marked variable has an integral value *)
+}
+
+type result =
+  | Solution of outcome
+  | Infeasible
+  | Unbounded
+
+val relaxation : Lp.t -> result
+(** LP relaxation only. For maximisation, its objective is always a
+    sound {e upper} bound on the ILP optimum. *)
+
+val integer : Lp.t -> result
+(** Exact ILP optimum via branch-and-bound. *)
+
+val maximize : ?exact:bool -> Lp.t -> result
+(** [maximize lp] solves the relaxation and, when some integer variable
+    comes out fractional and [exact] is true (the default), falls back
+    to branch-and-bound. With [exact:false] a fractional relaxation
+    result is returned as-is — still a sound WCET bound, possibly a
+    slightly conservative one. *)
+
+val objective_upper_bound : Lp.t -> int
+(** Smallest integer [>=] the relaxation optimum: the sound WCET-style
+    scalar bound. @raise Failure on infeasible or unbounded models. *)

@@ -1,0 +1,1 @@
+lib/ipet/delta.ml: Array Cache_analysis Cfg Hashtbl Ilp List Model Numeric Option Path_engine Printf

@@ -1,0 +1,1 @@
+lib/ipet/delta.mli: Cache Cache_analysis Cfg

@@ -1,0 +1,1 @@
+lib/ipet/model.ml: Array Cfg Hashtbl Ilp List Option Printf

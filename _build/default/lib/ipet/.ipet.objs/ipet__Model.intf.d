@@ -1,0 +1,1 @@
+lib/ipet/model.mli: Cfg Ilp

@@ -1,0 +1,1 @@
+lib/ipet/path_engine.ml: Array Cfg Hashtbl Int List Queue Set

@@ -1,0 +1,1 @@
+lib/ipet/path_engine.mli: Cfg

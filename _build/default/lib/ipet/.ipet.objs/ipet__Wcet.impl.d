@@ -1,0 +1,1 @@
+lib/ipet/wcet.ml: Array Cache Cache_analysis Cfg Hashtbl Ilp List Model Numeric Option Path_engine Printf

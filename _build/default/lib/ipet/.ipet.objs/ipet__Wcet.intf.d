@@ -1,0 +1,1 @@
+lib/ipet/wcet.mli: Cache Cache_analysis Cfg

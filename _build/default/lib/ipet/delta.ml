@@ -1,0 +1,122 @@
+module Lp = Ilp.Lp
+module Chmc = Cache_analysis.Chmc
+
+(* Per-execution miss indicator of a classification (first-miss counts
+   through its one-shot variable instead). *)
+let per_exec_miss = function
+  | Chmc.Always_miss | Chmc.Not_classified -> 1
+  | Chmc.Always_hit | Chmc.First_miss _ -> 0
+
+let scope_cap model loops = function
+  | Chmc.Global -> ([], 1)
+  | Chmc.Loop header -> (
+    match List.find_opt (fun (l : Cfg.Loop.loop) -> l.Cfg.Loop.header = header) loops with
+    | Some l -> Model.entry_terms_of_loop model l
+    | None -> ([], 1))
+
+let path_scope = function
+  | Chmc.Global -> Path_engine.Whole_program
+  | Chmc.Loop header -> Path_engine.Loop_scope header
+
+(* Per-node delta in misses-per-execution and the one-shot deltas, for
+   references mapping to [set]. *)
+let node_delta ~graph ~baseline ~degraded ~sets u =
+  let node = Cfg.Graph.node graph u in
+  let per_exec = ref 0 in
+  let shots = ref [] in
+  for k = 0 to node.Cfg.Graph.len - 1 do
+    if List.mem (Chmc.cache_set baseline ~node:u ~offset:k) sets then begin
+      let base = Chmc.classification baseline ~node:u ~offset:k in
+      let degr = degraded ~node:u ~offset:k in
+      if base <> degr then begin
+        (* Per-execution part, clamped non-negative (the SRB can
+           genuinely improve on the baseline; the paper only removes
+           misses, never credits). *)
+        per_exec := !per_exec + max 0 (per_exec_miss degr - per_exec_miss base);
+        (* One-shot part: degraded first-miss where the baseline was
+           strictly better (always-hit), or first-miss with a different
+           (smaller) scope. The baseline's own one-shot allowance is
+           dropped, never subtracted — conservative. *)
+        match (degr, base) with
+        | Chmc.First_miss scope, (Chmc.Always_hit | Chmc.First_miss _) ->
+          shots := (scope, 1) :: !shots
+        | _ -> ()
+      end
+    end
+  done;
+  (!per_exec, !shots)
+
+let extra_misses_ilp ~graph ~loops ~baseline ~degraded ~sets ~exact =
+  let model = Model.build graph loops in
+  let lp = Model.lp model in
+  let coeffs : (Lp.var, int) Hashtbl.t = Hashtbl.create 64 in
+  let constant = ref 0 in
+  let add_terms terms const factor =
+    List.iter
+      (fun (v, c) ->
+        Hashtbl.replace coeffs v (Option.value ~default:0 (Hashtbl.find_opt coeffs v) + (c * factor)))
+      terms;
+    constant := !constant + (const * factor)
+  in
+  let any_delta = ref false in
+  for u = 0 to Cfg.Graph.node_count graph - 1 do
+    if Model.reachable model u then begin
+      let per_exec, shots = node_delta ~graph ~baseline ~degraded ~sets u in
+      List.iteri
+        (fun idx (scope, amount) ->
+          any_delta := true;
+          let y =
+            Model.add_capped_counter model
+              ~name:(Printf.sprintf "dfm_%d_%d" u idx)
+              ~node:u ~cap:(scope_cap model loops scope)
+          in
+          add_terms [ (y, 1) ] 0 amount)
+        shots;
+      if per_exec > 0 then begin
+        any_delta := true;
+        let terms, const = Model.execution_terms model u in
+        add_terms terms const per_exec
+      end
+    end
+  done;
+  if not !any_delta then 0
+  else begin
+    Lp.set_objective_int lp (Hashtbl.fold (fun v c acc -> (v, c) :: acc) coeffs []);
+    let bound =
+      if exact then begin
+        match Ilp.Solver.integer lp with
+        | Ilp.Solver.Solution o ->
+          Numeric.Bigint.to_int_exn (Numeric.Rat.ceil o.Ilp.Solver.objective)
+        | Ilp.Solver.Infeasible -> failwith "Delta.extra_misses: infeasible model"
+        | Ilp.Solver.Unbounded -> failwith "Delta.extra_misses: unbounded model"
+      end
+      else Ilp.Solver.objective_upper_bound lp
+    in
+    max 0 (bound + !constant)
+  end
+
+let extra_misses_path ~graph ~loops ~baseline ~degraded ~sets =
+  let n = Cfg.Graph.node_count graph in
+  let per_exec = Array.make n 0 in
+  let one_shots = ref [] in
+  let reachable = Array.make n false in
+  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+  let any_delta = ref false in
+  for u = 0 to n - 1 do
+    if reachable.(u) then begin
+      let d, shots = node_delta ~graph ~baseline ~degraded ~sets u in
+      per_exec.(u) <- d;
+      if d > 0 || shots <> [] then any_delta := true;
+      List.iter (fun (scope, amount) -> one_shots := (path_scope scope, amount) :: !one_shots) shots
+    end
+  done;
+  if not !any_delta then 0
+  else
+    Path_engine.longest ~graph ~loops ~node_cost:(fun u -> per_exec.(u)) ~one_shots:!one_shots
+
+let extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets ?(engine = `Path)
+    ?(exact = false) () =
+  ignore config;
+  match engine with
+  | `Path -> extra_misses_path ~graph ~loops ~baseline ~degraded ~sets
+  | `Ilp -> extra_misses_ilp ~graph ~loops ~baseline ~degraded ~sets ~exact

@@ -1,0 +1,32 @@
+(** Fault-induced extra-miss bounds — the entries of the Fault Miss Map.
+
+    For a cache set [s] and a degraded classification (obtained by
+    re-analysing with reduced associativity, or with the SRB rule for a
+    fully faulty set), [extra_misses] solves an ILP "close to IPET"
+    (paper Section II-C): maximise, over all structurally feasible
+    paths, the number of additional misses the degraded classification
+    implies for references mapping to [s], relative to the fault-free
+    classification.
+
+    Soundness: classifications degrade monotonically with shrinking
+    associativity, the per-reference delta coefficients are clamped
+    non-negative, baseline first-miss allowances are dropped (never
+    subtracted), and max over paths is subadditive — so the result
+    over-approximates [WCET_f - WCET_0] in units of misses. *)
+
+val extra_misses :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  config:Cache.Config.t ->
+  baseline:Cache_analysis.Chmc.t ->
+  degraded:(node:int -> offset:int -> Cache_analysis.Chmc.classification) ->
+  sets:int list ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  unit ->
+  int
+(** Upper bound (>= 0) on the number of fault-induced misses for
+    references mapping to any of the cache sets [sets] (usually a
+    single set; the refined SRB analysis passes dead-set pairs).
+    [engine] selects the tree-based path engine (default) or the IPET
+    ILP, as in {!Wcet.compute}. *)

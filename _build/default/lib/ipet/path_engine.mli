@@ -1,0 +1,33 @@
+(** Tree-based (loop-collapse) longest-path engine — the combinatorial
+    alternative to the ILP for IPET-shaped objectives, in the style of
+    Heptane's tree method (Colin & Puaut).
+
+    Loops are collapsed innermost-first: a loop with bound [b] becomes a
+    super-node costing [b * C_iter + C_exit + one_shots], where [C_iter]
+    is the heaviest header-to-back-edge path through the (already
+    collapsed) body DAG, [C_exit] the heaviest header-to-exit path, and
+    [one_shots] the first-miss-style charges scoped to this loop (paid
+    once per loop entry). The result over the final DAG is a sound upper
+    bound of the maximum path cost: every complete iteration costs at
+    most [C_iter], there are at most [b] of them per entry, and the
+    final partial traversal costs at most [C_exit].
+
+    Compared to the LP relaxation this engine is typically equal or
+    tighter on flow costs, charges scoped one-shots unconditionally
+    (slightly more conservative), and runs in near-linear time — which
+    is what makes the per-set, per-fault-count FMM computation cheap. *)
+
+type scope =
+  | Whole_program
+  | Loop_scope of int  (** loop header node id *)
+
+val longest :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  node_cost:(int -> int) ->
+  one_shots:(scope * int) list ->
+  int
+(** Maximum cost over entry-to-exit paths. [node_cost] is charged per
+    execution of the node; each [one_shot] is charged once per entry of
+    its scope (once per run for [Whole_program]). All costs must be
+    non-negative. *)

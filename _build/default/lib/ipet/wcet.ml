@@ -1,0 +1,103 @@
+module Lp = Ilp.Lp
+module Chmc = Cache_analysis.Chmc
+
+type result = {
+  wcet : int;
+  lp_size : int * int;
+}
+
+let scope_cap model loops = function
+  | Chmc.Global -> ([], 1)
+  | Chmc.Loop header -> (
+    match List.find_opt (fun (l : Cfg.Loop.loop) -> l.Cfg.Loop.header = header) loops with
+    | Some l -> Model.entry_terms_of_loop model l
+    | None -> ([], 1) (* cannot happen: scopes come from the same loop list *))
+
+let path_scope = function
+  | Chmc.Global -> Path_engine.Whole_program
+  | Chmc.Loop header -> Path_engine.Loop_scope header
+
+(* Per-execution fetch cost of a node and the one-shot (first-miss)
+   penalties of its references. *)
+let node_costs ~graph ~chmc ~config u =
+  let node = Cfg.Graph.node graph u in
+  let hit = config.Cache.Config.hit_latency in
+  let miss = config.Cache.Config.miss_latency in
+  let penalty = Cache.Config.miss_penalty config in
+  let per_exec = ref 0 in
+  let shots = ref [] in
+  for k = 0 to node.Cfg.Graph.len - 1 do
+    match Chmc.classification chmc ~node:u ~offset:k with
+    | Chmc.Always_hit -> per_exec := !per_exec + hit
+    | Chmc.First_miss scope ->
+      per_exec := !per_exec + hit;
+      shots := (scope, penalty) :: !shots
+    | Chmc.Always_miss | Chmc.Not_classified -> per_exec := !per_exec + miss
+  done;
+  (!per_exec, !shots)
+
+let compute_ilp ~graph ~loops ~chmc ~config ~exact =
+  let model = Model.build graph loops in
+  let lp = Model.lp model in
+  let coeffs : (Lp.var, int) Hashtbl.t = Hashtbl.create 64 in
+  let constant = ref 0 in
+  let add_terms terms const factor =
+    List.iter
+      (fun (v, c) ->
+        Hashtbl.replace coeffs v (Option.value ~default:0 (Hashtbl.find_opt coeffs v) + (c * factor)))
+      terms;
+    constant := !constant + (const * factor)
+  in
+  for u = 0 to Cfg.Graph.node_count graph - 1 do
+    if Model.reachable model u then begin
+      let per_exec, shots = node_costs ~graph ~chmc ~config u in
+      List.iteri
+        (fun idx (scope, amount) ->
+          let y =
+            Model.add_capped_counter model
+              ~name:(Printf.sprintf "fm_%d_%d" u idx)
+              ~node:u
+              ~cap:(scope_cap model loops scope)
+          in
+          add_terms [ (y, 1) ] 0 amount)
+        shots;
+      if per_exec > 0 then begin
+        let terms, const = Model.execution_terms model u in
+        add_terms terms const per_exec
+      end
+    end
+  done;
+  Lp.set_objective_int lp (Hashtbl.fold (fun v c acc -> (v, c) :: acc) coeffs []);
+  let bound =
+    if exact then begin
+      match Ilp.Solver.integer lp with
+      | Ilp.Solver.Solution o -> Numeric.Bigint.to_int_exn (Numeric.Rat.ceil o.Ilp.Solver.objective)
+      | Ilp.Solver.Infeasible -> failwith "Wcet.compute: infeasible IPET model"
+      | Ilp.Solver.Unbounded -> failwith "Wcet.compute: unbounded IPET model (missing loop bound?)"
+    end
+    else Ilp.Solver.objective_upper_bound lp
+  in
+  { wcet = bound + !constant; lp_size = (Lp.num_vars lp, List.length (Lp.constraints lp)) }
+
+let compute_path ~graph ~loops ~chmc ~config =
+  let n = Cfg.Graph.node_count graph in
+  let per_exec = Array.make n 0 in
+  let one_shots = ref [] in
+  let reachable = Array.make n false in
+  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+  for u = 0 to n - 1 do
+    if reachable.(u) then begin
+      let cost, shots = node_costs ~graph ~chmc ~config u in
+      per_exec.(u) <- cost;
+      List.iter (fun (scope, amount) -> one_shots := (path_scope scope, amount) :: !one_shots) shots
+    end
+  done;
+  let wcet =
+    Path_engine.longest ~graph ~loops ~node_cost:(fun u -> per_exec.(u)) ~one_shots:!one_shots
+  in
+  { wcet; lp_size = (0, 0) }
+
+let compute ~graph ~loops ~chmc ~config ?(engine = `Path) ?(exact = false) () =
+  match engine with
+  | `Path -> compute_path ~graph ~loops ~chmc ~config
+  | `Ilp -> compute_ilp ~graph ~loops ~chmc ~config ~exact

@@ -1,0 +1,45 @@
+(** Fault-free WCET computation.
+
+    Instruction-fetch cost per the paper's setup: a reference classified
+    always-hit or first-miss costs the hit latency per execution;
+    always-miss / not-classified cost the miss latency per execution; a
+    first-miss reference additionally pays the miss penalty once per
+    entry of its persistence scope.
+
+    Two interchangeable engines compute the bound:
+    - [`Path] (default): the tree-based loop-collapse engine
+      ({!Path_engine}) — near-linear time;
+    - [`Ilp]: the IPET ILP (Li & Malik) over the exact-rational solver,
+      as in the paper's toolchain (Cplex there).
+
+    Both are sound upper bounds; on loop-structured programs they agree
+    up to the slightly more conservative one-shot accounting of the path
+    engine (tested against each other in [test/test_ipet.ml]). *)
+
+type result = {
+  wcet : int;  (** cycles: instruction-cache contribution only *)
+  lp_size : int * int;  (** (variables, constraints) — (0,0) for [`Path] *)
+}
+
+val node_costs :
+  graph:Cfg.Graph.t ->
+  chmc:Cache_analysis.Chmc.t ->
+  config:Cache.Config.t ->
+  int ->
+  int * (Cache_analysis.Chmc.scope * int) list
+(** Per-execution instruction-fetch cost of a node and its one-shot
+    (first-miss) penalties — the building blocks of the objective,
+    exposed for engines that combine several cost sources (the
+    data-cache extension). *)
+
+val compute :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  chmc:Cache_analysis.Chmc.t ->
+  config:Cache.Config.t ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  unit ->
+  result
+(** [exact] (ILP engine only): branch-and-bound instead of the LP
+    relaxation bound. *)

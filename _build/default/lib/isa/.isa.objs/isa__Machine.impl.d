@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Format Hashtbl Instr List Program Reg

@@ -1,0 +1,1 @@
+lib/isa/machine.mli: Program

@@ -1,0 +1,1 @@
+lib/isa/reg.mli: Format

@@ -1,0 +1,54 @@
+type t = int
+
+let count = 32
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Reg.of_index";
+  i
+
+let index t = t
+
+let zero = 0
+let at = 1
+let v0 = 2
+let v1 = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t0 = 8
+let t1 = 9
+let t2 = 10
+let t3 = 11
+let t4 = 12
+let t5 = 13
+let t6 = 14
+let t7 = 15
+let s0 = 16
+let s1 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let t8 = 24
+let t9 = 25
+let gp = 28
+let sp = 29
+let fp = 30
+let ra = 31
+
+let temporaries = [ t0; t1; t2; t3; t4; t5; t6; t7; t8; t9; s0; s1; s2; s3; s4; s5; s6; s7 ]
+
+let equal = Int.equal
+let compare = Int.compare
+
+let names =
+  [| "zero"; "at"; "v0"; "v1"; "a0"; "a1"; "a2"; "a3"
+   ; "t0"; "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"
+   ; "s0"; "s1"; "s2"; "s3"; "s4"; "s5"; "s6"; "s7"
+   ; "t8"; "t9"; "k0"; "k1"; "gp"; "sp"; "fp"; "ra" |]
+
+let name t = "$" ^ names.(t)
+let pp fmt t = Format.pp_print_string fmt (name t)

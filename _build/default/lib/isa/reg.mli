@@ -1,0 +1,57 @@
+(** Register file of the MIPS-like target ISA.
+
+    32 general-purpose registers with the usual MIPS software
+    conventions. [zero] is hardwired to 0. *)
+
+type t
+
+val count : int
+(** Number of registers (32). *)
+
+val of_index : int -> t
+(** @raise Invalid_argument outside [0, 31]. *)
+
+val index : t -> int
+
+(* Conventional names: [zero] is hardwired $0, [at] the assembler
+   temporary, [v0]/[v1] results, [a0]..[a3] arguments, [t0]..[t9]
+   caller-saved temporaries, [s0]..[s7] callee-saved. *)
+
+val zero : t
+val at : t
+val v0 : t
+val v1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val t0 : t
+val t1 : t
+val t2 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+val t7 : t
+val t8 : t
+val t9 : t
+val s0 : t
+val s1 : t
+val s2 : t
+val s3 : t
+val s4 : t
+val s5 : t
+val s6 : t
+val s7 : t
+val gp : t
+val sp : t
+val fp : t
+val ra : t
+
+val temporaries : t list
+(** The pool the register allocator in [miniC] draws from. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val name : t -> string
+val pp : Format.formatter -> t -> unit

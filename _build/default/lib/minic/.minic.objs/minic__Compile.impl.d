@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Array Ast Format Hashtbl Instr Isa List Machine Printf Program Reg Typecheck

@@ -1,0 +1,1 @@
+lib/minic/compile.mli: Ast Isa

@@ -1,0 +1,1 @@
+lib/minic/dsl.ml: Array Ast

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Array Ast Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/minic/lexer.mli:

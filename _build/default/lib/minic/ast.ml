@@ -1,0 +1,143 @@
+type unop =
+  | Neg
+  | Lognot
+  | Bitnot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Bitand
+  | Bitor
+  | Bitxor
+  | Shl
+  | Shr
+  | Ashr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Logand
+  | Logor
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Decl of string * expr
+  | Decl_array of string * int
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * block * block
+  | While of { cond : expr; bound : int; body : block }
+  | For of { index : string; start : expr; stop : expr; bound : int option; body : block }
+  | Expr of expr
+  | Return of expr option
+
+and block = stmt list
+
+type global =
+  | Scalar of int
+  | Array of int array
+
+type func = {
+  fname : string;
+  params : string list;
+  body : block;
+}
+
+type program = {
+  globals : (string * global) list;
+  funcs : func list;
+}
+
+let for_bound ~start ~stop ~bound =
+  match bound with
+  | Some _ -> bound
+  | None -> (
+    match (start, stop) with
+    | Int a, Int b -> Some (max 0 (b - a))
+    | _ -> None)
+
+let unop_name = function Neg -> "-" | Lognot -> "!" | Bitnot -> "~"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Bitand -> "&"
+  | Bitor -> "|"
+  | Bitxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>>"
+  | Ashr -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Logand -> "&&"
+  | Logor -> "||"
+
+let rec pp_expr fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Var v -> Format.pp_print_string fmt v
+  | Index (a, e) -> Format.fprintf fmt "%s[%a]" a pp_expr e
+  | Unop (op, e) -> Format.fprintf fmt "%s(%a)" (unop_name op) pp_expr e
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Call (f, args) ->
+    Format.fprintf fmt "%s(%a)" f
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") pp_expr)
+      args
+
+let rec pp_stmt fmt = function
+  | Decl (v, e) -> Format.fprintf fmt "int %s = %a;" v pp_expr e
+  | Decl_array (v, n) -> Format.fprintf fmt "int %s[%d];" v n
+  | Assign (v, e) -> Format.fprintf fmt "%s = %a;" v pp_expr e
+  | Store (a, i, e) -> Format.fprintf fmt "%s[%a] = %a;" a pp_expr i pp_expr e
+  | If (c, t, []) -> Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_block t
+  | If (c, t, e) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr c pp_block t
+      pp_block e
+  | While { cond; bound; body } ->
+    Format.fprintf fmt "@[<v 2>while (%a) /* bound %d */ {%a@]@,}" pp_expr cond bound pp_block
+      body
+  | For { index; start; stop; bound; body } ->
+    let pp_bound fmt = function
+      | Some b -> Format.fprintf fmt " /* bound %d */" b
+      | None -> ()
+    in
+    Format.fprintf fmt "@[<v 2>for (%s = %a; %s < %a; %s++)%a {%a@]@,}" index pp_expr start
+      index pp_expr stop index pp_bound bound pp_block body
+  | Expr e -> Format.fprintf fmt "%a;" pp_expr e
+  | Return None -> Format.pp_print_string fmt "return;"
+  | Return (Some e) -> Format.fprintf fmt "return %a;" pp_expr e
+
+and pp_block fmt block = List.iter (fun s -> Format.fprintf fmt "@,%a" pp_stmt s) block
+
+let pp_global fmt (name, g) =
+  match g with
+  | Scalar v -> Format.fprintf fmt "int %s = %d;@," name v
+  | Array xs -> Format.fprintf fmt "int %s[%d] = {...};@," name (Array.length xs)
+
+let pp_func fmt f =
+  Format.fprintf fmt "@[<v 2>int %s(%s) {%a@]@,}@," f.fname (String.concat ", " f.params)
+    pp_block f.body
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>";
+  List.iter (pp_global fmt) p.globals;
+  List.iter (pp_func fmt) p.funcs;
+  Format.fprintf fmt "@]"

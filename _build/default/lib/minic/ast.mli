@@ -1,0 +1,83 @@
+(** Abstract syntax of mini-C, the structured source language the
+    benchmark suite is written in.
+
+    Mini-C covers the integer subset of C the Mälardalen WCET benchmarks
+    use: scalars and word arrays (global or local), arithmetic/logic
+    expressions with short-circuit [&&]/[||], [if], bounded [for] and
+    [while] loops, and non-recursive functions of up to 4 arguments.
+    Every loop carries a bound on its body iterations per loop entry —
+    either inferred (constant [for] bounds) or annotated — because the
+    downstream IPET formulation requires one. *)
+
+type unop =
+  | Neg
+  | Lognot  (** !e : 1 if e = 0 else 0 *)
+  | Bitnot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Bitand
+  | Bitor
+  | Bitxor
+  | Shl
+  | Shr   (** logical right shift *)
+  | Ashr  (** arithmetic right shift *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Logand  (** short-circuit *)
+  | Logor   (** short-circuit *)
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** array element [a[e]] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Decl of string * expr  (** local scalar declaration with initialiser *)
+  | Decl_array of string * int  (** local array of [n] words, zeroed *)
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [a[e1] = e2] *)
+  | If of expr * block * block
+  | While of { cond : expr; bound : int; body : block }
+      (** [bound]: max body iterations each time the loop is entered *)
+  | For of { index : string; start : expr; stop : expr; bound : int option; body : block }
+      (** [for (index = start; index < stop; index++) body]; [bound] may
+          be omitted when [start] and [stop] are integer literals *)
+  | Expr of expr  (** expression for effect (function call) *)
+  | Return of expr option
+
+and block = stmt list
+
+type global =
+  | Scalar of int
+  | Array of int array  (** initial contents; length is the array size *)
+
+type func = {
+  fname : string;
+  params : string list;
+  body : block;
+}
+
+type program = {
+  globals : (string * global) list;
+  funcs : func list;  (** the function named ["main"] is the entry point *)
+}
+
+val for_bound : start:expr -> stop:expr -> bound:int option -> int option
+(** The effective bound of a [for] loop: the annotation if present,
+    otherwise [max 0 (stop - start)] when both are literals. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,46 @@
+(** Compiler from mini-C to the target ISA.
+
+    The code generator is deliberately naive — in the spirit of the
+    paper's [gcc -O0] baseline: locals live in stack slots, expressions
+    are evaluated in temporaries with stack spilling, and no
+    optimisation is performed. Loop-bound annotations are carried
+    through to the assembled {!Isa.Program.t} (attached to loop-header
+    labels), and global initialisers are emitted as a data image rather
+    than as initialisation code, mirroring a linker-populated data
+    segment. *)
+
+exception Error of string
+
+(** Where a memory instruction's effective address lives, recorded at
+    code-generation time. The modelled architecture serves stack
+    accesses (locals, spills, frames) from a scratchpad, so only
+    data-segment targets matter to the data-cache analysis. *)
+type data_target =
+  | Data_exact of int  (** absolute byte address (global scalar) *)
+  | Data_range of { base : int; bytes : int }
+      (** somewhere within a global array *)
+  | Data_stack
+
+type compiled = {
+  program : Isa.Program.t;
+  data : (int * int) list;
+      (** initial data-segment contents: (word-aligned address, value) *)
+  global_addresses : (string * int) list;
+  data_refs : (int * data_target) list;
+      (** instruction index [->] target, for every load/store *)
+}
+
+val compile : ?base_address:int -> ?data_base:int -> Ast.program -> compiled
+(** Validates (via {!Typecheck.check}) then compiles. [main] is laid out
+    first and is the entry point.
+    @raise Error (or {!Typecheck.Error}) on invalid programs. *)
+
+val run :
+  ?max_steps:int ->
+  ?fetch:(int -> int) ->
+  ?data_access:(int -> write:bool -> int) ->
+  ?on_fetch:(int -> unit) ->
+  compiled ->
+  Isa.Machine.result
+(** Convenience wrapper: {!Isa.Machine.run} with the data image
+    pre-loaded. *)

@@ -1,0 +1,48 @@
+open Ast
+
+let i n = Int n
+let v name = Var name
+let idx a e = Index (a, e)
+let call f args = Call (f, args)
+
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let ( %: ) a b = Binop (Mod, a, b)
+let ( &: ) a b = Binop (Bitand, a, b)
+let ( |: ) a b = Binop (Bitor, a, b)
+let ( ^: ) a b = Binop (Bitxor, a, b)
+let ( <<: ) a b = Binop (Shl, a, b)
+let ( >>: ) a b = Binop (Shr, a, b)
+let ( >>>: ) a b = Binop (Ashr, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( &&: ) a b = Binop (Logand, a, b)
+let ( ||: ) a b = Binop (Logor, a, b)
+let neg e = Unop (Neg, e)
+let lognot e = Unop (Lognot, e)
+let bitnot e = Unop (Bitnot, e)
+
+let decl name e = Decl (name, e)
+let decl_arr name n = Decl_array (name, n)
+let set name e = Assign (name, e)
+let store a index e = Store (a, index, e)
+let if_ c t e = If (c, t, e)
+let when_ c t = If (c, t, [])
+let while_ ~bound cond body = While { cond; bound; body }
+let for_ index start stop body = For { index; start; stop; bound = None; body }
+let for_b index start stop ~bound body = For { index; start; stop; bound = Some bound; body }
+let expr e = Expr e
+let ret e = Return (Some e)
+let ret0 = Return None
+
+let fn fname params body = { fname; params; body }
+let scalar name value = (name, Scalar value)
+let array name values = (name, Array values)
+let array_n name n f = (name, Array (Array.init n f))
+let program ?(globals = []) funcs = { globals; funcs }

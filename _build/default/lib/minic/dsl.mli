@@ -1,0 +1,66 @@
+(** Combinators for building mini-C ASTs.
+
+    The 25 benchmark programs in [lib/benchmarks] are written with these.
+    Arithmetic operators are suffixed with [:] to avoid clobbering the
+    standard integer operators ([+:], [-:], [*:], [/:], [%:]), and
+    comparisons with [:] likewise ([<:], [==:], ...). *)
+
+open Ast
+
+val i : int -> expr
+val v : string -> expr
+val idx : string -> expr -> expr
+val call : string -> expr list -> expr
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( &: ) : expr -> expr -> expr
+val ( |: ) : expr -> expr -> expr
+val ( ^: ) : expr -> expr -> expr
+val ( <<: ) : expr -> expr -> expr
+
+val ( >>: ) : expr -> expr -> expr
+(** Logical shift right. *)
+
+val ( >>>: ) : expr -> expr -> expr
+(** Arithmetic shift right. *)
+
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( ==: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val neg : expr -> expr
+val lognot : expr -> expr
+val bitnot : expr -> expr
+
+val decl : string -> expr -> stmt
+val decl_arr : string -> int -> stmt
+val set : string -> expr -> stmt
+val store : string -> expr -> expr -> stmt
+val if_ : expr -> block -> block -> stmt
+val when_ : expr -> block -> stmt
+(** [if_] with an empty else branch. *)
+
+val while_ : bound:int -> expr -> block -> stmt
+val for_ : string -> expr -> expr -> block -> stmt
+(** Constant-range [for]; the bound is inferred. *)
+
+val for_b : string -> expr -> expr -> bound:int -> block -> stmt
+val expr : expr -> stmt
+val ret : expr -> stmt
+val ret0 : stmt
+
+val fn : string -> string list -> block -> func
+val scalar : string -> int -> string * global
+val array : string -> int array -> string * global
+val array_n : string -> int -> (int -> int) -> string * global
+(** [array_n name n f] initialises element [k] to [f k]. *)
+
+val program : ?globals:(string * global) list -> func list -> program

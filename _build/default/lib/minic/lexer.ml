@@ -1,0 +1,252 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BOUND
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | SHL
+  | ASHR
+  | LSHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | PLUSPLUS
+  | EOF
+
+type located = {
+  token : token;
+  line : int;
+  col : int;
+}
+
+exception Error of string
+
+let error line col fmt =
+  Format.kasprintf (fun s -> raise (Error (Printf.sprintf "%d:%d: %s" line col s))) fmt
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "__bound" -> Some KW_BOUND
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let col = ref 1 in
+  let peek k = if !pos + k < n then Some source.[!pos + k] else None in
+  let advance () =
+    (match source.[!pos] with
+    | '\n' ->
+      incr line;
+      col := 1
+    | _ -> incr col);
+    incr pos
+  in
+  let emit token l c = tokens := { token; line = l; col = c } :: !tokens in
+  while !pos < n do
+    let l = !line and c = !col in
+    match source.[!pos] with
+    | ' ' | '\t' | '\r' | '\n' -> advance ()
+    | '/' when peek 1 = Some '/' ->
+      while !pos < n && source.[!pos] <> '\n' do
+        advance ()
+      done
+    | '/' when peek 1 = Some '*' ->
+      advance ();
+      advance ();
+      let rec skip () =
+        if !pos + 1 >= n then error l c "unterminated comment"
+        else if source.[!pos] = '*' && peek 1 = Some '/' then begin
+          advance ();
+          advance ()
+        end
+        else begin
+          advance ();
+          skip ()
+        end
+      in
+      skip ()
+    | ch when is_digit ch ->
+      let start = !pos in
+      if ch = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        advance ();
+        advance ();
+        while !pos < n && is_hex_digit source.[!pos] do
+          advance ()
+        done
+      end
+      else
+        while !pos < n && is_digit source.[!pos] do
+          advance ()
+        done;
+      let text = String.sub source start (!pos - start) in
+      (match int_of_string_opt text with
+      | Some v -> emit (INT v) l c
+      | None -> error l c "bad integer literal %s" text)
+    | ch when is_ident_start ch ->
+      let start = !pos in
+      while !pos < n && is_ident_char source.[!pos] do
+        advance ()
+      done;
+      let text = String.sub source start (!pos - start) in
+      emit (match keyword text with Some kw -> kw | None -> IDENT text) l c
+    | '(' -> advance (); emit LPAREN l c
+    | ')' -> advance (); emit RPAREN l c
+    | '{' -> advance (); emit LBRACE l c
+    | '}' -> advance (); emit RBRACE l c
+    | '[' -> advance (); emit LBRACKET l c
+    | ']' -> advance (); emit RBRACKET l c
+    | ';' -> advance (); emit SEMI l c
+    | ',' -> advance (); emit COMMA l c
+    | '~' -> advance (); emit TILDE l c
+    | '^' -> advance (); emit CARET l c
+    | '*' -> advance (); emit STAR l c
+    | '/' -> advance (); emit SLASH l c
+    | '%' -> advance (); emit PERCENT l c
+    | '+' ->
+      advance ();
+      if peek 0 = Some '+' then begin
+        advance ();
+        emit PLUSPLUS l c
+      end
+      else emit PLUS l c
+    | '-' -> advance (); emit MINUS l c
+    | '&' ->
+      advance ();
+      if peek 0 = Some '&' then begin
+        advance ();
+        emit ANDAND l c
+      end
+      else emit AMP l c
+    | '|' ->
+      advance ();
+      if peek 0 = Some '|' then begin
+        advance ();
+        emit OROR l c
+      end
+      else emit PIPE l c
+    | '=' ->
+      advance ();
+      if peek 0 = Some '=' then begin
+        advance ();
+        emit EQ l c
+      end
+      else emit ASSIGN l c
+    | '!' ->
+      advance ();
+      if peek 0 = Some '=' then begin
+        advance ();
+        emit NE l c
+      end
+      else emit BANG l c
+    | '<' ->
+      advance ();
+      (match peek 0 with
+      | Some '=' ->
+        advance ();
+        emit LE l c
+      | Some '<' ->
+        advance ();
+        emit SHL l c
+      | _ -> emit LT l c)
+    | '>' ->
+      advance ();
+      (match peek 0 with
+      | Some '=' ->
+        advance ();
+        emit GE l c
+      | Some '>' ->
+        advance ();
+        if peek 0 = Some '>' then begin
+          advance ();
+          emit LSHR l c
+        end
+        else emit ASHR l c
+      | _ -> emit GT l c)
+    | ch -> error l c "unexpected character %c" ch
+  done;
+  emit EOF !line !col;
+  List.rev !tokens
+
+let describe = function
+  | INT v -> Printf.sprintf "integer %d" v
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KW_INT -> "'int'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_FOR -> "'for'"
+  | KW_RETURN -> "'return'"
+  | KW_BOUND -> "'__bound'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'"
+  | PIPE -> "'|'"
+  | CARET -> "'^'"
+  | TILDE -> "'~'"
+  | BANG -> "'!'"
+  | SHL -> "'<<'"
+  | ASHR -> "'>>'"
+  | LSHR -> "'>>>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | PLUSPLUS -> "'++'"
+  | EOF -> "end of input"

@@ -1,0 +1,60 @@
+(** Hand-written lexer for mini-C source text. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT        (** [int] *)
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BOUND      (** [__bound], the loop-bound annotation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN        (** [=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | SHL           (** [<<] *)
+  | ASHR          (** [>>] (arithmetic, as on signed C ints) *)
+  | LSHR          (** [>>>] (logical) *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ            (** [==] *)
+  | NE            (** [!=] *)
+  | ANDAND
+  | OROR
+  | PLUSPLUS      (** [++], for-loop increments only *)
+  | EOF
+
+type located = {
+  token : token;
+  line : int;
+  col : int;
+}
+
+exception Error of string
+(** Carries a "line:col: message" description. *)
+
+val tokenize : string -> located list
+(** The token stream, ending with [EOF]. Handles decimal and [0x]
+    integer literals, [//] and [/* */] comments.
+    @raise Error on malformed input. *)
+
+val describe : token -> string

@@ -1,0 +1,354 @@
+exception Error of string
+
+type state = {
+  tokens : Lexer.located array;
+  mutable index : int;
+}
+
+let current st = st.tokens.(st.index)
+
+let error_at (tok : Lexer.located) fmt =
+  Format.kasprintf
+    (fun s -> raise (Error (Printf.sprintf "%d:%d: %s" tok.Lexer.line tok.Lexer.col s)))
+    fmt
+
+let advance st = if st.index < Array.length st.tokens - 1 then st.index <- st.index + 1
+
+let expect st token =
+  let tok = current st in
+  if tok.Lexer.token = token then advance st
+  else error_at tok "expected %s, found %s" (Lexer.describe token) (Lexer.describe tok.Lexer.token)
+
+let accept st token =
+  if (current st).Lexer.token = token then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  let tok = current st in
+  match tok.Lexer.token with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | other -> error_at tok "expected an identifier, found %s" (Lexer.describe other)
+
+let expect_int st =
+  let tok = current st in
+  match tok.Lexer.token with
+  | Lexer.INT v ->
+    advance st;
+    v
+  | Lexer.MINUS -> (
+    advance st;
+    match (current st).Lexer.token with
+    | Lexer.INT v ->
+      advance st;
+      -v
+    | other -> error_at tok "expected an integer after '-', found %s" (Lexer.describe other))
+  | other -> error_at tok "expected an integer, found %s" (Lexer.describe other)
+
+(* --- expressions (precedence climbing) ---------------------------------- *)
+
+let binop_of_token : Lexer.token -> (int * Ast.binop) option = function
+  | Lexer.OROR -> Some (1, Ast.Logor)
+  | Lexer.ANDAND -> Some (2, Ast.Logand)
+  | Lexer.PIPE -> Some (3, Ast.Bitor)
+  | Lexer.CARET -> Some (4, Ast.Bitxor)
+  | Lexer.AMP -> Some (5, Ast.Bitand)
+  | Lexer.EQ -> Some (6, Ast.Eq)
+  | Lexer.NE -> Some (6, Ast.Ne)
+  | Lexer.LT -> Some (7, Ast.Lt)
+  | Lexer.LE -> Some (7, Ast.Le)
+  | Lexer.GT -> Some (7, Ast.Gt)
+  | Lexer.GE -> Some (7, Ast.Ge)
+  | Lexer.SHL -> Some (8, Ast.Shl)
+  | Lexer.ASHR -> Some (8, Ast.Ashr)
+  | Lexer.LSHR -> Some (8, Ast.Shr)
+  | Lexer.PLUS -> Some (9, Ast.Add)
+  | Lexer.MINUS -> Some (9, Ast.Sub)
+  | Lexer.STAR -> Some (10, Ast.Mul)
+  | Lexer.SLASH -> Some (10, Ast.Div)
+  | Lexer.PERCENT -> Some (10, Ast.Mod)
+  | _ -> None
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let left = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (current st).Lexer.token with
+    | Some (prec, op) when prec >= min_prec ->
+      advance st;
+      (* All binary operators are left-associative. *)
+      let right = parse_binary st (prec + 1) in
+      left := Ast.Binop (op, !left, right)
+    | _ -> continue_ := false
+  done;
+  !left
+
+and parse_unary st =
+  let tok = current st in
+  match tok.Lexer.token with
+  | Lexer.MINUS ->
+    advance st;
+    (* Fold negative literals so global-style constants stay constants. *)
+    (match parse_unary st with
+    | Ast.Int v -> Ast.Int (-v)
+    | e -> Ast.Unop (Ast.Neg, e))
+  | Lexer.BANG ->
+    advance st;
+    Ast.Unop (Ast.Lognot, parse_unary st)
+  | Lexer.TILDE ->
+    advance st;
+    Ast.Unop (Ast.Bitnot, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let tok = current st in
+  match tok.Lexer.token with
+  | Lexer.INT v ->
+    advance st;
+    Ast.Int v
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name -> (
+    advance st;
+    match (current st).Lexer.token with
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      Ast.Call (name, args)
+    | Lexer.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Lexer.RBRACKET;
+      Ast.Index (name, idx)
+    | _ -> Ast.Var name)
+  | other -> error_at tok "expected an expression, found %s" (Lexer.describe other)
+
+and parse_args st =
+  if accept st Lexer.RPAREN then []
+  else begin
+    let rec more acc =
+      let acc = parse_expr st :: acc in
+      if accept st Lexer.COMMA then more acc
+      else begin
+        expect st Lexer.RPAREN;
+        List.rev acc
+      end
+    in
+    more []
+  end
+
+(* --- statements ----------------------------------------------------------- *)
+
+let parse_bound st =
+  expect st Lexer.KW_BOUND;
+  expect st Lexer.LPAREN;
+  let b = expect_int st in
+  expect st Lexer.RPAREN;
+  b
+
+let rec parse_block st =
+  expect st Lexer.LBRACE;
+  let rec stmts acc =
+    if accept st Lexer.RBRACE then List.rev acc else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+and parse_stmt st =
+  let tok = current st in
+  match tok.Lexer.token with
+  | Lexer.KW_INT -> (
+    advance st;
+    let name = expect_ident st in
+    match (current st).Lexer.token with
+    | Lexer.ASSIGN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Ast.Decl (name, e)
+    | Lexer.LBRACKET ->
+      advance st;
+      let size = expect_int st in
+      expect st Lexer.RBRACKET;
+      expect st Lexer.SEMI;
+      Ast.Decl_array (name, size)
+    | other -> error_at tok "expected '=' or '[' after 'int %s', found %s" name (Lexer.describe other))
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    let then_ = parse_block st in
+    let else_ =
+      if accept st Lexer.KW_ELSE then
+        if (current st).Lexer.token = Lexer.KW_IF then [ parse_stmt st ] else parse_block st
+      else []
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    let bound = parse_bound st in
+    let body = parse_block st in
+    Ast.While { cond; bound; body }
+  | Lexer.KW_FOR ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let index = expect_ident st in
+    expect st Lexer.ASSIGN;
+    let start = parse_expr st in
+    expect st Lexer.SEMI;
+    let index2 = expect_ident st in
+    if index2 <> index then error_at tok "for-loop condition must test '%s'" index;
+    expect st Lexer.LT;
+    let stop = parse_expr st in
+    expect st Lexer.SEMI;
+    let index3 = expect_ident st in
+    if index3 <> index then error_at tok "for-loop increment must bump '%s'" index;
+    expect st Lexer.PLUSPLUS;
+    expect st Lexer.RPAREN;
+    let bound =
+      if (current st).Lexer.token = Lexer.KW_BOUND then Some (parse_bound st) else None
+    in
+    let body = parse_block st in
+    Ast.For { index; start; stop; bound; body }
+  | Lexer.KW_RETURN ->
+    advance st;
+    if accept st Lexer.SEMI then Ast.Return None
+    else begin
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Ast.Return (Some e)
+    end
+  | Lexer.IDENT name -> (
+    (* assign / store / expression statement *)
+    match st.tokens.(st.index + 1).Lexer.token with
+    | Lexer.ASSIGN ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Ast.Assign (name, e)
+    | Lexer.LBRACKET ->
+      (* Could be a store or an indexed read inside an expression
+         statement; decide by looking for '=' after the bracket group. *)
+      let saved = st.index in
+      advance st;
+      advance st;
+      let idx = parse_expr st in
+      expect st Lexer.RBRACKET;
+      if accept st Lexer.ASSIGN then begin
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        Ast.Store (name, idx, e)
+      end
+      else begin
+        st.index <- saved;
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        Ast.Expr e
+      end
+    | _ ->
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      Ast.Expr e)
+  | _ ->
+    let e = parse_expr st in
+    expect st Lexer.SEMI;
+    Ast.Expr e
+
+(* --- top level -------------------------------------------------------------- *)
+
+let parse_params st =
+  expect st Lexer.LPAREN;
+  if accept st Lexer.RPAREN then []
+  else begin
+    let rec more acc =
+      expect st Lexer.KW_INT;
+      let acc = expect_ident st :: acc in
+      if accept st Lexer.COMMA then more acc
+      else begin
+        expect st Lexer.RPAREN;
+        List.rev acc
+      end
+    in
+    more []
+  end
+
+let parse_init_list st =
+  expect st Lexer.LBRACE;
+  let rec more acc =
+    let acc = expect_int st :: acc in
+    if accept st Lexer.COMMA then more acc
+    else begin
+      expect st Lexer.RBRACE;
+      List.rev acc
+    end
+  in
+  more []
+
+let parse_program st =
+  let globals = ref [] and funcs = ref [] in
+  while (current st).Lexer.token <> Lexer.EOF do
+    let tok = current st in
+    expect st Lexer.KW_INT;
+    let name = expect_ident st in
+    match (current st).Lexer.token with
+    | Lexer.LPAREN ->
+      let params = parse_params st in
+      let body = parse_block st in
+      funcs := { Ast.fname = name; params; body } :: !funcs
+    | Lexer.ASSIGN ->
+      advance st;
+      let v = expect_int st in
+      expect st Lexer.SEMI;
+      globals := (name, Ast.Scalar v) :: !globals
+    | Lexer.LBRACKET ->
+      advance st;
+      let size = expect_int st in
+      expect st Lexer.RBRACKET;
+      let init =
+        if accept st Lexer.ASSIGN then begin
+          let values = parse_init_list st in
+          if List.length values > size then
+            error_at tok "array %s: %d initialisers for %d elements" name (List.length values)
+              size;
+          Array.init size (fun k ->
+              match List.nth_opt values k with Some v -> v | None -> 0)
+        end
+        else Array.make size 0
+      in
+      expect st Lexer.SEMI;
+      globals := (name, Ast.Array init) :: !globals
+    | other ->
+      error_at tok "expected '(', '=' or '[' after 'int %s', found %s" name
+        (Lexer.describe other)
+  done;
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+let program_of_string source =
+  let tokens =
+    try Lexer.tokenize source with Lexer.Error msg -> raise (Error msg)
+  in
+  parse_program { tokens = Array.of_list tokens; index = 0 }
+
+let program_of_file path =
+  let ic = open_in_bin path in
+  let source =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in ic;
+      raise e
+  in
+  close_in ic;
+  program_of_string source

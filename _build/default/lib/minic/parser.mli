@@ -1,0 +1,34 @@
+(** Recursive-descent parser for mini-C source text.
+
+    The concrete syntax is the C subset matching {!Ast}, with one
+    extension: loop-bound annotations. [while] loops require one, [for]
+    loops over non-constant ranges too:
+
+    {v
+int data[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+int g = 0;
+
+int sum(int n) {
+  int s = 0;
+  for (k = 0; k < n; k++) __bound(8) { s = s + data[k]; }
+  while (s > 100) __bound(3) { s = s - 10; }
+  return s;
+}
+
+int main() { return sum(8); }
+    v}
+
+    Only [int] scalars and arrays exist; [for] headers use the fixed
+    [id = e; id < e; id++] shape the compiler supports; [>>] is the
+    arithmetic right shift (C on signed ints) and [>>>] the logical
+    one. *)
+
+exception Error of string
+(** "line:col: message". *)
+
+val program_of_string : string -> Ast.program
+(** @raise Error on syntax errors (validation happens later, in
+    {!Typecheck} / {!Compile}). *)
+
+val program_of_file : string -> Ast.program
+(** @raise Error on syntax errors; @raise Sys_error on I/O errors. *)

@@ -1,0 +1,188 @@
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type kind =
+  | Kscalar
+  | Karray
+
+(* Scopes are a stack of name->kind tables; inner scopes shadow outer. *)
+type scope = (string, kind) Hashtbl.t
+
+let lookup scopes name =
+  let rec go = function
+    | [] -> None
+    | (s : scope) :: rest -> ( match Hashtbl.find_opt s name with Some k -> Some k | None -> go rest)
+  in
+  go scopes
+
+let declare ~fn scopes name kind =
+  match scopes with
+  | [] -> assert false
+  | current :: _ ->
+    if Hashtbl.mem current name then error "%s: duplicate declaration of %s" fn name;
+    Hashtbl.add current name kind
+
+let max_params = 4
+
+let check (program : Ast.program) =
+  (* Global names and function table. *)
+  let global_kinds : scope = Hashtbl.create 16 in
+  List.iter
+    (fun (name, g) ->
+      if Hashtbl.mem global_kinds name then error "duplicate global %s" name;
+      Hashtbl.add global_kinds name
+        (match g with Ast.Scalar _ -> Kscalar | Ast.Array _ -> Karray))
+    program.globals;
+  let arities = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem arities f.fname then error "duplicate function %s" f.fname;
+      if Hashtbl.mem global_kinds f.fname then error "%s is both a global and a function" f.fname;
+      if List.length f.params > max_params then
+        error "%s: more than %d parameters" f.fname max_params;
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun p ->
+          if Hashtbl.mem seen p then error "%s: duplicate parameter %s" f.fname p;
+          Hashtbl.add seen p ())
+        f.params;
+      Hashtbl.add arities f.fname (List.length f.params))
+    program.funcs;
+  (match Hashtbl.find_opt arities "main" with
+  | None -> error "no main function"
+  | Some 0 -> ()
+  | Some _ -> error "main must take no parameters");
+  (* Per-function body checks. *)
+  let rec check_expr fn scopes (e : Ast.expr) =
+    match e with
+    | Int _ -> ()
+    | Var v -> (
+      match lookup scopes v with
+      | Some Kscalar -> ()
+      | Some Karray -> error "%s: array %s used as a scalar" fn v
+      | None -> error "%s: unbound variable %s" fn v)
+    | Index (a, idx) ->
+      (match lookup scopes a with
+      | Some Karray -> ()
+      | Some Kscalar -> error "%s: scalar %s indexed as an array" fn a
+      | None -> error "%s: unbound array %s" fn a);
+      check_expr fn scopes idx
+    | Unop (_, e1) -> check_expr fn scopes e1
+    | Binop (_, a, b) ->
+      check_expr fn scopes a;
+      check_expr fn scopes b
+    | Call (f, args) ->
+      (match Hashtbl.find_opt arities f with
+      | None -> error "%s: call to undefined function %s" fn f
+      | Some arity ->
+        if arity <> List.length args then
+          error "%s: %s expects %d arguments, got %d" fn f arity (List.length args));
+      List.iter (check_expr fn scopes) args
+  in
+  let rec check_block fn scopes block =
+    let scope : scope = Hashtbl.create 8 in
+    let scopes = scope :: scopes in
+    List.iter (check_stmt fn scopes) block
+  and check_stmt fn scopes (s : Ast.stmt) =
+    match s with
+    | Decl (v, e) ->
+      check_expr fn scopes e;
+      declare ~fn scopes v Kscalar
+    | Decl_array (v, n) ->
+      if n <= 0 then error "%s: array %s has non-positive size %d" fn v n;
+      declare ~fn scopes v Karray
+    | Assign (v, e) ->
+      (match lookup scopes v with
+      | Some Kscalar -> ()
+      | Some Karray -> error "%s: cannot assign to array %s" fn v
+      | None -> error "%s: assignment to unbound variable %s" fn v);
+      check_expr fn scopes e
+    | Store (a, idx, e) ->
+      (match lookup scopes a with
+      | Some Karray -> ()
+      | Some Kscalar -> error "%s: scalar %s indexed as an array" fn a
+      | None -> error "%s: unbound array %s" fn a);
+      check_expr fn scopes idx;
+      check_expr fn scopes e
+    | If (c, then_, else_) ->
+      check_expr fn scopes c;
+      check_block fn scopes then_;
+      check_block fn scopes else_
+    | While { cond; bound; body } ->
+      if bound < 0 then error "%s: negative while bound" fn;
+      check_expr fn scopes cond;
+      check_block fn scopes body
+    | For { index; start; stop; bound; body } ->
+      check_expr fn scopes start;
+      check_expr fn scopes stop;
+      (match Ast.for_bound ~start ~stop ~bound with
+      | Some b when b >= 0 -> ()
+      | Some _ -> error "%s: negative for bound" fn
+      | None ->
+        error "%s: for loop over %s needs a bound annotation (non-constant range)" fn index);
+      (* The index is scoped to the loop. *)
+      let scope : scope = Hashtbl.create 1 in
+      Hashtbl.add scope index Kscalar;
+      check_block fn (scope :: scopes) body
+    | Expr e -> check_expr fn scopes e
+    | Return None -> ()
+    | Return (Some e) -> check_expr fn scopes e
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      let params : scope = Hashtbl.create 4 in
+      List.iter (fun p -> Hashtbl.add params p Kscalar) f.params;
+      check_block f.fname [ params; global_kinds ] f.body)
+    program.funcs;
+  (* Recursion check: DFS over the call graph. *)
+  let calls_of (f : Ast.func) =
+    let acc = ref [] in
+    let rec expr (e : Ast.expr) =
+      match e with
+      | Call (g, args) ->
+        acc := g :: !acc;
+        List.iter expr args
+      | Unop (_, e1) -> expr e1
+      | Binop (_, a, b) ->
+        expr a;
+        expr b
+      | Index (_, e1) -> expr e1
+      | Int _ | Var _ -> ()
+    in
+    let rec stmt (s : Ast.stmt) =
+      match s with
+      | Decl (_, e) | Assign (_, e) | Expr e | Return (Some e) -> expr e
+      | Decl_array _ | Return None -> ()
+      | Store (_, i, e) ->
+        expr i;
+        expr e
+      | If (c, t, e) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt e
+      | While { cond; body; _ } ->
+        expr cond;
+        List.iter stmt body
+      | For { start; stop; body; _ } ->
+        expr start;
+        expr stop;
+        List.iter stmt body
+    in
+    List.iter stmt f.body;
+    !acc
+  in
+  let graph = Hashtbl.create 16 in
+  List.iter (fun (f : Ast.func) -> Hashtbl.add graph f.fname (calls_of f)) program.funcs;
+  let state = Hashtbl.create 16 in
+  (* 0 = visiting, 1 = done *)
+  let rec dfs name =
+    match Hashtbl.find_opt state name with
+    | Some 0 -> error "recursion involving %s is not supported" name
+    | Some _ -> ()
+    | None ->
+      Hashtbl.add state name 0;
+      List.iter dfs (match Hashtbl.find_opt graph name with Some l -> l | None -> []);
+      Hashtbl.replace state name 1
+  in
+  List.iter (fun (f : Ast.func) -> dfs f.fname) program.funcs

@@ -1,0 +1,13 @@
+(** Static validation of mini-C programs.
+
+    Rejects, with a descriptive error, everything the compiler and the
+    downstream WCET analysis cannot handle: unbound or misused names
+    (scalar vs array), bad arities, more than 4 parameters, a missing
+    or parameterised [main], recursion (direct or mutual — the IPET
+    call expansion requires an acyclic call graph), negative or missing
+    loop bounds, and duplicate definitions. *)
+
+exception Error of string
+
+val check : Ast.program -> unit
+(** @raise Error describing the first problem found. *)

@@ -1,0 +1,1 @@
+lib/numeric/bigint.ml: Array Buffer Char Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/numeric/binomial.ml: Array Bigint Float Kahan Stdlib

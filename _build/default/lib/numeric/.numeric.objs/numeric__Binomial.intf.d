@@ -1,0 +1,1 @@
+lib/numeric/binomial.mli: Bigint

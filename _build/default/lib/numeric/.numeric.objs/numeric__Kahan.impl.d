@@ -1,0 +1,1 @@
+lib/numeric/kahan.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/numeric/probfloat.ml: Float

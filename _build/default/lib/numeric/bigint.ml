@@ -1,0 +1,350 @@
+(* Sign-magnitude arbitrary-precision integers over base-2^30 limbs.
+   Magnitudes are little-endian int arrays with no most-significant zero
+   limb; the empty array represents zero (and only zero). The limb base
+   2^30 keeps every intermediate product below 2^60, well within the
+   native 63-bit int range. *)
+
+type t = { sign : int; mag : int array }
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+let zero = { sign = 0; mag = [||] }
+
+(* Strip most-significant zero limbs so that representations are unique. *)
+let normalize_mag mag =
+  let n = Array.length mag in
+  let rec significant i = if i > 0 && mag.(i - 1) = 0 then significant (i - 1) else i in
+  let k = significant n in
+  if k = n then mag else Array.sub mag 0 k
+
+let make sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n > 0 then 1 else -1 in
+    (* min_int negation overflows; go through two limbs directly. *)
+    let rec limbs acc n = if n = 0 then List.rev acc else limbs ((n land limb_mask) :: acc) (n lsr base_bits) in
+    let magnitude = if n = min_int then Array.of_list (limbs [] (-(n / 2))) else Array.of_list (limbs [] (Stdlib.abs n)) in
+    if n = min_int then
+      (* |min_int| = 2 * (|min_int|/2); double the magnitude. *)
+      let doubled = Array.make (Array.length magnitude + 1) 0 in
+      let carry = ref 0 in
+      Array.iteri
+        (fun i limb ->
+          let v = (limb lsl 1) lor !carry in
+          doubled.(i) <- v land limb_mask;
+          carry := v lsr base_bits)
+        magnitude;
+      doubled.(Array.length magnitude) <- !carry;
+      make sign doubled
+    else make sign magnitude
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec from i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else from (i - 1) in
+    from (la - 1)
+  end
+
+let compare x y =
+  if x.sign <> y.sign then compare x.sign y.sign
+  else if x.sign >= 0 then mag_compare x.mag y.mag
+  else mag_compare y.mag x.mag
+
+let equal x y = compare x y = 0
+
+let hash t = Hashtbl.hash (t.sign, t.mag)
+
+let neg t = if t.sign = 0 then t else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let result = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let va = if i < la then a.(i) else 0 in
+    let vb = if i < lb then b.(i) else 0 in
+    let s = va + vb + !carry in
+    result.(i) <- s land limb_mask;
+    carry := s lsr base_bits
+  done;
+  result.(n) <- !carry;
+  result
+
+(* Requires a >= b. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let result = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let vb = if i < lb then b.(i) else 0 in
+    let d = a.(i) - vb - !borrow in
+    if d < 0 then begin
+      result.(i) <- d + base;
+      borrow := 1
+    end else begin
+      result.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  result
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then make x.sign (mag_add x.mag y.mag)
+  else begin
+    match mag_compare x.mag y.mag with
+    | 0 -> zero
+    | c when c > 0 -> make x.sign (mag_sub x.mag y.mag)
+    | _ -> make y.sign (mag_sub y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let result = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          let v = result.(i + j) + (ai * b.(j)) + !carry in
+          result.(i + j) <- v land limb_mask;
+          carry := v lsr base_bits
+        done;
+        (* Propagate the final carry; it may ripple past i + lb. *)
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let v = result.(!k) + !carry in
+          result.(!k) <- v land limb_mask;
+          carry := v lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    result
+  end
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else make (x.sign * y.sign) (mag_mul x.mag y.mag)
+
+let mag_bit_length a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let top = a.(n - 1) in
+    let rec width w = if top lsr w = 0 then w else width (w + 1) in
+    ((n - 1) * base_bits) + width 0
+  end
+
+let bit_length t = mag_bit_length t.mag
+
+let mag_get_bit a i =
+  let limb = i / base_bits and off = i mod base_bits in
+  if limb >= Array.length a then 0 else (a.(limb) lsr off) land 1
+
+(* Binary long division on magnitudes: O(bits(a) * limbs(b)). The
+   remainder buffer is mutated in place (shift-left-one-or-bit, compare,
+   subtract), which is simple to verify and fast enough for the limb
+   sizes the simplex produces. *)
+let mag_divmod a b =
+  let lb = Array.length b in
+  if lb = 0 then raise Division_by_zero;
+  if mag_compare a b < 0 then ([||], Array.copy a)
+  else begin
+    let bits = mag_bit_length a in
+    let quotient = Array.make (Array.length a) 0 in
+    (* Remainder needs at most lb + 1 limbs: it stays < b after each step,
+       and the shift adds one bit. *)
+    let r = Array.make (lb + 1) 0 in
+    let r_len = ref 0 in
+    let shift_in bit =
+      let carry = ref bit in
+      for i = 0 to !r_len - 1 do
+        let v = (r.(i) lsl 1) lor !carry in
+        r.(i) <- v land limb_mask;
+        carry := v lsr base_bits
+      done;
+      if !carry <> 0 then begin
+        r.(!r_len) <- !carry;
+        incr r_len
+      end
+    in
+    let r_ge_b () =
+      if !r_len <> lb then !r_len > lb
+      else begin
+        let rec from i =
+          if i < 0 then true else if r.(i) <> b.(i) then r.(i) > b.(i) else from (i - 1)
+        in
+        from (lb - 1)
+      end
+    in
+    let r_sub_b () =
+      let borrow = ref 0 in
+      for i = 0 to !r_len - 1 do
+        let vb = if i < lb then b.(i) else 0 in
+        let d = r.(i) - vb - !borrow in
+        if d < 0 then begin
+          r.(i) <- d + base;
+          borrow := 1
+        end else begin
+          r.(i) <- d;
+          borrow := 0
+        end
+      done;
+      assert (!borrow = 0);
+      while !r_len > 0 && r.(!r_len - 1) = 0 do
+        decr r_len
+      done
+    in
+    for i = bits - 1 downto 0 do
+      shift_in (mag_get_bit a i);
+      if r_ge_b () then begin
+        r_sub_b ();
+        quotient.(i / base_bits) <- quotient.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+    done;
+    (quotient, Array.sub r 0 !r_len)
+  end
+
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero;
+  if x.sign = 0 then (zero, zero)
+  else begin
+    let q_mag, r_mag = mag_divmod x.mag y.mag in
+    let q = make (x.sign * y.sign) q_mag in
+    let r = make x.sign r_mag in
+    (q, r)
+  end
+
+let div x y = fst (divmod x y)
+let rem x y = snd (divmod x y)
+
+let rec gcd_mag x y = if is_zero y then x else gcd_mag y (rem x y)
+let gcd x y = gcd_mag (abs x) (abs y)
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (n lsr 1)
+    end
+  in
+  go one x n
+
+let to_int t =
+  (* Values of up to 62 bits round-trip directly; min_int (magnitude 2^62,
+     63 bits) is the one wider value that still fits. *)
+  if bit_length t > 62 then
+    if compare t (of_int min_int) = 0 then Some min_int else None
+  else begin
+    let v = ref 0 in
+    for i = Array.length t.mag - 1 downto 0 do
+      v := (!v lsl base_bits) lor t.mag.(i)
+    done;
+    Some (if t.sign < 0 then - !v else !v)
+  end
+
+let to_int_exn t =
+  match to_int t with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int_exn: value out of native int range"
+
+let to_float t =
+  let v = ref 0.0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    v := (!v *. float_of_int base) +. float_of_int t.mag.(i)
+  done;
+  if t.sign < 0 then -. !v else !v
+
+(* Decimal conversion goes through chunks of 10^9 < 2^30. *)
+let decimal_chunk = 1_000_000_000
+
+let mag_divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks acc mag =
+      if Array.length mag = 0 then acc
+      else begin
+        let q, r = mag_divmod_small mag decimal_chunk in
+        chunks (r :: acc) (normalize_mag q)
+      end
+    in
+    (match chunks [] t.mag with
+    | [] -> assert false
+    | first :: rest ->
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    let body = Buffer.contents buf in
+    if t.sign < 0 then "-" ^ body else body
+  end
+
+let mag_mul_small a m =
+  let la = Array.length a in
+  let result = Array.make (la + 2) 0 in
+  let carry = ref 0 in
+  for i = 0 to la - 1 do
+    let v = (a.(i) * m) + !carry in
+    result.(i) <- v land limb_mask;
+    carry := v lsr base_bits
+  done;
+  let k = ref la in
+  while !carry <> 0 do
+    result.(!k) <- !carry land limb_mask;
+    carry := !carry lsr base_bits;
+    incr k
+  done;
+  result
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let negative, start =
+    match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: missing digits";
+  let mag = ref [||] in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: invalid digit";
+    let d = Char.code c - Char.code '0' in
+    mag := normalize_mag (mag_add (mag_mul_small !mag 10) [| d |])
+  done;
+  make (if negative then -1 else 1) !mag
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,69 @@
+let check_args n p =
+  if n < 0 then invalid_arg "Binomial: negative n";
+  if not (Float.is_finite p) || p < 0.0 || p > 1.0 then invalid_arg "Binomial: p outside [0,1]"
+
+let choose n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let k = Stdlib.min k (n - k) in
+    let acc = ref 1.0 in
+    for i = 1 to k do
+      acc := !acc *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    !acc
+  end
+
+let choose_exact n k =
+  if k < 0 || k > n then Bigint.zero
+  else begin
+    let k = Stdlib.min k (n - k) in
+    let acc = ref Bigint.one in
+    for i = 1 to k do
+      (* Multiply first: the running value is always an exact integer. *)
+      acc := Bigint.div (Bigint.mul !acc (Bigint.of_int (n - k + i))) (Bigint.of_int i)
+    done;
+    !acc
+  end
+
+(* log C(n,k) + k log p + (n-k) log(1-p), exponentiated at the end, keeps
+   masses accurate even when p^k alone would underflow. log(1-p) uses
+   log1p for small p. *)
+let pmf ~n ~p k =
+  check_args n p;
+  if k < 0 || k > n then 0.0
+  else if p = 0.0 then if k = 0 then 1.0 else 0.0
+  else if p = 1.0 then if k = n then 1.0 else 0.0
+  else begin
+    let log_c = log (choose n k) in
+    let log_mass = log_c +. (float_of_int k *. log p) +. (float_of_int (n - k) *. Float.log1p (-.p)) in
+    exp log_mass
+  end
+
+let pmf_all ~n ~p =
+  check_args n p;
+  Array.init (n + 1) (fun k -> pmf ~n ~p k)
+
+let cdf ~n ~p k =
+  check_args n p;
+  if k < 0 then 0.0
+  else if k >= n then 1.0
+  else begin
+    let acc = Kahan.create () in
+    for i = 0 to k do
+      Kahan.add acc (pmf ~n ~p i)
+    done;
+    Float.min 1.0 (Kahan.total acc)
+  end
+
+let survival ~n ~p k =
+  check_args n p;
+  if k < 0 then 1.0
+  else if k >= n then 0.0
+  else begin
+    let acc = Kahan.create () in
+    (* Sum the tail upwards from the smallest terms. *)
+    for i = n downto k + 1 do
+      Kahan.add acc (pmf ~n ~p i)
+    done;
+    Float.min 1.0 (Kahan.total acc)
+  end

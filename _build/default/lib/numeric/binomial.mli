@@ -1,0 +1,25 @@
+(** Binomial probability law, used for the number of faulty ways per
+    cache set (paper eqs. 2 and 3). Associativities are tiny (<= 64), so
+    coefficients are computed exactly in floating point via a
+    multiplicative ladder; extreme [p] values are handled in log space to
+    avoid underflow of intermediate terms. *)
+
+val choose : int -> int -> float
+(** [choose n k] = C(n, k); [0.] outside [0 <= k <= n]. *)
+
+val choose_exact : int -> int -> Bigint.t
+(** Exact binomial coefficient (Pascal ladder on bigints). *)
+
+val pmf : n:int -> p:float -> int -> float
+(** [pmf ~n ~p k] is [C(n,k) p^k (1-p)^(n-k)]; [0.] outside the support.
+    @raise Invalid_argument when [p] is outside [0, 1] or [n < 0]. *)
+
+val pmf_all : n:int -> p:float -> float array
+(** All masses [pmf 0 .. pmf n]; sums to [1.] up to rounding. *)
+
+val cdf : n:int -> p:float -> int -> float
+(** [P(X <= k)]. *)
+
+val survival : n:int -> p:float -> int -> float
+(** [P(X > k)], accumulated from the small upper-tail terms so no
+    [1 - x] cancellation occurs. *)

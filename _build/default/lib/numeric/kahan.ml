@@ -1,0 +1,31 @@
+(* Neumaier's variant of Kahan summation: unlike the classic version it
+   stays accurate when a new term is larger than the running sum. *)
+
+type t = { mutable sum : float; mutable compensation : float }
+
+let create () = { sum = 0.0; compensation = 0.0 }
+
+let add t x =
+  let s = t.sum +. x in
+  let correction =
+    if Float.abs t.sum >= Float.abs x then (t.sum -. s) +. x else (x -. s) +. t.sum
+  in
+  t.compensation <- t.compensation +. correction;
+  t.sum <- s
+
+let total t = t.sum +. t.compensation
+
+let sum xs =
+  let acc = create () in
+  List.iter (add acc) xs;
+  total acc
+
+let sum_array xs =
+  let acc = create () in
+  Array.iter (add acc) xs;
+  total acc
+
+let sum_by f xs =
+  let acc = create () in
+  List.iter (fun x -> add acc (f x)) xs;
+  total acc

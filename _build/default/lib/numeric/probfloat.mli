@@ -1,0 +1,13 @@
+(** Numerically careful probability helpers for the fault model. *)
+
+val one_minus_pow_one_minus : p:float -> k:int -> float
+(** [one_minus_pow_one_minus ~p ~k] computes [1 - (1 - p)^k] (paper
+    eq. 1: block-failure probability from bit-failure probability) via
+    [expm1]/[log1p] so that tiny [p] does not cancel.
+    @raise Invalid_argument when [p] is outside [0,1] or [k < 0]. *)
+
+val pow_one_minus : p:float -> k:int -> float
+(** [(1 - p)^k] without forming [1 - p] when [p] is tiny. *)
+
+val clamp01 : float -> float
+(** Clamp to [0, 1] (guards accumulated rounding at the boundaries). *)

@@ -1,0 +1,1 @@
+lib/prob/dist.ml: Array Float Format Hashtbl List Numeric Option Printf

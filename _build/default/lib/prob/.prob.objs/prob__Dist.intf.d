@@ -1,0 +1,1 @@
+lib/prob/dist.mli: Format

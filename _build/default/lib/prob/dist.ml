@@ -1,0 +1,158 @@
+module Kahan = Numeric.Kahan
+
+(* Invariant: penalties strictly ascending, probabilities > 0, suffix
+   holds the exceedance values P(X >= penalties.(i)) accumulated from
+   the top with compensated summation. *)
+type t = {
+  penalties : int array;
+  probs : float array;
+  suffix : float array;
+}
+
+let build_suffix penalties probs =
+  let n = Array.length penalties in
+  let suffix = Array.make n 0.0 in
+  let acc = Kahan.create () in
+  for i = n - 1 downto 0 do
+    Kahan.add acc probs.(i);
+    suffix.(i) <- Kahan.total acc
+  done;
+  suffix
+
+let of_sorted_arrays penalties probs =
+  { penalties; probs; suffix = build_suffix penalties probs }
+
+let point x =
+  if x < 0 then invalid_arg "Dist.point: negative penalty";
+  of_sorted_arrays [| x |] [| 1.0 |]
+
+let merge_points caller points =
+  let tbl = Hashtbl.create (List.length points) in
+  List.iter
+    (fun (x, p) ->
+      if x < 0 then invalid_arg (caller ^ ": negative penalty");
+      if not (Float.is_finite p) || p < 0.0 then invalid_arg (caller ^ ": bad probability");
+      Hashtbl.replace tbl x (p +. Option.value ~default:0.0 (Hashtbl.find_opt tbl x)))
+    points;
+  Hashtbl.fold (fun x p acc -> if p > 0.0 then (x, p) :: acc else acc) tbl []
+  |> List.sort compare
+
+let of_points points =
+  let merged = merge_points "Dist.of_points" points in
+  let total = Kahan.sum_by snd merged in
+  if Float.abs (total -. 1.0) > 1e-9 then
+    invalid_arg (Printf.sprintf "Dist.of_points: total mass %.12g (expected 1)" total);
+  of_sorted_arrays (Array.of_list (List.map fst merged)) (Array.of_list (List.map snd merged))
+
+let of_sub_points points =
+  let merged = merge_points "Dist.of_sub_points" points in
+  let total = Kahan.sum_by snd merged in
+  if total > 1.0 +. 1e-9 then
+    invalid_arg (Printf.sprintf "Dist.of_sub_points: total mass %.12g > 1" total);
+  of_sorted_arrays (Array.of_list (List.map fst merged)) (Array.of_list (List.map snd merged))
+
+let scale factor t =
+  if not (Float.is_finite factor) || factor < 0.0 || factor > 1.0 then
+    invalid_arg "Dist.scale: factor outside [0,1]";
+  let pairs = ref [] in
+  Array.iteri
+    (fun i x ->
+      let p = t.probs.(i) *. factor in
+      if p > 0.0 then pairs := (x, p) :: !pairs)
+    t.penalties;
+  let pairs = List.rev !pairs in
+  of_sorted_arrays (Array.of_list (List.map fst pairs)) (Array.of_list (List.map snd pairs))
+
+let support t = Array.to_list (Array.map2 (fun x p -> (x, p)) t.penalties t.probs)
+let size t = Array.length t.penalties
+let total_mass t = if size t = 0 then 0.0 else t.suffix.(0)
+
+(* Fold the lowest-probability points into their upward neighbour until
+   at most [max_points] remain. Probability only moves to higher
+   penalties, so exceedance curves of the result dominate the input's:
+   conservative for pWCET. *)
+let cap_points max_points (pairs : (int * float) list) =
+  let n = List.length pairs in
+  if n <= max_points then pairs
+  else begin
+    let arr = Array.of_list pairs in
+    (* Select a probability threshold that keeps ~max_points. *)
+    let by_prob = Array.map snd arr in
+    Array.sort compare by_prob;
+    let threshold = by_prob.(n - max_points) in
+    (* Walk in ascending penalty order; a dropped point's mass rides
+       along until the next kept (higher-penalty) point absorbs it. The
+       top point is always kept, so no mass is left over. *)
+    let result = ref [] in
+    let carried = ref 0.0 in
+    Array.iteri
+      (fun i (x, p) ->
+        if p >= threshold || i = n - 1 then begin
+          result := (x, p +. !carried) :: !result;
+          carried := 0.0
+        end
+        else carried := !carried +. p)
+      arr;
+    List.rev !result
+  end
+
+let convolve ?(max_points = 65536) a b =
+  let tbl = Hashtbl.create (size a * size b) in
+  Array.iteri
+    (fun i xa ->
+      let pa = a.probs.(i) in
+      Array.iteri
+        (fun j xb ->
+          let x = xa + xb in
+          let p = pa *. b.probs.(j) in
+          Hashtbl.replace tbl x (p +. Option.value ~default:0.0 (Hashtbl.find_opt tbl x)))
+        b.penalties)
+    a.penalties;
+  let pairs = Hashtbl.fold (fun x p acc -> (x, p) :: acc) tbl [] |> List.sort compare in
+  let pairs = cap_points max_points pairs in
+  of_sorted_arrays (Array.of_list (List.map fst pairs)) (Array.of_list (List.map snd pairs))
+
+let convolve_all ?max_points = function
+  | [] -> point 0
+  | first :: rest -> List.fold_left (fun acc d -> convolve ?max_points acc d) first rest
+
+(* P(X > x): suffix sum of the first support point strictly above x. *)
+let exceedance t x =
+  let n = Array.length t.penalties in
+  (* Binary search: first index with penalty > x. *)
+  let rec search lo hi = if lo >= hi then lo else begin
+      let mid = (lo + hi) / 2 in
+      if t.penalties.(mid) > x then search lo mid else search (mid + 1) hi
+    end
+  in
+  let i = search 0 n in
+  if i >= n then 0.0 else t.suffix.(i)
+
+let quantile t ~target =
+  if target < 0.0 then invalid_arg "Dist.quantile: negative target";
+  let n = Array.length t.penalties in
+  if n = 0 || exceedance t 0 <= target then 0
+  else begin
+    (* The exceedance function only drops at support values, so the
+       smallest x with P(X > x) <= target is the first support value
+       whose strict upper tail fits the target. The scan always
+       terminates at i = n-1, where the tail is 0. *)
+    let rec scan i =
+      let tail_above = if i + 1 < n then t.suffix.(i + 1) else 0.0 in
+      if tail_above <= target then t.penalties.(i) else scan (i + 1)
+    in
+    scan 0
+  end
+
+let exceedance_curve t =
+  Array.to_list (Array.map2 (fun x s -> (x, s)) t.penalties t.suffix)
+
+let expectation t =
+  let acc = Kahan.create () in
+  Array.iteri (fun i x -> Kahan.add acc (float_of_int x *. t.probs.(i))) t.penalties;
+  Kahan.total acc
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri (fun i x -> Format.fprintf fmt "%d: %.6g@," x t.probs.(i)) t.penalties;
+  Format.fprintf fmt "@]"

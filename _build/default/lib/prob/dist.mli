@@ -1,0 +1,58 @@
+(** Finite discrete probability distributions over integer penalties
+    (cycles), with the convolution and exceedance machinery of the
+    paper's Section II-C.
+
+    Soundness convention: all approximation is {e upward} — when the
+    support is capped, low-probability points are merged into {e
+    higher} penalties, so every derived exceedance probability and
+    quantile over-approximates the true one. Probability sums use
+    compensated summation; the tail masses of interest (around
+    [1e-15]) are far above the float64 noise floor when accumulated
+    this way. *)
+
+type t
+
+val point : int -> t
+(** The deterministic distribution. *)
+
+val of_points : (int * float) list -> t
+(** Duplicate penalties are merged. Total mass must be within [1e-9] of
+    1. @raise Invalid_argument on negative penalties or probabilities,
+    or a bad total. *)
+
+val of_sub_points : (int * float) list -> t
+(** Like {!of_points} but allows any total mass in [0, 1]: a
+    {e sub}-probability distribution. Convolving sub-distributions
+    multiplies masses, which is exactly the joint-event accounting the
+    refined SRB analysis needs ({!total_mass} tracks the defect). *)
+
+val scale : float -> t -> t
+(** Multiply every probability by a factor in [0, 1]. *)
+
+val support : t -> (int * float) list
+(** Ascending penalties with their probabilities. *)
+
+val size : t -> int
+val total_mass : t -> float
+
+val convolve : ?max_points:int -> t -> t -> t
+(** Distribution of the sum of two independent variables. When the
+    result exceeds [max_points] (default 65536), the lowest-probability
+    points are folded into the next higher penalty (conservative). *)
+
+val convolve_all : ?max_points:int -> t list -> t
+
+val exceedance : t -> int -> float
+(** [exceedance t x] is [P(X > x)]. *)
+
+val quantile : t -> target:float -> int
+(** Smallest penalty [x] with [P(X > x) <= target] — the value read off
+    the paper's complementary cumulative distributions.
+    @raise Invalid_argument when [target < 0]. *)
+
+val exceedance_curve : t -> (int * float) list
+(** Points [(x, P(X >= x))] for every x in the support — the staircase
+    the paper plots in Fig. 3. *)
+
+val expectation : t -> float
+val pp : Format.formatter -> t -> unit

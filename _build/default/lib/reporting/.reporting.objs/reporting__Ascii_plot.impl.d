@@ -1,0 +1,1 @@
+lib/reporting/ascii_plot.ml: Array Buffer Float List Printf String

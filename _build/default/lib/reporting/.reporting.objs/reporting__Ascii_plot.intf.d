@@ -1,0 +1,1 @@
+lib/reporting/ascii_plot.mli:

@@ -1,0 +1,1 @@
+lib/reporting/table.ml: Array Buffer List Printf Pwcet String

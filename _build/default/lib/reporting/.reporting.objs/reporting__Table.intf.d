@@ -1,0 +1,1 @@
+lib/reporting/table.mli: Pwcet

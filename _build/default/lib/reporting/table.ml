@@ -1,0 +1,71 @@
+let render ~header ~rows =
+  let ncols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then invalid_arg "Table.render: ragged rows")
+    rows;
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (List.iteri (fun c cell -> widths.(c) <- max widths.(c) (String.length cell)))
+    rows;
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    List.iteri
+      (fun c cell ->
+        Buffer.add_string buf (Printf.sprintf "%s%-*s" (if c = 0 then "  " else "  ") widths.(c) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Buffer.add_string buf "  ";
+  Array.iteri
+    (fun c w ->
+      if c > 0 then Buffer.add_string buf "--";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let fig4 rows =
+  let data_rows =
+    List.map
+      (fun (r : Pwcet.Report_data.row) ->
+        let ff, srb, rw = Pwcet.Report_data.normalized r in
+        [ r.Pwcet.Report_data.name
+        ; string_of_int r.Pwcet.Report_data.wcet_ff
+        ; string_of_int r.Pwcet.Report_data.pwcet_none
+        ; string_of_int r.Pwcet.Report_data.pwcet_srb
+        ; string_of_int r.Pwcet.Report_data.pwcet_rw
+        ; Printf.sprintf "%.3f" ff
+        ; Printf.sprintf "%.3f" srb
+        ; Printf.sprintf "%.3f" rw
+        ; Printf.sprintf "%.1f%%" (100.0 *. Pwcet.Report_data.gain_srb r)
+        ; Printf.sprintf "%.1f%%" (100.0 *. Pwcet.Report_data.gain_rw r)
+        ; string_of_int (Pwcet.Report_data.category r)
+        ])
+      rows
+  in
+  render
+    ~header:
+      [ "benchmark"; "wcet_ff"; "pwcet none"; "pwcet srb"; "pwcet rw"; "ff/none"; "srb/none"
+      ; "rw/none"; "gain srb"; "gain rw"; "cat"
+      ]
+    ~rows:data_rows
+
+let aggregates rows =
+  let avg_rw, avg_srb = Pwcet.Report_data.average_gains rows in
+  let min_srb_name, min_srb = Pwcet.Report_data.min_gain rows Pwcet.Report_data.gain_srb in
+  let min_rw_name, min_rw = Pwcet.Report_data.min_gain rows Pwcet.Report_data.gain_rw in
+  let counts = Array.make 5 0 in
+  List.iter
+    (fun r ->
+      let c = Pwcet.Report_data.category r in
+      counts.(c) <- counts.(c) + 1)
+    rows;
+  Printf.sprintf
+    "  average gain: RW %.1f%%, SRB %.1f%%  (paper: 48%% and 40%%)\n\
+    \  minimum gain: SRB %.1f%% (%s), RW %.1f%% (%s)  (paper: SRB 25%% on ud, RW 26%% on fft)\n\
+    \  categories:   1:%d  2:%d  3:%d  4:%d\n"
+    (100.0 *. avg_rw) (100.0 *. avg_srb) (100.0 *. min_srb) min_srb_name (100.0 *. min_rw)
+    min_rw_name counts.(1) counts.(2) counts.(3) counts.(4)

@@ -1,0 +1,12 @@
+(** Plain-text tables for the evaluation output. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Column-aligned table with a separator under the header.
+    @raise Invalid_argument when a row width differs from the header. *)
+
+val fig4 : Pwcet.Report_data.row list -> string
+(** The Fig. 4 table: per benchmark, normalised fault-free / SRB / RW
+    pWCETs, per-mechanism gains and the behavioural category. *)
+
+val aggregates : Pwcet.Report_data.row list -> string
+(** The Section IV-B in-text numbers: average and minimum gains. *)

@@ -1,0 +1,26 @@
+// Bubble sort with an early-exit flag and a checksum, in mini-C.
+
+int arr[32] = {71, 13, 55, 8, 99, 2, 67, 30, 12, 26, 18, 60, 40, 44, 5, 77,
+               21, 89, 34, 1, 95, 47, 62, 3, 80, 16, 58, 24, 91, 7, 50, 37};
+
+int main() {
+  int swapped = 1;
+  int pass = 0;
+  while (swapped > 0 && pass < 31) __bound(31) {
+    swapped = 0;
+    for (j = 0; j < 31; j++) {
+      if (arr[j] > arr[j + 1]) {
+        int t = arr[j];
+        arr[j] = arr[j + 1];
+        arr[j + 1] = t;
+        swapped = 1;
+      }
+    }
+    pass = pass + 1;
+  }
+  int sum = 0;
+  for (k = 0; k < 32; k++) {
+    sum = sum + arr[k] * (k + 1);
+  }
+  return sum;
+}

@@ -1,0 +1,13 @@
+// Dot product of two vectors, written in mini-C concrete syntax.
+// Analyze with:  dune exec bin/pwcet_tool.exe -- analyze programs/dot_product.c
+
+int xs[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+int ys[16] = {2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30, 32};
+
+int main() {
+  int acc = 0;
+  for (k = 0; k < 16; k++) {
+    acc = acc + xs[k] * ys[k];
+  }
+  return acc;
+}

@@ -1,0 +1,22 @@
+// Integer square roots by Newton iteration over a table of inputs.
+
+int inputs[10] = {4, 100, 144, 1024, 7, 99, 65535, 31, 2000, 123456};
+
+int isqrt(int x) {
+  if (x <= 0) { return 0; }
+  int r = x;
+  if (r > 46340) { r = 46340; }
+  for (it = 0; it < 20; it++) {
+    int next = (r + x / r) / 2;
+    if (next < r) { r = next; }
+  }
+  return r;
+}
+
+int main() {
+  int sum = 0;
+  for (k = 0; k < 10; k++) {
+    sum = sum + isqrt(inputs[k]);
+  }
+  return sum;
+}

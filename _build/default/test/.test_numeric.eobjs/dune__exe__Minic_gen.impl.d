@@ -1,0 +1,1 @@
+test/minic_gen.ml: Array List Minic Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Benchmarks Cache Cache_analysis Cfg Hashtbl Ipet Isa List Minic Option Printf Pwcet Random

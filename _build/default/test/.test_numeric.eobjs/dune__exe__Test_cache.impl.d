@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache List QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_cache_analysis.ml: Alcotest Array Cache Cache_analysis Cfg Hashtbl Isa List Minic Option Printf Random

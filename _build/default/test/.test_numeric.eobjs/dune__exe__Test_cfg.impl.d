@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg Hashtbl Instr Isa List Minic Option Program Reg

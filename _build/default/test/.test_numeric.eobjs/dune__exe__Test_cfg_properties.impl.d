@@ -1,0 +1,1 @@
+test/test_cfg_properties.ml: Alcotest Array Benchmarks Cfg List Minic Minic_gen QCheck2 QCheck_alcotest

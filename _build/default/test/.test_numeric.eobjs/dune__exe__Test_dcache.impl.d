@@ -1,0 +1,1 @@
+test/test_dcache.ml: Alcotest Array Benchmarks Cache Cache_analysis Cfg Dcache Isa List Minic Option Printf Pwcet Random

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Benchmarks Format Isa List Minic Minic_gen QCheck2 QCheck_alcotest

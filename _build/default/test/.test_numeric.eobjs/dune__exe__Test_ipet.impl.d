@@ -1,0 +1,1 @@
+test/test_ipet.ml: Alcotest Array Cache Cache_analysis Cfg Ipet Isa List Minic Printf Random

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Instr Isa Machine Option Program Reg

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Compile Format Isa List Minic String Typecheck

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Benchmarks Cache Format Ilp Isa List Minic Option Pwcet String

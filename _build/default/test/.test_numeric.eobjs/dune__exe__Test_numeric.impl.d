@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Float List Numeric Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Array Benchmarks Cache Filename Isa List Minic Option Pwcet String Sys

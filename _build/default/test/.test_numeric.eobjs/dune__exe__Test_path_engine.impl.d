@@ -1,0 +1,1 @@
+test/test_path_engine.ml: Alcotest Benchmarks Cache Cache_analysis Cfg Instr Ipet Isa List Minic Option Printf Program Reg

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Cache Fault Float List Numeric Printf Prob Random

@@ -1,0 +1,1 @@
+test/test_pwcet.ml: Alcotest Array Benchmarks Cache Fault Float Isa List Minic Option Printf Prob Pwcet Random

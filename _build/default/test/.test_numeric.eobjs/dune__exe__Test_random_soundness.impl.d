@@ -1,0 +1,1 @@
+test/test_random_soundness.ml: Alcotest Array Cache Cfg Dcache Format Isa Minic Minic_gen Pwcet QCheck2 QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest List Pwcet Reporting String

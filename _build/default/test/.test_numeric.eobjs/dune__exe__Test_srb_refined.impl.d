@@ -1,0 +1,1 @@
+test/test_srb_refined.ml: Alcotest Array Benchmarks Cache Cache_analysis Cfg Fault Float Ipet Isa List Minic Option Printf Prob Pwcet Random

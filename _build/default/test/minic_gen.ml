@@ -1,0 +1,153 @@
+(* Random mini-C program generation, shared by the differential and
+   random-soundness test suites. Only defined behaviour is generated:
+   array indices are masked into bounds (power-of-two sizes), divisors
+   are forced non-zero, every function returns explicitly, loops have
+   constant bounds and read-only indices. *)
+
+open Minic.Ast
+
+(* --- random program generation ------------------------------------------- *)
+
+let arr_size = 8 (* power of two so [e & 7] is always in bounds *)
+
+type genv = {
+  scalars : string list;  (* readable scalar variables *)
+  assignable : string list;  (* scalars that may be written (loop indices excluded) *)
+  arrays : string list;
+  funcs : (string * int) list;  (* callable functions with arity *)
+  depth : int;  (* expression depth budget *)
+  stmt_depth : int;  (* statement nesting budget: bounds loop nests *)
+}
+
+open QCheck2.Gen
+
+let gen_const = int_range (-1000) 1000
+
+let arith_op = oneofl [ Add; Sub; Mul; Bitand; Bitor; Bitxor ]
+let cmp_op = oneofl [ Lt; Le; Gt; Ge; Eq; Ne ]
+
+let rec gen_expr env =
+  if env.depth <= 0 then gen_leaf env
+  else
+    let sub = { env with depth = env.depth - 1 } in
+    frequency
+      ([ (3, gen_leaf env)
+       ; (4, map2 (fun op (a, b) -> Binop (op, a, b)) arith_op (pair (gen_expr sub) (gen_expr sub)))
+       ; (2, map2 (fun op (a, b) -> Binop (op, a, b)) cmp_op (pair (gen_expr sub) (gen_expr sub)))
+       ; (1, map (fun e -> Unop (Neg, e)) (gen_expr sub))
+       ; (1, map (fun e -> Unop (Bitnot, e)) (gen_expr sub))
+       ; (1, map (fun e -> Unop (Lognot, e)) (gen_expr sub))
+       ; (1, map2 (fun a b -> Binop (Logand, a, b)) (gen_expr sub) (gen_expr sub))
+       ; (1, map2 (fun a b -> Binop (Logor, a, b)) (gen_expr sub) (gen_expr sub))
+       ; (1, map2 (fun a b -> Binop (Shl, a, Binop (Bitand, b, Int 7))) (gen_expr sub) (gen_expr sub))
+       ; (1, map2 (fun a b -> Binop (Ashr, a, Binop (Bitand, b, Int 7))) (gen_expr sub) (gen_expr sub))
+       ; (* Division with a guaranteed non-zero divisor. *)
+         ( 1,
+           map2
+             (fun a b -> Binop (Div, a, Binop (Bitor, Binop (Bitand, b, Int 7), Int 1)))
+             (gen_expr sub) (gen_expr sub) )
+       ; ( 1,
+           map2
+             (fun a b -> Binop (Mod, a, Binop (Bitor, Binop (Bitand, b, Int 7), Int 1)))
+             (gen_expr sub) (gen_expr sub) )
+       ]
+      @ (match env.arrays with
+        | [] -> []
+        | arrays ->
+          [ ( 2,
+              let* name = oneofl arrays in
+              let* idx = gen_expr sub in
+              return (Index (name, Binop (Bitand, idx, Int (arr_size - 1)))) )
+          ])
+      @
+      match env.funcs with
+      | [] -> []
+      | funcs ->
+        [ ( 1,
+            let* name, arity = oneofl funcs in
+            let* args = list_size (return arity) (gen_expr sub) in
+            return (Call (name, args)) )
+        ])
+
+and gen_leaf env =
+  match env.scalars with
+  | [] -> map (fun v -> Int v) gen_const
+  | scalars ->
+    frequency [ (2, map (fun v -> Int v) gen_const); (3, map (fun v -> Var v) (oneofl scalars)) ]
+
+(* Statements; returns the block plus the scalars it declares. *)
+let rec gen_block env size =
+  if size <= 0 then return []
+  else
+    let* stmt, env' = gen_stmt env in
+    let* rest = gen_block env' (size - 1) in
+    return (stmt :: rest)
+
+and gen_stmt env =
+  let sub = { env with depth = 2 } in
+  let nested = { sub with depth = 1; stmt_depth = env.stmt_depth - 1 } in
+  frequency
+    ([ (* declare a fresh scalar *)
+       ( 2,
+         let name = Printf.sprintf "v%d" (List.length env.scalars) in
+         let* e = gen_expr sub in
+         return
+           ( Decl (name, e),
+             { env with scalars = name :: env.scalars; assignable = name :: env.assignable } ) )
+     ]
+    @ (match env.assignable with
+      | [] -> []
+      | assignable ->
+        [ ( 3,
+            let* name = oneofl assignable in
+            let* e = gen_expr sub in
+            return (Assign (name, e), env) )
+        ])
+    @ (match env.arrays with
+      | [] -> []
+      | arrays ->
+        [ ( 2,
+            let* name = oneofl arrays in
+            let* idx = gen_expr sub in
+            let* e = gen_expr sub in
+            return (Store (name, Binop (Bitand, idx, Int (arr_size - 1)), e), env) )
+        ])
+    @
+    if env.stmt_depth <= 0 then []
+    else
+      [ ( 2,
+          let* c = gen_expr sub in
+          let* then_ = gen_block nested 2 in
+          let* else_ = gen_block nested 2 in
+          return (If (c, then_, else_), env) )
+      ; ( 1,
+          let idx_name = Printf.sprintf "k%d" (List.length env.scalars) in
+          let* n = int_range 1 6 in
+          (* The index is readable in the body but never assignable. *)
+          let* body = gen_block { nested with scalars = idx_name :: nested.scalars } 2 in
+          return
+            (For { index = idx_name; start = Int 0; stop = Int n; bound = None; body }, env) )
+      ])
+
+let gen_program =
+  let* helper_body_expr =
+    gen_expr
+      { scalars = [ "x" ]; assignable = []; arrays = [ "ga" ]; funcs = []; depth = 3
+      ; stmt_depth = 0 }
+  in
+  let* init = list_size (return arr_size) gen_const in
+  let env =
+    { scalars = []; assignable = []; arrays = [ "ga" ]; funcs = [ ("helper", 1) ]; depth = 3
+    ; stmt_depth = 3 }
+  in
+  let* body = gen_block env 6 in
+  let* result = gen_expr { env with scalars = List.concat_map (fun s -> match s with Decl (n, _) -> [ n ] | _ -> []) body @ env.scalars } in
+  return
+    {
+      globals = [ ("ga", Array (Array.of_list init)) ];
+      funcs =
+        [ { fname = "helper"; params = [ "x" ]; body = [ Return (Some helper_body_expr) ] }
+        ; { fname = "main"; params = []; body = body @ [ Return (Some result) ] }
+        ];
+    }
+

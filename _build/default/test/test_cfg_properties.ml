@@ -1,0 +1,142 @@
+(* Property tests for the CFG analyses on CFGs of randomly generated
+   programs: the dominator computation is cross-checked against a
+   brute-force definition (a dominates b iff removing a disconnects b
+   from the entry), and natural loops must satisfy their structural
+   invariants (header dominates body, bodies nest or are disjoint,
+   back-edge sources inside the body). *)
+
+module G = Cfg.Graph
+module D = Cfg.Dominance
+module L = Cfg.Loop
+
+let graph_of program =
+  let compiled = Minic.Compile.compile program in
+  G.build compiled.Minic.Compile.program
+
+(* Brute force: b reachable from entry avoiding a? *)
+let reachable_avoiding g ~avoiding ~target =
+  let n = G.node_count g in
+  let seen = Array.make n false in
+  let rec dfs u =
+    if (not seen.(u)) && u <> avoiding then begin
+      seen.(u) <- true;
+      List.iter dfs (G.successors g u)
+    end
+  in
+  if g.G.entry <> avoiding then dfs g.G.entry;
+  seen.(target)
+
+let reachable_set g =
+  let n = G.node_count g in
+  let seen = Array.make n false in
+  let rec dfs u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter dfs (G.successors g u)
+    end
+  in
+  dfs g.G.entry;
+  seen
+
+let check_dominance g =
+  let dom = D.compute g in
+  let reachable = reachable_set g in
+  let n = G.node_count g in
+  (* Brute force is quadratic in nodes x edges; random programs stay
+     small enough. *)
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if reachable.(a) && reachable.(b) then begin
+        let brute =
+          a = b || not (reachable_avoiding g ~avoiding:a ~target:b)
+        in
+        if D.dominates dom a b <> brute then
+          Alcotest.failf "dominates %d %d: fast %b brute %b" a b (D.dominates dom a b) brute
+      end
+    done
+  done;
+  (* idom really is a dominator and no strictly-closer one exists. *)
+  for b = 0 to n - 1 do
+    if reachable.(b) then
+      match D.idom dom b with
+      | None -> ()
+      | Some a ->
+        if not (D.dominates dom a b) then Alcotest.failf "idom %d of %d not a dominator" a b
+  done
+
+let check_loops g =
+  match L.detect g with
+  | exception L.Loop_error _ -> () (* bound-less hand assembly never happens here *)
+  | loops ->
+    let dom = D.compute g in
+    List.iter
+      (fun (l : L.loop) ->
+        (* Header in body; header dominates every body node. *)
+        if not (List.mem l.L.header l.L.body) then Alcotest.fail "header outside body";
+        List.iter
+          (fun u ->
+            if not (D.dominates dom l.L.header u) then
+              Alcotest.failf "header %d does not dominate body node %d" l.L.header u)
+          l.L.body;
+        (* Back edges start in the body and end at the header. *)
+        List.iter
+          (fun (src, dst) ->
+            if dst <> l.L.header then Alcotest.fail "back edge not to header";
+            if not (List.mem src l.L.body) then Alcotest.fail "back edge from outside")
+          l.L.back_edges;
+        (* Entry edges come from outside. *)
+        List.iter
+          (fun (src, dst) ->
+            if dst <> l.L.header then Alcotest.fail "entry edge not to header";
+            if List.mem src l.L.body then Alcotest.fail "entry edge from inside")
+          l.L.entry_edges)
+      loops;
+    (* Loop bodies nest or are disjoint. *)
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if i < j then begin
+              let inter =
+                List.filter (fun u -> List.mem u b.L.body) a.L.body |> List.length
+              in
+              let la = List.length a.L.body and lb = List.length b.L.body in
+              if not (inter = 0 || inter = min la lb) then
+                Alcotest.fail "loop bodies overlap without nesting"
+            end)
+          loops)
+      loops
+
+let dominance_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:80 ~name:"dominators match brute force" Minic_gen.gen_program
+       (fun program ->
+         (match graph_of program with
+         | exception Minic.Typecheck.Error _ -> ()
+         | g -> check_dominance g);
+         true))
+
+let loops_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:80 ~name:"natural-loop invariants" Minic_gen.gen_program
+       (fun program ->
+         (match graph_of program with
+         | exception Minic.Typecheck.Error _ -> ()
+         | g -> check_loops g);
+         true))
+
+(* The benchmark CFGs as fixed heavy cases. *)
+let test_benchmarks () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = graph_of e.Benchmarks.Registry.program in
+      if G.node_count g <= 400 then check_dominance g;
+      check_loops g)
+    (Benchmarks.Registry.all @ Benchmarks.Registry.extras)
+
+let () =
+  Alcotest.run "cfg_properties"
+    [ ( "random programs",
+        [ dominance_prop; loops_prop; Alcotest.test_case "benchmark CFGs" `Slow test_benchmarks ]
+      )
+    ]

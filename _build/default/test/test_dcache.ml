@@ -1,0 +1,307 @@
+(* Tests for the data-cache extension: compiler annotations, the
+   data-cache CHMC, the combined I+D WCET, fault-miss maps for the data
+   cache, and end-to-end soundness against simulation with both caches
+   and sampled fault maps. *)
+
+module C = Cache.Config
+module FM = Cache.Fault_map
+module Chmc = Cache_analysis.Chmc
+module D = Dcache.Destimator
+
+let iconfig = C.paper_default
+let dconfig = C.paper_default
+
+let compile prog = Minic.Compile.compile prog
+
+let scalar_loop =
+  let open Minic.Dsl in
+  program
+    ~globals:[ scalar "g" 5 ]
+    [ fn "main" []
+        [ decl "s" (i 0)
+        ; for_ "k" (i 0) (i 20) [ set "s" (v "s" +: v "g") ]
+        ; ret (v "s")
+        ]
+    ]
+
+let array_loop =
+  let open Minic.Dsl in
+  program
+    ~globals:[ array_n "big" 64 (fun k -> k) ]
+    [ fn "main" []
+        [ decl "s" (i 0)
+        ; for_ "k" (i 0) (i 64) [ set "s" (v "s" +: idx "big" (v "k")) ]
+        ; ret (v "s")
+        ]
+    ]
+
+(* --- annotations ------------------------------------------------------------ *)
+
+let test_annotations_cover_all_memory_ops () =
+  List.iter
+    (fun prog ->
+      let compiled = compile prog in
+      let annotated = List.map fst compiled.Minic.Compile.data_refs in
+      let program = compiled.Minic.Compile.program in
+      for k = 0 to Isa.Program.instruction_count program - 1 do
+        match Isa.Program.instruction program k with
+        | Isa.Instr.Lw _ | Isa.Instr.Sw _ | Isa.Instr.Lb _ | Isa.Instr.Sb _ ->
+          Alcotest.(check bool) (Printf.sprintf "instr %d annotated" k) true
+            (List.mem k annotated)
+        | _ ->
+          Alcotest.(check bool) (Printf.sprintf "instr %d not annotated" k) false
+            (List.mem k annotated)
+      done)
+    [ scalar_loop; array_loop ]
+
+let test_annotation_kinds () =
+  let compiled = compile scalar_loop in
+  let g_addr = List.assoc "g" compiled.Minic.Compile.global_addresses in
+  let kinds = List.map snd compiled.Minic.Compile.data_refs in
+  Alcotest.(check bool) "reads g exactly" true
+    (List.exists (fun t -> t = Minic.Compile.Data_exact g_addr) kinds);
+  Alcotest.(check bool) "has stack traffic" true
+    (List.exists (fun t -> t = Minic.Compile.Data_stack) kinds);
+  let compiled2 = compile array_loop in
+  let base = List.assoc "big" compiled2.Minic.Compile.global_addresses in
+  Alcotest.(check bool) "array load is a range" true
+    (List.exists
+       (fun t -> t = Minic.Compile.Data_range { base; bytes = 256 })
+       (List.map snd compiled2.Minic.Compile.data_refs))
+
+(* --- data-cache classification ------------------------------------------------ *)
+
+let danalysis_of prog =
+  let compiled = compile prog in
+  let graph = Cfg.Graph.build compiled.Minic.Compile.program in
+  let loops = Cfg.Loop.detect graph in
+  let annot = Dcache.Annot.build graph compiled.Minic.Compile.data_refs in
+  (compiled, Dcache.Danalysis.analyze ~graph ~loops ~config:dconfig ~annot ())
+
+let count_classes d =
+  Dcache.Danalysis.fold_loads
+    (fun ~node:_ ~offset:_ cls (ah, fm, nc) ->
+      match cls with
+      | Chmc.Always_hit -> (ah + 1, fm, nc)
+      | Chmc.First_miss _ -> (ah, fm + 1, nc)
+      | Chmc.Always_miss | Chmc.Not_classified -> (ah, fm, nc + 1))
+    d (0, 0, 0)
+
+let test_scalar_loads_classified () =
+  let _, d = danalysis_of scalar_loop in
+  let ah, fm, nc = count_classes d in
+  (* The single global scalar: one first-miss, re-reads always-hit. *)
+  Alcotest.(check int) "no unclassified" 0 nc;
+  Alcotest.(check bool) "one cold miss" true (fm >= 1);
+  Alcotest.(check bool) "hits exist" true (ah >= 0 || fm > 0)
+
+let test_array_loads_unclassified () =
+  let _, d = danalysis_of array_loop in
+  let _, _, nc = count_classes d in
+  (* 64-word array spans 16 blocks: the load is imprecise. *)
+  Alcotest.(check bool) "imprecise -> NC" true (nc >= 1)
+
+let test_single_block_array_is_precise () =
+  let open Minic.Dsl in
+  let prog =
+    program
+      ~globals:[ array_n "tiny" 4 (fun k -> k) ]  (* 16 bytes: one block *)
+      [ fn "main" []
+          [ decl "s" (i 0)
+          ; for_ "k" (i 0) (i 4) [ set "s" (v "s" +: idx "tiny" (v "k")) ]
+          ; ret (v "s")
+          ]
+      ]
+  in
+  let _, d = danalysis_of prog in
+  let ah, fm, nc = count_classes d in
+  Alcotest.(check int) "no unclassified" 0 nc;
+  Alcotest.(check bool) "classified" true (ah + fm >= 1)
+
+let test_interval_narrowing () =
+  (* A bounded loop index over a slice of a large array: the annotation
+     narrows to the slice; here the slice fits one block, so the load
+     becomes precise and fully classified. *)
+  let open Minic.Dsl in
+  let prog =
+    program
+      ~globals:[ array_n "big" 64 (fun k -> k) ]
+      [ fn "main" []
+          [ decl "s" (i 0)
+          ; for_ "k" (i 0) (i 4) [ set "s" (v "s" +: idx "big" (v "k")) ]
+          ; ret (v "s")
+          ]
+      ]
+  in
+  let compiled = compile prog in
+  let base = List.assoc "big" compiled.Minic.Compile.global_addresses in
+  Alcotest.(check bool) "narrowed to 16 bytes" true
+    (List.exists
+       (fun (_, t) -> t = Minic.Compile.Data_range { base; bytes = 16 })
+       compiled.Minic.Compile.data_refs);
+  let _, d = danalysis_of prog in
+  let _, _, nc = count_classes d in
+  Alcotest.(check int) "slice load fully classified" 0 nc;
+  (* An affine index over a wider slice narrows but stays imprecise. *)
+  let prog2 =
+    program
+      ~globals:[ array_n "big" 64 (fun k -> k) ]
+      [ fn "main" []
+          [ decl "s" (i 0)
+          ; for_ "k" (i 0) (i 8) [ set "s" (v "s" +: idx "big" ((v "k" *: i 2) +: i 16)) ]
+          ; ret (v "s")
+          ]
+      ]
+  in
+  let compiled2 = compile prog2 in
+  let base2 = List.assoc "big" compiled2.Minic.Compile.global_addresses in
+  (* k*2+16 over k in [0,8) spans words [16, 30] -> 60 bytes at offset 64. *)
+  Alcotest.(check bool) "affine narrowing" true
+    (List.exists
+       (fun (_, t) -> t = Minic.Compile.Data_range { base = base2 + 64; bytes = 60 })
+       compiled2.Minic.Compile.data_refs)
+
+(* --- combined WCET soundness ---------------------------------------------------- *)
+
+let simulate_both ?ifm ?dfm compiled =
+  let isim =
+    match ifm with
+    | Some fm -> Cache.Lru.create ~fault_map:fm iconfig
+    | None -> Cache.Lru.create iconfig
+  in
+  let doracle =
+    match dfm with
+    | Some fm -> Dcache.Dsim.unprotected ~fault_map:fm dconfig
+    | None -> Dcache.Dsim.fault_free dconfig
+  in
+  (Minic.Compile.run ~fetch:(Cache.Lru.latency_oracle isim) ~data_access:doracle compiled)
+    .Isa.Machine.cycles
+
+let test_combined_wcet_sound_all_benchmarks () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let compiled = compile e.Benchmarks.Registry.program in
+      let task = D.prepare ~compiled ~iconfig ~dconfig () in
+      let sim = simulate_both compiled in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: sim %d <= wcet %d" e.Benchmarks.Registry.name sim
+           task.D.wcet_ff)
+        true
+        (sim <= task.D.wcet_ff))
+    Benchmarks.Registry.all
+
+let test_combined_wcet_exceeds_icache_only () =
+  let entry = Option.get (Benchmarks.Registry.find "matmult") in
+  let compiled = compile entry.Benchmarks.Registry.program in
+  let task = D.prepare ~compiled ~iconfig ~dconfig () in
+  let itask = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config:iconfig () in
+  Alcotest.(check bool) "data adds cost" true
+    (task.D.wcet_ff > Pwcet.Estimator.fault_free_wcet itask)
+
+(* --- data FMM -------------------------------------------------------------------- *)
+
+let test_dfmm_monotone_and_rw () =
+  let compiled = compile scalar_loop in
+  let task = D.prepare ~compiled ~iconfig ~dconfig () in
+  let est =
+    D.estimate task ~pfail:1e-4 ~imech:Pwcet.Mechanism.No_protection
+      ~dmech:Pwcet.Mechanism.No_protection ()
+  in
+  for s = 0 to dconfig.C.sets - 1 do
+    for f = 1 to dconfig.C.ways do
+      Alcotest.(check bool) "monotone" true
+        (D.dfmm_misses est ~set:s ~faulty:f >= D.dfmm_misses est ~set:s ~faulty:(f - 1))
+    done
+  done;
+  (* The scalar's set has fault-induced misses in the dead column. *)
+  let total_dead = ref 0 in
+  for s = 0 to dconfig.C.sets - 1 do
+    total_dead := !total_dead + D.dfmm_misses est ~set:s ~faulty:dconfig.C.ways
+  done;
+  Alcotest.(check bool) "dead set hurts the scalar" true (!total_dead >= 1)
+
+let test_mechanism_ordering () =
+  let entry = Option.get (Benchmarks.Registry.find "crc") in
+  let compiled = compile entry.Benchmarks.Registry.program in
+  let task = D.prepare ~compiled ~iconfig ~dconfig () in
+  let p imech dmech =
+    D.pwcet (D.estimate task ~pfail:1e-4 ~imech ~dmech ()) ~target:1e-15
+  in
+  let none = p Pwcet.Mechanism.No_protection Pwcet.Mechanism.No_protection in
+  let rw = p Pwcet.Mechanism.Reliable_way Pwcet.Mechanism.Reliable_way in
+  let srb = p Pwcet.Mechanism.Shared_reliable_buffer Pwcet.Mechanism.Shared_reliable_buffer in
+  Alcotest.(check bool) "ff <= rw" true (task.D.wcet_ff <= rw);
+  Alcotest.(check bool) "rw <= srb" true (rw <= srb);
+  Alcotest.(check bool) "srb <= none" true (srb <= none)
+
+(* Faulty decomposition across BOTH caches. *)
+let test_faulty_decomposition () =
+  let state = Random.State.make [| 2718 |] in
+  List.iter
+    (fun name ->
+      let entry = Option.get (Benchmarks.Registry.find name) in
+      let compiled = compile entry.Benchmarks.Registry.program in
+      let task = D.prepare ~compiled ~iconfig ~dconfig () in
+      let est =
+        D.estimate task ~pfail:1e-4 ~imech:Pwcet.Mechanism.No_protection
+          ~dmech:Pwcet.Mechanism.No_protection ()
+      in
+      for _ = 1 to 6 do
+        let ifm = FM.sample iconfig ~pbf:0.25 state in
+        let dfm = FM.sample dconfig ~pbf:0.25 state in
+        let sim = simulate_both ~ifm ~dfm compiled in
+        let bound = ref task.D.wcet_ff in
+        Array.iteri
+          (fun s f ->
+            bound :=
+              !bound
+              + (Pwcet.Fmm.misses est.D.ifmm ~set:s ~faulty:f * C.miss_penalty iconfig))
+          (FM.faulty_counts ifm);
+        Array.iteri
+          (fun s f ->
+            bound := !bound + (D.dfmm_misses est ~set:s ~faulty:f * C.miss_penalty dconfig))
+          (FM.faulty_counts dfm);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: sim %d <= bound %d" name sim !bound)
+          true (sim <= !bound)
+      done)
+    [ "fibcall"; "crc"; "bs"; "cnt"; "insertsort" ]
+
+(* --- simulator oracle semantics ---------------------------------------------------- *)
+
+let test_dsim_semantics () =
+  let oracle = Dcache.Dsim.fault_free dconfig in
+  let data_addr = 0x1000_0040 in
+  Alcotest.(check int) "cold load misses" 100 (oracle data_addr ~write:false);
+  Alcotest.(check int) "reload hits" 1 (oracle data_addr ~write:false);
+  Alcotest.(check int) "stores are free" 0 (oracle 0x1000_0080 ~write:true);
+  Alcotest.(check int) "stack is scratchpad" 0 (oracle 0x7FFF_FF00 ~write:false);
+  (* Stores do not allocate: a store then load still misses. *)
+  let oracle2 = Dcache.Dsim.fault_free dconfig in
+  ignore (oracle2 0x1000_0100 ~write:true);
+  Alcotest.(check int) "no write-allocate" 100 (oracle2 0x1000_0100 ~write:false)
+
+let () =
+  Alcotest.run "dcache"
+    [ ( "annotations",
+        [ Alcotest.test_case "cover all memory ops" `Quick test_annotations_cover_all_memory_ops
+        ; Alcotest.test_case "kinds" `Quick test_annotation_kinds
+        ] )
+    ; ( "classification",
+        [ Alcotest.test_case "scalars" `Quick test_scalar_loads_classified
+        ; Alcotest.test_case "arrays imprecise" `Quick test_array_loads_unclassified
+        ; Alcotest.test_case "single-block array" `Quick test_single_block_array_is_precise
+        ; Alcotest.test_case "interval narrowing" `Quick test_interval_narrowing
+        ] )
+    ; ( "combined wcet",
+        [ Alcotest.test_case "sound on all benchmarks" `Quick
+            test_combined_wcet_sound_all_benchmarks
+        ; Alcotest.test_case "exceeds I-only" `Quick test_combined_wcet_exceeds_icache_only
+        ] )
+    ; ( "fault dimension",
+        [ Alcotest.test_case "dfmm monotone" `Quick test_dfmm_monotone_and_rw
+        ; Alcotest.test_case "mechanism ordering" `Quick test_mechanism_ordering
+        ; Alcotest.test_case "decomposition (both caches)" `Quick test_faulty_decomposition
+        ] )
+    ; ("simulator", [ Alcotest.test_case "oracle semantics" `Quick test_dsim_semantics ])
+    ]

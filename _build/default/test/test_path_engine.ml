@@ -1,0 +1,198 @@
+(* Tests for the tree-based loop-collapse engine on hand-crafted
+   assembly CFGs where the exact longest-path value can be computed by
+   hand, plus cross-checks against the ILP engine. *)
+
+open Isa
+module PE = Ipet.Path_engine
+
+let ins i = Program.Ins i
+let label l = Program.Label l
+
+let build ?(bounds = []) items =
+  let p = Program.assemble { src_functions = [ ("main", items) ]; src_bounds = bounds } in
+  let g = Cfg.Graph.build p in
+  let loops = Cfg.Loop.detect g in
+  (g, loops)
+
+(* Cost model: every node costs its instruction count (cost 1 per
+   instruction) unless overridden. *)
+let longest ?(node_cost = fun g u -> (Cfg.Graph.node g u).Cfg.Graph.len) ?(one_shots = [])
+    (g, loops) =
+  PE.longest ~graph:g ~loops ~node_cost:(node_cost g) ~one_shots
+
+let test_straightline () =
+  let gl = build [ ins Instr.Nop; ins Instr.Nop; ins Instr.Halt ] in
+  Alcotest.(check int) "3 instructions" 3 (longest gl)
+
+let test_diamond_takes_heavier_arm () =
+  let gl =
+    build
+      [ ins (Instr.Beqz (Instr.Eq, Reg.t0, "else"))   (* 1 *)
+      ; ins Instr.Nop; ins Instr.Nop; ins Instr.Nop   (* then: 3 + j *)
+      ; ins (Instr.J "join")
+      ; label "else"
+      ; ins Instr.Nop                                  (* else: 1 *)
+      ; label "join"
+      ; ins Instr.Halt                                 (* 1 *)
+      ]
+  in
+  (* branch(1) + then(4 incl. jump) + join(1) = 6 *)
+  Alcotest.(check int) "heavier arm" 6 (longest gl)
+
+let test_simple_loop () =
+  let gl =
+    build
+      ~bounds:[ ("loop", 10) ]
+      [ ins Instr.Nop                                   (* preheader: 1 *)
+      ; label "loop"
+      ; ins (Instr.Beqz (Instr.Eq, Reg.t0, "done"))     (* header: 1 *)
+      ; ins Instr.Nop; ins Instr.Nop                    (* body: 3 incl. jump *)
+      ; ins (Instr.J "loop")
+      ; label "done"
+      ; ins Instr.Halt                                  (* 1 *)
+      ]
+  in
+  (* pre(1) + 10 * (header 1 + body 3) + final header(1) + halt(1) = 43 *)
+  Alcotest.(check int) "loop cost" 43 (longest gl)
+
+let test_zero_bound_loop () =
+  let gl =
+    build
+      ~bounds:[ ("loop", 0) ]
+      [ label "loop"
+      ; ins (Instr.Beqz (Instr.Eq, Reg.t0, "done"))
+      ; ins Instr.Nop
+      ; ins (Instr.J "loop")
+      ; label "done"
+      ; ins Instr.Halt
+      ]
+  in
+  (* 0 iterations: header(1) + halt(1). *)
+  Alcotest.(check int) "no iterations" 2 (longest gl)
+
+let test_nested_loops_multiply () =
+  let gl =
+    build
+      ~bounds:[ ("outer", 5); ("inner", 7) ]
+      [ label "outer"
+      ; ins (Instr.Beqz (Instr.Eq, Reg.t0, "exit"))    (* outer header: 1 *)
+      ; label "inner"
+      ; ins (Instr.Beqz (Instr.Eq, Reg.t1, "after"))   (* inner header: 1 *)
+      ; ins Instr.Nop                                   (* inner body: 2 incl. jump *)
+      ; ins (Instr.J "inner")
+      ; label "after"
+      ; ins (Instr.J "outer")                           (* back to outer: 1 *)
+      ; label "exit"
+      ; ins Instr.Halt                                  (* 1 *)
+      ]
+  in
+  (* inner collapsed: 7*(1+2) + 1 = 22; one outer iteration:
+     header(1) + inner(22) + back(1) = 24; total: 5*24 + exit pass
+     (header 1) + halt 1 = 122. *)
+  Alcotest.(check int) "nested" 122 (longest gl)
+
+let test_loop_exit_from_body () =
+  (* The body can leave the loop directly (like a return): C_exit must
+     include the deep in-body path. *)
+  let gl =
+    build
+      ~bounds:[ ("loop", 4) ]
+      [ label "loop"
+      ; ins (Instr.Beqz (Instr.Eq, Reg.t0, "done"))    (* header: 1 *)
+      ; ins Instr.Nop; ins Instr.Nop                    (* body1: 3 *)
+      ; ins (Instr.Beqz (Instr.Eq, Reg.t1, "done"))    (* mid-exit *)
+      ; ins Instr.Nop
+      ; ins (Instr.J "loop")                            (* body2: 2 *)
+      ; label "done"
+      ; ins Instr.Halt
+      ]
+  in
+  (* iteration: 1 + 3 + 2 = 6; C_exit = max(header 1, header+body1 = 4);
+     4 iterations * 6 + 4 + 1 = 29. *)
+  Alcotest.(check int) "exit from body" 29 (longest gl)
+
+let test_one_shot_global () =
+  let gl = build [ ins Instr.Nop; ins Instr.Halt ] in
+  Alcotest.(check int) "global one-shot" 12
+    (longest ~one_shots:[ (PE.Whole_program, 10) ] gl)
+
+let test_one_shot_loop_scope () =
+  let gl =
+    build
+      ~bounds:[ ("outer", 3); ("inner", 4) ]
+      [ label "outer"
+      ; ins (Instr.Beqz (Instr.Eq, Reg.t0, "exit"))
+      ; label "inner"
+      ; ins (Instr.Beqz (Instr.Eq, Reg.t1, "after"))
+      ; ins (Instr.J "inner")
+      ; label "after"
+      ; ins (Instr.J "outer")
+      ; label "exit"
+      ; ins Instr.Halt
+      ]
+  in
+  let base = longest gl in
+  let g, loops = gl in
+  let inner_header =
+    (* The inner loop is the one whose body is smaller. *)
+    (List.hd
+       (List.sort
+          (fun (a : Cfg.Loop.loop) b ->
+            compare (List.length a.Cfg.Loop.body) (List.length b.Cfg.Loop.body))
+          loops))
+      .Cfg.Loop.header
+  in
+  let outer_header =
+    (List.hd
+       (List.sort
+          (fun (a : Cfg.Loop.loop) b ->
+            compare (List.length b.Cfg.Loop.body) (List.length a.Cfg.Loop.body))
+          loops))
+      .Cfg.Loop.header
+  in
+  (* A one-shot scoped to the inner loop is paid once per inner-loop
+     entry = 3 times (once per outer iteration); scoped to the outer
+     loop, once. *)
+  Alcotest.(check int) "inner scope x3" (base + 30)
+    (longest ~one_shots:[ (PE.Loop_scope inner_header, 10) ] gl);
+  Alcotest.(check int) "outer scope x1" (base + 10)
+    (longest ~one_shots:[ (PE.Loop_scope outer_header, 10) ] gl);
+  ignore g
+
+let test_against_ilp_on_benchmarks () =
+  (* On real benchmark CFGs, the two engines agree tightly (the path
+     engine never undercuts, and the slack stays within the scoped
+     one-shot conservatism). *)
+  let config = Cache.Config.paper_default in
+  List.iter
+    (fun name ->
+      let entry = Option.get (Benchmarks.Registry.find name) in
+      let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
+      let graph = Cfg.Graph.build compiled.Minic.Compile.program in
+      let loops = Cfg.Loop.detect graph in
+      let chmc = Cache_analysis.Chmc.analyze ~graph ~loops ~config () in
+      let path = (Ipet.Wcet.compute ~graph ~loops ~chmc ~config ~engine:`Path ()).Ipet.Wcet.wcet in
+      let ilp = (Ipet.Wcet.compute ~graph ~loops ~chmc ~config ~engine:`Ilp ()).Ipet.Wcet.wcet in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: path %d vs ilp %d" name path ilp)
+        true
+        (path >= ilp && path <= ilp + (ilp / 20) + 200))
+    [ "fibcall"; "bs"; "crc"; "insertsort"; "cnt"; "prime" ]
+
+let () =
+  Alcotest.run "path_engine"
+    [ ( "hand-crafted graphs",
+        [ Alcotest.test_case "straightline" `Quick test_straightline
+        ; Alcotest.test_case "diamond" `Quick test_diamond_takes_heavier_arm
+        ; Alcotest.test_case "simple loop" `Quick test_simple_loop
+        ; Alcotest.test_case "zero bound" `Quick test_zero_bound_loop
+        ; Alcotest.test_case "nested loops" `Quick test_nested_loops_multiply
+        ; Alcotest.test_case "exit from body" `Quick test_loop_exit_from_body
+        ] )
+    ; ( "one-shots",
+        [ Alcotest.test_case "global" `Quick test_one_shot_global
+        ; Alcotest.test_case "loop scoped" `Quick test_one_shot_loop_scope
+        ] )
+    ; ( "vs ilp",
+        [ Alcotest.test_case "benchmark CFGs" `Quick test_against_ilp_on_benchmarks ] )
+    ]

@@ -1,0 +1,228 @@
+(* Tests for discrete penalty distributions and the fault model:
+   convolution, exceedance, quantiles, conservative capping, and the
+   paper's equations 1-3. *)
+
+module D = Prob.Dist
+module FModel = Fault.Model
+
+let feq = Alcotest.(check (float 1e-12))
+
+(* --- construction -------------------------------------------------------- *)
+
+let test_point () =
+  let d = D.point 5 in
+  Alcotest.(check int) "size" 1 (D.size d);
+  feq "mass" 1.0 (D.total_mass d);
+  Alcotest.(check int) "quantile" 5 (D.quantile d ~target:0.0)
+
+let test_of_points_merges () =
+  let d = D.of_points [ (3, 0.25); (1, 0.5); (3, 0.25) ] in
+  Alcotest.(check (list (pair int (float 1e-12)))) "merged" [ (1, 0.5); (3, 0.5) ] (D.support d)
+
+let test_of_points_invalid () =
+  let bad pts = match D.of_points pts with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad [ (1, 0.5) ];                (* mass 0.5 *)
+  bad [ (-1, 1.0) ];               (* negative penalty *)
+  bad [ (1, -0.2); (2, 1.2) ]      (* negative probability *)
+
+(* --- convolution ---------------------------------------------------------- *)
+
+let test_convolve_coins () =
+  (* Two fair coins worth 0/1 each: sum ~ Binomial(2, 1/2). *)
+  let coin = D.of_points [ (0, 0.5); (1, 0.5) ] in
+  let two = D.convolve coin coin in
+  Alcotest.(check (list (pair int (float 1e-12))))
+    "binomial" [ (0, 0.25); (1, 0.5); (2, 0.25) ] (D.support two)
+
+let test_convolve_identity () =
+  let d = D.of_points [ (0, 0.9); (7, 0.1) ] in
+  let same = D.convolve d (D.point 0) in
+  Alcotest.(check (list (pair int (float 1e-12)))) "identity" (D.support d) (D.support same)
+
+let test_convolve_shifts () =
+  let d = D.of_points [ (0, 0.9); (7, 0.1) ] in
+  let shifted = D.convolve d (D.point 3) in
+  Alcotest.(check (list (pair int (float 1e-12))))
+    "shift" [ (3, 0.9); (10, 0.1) ] (D.support shifted)
+
+let test_convolve_all_mass () =
+  let d = D.of_points [ (0, 0.95); (99, 0.04); (500, 0.01) ] in
+  let total = D.convolve_all [ d; d; d; d; d ] in
+  Alcotest.(check (float 1e-9)) "mass preserved" 1.0 (D.total_mass total)
+
+let test_expectation_additive () =
+  let a = D.of_points [ (0, 0.5); (10, 0.5) ] in
+  let b = D.of_points [ (2, 0.25); (6, 0.75) ] in
+  Alcotest.(check (float 1e-9)) "E[a+b] = E[a]+E[b]"
+    (D.expectation a +. D.expectation b)
+    (D.expectation (D.convolve a b))
+
+(* --- exceedance / quantile ------------------------------------------------- *)
+
+let test_exceedance_steps () =
+  let d = D.of_points [ (0, 0.9); (10, 0.09); (130, 0.01) ] in
+  feq "P(X > -1)" 1.0 (D.exceedance d (-1));
+  feq "P(X > 0)" 0.1 (D.exceedance d 0);
+  feq "P(X > 9)" 0.1 (D.exceedance d 9);
+  feq "P(X > 10)" 0.01 (D.exceedance d 10);
+  feq "P(X > 129)" 0.01 (D.exceedance d 129);
+  feq "P(X > 130)" 0.0 (D.exceedance d 130)
+
+let test_quantile () =
+  let d = D.of_points [ (0, 0.9); (10, 0.09); (130, 0.01) ] in
+  Alcotest.(check int) "q(1)" 0 (D.quantile d ~target:1.0);
+  Alcotest.(check int) "q(0.5)" 0 (D.quantile d ~target:0.5);
+  Alcotest.(check int) "q(0.1)" 0 (D.quantile d ~target:0.1);
+  Alcotest.(check int) "q(0.05)" 10 (D.quantile d ~target:0.05);
+  Alcotest.(check int) "q(0.01)" 10 (D.quantile d ~target:0.01);
+  Alcotest.(check int) "q(0.005)" 130 (D.quantile d ~target:0.005);
+  Alcotest.(check int) "q(0)" 130 (D.quantile d ~target:0.0)
+
+let test_exceedance_curve () =
+  let d = D.of_points [ (0, 0.9); (10, 0.1) ] in
+  match D.exceedance_curve d with
+  | [ (0, p0); (10, p10) ] ->
+    feq "P(X >= 0)" 1.0 p0;
+    feq "P(X >= 10)" 0.1 p10
+  | _ -> Alcotest.fail "unexpected curve shape"
+
+let test_tiny_tail_accuracy () =
+  (* A 1e-16-probability point must remain visible in the tail. *)
+  let d = D.of_points [ (0, 1.0 -. 1e-16); (1000, 1e-16) ] in
+  Alcotest.(check bool) "tail alive" true (D.exceedance d 999 > 0.0);
+  Alcotest.(check int) "quantile at 1e-15" 0 (D.quantile d ~target:1e-15);
+  Alcotest.(check int) "quantile at 1e-17" 1000 (D.quantile d ~target:1e-17)
+
+(* --- conservative capping --------------------------------------------------- *)
+
+let test_capping_is_conservative () =
+  let state = Random.State.make [| 5 |] in
+  for _ = 1 to 20 do
+    let n = 40 + Random.State.int state 60 in
+    let raw = List.init n (fun k -> (k * 3, Random.State.float state 1.0)) in
+    let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 raw in
+    let pts = List.map (fun (x, p) -> (x, p /. total)) raw in
+    let full = D.of_points pts in
+    let a = D.of_points (List.filteri (fun i _ -> i mod 2 = 0) pts |> fun l ->
+      let m = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 l in
+      List.map (fun (x, p) -> (x, p /. m)) l)
+    in
+    (* Convolve with a small cap and without; the capped result must
+       dominate pointwise in exceedance. *)
+    let capped = D.convolve ~max_points:16 full a in
+    let exact = D.convolve ~max_points:max_int full a in
+    feq "mass kept" (D.total_mass exact) (D.total_mass capped);
+    List.iter
+      (fun (x, _) ->
+        Alcotest.(check bool) "capped exceedance dominates" true
+          (D.exceedance capped x +. 1e-12 >= D.exceedance exact x))
+      (D.support exact);
+    Alcotest.(check bool) "size bounded" true (D.size capped <= 17)
+  done
+
+(* --- fault model (paper eqs. 1-3) ------------------------------------------ *)
+
+let test_pbf_eq1 () =
+  (* The paper's configuration: 16B lines -> K = 128 bits, pfail = 1e-4. *)
+  let pbf = FModel.pbf ~pfail:1e-4 ~block_bits:128 in
+  Alcotest.(check (float 1e-7)) "pbf" 0.0127191 pbf;
+  Alcotest.(check (float 0.)) "pfail 0" 0.0 (FModel.pbf ~pfail:0.0 ~block_bits:128);
+  Alcotest.(check (float 0.)) "pfail 1" 1.0 (FModel.pbf ~pfail:1.0 ~block_bits:128);
+  let via_config = FModel.pbf_of_config ~pfail:1e-4 Cache.Config.paper_default in
+  Alcotest.(check (float 1e-15)) "config variant" pbf via_config
+
+let test_pwf_eq2 () =
+  let pbf = 0.0127191 in
+  let dist = FModel.way_distribution ~ways:4 ~pbf in
+  Alcotest.(check (float 1e-12)) "sums to 1" 1.0 (Numeric.Kahan.sum_array dist);
+  Alcotest.(check (float 1e-9)) "w=0" ((1.0 -. pbf) ** 4.0) dist.(0);
+  Alcotest.(check (float 1e-9)) "w=4" (pbf ** 4.0) dist.(4);
+  Alcotest.(check (float 1e-9)) "w=1" (4.0 *. pbf *. ((1.0 -. pbf) ** 3.0)) dist.(1)
+
+let test_pwf_rw_eq3 () =
+  let pbf = 0.0127191 in
+  let dist = FModel.way_distribution_rw ~ways:4 ~pbf in
+  Alcotest.(check (float 1e-12)) "sums to 1" 1.0 (Numeric.Kahan.sum_array dist);
+  Alcotest.(check (float 0.)) "all-faulty impossible" 0.0 dist.(4);
+  Alcotest.(check (float 1e-9)) "w=0 over 3 ways" ((1.0 -. pbf) ** 3.0) dist.(0);
+  (* RW stochastically dominates: its CCDF is below eq. 2's everywhere. *)
+  let d2 = FModel.way_distribution ~ways:4 ~pbf in
+  let ccdf d k =
+    let acc = ref 0.0 in
+    for w = k + 1 to 4 do
+      acc := !acc +. d.(w)
+    done;
+    !acc
+  in
+  for k = 0 to 3 do
+    Alcotest.(check bool) "dominance" true (ccdf dist k <= ccdf d2 k +. 1e-15)
+  done
+
+let test_prob_all_faulty () =
+  let pbf = 0.0127191 in
+  Alcotest.(check (float 1e-12)) "pbf^W" (pbf ** 4.0) (FModel.prob_all_ways_faulty ~ways:4 ~pbf)
+
+(* --- sampler ----------------------------------------------------------------- *)
+
+let test_sampler_statistics () =
+  let cfg = Cache.Config.paper_default in
+  let state = Random.State.make [| 11 |] in
+  (* Large pfail so counts are non-trivial. *)
+  let pfail = 1e-3 in
+  let pbf = FModel.pbf_of_config ~pfail cfg in
+  let n = 2000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    let counts = Fault.Sampler.faulty_way_counts cfg ~pfail state in
+    Array.iter (fun c -> total := !total + c) counts
+  done;
+  let mean_per_set = float_of_int !total /. float_of_int (n * cfg.Cache.Config.sets) in
+  let expected = 4.0 *. pbf in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.4f vs expected %.4f" mean_per_set expected)
+    true
+    (Float.abs (mean_per_set -. expected) < 0.05 *. expected +. 0.01)
+
+let test_sampler_fault_map_consistency () =
+  let cfg = Cache.Config.paper_default in
+  let state = Random.State.make [| 12 |] in
+  let fm = Fault.Sampler.fault_map cfg ~pfail:1e-2 state in
+  let counts = Cache.Fault_map.faulty_counts fm in
+  Alcotest.(check int) "sets" cfg.Cache.Config.sets (Array.length counts);
+  Array.iter (fun c -> Alcotest.(check bool) "range" true (c >= 0 && c <= 4)) counts
+
+let () =
+  Alcotest.run "prob+fault"
+    [ ( "dist construction",
+        [ Alcotest.test_case "point" `Quick test_point
+        ; Alcotest.test_case "merge" `Quick test_of_points_merges
+        ; Alcotest.test_case "invalid" `Quick test_of_points_invalid
+        ] )
+    ; ( "convolution",
+        [ Alcotest.test_case "coins" `Quick test_convolve_coins
+        ; Alcotest.test_case "identity" `Quick test_convolve_identity
+        ; Alcotest.test_case "shift" `Quick test_convolve_shifts
+        ; Alcotest.test_case "mass" `Quick test_convolve_all_mass
+        ; Alcotest.test_case "expectation" `Quick test_expectation_additive
+        ] )
+    ; ( "exceedance",
+        [ Alcotest.test_case "steps" `Quick test_exceedance_steps
+        ; Alcotest.test_case "quantile" `Quick test_quantile
+        ; Alcotest.test_case "curve" `Quick test_exceedance_curve
+        ; Alcotest.test_case "tiny tails" `Quick test_tiny_tail_accuracy
+        ] )
+    ; ("capping", [ Alcotest.test_case "conservative" `Quick test_capping_is_conservative ])
+    ; ( "fault model",
+        [ Alcotest.test_case "eq.1 pbf" `Quick test_pbf_eq1
+        ; Alcotest.test_case "eq.2 pwf" `Quick test_pwf_eq2
+        ; Alcotest.test_case "eq.3 pwf RW" `Quick test_pwf_rw_eq3
+        ; Alcotest.test_case "all faulty" `Quick test_prob_all_faulty
+        ] )
+    ; ( "sampler",
+        [ Alcotest.test_case "statistics" `Quick test_sampler_statistics
+        ; Alcotest.test_case "fault map" `Quick test_sampler_fault_map_consistency
+        ] )
+    ]

@@ -1,0 +1,121 @@
+(* End-to-end soundness of the whole pWCET pipeline on RANDOM programs:
+   for each generated program and sampled fault map, the concrete
+   execution on the faulty-cache simulators must stay below the
+   analytical decomposition bound, for all three mechanisms. This
+   exercises CFG shapes the hand-written benchmarks never produce. *)
+
+module C = Cache.Config
+module FM = Cache.Fault_map
+
+let config = C.paper_default
+
+let check_program seed_counter program =
+  match Minic.Compile.compile program with
+  | exception Minic.Typecheck.Error _ -> () (* generator produced a shadowing clash *)
+  | compiled -> (
+    match Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () with
+    | exception Cfg.Loop.Loop_error _ -> Alcotest.fail "generated program not analysable"
+    | task ->
+      let ff = Pwcet.Estimator.fault_free_wcet task in
+      let graph = task.Pwcet.Estimator.graph and loops = task.Pwcet.Estimator.loops in
+      let penalty = C.miss_penalty config in
+      let fmm mech = Pwcet.Fmm.compute ~graph ~loops ~config ~mechanism:mech () in
+      let fmm_none = fmm Pwcet.Mechanism.No_protection in
+      let fmm_srb = fmm Pwcet.Mechanism.Shared_reliable_buffer in
+      let fmm_rw = fmm Pwcet.Mechanism.Reliable_way in
+      let bound fmm counts =
+        let total = ref ff in
+        Array.iteri
+          (fun s f -> total := !total + (Pwcet.Fmm.misses fmm ~set:s ~faulty:f * penalty))
+          counts;
+        !total
+      in
+      let state = Random.State.make [| !seed_counter |] in
+      incr seed_counter;
+      for _ = 1 to 3 do
+        let fm = FM.sample config ~pbf:0.3 state in
+        let counts = FM.faulty_counts fm in
+        (* Unprotected. *)
+        let sim = Cache.Lru.create ~fault_map:fm config in
+        let cyc =
+          (Minic.Compile.run ~fetch:(Cache.Lru.latency_oracle sim) compiled).Isa.Machine.cycles
+        in
+        if cyc > bound fmm_none counts then
+          Alcotest.failf "none: sim %d > bound %d" cyc (bound fmm_none counts);
+        (* SRB. *)
+        let srb = Cache.Reliable.Srb.create ~fault_map:fm config in
+        let cyc_srb =
+          (Minic.Compile.run ~fetch:(Cache.Reliable.Srb.latency_oracle srb) compiled)
+            .Isa.Machine.cycles
+        in
+        if cyc_srb > bound fmm_srb counts then
+          Alcotest.failf "srb: sim %d > bound %d" cyc_srb (bound fmm_srb counts);
+        (* RW. *)
+        let rw = Cache.Reliable.rw_cache ~fault_map:fm config in
+        let rw_counts = FM.faulty_counts (FM.mask_way fm ~way:0) in
+        let cyc_rw =
+          (Minic.Compile.run ~fetch:(Cache.Lru.latency_oracle rw) compiled).Isa.Machine.cycles
+        in
+        if cyc_rw > bound fmm_rw rw_counts then
+          Alcotest.failf "rw: sim %d > bound %d" cyc_rw (bound fmm_rw rw_counts)
+      done)
+
+let random_soundness =
+  let seed_counter = ref 424243 in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"pipeline sound on random programs"
+       ~print:(fun p -> Format.asprintf "%a" Minic.Ast.pp_program p)
+       Minic_gen.gen_program
+       (fun program ->
+         check_program seed_counter program;
+         true))
+
+(* The combined I+D pipeline on random programs as well. *)
+let random_soundness_dcache =
+  let seed_counter = ref 99991 in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"I+D pipeline sound on random programs"
+       Minic_gen.gen_program
+       (fun program ->
+         (match Minic.Compile.compile program with
+         | exception Minic.Typecheck.Error _ -> ()
+         | compiled ->
+           let task = Dcache.Destimator.prepare ~compiled ~iconfig:config ~dconfig:config () in
+           let est =
+             Dcache.Destimator.estimate task ~pfail:1e-4
+               ~imech:Pwcet.Mechanism.No_protection ~dmech:Pwcet.Mechanism.No_protection ()
+           in
+           let state = Random.State.make [| !seed_counter |] in
+           incr seed_counter;
+           for _ = 1 to 2 do
+             let ifm = FM.sample config ~pbf:0.25 state in
+             let dfm = FM.sample config ~pbf:0.25 state in
+             let isim = Cache.Lru.create ~fault_map:ifm config in
+             let cyc =
+               (Minic.Compile.run
+                  ~fetch:(Cache.Lru.latency_oracle isim)
+                  ~data_access:(Dcache.Dsim.unprotected ~fault_map:dfm config)
+                  compiled)
+                 .Isa.Machine.cycles
+             in
+             let bound = ref task.Dcache.Destimator.wcet_ff in
+             Array.iteri
+               (fun s f ->
+                 bound :=
+                   !bound
+                   + (Pwcet.Fmm.misses est.Dcache.Destimator.ifmm ~set:s ~faulty:f
+                     * C.miss_penalty config))
+               (FM.faulty_counts ifm);
+             Array.iteri
+               (fun s f ->
+                 bound :=
+                   !bound
+                   + (Dcache.Destimator.dfmm_misses est ~set:s ~faulty:f * C.miss_penalty config))
+               (FM.faulty_counts dfm);
+             if cyc > !bound then Alcotest.failf "I+D: sim %d > bound %d" cyc !bound
+           done);
+         true))
+
+let () =
+  Alcotest.run "random_soundness"
+    [ ("pipeline", [ random_soundness; random_soundness_dcache ]) ]
