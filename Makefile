@@ -1,0 +1,22 @@
+# Convenience entry points; `check` is the tier-1 gate.
+
+.PHONY: all build check test bench clean
+
+all: build
+
+build:
+	dune build
+
+check:
+	dune build && dune runtest
+
+test: check
+
+# Full evaluation harness (paper tables/figures + Bechamel timings).
+# Pass JOBS=N to set the worker-domain count (-j) explicitly.
+JOBS ?=
+bench:
+	dune exec bench/main.exe -- $(if $(JOBS),-j $(JOBS))
+
+clean:
+	dune clean

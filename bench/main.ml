@@ -19,6 +19,34 @@ let config = Cache.Config.paper_default
 let pfail = 1e-4
 let target = 1e-15
 
+(* -j/--jobs N: worker domains for the per-set fault analyses (results
+   are identical for every value; only wall-clock changes). *)
+let jobs =
+  let rec scan = function
+    | ("-j" | "--jobs") :: v :: _ -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> n
+      | _ ->
+        Printf.eprintf "bad -j value %s; using 1\n" v;
+        1)
+    | _ :: rest -> scan rest
+    | [] -> Parallel.Pool.default_jobs ()
+  in
+  scan (Array.to_list Sys.argv)
+
+(* --only NAME: run a single section (the full harness regenerates every
+   figure and takes minutes). Names: equations figure1 figure3 figure4
+   geometry ablations future-work data-cache bechamel. *)
+let only =
+  let rec scan = function
+    | "--only" :: v :: _ -> Some v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
+let wanted name = match only with None -> true | Some w -> String.equal w name
+
 let banner title =
   Printf.printf "\n=== %s %s\n\n" title (String.make (max 0 (66 - String.length title)) '=')
 
@@ -83,7 +111,7 @@ let section_figure3 () =
   let series =
     List.map
       (fun mechanism ->
-        let est = Pwcet.Estimator.estimate task ~pfail ~mechanism () in
+        let est = Pwcet.Estimator.estimate task ~pfail ~mechanism ~jobs () in
         (Pwcet.Mechanism.short_name mechanism, Pwcet.Estimator.exceedance_curve est))
       Pwcet.Mechanism.all
   in
@@ -104,7 +132,7 @@ let section_figure3 () =
     let mech =
       List.find (fun m -> Pwcet.Mechanism.short_name m = name) Pwcet.Mechanism.all
     in
-    Pwcet.Estimator.pwcet (Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ()) ~target
+    Pwcet.Estimator.pwcet (Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~jobs ()) ~target
   in
   Printf.printf "\npWCET at %g: none %d, srb %d, rw %d (fault-free %d)\n" target (value "none")
     (value "srb") (value "rw")
@@ -117,7 +145,7 @@ let suite_rows () =
     (fun (e : Benchmarks.Registry.entry) ->
       let task = task_of e.Benchmarks.Registry.name in
       let pwcet mechanism =
-        Pwcet.Estimator.pwcet (Pwcet.Estimator.estimate task ~pfail ~mechanism ()) ~target
+        Pwcet.Estimator.pwcet (Pwcet.Estimator.estimate task ~pfail ~mechanism ~jobs ()) ~target
       in
       {
         Pwcet.Report_data.name = e.Benchmarks.Registry.name;
@@ -213,7 +241,7 @@ let section_ablations () =
     subset;
   Printf.printf "\n3. Convolution support cap (penalty points kept per convolution step)\n\n";
   let task = task_of "adpcm" in
-  let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.No_protection () in
+  let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.No_protection ~jobs () in
   let fmm = est.Pwcet.Estimator.fmm and pbf = est.Pwcet.Estimator.pbf in
   Printf.printf "  %-12s %14s %14s\n" "max_points" "pWCET(1e-15)" "support size";
   List.iter
@@ -249,7 +277,7 @@ let section_geometry () =
               Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config:cfg ()
             in
             Pwcet.Estimator.pwcet
-              (Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.No_protection ())
+              (Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.No_protection ~jobs ())
               ~target)
           geometries
       in
@@ -286,7 +314,7 @@ let section_future_work () =
           let ff = Pwcet.Estimator.fault_free_wcet task in
           let srb =
             Pwcet.Estimator.estimate task ~pfail
-              ~mechanism:Pwcet.Mechanism.Shared_reliable_buffer ()
+              ~mechanism:Pwcet.Mechanism.Shared_reliable_buffer ~jobs ()
           in
           let refined =
             Pwcet.Srb_refined.compute ~graph:task.Pwcet.Estimator.graph
@@ -321,7 +349,7 @@ let section_data_cache () =
       let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
       let task = Dcache.Destimator.prepare ~compiled ~iconfig:config ~dconfig () in
       let p imech dmech =
-        Dcache.Destimator.pwcet (Dcache.Destimator.estimate task ~pfail ~imech ~dmech ())
+        Dcache.Destimator.pwcet (Dcache.Destimator.estimate task ~pfail ~imech ~dmech ~jobs ())
           ~target
       in
       Printf.printf "  %-10s %10d %12d %12d %12d\n" name task.Dcache.Destimator.wcet_ff
@@ -345,8 +373,23 @@ let section_bechamel () =
   let graph = adpcm.Pwcet.Estimator.graph and loops = adpcm.Pwcet.Estimator.loops in
   let crc_entry = Option.get (Benchmarks.Registry.find "crc") in
   let crc_compiled = Minic.Compile.compile crc_entry.Benchmarks.Registry.program in
+  (* FMM scaling: the per-set fan-out on a large geometry (64 sets),
+     sequential vs the -j domain count. Tables are bit-identical; only
+     wall-clock may differ. *)
+  let wide_config = Cache.Config.make ~sets:64 ~ways:4 ~line_bytes:16 () in
+  let fmm_test n =
+    Test.make
+      ~name:(Printf.sprintf "fmm(adpcm,64 sets,jobs=%d)" n)
+      (Staged.stage (fun () ->
+           ignore
+             (Pwcet.Fmm.compute ~graph ~loops ~config:wide_config
+                ~mechanism:Pwcet.Mechanism.No_protection ~jobs:n ())))
+  in
+  let n_jobs = if jobs > 1 then jobs else 2 in
   let tests =
-    [ Test.make ~name:"cache-analysis(adpcm)"
+    [ fmm_test 1
+    ; fmm_test n_jobs
+    ; Test.make ~name:"cache-analysis(adpcm)"
         (Staged.stage (fun () ->
              ignore (Cache_analysis.Chmc.analyze ~graph ~loops ~config ())))
     ; Test.make ~name:"wcet-path-engine(adpcm)"
@@ -429,15 +472,17 @@ let section_bechamel () =
     names
 
 let () =
-  section_equations ();
-  section_figure1 ();
-  section_figure3 ();
-  let rows = suite_rows () in
-  section_figure4 rows;
-  section_aggregates rows;
-  section_geometry ();
-  section_ablations ();
-  section_future_work ();
-  section_data_cache ();
-  section_bechamel ();
+  if wanted "equations" then section_equations ();
+  if wanted "figure1" then section_figure1 ();
+  if wanted "figure3" then section_figure3 ();
+  if wanted "figure4" then begin
+    let rows = suite_rows () in
+    section_figure4 rows;
+    section_aggregates rows
+  end;
+  if wanted "geometry" then section_geometry ();
+  if wanted "ablations" then section_ablations ();
+  if wanted "future-work" then section_future_work ();
+  if wanted "data-cache" then section_data_cache ();
+  if wanted "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

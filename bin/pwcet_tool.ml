@@ -69,6 +69,13 @@ let engine_arg =
        & info [ "engine" ] ~docv:"ENGINE"
            ~doc:"Bounding engine: tree-based 'path' (default) or 'ilp'.")
 
+let jobs_arg =
+  Arg.(value & opt int (Parallel.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the per-set fault analyses (default: the \
+                 runtime's recommended domain count; 1 = sequential). Results \
+                 are identical for every value.")
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -97,7 +104,7 @@ let disasm_cmd =
 (* --- analyze --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run name pfail target sets ways line engine show_curve show_fmm =
+  let run name pfail target sets ways line engine jobs show_curve show_fmm =
     let label, compiled = compile_target name in
     let config = config_of sets ways line in
     let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine () in
@@ -109,7 +116,7 @@ let analyze_cmd =
     let results =
       List.map
         (fun mech ->
-          let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine () in
+          let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~jobs () in
           (mech, est))
         Pwcet.Mechanism.all
     in
@@ -137,16 +144,16 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"pWCET analysis of one benchmark (or mini-C file) under all three mechanisms")
     Term.(const run $ bench_arg $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg
-          $ engine_arg $ curve_arg $ fmm_arg)
+          $ engine_arg $ jobs_arg $ curve_arg $ fmm_arg)
 
 (* --- suite ------------------------------------------------------------------ *)
 
-let suite_row config ~pfail ~target ~engine (e : Benchmarks.Registry.entry) =
+let suite_row config ~pfail ~target ~engine ~jobs (e : Benchmarks.Registry.entry) =
   let compiled = Minic.Compile.compile e.Benchmarks.Registry.program in
   let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine () in
   let pwcet mech =
     Pwcet.Estimator.pwcet
-      (Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ())
+      (Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~jobs ())
       ~target
   in
   {
@@ -158,25 +165,28 @@ let suite_row config ~pfail ~target ~engine (e : Benchmarks.Registry.entry) =
   }
 
 let suite_cmd =
-  let run pfail target sets ways line engine =
+  let run pfail target sets ways line engine jobs =
     let config = config_of sets ways line in
-    let rows = List.map (suite_row config ~pfail ~target ~engine) Benchmarks.Registry.all in
+    let rows =
+      List.map (suite_row config ~pfail ~target ~engine ~jobs) Benchmarks.Registry.all
+    in
     print_string (Reporting.Table.fig4 rows);
     print_newline ();
     print_string (Reporting.Table.aggregates rows)
   in
   Cmd.v (Cmd.info "suite" ~doc:"Fig. 4 table: the whole suite under all three mechanisms")
-    Term.(const run $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg $ engine_arg)
+    Term.(const run $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg $ engine_arg
+          $ jobs_arg)
 
 (* --- simulate -------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run name pfail samples seed =
+  let run name pfail samples seed jobs =
     let _, compiled = compile_target name in
     let config = Cache.Config.paper_default in
     let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () in
     let est =
-      Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.No_protection ()
+      Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.No_protection ~jobs ()
     in
     let state = Random.State.make [| seed |] in
     let worst = ref 0 in
@@ -211,7 +221,7 @@ let simulate_cmd =
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte-Carlo faulty execution checked against the analytic bound")
-    Term.(const run $ bench_arg $ pfail_arg $ samples_arg $ seed_arg)
+    Term.(const run $ bench_arg $ pfail_arg $ samples_arg $ seed_arg $ jobs_arg)
 
 (* --- source ------------------------------------------------------------------ *)
 
@@ -226,14 +236,15 @@ let source_cmd =
 (* --- refined (future-work SRB analysis) ------------------------------------- *)
 
 let refined_cmd =
-  let run name pfail target =
+  let run name pfail target jobs =
     let _, compiled = compile_target name in
     let config = Cache.Config.paper_default in
     let pbf = Fault.Model.pbf_of_config ~pfail config in
     let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () in
     let ff = Pwcet.Estimator.fault_free_wcet task in
     let srb =
-      Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.Shared_reliable_buffer ()
+      Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.Shared_reliable_buffer
+        ~jobs ()
     in
     let refined =
       Pwcet.Srb_refined.compute ~graph:task.Pwcet.Estimator.graph
@@ -257,7 +268,7 @@ let refined_cmd =
   Cmd.v
     (Cmd.info "refined"
        ~doc:"Refined SRB analysis (the paper's future-work direction) vs the paper's bound")
-    Term.(const run $ bench_arg $ pfail_arg $ target_arg)
+    Term.(const run $ bench_arg $ pfail_arg $ target_arg $ jobs_arg)
 
 let () =
   let doc = "probabilistic WCET estimation with fault-mitigation hardware (DATE'16 reproduction)" in

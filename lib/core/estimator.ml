@@ -22,12 +22,13 @@ let prepare ~program ~config ?(engine = `Path) ?(exact = false) () =
   let result = Ipet.Wcet.compute ~graph ~loops ~chmc ~config ~engine ~exact () in
   { graph; loops; config; chmc; wcet_ff = result.Ipet.Wcet.wcet }
 
-let estimate task ~pfail ~mechanism ?(engine = `Path) ?(exact = false) () =
+let estimate task ~pfail ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1) () =
   let pbf = Fault.Model.pbf_of_config ~pfail task.config in
   let fmm =
-    Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine ~exact ()
+    Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine ~exact
+      ~jobs ()
   in
-  let penalty = Penalty.total_distribution ~fmm ~pbf () in
+  let penalty = Penalty.total_distribution ~jobs ~fmm ~pbf () in
   { task; mechanism; pfail; pbf; fmm; penalty }
 
 let pwcet e ~target = e.task.wcet_ff + Prob.Dist.quantile e.penalty ~target

@@ -38,8 +38,12 @@ val estimate :
   mechanism:Mechanism.t ->
   ?engine:[ `Path | `Ilp ] ->
   ?exact:bool ->
+  ?jobs:int ->
   unit ->
   estimate
+(** [jobs] (default 1) runs the independent per-set FMM analyses and
+    penalty-distribution builds on that many OCaml domains; results are
+    identical for every value. *)
 
 val pwcet : estimate -> target:float -> int
 (** pWCET at the target exceedance probability, in cycles. *)

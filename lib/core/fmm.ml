@@ -7,7 +7,61 @@ type t = {
   mechanism : Mechanism.t;
 }
 
-let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) () =
+(* One FMM row: the per-set degraded analyses for every fault count.
+   Self-contained (no mutable state outside the row) so rows can run on
+   separate domains; the per-set signature memoization lives inside. *)
+let compute_row ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb set =
+  let ways = config.Cache.Config.ways in
+  let row = Array.make (ways + 1) 0 in
+  (* With RW the all-faulty situation cannot occur (the reliable way
+     survives); the last meaningful column is W-1. *)
+  let max_f = match mechanism with Mechanism.Reliable_way -> ways - 1 | _ -> ways in
+  let previous : (Chmc.classification list * int) option ref = ref None in
+  for f = 1 to max_f do
+    let degraded =
+      if f < ways then begin
+        let chmc_f =
+          Chmc.analyze ~graph ~loops ~config
+            ~assoc:(fun s -> if s = set then ways - f else ways)
+            ~only_sets:[ set ] ()
+        in
+        fun ~node ~offset -> Chmc.classification chmc_f ~node ~offset
+      end
+      else
+        match srb with
+        | Some srb_result ->
+          fun ~node ~offset ->
+            if Srb_analysis.always_hit srb_result ~node ~offset then Chmc.Always_hit
+            else Chmc.Always_miss
+        | None -> fun ~node:_ ~offset:_ -> Chmc.Always_miss
+    in
+    (* Successive fault counts often leave the classification of the
+       set unchanged; reuse the ILP bound when they do. *)
+    let signature =
+      Chmc.fold_refs
+        (fun ~node ~offset _ acc ->
+          if Chmc.cache_set baseline ~node ~offset = set then degraded ~node ~offset :: acc
+          else acc)
+        baseline []
+    in
+    let value =
+      match !previous with
+      | Some (prev_sig, prev_value) when prev_sig = signature -> prev_value
+      | _ ->
+        let v =
+          Ipet.Delta.extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets:[ set ] ~engine ~exact ()
+        in
+        previous := Some (signature, v);
+        v
+    in
+    (* The map is monotone in the fault count by construction;
+       enforce it against any relaxation tie-break wobble. *)
+    row.(f) <- max value row.(f - 1)
+  done;
+  if max_f < ways then row.(ways) <- row.(max_f);
+  row
+
+let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1) () =
   let n_sets = config.Cache.Config.sets and ways = config.Cache.Config.ways in
   let baseline = Chmc.analyze ~graph ~loops ~config () in
   let srb =
@@ -20,56 +74,18 @@ let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) 
     (fun ~node ~offset _ () -> used.(Chmc.cache_set baseline ~node ~offset) <- true)
     baseline ();
   let misses = Array.make_matrix n_sets (ways + 1) 0 in
-  for set = 0 to n_sets - 1 do
-    if used.(set) then begin
-      (* With RW the all-faulty situation cannot occur (the reliable way
-         survives); the last meaningful column is W-1. *)
-      let max_f = match mechanism with Mechanism.Reliable_way -> ways - 1 | _ -> ways in
-      let previous : (Chmc.classification list * int) option ref = ref None in
-      for f = 1 to max_f do
-        let degraded =
-          if f < ways then begin
-            let chmc_f =
-              Chmc.analyze ~graph ~loops ~config
-                ~assoc:(fun s -> if s = set then ways - f else ways)
-                ~only_sets:[ set ] ()
-            in
-            fun ~node ~offset -> Chmc.classification chmc_f ~node ~offset
-          end
-          else
-            match srb with
-            | Some srb_result ->
-              fun ~node ~offset ->
-                if Srb_analysis.always_hit srb_result ~node ~offset then Chmc.Always_hit
-                else Chmc.Always_miss
-            | None -> fun ~node:_ ~offset:_ -> Chmc.Always_miss
-        in
-        (* Successive fault counts often leave the classification of the
-           set unchanged; reuse the ILP bound when they do. *)
-        let signature =
-          Chmc.fold_refs
-            (fun ~node ~offset _ acc ->
-              if Chmc.cache_set baseline ~node ~offset = set then degraded ~node ~offset :: acc
-              else acc)
-            baseline []
-        in
-        let value =
-          match !previous with
-          | Some (prev_sig, prev_value) when prev_sig = signature -> prev_value
-          | _ ->
-            let v =
-              Ipet.Delta.extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets:[ set ] ~engine ~exact ()
-            in
-            previous := Some (signature, v);
-            v
-        in
-        (* The map is monotone in the fault count by construction;
-           enforce it against any relaxation tie-break wobble. *)
-        misses.(set).(f) <- max value misses.(set).(f - 1)
-      done;
-      if max_f < ways then misses.(set).(ways) <- misses.(set).(max_f)
-    end
-  done;
+  (* Rows are independent; fan the referenced sets out across domains.
+     Each row is deterministic given its inputs, so the table is
+     bit-identical for every [jobs]. *)
+  let used_sets =
+    Array.of_list (List.filter (fun s -> used.(s)) (List.init n_sets Fun.id))
+  in
+  let rows =
+    Parallel.Pool.map ~jobs
+      (compute_row ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb)
+      used_sets
+  in
+  Array.iteri (fun i set -> misses.(set) <- rows.(i)) used_sets;
   { misses; config; mechanism }
 
 let of_table ~config ~mechanism table =
@@ -93,6 +109,7 @@ let misses t ~set ~faulty =
 
 let config t = t.config
 let mechanism t = t.mechanism
+let table t = Array.map Array.copy t.misses
 
 let max_penalty_misses t =
   let last =

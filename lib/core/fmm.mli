@@ -22,13 +22,16 @@ val compute :
   mechanism:Mechanism.t ->
   ?engine:[ `Path | `Ilp ] ->
   ?exact:bool ->
+  ?jobs:int ->
   unit ->
   t
 (** Runs the fault-free analysis once, then one degraded analysis +
     miss-delta bound per (referenced set, fault count). [engine] picks
     the bounding engine (tree-based path engine by default, or the IPET
     ILP); [exact] selects branch-and-bound when the ILP engine is
-    used. *)
+    used. [jobs] (default 1) fans the independent per-set rows out
+    across that many OCaml domains; the resulting table is bit-identical
+    for every value of [jobs]. *)
 
 val of_table : config:Cache.Config.t -> mechanism:Mechanism.t -> int array array -> t
 (** Wraps an explicit [sets x (ways+1)] miss table (column 0 must be
@@ -40,6 +43,11 @@ val misses : t -> set:int -> faulty:int -> int
 
 val config : t -> Cache.Config.t
 val mechanism : t -> Mechanism.t
+
+val table : t -> int array array
+(** A copy of the full [sets x (ways+1)] miss table — for bit-exact
+    comparisons between analysis configurations (e.g. sequential vs
+    parallel) and for serialisation. *)
 
 val max_penalty_misses : t -> int
 (** Sum over sets of the worst column — the support ceiling of the total

@@ -14,9 +14,22 @@ let set_distribution ~fmm ~pbf ~set =
     pmf;
   Prob.Dist.of_points !points
 
-let total_distribution ?max_points ~fmm ~pbf () =
+let total_distribution ?max_points ?(jobs = 1) ~fmm ~pbf () =
   let config = Fmm.config fmm in
-  let dists =
-    List.init config.Cache.Config.sets (fun set -> set_distribution ~fmm ~pbf ~set)
+  let ways = config.Cache.Config.ways in
+  (* Rows are monotone with a zero first column, so a zero last column
+     means the whole row is zero: the set contributes the identity
+     distribution (point 0) and can be skipped — on a 64-set cache with
+     a handful of referenced sets that avoids dozens of no-op
+     convolutions without changing the result. *)
+  let active =
+    List.filter
+      (fun set -> Fmm.misses fmm ~set ~faulty:ways <> 0)
+      (List.init config.Cache.Config.sets Fun.id)
   in
-  Prob.Dist.convolve_all ?max_points dists
+  let dists =
+    Parallel.Pool.map ~jobs
+      (fun set -> set_distribution ~fmm ~pbf ~set)
+      (Array.of_list active)
+  in
+  Prob.Dist.convolve_all ?max_points (Array.to_list dists)

@@ -9,5 +9,10 @@
 val set_distribution : fmm:Fmm.t -> pbf:float -> set:int -> Prob.Dist.t
 (** The penalty distribution of one cache set. *)
 
-val total_distribution : ?max_points:int -> fmm:Fmm.t -> pbf:float -> unit -> Prob.Dist.t
-(** Convolution over all sets. *)
+val total_distribution :
+  ?max_points:int -> ?jobs:int -> fmm:Fmm.t -> pbf:float -> unit -> Prob.Dist.t
+(** Convolution over all sets, as a balanced pairwise reduction.
+    All-zero FMM rows (never-referenced sets) contribute the identity
+    distribution and are skipped — the result is unchanged. [jobs]
+    (default 1) builds the per-set distributions on that many
+    domains. *)

@@ -159,7 +159,41 @@ let dsrb_hits task =
   done;
   hits
 
-let compute_dfmm task ~mechanism =
+(* One data-cache FMM row; self-contained so rows can run on separate
+   domains (mirrors Pwcet.Fmm.compute_row). *)
+let compute_dfmm_row task ~mechanism ~srb_hits set =
+  let dconfig = task.dconfig in
+  let ways = dconfig.Cache.Config.ways in
+  let row = Array.make (ways + 1) 0 in
+  let max_f = match mechanism with Pwcet.Mechanism.Reliable_way -> ways - 1 | _ -> ways in
+  for f = 1 to max_f do
+    let degraded =
+      if f < ways then begin
+        let dchmc_f =
+          Danalysis.analyze ~graph:task.graph ~loops:task.loops ~config:dconfig
+            ~annot:task.annot
+            ~assoc:(fun s -> if s = set then ways - f else ways)
+            ~only_sets:[ set ] ()
+        in
+        fun ~node ~offset ->
+          Option.value
+            (Danalysis.classification dchmc_f ~node ~offset)
+            ~default:Chmc.Not_classified
+      end
+      else
+        match srb_hits with
+        | Some hits ->
+          fun ~node ~offset ->
+            if hits.(node).(offset) then Chmc.Always_hit else Chmc.Always_miss
+        | None -> fun ~node:_ ~offset:_ -> Chmc.Always_miss
+    in
+    let v = data_extra_misses ~task ~degraded ~set in
+    row.(f) <- max v row.(f - 1)
+  done;
+  if max_f < ways then row.(ways) <- row.(max_f);
+  row
+
+let compute_dfmm task ~mechanism ~jobs =
   let dconfig = task.dconfig in
   let n_sets = dconfig.Cache.Config.sets and ways = dconfig.Cache.Config.ways in
   let used = Array.make n_sets false in
@@ -175,50 +209,26 @@ let compute_dfmm task ~mechanism =
     | _ -> None
   in
   let misses = Array.make_matrix n_sets (ways + 1) 0 in
-  for set = 0 to n_sets - 1 do
-    if used.(set) then begin
-      let max_f = match mechanism with Pwcet.Mechanism.Reliable_way -> ways - 1 | _ -> ways in
-      for f = 1 to max_f do
-        let degraded =
-          if f < ways then begin
-            let dchmc_f =
-              Danalysis.analyze ~graph:task.graph ~loops:task.loops ~config:dconfig
-                ~annot:task.annot
-                ~assoc:(fun s -> if s = set then ways - f else ways)
-                ~only_sets:[ set ] ()
-            in
-            fun ~node ~offset ->
-              Option.value
-                (Danalysis.classification dchmc_f ~node ~offset)
-                ~default:Chmc.Not_classified
-          end
-          else
-            match srb_hits with
-            | Some hits ->
-              fun ~node ~offset ->
-                if hits.(node).(offset) then Chmc.Always_hit else Chmc.Always_miss
-            | None -> fun ~node:_ ~offset:_ -> Chmc.Always_miss
-        in
-        let v = data_extra_misses ~task ~degraded ~set in
-        misses.(set).(f) <- max v misses.(set).(f - 1)
-      done;
-      if max_f < ways then misses.(set).(ways) <- misses.(set).(max_f)
-    end
-  done;
+  let used_sets =
+    Array.of_list (List.filter (fun s -> used.(s)) (List.init n_sets Fun.id))
+  in
+  let rows = Parallel.Pool.map ~jobs (compute_dfmm_row task ~mechanism ~srb_hits) used_sets in
+  Array.iteri (fun i set -> misses.(set) <- rows.(i)) used_sets;
   misses
 
-let estimate task ~pfail ~imech ~dmech () =
+let estimate task ~pfail ~imech ~dmech ?(jobs = 1) () =
   let ifmm =
     Pwcet.Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.iconfig
-      ~mechanism:imech ()
+      ~mechanism:imech ~jobs ()
   in
   let dfmm =
-    Pwcet.Fmm.of_table ~config:task.dconfig ~mechanism:dmech (compute_dfmm task ~mechanism:dmech)
+    Pwcet.Fmm.of_table ~config:task.dconfig ~mechanism:dmech
+      (compute_dfmm task ~mechanism:dmech ~jobs)
   in
   let ipbf = Fault.Model.pbf_of_config ~pfail task.iconfig in
   let dpbf = Fault.Model.pbf_of_config ~pfail task.dconfig in
-  let ipenalty = Pwcet.Penalty.total_distribution ~fmm:ifmm ~pbf:ipbf () in
-  let dpenalty = Pwcet.Penalty.total_distribution ~fmm:dfmm ~pbf:dpbf () in
+  let ipenalty = Pwcet.Penalty.total_distribution ~jobs ~fmm:ifmm ~pbf:ipbf () in
+  let dpenalty = Pwcet.Penalty.total_distribution ~jobs ~fmm:dfmm ~pbf:dpbf () in
   let penalty = Dist.convolve ipenalty dpenalty in
   { task; imech; dmech; ifmm; dfmm; penalty }
 

@@ -40,8 +40,12 @@ val estimate :
   pfail:float ->
   imech:Pwcet.Mechanism.t ->
   dmech:Pwcet.Mechanism.t ->
+  ?jobs:int ->
   unit ->
   estimate
+(** [jobs] (default 1) runs the independent per-set analyses of both
+    caches' FMMs (and the per-set penalty builds) on that many OCaml
+    domains; results are identical for every value. *)
 
 val pwcet : estimate -> target:float -> int
 

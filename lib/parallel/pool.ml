@@ -1,0 +1,34 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let mapi ~jobs f input =
+  let n = Array.length input in
+  if jobs <= 1 || n <= 1 then Array.mapi f input
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let error : (exn * Printexc.raw_backtrace) option Atomic.t = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get error <> None then continue := false
+        else
+          match f i input.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set error None (Some (e, bt)));
+            continue := false
+      done
+    in
+    (* The caller is one of the workers: [jobs] domains run in total. *)
+    let spawned = Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ~jobs f input = mapi ~jobs (fun _ x -> f x) input

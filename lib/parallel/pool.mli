@@ -1,0 +1,28 @@
+(** Dependency-free data parallelism over OCaml 5 domains.
+
+    [map ~jobs f input] applies [f] to every element of [input] and
+    returns the results in input order, distributing elements across
+    [jobs] domains (the calling domain counts as one of them). With
+    [jobs <= 1], or when the input has fewer than two elements, it is
+    exactly [Array.map f input] on the current domain — no domain is
+    spawned, so callers can expose a [?jobs] knob whose [1] setting is
+    observationally sequential.
+
+    Work is distributed dynamically (an atomic next-index counter), so
+    uneven per-element costs — the norm for per-cache-set analyses —
+    still balance. [f] must be safe to run concurrently with itself on
+    distinct elements; it must not rely on unsynchronised shared
+    mutable state.
+
+    If [f] raises, remaining elements are abandoned, all domains are
+    joined, and the first exception observed is re-raised (with its
+    backtrace) in the calling domain. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of
+    how many domains the hardware can usefully run. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val mapi : jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!map}, passing each element's index. *)

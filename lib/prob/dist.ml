@@ -1,8 +1,11 @@
 module Kahan = Numeric.Kahan
 
 (* Invariant: penalties strictly ascending, probabilities > 0, suffix
-   holds the exceedance values P(X >= penalties.(i)) accumulated from
-   the top with compensated summation. *)
+   holds the weak-exceedance values P(X >= penalties.(i)) accumulated
+   from the top with compensated summation. Convention (documented in
+   dist.mli): [exceedance] answers the strict P(X > x) query, while
+   [exceedance_curve] exposes the weak P(X >= x) staircase; at a support
+   point x_i they are related by P(X >= x_i) = P(X > x_i - 1). *)
 type t = {
   penalties : int array;
   probs : float array;
@@ -70,16 +73,34 @@ let total_mass t = if size t = 0 then 0.0 else t.suffix.(0)
 (* Fold the lowest-probability points into their upward neighbour until
    at most [max_points] remain. Probability only moves to higher
    penalties, so exceedance curves of the result dominate the input's:
-   conservative for pWCET. *)
+   conservative for pWCET. The bound is hard: ranking ties are broken by
+   index, so duplicated probabilities cannot inflate the kept set past
+   [max_points] (a probability threshold would keep every tied point). *)
 let cap_points max_points (pairs : (int * float) list) =
   let n = List.length pairs in
   if n <= max_points then pairs
   else begin
     let arr = Array.of_list pairs in
-    (* Select a probability threshold that keeps ~max_points. *)
-    let by_prob = Array.map snd arr in
-    Array.sort compare by_prob;
-    let threshold = by_prob.(n - max_points) in
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun i j ->
+        let c = compare (snd arr.(i)) (snd arr.(j)) in
+        if c <> 0 then c else compare i j)
+      order;
+    (* Keep the top-penalty point (folded mass needs somewhere to go),
+       then the highest-probability points until the budget is full. *)
+    let keep = Array.make n false in
+    keep.(n - 1) <- true;
+    let kept = ref 1 in
+    let r = ref (n - 1) in
+    while !kept < max_points && !r >= 0 do
+      let i = order.(!r) in
+      if not keep.(i) then begin
+        keep.(i) <- true;
+        incr kept
+      end;
+      decr r
+    done;
     (* Walk in ascending penalty order; a dropped point's mass rides
        along until the next kept (higher-penalty) point absorbs it. The
        top point is always kept, so no mass is left over. *)
@@ -87,7 +108,7 @@ let cap_points max_points (pairs : (int * float) list) =
     let carried = ref 0.0 in
     Array.iteri
       (fun i (x, p) ->
-        if p >= threshold || i = n - 1 then begin
+        if keep.(i) then begin
           result := (x, p +. !carried) :: !result;
           carried := 0.0
         end
@@ -112,9 +133,22 @@ let convolve ?(max_points = 65536) a b =
   let pairs = cap_points max_points pairs in
   of_sorted_arrays (Array.of_list (List.map fst pairs)) (Array.of_list (List.map snd pairs))
 
-let convolve_all ?max_points = function
-  | [] -> point 0
-  | first :: rest -> List.fold_left (fun acc d -> convolve ?max_points acc d) first rest
+(* Balanced pairwise tree instead of a left fold: n-1 convolutions
+   either way, but operands stay similarly sized, so total work drops
+   from O(n * |acc|) against one ever-growing accumulator to the
+   tree-sum of products, and capping (when it triggers) applies to
+   balanced operands rather than degrading one long chain. *)
+let convolve_all ?max_points dists =
+  let rec pair_up = function
+    | a :: b :: rest -> convolve ?max_points a b :: pair_up rest
+    | tail -> tail
+  in
+  let rec reduce = function
+    | [] -> point 0
+    | [ d ] -> d
+    | ds -> reduce (pair_up ds)
+  in
+  reduce dists
 
 (* P(X > x): suffix sum of the first support point strictly above x. *)
 let exceedance t x =
@@ -135,13 +169,18 @@ let quantile t ~target =
   else begin
     (* The exceedance function only drops at support values, so the
        smallest x with P(X > x) <= target is the first support value
-       whose strict upper tail fits the target. The scan always
-       terminates at i = n-1, where the tail is 0. *)
-    let rec scan i =
-      let tail_above = if i + 1 < n then t.suffix.(i + 1) else 0.0 in
-      if tail_above <= target then t.penalties.(i) else scan (i + 1)
+       whose strict upper tail fits the target. [tail_above] is
+       non-increasing in i, so binary-search the first index where it
+       fits; at i = n-1 the tail is 0, so the search is total. *)
+    let tail_above i = if i + 1 < n then t.suffix.(i + 1) else 0.0 in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if tail_above mid <= target then search lo mid else search (mid + 1) hi
+      end
     in
-    scan 0
+    t.penalties.(search 0 (n - 1))
   end
 
 let exceedance_curve t =

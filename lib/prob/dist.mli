@@ -38,21 +38,46 @@ val total_mass : t -> float
 val convolve : ?max_points:int -> t -> t -> t
 (** Distribution of the sum of two independent variables. When the
     result exceeds [max_points] (default 65536), the lowest-probability
-    points are folded into the next higher penalty (conservative). *)
+    points are folded into the next higher kept penalty (conservative);
+    the result never has more than [max_points] points, even when tied
+    probabilities straddle the cut. *)
 
 val convolve_all : ?max_points:int -> t list -> t
+(** Convolution of a list of independent variables ([{!point} 0] for the
+    empty list), computed as a balanced pairwise tree. Equal to the
+    left-to-right fold whenever [max_points] never triggers (convolution
+    is associative); when capping does trigger, the result still
+    conservatively dominates every uncapped ordering (see the soundness
+    convention above), but individual points may differ from the
+    fold's. *)
+
+(** {2 Exceedance convention}
+
+    Two tail queries coexist and are intentionally distinct:
+    {ul
+    {- [exceedance t x] is the {e strict} tail [P(X > x)] — the paper's
+       exceedance-probability query: a deadline set at [x] is {e missed}
+       only when the penalty strictly exceeds it.}
+    {- [exceedance_curve t] lists the {e weak} tails [P(X >= x)] at
+       every support point — the CCDF staircase of Fig. 3, which must
+       show each point's own mass.}}
+    On integer penalties they interconvert: [P(X >= x) = P(X > x - 1)],
+    i.e. the curve value at support point [x] equals
+    [exceedance t (x - 1)]. *)
 
 val exceedance : t -> int -> float
-(** [exceedance t x] is [P(X > x)]. *)
+(** [exceedance t x] is the strict tail [P(X > x)]. *)
 
 val quantile : t -> target:float -> int
 (** Smallest penalty [x] with [P(X > x) <= target] — the value read off
-    the paper's complementary cumulative distributions.
+    the paper's complementary cumulative distributions. Binary search
+    over the suffix-tail array: O(log n) per query.
     @raise Invalid_argument when [target < 0]. *)
 
 val exceedance_curve : t -> (int * float) list
 (** Points [(x, P(X >= x))] for every x in the support — the staircase
-    the paper plots in Fig. 3. *)
+    the paper plots in Fig. 3 (weak inequality; see the convention
+    above). *)
 
 val expectation : t -> float
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+(* Tests for the domain pool and for the determinism contract of the
+   parallel analysis paths: any [jobs] value must produce bit-identical
+   FMM tables and penalty distributions. All randomness is seeded. *)
+
+module Pool = Parallel.Pool
+module Fmm = Pwcet.Fmm
+module M = Pwcet.Mechanism
+module D = Prob.Dist
+
+(* --- pool ----------------------------------------------------------------- *)
+
+let test_pool_matches_array_map () =
+  let state = Random.State.make [| 3 |] in
+  List.iter
+    (fun jobs ->
+      for _ = 1 to 5 do
+        let n = Random.State.int state 200 in
+        let input = Array.init n (fun i -> i + Random.State.int state 10) in
+        let f x = (x * x) - (3 * x) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "jobs=%d n=%d" jobs n)
+          (Array.map f input) (Pool.map ~jobs f input)
+      done)
+    [ 0; 1; 2; 4; 13 ]
+
+let test_pool_mapi_indexes () =
+  let input = Array.init 50 (fun i -> 2 * i) in
+  let expected = Array.mapi (fun i x -> (i, x)) input in
+  Alcotest.(check (array (pair int int))) "mapi" expected
+    (Pool.mapi ~jobs:4 (fun i x -> (i, x)) input)
+
+let test_pool_preserves_order_under_skew () =
+  (* Uneven per-element cost exercises the dynamic scheduler: late
+     indexes can finish first, but the result must stay in order. *)
+  let n = 64 in
+  let input = Array.init n (fun i -> i) in
+  let f i =
+    let spins = if i mod 7 = 0 then 20_000 else 10 in
+    let acc = ref i in
+    for _ = 1 to spins do
+      acc := (!acc * 48271) mod 0x7fffffff
+    done;
+    (i, !acc)
+  in
+  let seq = Array.map f input in
+  Alcotest.(check (array (pair int int))) "ordered" seq (Pool.map ~jobs:8 f input)
+
+exception Boom of int
+
+let test_pool_propagates_exception () =
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs (fun x -> if x = 17 then raise (Boom x) else x) (Array.init 40 Fun.id) with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Boom 17 -> ())
+    [ 1; 4 ]
+
+let test_pool_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "singleton" [| 9 |] (Pool.map ~jobs:4 (fun x -> x * 3) [| 3 |])
+
+(* --- parallel FMM determinism ---------------------------------------------- *)
+
+let task_of name =
+  let entry = Option.get (Benchmarks.Registry.find name) in
+  let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
+  let program = compiled.Minic.Compile.program in
+  let graph = Cfg.Graph.build program in
+  let loops = Cfg.Loop.detect graph in
+  (graph, loops)
+
+let test_fmm_jobs_bit_identical () =
+  let config = Cache.Config.paper_default in
+  List.iter
+    (fun name ->
+      let graph, loops = task_of name in
+      List.iter
+        (fun mechanism ->
+          let seq = Fmm.compute ~graph ~loops ~config ~mechanism ~jobs:1 () in
+          let par = Fmm.compute ~graph ~loops ~config ~mechanism ~jobs:4 () in
+          Alcotest.(check (array (array int)))
+            (Printf.sprintf "%s/%s table" name (M.name mechanism))
+            (Fmm.table seq) (Fmm.table par))
+        M.all)
+    [ "fibcall"; "bs"; "crc" ]
+
+let test_penalty_jobs_bit_identical () =
+  let config = Cache.Config.paper_default in
+  let graph, loops = task_of "crc" in
+  let fmm = Fmm.compute ~graph ~loops ~config ~mechanism:M.No_protection () in
+  let pbf = Fault.Model.pbf_of_config ~pfail:1e-4 config in
+  let seq = Pwcet.Penalty.total_distribution ~jobs:1 ~fmm ~pbf () in
+  let par = Pwcet.Penalty.total_distribution ~jobs:4 ~fmm ~pbf () in
+  Alcotest.(check (list (pair int (float 0.)))) "penalty distribution"
+    (D.support seq) (D.support par)
+
+let test_dcache_jobs_bit_identical () =
+  let config = Cache.Config.paper_default in
+  let entry = Option.get (Benchmarks.Registry.find "bs") in
+  let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
+  let task = Dcache.Destimator.prepare ~compiled ~iconfig:config ~dconfig:config () in
+  let est jobs =
+    Dcache.Destimator.estimate task ~pfail:1e-4 ~imech:M.No_protection
+      ~dmech:M.Shared_reliable_buffer ~jobs ()
+  in
+  let seq = est 1 and par = est 4 in
+  Alcotest.(check (list (pair int (float 0.)))) "combined penalty"
+    (D.support seq.Dcache.Destimator.penalty) (D.support par.Dcache.Destimator.penalty);
+  List.iter
+    (fun target ->
+      Alcotest.(check int)
+        (Printf.sprintf "pwcet at %g" target)
+        (Dcache.Destimator.pwcet seq ~target) (Dcache.Destimator.pwcet par ~target))
+    [ 1e-9; 1e-15 ]
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "matches Array.map" `Quick test_pool_matches_array_map
+        ; Alcotest.test_case "mapi" `Quick test_pool_mapi_indexes
+        ; Alcotest.test_case "ordered under skew" `Quick test_pool_preserves_order_under_skew
+        ; Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception
+        ; Alcotest.test_case "edge sizes" `Quick test_pool_empty_and_singleton
+        ] )
+    ; ( "determinism",
+        [ Alcotest.test_case "fmm jobs 1 = 4" `Quick test_fmm_jobs_bit_identical
+        ; Alcotest.test_case "penalty jobs 1 = 4" `Quick test_penalty_jobs_bit_identical
+        ; Alcotest.test_case "dcache jobs 1 = 4" `Quick test_dcache_jobs_bit_identical
+        ] )
+    ]

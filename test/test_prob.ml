@@ -123,6 +123,138 @@ let test_capping_is_conservative () =
     Alcotest.(check bool) "size bounded" true (D.size capped <= 17)
   done
 
+(* Reference implementation of the quantile: the linear scan the binary
+   search replaced. Smallest support value whose strict upper tail fits
+   the target (0 when even the whole distribution fits). *)
+let quantile_scan d ~target =
+  if D.exceedance d 0 <= target then 0
+  else begin
+    let rec scan = function
+      | [] -> 0
+      | [ (x, _) ] -> x
+      | (x, _) :: rest -> if D.exceedance d x <= target then x else scan rest
+    in
+    scan (D.support d)
+  end
+
+let random_dist state =
+  let n = 1 + Random.State.int state 50 in
+  let raw = List.init n (fun k -> (k * (1 + Random.State.int state 5), Random.State.float state 1.0 +. 1e-6)) in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 raw in
+  D.of_points (List.map (fun (x, p) -> (x, p /. total)) raw)
+
+let test_quantile_binary_matches_scan () =
+  let state = Random.State.make [| 23 |] in
+  for _ = 1 to 100 do
+    let d = random_dist state in
+    let targets =
+      [ 0.0; 1e-18; 1e-9; 0.5; 1.0; Random.State.float state 1.0 ]
+      (* Boundary cases: the exact tail values at every support point. *)
+      @ List.map (fun (x, _) -> D.exceedance d x) (D.support d)
+    in
+    List.iter
+      (fun target ->
+        Alcotest.(check int)
+          (Printf.sprintf "quantile at %.17g" target)
+          (quantile_scan d ~target) (D.quantile d ~target))
+      targets
+  done
+
+(* --- tied-probability capping (regression) ---------------------------------- *)
+
+(* A probability threshold keeps every point tied at the threshold, so
+   equal-mass supports used to blow straight through max_points. The cap
+   must be hard. *)
+let test_capping_tied_probabilities () =
+  let n = 64 in
+  let pts = List.init n (fun k -> (3 * k, 1.0 /. float_of_int n)) in
+  let d = D.of_points pts in
+  let capped = D.convolve ~max_points:8 d (D.point 0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hard cap (%d points)" (D.size capped))
+    true
+    (D.size capped <= 8);
+  feq "mass preserved" 1.0 (D.total_mass capped);
+  (* Top point survives, and the result stays conservative. *)
+  Alcotest.(check int) "top point kept" (3 * (n - 1))
+    (List.fold_left (fun acc (x, _) -> max acc x) 0 (D.support capped));
+  List.iter
+    (fun (x, _) ->
+      Alcotest.(check bool) "capped exceedance dominates" true
+        (D.exceedance capped x +. 1e-12 >= D.exceedance d x))
+    pts
+
+(* --- tree reduction vs left fold --------------------------------------------- *)
+
+let fold_convolve ?max_points = function
+  | [] -> D.point 0
+  | first :: rest -> List.fold_left (fun acc d -> D.convolve ?max_points acc d) first rest
+
+(* Distribution with probabilities k/16: all products of such values are
+   exact dyadic rationals in float64, so any convolution order yields
+   bit-identical results when no capping occurs. *)
+let random_dyadic_dist state =
+  let n = 1 + Random.State.int state 4 in
+  let rec weights total count =
+    if count = 1 then [ total ]
+    else begin
+      let w = 1 + Random.State.int state (total - count + 1) in
+      w :: weights (total - w) (count - 1)
+    end
+  in
+  let ws = weights 16 n in
+  D.of_points (List.mapi (fun i w -> (i * (1 + Random.State.int state 9), float_of_int w /. 16.0)) ws)
+
+let test_tree_matches_fold_uncapped () =
+  let state = Random.State.make [| 31 |] in
+  for _ = 1 to 50 do
+    let dists = List.init (1 + Random.State.int state 6) (fun _ -> random_dyadic_dist state) in
+    let tree = D.convolve_all dists in
+    let fold = fold_convolve dists in
+    Alcotest.(check (list (pair int (float 0.)))) "tree = fold bit-for-bit"
+      (D.support fold) (D.support tree)
+  done;
+  (* Empty and singleton lists. *)
+  Alcotest.(check (list (pair int (float 0.)))) "empty"
+    (D.support (D.point 0)) (D.support (D.convolve_all []));
+  let d = D.of_points [ (1, 0.5); (4, 0.5) ] in
+  Alcotest.(check (list (pair int (float 0.)))) "singleton"
+    (D.support d) (D.support (D.convolve_all [ d ]))
+
+let test_tree_capped_is_conservative () =
+  (* When the cap triggers, orderings may disagree pointwise, but the
+     tree's exceedance must dominate the exact (uncapped) result —
+     soundness does not depend on the reduction shape. *)
+  let state = Random.State.make [| 37 |] in
+  for _ = 1 to 10 do
+    let dists = List.init (3 + Random.State.int state 3) (fun _ -> random_dist state) in
+    let exact = fold_convolve ~max_points:max_int dists in
+    let tree = D.convolve_all ~max_points:24 dists in
+    Alcotest.(check bool) "cap honoured" true (D.size tree <= 24);
+    feq "mass preserved" (D.total_mass exact) (D.total_mass tree);
+    List.iter
+      (fun (x, _) ->
+        Alcotest.(check bool) "tree exceedance dominates exact" true
+          (D.exceedance tree x +. 1e-12 >= D.exceedance exact x))
+      (D.support exact)
+  done
+
+(* --- exceedance convention ---------------------------------------------------- *)
+
+(* Pin the documented convention: [exceedance] is the strict tail
+   P(X > x); [exceedance_curve] lists the weak tails P(X >= x); at a
+   support point they interconvert via P(X >= x) = P(X > x-1). *)
+let test_exceedance_convention () =
+  let d = D.of_points [ (0, 0.9); (10, 0.09); (130, 0.01) ] in
+  let curve = D.exceedance_curve d in
+  List.iter (fun (x, weak) -> feq "weak(x) = strict(x-1)" weak (D.exceedance d (x - 1))) curve;
+  feq "curve at 0 includes own mass" 1.0 (List.assoc 0 curve);
+  feq "strict at 0 excludes own mass" 0.1 (D.exceedance d 0);
+  feq "curve at 10" 0.1 (List.assoc 10 curve);
+  feq "strict at 10" 0.01 (D.exceedance d 10);
+  feq "curve at 130" 0.01 (List.assoc 130 curve);
+  feq "strict at 130" 0.0 (D.exceedance d 130)
+
 (* --- fault model (paper eqs. 1-3) ------------------------------------------ *)
 
 let test_pbf_eq1 () =
@@ -213,8 +345,17 @@ let () =
         ; Alcotest.test_case "quantile" `Quick test_quantile
         ; Alcotest.test_case "curve" `Quick test_exceedance_curve
         ; Alcotest.test_case "tiny tails" `Quick test_tiny_tail_accuracy
+        ; Alcotest.test_case "binary search = scan" `Quick test_quantile_binary_matches_scan
+        ; Alcotest.test_case "convention" `Quick test_exceedance_convention
         ] )
-    ; ("capping", [ Alcotest.test_case "conservative" `Quick test_capping_is_conservative ])
+    ; ( "capping",
+        [ Alcotest.test_case "conservative" `Quick test_capping_is_conservative
+        ; Alcotest.test_case "tied probabilities" `Quick test_capping_tied_probabilities
+        ] )
+    ; ( "tree reduction",
+        [ Alcotest.test_case "matches fold uncapped" `Quick test_tree_matches_fold_uncapped
+        ; Alcotest.test_case "capped conservative" `Quick test_tree_capped_is_conservative
+        ] )
     ; ( "fault model",
         [ Alcotest.test_case "eq.1 pbf" `Quick test_pbf_eq1
         ; Alcotest.test_case "eq.2 pwf" `Quick test_pwf_eq2

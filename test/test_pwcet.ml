@@ -399,6 +399,31 @@ let test_report_aggregates () =
   Alcotest.(check string) "min rw benchmark" "a" name;
   Alcotest.(check (float 1e-12)) "min rw gain" 0.4 g
 
+(* --- zero-row skipping ----------------------------------------------------- *)
+
+(* Sets the program never touches have all-zero FMM rows and contribute
+   the identity distribution; total_distribution skips them. The result
+   must equal the unskipped convolution over every set exactly. *)
+let test_total_distribution_skips_zero_rows () =
+  let sparse_config = C.make ~sets:8 ~ways:2 ~line_bytes:16 () in
+  let table =
+    Array.init 8 (fun s ->
+        if s = 2 then [| 0; 10; 130 |] else if s = 5 then [| 0; 14; 164 |] else [| 0; 0; 0 |])
+  in
+  List.iter
+    (fun mechanism ->
+      let fmm = Fmm.of_table ~config:sparse_config ~mechanism table in
+      let pbf = 0.1 in
+      let skipped = Pwcet.Penalty.total_distribution ~fmm ~pbf () in
+      let unskipped =
+        D.convolve_all
+          (List.init 8 (fun set -> Pwcet.Penalty.set_distribution ~fmm ~pbf ~set))
+      in
+      Alcotest.(check (list (pair int (float 0.))))
+        ("support identical, " ^ M.name mechanism)
+        (D.support unskipped) (D.support skipped))
+    M.all
+
 let () =
   Alcotest.run "pwcet"
     [ ( "fig1 worked example",
@@ -431,6 +456,8 @@ let () =
         ; Alcotest.test_case "quantile" `Quick test_rvc_quantile
         ; Alcotest.test_case "concrete bound" `Quick test_rvc_concrete_bound
         ] )
+    ; ( "penalty",
+        [ Alcotest.test_case "zero rows skipped" `Quick test_total_distribution_skips_zero_rows ] )
     ; ( "report",
         [ Alcotest.test_case "gains" `Quick test_report_gains
         ; Alcotest.test_case "categories" `Quick test_report_categories
