@@ -1,6 +1,6 @@
 # Convenience entry points; `check` is the tier-1 gate.
 
-.PHONY: all build check test bench clean
+.PHONY: all build check test bench bench-json clean
 
 all: build
 
@@ -17,6 +17,10 @@ test: check
 JOBS ?=
 bench:
 	dune exec bench/main.exe -- $(if $(JOBS),-j $(JOBS))
+
+# Naive-vs-sliced FMM engine comparison only; writes BENCH_fmm.json.
+bench-json:
+	dune exec bench/main.exe -- --only fmm-json $(if $(JOBS),-j $(JOBS))
 
 clean:
 	dune clean

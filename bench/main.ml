@@ -13,6 +13,7 @@
      geometry     Section IV-A's cache-configuration choice
      ablations    engine choice, persistence value, convolution capping
      future work  refined SRB analysis; data-cache transposition
+     fmm-json     naive vs sliced FMM engines -> BENCH_fmm.json
      bechamel     timing of each analysis stage *)
 
 let config = Cache.Config.paper_default
@@ -36,7 +37,7 @@ let jobs =
 
 (* --only NAME: run a single section (the full harness regenerates every
    figure and takes minutes). Names: equations figure1 figure3 figure4
-   geometry ablations future-work data-cache bechamel. *)
+   geometry ablations future-work data-cache fmm-json bechamel. *)
 let only =
   let rec scan = function
     | "--only" :: v :: _ -> Some v
@@ -363,6 +364,68 @@ let section_data_cache () =
      conservatively costed as misses — the expected precision loss of\n\
      address-range analysis without value analysis.\n"
 
+(* --- FMM engine comparison (machine-readable) --------------------------------- *)
+
+(* Naive (whole-CFG re-analysis per (set, fault count)) vs sliced
+   (per-set condensed fixpoints + saturation early-exit) FMM engines on
+   the 64-set geometry, written to BENCH_fmm.json for tracking. Tables
+   are asserted bit-identical before any timing is reported. *)
+let section_fmm_json () =
+  banner "FMM engine comparison (naive vs sliced) -> BENCH_fmm.json";
+  let task = task_of "adpcm" in
+  let graph = task.Pwcet.Estimator.graph and loops = task.Pwcet.Estimator.loops in
+  let wide_config = Cache.Config.make ~sets:64 ~ways:4 ~line_bytes:16 () in
+  let run ~impl ~jobs () =
+    Pwcet.Fmm.compute ~graph ~loops ~config:wide_config
+      ~mechanism:Pwcet.Mechanism.No_protection ~jobs ~impl ()
+  in
+  (* Best of three runs, after one warm-up that also yields the table. *)
+  let time f =
+    let result = f () in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (result, !best)
+  in
+  let naive, naive_s = time (run ~impl:`Naive ~jobs:1) in
+  let sliced, sliced_s = time (run ~impl:`Sliced ~jobs:1) in
+  let n_jobs = if jobs > 1 then jobs else 2 in
+  let sliced_j, sliced_jobs_s = time (run ~impl:`Sliced ~jobs:n_jobs) in
+  let identical =
+    Pwcet.Fmm.table naive = Pwcet.Fmm.table sliced
+    && Pwcet.Fmm.table naive = Pwcet.Fmm.table sliced_j
+  in
+  if not identical then failwith "fmm-json: naive and sliced tables differ";
+  let speedup = naive_s /. sliced_s in
+  Printf.printf "  naive  jobs=1 : %8.3f s\n" naive_s;
+  Printf.printf "  sliced jobs=1 : %8.3f s   (%.2fx)\n" sliced_s speedup;
+  Printf.printf "  sliced jobs=%d : %8.3f s   (%.2fx)\n" n_jobs sliced_jobs_s
+    (naive_s /. sliced_jobs_s);
+  Printf.printf "  tables identical: %b\n" identical;
+  let oc = open_out "BENCH_fmm.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"adpcm\",\n\
+    \  \"geometry\": { \"sets\": 64, \"ways\": 4, \"line_bytes\": 16 },\n\
+    \  \"mechanism\": \"no_protection\",\n\
+    \  \"engine\": \"path\",\n\
+    \  \"runs\": \"best of 3\",\n\
+    \  \"naive_s\": %.6f,\n\
+    \  \"sliced_s\": %.6f,\n\
+    \  \"sliced_jobs\": %d,\n\
+    \  \"sliced_jobs_s\": %.6f,\n\
+    \  \"speedup_sliced_vs_naive\": %.3f,\n\
+    \  \"speedup_sliced_jobs_vs_naive\": %.3f,\n\
+    \  \"tables_identical\": %b\n\
+     }\n"
+    naive_s sliced_s n_jobs sliced_jobs_s speedup (naive_s /. sliced_jobs_s) identical;
+  close_out oc;
+  Printf.printf "  wrote BENCH_fmm.json\n"
+
 (* --- Bechamel timing ------------------------------------------------------------ *)
 
 let section_bechamel () =
@@ -377,17 +440,19 @@ let section_bechamel () =
      sequential vs the -j domain count. Tables are bit-identical; only
      wall-clock may differ. *)
   let wide_config = Cache.Config.make ~sets:64 ~ways:4 ~line_bytes:16 () in
-  let fmm_test n =
+  let fmm_test ?(impl = `Sliced) n =
+    let impl_name = match impl with `Naive -> "naive" | `Sliced -> "sliced" in
     Test.make
-      ~name:(Printf.sprintf "fmm(adpcm,64 sets,jobs=%d)" n)
+      ~name:(Printf.sprintf "fmm(adpcm,64 sets,%s,jobs=%d)" impl_name n)
       (Staged.stage (fun () ->
            ignore
              (Pwcet.Fmm.compute ~graph ~loops ~config:wide_config
-                ~mechanism:Pwcet.Mechanism.No_protection ~jobs:n ())))
+                ~mechanism:Pwcet.Mechanism.No_protection ~jobs:n ~impl ())))
   in
   let n_jobs = if jobs > 1 then jobs else 2 in
   let tests =
-    [ fmm_test 1
+    [ fmm_test ~impl:`Naive 1
+    ; fmm_test 1
     ; fmm_test n_jobs
     ; Test.make ~name:"cache-analysis(adpcm)"
         (Staged.stage (fun () ->
@@ -484,5 +549,6 @@ let () =
   if wanted "ablations" then section_ablations ();
   if wanted "future-work" then section_future_work ();
   if wanted "data-cache" then section_data_cache ();
+  if wanted "fmm-json" then section_fmm_json ();
   if wanted "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

@@ -76,6 +76,16 @@ let jobs_arg =
                  runtime's recommended domain count; 1 = sequential). Results \
                  are identical for every value.")
 
+let impl_conv = Arg.enum [ ("naive", `Naive); ("sliced", `Sliced) ]
+
+let impl_arg =
+  Arg.(value & opt impl_conv `Sliced
+       & info [ "fmm-impl" ] ~docv:"IMPL"
+           ~doc:"FMM degraded-analysis engine: 'sliced' (default; per-set \
+                 condensed fixpoints with saturation early-exit) or 'naive' \
+                 (whole-CFG re-analysis per fault count). Tables are \
+                 bit-identical; only the analysis time differs.")
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -104,7 +114,7 @@ let disasm_cmd =
 (* --- analyze --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run name pfail target sets ways line engine jobs show_curve show_fmm =
+  let run name pfail target sets ways line engine jobs impl show_curve show_fmm =
     let label, compiled = compile_target name in
     let config = config_of sets ways line in
     let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine () in
@@ -116,7 +126,7 @@ let analyze_cmd =
     let results =
       List.map
         (fun mech ->
-          let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~jobs () in
+          let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~jobs ~impl () in
           (mech, est))
         Pwcet.Mechanism.all
     in
@@ -144,7 +154,7 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"pWCET analysis of one benchmark (or mini-C file) under all three mechanisms")
     Term.(const run $ bench_arg $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg
-          $ engine_arg $ jobs_arg $ curve_arg $ fmm_arg)
+          $ engine_arg $ jobs_arg $ impl_arg $ curve_arg $ fmm_arg)
 
 (* --- suite ------------------------------------------------------------------ *)
 

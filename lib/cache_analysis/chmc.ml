@@ -15,17 +15,7 @@ type t = {
   reachable : bool array;
 }
 
-module IntSet = Set.Make (Int)
-
-let ref_info graph config =
-  let n = Cfg.Graph.node_count graph in
-  let blocks = Array.make n [||] and sets = Array.make n [||] in
-  for u = 0 to n - 1 do
-    let addrs = Array.of_list (Cfg.Graph.addresses graph (Cfg.Graph.node graph u)) in
-    blocks.(u) <- Array.map (Cache.Config.block_of_address config) addrs;
-    sets.(u) <- Array.map (Cache.Config.set_of_block config) blocks.(u)
-  done;
-  (blocks, sets)
+module IntSet = Context.IntSet
 
 (* Must and may in-states for the given cache set, then per-reference
    presence flags obtained by replaying each node's accesses. *)
@@ -68,81 +58,57 @@ let presence_for_set graph blocks sets ~set ~assoc =
   done;
   (must_hit, may_present)
 
-let analyze ~graph ~loops ~config ?assoc ?only_sets () =
+(* The classification lattice of one reference, given its presence in
+   the stabilised Must/May states. Shared by the full-CFG analysis below
+   and the per-set condensed engine ([Slice]) so both are classification
+   -identical by construction. *)
+let classify_ref ctx ~set ~assoc ~node ~must_hit ~may_present =
+  if must_hit then Always_hit
+  else if assoc > 0 && ctx.Context.global_counts.(set) <= assoc then First_miss Global
+  else
+    match Context.fitting_loop ctx ~node ~set ~assoc with
+    | Some header -> First_miss (Loop header)
+    | None -> if not may_present then Always_miss else Not_classified
+
+let set_signature ctx ~set ~degraded =
+  let acc = ref [] in
+  Array.iter
+    (fun u ->
+      Array.iteri
+        (fun k s -> if s = set then acc := degraded ~node:u ~offset:k :: !acc)
+        ctx.Context.sets.(u))
+    ctx.Context.touching.(set);
+  !acc
+
+let analyze ?ctx ~graph ~loops ~config ?assoc ?only_sets () =
+  let ctx = match ctx with Some c -> c | None -> Context.make ~graph ~loops ~config in
   let ways = config.Cache.Config.ways in
   let assoc = match assoc with Some f -> f | None -> fun _ -> ways in
-  let blocks, sets = ref_info graph config in
-  let n = Cfg.Graph.node_count graph in
-  let reachable = Array.make n false in
-  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
-  (* Distinct blocks per cache set, globally and per loop body. *)
-  let distinct_blocks nodes =
-    let per_set = Array.make config.Cache.Config.sets IntSet.empty in
-    List.iter
-      (fun u ->
-        Array.iteri (fun k blk -> per_set.(sets.(u).(k)) <- IntSet.add blk per_set.(sets.(u).(k))) blocks.(u))
-      nodes;
-    per_set
-  in
-  let reachable_nodes =
-    List.filter (fun u -> reachable.(u)) (List.init n (fun u -> u))
-  in
-  let global_conflicts = distinct_blocks reachable_nodes in
-  let loop_conflicts =
-    List.map (fun (l : Cfg.Loop.loop) -> (l, distinct_blocks l.Cfg.Loop.body)) loops
-  in
+  let blocks = ctx.Context.blocks and sets = ctx.Context.sets in
+  let n = ctx.Context.n in
   (* Referenced cache sets, optionally restricted. *)
   let used_sets =
-    Array.fold_left
-      (fun acc ss -> Array.fold_left (fun acc s -> IntSet.add s acc) acc ss)
-      IntSet.empty sets
-  in
-  let used_sets =
     match only_sets with
-    | None -> used_sets
-    | Some keep -> IntSet.inter used_sets (IntSet.of_list keep)
+    | None -> ctx.Context.used_sets
+    | Some keep -> IntSet.inter ctx.Context.used_sets (IntSet.of_list keep)
   in
   let classes = Array.init n (fun u -> Array.make (Array.length blocks.(u)) Not_classified) in
   IntSet.iter
     (fun set ->
       let assoc_s = assoc set in
       let must_hit, may_present = presence_for_set graph blocks sets ~set ~assoc:assoc_s in
-      for u = 0 to n - 1 do
-        if reachable.(u) then
+      Array.iter
+        (fun u ->
           Array.iteri
             (fun k s ->
-              if s = set then begin
-                let cls =
-                  if must_hit.(u).(k) then Always_hit
-                  else if assoc_s > 0 && IntSet.cardinal global_conflicts.(set) <= assoc_s then
-                    First_miss Global
-                  else begin
-                    (* Outermost enclosing loop whose conflict set fits. *)
-                    let enclosing =
-                      List.filter (fun ((l : Cfg.Loop.loop), _) -> List.mem u l.Cfg.Loop.body) loop_conflicts
-                    in
-                    let by_size_desc =
-                      List.sort
-                        (fun ((a : Cfg.Loop.loop), _) (b, _) ->
-                          compare (List.length b.Cfg.Loop.body) (List.length a.Cfg.Loop.body))
-                        enclosing
-                    in
-                    match
-                      List.find_opt
-                        (fun (_, conflicts) ->
-                          assoc_s > 0 && IntSet.cardinal conflicts.(set) <= assoc_s)
-                        by_size_desc
-                    with
-                    | Some (l, _) -> First_miss (Loop l.Cfg.Loop.header)
-                    | None -> if not may_present.(u).(k) then Always_miss else Not_classified
-                  end
-                in
-                classes.(u).(k) <- cls
-              end)
-            sets.(u)
-      done)
+              if s = set then
+                classes.(u).(k) <-
+                  classify_ref ctx ~set ~assoc:assoc_s ~node:u ~must_hit:must_hit.(u).(k)
+                    ~may_present:may_present.(u).(k))
+            sets.(u))
+        ctx.Context.touching.(set))
     used_sets;
-  { classes; blocks; sets; reachable }
+  { classes; blocks; sets; reachable = ctx.Context.reachable }
 
 let classification t ~node ~offset = t.classes.(node).(offset)
 let block t ~node ~offset = t.blocks.(node).(offset)

@@ -31,6 +31,7 @@ type classification =
 type t
 
 val analyze :
+  ?ctx:Context.t ->
   graph:Cfg.Graph.t ->
   loops:Cfg.Loop.loop list ->
   config:Cache.Config.t ->
@@ -42,7 +43,33 @@ val analyze :
     [config.ways] everywhere). [only_sets] restricts the analysis to
     references mapping to the given cache sets (others stay
     [Not_classified]) — the FMM computation re-analyses one degraded
-    set at a time. *)
+    set at a time. [ctx] supplies a precomputed {!Context.t} for
+    [(graph, loops, config)]; without it one is derived internally on
+    every call. *)
+
+val classify_ref :
+  Context.t ->
+  set:int ->
+  assoc:int ->
+  node:int ->
+  must_hit:bool ->
+  may_present:bool ->
+  classification
+(** Classification of one reference of [set] at [node] from its
+    stabilised Must/May presence: must-hit, else global persistence,
+    else outermost fitting loop persistence, else always-miss when
+    absent from the May cache. Shared with the condensed per-set engine
+    ({!Slice}) so both classify identically by construction. *)
+
+val set_signature :
+  Context.t ->
+  set:int ->
+  degraded:(node:int -> offset:int -> classification) ->
+  classification list
+(** The classifications of every reference mapping to [set], folded
+    over the context's touching-node index only (node then offset
+    order). The FMM row memoises its per-fault-count delta bounds on
+    this signature. *)
 
 val classification : t -> node:int -> offset:int -> classification
 (** Classification of the [offset]-th instruction of node [node]. *)

@@ -1,20 +1,19 @@
-let run ~graph ~entry_state ~transfer ~join ~equal =
-  let n = Cfg.Graph.node_count graph in
+(* Worklist keyed by a per-node priority (reverse-postorder position for
+   CFGs) so nodes are processed in a near-topological order; a set of
+   (priority, node) pairs gives O(log n) pops of the minimum. *)
+module PQ = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let run_custom ~n ~entry ~succ ~priority ~entry_state ~transfer ~join ~equal =
   let in_state : 'a option array = Array.make n None in
-  let rpo = Cfg.Graph.reverse_postorder graph in
-  let rpo_pos = Array.make n max_int in
-  Array.iteri (fun i u -> rpo_pos.(u) <- i) rpo;
-  in_state.(graph.Cfg.Graph.entry) <- Some entry_state;
-  (* Worklist keyed by rpo position so that nodes are processed in a
-     near-topological order; a module-level set gives O(log n) pops. *)
-  let module IS = Set.Make (Int) in
-  let work = ref (IS.singleton rpo_pos.(graph.Cfg.Graph.entry)) in
-  let node_at = Array.make n (-1) in
-  Array.iteri (fun i u -> node_at.(i) <- u) rpo;
-  while not (IS.is_empty !work) do
-    let p = IS.min_elt !work in
-    work := IS.remove p !work;
-    let u = node_at.(p) in
+  in_state.(entry) <- Some entry_state;
+  let work = ref (PQ.singleton (priority.(entry), entry)) in
+  while not (PQ.is_empty !work) do
+    let ((_, u) as el) = PQ.min_elt !work in
+    work := PQ.remove el !work;
     match in_state.(u) with
     | None -> ()
     | Some s ->
@@ -32,7 +31,16 @@ let run ~graph ~entry_state ~transfer ~join ~equal =
           | None -> ()
           | Some j ->
             in_state.(v) <- Some j;
-            work := IS.add rpo_pos.(v) !work)
-        (Cfg.Graph.successors graph u)
+            work := PQ.add (priority.(v), v) !work)
+        (succ u)
   done;
   in_state
+
+let run ~graph ~entry_state ~transfer ~join ~equal =
+  let n = Cfg.Graph.node_count graph in
+  let rpo = Cfg.Graph.reverse_postorder graph in
+  let priority = Array.make n max_int in
+  Array.iteri (fun i u -> priority.(u) <- i) rpo;
+  run_custom ~n ~entry:graph.Cfg.Graph.entry
+    ~succ:(Cfg.Graph.successors graph)
+    ~priority ~entry_state ~transfer ~join ~equal

@@ -15,3 +15,19 @@ val run :
     stabilised {e in}-state of every node (indexed by node id). The
     entry node's in-state additionally joins [entry_state] (the state
     on the virtual entry edge). *)
+
+val run_custom :
+  n:int ->
+  entry:int ->
+  succ:(int -> int list) ->
+  priority:int array ->
+  entry_state:'a ->
+  transfer:(int -> 'a -> 'a) ->
+  join:('a -> 'a -> 'a) ->
+  equal:('a -> 'a -> bool) ->
+  'a option array
+(** Same iteration on an arbitrary graph given by [succ] over node ids
+    [0..n-1]. [priority] orders worklist pops (smaller first, unique per
+    node — e.g. reverse-postorder positions); the condensed per-set
+    projections of {!Slice} run their fixpoints through this entry
+    point. *)

@@ -1,0 +1,154 @@
+type t = {
+  ctx : Context.t;
+  set : int;
+  nodes : int array;  (* slice position -> CFG node id, RPO-position order *)
+  pos_of : int array;  (* CFG node id -> slice position, -1 when absent *)
+  succ : int list array;  (* condensed edges between slice positions *)
+  priority : int array;  (* identity: nodes are already in RPO order *)
+  entry_pos : int;
+  touches : bool array;  (* slice position -> node references the set *)
+}
+
+let make (ctx : Context.t) ~set =
+  let graph = ctx.Context.graph in
+  let entry = graph.Cfg.Graph.entry in
+  let touching = ctx.Context.touching.(set) in
+  let node_list =
+    if Array.exists (fun u -> u = entry) touching then Array.to_list touching
+    else entry :: Array.to_list touching
+  in
+  let nodes =
+    List.sort (fun a b -> compare ctx.Context.rpo_pos.(a) ctx.Context.rpo_pos.(b)) node_list
+    |> Array.of_list
+  in
+  let m = Array.length nodes in
+  let pos_of = Array.make ctx.Context.n (-1) in
+  Array.iteri (fun i u -> pos_of.(u) <- i) nodes;
+  let touches_node = Array.make ctx.Context.n false in
+  Array.iter (fun u -> touches_node.(u) <- true) touching;
+  (* Condensed edge a -> b iff the CFG has a path a -> ... -> b whose
+     interior nodes all miss the set. Interior transfers are the
+     identity, so a fixpoint over these edges stabilises to exactly the
+     in-states the full-CFG fixpoint computes at the touching nodes
+     (join is associative, commutative and idempotent, so deferring the
+     interior merges changes nothing). One DFS through the non-touching
+     region per slice node, stamped to avoid clearing visit marks. *)
+  let succ = Array.make m [] in
+  let visited = Array.make ctx.Context.n 0 in
+  let target_mark = Array.make m 0 in
+  let stamp = ref 0 in
+  Array.iteri
+    (fun i u ->
+      incr stamp;
+      let s = !stamp in
+      let targets = ref [] in
+      let work = ref (Cfg.Graph.successors graph u) in
+      let continue_ = ref true in
+      while !continue_ do
+        match !work with
+        | [] -> continue_ := false
+        | v :: rest ->
+          work := rest;
+          if touches_node.(v) then begin
+            let j = pos_of.(v) in
+            if target_mark.(j) <> s then begin
+              target_mark.(j) <- s;
+              targets := j :: !targets
+            end
+          end
+          else if visited.(v) <> s then begin
+            visited.(v) <- s;
+            work := List.rev_append (Cfg.Graph.successors graph v) !work
+          end
+      done;
+      succ.(i) <- !targets)
+    nodes;
+  { ctx; set; nodes; pos_of; succ
+  ; priority = Array.init m Fun.id
+  ; entry_pos = pos_of.(entry)
+  ; touches = Array.map (fun u -> touches_node.(u)) nodes
+  }
+
+type result = {
+  slice : t;
+  assoc : int;
+  classes : Chmc.classification array array;
+      (* per slice position, per offset; Not_classified off the set *)
+  any_must_hit : bool;
+  any_may_present : bool;
+  saturated : bool;
+}
+
+let analyze (sl : t) ~assoc ?prev () =
+  (match prev with
+  | Some p -> assert (p.slice == sl && p.assoc > assoc)
+  | None -> ());
+  let ctx = sl.ctx and set = sl.set in
+  let blocks = ctx.Context.blocks and sets = ctx.Context.sets in
+  let m = Array.length sl.nodes in
+  let transfer update i acs =
+    if not sl.touches.(i) then acs
+    else begin
+      let u = sl.nodes.(i) in
+      let b = blocks.(u) and ss = sets.(u) in
+      let acc = ref acs in
+      Array.iteri (fun k blk -> if ss.(k) = set then acc := update !acc blk) b;
+      !acc
+    end
+  in
+  let run update join =
+    Fixpoint.run_custom ~n:m ~entry:sl.entry_pos
+      ~succ:(fun i -> sl.succ.(i))
+      ~priority:sl.priority ~entry_state:Acs.empty ~transfer:(transfer update) ~join
+      ~equal:Acs.equal
+  in
+  (* Cross-fault-count incrementality: per-reference must-hit and
+     may-present flags are monotone non-increasing in the associativity,
+     so once the previous (larger-assoc) result shows none, the
+     corresponding fixpoint is skipped — its outcome is known to be
+     all-false. A dead set (assoc <= 0) trivially holds nothing. *)
+  let skip_must =
+    assoc <= 0 || match prev with Some p -> not p.any_must_hit | None -> false
+  in
+  let skip_may =
+    assoc <= 0 || match prev with Some p -> not p.any_may_present | None -> false
+  in
+  let must_in = if skip_must then None else Some (run (Acs.must_update ~assoc) Acs.must_join) in
+  let may_in = if skip_may then None else Some (run (Acs.may_update ~assoc) Acs.may_join) in
+  let classes =
+    Array.init m (fun i -> Array.make (Array.length blocks.(sl.nodes.(i))) Chmc.Not_classified)
+  in
+  let any_must_hit = ref false and any_may_present = ref false in
+  let saturated = ref true in
+  for i = 0 to m - 1 do
+    if sl.touches.(i) then begin
+      let u = sl.nodes.(i) in
+      let must = ref (match must_in with Some arr -> arr.(i) | None -> None) in
+      let may = ref (match may_in with Some arr -> arr.(i) | None -> None) in
+      Array.iteri
+        (fun k blk ->
+          if sets.(u).(k) = set then begin
+            let mh = match !must with Some a -> Acs.mem a blk | None -> false in
+            let mp = match !may with Some a -> Acs.mem a blk | None -> false in
+            if mh then any_must_hit := true;
+            if mp then any_may_present := true;
+            let cls = Chmc.classify_ref ctx ~set ~assoc ~node:u ~must_hit:mh ~may_present:mp in
+            classes.(i).(k) <- cls;
+            if cls <> Chmc.Always_miss then saturated := false;
+            must := Option.map (fun a -> Acs.must_update ~assoc a blk) !must;
+            may := Option.map (fun a -> Acs.may_update ~assoc a blk) !may
+          end)
+        blocks.(u)
+    end
+  done;
+  { slice = sl; assoc; classes
+  ; any_must_hit = !any_must_hit
+  ; any_may_present = !any_may_present
+  ; saturated = !saturated
+  }
+
+let classification r ~node ~offset =
+  let i = r.slice.pos_of.(node) in
+  if i < 0 then Chmc.Not_classified else r.classes.(i).(offset)
+
+let saturated r = r.saturated

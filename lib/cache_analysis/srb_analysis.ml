@@ -9,21 +9,31 @@ type t = {
    selects which references go through the buffer: all of them for the
    paper's conservative analysis, only one cache set's for the exclusive
    refinement. *)
-let analyze_with ~graph ~config ~touches =
+let analyze_with ?ctx ~graph ~config ~touches () =
   let n = Cfg.Graph.node_count graph in
-  let blocks = Array.make n [||] in
-  for u = 0 to n - 1 do
-    blocks.(u) <-
-      Array.of_list
-        (List.map (Cache.Config.block_of_address config) (Cfg.Graph.addresses graph (Cfg.Graph.node graph u)))
-  done;
+  let blocks =
+    match ctx with
+    | Some ctx -> ctx.Context.blocks
+    | None ->
+      Array.init n (fun u ->
+          Array.of_list
+            (List.map
+               (Cache.Config.block_of_address config)
+               (Cfg.Graph.addresses graph (Cfg.Graph.node graph u))))
+  in
   let update acs blk = if touches blk then Acs.must_update ~assoc:1 acs blk else acs in
   let transfer u acs = Array.fold_left update acs blocks.(u) in
   let must_in =
     Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer ~join:Acs.must_join ~equal:Acs.equal
   in
-  let reachable = Array.make n false in
-  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+  let reachable =
+    match ctx with
+    | Some ctx -> ctx.Context.reachable
+    | None ->
+      let reachable = Array.make n false in
+      Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+      reachable
+  in
   let hits = Array.make n [||] in
   for u = 0 to n - 1 do
     let len = Array.length blocks.(u) in
@@ -42,11 +52,12 @@ let analyze_with ~graph ~config ~touches =
   done;
   { hits; reachable }
 
-let analyze ~graph ~config = analyze_with ~graph ~config ~touches:(fun _ -> true)
+let analyze ?ctx ~graph ~config () = analyze_with ?ctx ~graph ~config ~touches:(fun _ -> true) ()
 
-let analyze_exclusive ~graph ~config ~sets =
-  analyze_with ~graph ~config ~touches:(fun blk ->
-      List.mem (Cache.Config.set_of_block config blk) sets)
+let analyze_exclusive ?ctx ~graph ~config ~sets () =
+  analyze_with ?ctx ~graph ~config
+    ~touches:(fun blk -> List.mem (Cache.Config.set_of_block config blk) sets)
+    ()
 
 let always_hit t ~node ~offset = t.hits.(node).(offset)
 

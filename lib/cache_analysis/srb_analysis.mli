@@ -13,9 +13,12 @@
 
 type t
 
-val analyze : graph:Cfg.Graph.t -> config:Cache.Config.t -> t
+val analyze : ?ctx:Context.t -> graph:Cfg.Graph.t -> config:Cache.Config.t -> unit -> t
+(** [ctx] reuses a precomputed {!Context.t}'s block arrays and
+    reachability instead of re-deriving them. *)
 
-val analyze_exclusive : graph:Cfg.Graph.t -> config:Cache.Config.t -> sets:int list -> t
+val analyze_exclusive :
+  ?ctx:Context.t -> graph:Cfg.Graph.t -> config:Cache.Config.t -> sets:int list -> unit -> t
 (** Variant for the refined SRB analysis (the paper's future-work
     direction): assumes references mapping to [sets] are the {e only}
     ones routed through the buffer — sound exactly when [sets] are the

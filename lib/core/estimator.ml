@@ -2,6 +2,7 @@ type task = {
   graph : Cfg.Graph.t;
   loops : Cfg.Loop.loop list;
   config : Cache.Config.t;
+  ctx : Cache_analysis.Context.t;
   chmc : Cache_analysis.Chmc.t;
   wcet_ff : int;
 }
@@ -18,15 +19,17 @@ type estimate = {
 let prepare ~program ~config ?(engine = `Path) ?(exact = false) () =
   let graph = Cfg.Graph.build program in
   let loops = Cfg.Loop.detect graph in
-  let chmc = Cache_analysis.Chmc.analyze ~graph ~loops ~config () in
+  let ctx = Cache_analysis.Context.make ~graph ~loops ~config in
+  let chmc = Cache_analysis.Chmc.analyze ~ctx ~graph ~loops ~config () in
   let result = Ipet.Wcet.compute ~graph ~loops ~chmc ~config ~engine ~exact () in
-  { graph; loops; config; chmc; wcet_ff = result.Ipet.Wcet.wcet }
+  { graph; loops; config; ctx; chmc; wcet_ff = result.Ipet.Wcet.wcet }
 
-let estimate task ~pfail ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1) () =
+let estimate task ~pfail ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
+    ?(impl = `Sliced) () =
   let pbf = Fault.Model.pbf_of_config ~pfail task.config in
   let fmm =
     Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine ~exact
-      ~jobs ()
+      ~jobs ~impl ~ctx:task.ctx ()
   in
   let penalty = Penalty.total_distribution ~jobs ~fmm ~pbf () in
   { task; mechanism; pfail; pbf; fmm; penalty }

@@ -11,6 +11,7 @@ type task = private {
   graph : Cfg.Graph.t;
   loops : Cfg.Loop.loop list;
   config : Cache.Config.t;
+  ctx : Cache_analysis.Context.t;  (** shared analysis context, built once *)
   chmc : Cache_analysis.Chmc.t;
   wcet_ff : int;  (** fault-free WCET, cycles *)
 }
@@ -39,11 +40,13 @@ val estimate :
   ?engine:[ `Path | `Ilp ] ->
   ?exact:bool ->
   ?jobs:int ->
+  ?impl:[ `Naive | `Sliced ] ->
   unit ->
   estimate
 (** [jobs] (default 1) runs the independent per-set FMM analyses and
     penalty-distribution builds on that many OCaml domains; results are
-    identical for every value. *)
+    identical for every value. [impl] selects the FMM degraded-analysis
+    engine (see {!Fmm.compute}); both yield the same estimate. *)
 
 val pwcet : estimate -> target:float -> int
 (** pWCET at the target exceedance probability, in cycles. *)

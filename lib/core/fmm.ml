@@ -1,4 +1,6 @@
 module Chmc = Cache_analysis.Chmc
+module Context = Cache_analysis.Context
+module Slice = Cache_analysis.Slice
 module Srb_analysis = Cache_analysis.Srb_analysis
 
 type t = {
@@ -7,10 +9,21 @@ type t = {
   mechanism : Mechanism.t;
 }
 
-(* One FMM row: the per-set degraded analyses for every fault count.
-   Self-contained (no mutable state outside the row) so rows can run on
-   separate domains; the per-set signature memoization lives inside. *)
-let compute_row ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb set =
+(* The f = ways classification: the set holds nothing; only an SRB can
+   still serve hits. *)
+let dead_set_degraded ~srb ~node ~offset =
+  match srb with
+  | Some srb_result ->
+    if Srb_analysis.always_hit srb_result ~node ~offset then Chmc.Always_hit
+    else Chmc.Always_miss
+  | None -> Chmc.Always_miss
+
+(* One FMM row, naive engine: a fresh whole-CFG degraded analysis per
+   fault count, exactly the pre-context cost profile (kept as the
+   reference implementation for the differential tests and the bench
+   comparison). Self-contained (no mutable state outside the row) so
+   rows can run on separate domains. *)
+let compute_row ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb set =
   let ways = config.Cache.Config.ways in
   let row = Array.make (ways + 1) 0 in
   (* With RW the all-faulty situation cannot occur (the reliable way
@@ -27,23 +40,11 @@ let compute_row ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb s
         in
         fun ~node ~offset -> Chmc.classification chmc_f ~node ~offset
       end
-      else
-        match srb with
-        | Some srb_result ->
-          fun ~node ~offset ->
-            if Srb_analysis.always_hit srb_result ~node ~offset then Chmc.Always_hit
-            else Chmc.Always_miss
-        | None -> fun ~node:_ ~offset:_ -> Chmc.Always_miss
+      else dead_set_degraded ~srb
     in
     (* Successive fault counts often leave the classification of the
        set unchanged; reuse the ILP bound when they do. *)
-    let signature =
-      Chmc.fold_refs
-        (fun ~node ~offset _ acc ->
-          if Chmc.cache_set baseline ~node ~offset = set then degraded ~node ~offset :: acc
-          else acc)
-        baseline []
-    in
+    let signature = Chmc.set_signature ctx ~set ~degraded in
     let value =
       match !previous with
       | Some (prev_sig, prev_value) when prev_sig = signature -> prev_value
@@ -61,30 +62,79 @@ let compute_row ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb s
   if max_f < ways then row.(ways) <- row.(max_f);
   row
 
-let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1) () =
+(* One FMM row, sliced engine: a condensed per-set fixpoint reused
+   across fault counts, with saturation early-exit. Classification-
+   identical to [compute_row] (pinned by test/test_sliced.ml). *)
+let compute_row_sliced ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb set =
+  let ways = config.Cache.Config.ways in
+  let row = Array.make (ways + 1) 0 in
+  let max_f = match mechanism with Mechanism.Reliable_way -> ways - 1 | _ -> ways in
+  let slice = Slice.make ctx ~set in
+  let previous : (Chmc.classification list * int) option ref = ref None in
+  let prev_result = ref None in
+  let saturated = ref false in
+  for f = 1 to max_f do
+    if f < ways && !saturated then
+      (* Every reference already always-miss: shrinking the
+         associativity further cannot change the classification, so the
+         naive engine's signature memo would have reused the previous
+         bound — do so without re-analysing. *)
+      row.(f) <- row.(f - 1)
+    else begin
+      let degraded =
+        if f < ways then begin
+          let r = Slice.analyze slice ~assoc:(ways - f) ?prev:!prev_result () in
+          prev_result := Some r;
+          if Slice.saturated r then saturated := true;
+          fun ~node ~offset -> Slice.classification r ~node ~offset
+        end
+        else dead_set_degraded ~srb
+      in
+      let signature = Chmc.set_signature ctx ~set ~degraded in
+      let value =
+        match !previous with
+        | Some (prev_sig, prev_value) when prev_sig = signature -> prev_value
+        | _ ->
+          let v =
+            Ipet.Delta.extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets:[ set ] ~ctx
+              ~engine ~exact ()
+          in
+          previous := Some (signature, v);
+          v
+      in
+      row.(f) <- max value row.(f - 1)
+    end
+  done;
+  if max_f < ways then row.(ways) <- row.(max_f);
+  row
+
+let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
+    ?(impl = `Sliced) ?ctx () =
   let n_sets = config.Cache.Config.sets and ways = config.Cache.Config.ways in
-  let baseline = Chmc.analyze ~graph ~loops ~config () in
+  let ctx = match ctx with Some c -> c | None -> Context.make ~graph ~loops ~config in
+  let baseline = Chmc.analyze ~ctx ~graph ~loops ~config () in
   let srb =
     match mechanism with
-    | Mechanism.Shared_reliable_buffer -> Some (Srb_analysis.analyze ~graph ~config)
+    | Mechanism.Shared_reliable_buffer -> Some (Srb_analysis.analyze ~ctx ~graph ~config ())
     | Mechanism.No_protection | Mechanism.Reliable_way -> None
   in
-  let used = Array.make n_sets false in
-  Chmc.fold_refs
-    (fun ~node ~offset _ () -> used.(Chmc.cache_set baseline ~node ~offset) <- true)
-    baseline ();
   let misses = Array.make_matrix n_sets (ways + 1) 0 in
   (* Rows are independent; fan the referenced sets out across domains.
      Each row is deterministic given its inputs, so the table is
      bit-identical for every [jobs]. *)
   let used_sets =
-    Array.of_list (List.filter (fun s -> used.(s)) (List.init n_sets Fun.id))
+    Array.of_list
+      (List.filter
+         (fun s -> Array.length ctx.Context.touching.(s) > 0)
+         (List.init n_sets Fun.id))
   in
-  let rows =
-    Parallel.Pool.map ~jobs
-      (compute_row ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb)
-      used_sets
+  let row =
+    match impl with
+    | `Naive -> compute_row ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb
+    | `Sliced ->
+      compute_row_sliced ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb
   in
+  let rows = Parallel.Pool.map ~jobs row used_sets in
   Array.iteri (fun i set -> misses.(set) <- rows.(i)) used_sets;
   { misses; config; mechanism }
 

@@ -23,6 +23,8 @@ val compute :
   ?engine:[ `Path | `Ilp ] ->
   ?exact:bool ->
   ?jobs:int ->
+  ?impl:[ `Naive | `Sliced ] ->
+  ?ctx:Cache_analysis.Context.t ->
   unit ->
   t
 (** Runs the fault-free analysis once, then one degraded analysis +
@@ -31,7 +33,20 @@ val compute :
     ILP); [exact] selects branch-and-bound when the ILP engine is
     used. [jobs] (default 1) fans the independent per-set rows out
     across that many OCaml domains; the resulting table is bit-identical
-    for every value of [jobs]. *)
+    for every value of [jobs].
+
+    [impl] selects the degraded-analysis engine. [`Sliced] (default)
+    runs, per set, a condensed fixpoint over only the nodes referencing
+    that set ({!Cache_analysis.Slice}), reuses the previous fault
+    count's result to skip analyses that provably cannot change, and
+    stops re-analysing once the set's classification saturates to
+    all-always-miss. [`Naive] re-runs the whole-CFG
+    {!Cache_analysis.Chmc.analyze} per (set, fault count) — the
+    reference implementation. Both produce bit-identical tables
+    (pinned by the differential tests).
+
+    [ctx] supplies a precomputed {!Cache_analysis.Context.t} for
+    [graph]/[loops]/[config]; built on the fly when absent. *)
 
 val of_table : config:Cache.Config.t -> mechanism:Mechanism.t -> int array array -> t
 (** Wraps an explicit [sets x (ways+1)] miss table (column 0 must be

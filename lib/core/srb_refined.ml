@@ -15,10 +15,13 @@ let compute ~graph ~loops ~config ~pbf ?(engine = `Path) ?(max_points = 65536) (
   let penalty_unit = Cache.Config.miss_penalty config in
   let pwf = Fault.Model.way_distribution ~ways ~pbf in
   let p_dead = pwf.(ways) in
-  let baseline = Chmc.analyze ~graph ~loops ~config () in
-  let fmm_none = Fmm.compute ~graph ~loops ~config ~mechanism:Mechanism.No_protection ~engine () in
+  let ctx = Cache_analysis.Context.make ~graph ~loops ~config in
+  let baseline = Chmc.analyze ~ctx ~graph ~loops ~config () in
+  let fmm_none =
+    Fmm.compute ~graph ~loops ~config ~mechanism:Mechanism.No_protection ~engine ~ctx ()
+  in
   let fmm_srb =
-    Fmm.compute ~graph ~loops ~config ~mechanism:Mechanism.Shared_reliable_buffer ~engine ()
+    Fmm.compute ~graph ~loops ~config ~mechanism:Mechanism.Shared_reliable_buffer ~engine ~ctx ()
   in
   let used = Array.make n_sets false in
   Chmc.fold_refs
@@ -31,12 +34,12 @@ let compute ~graph ~loops ~config ~pbf ?(engine = `Path) ?(max_points = 65536) (
   let exclusive_misses sets =
     if not (List.exists (fun s -> used.(s)) sets) then 0
     else begin
-      let srb = Cache_analysis.Srb_analysis.analyze_exclusive ~graph ~config ~sets in
+      let srb = Cache_analysis.Srb_analysis.analyze_exclusive ~ctx ~graph ~config ~sets () in
       let degraded ~node ~offset =
         if Cache_analysis.Srb_analysis.always_hit srb ~node ~offset then Chmc.Always_hit
         else Chmc.Always_miss
       in
-      Ipet.Delta.extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets ~engine ()
+      Ipet.Delta.extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets ~ctx ~engine ()
     end
   in
   let excl_misses = Array.init n_sets (fun set -> exclusive_misses [ set ]) in

@@ -27,13 +27,28 @@ let kind_of config = function
     | bs -> Imprecise bs)
   | Minic.Compile.Data_stack -> assert false
 
-let analyze ~graph ~loops ~config ~annot ?assoc ?only_sets () =
-  let ways = config.Cache.Config.ways in
-  let assoc = match assoc with Some f -> f | None -> fun _ -> ways in
+(* Precomputed analysis context, shared across the per-(set, fault
+   count) degraded analyses of the data-cache FMM — the data-side
+   counterpart of Cache_analysis.Context. Immutable after [prepare]. *)
+type loop_ctx = {
+  header : int;
+  conflict_counts : int array;  (* per set: distinct possibly-touched blocks in the body *)
+}
+
+type ctx = {
+  c_kinds : kind option array array;
+  c_reachable : bool array;
+  c_global_counts : int array;  (* per set: distinct possibly-touched blocks, program-wide *)
+  c_loops : loop_ctx array;  (* sorted by body size, descending *)
+  c_enclosing : int array array;  (* node -> indices into [c_loops], same order *)
+  c_used : IntSet.t;
+  c_touching : int array array;  (* per set: reachable nodes with a precise load of it *)
+}
+
+let prepare ~graph ~loops ~config ~annot =
   let n = Cfg.Graph.node_count graph in
   let reachable = Array.make n false in
   Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
-  (* Load kinds per node/offset. *)
   let kinds =
     Array.init n (fun u ->
         let len = (Cfg.Graph.node graph u).Cfg.Graph.len in
@@ -41,7 +56,6 @@ let analyze ~graph ~loops ~config ~annot ?assoc ?only_sets () =
             Option.map (kind_of config) (Annot.cached_load annot ~node:u ~offset:k)))
   in
   let set_of_block = Cache.Config.set_of_block config in
-  (* Distinct possibly-touched blocks per cache set over a node set. *)
   let conflicts nodes =
     let per_set = Array.make config.Cache.Config.sets IntSet.empty in
     List.iter
@@ -50,33 +64,77 @@ let analyze ~graph ~loops ~config ~annot ?assoc ?only_sets () =
           (function
             | Some (Precise b) -> per_set.(set_of_block b) <- IntSet.add b per_set.(set_of_block b)
             | Some (Imprecise bs) ->
-              List.iter (fun b -> per_set.(set_of_block b) <- IntSet.add b per_set.(set_of_block b)) bs
+              List.iter
+                (fun b -> per_set.(set_of_block b) <- IntSet.add b per_set.(set_of_block b))
+                bs
             | None -> ())
           kinds.(u))
       nodes;
-    per_set
+    Array.map IntSet.cardinal per_set
   in
-  let reachable_nodes = List.filter (fun u -> reachable.(u)) (List.init n (fun u -> u)) in
-  let global_conflicts = conflicts reachable_nodes in
-  let loop_conflicts =
-    List.map (fun (l : Cfg.Loop.loop) -> (l, conflicts l.Cfg.Loop.body)) loops
+  let reachable_nodes = List.filter (fun u -> reachable.(u)) (List.init n Fun.id) in
+  let global_counts = conflicts reachable_nodes in
+  (* Descending body size with List.sort's stability, so the innermost
+     fitting-loop search below visits loops in the same order as the
+     original filter-then-sort per reference. *)
+  let sorted_loops =
+    List.sort
+      (fun (a : Cfg.Loop.loop) b ->
+        compare (List.length b.Cfg.Loop.body) (List.length a.Cfg.Loop.body))
+      loops
   in
-  (* Sets actually touched. *)
+  let loop_ctxs =
+    Array.of_list
+      (List.map
+         (fun (l : Cfg.Loop.loop) ->
+           { header = l.Cfg.Loop.header; conflict_counts = conflicts l.Cfg.Loop.body })
+         sorted_loops)
+  in
+  let enclosing_rev = Array.make n [] in
+  List.iteri
+    (fun i (l : Cfg.Loop.loop) ->
+      List.iter (fun u -> enclosing_rev.(u) <- i :: enclosing_rev.(u)) l.Cfg.Loop.body)
+    sorted_loops;
+  let enclosing = Array.map (fun is -> Array.of_list (List.rev is)) enclosing_rev in
+  let used = ref IntSet.empty in
+  let touching_rev = Array.make config.Cache.Config.sets [] in
+  for u = n - 1 downto 0 do
+    let sets_here = ref IntSet.empty in
+    Array.iter
+      (function
+        | Some (Precise b) ->
+          used := IntSet.add (set_of_block b) !used;
+          if reachable.(u) then sets_here := IntSet.add (set_of_block b) !sets_here
+        | Some (Imprecise bs) ->
+          List.iter (fun b -> used := IntSet.add (set_of_block b) !used) bs
+        | None -> ())
+      kinds.(u);
+    IntSet.iter (fun s -> touching_rev.(s) <- u :: touching_rev.(s)) !sets_here
+  done;
+  {
+    c_kinds = kinds;
+    c_reachable = reachable;
+    c_global_counts = global_counts;
+    c_loops = loop_ctxs;
+    c_enclosing = enclosing;
+    c_used = !used;
+    c_touching = Array.map Array.of_list touching_rev;
+  }
+
+let ctx_reachable ctx = ctx.c_reachable
+let ctx_touching ctx ~set = ctx.c_touching.(set)
+
+let analyze ?ctx ~graph ~loops ~config ~annot ?assoc ?only_sets () =
+  let ways = config.Cache.Config.ways in
+  let assoc = match assoc with Some f -> f | None -> fun _ -> ways in
+  let n = Cfg.Graph.node_count graph in
+  let ctx = match ctx with Some c -> c | None -> prepare ~graph ~loops ~config ~annot in
+  let kinds = ctx.c_kinds and reachable = ctx.c_reachable in
+  let set_of_block = Cache.Config.set_of_block config in
   let used =
-    Array.fold_left
-      (fun acc row ->
-        Array.fold_left
-          (fun acc k ->
-            match k with
-            | Some (Precise b) -> IntSet.add (set_of_block b) acc
-            | Some (Imprecise bs) ->
-              List.fold_left (fun acc b -> IntSet.add (set_of_block b) acc) acc bs
-            | None -> acc)
-          acc row)
-      IntSet.empty kinds
-  in
-  let used =
-    match only_sets with None -> used | Some keep -> IntSet.inter used (IntSet.of_list keep)
+    match only_sets with
+    | None -> ctx.c_used
+    | Some keep -> IntSet.inter ctx.c_used (IntSet.of_list keep)
   in
   let classes = Array.init n (fun u -> Array.make (Array.length kinds.(u)) None) in
   IntSet.iter
@@ -91,11 +149,14 @@ let analyze ~graph ~loops ~config ~annot ?assoc ?only_sets () =
       in
       let transfer u acs = Array.fold_left step acs kinds.(u) in
       let must_in =
-        Cache_analysis.Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer
-          ~join:Acs.must_join ~equal:Acs.equal
+        Cache_analysis.Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer ~join:Acs.must_join
+          ~equal:Acs.equal
       in
-      for u = 0 to n - 1 do
-        if reachable.(u) then begin
+      (* Only nodes with a precise load of the set can receive a
+         classification; the persistence check walks the precomputed
+         enclosing-loop index instead of scanning every loop body. *)
+      Array.iter
+        (fun u ->
           match must_in.(u) with
           | None -> ()
           | Some acs0 ->
@@ -107,26 +168,20 @@ let analyze ~graph ~loops ~config ~annot ?assoc ?only_sets () =
                   let hit = Acs.mem !acs b in
                   let cls =
                     if hit then Chmc.Always_hit
-                    else if assoc_s > 0 && IntSet.cardinal global_conflicts.(set) <= assoc_s
-                    then Chmc.First_miss Chmc.Global
+                    else if assoc_s > 0 && ctx.c_global_counts.(set) <= assoc_s then
+                      Chmc.First_miss Chmc.Global
                     else begin
-                      let enclosing =
-                        List.filter
-                          (fun ((l : Cfg.Loop.loop), _) -> List.mem u l.Cfg.Loop.body)
-                          loop_conflicts
-                      in
-                      let by_size_desc =
-                        List.sort
-                          (fun ((a : Cfg.Loop.loop), _) (b, _) ->
-                            compare (List.length b.Cfg.Loop.body) (List.length a.Cfg.Loop.body))
-                          enclosing
-                      in
-                      match
-                        List.find_opt
-                          (fun (_, c) -> assoc_s > 0 && IntSet.cardinal c.(set) <= assoc_s)
-                          by_size_desc
-                      with
-                      | Some (l, _) -> Chmc.First_miss (Chmc.Loop l.Cfg.Loop.header)
+                      let fitting = ref None in
+                      if assoc_s > 0 then
+                        Array.iter
+                          (fun i ->
+                            if
+                              !fitting = None
+                              && ctx.c_loops.(i).conflict_counts.(set) <= assoc_s
+                            then fitting := Some ctx.c_loops.(i).header)
+                          ctx.c_enclosing.(u);
+                      match !fitting with
+                      | Some header -> Chmc.First_miss (Chmc.Loop header)
                       | None -> Chmc.Not_classified
                     end
                   in
@@ -134,9 +189,8 @@ let analyze ~graph ~loops ~config ~annot ?assoc ?only_sets () =
                   acs := step !acs kind
                 | Some _ -> acs := step !acs kind
                 | None -> ())
-              kinds.(u)
-        end
-      done)
+              kinds.(u))
+        ctx.c_touching.(set))
     used;
   (* Imprecise loads are NC regardless of set. *)
   for u = 0 to n - 1 do

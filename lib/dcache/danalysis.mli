@@ -20,7 +20,30 @@
 
 type t
 
+type ctx
+(** Precomputed analysis context for one (graph, config, annot) triple:
+    load kinds, reachability, global and per-loop conflict counts, the
+    per-node enclosing-loop index and the per-set index of nodes with a
+    precise load of that set. Immutable; build once with {!prepare} and
+    share across every degraded {!analyze} of the data-cache FMM. *)
+
+val prepare :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  config:Cache.Config.t ->
+  annot:Annot.t ->
+  ctx
+
+val ctx_reachable : ctx -> bool array
+(** Shared reachability array (do not mutate). *)
+
+val ctx_touching : ctx -> set:int -> int array
+(** Reachable nodes carrying a precise load of [set], ascending (do not
+    mutate) — the only nodes whose classification can change when that
+    set degrades. *)
+
 val analyze :
+  ?ctx:ctx ->
   graph:Cfg.Graph.t ->
   loops:Cfg.Loop.loop list ->
   config:Cache.Config.t ->
@@ -30,7 +53,9 @@ val analyze :
   unit ->
   t
 (** Same override knobs as {!Cache_analysis.Chmc.analyze}, for the
-    data-cache FMM. *)
+    data-cache FMM. [ctx] (built by {!prepare}) skips the per-call
+    recomputation of kinds, reachability and conflict sets; results are
+    identical with or without it. *)
 
 val classification : t -> node:int -> offset:int -> Cache_analysis.Chmc.classification option
 (** [None] when the instruction is not a cached data load. *)

@@ -8,6 +8,8 @@ type task = {
   loops : Cfg.Loop.loop list;
   iconfig : Cache.Config.t;
   dconfig : Cache.Config.t;
+  ictx : Cache_analysis.Context.t;
+  dctx : Danalysis.ctx;
   ichmc : Chmc.t;
   dchmc : Danalysis.t;
   annot : Annot.t;
@@ -68,11 +70,13 @@ let prepare ~compiled ~iconfig ~dconfig () =
   let program = compiled.Minic.Compile.program in
   let graph = Cfg.Graph.build program in
   let loops = Cfg.Loop.detect graph in
-  let ichmc = Chmc.analyze ~graph ~loops ~config:iconfig () in
+  let ictx = Cache_analysis.Context.make ~graph ~loops ~config:iconfig in
+  let ichmc = Chmc.analyze ~ctx:ictx ~graph ~loops ~config:iconfig () in
   let annot = Annot.build graph compiled.Minic.Compile.data_refs in
-  let dchmc = Danalysis.analyze ~graph ~loops ~config:dconfig ~annot () in
+  let dctx = Danalysis.prepare ~graph ~loops ~config:dconfig ~annot in
+  let dchmc = Danalysis.analyze ~ctx:dctx ~graph ~loops ~config:dconfig ~annot () in
   let wcet_ff = combined_wcet ~graph ~loops ~iconfig ~dconfig ~ichmc ~dchmc in
-  { graph; loops; iconfig; dconfig; ichmc; dchmc; annot; wcet_ff }
+  { graph; loops; iconfig; dconfig; ictx; dctx; ichmc; dchmc; annot; wcet_ff }
 
 (* --- data-cache fault miss map ------------------------------------------- *)
 
@@ -85,13 +89,13 @@ let per_exec_miss = function
 let data_extra_misses ~task ~degraded ~set =
   let graph = task.graph in
   let n = Cfg.Graph.node_count graph in
-  let reachable = Array.make n false in
-  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
   let per_exec = Array.make n 0 in
   let one_shots = ref [] in
   let any = ref false in
-  for u = 0 to n - 1 do
-    if reachable.(u) then begin
+  (* Only reachable nodes with a precise load of [set] can carry a
+     delta; the context indexes them directly. *)
+  Array.iter
+    (fun u ->
       let node = Cfg.Graph.node graph u in
       for k = 0 to node.Cfg.Graph.len - 1 do
         if Danalysis.cache_set task.dchmc ~node:u ~offset:k = Some set then begin
@@ -110,9 +114,8 @@ let data_extra_misses ~task ~degraded ~set =
             | _ -> ()
           end
         end
-      done
-    end
-  done;
+      done)
+    (Danalysis.ctx_touching task.dctx ~set);
   if not !any then 0
   else
     PE.longest ~graph ~loops:task.loops ~node_cost:(fun u -> per_exec.(u))
@@ -170,7 +173,7 @@ let compute_dfmm_row task ~mechanism ~srb_hits set =
     let degraded =
       if f < ways then begin
         let dchmc_f =
-          Danalysis.analyze ~graph:task.graph ~loops:task.loops ~config:dconfig
+          Danalysis.analyze ~ctx:task.dctx ~graph:task.graph ~loops:task.loops ~config:dconfig
             ~annot:task.annot
             ~assoc:(fun s -> if s = set then ways - f else ways)
             ~only_sets:[ set ] ()
@@ -219,7 +222,7 @@ let compute_dfmm task ~mechanism ~jobs =
 let estimate task ~pfail ~imech ~dmech ?(jobs = 1) () =
   let ifmm =
     Pwcet.Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.iconfig
-      ~mechanism:imech ~jobs ()
+      ~mechanism:imech ~jobs ~ctx:task.ictx ()
   in
   let dfmm =
     Pwcet.Fmm.of_table ~config:task.dconfig ~mechanism:dmech

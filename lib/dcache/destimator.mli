@@ -13,6 +13,8 @@ type task = private {
   loops : Cfg.Loop.loop list;
   iconfig : Cache.Config.t;
   dconfig : Cache.Config.t;
+  ictx : Cache_analysis.Context.t;  (** instruction-cache analysis context *)
+  dctx : Danalysis.ctx;  (** data-cache analysis context *)
   ichmc : Cache_analysis.Chmc.t;
   dchmc : Danalysis.t;
   annot : Annot.t;

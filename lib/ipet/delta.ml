@@ -1,5 +1,6 @@
 module Lp = Ilp.Lp
 module Chmc = Cache_analysis.Chmc
+module Context = Cache_analysis.Context
 
 (* Per-execution miss indicator of a classification (first-miss counts
    through its one-shot variable instead). *)
@@ -19,13 +20,13 @@ let path_scope = function
   | Chmc.Loop header -> Path_engine.Loop_scope header
 
 (* Per-node delta in misses-per-execution and the one-shot deltas, for
-   references mapping to [set]. *)
-let node_delta ~graph ~baseline ~degraded ~sets u =
+   references mapping to a set selected by [member]. *)
+let node_delta ~graph ~baseline ~degraded ~member u =
   let node = Cfg.Graph.node graph u in
   let per_exec = ref 0 in
   let shots = ref [] in
   for k = 0 to node.Cfg.Graph.len - 1 do
-    if List.mem (Chmc.cache_set baseline ~node:u ~offset:k) sets then begin
+    if member.(Chmc.cache_set baseline ~node:u ~offset:k) then begin
       let base = Chmc.classification baseline ~node:u ~offset:k in
       let degr = degraded ~node:u ~offset:k in
       if base <> degr then begin
@@ -46,7 +47,7 @@ let node_delta ~graph ~baseline ~degraded ~sets u =
   done;
   (!per_exec, !shots)
 
-let extra_misses_ilp ~graph ~loops ~baseline ~degraded ~sets ~exact =
+let extra_misses_ilp ~graph ~loops ~baseline ~degraded ~member ~candidates ~exact =
   let model = Model.build graph loops in
   let lp = Model.lp model in
   let coeffs : (Lp.var, int) Hashtbl.t = Hashtbl.create 64 in
@@ -59,26 +60,27 @@ let extra_misses_ilp ~graph ~loops ~baseline ~degraded ~sets ~exact =
     constant := !constant + (const * factor)
   in
   let any_delta = ref false in
-  for u = 0 to Cfg.Graph.node_count graph - 1 do
-    if Model.reachable model u then begin
-      let per_exec, shots = node_delta ~graph ~baseline ~degraded ~sets u in
-      List.iteri
-        (fun idx (scope, amount) ->
+  List.iter
+    (fun u ->
+      if Model.reachable model u then begin
+        let per_exec, shots = node_delta ~graph ~baseline ~degraded ~member u in
+        List.iteri
+          (fun idx (scope, amount) ->
+            any_delta := true;
+            let y =
+              Model.add_capped_counter model
+                ~name:(Printf.sprintf "dfm_%d_%d" u idx)
+                ~node:u ~cap:(scope_cap model loops scope)
+            in
+            add_terms [ (y, 1) ] 0 amount)
+          shots;
+        if per_exec > 0 then begin
           any_delta := true;
-          let y =
-            Model.add_capped_counter model
-              ~name:(Printf.sprintf "dfm_%d_%d" u idx)
-              ~node:u ~cap:(scope_cap model loops scope)
-          in
-          add_terms [ (y, 1) ] 0 amount)
-        shots;
-      if per_exec > 0 then begin
-        any_delta := true;
-        let terms, const = Model.execution_terms model u in
-        add_terms terms const per_exec
-      end
-    end
-  done;
+          let terms, const = Model.execution_terms model u in
+          add_terms terms const per_exec
+        end
+      end)
+    candidates;
   if not !any_delta then 0
   else begin
     Lp.set_objective_int lp (Hashtbl.fold (fun v c acc -> (v, c) :: acc) coeffs []);
@@ -95,28 +97,40 @@ let extra_misses_ilp ~graph ~loops ~baseline ~degraded ~sets ~exact =
     max 0 (bound + !constant)
   end
 
-let extra_misses_path ~graph ~loops ~baseline ~degraded ~sets =
+let extra_misses_path ~graph ~loops ~baseline ~degraded ~member ~candidates =
   let n = Cfg.Graph.node_count graph in
   let per_exec = Array.make n 0 in
   let one_shots = ref [] in
-  let reachable = Array.make n false in
-  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
   let any_delta = ref false in
-  for u = 0 to n - 1 do
-    if reachable.(u) then begin
-      let d, shots = node_delta ~graph ~baseline ~degraded ~sets u in
+  List.iter
+    (fun u ->
+      let d, shots = node_delta ~graph ~baseline ~degraded ~member u in
       per_exec.(u) <- d;
       if d > 0 || shots <> [] then any_delta := true;
-      List.iter (fun (scope, amount) -> one_shots := (path_scope scope, amount) :: !one_shots) shots
-    end
-  done;
+      List.iter (fun (scope, amount) -> one_shots := (path_scope scope, amount) :: !one_shots) shots)
+    candidates;
   if not !any_delta then 0
   else
     Path_engine.longest ~graph ~loops ~node_cost:(fun u -> per_exec.(u)) ~one_shots:!one_shots
 
-let extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets ?(engine = `Path)
+let extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets ?ctx ?(engine = `Path)
     ?(exact = false) () =
-  ignore config;
+  let member = Array.make config.Cache.Config.sets false in
+  List.iter (fun s -> member.(s) <- true) sets;
+  (* Nodes that can carry a delta. With a context, only the sets'
+     touching nodes are scanned (the others cannot reference the sets,
+     hence contribute nothing); otherwise every reachable node is. *)
+  let candidates =
+    match ctx with
+    | Some ctx ->
+      List.concat_map (fun s -> Array.to_list ctx.Context.touching.(s)) sets
+      |> List.sort_uniq compare
+    | None ->
+      let n = Cfg.Graph.node_count graph in
+      let reachable = Array.make n false in
+      Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+      List.filter (fun u -> reachable.(u)) (List.init n Fun.id)
+  in
   match engine with
-  | `Path -> extra_misses_path ~graph ~loops ~baseline ~degraded ~sets
-  | `Ilp -> extra_misses_ilp ~graph ~loops ~baseline ~degraded ~sets ~exact
+  | `Path -> extra_misses_path ~graph ~loops ~baseline ~degraded ~member ~candidates
+  | `Ilp -> extra_misses_ilp ~graph ~loops ~baseline ~degraded ~member ~candidates ~exact

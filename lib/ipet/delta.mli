@@ -21,6 +21,7 @@ val extra_misses :
   baseline:Cache_analysis.Chmc.t ->
   degraded:(node:int -> offset:int -> Cache_analysis.Chmc.classification) ->
   sets:int list ->
+  ?ctx:Cache_analysis.Context.t ->
   ?engine:[ `Path | `Ilp ] ->
   ?exact:bool ->
   unit ->
@@ -29,4 +30,7 @@ val extra_misses :
     references mapping to any of the cache sets [sets] (usually a
     single set; the refined SRB analysis passes dead-set pairs).
     [engine] selects the tree-based path engine (default) or the IPET
-    ILP, as in {!Wcet.compute}. *)
+    ILP, as in {!Wcet.compute}. [ctx] supplies precomputed reachability
+    and the per-set touching-node index, so only nodes that can
+    actually carry a delta are scanned — the result is identical either
+    way. *)

@@ -180,7 +180,7 @@ let test_calls_analyzed () =
 let test_srb_sequential () =
   let compiled = Minic.Compile.compile straightline_program in
   let graph = Cfg.Graph.build compiled.Minic.Compile.program in
-  let srb = Srb.analyze ~graph ~config:small_cfg in
+  let srb = Srb.analyze ~graph ~config:small_cfg () in
   (* Sequential code: within a 4-instruction line, fetches 2..4 hit. *)
   let total = ref 0 and hits = ref 0 in
   Array.iter
@@ -201,7 +201,7 @@ let test_srb_sequential () =
 let test_srb_hit_count () =
   let compiled = Minic.Compile.compile tiny_loop_program in
   let graph = Cfg.Graph.build compiled.Minic.Compile.program in
-  let srb = Srb.analyze ~graph ~config:small_cfg in
+  let srb = Srb.analyze ~graph ~config:small_cfg () in
   Alcotest.(check bool) "positive" true (Srb.hit_count srb > 0)
 
 (* --- soundness vs concrete simulation ------------------------------------ *)

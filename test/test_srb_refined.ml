@@ -51,9 +51,9 @@ let test_exclusive_dominates_conservative () =
      one does (fewer clobbering references). *)
   let compiled = Minic.Compile.compile tiny_loop in
   let graph = Cfg.Graph.build compiled.Minic.Compile.program in
-  let conservative = Srb_an.analyze ~graph ~config in
+  let conservative = Srb_an.analyze ~graph ~config () in
   for set = 0 to config.C.sets - 1 do
-    let exclusive = Srb_an.analyze_exclusive ~graph ~config ~sets:[ set ] in
+    let exclusive = Srb_an.analyze_exclusive ~graph ~config ~sets:[ set ] () in
     Array.iter
       (fun u ->
         let node = Cfg.Graph.node graph u in
@@ -79,10 +79,10 @@ let test_exclusive_recovers_temporal_locality () =
   let entry = Option.get (Benchmarks.Registry.find "jfdctint") in
   let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
   let graph = Cfg.Graph.build compiled.Minic.Compile.program in
-  let conservative = Srb_an.analyze ~graph ~config in
+  let conservative = Srb_an.analyze ~graph ~config () in
   let improved = ref false in
   for set = 0 to config.C.sets - 1 do
-    let exclusive = Srb_an.analyze_exclusive ~graph ~config ~sets:[ set ] in
+    let exclusive = Srb_an.analyze_exclusive ~graph ~config ~sets:[ set ] () in
     Array.iter
       (fun u ->
         let node = Cfg.Graph.node graph u in
@@ -207,7 +207,7 @@ let test_pathwise_dead_pair () =
   in
   let penalty = C.miss_penalty config in
   let pair_misses s1 s2 =
-    let srb = Srb_an.analyze_exclusive ~graph ~config ~sets:[ s1; s2 ] in
+    let srb = Srb_an.analyze_exclusive ~graph ~config ~sets:[ s1; s2 ] () in
     let degraded ~node ~offset =
       if Srb_an.always_hit srb ~node ~offset then Chmc.Always_hit else Chmc.Always_miss
     in
