@@ -1,16 +1,30 @@
 # Convenience entry points; `check` is the tier-1 gate.
 
-.PHONY: all build check test bench bench-json clean
+.PHONY: all build check test bench bench-json audit clean
 
 all: build
 
 build:
 	dune build
 
+# Tier-1 gate: build + unit/property tests, then an intentionally
+# budget-starved analysis that must *complete gracefully* (degraded but
+# sound bounds, exit 0) rather than raise — the robustness contract of
+# the degradation ladder.
 check:
 	dune build && dune runtest
+	dune exec bin/pwcet_tool.exe -- analyze fibcall --engine ilp --exact \
+	  --timeout 0.000001 --sets 8 --ways 2
 
 test: check
+
+# Runtime invariant auditor over the full benchmark registry:
+# per-mechanism structural checks (FMM shape/monotonicity, distribution
+# mass, exceedance-curve shape, mechanism dominance) plus seeded
+# Monte-Carlo fault-injection bound-violation search. Small geometry
+# keeps it fast; drop the overrides for the paper-default 16x4.
+audit:
+	dune exec bin/pwcet_tool.exe -- audit --sets 8 --ways 2
 
 # Full evaluation harness (paper tables/figures + Bechamel timings).
 # Pass JOBS=N to set the worker-domain count (-j) explicitly.

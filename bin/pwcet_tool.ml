@@ -5,12 +5,19 @@
      disasm <bench>           disassembly of a compiled benchmark
      analyze <bench>          WCET / pWCET analysis of one benchmark
      suite                    the Fig. 4 table over the whole suite
-     simulate <bench>         Monte-Carlo faulty simulation vs the bound *)
+     simulate <bench>         Monte-Carlo faulty simulation vs the bound
+     audit                    invariant auditor over the whole registry
+
+   Exit codes: 0 success; 1 analysis failure, audit or simulated bound
+   violation; 2 invalid input (bad benchmark, source, cache geometry,
+   probability or budget); cmdliner's own codes for CLI errors. *)
 
 open Cmdliner
 
 let default_pfail = 1e-4
 let default_target = 1e-15
+
+let exit_invalid_input = 2
 
 (* A target is a registered benchmark name or a path to a mini-C source
    file (anything containing '/' or ending in .c). *)
@@ -20,10 +27,10 @@ let load_target name =
     | prog -> (name, prog)
     | exception Minic.Parser.Error msg ->
       Printf.eprintf "%s: parse error: %s\n" name msg;
-      exit 1
+      exit exit_invalid_input
     | exception Sys_error msg ->
       Printf.eprintf "%s\n" msg;
-      exit 1
+      exit exit_invalid_input
   in
   if Sys.file_exists name && not (Sys.is_directory name) then from_file ()
   else
@@ -31,7 +38,7 @@ let load_target name =
     | Some e -> (e.Benchmarks.Registry.name, e.Benchmarks.Registry.program)
     | None ->
       Printf.eprintf "unknown benchmark or file %s; try 'pwcet_tool list'\n" name;
-      exit 1
+      exit exit_invalid_input
 
 let compile_target name =
   let label, prog = load_target name in
@@ -39,24 +46,45 @@ let compile_target name =
   with
   | Minic.Typecheck.Error msg | Minic.Compile.Error msg ->
     Printf.eprintf "%s: %s\n" label msg;
-    exit 1
+    exit exit_invalid_input
 
 let config_of sets ways line =
-  Cache.Config.make ~sets ~ways ~line_bytes:line ()
+  try Cache.Config.make ~sets ~ways ~line_bytes:line ()
+  with Invalid_argument msg ->
+    Printf.eprintf "invalid cache configuration: %s\n" msg;
+    exit exit_invalid_input
 
 (* --- common options ---------------------------------------------------- *)
+
+(* Probabilities are validated at the CLI boundary: NaN and infinities
+   are rejected (a plain [float] converter would let them through and
+   poison the distributions), and both pfail and the exceedance target
+   only make sense strictly inside (0, 1). *)
+let prob_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid probability %S" s))
+    | Some p when not (Float.is_finite p) ->
+      Error (`Msg (Printf.sprintf "probability must be finite, got %s" s))
+    | Some p when p <= 0.0 || p >= 1.0 ->
+      Error (`Msg (Printf.sprintf "probability must lie strictly inside (0, 1), got %s" s))
+    | Some p -> Ok p
+  in
+  Arg.conv ~docv:"P" (parse, fun fmt p -> Format.fprintf fmt "%g" p)
 
 let bench_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc:"Benchmark name or mini-C source file.")
 
 let pfail_arg =
-  Arg.(value & opt float default_pfail
-       & info [ "pfail" ] ~docv:"P" ~doc:"Per-bit permanent failure probability (paper: 1e-4).")
+  Arg.(value & opt prob_conv default_pfail
+       & info [ "pfail" ] ~docv:"P"
+           ~doc:"Per-bit permanent failure probability, strictly inside (0, 1) (paper: 1e-4).")
 
 let target_arg =
-  Arg.(value & opt float default_target
+  Arg.(value & opt prob_conv default_target
        & info [ "target" ] ~docv:"P"
-           ~doc:"Target exceedance probability for the reported pWCET (paper: 1e-15).")
+           ~doc:"Target exceedance probability for the reported pWCET, strictly inside (0, 1) \
+                 (paper: 1e-15).")
 
 let sets_arg = Arg.(value & opt int 16 & info [ "sets" ] ~doc:"Cache sets (power of two).")
 let ways_arg = Arg.(value & opt int 4 & info [ "ways" ] ~doc:"Cache associativity.")
@@ -68,6 +96,13 @@ let engine_arg =
   Arg.(value & opt engine_conv `Path
        & info [ "engine" ] ~docv:"ENGINE"
            ~doc:"Bounding engine: tree-based 'path' (default) or 'ilp'.")
+
+let exact_arg =
+  Arg.(value & flag
+       & info [ "exact" ]
+           ~doc:"With --engine ilp, solve with exact branch-and-bound instead of the LP \
+                 relaxation. Under a starved --ilp-nodes budget the solver degrades \
+                 back down the Exact -> Relaxed -> Structural ladder instead of failing.")
 
 let jobs_arg =
   Arg.(value & opt int (Parallel.Pool.default_jobs ())
@@ -86,6 +121,49 @@ let impl_arg =
                  (whole-CFG re-analysis per fault count). Tables are \
                  bit-identical; only the analysis time differs.")
 
+let ilp_nodes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "ilp-nodes" ] ~docv:"N"
+           ~doc:"Branch-and-bound node budget per ILP. Exhaustion degrades that bound to \
+                 the LP relaxation (still sound), never aborts the run.")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget for the whole analysis. Per-set analyses that start \
+                 after the deadline fall back to the structural bound (still sound).")
+
+let budget_of ilp_nodes timeout =
+  match (ilp_nodes, timeout) with
+  | None, None -> None
+  | _ -> (
+    try Some (Robust.Budget.make ?ilp_nodes ?timeout ())
+    with Invalid_argument msg ->
+      Printf.eprintf "invalid budget: %s\n" msg;
+      exit exit_invalid_input)
+
+let exits =
+  Cmd.Exit.info 1
+    ~doc:"on an analysis failure, an audit violation, or a simulated bound violation."
+  :: Cmd.Exit.info exit_invalid_input
+       ~doc:"on invalid input: unknown benchmark, source parse/type error, bad cache \
+             geometry, probability outside (0, 1), or a malformed budget."
+  :: Cmd.Exit.defaults
+
+let cmd_info name ~doc = Cmd.info name ~doc ~exits
+
+let rung_tag rung =
+  match rung with
+  | Robust.Rung.Exact -> ""
+  | r -> Printf.sprintf "  [degraded: %s]" (Robust.Rung.to_string r)
+
+let report_degradation label est =
+  List.iter
+    (fun (set, err) ->
+      Printf.eprintf "%s: set %d fell back to the structural bound: %s\n" label set
+        (Robust.Pwcet_error.to_string err))
+    (Pwcet.Estimator.degradation_errors est)
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -98,7 +176,7 @@ let list_cmd =
           e.Benchmarks.Registry.description)
       Benchmarks.Registry.all
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite")
+  Cmd.v (cmd_info "list" ~doc:"List the benchmark suite")
     Term.(const run $ const ())
 
 (* --- disasm --------------------------------------------------------------- *)
@@ -108,32 +186,44 @@ let disasm_cmd =
     let _, compiled = compile_target name in
     Format.printf "%a" Isa.Program.pp compiled.Minic.Compile.program
   in
-  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a compiled benchmark or mini-C file")
+  Cmd.v (cmd_info "disasm" ~doc:"Disassemble a compiled benchmark or mini-C file")
     Term.(const run $ bench_arg)
 
 (* --- analyze --------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run name pfail target sets ways line engine jobs impl show_curve show_fmm =
+  let run name pfail target sets ways line engine exact jobs impl ilp_nodes timeout show_curve
+      show_fmm check =
     let label, compiled = compile_target name in
     let config = config_of sets ways line in
-    let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine () in
+    let budget = budget_of ilp_nodes timeout in
+    let task =
+      Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine ~exact
+        ?budget ()
+    in
     Printf.printf "benchmark      : %s\n" label;
     Format.printf "cache          : %a@." Cache.Config.pp config;
     Printf.printf "pfail          : %g   pbf: %g\n" pfail
       (Fault.Model.pbf_of_config ~pfail config);
-    Printf.printf "fault-free WCET: %d cycles\n\n" (Pwcet.Estimator.fault_free_wcet task);
+    Printf.printf "fault-free WCET: %d cycles%s\n\n"
+      (Pwcet.Estimator.fault_free_wcet task)
+      (rung_tag task.Pwcet.Estimator.wcet_rung);
     let results =
       List.map
         (fun mech ->
-          let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~jobs ~impl () in
+          let est =
+            Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~exact ~jobs ~impl
+              ?budget ()
+          in
           (mech, est))
         Pwcet.Mechanism.all
     in
     List.iter
       (fun (mech, est) ->
-        Printf.printf "%-30s pWCET(%g) = %d cycles\n" (Pwcet.Mechanism.name mech) target
-          (Pwcet.Estimator.pwcet est ~target);
+        Printf.printf "%-30s pWCET(%g) = %d cycles%s\n" (Pwcet.Mechanism.name mech) target
+          (Pwcet.Estimator.pwcet est ~target)
+          (rung_tag (Pwcet.Estimator.worst_rung est));
+        report_degradation (Pwcet.Mechanism.short_name mech) est;
         if show_fmm then
           Format.printf "%a@." Pwcet.Fmm.pp est.Pwcet.Estimator.fmm)
       results;
@@ -146,47 +236,102 @@ let analyze_cmd =
       in
       print_newline ();
       print_string (Reporting.Ascii_plot.exceedance ~series ())
+    end;
+    if check then begin
+      let all_exact =
+        List.for_all
+          (fun (_, est) -> Robust.Rung.equal (Pwcet.Estimator.worst_rung est) Robust.Rung.Exact)
+          results
+      in
+      let baseline = List.assoc Pwcet.Mechanism.No_protection results in
+      let reports =
+        List.map (fun (_, est) -> Pwcet.Audit.check_estimate est) results
+        @
+        (* Dominance only compares like with like: under a starved
+           budget the mechanisms may degrade to different rungs, and a
+           looser baseline rung would flag spurious violations. *)
+        if all_exact then
+          List.filter_map
+            (fun (mech, est) ->
+              if Pwcet.Mechanism.equal mech Pwcet.Mechanism.No_protection then None
+              else Some (Pwcet.Audit.check_dominance ~baseline ~other:est))
+            results
+        else []
+      in
+      let report = Pwcet.Audit.merge reports in
+      print_newline ();
+      Format.printf "audit: %a@." Pwcet.Audit.pp_report report;
+      if not all_exact then
+        print_endline "audit: dominance checks skipped (degraded bounds present)";
+      if not (Pwcet.Audit.ok report) then exit 1
     end
   in
   let curve_arg = Arg.(value & flag & info [ "curve" ] ~doc:"Plot the exceedance curves (Fig. 3).") in
   let fmm_arg = Arg.(value & flag & info [ "fmm" ] ~doc:"Print the fault miss maps.") in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Run the invariant auditor on the produced estimates (FMM shape, mass \
+                   conservation, exceedance monotonicity, mechanism dominance); exit 1 \
+                   on any violation.")
+  in
   Cmd.v
-    (Cmd.info "analyze"
+    (cmd_info "analyze"
        ~doc:"pWCET analysis of one benchmark (or mini-C file) under all three mechanisms")
     Term.(const run $ bench_arg $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg
-          $ engine_arg $ jobs_arg $ impl_arg $ curve_arg $ fmm_arg)
+          $ engine_arg $ exact_arg $ jobs_arg $ impl_arg $ ilp_nodes_arg $ timeout_arg
+          $ curve_arg $ fmm_arg $ check_arg)
 
 (* --- suite ------------------------------------------------------------------ *)
 
-let suite_row config ~pfail ~target ~engine ~jobs (e : Benchmarks.Registry.entry) =
+let suite_row config ~pfail ~target ~engine ~exact ~jobs ?budget (e : Benchmarks.Registry.entry) =
   let compiled = Minic.Compile.compile e.Benchmarks.Registry.program in
-  let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine () in
-  let pwcet mech =
-    Pwcet.Estimator.pwcet
-      (Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~jobs ())
-      ~target
+  let task =
+    Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine ~exact
+      ?budget ()
   in
-  {
-    Pwcet.Report_data.name = e.Benchmarks.Registry.name;
-    wcet_ff = Pwcet.Estimator.fault_free_wcet task;
-    pwcet_none = pwcet Pwcet.Mechanism.No_protection;
-    pwcet_srb = pwcet Pwcet.Mechanism.Shared_reliable_buffer;
-    pwcet_rw = pwcet Pwcet.Mechanism.Reliable_way;
-  }
+  let worst = ref task.Pwcet.Estimator.wcet_rung in
+  let pwcet mech =
+    let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~exact ~jobs ?budget () in
+    worst := Robust.Rung.worst !worst (Pwcet.Estimator.worst_rung est);
+    Pwcet.Estimator.pwcet est ~target
+  in
+  let row =
+    {
+      Pwcet.Report_data.name = e.Benchmarks.Registry.name;
+      wcet_ff = Pwcet.Estimator.fault_free_wcet task;
+      pwcet_none = pwcet Pwcet.Mechanism.No_protection;
+      pwcet_srb = pwcet Pwcet.Mechanism.Shared_reliable_buffer;
+      pwcet_rw = pwcet Pwcet.Mechanism.Reliable_way;
+    }
+  in
+  (row, !worst)
 
 let suite_cmd =
-  let run pfail target sets ways line engine jobs =
+  let run pfail target sets ways line engine exact jobs ilp_nodes timeout =
     let config = config_of sets ways line in
+    let budget = budget_of ilp_nodes timeout in
     let rows =
-      List.map (suite_row config ~pfail ~target ~engine ~jobs) Benchmarks.Registry.all
+      List.map
+        (suite_row config ~pfail ~target ~engine ~exact ~jobs ?budget)
+        Benchmarks.Registry.all
     in
-    print_string (Reporting.Table.fig4 rows);
+    print_string (Reporting.Table.fig4 (List.map fst rows));
     print_newline ();
-    print_string (Reporting.Table.aggregates rows)
+    print_string (Reporting.Table.aggregates (List.map fst rows));
+    let degraded =
+      List.filter_map
+        (fun (row, rung) ->
+          if Robust.Rung.equal rung Robust.Rung.Exact then None
+          else Some (Printf.sprintf "%s (%s)" row.Pwcet.Report_data.name (Robust.Rung.to_string rung)))
+        rows
+    in
+    if degraded <> [] then
+      Printf.printf "\ndegraded (budget-limited, still sound): %s\n" (String.concat ", " degraded)
   in
-  Cmd.v (Cmd.info "suite" ~doc:"Fig. 4 table: the whole suite under all three mechanisms")
+  Cmd.v (cmd_info "suite" ~doc:"Fig. 4 table: the whole suite under all three mechanisms")
     Term.(const run $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg $ engine_arg
-          $ jobs_arg)
+          $ exact_arg $ jobs_arg $ ilp_nodes_arg $ timeout_arg)
 
 (* --- simulate -------------------------------------------------------------- *)
 
@@ -230,8 +375,59 @@ let simulate_cmd =
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Monte-Carlo faulty execution checked against the analytic bound")
+    (cmd_info "simulate" ~doc:"Monte-Carlo faulty execution checked against the analytic bound")
     Term.(const run $ bench_arg $ pfail_arg $ samples_arg $ seed_arg $ jobs_arg)
+
+(* --- audit ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let run pfail sets ways line jobs samples seed =
+    let config = config_of sets ways line in
+    let failures = ref 0 in
+    List.iter
+      (fun (e : Benchmarks.Registry.entry) ->
+        let compiled = Minic.Compile.compile e.Benchmarks.Registry.program in
+        let task =
+          Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ()
+        in
+        let ests =
+          List.map
+            (fun mech -> (mech, Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~jobs ()))
+            Pwcet.Mechanism.all
+        in
+        let baseline = List.assoc Pwcet.Mechanism.No_protection ests in
+        let reports =
+          List.map (fun (_, est) -> Pwcet.Audit.check_estimate est) ests
+          @ List.map (fun (_, est) -> Pwcet.Audit.monte_carlo ~samples ~seed est) ests
+          @ List.filter_map
+              (fun (mech, est) ->
+                if Pwcet.Mechanism.equal mech Pwcet.Mechanism.No_protection then None
+                else Some (Pwcet.Audit.check_dominance ~baseline ~other:est))
+              ests
+        in
+        let report = Pwcet.Audit.merge reports in
+        Format.printf "%-14s %a@." e.Benchmarks.Registry.name Pwcet.Audit.pp_report report;
+        if not (Pwcet.Audit.ok report) then incr failures)
+      Benchmarks.Registry.all;
+    if !failures > 0 then begin
+      Printf.printf "\naudit FAILED on %d benchmark(s)\n" !failures;
+      exit 1
+    end
+    else print_endline "\naudit passed: no invariant violations"
+  in
+  let samples_arg =
+    Arg.(value & opt int 10
+         & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo fault maps per (benchmark, mechanism).")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed for the fault-injection search.") in
+  Cmd.v
+    (cmd_info "audit"
+       ~doc:"Run the runtime invariant auditor over the whole benchmark registry: FMM \
+             shape, distribution mass conservation, exceedance monotonicity, mechanism \
+             dominance, and a seeded Monte-Carlo fault-injection bound-violation search. \
+             Exits 1 on any violation.")
+    Term.(const run $ pfail_arg $ sets_arg $ ways_arg $ line_arg $ jobs_arg $ samples_arg
+          $ seed_arg)
 
 (* --- source ------------------------------------------------------------------ *)
 
@@ -240,7 +436,7 @@ let source_cmd =
     let _, prog = load_target name in
     Format.printf "%a@." Minic.Ast.pp_program prog
   in
-  Cmd.v (Cmd.info "source" ~doc:"Print the mini-C source of a benchmark")
+  Cmd.v (cmd_info "source" ~doc:"Print the mini-C source of a benchmark")
     Term.(const run $ bench_arg)
 
 (* --- refined (future-work SRB analysis) ------------------------------------- *)
@@ -276,14 +472,15 @@ let refined_cmd =
       excl
   in
   Cmd.v
-    (Cmd.info "refined"
+    (cmd_info "refined"
        ~doc:"Refined SRB analysis (the paper's future-work direction) vs the paper's bound")
     Term.(const run $ bench_arg $ pfail_arg $ target_arg $ jobs_arg)
 
 let () =
   let doc = "probabilistic WCET estimation with fault-mitigation hardware (DATE'16 reproduction)" in
-  let info = Cmd.info "pwcet_tool" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "pwcet_tool" ~version:"1.0.0" ~doc ~exits in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; suite_cmd; simulate_cmd; refined_cmd ]))
+          [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; suite_cmd; simulate_cmd; audit_cmd;
+            refined_cmd ]))

@@ -29,12 +29,12 @@ let presence_for_set graph blocks sets ~set ~assoc =
   let must_in =
     Fixpoint.run ~graph ~entry_state:Acs.empty
       ~transfer:(transfer (Acs.must_update ~assoc))
-      ~join:Acs.must_join ~equal:Acs.equal
+      ~join:Acs.must_join ~equal:Acs.equal ()
   in
   let may_in =
     Fixpoint.run ~graph ~entry_state:Acs.empty
       ~transfer:(transfer (Acs.may_update ~assoc))
-      ~join:Acs.may_join ~equal:Acs.equal
+      ~join:Acs.may_join ~equal:Acs.equal ()
   in
   let n = Cfg.Graph.node_count graph in
   let must_hit = Array.make n [||] and may_present = Array.make n [||] in

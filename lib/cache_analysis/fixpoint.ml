@@ -7,11 +7,19 @@ module PQ = Set.Make (struct
   let compare = compare
 end)
 
-let run_custom ~n ~entry ~succ ~priority ~entry_state ~transfer ~join ~equal =
+let run_custom ~n ~entry ~succ ~priority ~entry_state ~transfer ~join ~equal ?max_iters () =
   let in_state : 'a option array = Array.make n None in
   in_state.(entry) <- Some entry_state;
   let work = ref (PQ.singleton (priority.(entry), entry)) in
+  let pops = ref 0 in
   while not (PQ.is_empty !work) do
+    incr pops;
+    (match max_iters with
+    | Some cap when !pops > cap ->
+      Robust.Pwcet_error.raise_error
+        (Robust.Pwcet_error.Fixpoint_divergence
+           (Printf.sprintf "Fixpoint.run_custom: no fixpoint after %d worklist pops" cap))
+    | _ -> ());
     let ((_, u) as el) = PQ.min_elt !work in
     work := PQ.remove el !work;
     match in_state.(u) with
@@ -36,11 +44,11 @@ let run_custom ~n ~entry ~succ ~priority ~entry_state ~transfer ~join ~equal =
   done;
   in_state
 
-let run ~graph ~entry_state ~transfer ~join ~equal =
+let run ~graph ~entry_state ~transfer ~join ~equal ?max_iters () =
   let n = Cfg.Graph.node_count graph in
   let rpo = Cfg.Graph.reverse_postorder graph in
   let priority = Array.make n max_int in
   Array.iteri (fun i u -> priority.(u) <- i) rpo;
   run_custom ~n ~entry:graph.Cfg.Graph.entry
     ~succ:(Cfg.Graph.successors graph)
-    ~priority ~entry_state ~transfer ~join ~equal
+    ~priority ~entry_state ~transfer ~join ~equal ?max_iters ()

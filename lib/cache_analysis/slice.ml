@@ -100,7 +100,7 @@ let analyze (sl : t) ~assoc ?prev () =
     Fixpoint.run_custom ~n:m ~entry:sl.entry_pos
       ~succ:(fun i -> sl.succ.(i))
       ~priority:sl.priority ~entry_state:Acs.empty ~transfer:(transfer update) ~join
-      ~equal:Acs.equal
+      ~equal:Acs.equal ()
   in
   (* Cross-fault-count incrementality: per-reference must-hit and
      may-present flags are monotone non-increasing in the associativity,

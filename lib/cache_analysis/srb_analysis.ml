@@ -24,7 +24,7 @@ let analyze_with ?ctx ~graph ~config ~touches () =
   let update acs blk = if touches blk then Acs.must_update ~assoc:1 acs blk else acs in
   let transfer u acs = Array.fold_left update acs blocks.(u) in
   let must_in =
-    Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer ~join:Acs.must_join ~equal:Acs.equal
+    Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer ~join:Acs.must_join ~equal:Acs.equal ()
   in
   let reachable =
     match ctx with

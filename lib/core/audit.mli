@@ -1,0 +1,52 @@
+(** Runtime invariant auditor for the pWCET pipeline.
+
+    Each check replays an invariant the pipeline's soundness argument
+    relies on, against the {e concrete} artefacts of a run — so a bug
+    anywhere upstream (analysis, solver, convolution, degradation
+    fallback) surfaces as a named violation instead of a silently wrong
+    bound. Audited invariants:
+
+    - {b FMM shape}: column 0 zero, entries non-negative, rows monotone
+      in the fault count.
+    - {b Mass conservation}: penalty distributions sum to 1 (within
+      tolerance), probabilities in [0, 1], support strictly ascending.
+    - {b Exceedance monotonicity}: curves are complementary CDFs —
+      values ascending, probabilities non-increasing.
+    - {b Mechanism dominance}: RW/SRB exceedance curves lie on or below
+      the unprotected baseline at every value (mitigation can only
+      remove misses).
+    - {b Monte-Carlo bound search}: concrete fault maps sampled from
+      the model, priced through the FMM, must not empirically exceed
+      the analytic exceedance curve beyond sampling noise, nor the
+      distribution's support ceiling.
+
+    All float comparisons carry small tolerances for compensated-sum
+    noise; a reported violation is a real defect, not float wobble. *)
+
+type violation = { check : string; detail : string }
+type report = { checks : int; violations : violation list }
+
+val empty : report
+val ok : report -> bool
+(** No violations. *)
+
+val merge : report list -> report
+
+val check_fmm : ?what:string -> Fmm.t -> report
+val check_distribution : ?what:string -> ?mass_tol:float -> Prob.Dist.t -> report
+val check_exceedance_curve : ?what:string -> (int * float) list -> report
+
+val check_dominance : baseline:Estimator.estimate -> other:Estimator.estimate -> report
+(** Both estimates must come from the same task (same program and
+    cache configuration); the baseline is normally [No_protection]. *)
+
+val check_estimate : ?label:string -> Estimator.estimate -> report
+(** {!check_fmm} + {!check_distribution} + {!check_exceedance_curve}
+    on one estimate's artefacts. *)
+
+val monte_carlo : ?samples:int -> ?seed:int -> Estimator.estimate -> report
+(** Seeded fault-injection search (default 10 samples, seed 42) —
+    deterministic for fixed arguments. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

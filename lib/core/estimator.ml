@@ -5,6 +5,7 @@ type task = {
   ctx : Cache_analysis.Context.t;
   chmc : Cache_analysis.Chmc.t;
   wcet_ff : int;
+  wcet_rung : Robust.Rung.t;
 }
 
 type estimate = {
@@ -16,20 +17,24 @@ type estimate = {
   penalty : Prob.Dist.t;
 }
 
-let prepare ~program ~config ?(engine = `Path) ?(exact = false) () =
+let prepare ~program ~config ?(engine = `Path) ?(exact = false) ?budget () =
   let graph = Cfg.Graph.build program in
   let loops = Cfg.Loop.detect graph in
   let ctx = Cache_analysis.Context.make ~graph ~loops ~config in
   let chmc = Cache_analysis.Chmc.analyze ~ctx ~graph ~loops ~config () in
-  let result = Ipet.Wcet.compute ~graph ~loops ~chmc ~config ~engine ~exact () in
-  { graph; loops; config; ctx; chmc; wcet_ff = result.Ipet.Wcet.wcet }
+  let result, wcet_rung =
+    match Ipet.Wcet.compute_result ~graph ~loops ~chmc ~config ~engine ~exact ?budget () with
+    | Ok v -> v
+    | Error e -> Robust.Pwcet_error.raise_error e
+  in
+  { graph; loops; config; ctx; chmc; wcet_ff = result.Ipet.Wcet.wcet; wcet_rung }
 
 let estimate task ~pfail ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
-    ?(impl = `Sliced) () =
+    ?(impl = `Sliced) ?budget () =
   let pbf = Fault.Model.pbf_of_config ~pfail task.config in
   let fmm =
     Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine ~exact
-      ~jobs ~impl ~ctx:task.ctx ()
+      ~jobs ~impl ~ctx:task.ctx ?budget ()
   in
   let penalty = Penalty.total_distribution ~jobs ~fmm ~pbf () in
   { task; mechanism; pfail; pbf; fmm; penalty }
@@ -40,3 +45,5 @@ let exceedance_curve e =
   List.map (fun (x, p) -> (e.task.wcet_ff + x, p)) (Prob.Dist.exceedance_curve e.penalty)
 
 let fault_free_wcet task = task.wcet_ff
+let worst_rung e = Robust.Rung.worst e.task.wcet_rung (Fmm.worst_rung e.fmm)
+let degradation_errors e = Fmm.errors e.fmm

@@ -5,7 +5,12 @@
     fault dimension for one mechanism: FMM, per-set penalty
     distributions, cross-set convolution. The resulting pWCET
     distribution is [wcet_ff + penalty]; {!pwcet} reads the exceedance
-    quantile at the target probability (the paper uses [1e-15]). *)
+    quantile at the target probability (the paper uses [1e-15]).
+
+    Both stages accept a {!Robust.Budget.t}: a starved budget degrades
+    individual bounds down the Exact -> Relaxed -> Structural ladder
+    instead of failing, and {!worst_rung} reports how much of the
+    ladder the estimate consumed. *)
 
 type task = private {
   graph : Cfg.Graph.t;
@@ -14,6 +19,7 @@ type task = private {
   ctx : Cache_analysis.Context.t;  (** shared analysis context, built once *)
   chmc : Cache_analysis.Chmc.t;
   wcet_ff : int;  (** fault-free WCET, cycles *)
+  wcet_rung : Robust.Rung.t;  (** ladder rung that produced [wcet_ff] *)
 }
 
 type estimate = private {
@@ -30,6 +36,7 @@ val prepare :
   config:Cache.Config.t ->
   ?engine:[ `Path | `Ilp ] ->
   ?exact:bool ->
+  ?budget:Robust.Budget.t ->
   unit ->
   task
 
@@ -41,12 +48,15 @@ val estimate :
   ?exact:bool ->
   ?jobs:int ->
   ?impl:[ `Naive | `Sliced ] ->
+  ?budget:Robust.Budget.t ->
   unit ->
   estimate
 (** [jobs] (default 1) runs the independent per-set FMM analyses and
     penalty-distribution builds on that many OCaml domains; results are
     identical for every value. [impl] selects the FMM degraded-analysis
-    engine (see {!Fmm.compute}); both yield the same estimate. *)
+    engine (see {!Fmm.compute}); both yield the same estimate.
+    [budget] flows into {!Fmm.compute}; exhaustion loosens FMM cells
+    (soundly) rather than raising. *)
 
 val pwcet : estimate -> target:float -> int
 (** pWCET at the target exceedance probability, in cycles. *)
@@ -55,3 +65,10 @@ val exceedance_curve : estimate -> (int * float) list
 (** [(wcet_value, P(WCET >= value))] staircase — Fig. 3's curves. *)
 
 val fault_free_wcet : task -> int
+
+val worst_rung : estimate -> Robust.Rung.t
+(** Loosest ladder rung anywhere in the estimate (fault-free WCET and
+    every FMM cell) — [Exact] iff nothing degraded. *)
+
+val degradation_errors : estimate -> (int * Robust.Pwcet_error.t) list
+(** Per-set failures recorded by the FMM stage (see {!Fmm.errors}). *)

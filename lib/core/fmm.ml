@@ -2,9 +2,13 @@ module Chmc = Cache_analysis.Chmc
 module Context = Cache_analysis.Context
 module Slice = Cache_analysis.Slice
 module Srb_analysis = Cache_analysis.Srb_analysis
+module Rung = Robust.Rung
+module E = Robust.Pwcet_error
 
 type t = {
   misses : int array array;  (* sets x (ways + 1); column 0 is all zeros *)
+  provenance : Rung.t array array;  (* same shape: which ladder rung produced each cell *)
+  errors : (int * E.t) list;  (* sets whose row fell back to the structural bound, and why *)
   config : Cache.Config.t;
   mechanism : Mechanism.t;
 }
@@ -18,18 +22,29 @@ let dead_set_degraded ~srb ~node ~offset =
     else Chmc.Always_miss
   | None -> Chmc.Always_miss
 
+(* Rung of a [max]-combined cell: the contributor that set the value
+   wins; on a tie the tighter rung does (both bounds hold, so the cell
+   is as trustworthy as its best witness). *)
+let pick_rung ~value ~rung ~prev_value ~prev_rung =
+  if value > prev_value then rung
+  else if value < prev_value then prev_rung
+  else if Rung.compare rung prev_rung <= 0 then rung
+  else prev_rung
+
 (* One FMM row, naive engine: a fresh whole-CFG degraded analysis per
    fault count, exactly the pre-context cost profile (kept as the
    reference implementation for the differential tests and the bench
    comparison). Self-contained (no mutable state outside the row) so
-   rows can run on separate domains. *)
-let compute_row ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb set =
+   rows can run on separate domains. Returns the miss row and the
+   per-cell degradation rungs. *)
+let compute_row ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~budget ~baseline ~srb set =
   let ways = config.Cache.Config.ways in
   let row = Array.make (ways + 1) 0 in
+  let rungs = Array.make (ways + 1) Rung.Exact in
   (* With RW the all-faulty situation cannot occur (the reliable way
      survives); the last meaningful column is W-1. *)
   let max_f = match mechanism with Mechanism.Reliable_way -> ways - 1 | _ -> ways in
-  let previous : (Chmc.classification list * int) option ref = ref None in
+  let previous : (Chmc.classification list * (int * Rung.t)) option ref = ref None in
   for f = 1 to max_f do
     let degraded =
       if f < ways then begin
@@ -45,41 +60,55 @@ let compute_row ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~
     (* Successive fault counts often leave the classification of the
        set unchanged; reuse the ILP bound when they do. *)
     let signature = Chmc.set_signature ctx ~set ~degraded in
-    let value =
+    let value, rung =
       match !previous with
-      | Some (prev_sig, prev_value) when prev_sig = signature -> prev_value
+      | Some (prev_sig, prev) when prev_sig = signature -> prev
       | _ ->
         let v =
-          Ipet.Delta.extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets:[ set ] ~engine ~exact ()
+          match
+            Ipet.Delta.extra_misses_result ~graph ~loops ~config ~baseline ~degraded
+              ~sets:[ set ] ~engine ~exact ?budget ()
+          with
+          | Ok v -> v
+          | Error e -> E.raise_error e
         in
         previous := Some (signature, v);
         v
     in
     (* The map is monotone in the fault count by construction;
        enforce it against any relaxation tie-break wobble. *)
-    row.(f) <- max value row.(f - 1)
+    row.(f) <- max value row.(f - 1);
+    rungs.(f) <-
+      pick_rung ~value ~rung ~prev_value:row.(f - 1) ~prev_rung:rungs.(f - 1)
   done;
-  if max_f < ways then row.(ways) <- row.(max_f);
-  row
+  if max_f < ways then begin
+    row.(ways) <- row.(max_f);
+    rungs.(ways) <- rungs.(max_f)
+  end;
+  (row, rungs)
 
 (* One FMM row, sliced engine: a condensed per-set fixpoint reused
    across fault counts, with saturation early-exit. Classification-
    identical to [compute_row] (pinned by test/test_sliced.ml). *)
-let compute_row_sliced ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb set =
+let compute_row_sliced ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~budget ~baseline ~srb
+    set =
   let ways = config.Cache.Config.ways in
   let row = Array.make (ways + 1) 0 in
+  let rungs = Array.make (ways + 1) Rung.Exact in
   let max_f = match mechanism with Mechanism.Reliable_way -> ways - 1 | _ -> ways in
   let slice = Slice.make ctx ~set in
-  let previous : (Chmc.classification list * int) option ref = ref None in
+  let previous : (Chmc.classification list * (int * Rung.t)) option ref = ref None in
   let prev_result = ref None in
   let saturated = ref false in
   for f = 1 to max_f do
-    if f < ways && !saturated then
+    if f < ways && !saturated then begin
       (* Every reference already always-miss: shrinking the
          associativity further cannot change the classification, so the
          naive engine's signature memo would have reused the previous
          bound — do so without re-analysing. *)
-      row.(f) <- row.(f - 1)
+      row.(f) <- row.(f - 1);
+      rungs.(f) <- rungs.(f - 1)
+    end
     else begin
       let degraded =
         if f < ways then begin
@@ -91,25 +120,48 @@ let compute_row_sliced ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~bas
         else dead_set_degraded ~srb
       in
       let signature = Chmc.set_signature ctx ~set ~degraded in
-      let value =
+      let value, rung =
         match !previous with
-        | Some (prev_sig, prev_value) when prev_sig = signature -> prev_value
+        | Some (prev_sig, prev) when prev_sig = signature -> prev
         | _ ->
           let v =
-            Ipet.Delta.extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets:[ set ] ~ctx
-              ~engine ~exact ()
+            match
+              Ipet.Delta.extra_misses_result ~graph ~loops ~config ~baseline ~degraded
+                ~sets:[ set ] ~ctx ~engine ~exact ?budget ()
+            with
+            | Ok v -> v
+            | Error e -> E.raise_error e
           in
           previous := Some (signature, v);
           v
       in
-      row.(f) <- max value row.(f - 1)
+      row.(f) <- max value row.(f - 1);
+      rungs.(f) <-
+        pick_rung ~value ~rung ~prev_value:row.(f - 1) ~prev_rung:rungs.(f - 1)
     end
   done;
-  if max_f < ways then row.(ways) <- row.(max_f);
-  row
+  if max_f < ways then begin
+    row.(ways) <- row.(max_f);
+    rungs.(ways) <- rungs.(max_f)
+  end;
+  (row, rungs)
+
+(* Fallback row when a per-set worker crashed or the deadline passed:
+   the structural bound needs no degraded analysis and no solver, and
+   dominates every fault count's true delta, so a constant row is both
+   monotone and sound. *)
+let structural_row ~ctx ~graph ~loops ~config ~baseline ~ways set =
+  let v =
+    Ipet.Delta.structural_extra_misses ~graph ~loops ~config ~baseline ~sets:[ set ] ~ctx ()
+  in
+  let row = Array.make (ways + 1) v in
+  row.(0) <- 0;
+  let rungs = Array.make (ways + 1) Rung.Structural in
+  rungs.(0) <- Rung.Exact;
+  (row, rungs)
 
 let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
-    ?(impl = `Sliced) ?ctx () =
+    ?(impl = `Sliced) ?ctx ?budget () =
   let n_sets = config.Cache.Config.sets and ways = config.Cache.Config.ways in
   let ctx = match ctx with Some c -> c | None -> Context.make ~graph ~loops ~config in
   let baseline = Chmc.analyze ~ctx ~graph ~loops ~config () in
@@ -119,6 +171,7 @@ let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) 
     | Mechanism.No_protection | Mechanism.Reliable_way -> None
   in
   let misses = Array.make_matrix n_sets (ways + 1) 0 in
+  let provenance = Array.init n_sets (fun _ -> Array.make (ways + 1) Rung.Exact) in
   (* Rows are independent; fan the referenced sets out across domains.
      Each row is deterministic given its inputs, so the table is
      bit-identical for every [jobs]. *)
@@ -130,15 +183,29 @@ let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) 
   in
   let row =
     match impl with
-    | `Naive -> compute_row ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb
+    | `Naive -> compute_row ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~budget ~baseline ~srb
     | `Sliced ->
-      compute_row_sliced ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~baseline ~srb
+      compute_row_sliced ~ctx ~graph ~loops ~config ~mechanism ~engine ~exact ~budget ~baseline
+        ~srb
   in
-  let rows = Parallel.Pool.map ~jobs row used_sets in
-  Array.iteri (fun i set -> misses.(set) <- rows.(i)) used_sets;
-  { misses; config; mechanism }
+  let deadline = match budget with Some b -> b.Robust.Budget.deadline | None -> None in
+  let rows = Parallel.Pool.map_result ?deadline ~jobs row used_sets in
+  let errors = ref [] in
+  Array.iteri
+    (fun i set ->
+      match rows.(i) with
+      | Ok (r, p) ->
+        misses.(set) <- r;
+        provenance.(set) <- p
+      | Error e ->
+        let r, p = structural_row ~ctx ~graph ~loops ~config ~baseline ~ways set in
+        misses.(set) <- r;
+        provenance.(set) <- p;
+        errors := (set, e) :: !errors)
+    used_sets;
+  { misses; provenance; errors = List.rev !errors; config; mechanism }
 
-let of_table ~config ~mechanism table =
+let of_table ~config ~mechanism ?provenance ?(errors = []) table =
   if Array.length table <> config.Cache.Config.sets then
     invalid_arg "Fmm.of_table: wrong number of rows";
   Array.iter
@@ -150,13 +217,43 @@ let of_table ~config ~mechanism table =
         if row.(f) < row.(f - 1) then invalid_arg "Fmm.of_table: non-monotone row"
       done)
     table;
-  { misses = Array.map Array.copy table; config; mechanism }
+  let provenance =
+    match provenance with
+    | None ->
+      Array.init config.Cache.Config.sets (fun _ ->
+          Array.make (config.Cache.Config.ways + 1) Rung.Exact)
+    | Some p ->
+      if
+        Array.length p <> config.Cache.Config.sets
+        || Array.exists (fun r -> Array.length r <> config.Cache.Config.ways + 1) p
+      then invalid_arg "Fmm.of_table: provenance shape mismatch";
+      Array.map Array.copy p
+  in
+  { misses = Array.map Array.copy table; provenance; errors; config; mechanism }
 
 let misses t ~set ~faulty =
   if set < 0 || set >= Array.length t.misses then invalid_arg "Fmm.misses: bad set";
   if faulty < 0 || faulty > t.config.Cache.Config.ways then invalid_arg "Fmm.misses: bad count";
   t.misses.(set).(faulty)
 
+let provenance t ~set ~faulty =
+  if set < 0 || set >= Array.length t.provenance then invalid_arg "Fmm.provenance: bad set";
+  if faulty < 0 || faulty > t.config.Cache.Config.ways then
+    invalid_arg "Fmm.provenance: bad count";
+  t.provenance.(set).(faulty)
+
+let worst_rung t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left Rung.worst acc row)
+    Rung.Exact t.provenance
+
+let degraded_cells t =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc r -> if Rung.equal r Rung.Exact then acc else acc + 1) acc row)
+    0 t.provenance
+
+let errors t = t.errors
 let config t = t.config
 let mechanism t = t.mechanism
 let table t = Array.map Array.copy t.misses

@@ -11,7 +11,12 @@
       way survives); it is stored as the [W-1] column's bound would
       dictate but is simply never weighted by the penalty distribution.
     - {b SRB}: the all-faulty column is recomputed with the references
-      proven always-hit by the SRB analysis removed. *)
+      proven always-hit by the SRB analysis removed.
+
+    Every cell additionally carries the {!Robust.Rung.t} of the
+    degradation ladder that produced it, so a budget-starved run is
+    distinguishable from an exact one without losing soundness: a
+    non-[Exact] cell is looser, never smaller, than the exact value. *)
 
 type t
 
@@ -25,6 +30,7 @@ val compute :
   ?jobs:int ->
   ?impl:[ `Naive | `Sliced ] ->
   ?ctx:Cache_analysis.Context.t ->
+  ?budget:Robust.Budget.t ->
   unit ->
   t
 (** Runs the fault-free analysis once, then one degraded analysis +
@@ -46,15 +52,46 @@ val compute :
     (pinned by the differential tests).
 
     [ctx] supplies a precomputed {!Cache_analysis.Context.t} for
-    [graph]/[loops]/[config]; built on the fly when absent. *)
+    [graph]/[loops]/[config]; built on the fly when absent.
 
-val of_table : config:Cache.Config.t -> mechanism:Mechanism.t -> int array array -> t
+    [budget] bounds the work ({!Robust.Budget.t}): ILP node caps flow
+    into the per-cell solver, whose exhaustion degrades that cell down
+    the Exact -> Relaxed -> Structural ladder; the deadline is also
+    checked between per-set rows, and a row whose worker crashes or
+    starts past the deadline falls back to a constant
+    {!Ipet.Delta.structural_extra_misses} row tagged [Structural], with
+    the cause recorded in {!errors}. [compute] never raises on budget
+    exhaustion or worker crashes — the result is merely looser. *)
+
+val of_table :
+  config:Cache.Config.t ->
+  mechanism:Mechanism.t ->
+  ?provenance:Robust.Rung.t array array ->
+  ?errors:(int * Robust.Pwcet_error.t) list ->
+  int array array ->
+  t
 (** Wraps an explicit [sets x (ways+1)] miss table (column 0 must be
-    zero, rows monotone) — for worked examples and tests.
+    zero, rows monotone) — for worked examples and tests. [provenance]
+    defaults to all-[Exact]; when given it must have the table's shape.
     @raise Invalid_argument on bad dimensions or non-monotone rows. *)
 
 val misses : t -> set:int -> faulty:int -> int
 (** @raise Invalid_argument outside [0 <= set < S], [0 <= faulty <= W]. *)
+
+val provenance : t -> set:int -> faulty:int -> Robust.Rung.t
+(** Which degradation rung produced the cell.
+    @raise Invalid_argument outside [0 <= set < S], [0 <= faulty <= W]. *)
+
+val worst_rung : t -> Robust.Rung.t
+(** The loosest rung appearing anywhere in the map — [Exact] iff no
+    cell degraded. *)
+
+val degraded_cells : t -> int
+(** Number of cells whose rung is not [Exact]. *)
+
+val errors : t -> (int * Robust.Pwcet_error.t) list
+(** Per-set failures (worker crash, deadline) that forced the whole row
+    onto the structural fallback, in set order. Empty for an exact run. *)
 
 val config : t -> Cache.Config.t
 val mechanism : t -> Mechanism.t

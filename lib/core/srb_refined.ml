@@ -104,7 +104,8 @@ let exceedance t x =
   Numeric.Kahan.total acc
 
 let quantile t ~target =
-  if target < 0.0 then invalid_arg "Srb_refined.quantile: negative target";
+  if not (Float.is_finite target) || target < 0.0 then
+    invalid_arg "Srb_refined.quantile: target must be finite and non-negative";
   (* The bound is a decreasing step function whose steps lie on the
      union of the terms' supports. *)
   let candidates =

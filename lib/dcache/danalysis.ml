@@ -150,7 +150,7 @@ let analyze ?ctx ~graph ~loops ~config ~annot ?assoc ?only_sets () =
       let transfer u acs = Array.fold_left step acs kinds.(u) in
       let must_in =
         Cache_analysis.Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer ~join:Acs.must_join
-          ~equal:Acs.equal
+          ~equal:Acs.equal ()
       in
       (* Only nodes with a precise load of the set can receive a
          classification; the persistence check walks the precomputed

@@ -144,7 +144,7 @@ let dsrb_hits task =
   in
   let must_in =
     Cache_analysis.Fixpoint.run ~graph ~entry_state:Acs.empty ~transfer ~join:Acs.must_join
-      ~equal:Acs.equal
+      ~equal:Acs.equal ()
   in
   let hits = Array.init n (fun u -> Array.make (Cfg.Graph.node graph u).Cfg.Graph.len false) in
   for u = 0 to n - 1 do
@@ -196,7 +196,23 @@ let compute_dfmm_row task ~mechanism ~srb_hits set =
   if max_f < ways then row.(ways) <- row.(max_f);
   row
 
-let compute_dfmm task ~mechanism ~jobs =
+(* Structural fallback row for a data set: every precise load of the
+   set misses at most once per execution of its node — no degraded
+   analysis, no path search, dominates every fault count. *)
+let structural_drow task set =
+  Array.fold_left
+    (fun acc u ->
+      let node = Cfg.Graph.node task.graph u in
+      let refs = ref 0 in
+      for k = 0 to node.Cfg.Graph.len - 1 do
+        if Danalysis.cache_set task.dchmc ~node:u ~offset:k = Some set then incr refs
+      done;
+      Ipet.Model.sat_add acc
+        (Ipet.Model.sat_mul !refs (Ipet.Model.execution_count_bound task.loops u)))
+    0
+    (Danalysis.ctx_touching task.dctx ~set)
+
+let compute_dfmm task ~mechanism ~jobs ?deadline () =
   let dconfig = task.dconfig in
   let n_sets = dconfig.Cache.Config.sets and ways = dconfig.Cache.Config.ways in
   let used = Array.make n_sets false in
@@ -212,21 +228,44 @@ let compute_dfmm task ~mechanism ~jobs =
     | _ -> None
   in
   let misses = Array.make_matrix n_sets (ways + 1) 0 in
+  let provenance =
+    Array.init n_sets (fun _ -> Array.make (ways + 1) Robust.Rung.Exact)
+  in
   let used_sets =
     Array.of_list (List.filter (fun s -> used.(s)) (List.init n_sets Fun.id))
   in
-  let rows = Parallel.Pool.map ~jobs (compute_dfmm_row task ~mechanism ~srb_hits) used_sets in
-  Array.iteri (fun i set -> misses.(set) <- rows.(i)) used_sets;
-  misses
+  let rows =
+    Parallel.Pool.map_result ?deadline ~jobs (compute_dfmm_row task ~mechanism ~srb_hits)
+      used_sets
+  in
+  let errors = ref [] in
+  Array.iteri
+    (fun i set ->
+      match rows.(i) with
+      | Ok row -> misses.(set) <- row
+      | Error e ->
+        let v = structural_drow task set in
+        let row = Array.make (ways + 1) v in
+        row.(0) <- 0;
+        misses.(set) <- row;
+        let p = Array.make (ways + 1) Robust.Rung.Structural in
+        p.(0) <- Robust.Rung.Exact;
+        provenance.(set) <- p;
+        errors := (set, e) :: !errors)
+    used_sets;
+  (misses, provenance, List.rev !errors)
 
-let estimate task ~pfail ~imech ~dmech ?(jobs = 1) () =
+let estimate task ~pfail ~imech ~dmech ?(jobs = 1) ?budget () =
   let ifmm =
     Pwcet.Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.iconfig
-      ~mechanism:imech ~jobs ~ctx:task.ictx ()
+      ~mechanism:imech ~jobs ~ctx:task.ictx ?budget ()
+  in
+  let deadline =
+    match budget with Some b -> b.Robust.Budget.deadline | None -> None
   in
   let dfmm =
-    Pwcet.Fmm.of_table ~config:task.dconfig ~mechanism:dmech
-      (compute_dfmm task ~mechanism:dmech ~jobs)
+    let misses, provenance, errors = compute_dfmm task ~mechanism:dmech ~jobs ?deadline () in
+    Pwcet.Fmm.of_table ~config:task.dconfig ~mechanism:dmech ~provenance ~errors misses
   in
   let ipbf = Fault.Model.pbf_of_config ~pfail task.iconfig in
   let dpbf = Fault.Model.pbf_of_config ~pfail task.dconfig in
@@ -238,3 +277,8 @@ let estimate task ~pfail ~imech ~dmech ?(jobs = 1) () =
 let pwcet e ~target = e.task.wcet_ff + Dist.quantile e.penalty ~target
 
 let dfmm_misses e ~set ~faulty = Pwcet.Fmm.misses e.dfmm ~set ~faulty
+
+let worst_rung e =
+  Robust.Rung.worst (Pwcet.Fmm.worst_rung e.ifmm) (Pwcet.Fmm.worst_rung e.dfmm)
+
+let degradation_errors e = Pwcet.Fmm.errors e.ifmm @ Pwcet.Fmm.errors e.dfmm

@@ -43,13 +43,24 @@ val estimate :
   imech:Pwcet.Mechanism.t ->
   dmech:Pwcet.Mechanism.t ->
   ?jobs:int ->
+  ?budget:Robust.Budget.t ->
   unit ->
   estimate
 (** [jobs] (default 1) runs the independent per-set analyses of both
     caches' FMMs (and the per-set penalty builds) on that many OCaml
-    domains; results are identical for every value. *)
+    domains; results are identical for every value. [budget] flows
+    into the instruction-cache FMM (see {!Pwcet.Fmm.compute}); its
+    deadline also guards the data-cache rows, where a crashed or
+    deadline-starved per-set worker falls back to a constant
+    structural row tagged [Structural] instead of aborting. *)
 
 val pwcet : estimate -> target:float -> int
 
 val dfmm_misses : estimate -> set:int -> faulty:int -> int
 (** Data-cache fault-miss-map entries (for reporting and tests). *)
+
+val worst_rung : estimate -> Robust.Rung.t
+(** Loosest degradation rung across both caches' FMMs. *)
+
+val degradation_errors : estimate -> (int * Robust.Pwcet_error.t) list
+(** Per-set failures from both FMM stages (instruction first). *)

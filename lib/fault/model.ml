@@ -1,18 +1,37 @@
 module B = Numeric.Binomial
 module Pf = Numeric.Probfloat
 
-let pbf ~pfail ~block_bits = Pf.one_minus_pow_one_minus ~p:pfail ~k:block_bits
+(* Probabilities enter here from user input (CLI flags, config files);
+   reject NaN and infinities explicitly — [p < 0.0 || p > 1.0] is false
+   for NaN, so a plain range check would let NaN poison every
+   downstream distribution silently. *)
+let validate_prob ~what p =
+  if not (Float.is_finite p) then
+    invalid_arg (Printf.sprintf "Model.%s: probability must be finite, got %h" what p);
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Model.%s: probability %g outside [0, 1]" what p)
+
+let pbf ~pfail ~block_bits =
+  validate_prob ~what:"pbf" pfail;
+  Pf.one_minus_pow_one_minus ~p:pfail ~k:block_bits
 
 let pbf_of_config ~pfail cfg = pbf ~pfail ~block_bits:(Cache.Config.block_bits cfg)
 
-let pwf ~ways ~pbf w = B.pmf ~n:ways ~p:pbf w
+let pwf ~ways ~pbf w =
+  validate_prob ~what:"pwf" pbf;
+  B.pmf ~n:ways ~p:pbf w
 
 let pwf_rw ~ways ~pbf w =
   if ways <= 0 then invalid_arg "Model.pwf_rw: non-positive ways";
+  validate_prob ~what:"pwf_rw" pbf;
   B.pmf ~n:(ways - 1) ~p:pbf w
 
-let way_distribution ~ways ~pbf = Array.init (ways + 1) (pwf ~ways ~pbf)
+let way_distribution ~ways ~pbf =
+  validate_prob ~what:"way_distribution" pbf;
+  Array.init (ways + 1) (pwf ~ways ~pbf)
 
-let way_distribution_rw ~ways ~pbf = Array.init (ways + 1) (pwf_rw ~ways ~pbf)
+let way_distribution_rw ~ways ~pbf =
+  validate_prob ~what:"way_distribution_rw" pbf;
+  Array.init (ways + 1) (pwf_rw ~ways ~pbf)
 
 let prob_all_ways_faulty ~ways ~pbf = pwf ~ways ~pbf ways

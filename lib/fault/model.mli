@@ -4,7 +4,12 @@
     block is disabled if any of its [K] bits is faulty (eq. 1); the
     number of faulty ways in a set follows a binomial law over the
     [W] ways (eq. 2), or over [W - 1] ways under the RW mechanism,
-    which masks faults in the reliable way (eq. 3). *)
+    which masks faults in the reliable way (eq. 3).
+
+    All probability inputs ([pfail], [pbf]) are validated: NaN,
+    infinities, and values outside [0, 1] raise [Invalid_argument]
+    with the offending entry point named — they would otherwise poison
+    every downstream distribution silently. *)
 
 val pbf : pfail:float -> block_bits:int -> float
 (** Eq. 1: [1 - (1 - pfail)^K], computed without cancellation. *)

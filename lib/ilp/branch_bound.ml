@@ -6,12 +6,18 @@ type result =
   | Infeasible
   | Unbounded
 
+type status =
+  | Finished of result
+  | Exhausted
+
 (* A subproblem is the base LP plus variable bound cuts. *)
 type cut = {
   var : Lp.var;
   relation : Lp.relation;
   bound : Bigint.t;
 }
+
+exception Out_of_budget
 
 let rebuild base cuts =
   let lp = Lp.create () in
@@ -37,13 +43,20 @@ let first_fractional base (sol : Simplex.solution) =
   in
   go 0
 
-let solve ?(max_nodes = 100_000) base =
+let solve_within ?(max_nodes = Robust.Budget.default_ilp_nodes) ?deadline base =
   let incumbent = ref None in
   let nodes = ref 0 in
   let root_unbounded = ref false in
+  let deadline_passed () =
+    match deadline with
+    | None -> false
+    (* Poll the clock only every 32 nodes: gettimeofday per node would
+       dominate the tiny LP re-solves of IPET trees. *)
+    | Some d -> !nodes land 31 = 0 && Robust.Budget.now () > d
+  in
   let rec branch cuts =
     incr nodes;
-    if !nodes > max_nodes then failwith "Branch_bound.solve: node budget exhausted";
+    if !nodes > max_nodes || deadline_passed () then raise Out_of_budget;
     match Simplex.solve (rebuild base cuts) with
     | Simplex.Infeasible -> ()
     | Simplex.Unbounded ->
@@ -64,6 +77,22 @@ let solve ?(max_nodes = 100_000) base =
             branch ({ var = v; relation = Lp.Ge; bound = Rat.ceil value } :: cuts)
       end
   in
-  branch [];
-  if !root_unbounded then Unbounded
-  else match !incumbent with Some sol -> Optimal sol | None -> Infeasible
+  (* One unconditional clock read at entry: an already-expired deadline
+     must exhaust deterministically even when the tree would finish
+     inside the first polling window. *)
+  let expired_at_entry =
+    match deadline with None -> false | Some d -> Robust.Budget.now () > d
+  in
+  if expired_at_entry then Exhausted
+  else
+    match branch [] with
+    | () ->
+      Finished
+        (if !root_unbounded then Unbounded
+         else match !incumbent with Some sol -> Optimal sol | None -> Infeasible)
+    | exception Out_of_budget -> Exhausted
+
+let solve ?(max_nodes = Robust.Budget.default_ilp_nodes) base =
+  match solve_within ~max_nodes base with
+  | Finished r -> r
+  | Exhausted -> failwith "Branch_bound.solve: node budget exhausted"

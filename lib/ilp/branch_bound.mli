@@ -10,6 +10,22 @@ type result =
   | Infeasible
   | Unbounded  (** the root relaxation is unbounded *)
 
+type status =
+  | Finished of result
+  | Exhausted
+      (** the node budget or deadline ran out before the search
+          finished — no partial answer is exposed (an incumbent found
+          early could {e under}-approximate the maximum, which WCET
+          soundness forbids); callers degrade to the LP relaxation
+          instead (see {!Solver.bounded_objective}). *)
+
+val solve_within : ?max_nodes:int -> ?deadline:float -> Lp.t -> status
+(** Budgeted search: at most [max_nodes] subproblems (default
+    {!Robust.Budget.default_ilp_nodes}) and, when [deadline] (absolute,
+    {!Robust.Budget.now} scale) is given, stops once it passes. Never
+    raises on exhaustion. *)
+
 val solve : ?max_nodes:int -> Lp.t -> result
-(** @raise Failure when the node budget (default 100000) is exhausted —
+(** Compatibility wrapper over {!solve_within}.
+    @raise Failure when the node budget (default 100000) is exhausted —
     never silently under-approximates. *)

@@ -1,5 +1,8 @@
 module Rat = Numeric.Rat
 module Bigint = Numeric.Bigint
+module Budget = Robust.Budget
+module Rung = Robust.Rung
+module E = Robust.Pwcet_error
 
 type outcome = {
   objective : Rat.t;
@@ -11,6 +14,11 @@ type result =
   | Solution of outcome
   | Infeasible
   | Unbounded
+
+type bound = {
+  value : int;
+  rung : Rung.t;
+}
 
 let is_integral lp (sol : Simplex.solution) =
   let n = Array.length sol.Simplex.values in
@@ -54,3 +62,31 @@ let objective_upper_bound lp =
   | Solution o -> Bigint.to_int_exn (Rat.ceil o.objective)
   | Infeasible -> failwith "Solver.objective_upper_bound: infeasible model"
   | Unbounded -> failwith "Solver.objective_upper_bound: unbounded model"
+
+(* --- degradation ladder --------------------------------------------------- *)
+
+let ceil_int (r : Rat.t) = Bigint.to_int_exn (Rat.ceil r)
+
+(* Rung 2 of the ladder: the LP relaxation. For a maximisation ILP the
+   relaxation optimum always dominates the integer optimum, so its
+   ceiling is a sound (looser) WCET-style bound. *)
+let relaxed_bound lp =
+  match Simplex.solve lp with
+  | Simplex.Optimal sol -> Ok { value = ceil_int sol.Simplex.objective; rung = Rung.Relaxed }
+  | Simplex.Infeasible -> Error (E.Infeasible "LP relaxation is infeasible")
+  | Simplex.Unbounded -> Error (E.Unbounded "LP relaxation is unbounded")
+
+let bounded_objective ?(budget = Budget.unlimited) ?(exact = true) lp =
+  if not exact then relaxed_bound lp
+  else begin
+    let max_nodes = Option.value budget.Budget.ilp_nodes ~default:Budget.default_ilp_nodes in
+    match Branch_bound.solve_within ~max_nodes ?deadline:budget.Budget.deadline lp with
+    | Branch_bound.Finished (Branch_bound.Optimal sol) ->
+      Ok { value = ceil_int sol.Simplex.objective; rung = Rung.Exact }
+    | Branch_bound.Finished Branch_bound.Infeasible -> Error (E.Infeasible "ILP is infeasible")
+    | Branch_bound.Finished Branch_bound.Unbounded -> Error (E.Unbounded "ILP is unbounded")
+    | Branch_bound.Exhausted ->
+      (* Degrade: the exact search ran out of nodes or time; fall back
+         to the (always-terminating) relaxation bound. *)
+      relaxed_bound lp
+  end

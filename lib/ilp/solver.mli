@@ -12,6 +12,11 @@ type result =
   | Infeasible
   | Unbounded
 
+type bound = {
+  value : int;  (** smallest integer >= the solved objective *)
+  rung : Robust.Rung.t;  (** the ladder rung that produced it *)
+}
+
 val relaxation : Lp.t -> result
 (** LP relaxation only. For maximisation, its objective is always a
     sound {e upper} bound on the ILP optimum. *)
@@ -25,6 +30,19 @@ val maximize : ?exact:bool -> Lp.t -> result
     to branch-and-bound. With [exact:false] a fractional relaxation
     result is returned as-is — still a sound WCET bound, possibly a
     slightly conservative one. *)
+
+val bounded_objective :
+  ?budget:Robust.Budget.t -> ?exact:bool -> Lp.t -> (bound, Robust.Pwcet_error.t) Stdlib.result
+(** The budgeted two-rung solver ladder for maximisation ILPs:
+    branch-and-bound within [budget] (node cap and deadline), degrading
+    to the LP-relaxation upper bound when the budget runs out — sound
+    because relaxing integrality can only increase a maximum. With
+    [exact:false] the relaxation is used directly (rung [Relaxed]).
+    [Error] only on genuinely broken models ([Infeasible] /
+    [Unbounded]); the third, LP-free rung ([Structural]) is assembled
+    by the IPET layer, which owns the loop-bound information
+    ({!Ipet.Wcet.structural_bound}, {!Ipet.Delta.structural_extra_misses}).
+    Never raises. *)
 
 val objective_upper_bound : Lp.t -> int
 (** Smallest integer [>=] the relaxation optimum: the sound WCET-style

@@ -1,6 +1,8 @@
 module Lp = Ilp.Lp
 module Chmc = Cache_analysis.Chmc
 module Context = Cache_analysis.Context
+module Rung = Robust.Rung
+module E = Robust.Pwcet_error
 
 (* Per-execution miss indicator of a classification (first-miss counts
    through its one-shot variable instead). *)
@@ -47,7 +49,47 @@ let node_delta ~graph ~baseline ~degraded ~member u =
   done;
   (!per_exec, !shots)
 
-let extra_misses_ilp ~graph ~loops ~baseline ~degraded ~member ~candidates ~exact =
+(* Shared candidate-node enumeration: with a context, only the sets'
+   touching nodes (the others cannot reference the sets, hence
+   contribute nothing); otherwise every reachable node. *)
+let candidate_nodes ~graph ~sets ?ctx () =
+  match ctx with
+  | Some ctx ->
+    List.concat_map (fun s -> Array.to_list ctx.Context.touching.(s)) sets
+    |> List.sort_uniq compare
+  | None ->
+    let n = Cfg.Graph.node_count graph in
+    let reachable = Array.make n false in
+    Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+    List.filter (fun u -> reachable.(u)) (List.init n Fun.id)
+
+let member_of_sets ~config ~sets =
+  let member = Array.make config.Cache.Config.sets false in
+  List.iter (fun s -> member.(s) <- true) sets;
+  member
+
+(* The [Structural] rung for miss deltas: each reference to a selected
+   set turns into at most one extra miss per execution of its node, and
+   executions are bounded by the loop-bound product. Needs neither a
+   degraded classification nor a solver, so it also serves as the
+   fallback FMM row for a crashed or deadline-starved worker. *)
+let structural_of_candidates ~graph ~loops ~baseline ~member candidates =
+  List.fold_left
+    (fun acc u ->
+      let node = Cfg.Graph.node graph u in
+      let refs = ref 0 in
+      for k = 0 to node.Cfg.Graph.len - 1 do
+        if member.(Chmc.cache_set baseline ~node:u ~offset:k) then incr refs
+      done;
+      Model.sat_add acc (Model.sat_mul !refs (Model.execution_count_bound loops u)))
+    0 candidates
+
+let structural_extra_misses ~graph ~loops ~config ~baseline ~sets ?ctx () =
+  let member = member_of_sets ~config ~sets in
+  let candidates = candidate_nodes ~graph ~sets ?ctx () in
+  structural_of_candidates ~graph ~loops ~baseline ~member candidates
+
+let extra_misses_ilp ~graph ~loops ~baseline ~degraded ~member ~candidates ~exact ?budget () =
   let model = Model.build graph loops in
   let lp = Model.lp model in
   let coeffs : (Lp.var, int) Hashtbl.t = Hashtbl.create 64 in
@@ -81,20 +123,16 @@ let extra_misses_ilp ~graph ~loops ~baseline ~degraded ~member ~candidates ~exac
         end
       end)
     candidates;
-  if not !any_delta then 0
+  if not !any_delta then Ok (0, Rung.Exact)
   else begin
     Lp.set_objective_int lp (Hashtbl.fold (fun v c acc -> (v, c) :: acc) coeffs []);
-    let bound =
-      if exact then begin
-        match Ilp.Solver.integer lp with
-        | Ilp.Solver.Solution o ->
-          Numeric.Bigint.to_int_exn (Numeric.Rat.ceil o.Ilp.Solver.objective)
-        | Ilp.Solver.Infeasible -> failwith "Delta.extra_misses: infeasible model"
-        | Ilp.Solver.Unbounded -> failwith "Delta.extra_misses: unbounded model"
-      end
-      else Ilp.Solver.objective_upper_bound lp
-    in
-    max 0 (bound + !constant)
+    match Ilp.Solver.bounded_objective ?budget ~exact lp with
+    | Ok { Ilp.Solver.value; rung } -> Ok (max 0 (value + !constant), rung)
+    | Error (E.Unbounded _ | E.Budget_exhausted _) ->
+      Ok
+        ( structural_of_candidates ~graph ~loops ~baseline ~member candidates,
+          Rung.Structural )
+    | Error e -> Error e
   end
 
 let extra_misses_path ~graph ~loops ~baseline ~degraded ~member ~candidates =
@@ -113,24 +151,18 @@ let extra_misses_path ~graph ~loops ~baseline ~degraded ~member ~candidates =
   else
     Path_engine.longest ~graph ~loops ~node_cost:(fun u -> per_exec.(u)) ~one_shots:!one_shots
 
+let extra_misses_result ~graph ~loops ~config ~baseline ~degraded ~sets ?ctx ?(engine = `Path)
+    ?(exact = false) ?budget () =
+  let member = member_of_sets ~config ~sets in
+  let candidates = candidate_nodes ~graph ~sets ?ctx () in
+  match engine with
+  | `Path -> Ok (extra_misses_path ~graph ~loops ~baseline ~degraded ~member ~candidates, Rung.Exact)
+  | `Ilp -> extra_misses_ilp ~graph ~loops ~baseline ~degraded ~member ~candidates ~exact ?budget ()
+
 let extra_misses ~graph ~loops ~config ~baseline ~degraded ~sets ?ctx ?(engine = `Path)
     ?(exact = false) () =
-  let member = Array.make config.Cache.Config.sets false in
-  List.iter (fun s -> member.(s) <- true) sets;
-  (* Nodes that can carry a delta. With a context, only the sets'
-     touching nodes are scanned (the others cannot reference the sets,
-     hence contribute nothing); otherwise every reachable node is. *)
-  let candidates =
-    match ctx with
-    | Some ctx ->
-      List.concat_map (fun s -> Array.to_list ctx.Context.touching.(s)) sets
-      |> List.sort_uniq compare
-    | None ->
-      let n = Cfg.Graph.node_count graph in
-      let reachable = Array.make n false in
-      Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
-      List.filter (fun u -> reachable.(u)) (List.init n Fun.id)
-  in
-  match engine with
-  | `Path -> extra_misses_path ~graph ~loops ~baseline ~degraded ~member ~candidates
-  | `Ilp -> extra_misses_ilp ~graph ~loops ~baseline ~degraded ~member ~candidates ~exact
+  match
+    extra_misses_result ~graph ~loops ~config ~baseline ~degraded ~sets ?ctx ~engine ~exact ()
+  with
+  | Ok (v, _) -> v
+  | Error e -> E.raise_error e

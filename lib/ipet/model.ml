@@ -95,6 +95,19 @@ let entry_terms_of_loop t (l : Cfg.Loop.loop) =
   let const = if l.Cfg.Loop.header = t.graph.Cfg.Graph.entry then 1 else 0 in
   (terms, const)
 
+(* Saturating arithmetic for the structural bounds: deep loop nests can
+   overflow a product of (bound + 1) factors; clamping at [max_int]
+   keeps the bound sound (it only ever gets looser). Operands are
+   non-negative. *)
+let sat_add a b = if a > max_int - b then max_int else a + b
+let sat_mul a b = if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+
+let execution_count_bound loops u =
+  List.fold_left
+    (fun acc (l : Cfg.Loop.loop) -> sat_mul acc (sat_add l.Cfg.Loop.bound 1))
+    1
+    (Cfg.Loop.loops_containing loops u)
+
 let add_capped_counter t ~name ~node ~cap =
   let y = Lp.add_var t.lp ~name () in
   let exec_terms, exec_const = execution_terms t node in

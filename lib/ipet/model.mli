@@ -32,3 +32,14 @@ val entry_terms_of_loop : t -> Cfg.Loop.loop -> (Ilp.Lp.var * int) list * int
 val add_capped_counter : t -> name:string -> node:int -> cap:(Ilp.Lp.var * int) list * int -> Ilp.Lp.var
 (** A fresh variable [y] with [0 <= y <= execution count of node] and
     [y <= cap] — the shape of every first-miss counter. *)
+
+val execution_count_bound : Cfg.Loop.loop list -> int -> int
+(** Structural (LP-free) bound on the execution count of a node: the
+    product of [(bound + 1)] over its enclosing loops ([1] outside any
+    loop). Always dominates every feasible IPET execution count — the
+    basis of the [Structural] degradation rung. Saturates at [max_int]
+    instead of overflowing. *)
+
+val sat_add : int -> int -> int
+val sat_mul : int -> int -> int
+(** Saturating non-negative arithmetic used by the structural bounds. *)

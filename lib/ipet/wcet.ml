@@ -1,5 +1,7 @@
 module Lp = Ilp.Lp
 module Chmc = Cache_analysis.Chmc
+module Rung = Robust.Rung
+module E = Robust.Pwcet_error
 
 type result = {
   wcet : int;
@@ -36,7 +38,26 @@ let node_costs ~graph ~chmc ~config u =
   done;
   (!per_exec, !shots)
 
-let compute_ilp ~graph ~loops ~chmc ~config ~exact =
+(* The bottom rung of the degradation ladder: every fetch pays the full
+   miss latency, every node runs its loop-bound-product count. No LP is
+   involved, so this bound is available even when the solver cannot
+   finish; it dominates both the exact ILP optimum and the relaxation. *)
+let structural_bound ~graph ~loops ~config =
+  let miss = config.Cache.Config.miss_latency in
+  let reachable = Array.make (Cfg.Graph.node_count graph) false in
+  Array.iter (fun u -> reachable.(u) <- true) (Cfg.Graph.reverse_postorder graph);
+  let total = ref 0 in
+  Array.iteri
+    (fun u r ->
+      if r then begin
+        let node = Cfg.Graph.node graph u in
+        let per_exec = Model.sat_mul node.Cfg.Graph.len miss in
+        total := Model.sat_add !total (Model.sat_mul per_exec (Model.execution_count_bound loops u))
+      end)
+    reachable;
+  !total
+
+let compute_ilp ~graph ~loops ~chmc ~config ~exact ?budget () =
   let model = Model.build graph loops in
   let lp = Model.lp model in
   let coeffs : (Lp.var, int) Hashtbl.t = Hashtbl.create 64 in
@@ -68,16 +89,15 @@ let compute_ilp ~graph ~loops ~chmc ~config ~exact =
     end
   done;
   Lp.set_objective_int lp (Hashtbl.fold (fun v c acc -> (v, c) :: acc) coeffs []);
-  let bound =
-    if exact then begin
-      match Ilp.Solver.integer lp with
-      | Ilp.Solver.Solution o -> Numeric.Bigint.to_int_exn (Numeric.Rat.ceil o.Ilp.Solver.objective)
-      | Ilp.Solver.Infeasible -> failwith "Wcet.compute: infeasible IPET model"
-      | Ilp.Solver.Unbounded -> failwith "Wcet.compute: unbounded IPET model (missing loop bound?)"
-    end
-    else Ilp.Solver.objective_upper_bound lp
-  in
-  { wcet = bound + !constant; lp_size = (Lp.num_vars lp, List.length (Lp.constraints lp)) }
+  let lp_size = (Lp.num_vars lp, List.length (Lp.constraints lp)) in
+  match Ilp.Solver.bounded_objective ?budget ~exact lp with
+  | Ok { Ilp.Solver.value; rung } ->
+    Ok ({ wcet = Model.sat_add value !constant; lp_size }, rung)
+  | Error (E.Unbounded _ | E.Budget_exhausted _) ->
+    (* Both remaining LP rungs are unusable; fall to the structural
+       bound, which needs no solver at all. *)
+    Ok ({ wcet = structural_bound ~graph ~loops ~config; lp_size }, Rung.Structural)
+  | Error e -> Error e
 
 let compute_path ~graph ~loops ~chmc ~config =
   let n = Cfg.Graph.node_count graph in
@@ -97,7 +117,12 @@ let compute_path ~graph ~loops ~chmc ~config =
   in
   { wcet; lp_size = (0, 0) }
 
-let compute ~graph ~loops ~chmc ~config ?(engine = `Path) ?(exact = false) () =
+let compute_result ~graph ~loops ~chmc ~config ?(engine = `Path) ?(exact = false) ?budget () =
   match engine with
-  | `Path -> compute_path ~graph ~loops ~chmc ~config
-  | `Ilp -> compute_ilp ~graph ~loops ~chmc ~config ~exact
+  | `Path -> Ok (compute_path ~graph ~loops ~chmc ~config, Rung.Exact)
+  | `Ilp -> compute_ilp ~graph ~loops ~chmc ~config ~exact ?budget ()
+
+let compute ~graph ~loops ~chmc ~config ?(engine = `Path) ?(exact = false) ?budget () =
+  match compute_result ~graph ~loops ~chmc ~config ~engine ~exact ?budget () with
+  | Ok (r, _) -> r
+  | Error e -> E.raise_error e

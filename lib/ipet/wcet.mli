@@ -14,7 +14,12 @@
 
     Both are sound upper bounds; on loop-structured programs they agree
     up to the slightly more conservative one-shot accounting of the path
-    engine (tested against each other in [test/test_ipet.ml]). *)
+    engine (tested against each other in [test/test_ipet.ml]).
+
+    The ILP engine degrades rather than fails when the solver budget
+    runs out: exact branch-and-bound -> LP relaxation -> structural
+    loop-bound product ({!structural_bound}); the rung returned by
+    {!compute_result} records which one produced the bound. *)
 
 type result = {
   wcet : int;  (** cycles: instruction-cache contribution only *)
@@ -32,6 +37,30 @@ val node_costs :
     exposed for engines that combine several cost sources (the
     data-cache extension). *)
 
+val structural_bound :
+  graph:Cfg.Graph.t -> loops:Cfg.Loop.loop list -> config:Cache.Config.t -> int
+(** The [Structural] degradation rung: every reachable fetch pays the
+    miss latency, weighted by {!Model.execution_count_bound}. Dominates
+    the exact WCET for every classification, with no LP solved. *)
+
+val compute_result :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  chmc:Cache_analysis.Chmc.t ->
+  config:Cache.Config.t ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  ?budget:Robust.Budget.t ->
+  unit ->
+  (result * Robust.Rung.t, Robust.Pwcet_error.t) Stdlib.result
+(** [exact] (ILP engine only): branch-and-bound instead of the LP
+    relaxation bound. [budget] caps the branch-and-bound search; when
+    it runs out, the bound degrades one rung (relaxation, then the
+    structural bound) instead of failing. [Error] only on genuinely
+    broken models ([Infeasible] — an inconsistent flow system). The
+    path engine is exact for its cost model and never consults the
+    budget. *)
+
 val compute :
   graph:Cfg.Graph.t ->
   loops:Cfg.Loop.loop list ->
@@ -39,7 +68,8 @@ val compute :
   config:Cache.Config.t ->
   ?engine:[ `Path | `Ilp ] ->
   ?exact:bool ->
+  ?budget:Robust.Budget.t ->
   unit ->
   result
-(** [exact] (ILP engine only): branch-and-bound instead of the LP
-    relaxation bound. *)
+(** Raising wrapper over {!compute_result} (drops the rung).
+    @raise Robust.Pwcet_error.Error on [Error] outcomes. *)

@@ -1,3 +1,5 @@
+module E = Robust.Pwcet_error
+
 let default_jobs () = Domain.recommended_domain_count ()
 
 let mapi ~jobs f input =
@@ -32,3 +34,39 @@ let mapi ~jobs f input =
   end
 
 let map ~jobs f input = mapi ~jobs (fun _ x -> f x) input
+
+(* Crash-isolating variant: every item gets its own outcome, a raising
+   item poisons only its own slot, and items picked up after the
+   deadline are refused without running. Unlike [mapi], nothing aborts
+   the remaining work — independent items survive a crashing sibling. *)
+let mapi_result ?deadline ~jobs f input =
+  let past_deadline () =
+    match deadline with None -> false | Some d -> Robust.Budget.now () > d
+  in
+  let item i x =
+    if past_deadline () then
+      Error (E.Budget_exhausted (Printf.sprintf "Pool.mapi_result: deadline expired before item %d" i))
+    else
+      match f i x with
+      | v -> Ok v
+      | exception e -> Error (E.Worker_crash (Printexc.to_string e))
+  in
+  let n = Array.length input in
+  if jobs <= 1 || n <= 1 then Array.mapi item input
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false else results.(i) <- Some (item i input.(i))
+      done
+    in
+    let spawned = Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_result ?deadline ~jobs f input = mapi_result ?deadline ~jobs (fun _ x -> f x) input

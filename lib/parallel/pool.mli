@@ -16,7 +16,9 @@
 
     If [f] raises, remaining elements are abandoned, all domains are
     joined, and the first exception observed is re-raised (with its
-    backtrace) in the calling domain. *)
+    backtrace) in the calling domain. The [_result] variants instead
+    isolate each item's outcome — the graceful-degradation entry
+    points the FMM batch layers build on. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the runtime's estimate of
@@ -26,3 +28,25 @@ val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val mapi : jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Like {!map}, passing each element's index. *)
+
+val mapi_result :
+  ?deadline:float ->
+  jobs:int ->
+  (int -> 'a -> 'b) ->
+  'a array ->
+  ('b, Robust.Pwcet_error.t) Stdlib.result array
+(** Crash-isolating {!mapi}: one outcome per item, in input order.
+    An item whose [f] raises yields [Error (Worker_crash text)] (with
+    the original exception text) without disturbing its siblings; when
+    [deadline] (absolute, {!Robust.Budget.now} scale) has passed before
+    an item starts, that item yields [Error (Budget_exhausted _)]
+    without running. Outcomes of items that do run are independent of
+    [jobs]; never raises and never aborts remaining items. *)
+
+val map_result :
+  ?deadline:float ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, Robust.Pwcet_error.t) Stdlib.result array
+(** {!mapi_result} without the index. *)

@@ -163,7 +163,10 @@ let exceedance t x =
   if i >= n then 0.0 else t.suffix.(i)
 
 let quantile t ~target =
-  if target < 0.0 then invalid_arg "Dist.quantile: negative target";
+  (* NaN fails every comparison, so [target < 0.0] alone would accept
+     it and the binary search below would return nonsense. *)
+  if not (Float.is_finite target) || target < 0.0 then
+    invalid_arg "Dist.quantile: target must be finite and non-negative";
   let n = Array.length t.penalties in
   if n = 0 || exceedance t 0 <= target then 0
   else begin

@@ -1,0 +1,34 @@
+type t = {
+  ilp_nodes : int option;
+  fixpoint_iters : int option;
+  deadline : float option;
+}
+
+let unlimited = { ilp_nodes = None; fixpoint_iters = None; deadline = None }
+
+let default_ilp_nodes = 100_000
+
+let now () = Unix.gettimeofday ()
+
+let make ?ilp_nodes ?fixpoint_iters ?timeout () =
+  let positive what = function
+    | Some n when n < 0 -> invalid_arg ("Budget.make: negative " ^ what)
+    | v -> v
+  in
+  (match timeout with
+  | Some s when (not (Float.is_finite s)) || s < 0.0 ->
+    invalid_arg "Budget.make: timeout must be finite and non-negative"
+  | _ -> ());
+  {
+    ilp_nodes = positive "ilp_nodes" ilp_nodes;
+    fixpoint_iters = positive "fixpoint_iters" fixpoint_iters;
+    deadline = Option.map (fun s -> now () +. s) timeout;
+  }
+
+let expired t =
+  match t.deadline with None -> false | Some d -> now () > d
+
+let check_deadline ~what t =
+  if expired t then
+    Error (Pwcet_error.Budget_exhausted (what ^ ": wall-clock deadline expired"))
+  else Ok ()

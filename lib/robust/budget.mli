@@ -1,0 +1,36 @@
+(** Resource budgets for the analysis pipeline.
+
+    A budget caps the three places the pipeline can burn unbounded
+    time: branch-and-bound node expansion, abstract-interpretation
+    fixpoint iteration, and wall-clock time of a whole batch.
+    Exceeding a cap is never a crash: solvers report
+    {!Pwcet_error.Budget_exhausted} and the callers degrade to a
+    looser sound bound (see {!Rung}). *)
+
+type t = {
+  ilp_nodes : int option;  (** branch-and-bound node cap *)
+  fixpoint_iters : int option;  (** worklist-pop cap per fixpoint run *)
+  deadline : float option;  (** absolute wall-clock instant, {!now} scale *)
+}
+
+val unlimited : t
+(** No caps at all: the exact pre-degradation behaviour. *)
+
+val default_ilp_nodes : int
+(** The historical [Branch_bound.solve] default (100_000), used when a
+    budget caps nothing. *)
+
+val make : ?ilp_nodes:int -> ?fixpoint_iters:int -> ?timeout:float -> unit -> t
+(** [timeout] is in seconds {e from now}; it is converted to an
+    absolute deadline at creation time, so one budget value threads a
+    single deadline through every stage of a run.
+    @raise Invalid_argument on a negative or non-finite cap. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]) — the deadline scale. *)
+
+val expired : t -> bool
+(** Whether the deadline (if any) has passed. *)
+
+val check_deadline : what:string -> t -> (unit, Pwcet_error.t) result
+(** [Error (Budget_exhausted _)] naming [what] once {!expired}. *)

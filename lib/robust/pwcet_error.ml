@@ -1,0 +1,38 @@
+type t =
+  | Infeasible of string
+  | Unbounded of string
+  | Budget_exhausted of string
+  | Fixpoint_divergence of string
+  | Invalid_input of string
+  | Worker_crash of string
+
+exception Error of t
+
+let category = function
+  | Infeasible _ -> "infeasible"
+  | Unbounded _ -> "unbounded"
+  | Budget_exhausted _ -> "budget-exhausted"
+  | Fixpoint_divergence _ -> "fixpoint-divergence"
+  | Invalid_input _ -> "invalid-input"
+  | Worker_crash _ -> "worker-crash"
+
+let message = function
+  | Infeasible m
+  | Unbounded m
+  | Budget_exhausted m
+  | Fixpoint_divergence m
+  | Invalid_input m
+  | Worker_crash m ->
+    m
+
+let to_string t = category t ^ ": " ^ message t
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let raise_error t = raise (Error t)
+
+(* Readable [Printexc.to_string] output for the wrappers. *)
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some ("Robust.Pwcet_error.Error (" ^ to_string t ^ ")")
+    | _ -> None)

@@ -1,0 +1,50 @@
+(** Typed pipeline errors — the error half of every [result]-typed
+    analysis outcome in the degradation layer.
+
+    The taxonomy is deliberately small and spans every layer of the
+    eq. 1-3 -> CHMC -> FMM -> IPET chain:
+    {ul
+    {- [Infeasible] / [Unbounded]: the ILP itself is broken (an
+       infeasible IPET system means the flow model is inconsistent; an
+       unbounded one means a loop bound is missing) — these are {e
+       model} errors, not resource exhaustion, and no degradation rung
+       can repair them;}
+    {- [Budget_exhausted]: a solver or pool ran out of its
+       {!Budget.t} allowance (ILP nodes, wall-clock deadline) — the
+       caller is expected to degrade to a looser sound bound;}
+    {- [Fixpoint_divergence]: an abstract-interpretation fixpoint
+       exceeded its iteration cap (cannot happen on the finite cache
+       lattices, but the cap turns a hypothetical hang into a typed
+       error);}
+    {- [Invalid_input]: a validation failure (bad geometry,
+       non-probability, malformed table);}
+    {- [Worker_crash]: an exception escaped a pool worker; the payload
+       carries the original exception text so sibling items can
+       survive while the crash stays diagnosable.}} *)
+
+type t =
+  | Infeasible of string
+  | Unbounded of string
+  | Budget_exhausted of string
+  | Fixpoint_divergence of string
+  | Invalid_input of string
+  | Worker_crash of string
+
+exception Error of t
+(** The raising mirror of [t], for the thin compatibility wrappers
+    around the [result]-typed APIs. *)
+
+val category : t -> string
+(** Short stable tag ("infeasible", "budget-exhausted", ...) for
+    reports and tests. *)
+
+val message : t -> string
+(** The constructor payload. *)
+
+val to_string : t -> string
+(** ["category: message"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val raise_error : t -> 'a
+(** [raise (Error t)]. *)

@@ -1,0 +1,19 @@
+type t =
+  | Exact
+  | Relaxed
+  | Structural
+
+let to_string = function
+  | Exact -> "exact"
+  | Relaxed -> "relaxed"
+  | Structural -> "structural"
+
+let rank = function Exact -> 0 | Relaxed -> 1 | Structural -> 2
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let worst a b = if compare a b >= 0 then a else b
+
+let equal a b = rank a = rank b
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

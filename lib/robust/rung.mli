@@ -1,0 +1,33 @@
+(** Degradation-ladder provenance for maximisation bounds.
+
+    Every WCET-style bound the pipeline produces is tagged with the
+    rung that produced it. The ladder only ever moves towards {e
+    looser but still sound} bounds (for a maximisation objective every
+    rung over-approximates the one below it):
+
+    {ul
+    {- [Exact] — branch-and-bound ran to completion (or the tree-based
+       path engine, which is exact for its own cost model);}
+    {- [Relaxed] — the LP relaxation's optimum. Sound for WCET / miss
+       deltas because relaxing integrality of a maximisation ILP can
+       only enlarge the feasible region, hence the optimum;}
+    {- [Structural] — the loop-bound product bound: every node costs
+       its worst per-execution cost at most [prod (bound_l + 1)] times
+       over its enclosing loops. No LP is solved at all.}} *)
+
+type t =
+  | Exact
+  | Relaxed
+  | Structural
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+(** Looseness order: [Exact < Relaxed < Structural]. *)
+
+val worst : t -> t -> t
+(** The looser of the two — how a bound assembled from several
+    sub-bounds is tagged. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -59,6 +59,80 @@ let test_pool_empty_and_singleton () =
   Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:4 (fun x -> x) [||]);
   Alcotest.(check (array int)) "singleton" [| 9 |] (Pool.map ~jobs:4 (fun x -> x * 3) [| 3 |])
 
+(* --- crash-isolating result variants --------------------------------------- *)
+
+let outcome_testable =
+  let pp fmt = function
+    | Ok v -> Format.fprintf fmt "Ok %d" v
+    | Error e -> Format.fprintf fmt "Error (%s)" (Robust.Pwcet_error.to_string e)
+  in
+  Alcotest.testable pp ( = )
+
+let test_mapi_result_isolates_crash () =
+  (* One raising item must poison only its own slot: all 39 siblings
+     keep their values, and the error carries the original exception
+     text. *)
+  List.iter
+    (fun jobs ->
+      let results =
+        Pool.mapi_result ~jobs
+          (fun _ x -> if x = 17 then raise (Boom x) else x * 2)
+          (Array.init 40 Fun.id)
+      in
+      Array.iteri
+        (fun i r ->
+          if i = 17 then
+            match r with
+            | Error (Robust.Pwcet_error.Worker_crash msg) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "jobs=%d original text" jobs)
+                true
+                (String.length msg > 0
+                && String.sub msg (String.length msg - 3) 3 = "17)")
+            | _ -> Alcotest.failf "jobs=%d: item 17 should be Worker_crash" jobs
+          else
+            Alcotest.check outcome_testable
+              (Printf.sprintf "jobs=%d item %d" jobs i)
+              (Ok (i * 2)) r)
+        results)
+    [ 1; 4; 13 ]
+
+let test_mapi_result_deterministic_across_jobs () =
+  let input = Array.init 60 Fun.id in
+  let f _ x = if x mod 11 = 3 then failwith "planned" else x * x in
+  let reference = Pool.mapi_result ~jobs:1 f input in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array outcome_testable))
+        (Printf.sprintf "jobs=%d" jobs)
+        reference
+        (Pool.mapi_result ~jobs f input))
+    [ 2; 4; 13 ]
+
+let test_map_result_deadline () =
+  (* A deadline in the past refuses every item without running it. *)
+  let ran = Atomic.make 0 in
+  let results =
+    Pool.map_result ~deadline:0.0 ~jobs:4
+      (fun x ->
+        Atomic.incr ran;
+        x)
+      (Array.init 20 Fun.id)
+  in
+  Alcotest.(check int) "nothing ran" 0 (Atomic.get ran);
+  Array.iter
+    (function
+      | Error (Robust.Pwcet_error.Budget_exhausted _) -> ()
+      | _ -> Alcotest.fail "expected Budget_exhausted on every item")
+    results
+
+let test_map_result_matches_map_when_clean () =
+  let input = Array.init 50 (fun i -> i + 1) in
+  let f x = (x * 7) mod 13 in
+  Alcotest.(check (array outcome_testable)) "clean run"
+    (Array.map (fun x -> Ok (f x)) input)
+    (Pool.map_result ~jobs:4 f input)
+
 (* --- parallel FMM determinism ---------------------------------------------- *)
 
 let task_of name =
@@ -121,6 +195,11 @@ let () =
         ; Alcotest.test_case "ordered under skew" `Quick test_pool_preserves_order_under_skew
         ; Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception
         ; Alcotest.test_case "edge sizes" `Quick test_pool_empty_and_singleton
+        ; Alcotest.test_case "mapi_result crash isolation" `Quick test_mapi_result_isolates_crash
+        ; Alcotest.test_case "mapi_result deterministic" `Quick
+            test_mapi_result_deterministic_across_jobs
+        ; Alcotest.test_case "map_result deadline" `Quick test_map_result_deadline
+        ; Alcotest.test_case "map_result clean run" `Quick test_map_result_matches_map_when_clean
         ] )
     ; ( "determinism",
         [ Alcotest.test_case "fmm jobs 1 = 4" `Quick test_fmm_jobs_bit_identical
