@@ -15,6 +15,8 @@ check:
 	dune build && dune runtest
 	dune exec bin/pwcet_tool.exe -- analyze fibcall --engine ilp --exact \
 	  --timeout 0.000001 --sets 8 --ways 2
+	dune exec bin/pwcet_tool.exe -- sweep fibcall --pfail-grid 1e-5,1e-4,1e-3 \
+	  --verify --sets 8 --ways 2
 
 test: check
 
@@ -32,9 +34,12 @@ JOBS ?=
 bench:
 	dune exec bench/main.exe -- $(if $(JOBS),-j $(JOBS))
 
-# Naive-vs-sliced FMM engine comparison only; writes BENCH_fmm.json.
+# Machine-readable engine comparisons only: naive-vs-sliced FMM
+# (BENCH_fmm.json) and distribution-engine + pfail-sweep amortisation
+# (BENCH_dist.json).
 bench-json:
 	dune exec bench/main.exe -- --only fmm-json $(if $(JOBS),-j $(JOBS))
+	dune exec bench/main.exe -- --only dist-json $(if $(JOBS),-j $(JOBS))
 
 clean:
 	dune clean

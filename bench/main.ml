@@ -14,6 +14,7 @@
      ablations    engine choice, persistence value, convolution capping
      future work  refined SRB analysis; data-cache transposition
      fmm-json     naive vs sliced FMM engines -> BENCH_fmm.json
+     dist-json    distribution engines + pfail sweep -> BENCH_dist.json
      bechamel     timing of each analysis stage *)
 
 let config = Cache.Config.paper_default
@@ -37,7 +38,8 @@ let jobs =
 
 (* --only NAME: run a single section (the full harness regenerates every
    figure and takes minutes). Names: equations figure1 figure3 figure4
-   geometry ablations future-work data-cache fmm-json bechamel. *)
+   geometry ablations future-work data-cache fmm-json dist-json
+   bechamel. *)
 let only =
   let rec scan = function
     | "--only" :: v :: _ -> Some v
@@ -79,8 +81,8 @@ let section_figure1 () =
   in
   Format.printf "%a@." Pwcet.Fmm.pp fmm;
   let pbf = 0.1 in
-  let d0 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:0 in
-  let d1 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:1 in
+  let d0 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:0 () in
+  let d1 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:1 () in
   let show name d =
     Printf.printf "%s: " name;
     List.iter (fun (x, p) -> Printf.printf "(%d, %.4f) " x p) (Prob.Dist.support d);
@@ -426,6 +428,121 @@ let section_fmm_json () =
   close_out oc;
   Printf.printf "  wrote BENCH_fmm.json\n"
 
+(* --- Distribution engine + sweep comparison (machine-readable) ------------------ *)
+
+(* Two amortisations from the distribution-engine overhaul, quantified
+   on the 64-set geometry and written to BENCH_dist.json:
+     1. total-distribution stage: the grouped engine (shared way PMF,
+        equal-row grouping, power convolution by squaring, merge kernel)
+        vs the reference engine (per-set hash-table convolutions);
+     2. a pfail sweep through Estimator.sweep (FMM computed once) vs
+        independent end-to-end estimates per grid point.
+   Both comparisons assert equal pWCET tables before any timing is
+   reported. *)
+let section_dist_json () =
+  banner "Distribution engine + sweep comparison -> BENCH_dist.json";
+  let wide_config = Cache.Config.make ~sets:64 ~ways:4 ~line_bytes:16 () in
+  let entry = Option.get (Benchmarks.Registry.find "adpcm") in
+  let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
+  let task =
+    Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config:wide_config ()
+  in
+  let time ?(reps = 3) f =
+    let result = f () in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (result, !best)
+  in
+  let targets = [ 1e-9; 1e-12; 1e-15; 1e-18 ] in
+  (* 1. Total-distribution stage, reference vs grouped, same FMM. *)
+  let mechanism = Pwcet.Mechanism.No_protection in
+  let est = Pwcet.Estimator.estimate task ~pfail ~mechanism () in
+  let fmm = est.Pwcet.Estimator.fmm and pbf = est.Pwcet.Estimator.pbf in
+  let reference_d, reference_s =
+    time (fun () -> Pwcet.Penalty.total_distribution ~impl:`Reference ~fmm ~pbf ())
+  in
+  let grouped_d, grouped_s =
+    time (fun () -> Pwcet.Penalty.total_distribution ~impl:`Grouped ~fmm ~pbf ())
+  in
+  let dist_identical =
+    List.for_all
+      (fun target ->
+        Prob.Dist.quantile reference_d ~target = Prob.Dist.quantile grouped_d ~target)
+      targets
+  in
+  let dist_speedup = reference_s /. grouped_s in
+  Printf.printf "  total distribution (%d sets, jobs=1):\n" wide_config.Cache.Config.sets;
+  Printf.printf "    reference engine : %10.6f s\n" reference_s;
+  Printf.printf "    grouped engine   : %10.6f s   (%.2fx)\n" grouped_s dist_speedup;
+  (* 2. pfail sweep vs independent end-to-end runs. The sweep amortises
+     everything pfail-independent — CFG/CHMC/fault-free WCET (prepare)
+     and the FMM — so the honest baseline is what a user without sweep
+     mode runs: the full pipeline once per grid point. *)
+  let grid = [ 1e-8; 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1 ] in
+  let prepare () =
+    Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config:wide_config ()
+  in
+  let swept, sweep_s =
+    time ~reps:2 (fun () ->
+        Pwcet.Estimator.sweep (prepare ()) ~pfail_grid:grid ~mechanism ())
+  in
+  let independent, independent_s =
+    time ~reps:2 (fun () ->
+        List.map (fun pfail -> Pwcet.Estimator.estimate (prepare ()) ~pfail ~mechanism ()) grid)
+  in
+  let sweep_identical =
+    List.for_all2
+      (fun (a : Pwcet.Estimator.estimate) (b : Pwcet.Estimator.estimate) ->
+        Prob.Dist.support a.Pwcet.Estimator.penalty = Prob.Dist.support b.Pwcet.Estimator.penalty
+        && List.for_all
+             (fun target ->
+               Pwcet.Estimator.pwcet a ~target = Pwcet.Estimator.pwcet b ~target)
+             targets)
+      swept independent
+  in
+  let sweep_speedup = independent_s /. sweep_s in
+  Printf.printf "  pfail sweep (%d points):\n" (List.length grid);
+  Printf.printf "    independent runs : %10.6f s\n" independent_s;
+  Printf.printf "    Estimator.sweep  : %10.6f s   (%.2fx)\n" sweep_s sweep_speedup;
+  let identical = dist_identical && sweep_identical in
+  Printf.printf "  tables identical: %b\n" identical;
+  if not identical then failwith "dist-json: engines disagree on pWCET tables";
+  let git_commit =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "unknown" in
+      ignore (Unix.close_process_in ic);
+      line
+    with _ -> "unknown"
+  in
+  let oc = open_out "BENCH_dist.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"adpcm\",\n\
+    \  \"geometry\": { \"sets\": %d, \"ways\": %d, \"line_bytes\": %d },\n\
+    \  \"mechanism\": \"no_protection\",\n\
+    \  \"git_commit\": %S,\n\
+    \  \"runs\": \"best of 3 (stage), best of 2 (sweep)\",\n\
+    \  \"reference_total_dist_s\": %.6f,\n\
+    \  \"grouped_total_dist_s\": %.6f,\n\
+    \  \"speedup_grouped_vs_reference\": %.3f,\n\
+    \  \"sweep_points\": %d,\n\
+    \  \"sweep_s\": %.6f,\n\
+    \  \"independent_s\": %.6f,\n\
+    \  \"speedup_sweep_vs_independent\": %.3f,\n\
+    \  \"tables_identical\": %b\n\
+     }\n"
+    wide_config.Cache.Config.sets wide_config.Cache.Config.ways
+    wide_config.Cache.Config.line_bytes git_commit reference_s grouped_s dist_speedup
+    (List.length grid) sweep_s independent_s sweep_speedup identical;
+  close_out oc;
+  Printf.printf "  wrote BENCH_dist.json\n"
+
 (* --- Bechamel timing ------------------------------------------------------------ *)
 
 let section_bechamel () =
@@ -550,5 +667,6 @@ let () =
   if wanted "future-work" then section_future_work ();
   if wanted "data-cache" then section_data_cache ();
   if wanted "fmm-json" then section_fmm_json ();
+  if wanted "dist-json" then section_dist_json ();
   if wanted "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

@@ -4,6 +4,7 @@
      list                     enumerate the benchmark suite
      disasm <bench>           disassembly of a compiled benchmark
      analyze <bench>          WCET / pWCET analysis of one benchmark
+     sweep <bench>            pWCET across a pfail grid, one analysis per mechanism
      suite                    the Fig. 4 table over the whole suite
      simulate <bench>         Monte-Carlo faulty simulation vs the bound
      audit                    invariant auditor over the whole registry
@@ -282,6 +283,160 @@ let analyze_cmd =
           $ engine_arg $ exact_arg $ jobs_arg $ impl_arg $ ilp_nodes_arg $ timeout_arg
           $ curve_arg $ fmm_arg $ check_arg)
 
+(* --- sweep ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run name grid targets sets ways line engine exact jobs impl ilp_nodes timeout mechanisms
+      json_file verify =
+    let label, compiled = compile_target name in
+    let config = config_of sets ways line in
+    let budget = budget_of ilp_nodes timeout in
+    let task =
+      Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine ~exact
+        ?budget ()
+    in
+    let results =
+      List.map
+        (fun mech ->
+          ( mech,
+            Pwcet.Estimator.sweep task ~pfail_grid:grid ~mechanism:mech ~engine ~exact ~jobs
+              ~impl ?budget () ))
+        mechanisms
+    in
+    Printf.printf "benchmark      : %s\n" label;
+    Format.printf "cache          : %a@." Cache.Config.pp config;
+    Printf.printf "fault-free WCET: %d cycles%s\n" (Pwcet.Estimator.fault_free_wcet task)
+      (rung_tag task.Pwcet.Estimator.wcet_rung);
+    List.iter
+      (fun (mech, ests) ->
+        Printf.printf "\n%s\n" (Pwcet.Mechanism.name mech);
+        Printf.printf "  %-12s" "pfail";
+        List.iter (fun t -> Printf.printf "  pWCET(%g)" t) targets;
+        print_newline ();
+        List.iter
+          (fun est ->
+            Printf.printf "  %-12g" est.Pwcet.Estimator.pfail;
+            List.iter
+              (fun target ->
+                Printf.printf "  %10d" (Pwcet.Estimator.pwcet est ~target))
+              targets;
+            Printf.printf "%s\n" (rung_tag (Pwcet.Estimator.worst_rung est));
+            report_degradation (Pwcet.Mechanism.short_name mech) est)
+          ests)
+      results;
+    (match json_file with
+    | None -> ()
+    | Some file ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "{\n";
+      Printf.bprintf buf "  \"benchmark\": %S,\n" label;
+      Printf.bprintf buf "  \"geometry\": { \"sets\": %d, \"ways\": %d, \"line_bytes\": %d },\n"
+        sets ways line;
+      Printf.bprintf buf "  \"wcet_ff\": %d,\n" (Pwcet.Estimator.fault_free_wcet task);
+      Printf.bprintf buf "  \"targets\": [%s],\n"
+        (String.concat ", " (List.map (Printf.sprintf "%.17g") targets));
+      Buffer.add_string buf "  \"mechanisms\": [\n";
+      List.iteri
+        (fun i (mech, ests) ->
+          Printf.bprintf buf "    { \"mechanism\": %S,\n      \"points\": [\n"
+            (Pwcet.Mechanism.short_name mech);
+          List.iteri
+            (fun j est ->
+              Printf.bprintf buf "        { \"pfail\": %.17g, \"pbf\": %.17g, \"pwcet\": [%s] }%s\n"
+                est.Pwcet.Estimator.pfail est.Pwcet.Estimator.pbf
+                (String.concat ", "
+                   (List.map
+                      (fun target -> string_of_int (Pwcet.Estimator.pwcet est ~target))
+                      targets))
+                (if j = List.length ests - 1 then "" else ","))
+            ests;
+          Printf.bprintf buf "      ] }%s\n" (if i = List.length results - 1 then "" else ","))
+        results;
+      Buffer.add_string buf "  ]\n}\n";
+      let oc = open_out file in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      Printf.printf "\nwrote %s\n" file);
+    if verify then begin
+      (* Re-run every grid point as an independent end-to-end estimate
+         and demand bit-identical penalty distributions and equal pWCET
+         quantiles — the amortisation must be a pure refactoring of the
+         computation, never an approximation. *)
+      let mismatches = ref 0 in
+      List.iter
+        (fun (mech, ests) ->
+          List.iter2
+            (fun pfail est ->
+              let independent =
+                Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~exact ~jobs ~impl
+                  ?budget ()
+              in
+              let same_support =
+                Prob.Dist.support independent.Pwcet.Estimator.penalty
+                = Prob.Dist.support est.Pwcet.Estimator.penalty
+              in
+              let same_quantiles =
+                List.for_all
+                  (fun target ->
+                    Pwcet.Estimator.pwcet independent ~target = Pwcet.Estimator.pwcet est ~target)
+                  targets
+              in
+              if not (same_support && same_quantiles) then begin
+                incr mismatches;
+                Printf.eprintf "verify FAILED: %s pfail=%g differs from an independent estimate\n"
+                  (Pwcet.Mechanism.short_name mech) pfail
+              end)
+            grid ests)
+        results;
+      if !mismatches > 0 then exit 1
+      else Printf.printf "\nverify: all %d sweep points bit-identical to independent estimates\n"
+             (List.length grid * List.length results)
+    end
+  in
+  let grid_arg =
+    Arg.(value & opt (list ~sep:',' prob_conv) [ 1e-6; 1e-5; 1e-4; 1e-3 ]
+         & info [ "pfail-grid" ] ~docv:"P,P,..."
+             ~doc:"Comma-separated pfail grid. The expensive pfail-independent work (CHMC, \
+                   FMM, fault-free WCET) runs once per mechanism; only the binomial \
+                   reweighting, convolution and quantile read-off are redone per point.")
+  in
+  let targets_arg =
+    Arg.(value & opt (list ~sep:',' prob_conv) [ default_target ]
+         & info [ "targets" ] ~docv:"P,P,..."
+             ~doc:"Comma-separated exceedance targets; one pWCET column per target.")
+  in
+  let mechanism_conv =
+    Arg.enum
+      [ ("none", [ Pwcet.Mechanism.No_protection ])
+      ; ("srb", [ Pwcet.Mechanism.Shared_reliable_buffer ])
+      ; ("rw", [ Pwcet.Mechanism.Reliable_way ])
+      ; ("all", Pwcet.Mechanism.all)
+      ]
+  in
+  let mechanism_arg =
+    Arg.(value & opt mechanism_conv Pwcet.Mechanism.all
+         & info [ "mechanism" ] ~docv:"MECH"
+             ~doc:"Mechanism to sweep: 'none', 'srb', 'rw' or 'all' (default).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the sweep table as JSON to $(docv).")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Cross-check every sweep point against an independent end-to-end estimate \
+                   (bit-identical penalty distribution and equal pWCET quantiles); exit 1 \
+                   on any mismatch.")
+  in
+  Cmd.v
+    (cmd_info "sweep"
+       ~doc:"pWCET sensitivity sweep over a pfail grid (Fig. 5-style), computing the \
+             pfail-independent analysis once per mechanism")
+    Term.(const run $ bench_arg $ grid_arg $ targets_arg $ sets_arg $ ways_arg $ line_arg
+          $ engine_arg $ exact_arg $ jobs_arg $ impl_arg $ ilp_nodes_arg $ timeout_arg
+          $ mechanism_arg $ json_arg $ verify_arg)
+
 (* --- suite ------------------------------------------------------------------ *)
 
 let suite_row config ~pfail ~target ~engine ~exact ~jobs ?budget (e : Benchmarks.Registry.entry) =
@@ -482,5 +637,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; suite_cmd; simulate_cmd; audit_cmd;
-            refined_cmd ]))
+          [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; sweep_cmd; suite_cmd; simulate_cmd;
+            audit_cmd; refined_cmd ]))

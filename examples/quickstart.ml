@@ -55,8 +55,8 @@ let () =
   let pbf = 0.1 in
   let d01 =
     Prob.Dist.convolve
-      (Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:0)
-      (Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:1)
+      (Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:0 ())
+      (Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:1 ())
   in
   Format.printf "@.Fig. 1b: penalty distribution of set 0 + set 1 (pbf = %.1f):@." pbf;
   List.iter (fun (x, p) -> Printf.printf "  penalty %3d  probability %.6f\n" x p)

@@ -29,15 +29,29 @@ let prepare ~program ~config ?(engine = `Path) ?(exact = false) ?budget () =
   in
   { graph; loops; config; ctx; chmc; wcet_ff = result.Ipet.Wcet.wcet; wcet_rung }
 
-let estimate task ~pfail ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
-    ?(impl = `Sliced) ?budget () =
+(* The FMM (and everything upstream of it) is pfail-independent: pfail
+   only enters through the binomial reweighting of the per-set penalty
+   distributions. [compute_fmm] is the expensive pfail-free prefix,
+   [estimate_with_fmm] the cheap per-pfail suffix — [sweep] amortises
+   the former across a whole grid. *)
+let compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget () =
+  Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine ~exact
+    ~jobs ~impl ~ctx:task.ctx ?budget ()
+
+let estimate_with_fmm task ~fmm ~mechanism ~jobs ~pfail =
   let pbf = Fault.Model.pbf_of_config ~pfail task.config in
-  let fmm =
-    Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine ~exact
-      ~jobs ~impl ~ctx:task.ctx ?budget ()
-  in
   let penalty = Penalty.total_distribution ~jobs ~fmm ~pbf () in
   { task; mechanism; pfail; pbf; fmm; penalty }
+
+let estimate task ~pfail ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
+    ?(impl = `Sliced) ?budget () =
+  let fmm = compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget () in
+  estimate_with_fmm task ~fmm ~mechanism ~jobs ~pfail
+
+let sweep task ~pfail_grid ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
+    ?(impl = `Sliced) ?budget () =
+  let fmm = compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget () in
+  List.map (fun pfail -> estimate_with_fmm task ~fmm ~mechanism ~jobs ~pfail) pfail_grid
 
 let pwcet e ~target = e.task.wcet_ff + Prob.Dist.quantile e.penalty ~target
 

@@ -58,6 +58,27 @@ val estimate :
     [budget] flows into {!Fmm.compute}; exhaustion loosens FMM cells
     (soundly) rather than raising. *)
 
+val sweep :
+  task ->
+  pfail_grid:float list ->
+  mechanism:Mechanism.t ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  ?jobs:int ->
+  ?impl:[ `Naive | `Sliced ] ->
+  ?budget:Robust.Budget.t ->
+  unit ->
+  estimate list
+(** One estimate per grid point, in grid order, computing the
+    pfail-{e independent} work (CHMC, FMM, fault-free WCET via the
+    already-prepared task) once and redoing only the cheap binomial
+    reweight + convolution + quantile machinery per point — the paper's
+    Fig. 5-style sensitivity studies without re-running the static
+    analysis per point. Each element is bit-identical to an independent
+    {!estimate} call at that [pfail] with the same options (the shared
+    FMM is deterministic in its inputs), pinned by
+    test/test_dist_engine.ml for every [jobs] value. *)
+
 val pwcet : estimate -> target:float -> int
 (** pWCET at the target exceedance probability, in cycles. *)
 

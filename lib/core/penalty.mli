@@ -6,13 +6,38 @@
     Sets fail independently, so the program-level distribution is the
     convolution across sets. *)
 
-val set_distribution : fmm:Fmm.t -> pbf:float -> set:int -> Prob.Dist.t
-(** The penalty distribution of one cache set. *)
+val way_pmf : fmm:Fmm.t -> pbf:float -> float array
+(** The per-set faulty-way PMF (eq. 2, or eq. 3 under RW). Depends only
+    on the configuration's associativity, [pbf] and the mechanism —
+    never on the set — so batch callers compute it once and pass it to
+    {!set_distribution}. *)
+
+val set_distribution :
+  ?pmf:float array -> fmm:Fmm.t -> pbf:float -> set:int -> unit -> Prob.Dist.t
+(** The penalty distribution of one cache set. [pmf] (defaults to
+    {!way_pmf}[ ~fmm ~pbf]) lets callers share one PMF across sets. *)
 
 val total_distribution :
-  ?max_points:int -> ?jobs:int -> fmm:Fmm.t -> pbf:float -> unit -> Prob.Dist.t
-(** Convolution over all sets, as a balanced pairwise reduction.
-    All-zero FMM rows (never-referenced sets) contribute the identity
-    distribution and are skipped — the result is unchanged. [jobs]
-    (default 1) builds the per-set distributions on that many
-    domains. *)
+  ?max_points:int ->
+  ?jobs:int ->
+  ?impl:[ `Grouped | `Reference ] ->
+  fmm:Fmm.t ->
+  pbf:float ->
+  unit ->
+  Prob.Dist.t
+(** Convolution over all sets. All-zero FMM rows (never-referenced
+    sets) contribute the identity distribution and are skipped — the
+    result is unchanged. [jobs] (default 1) fans the independent
+    per-group builds and each reduction layer's convolutions out across
+    that many domains; the result is bit-identical for every value.
+
+    [impl] selects the engine. [`Grouped] (default) computes the way
+    PMF once, groups sets with equal FMM rows (equal rows imply equal
+    distributions), raises each group's distribution to its
+    multiplicity with {!Prob.Dist.convolve_pow}, and reduces the
+    per-group results through a balanced pairwise tree with per-layer
+    parallel fan-out. [`Reference] is the pre-overhaul engine — one
+    distribution per set, sequential pairwise tree, hash-table
+    convolution kernel — kept for differential testing and
+    benchmarking. Both are conservative; their pWCET quantiles agree on
+    every registry benchmark (pinned by test/test_dist_engine.ml). *)

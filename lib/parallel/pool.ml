@@ -70,3 +70,21 @@ let mapi_result ?deadline ~jobs f input =
   end
 
 let map_result ?deadline ~jobs f input = mapi_result ?deadline ~jobs (fun _ x -> f x) input
+
+(* Balanced pairwise reduction with per-layer fan-out: each layer's
+   pairs are independent, so they run through [map]; the combination
+   tree itself is fixed (adjacent pairs, odd leftover kept at the end —
+   the same shape as a sequential pairwise tree reduction), so the
+   result is bit-identical for every [jobs]. *)
+let reduce_pairs ~jobs f input =
+  let rec loop arr =
+    let n = Array.length arr in
+    if n = 0 then None
+    else if n = 1 then Some arr.(0)
+    else begin
+      let pairs = Array.init (n / 2) (fun i -> (arr.(2 * i), arr.((2 * i) + 1))) in
+      let merged = map ~jobs (fun (a, b) -> f a b) pairs in
+      loop (if n land 1 = 0 then merged else Array.append merged [| arr.(n - 1) |])
+    end
+  in
+  loop input

@@ -50,3 +50,13 @@ val map_result :
   'a array ->
   ('b, Robust.Pwcet_error.t) Stdlib.result array
 (** {!mapi_result} without the index. *)
+
+val reduce_pairs : jobs:int -> ('a -> 'a -> 'a) -> 'a array -> 'a option
+(** Balanced pairwise tree reduction ([None] on the empty array):
+    adjacent elements are combined layer by layer, an odd leftover
+    passes through at the end of its layer. Each layer's combinations
+    are independent and fan out across [jobs] domains via {!map}; the
+    tree shape is fixed, so for a deterministic [f] the result is
+    identical for every [jobs] value. Combination order matters for
+    non-associative [f] (e.g. capped convolution): the shape matches a
+    sequential pairwise tree, {e not} a left fold. *)

@@ -75,50 +75,74 @@ let total_mass t = if size t = 0 then 0.0 else t.suffix.(0)
    penalties, so exceedance curves of the result dominate the input's:
    conservative for pWCET. The bound is hard: ranking ties are broken by
    index, so duplicated probabilities cannot inflate the kept set past
-   [max_points] (a probability threshold would keep every tied point). *)
+   [max_points] (a probability threshold would keep every tied point).
+
+   Array core shared by the list path (reference engine) and the merge
+   kernel, so capping is bit-identical across engines. [n >= 1]. *)
+let cap_arrays max_points pens probs n =
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let c = compare probs.(i) probs.(j) in
+      if c <> 0 then c else compare i j)
+    order;
+  (* Keep the top-penalty point (folded mass needs somewhere to go),
+     then the highest-probability points until the budget is full. *)
+  let keep = Array.make n false in
+  keep.(n - 1) <- true;
+  let kept = ref 1 in
+  let r = ref (n - 1) in
+  while !kept < max_points && !r >= 0 do
+    let i = order.(!r) in
+    if not keep.(i) then begin
+      keep.(i) <- true;
+      incr kept
+    end;
+    decr r
+  done;
+  (* Walk in ascending penalty order; a dropped point's mass rides
+     along until the next kept (higher-penalty) point absorbs it. The
+     top point is always kept, so no mass is left over. *)
+  let out_pen = Array.make !kept 0 and out_prob = Array.make !kept 0.0 in
+  let k = ref 0 in
+  let carried = ref 0.0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      out_pen.(!k) <- pens.(i);
+      out_prob.(!k) <- probs.(i) +. !carried;
+      carried := 0.0;
+      incr k
+    end
+    else carried := !carried +. probs.(i)
+  done;
+  (out_pen, out_prob)
+
 let cap_points max_points (pairs : (int * float) list) =
   let n = List.length pairs in
   if n <= max_points then pairs
   else begin
-    let arr = Array.of_list pairs in
-    let order = Array.init n (fun i -> i) in
-    Array.sort
-      (fun i j ->
-        let c = compare (snd arr.(i)) (snd arr.(j)) in
-        if c <> 0 then c else compare i j)
-      order;
-    (* Keep the top-penalty point (folded mass needs somewhere to go),
-       then the highest-probability points until the budget is full. *)
-    let keep = Array.make n false in
-    keep.(n - 1) <- true;
-    let kept = ref 1 in
-    let r = ref (n - 1) in
-    while !kept < max_points && !r >= 0 do
-      let i = order.(!r) in
-      if not keep.(i) then begin
-        keep.(i) <- true;
-        incr kept
-      end;
-      decr r
-    done;
-    (* Walk in ascending penalty order; a dropped point's mass rides
-       along until the next kept (higher-penalty) point absorbs it. The
-       top point is always kept, so no mass is left over. *)
-    let result = ref [] in
-    let carried = ref 0.0 in
-    Array.iteri
+    let pens = Array.make n 0 and probs = Array.make n 0.0 in
+    List.iteri
       (fun i (x, p) ->
-        if keep.(i) then begin
-          result := (x, p +. !carried) :: !result;
-          carried := 0.0
-        end
-        else carried := !carried +. p)
-      arr;
-    List.rev !result
+        pens.(i) <- x;
+        probs.(i) <- p)
+      pairs;
+    let pens, probs = cap_arrays max_points pens probs n in
+    Array.to_list (Array.map2 (fun x p -> (x, p)) pens probs)
   end
 
-let convolve ?(max_points = 65536) a b =
-  let tbl = Hashtbl.create (size a * size b) in
+(* Reference convolution engine: accumulate the n*m products in a hash
+   table, sort, cap. Kept for differential testing and benchmarking of
+   the merge kernel. The table is only pre-sized as a hint: two near-cap
+   operands would otherwise request ~4e9 buckets up front (and the
+   product can overflow on 32-bit), so the hint is clamped — the table
+   still grows dynamically when the support really is that large. *)
+let convolve_reference ~max_points a b =
+  let n = size a and m = size b in
+  let size_hint =
+    if m = 0 || n <= 65536 / m then max 16 (n * m) else min max_points 65536
+  in
+  let tbl = Hashtbl.create size_hint in
   Array.iteri
     (fun i xa ->
       let pa = a.probs.(i) in
@@ -133,14 +157,202 @@ let convolve ?(max_points = 65536) a b =
   let pairs = cap_points max_points pairs in
   of_sorted_arrays (Array.of_list (List.map fst pairs)) (Array.of_list (List.map snd pairs))
 
+(* Merge convolution kernel, two regimes sharing one contract: emit the
+   n*m pairwise sums in ascending order with equal sums accumulated in
+   ascending i (outer operand) order — no hash table, no intermediate
+   list, no comparison sort of the product set.
+
+   Bit-compatibility with [convolve_reference]: the reference's hash
+   table accumulates equal sums in i-outer/j-inner order, and within one
+   i a given sum occurs at most once (b's support is strictly
+   ascending). Both regimes below add the identical products in that
+   identical order and cap with the shared [cap_arrays], so the engines
+   agree bit for bit (float addition is commutative, so the bucket
+   regime's [acc +. p] matches the reference's [p +. acc]).
+
+   Regime 1 (dense buckets): penalty sums in this domain are small
+   multiples of the miss penalty, so once supports have grown past a few
+   hundred points the sums densely tile [lo, hi] and an O(n*m + range)
+   bucket accumulation beats any comparison-based scheme. Used when the
+   value range is within a small factor of the pair count (and an
+   absolute ceiling bounds the scratch allocation).
+
+   Regime 2 (k-way run merge): the sorted supports make the n*m sums n
+   sorted runs {a_i + b_0, a_i + b_1, ...}; a binary min-heap keyed on
+   (sum, run index) pops sums ascending with the (sum, run) tie-break
+   reproducing the i-ascending accumulation order. O(n*m log n), no
+   range-proportional scratch: the fallback for sparse or huge-range
+   supports. *)
+
+(* Dense-bucket ceiling: 4M buckets = one 32 MB float scratch. Beyond
+   that, or when the bucket count dwarfs the pair count, the heap regime
+   wins. *)
+let dense_range_ceiling = 1 lsl 22
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Gcd of the successive differences of a sorted support (0 for a
+   singleton): every value is [pens.(0) + k * step]. *)
+let support_step pens n =
+  let g = ref 0 in
+  for i = 1 to n - 1 do
+    g := gcd !g (pens.(i) - pens.(i - 1))
+  done;
+  !g
+
+let convolve_dense ~max_points ~lo ~step ~buckets a b =
+  let n = size a and m = size b in
+  let ap = a.penalties and aw = a.probs in
+  let bp = b.penalties and bw = b.probs in
+  (* Penalties in this domain are multiples of the miss penalty, so
+     indexing buckets by (value - lo) / step instead of raw value keeps
+     the scratch proportional to the number of achievable sums, not the
+     cycle range. *)
+  let boff = Array.init m (fun j -> (bp.(j) - bp.(0)) / step) in
+  (* Untouched buckets hold the -1.0 sentinel: probability products can
+     underflow to exactly 0.0 deep in the tail, and the reference keeps
+     such points, so presence cannot be inferred from a nonzero bucket.
+     The first touch writes the product directly, which matches the
+     reference's [p +. 0.0] accumulation from an absent hash entry bit
+     for bit (adding 0.0 to a non-negative float is exact). *)
+  let acc = Array.make buckets (-1.0) in
+  for i = 0 to n - 1 do
+    let pa = aw.(i) in
+    let base = (ap.(i) - ap.(0)) / step in
+    for j = 0 to m - 1 do
+      let k = base + Array.unsafe_get boff j in
+      let p = pa *. Array.unsafe_get bw j in
+      let v = Array.unsafe_get acc k in
+      Array.unsafe_set acc k (if v >= 0.0 then v +. p else p)
+    done
+  done;
+  let count = ref 0 in
+  for k = 0 to buckets - 1 do
+    if Array.unsafe_get acc k >= 0.0 then incr count
+  done;
+  let out_pen = Array.make !count 0 and out_prob = Array.make !count 0.0 in
+  let idx = ref 0 in
+  for k = 0 to buckets - 1 do
+    let v = Array.unsafe_get acc k in
+    if v >= 0.0 then begin
+      out_pen.(!idx) <- lo + (k * step);
+      out_prob.(!idx) <- v;
+      incr idx
+    end
+  done;
+  let pens, probs =
+    if !count <= max_points then (out_pen, out_prob)
+    else cap_arrays max_points out_pen out_prob !count
+  in
+  of_sorted_arrays pens probs
+
+let convolve_merge ~max_points a b =
+  let n = size a and m = size b in
+  if n = 0 || m = 0 then of_sorted_arrays [||] [||]
+  else begin
+    let ap = a.penalties and aw = a.probs in
+    let bp = b.penalties and bw = b.probs in
+    let lo = ap.(0) + bp.(0) in
+    (* Sums live on the lattice lo + k * step: step divides every
+       pairwise difference on both sides. *)
+    let step = max 1 (gcd (support_step ap n) (support_step bp m)) in
+    let buckets = ((ap.(n - 1) + bp.(m - 1) - lo) / step) + 1 in
+    if buckets <= dense_range_ceiling && buckets <= 4 * n * m then
+      convolve_dense ~max_points ~lo ~step ~buckets a b
+    else begin
+    (* Heap slot k holds run [heap_run.(k)] whose current element is
+       [heap_sum.(k)]; [jpos.(i)] is run i's position in b. The initial
+       sums a_i + b_0 are ascending in i, so the array starts heap-ordered. *)
+    let heap_sum = Array.make n 0 in
+    let heap_run = Array.make n 0 in
+    let jpos = Array.make n 0 in
+    for i = 0 to n - 1 do
+      heap_sum.(i) <- ap.(i) + bp.(0);
+      heap_run.(i) <- i
+    done;
+    let heap_len = ref n in
+    let less s1 r1 s2 r2 = s1 < s2 || (s1 = s2 && r1 < r2) in
+    let sift_down k0 =
+      let k = ref k0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !k) + 1 and r = (2 * !k) + 2 in
+        let smallest = ref !k in
+        if l < !heap_len && less heap_sum.(l) heap_run.(l) heap_sum.(!smallest) heap_run.(!smallest)
+        then smallest := l;
+        if r < !heap_len && less heap_sum.(r) heap_run.(r) heap_sum.(!smallest) heap_run.(!smallest)
+        then smallest := r;
+        if !smallest = !k then continue := false
+        else begin
+          let s = heap_sum.(!k) and ri = heap_run.(!k) in
+          heap_sum.(!k) <- heap_sum.(!smallest);
+          heap_run.(!k) <- heap_run.(!smallest);
+          heap_sum.(!smallest) <- s;
+          heap_run.(!smallest) <- ri;
+          k := !smallest
+        end
+      done
+    in
+    (* Output buffers, grown by doubling: after duplicate folding the
+       support is usually far smaller than n*m. *)
+    let out_pen = ref (Array.make (min (n * m) 1024) 0) in
+    let out_prob = ref (Array.make (min (n * m) 1024) 0.0) in
+    let out_len = ref 0 in
+    let emit x p =
+      if !out_len > 0 && !out_pen.(!out_len - 1) = x then
+        !out_prob.(!out_len - 1) <- p +. !out_prob.(!out_len - 1)
+      else begin
+        if !out_len = Array.length !out_pen then begin
+          let cap = 2 * !out_len in
+          let pen' = Array.make cap 0 and prob' = Array.make cap 0.0 in
+          Array.blit !out_pen 0 pen' 0 !out_len;
+          Array.blit !out_prob 0 prob' 0 !out_len;
+          out_pen := pen';
+          out_prob := prob'
+        end;
+        !out_pen.(!out_len) <- x;
+        !out_prob.(!out_len) <- p;
+        incr out_len
+      end
+    in
+    while !heap_len > 0 do
+      let i = heap_run.(0) in
+      emit heap_sum.(0) (aw.(i) *. bw.(jpos.(i)));
+      let j = jpos.(i) + 1 in
+      if j < m then begin
+        jpos.(i) <- j;
+        heap_sum.(0) <- ap.(i) + bp.(j);
+        sift_down 0
+      end
+      else begin
+        decr heap_len;
+        heap_sum.(0) <- heap_sum.(!heap_len);
+        heap_run.(0) <- heap_run.(!heap_len);
+        sift_down 0
+      end
+    done;
+    let pens, probs =
+      if !out_len <= max_points then
+        (Array.sub !out_pen 0 !out_len, Array.sub !out_prob 0 !out_len)
+      else cap_arrays max_points !out_pen !out_prob !out_len
+    in
+    of_sorted_arrays pens probs
+    end
+  end
+
+let convolve ?(impl = `Merge) ?(max_points = 65536) a b =
+  match impl with
+  | `Merge -> convolve_merge ~max_points a b
+  | `Reference -> convolve_reference ~max_points a b
+
 (* Balanced pairwise tree instead of a left fold: n-1 convolutions
    either way, but operands stay similarly sized, so total work drops
    from O(n * |acc|) against one ever-growing accumulator to the
    tree-sum of products, and capping (when it triggers) applies to
    balanced operands rather than degrading one long chain. *)
-let convolve_all ?max_points dists =
+let convolve_all ?impl ?max_points dists =
   let rec pair_up = function
-    | a :: b :: rest -> convolve ?max_points a b :: pair_up rest
+    | a :: b :: rest -> convolve ?impl ?max_points a b :: pair_up rest
     | tail -> tail
   in
   let rec reduce = function
@@ -149,6 +361,36 @@ let convolve_all ?max_points dists =
     | ds -> reduce (pair_up ds)
   in
   reduce dists
+
+(* k-th convolution power by repeated squaring. Bit-identical to
+   [convolve_all] on k copies of [d] for every k, impl and max_points:
+   the balanced tree over equal elements only ever contains a run of
+   one repeated value plus at most one distinct trailing element, so
+   the whole tree collapses to log-many distinct convolutions —
+   [(e, c, tail)] below is exactly that run. With c odd, [pair_up]
+   pairs the run's last copy with the trailing element, which is why
+   the odd step convolves [e] into the tail rather than multiplying
+   tails together at the end (plain binary exponentiation would not
+   match the tree once capping triggers). *)
+let convolve_pow ?impl ?max_points d k =
+  if k < 0 then invalid_arg "Dist.convolve_pow: negative power";
+  if k = 0 then point 0
+  else begin
+    let conv a b = convolve ?impl ?max_points a b in
+    let rec go e c tail =
+      (* invariant: remaining tree level is [e; e; ...(c copies)] @ tail *)
+      if c = 1 then (match tail with None -> e | Some t -> conv e t)
+      else begin
+        let e2 = conv e e in
+        if c land 1 = 0 then go e2 (c / 2) tail
+        else
+          match tail with
+          | None -> go e2 (c / 2) (Some e)
+          | Some t -> go e2 (c / 2) (Some (conv e t))
+      end
+    in
+    go d k None
+  end
 
 (* P(X > x): suffix sum of the first support point strictly above x. *)
 let exceedance t x =

@@ -35,14 +35,23 @@ val support : t -> (int * float) list
 val size : t -> int
 val total_mass : t -> float
 
-val convolve : ?max_points:int -> t -> t -> t
+val convolve : ?impl:[ `Merge | `Reference ] -> ?max_points:int -> t -> t -> t
 (** Distribution of the sum of two independent variables. When the
     result exceeds [max_points] (default 65536), the lowest-probability
     points are folded into the next higher kept penalty (conservative);
     the result never has more than [max_points] points, even when tied
-    probabilities straddle the cut. *)
+    probabilities straddle the cut.
 
-val convolve_all : ?max_points:int -> t list -> t
+    [impl] selects the engine. [`Merge] (default) runs a k-way
+    sorted-run merge over preallocated buffers — the support arrays are
+    already sorted, so the n*m pairwise sums are n sorted runs and no
+    hash table or comparison sort is needed. [`Reference] is the
+    original hash-table engine, kept for differential testing and
+    benchmarking. The engines are {e bit-identical}: equal sums are
+    accumulated in the same order (see the kernel comment in the
+    implementation) and both share the same capping code. *)
+
+val convolve_all : ?impl:[ `Merge | `Reference ] -> ?max_points:int -> t list -> t
 (** Convolution of a list of independent variables ([{!point} 0] for the
     empty list), computed as a balanced pairwise tree. Equal to the
     left-to-right fold whenever [max_points] never triggers (convolution
@@ -50,6 +59,20 @@ val convolve_all : ?max_points:int -> t list -> t
     conservatively dominates every uncapped ordering (see the soundness
     convention above), but individual points may differ from the
     fold's. *)
+
+val convolve_pow : ?impl:[ `Merge | `Reference ] -> ?max_points:int -> t -> int -> t
+(** [convolve_pow d k] is the distribution of the sum of [k] independent
+    copies of [d] ([{!point} 0] for [k = 0]), computed with
+    exponentiation by squaring: O(log k) convolutions instead of k-1.
+    Bit-identical to [convolve_all] on [k] copies of [d] for every [k],
+    [impl] and [max_points] — the balanced tree over equal operands
+    collapses to repeated squaring plus one odd-element chain, and the
+    implementation reproduces that exact shape so capping decisions
+    coincide. In particular it equals the k-fold left [convolve] fold
+    whenever capping never triggers and the probabilities are exactly
+    representable (convolution is associative and commutative; see
+    DESIGN.md §7 for the multiset argument).
+    @raise Invalid_argument when [k < 0]. *)
 
 (** {2 Exceedance convention}
 

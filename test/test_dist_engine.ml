@@ -1,0 +1,310 @@
+(* Differential tests for the distribution-engine overhaul: the
+   sorted-merge convolution kernel must be bit-identical to the
+   hash-table reference engine, [convolve_pow] must reproduce the
+   balanced pairwise tree exactly (capping included), the grouped
+   total-distribution engine must agree with the reference engine on
+   real FMMs (registry-wide) and random ones, and [Estimator.sweep]
+   must be bit-identical to independent [estimate] calls at every grid
+   point for every jobs value. *)
+
+module D = Prob.Dist
+
+(* Bit-exact support comparison: float 0. tolerance. *)
+let support = Alcotest.(list (pair int (float 0.)))
+
+let random_dist state =
+  let n = 1 + Random.State.int state 50 in
+  let raw =
+    List.init n (fun k ->
+        (k * (1 + Random.State.int state 5), Random.State.float state 1.0 +. 1e-6))
+  in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 raw in
+  D.of_points (List.map (fun (x, p) -> (x, p /. total)) raw)
+
+(* Probabilities k/16: all products are exact dyadic rationals, so any
+   convolution order yields bit-identical results when no capping
+   occurs (same generator as test_prob.ml's tree-vs-fold test). *)
+let random_dyadic_dist state =
+  let n = 1 + Random.State.int state 4 in
+  let rec weights total count =
+    if count = 1 then [ total ]
+    else begin
+      let w = 1 + Random.State.int state (total - count + 1) in
+      w :: weights (total - w) (count - 1)
+    end
+  in
+  let ws = weights 16 n in
+  D.of_points
+    (List.mapi (fun i w -> (i * (1 + Random.State.int state 9), float_of_int w /. 16.0)) ws)
+
+(* --- merge kernel vs reference engine ---------------------------------- *)
+
+let test_kernel_matches_reference () =
+  let state = Random.State.make [| 101 |] in
+  for _ = 1 to 200 do
+    let a = random_dist state and b = random_dist state in
+    List.iter
+      (fun max_points ->
+        let merge = D.convolve ~impl:`Merge ~max_points a b in
+        let reference = D.convolve ~impl:`Reference ~max_points a b in
+        Alcotest.check support
+          (Printf.sprintf "merge = reference, cap %d" max_points)
+          (D.support reference) (D.support merge))
+      [ 8; 64; 65536; max_int ]
+  done
+
+let test_kernel_edge_cases () =
+  let empty = D.scale 0.0 (D.point 3) in
+  let d = D.of_points [ (0, 0.5); (7, 0.5) ] in
+  List.iter
+    (fun (label, a, b) ->
+      Alcotest.check support label
+        (D.support (D.convolve ~impl:`Reference a b))
+        (D.support (D.convolve ~impl:`Merge a b)))
+    [ ("empty left", empty, d); ("empty right", d, empty); ("both empty", empty, empty)
+    ; ("points", D.point 2, D.point 5); ("identity", d, D.point 0) ];
+  (* Sub-probability operands (refined-SRB style joint accounting). *)
+  let sub = D.of_sub_points [ (1, 0.25); (4, 0.25) ] in
+  Alcotest.check support "sub-probability"
+    (D.support (D.convolve ~impl:`Reference sub sub))
+    (D.support (D.convolve ~impl:`Merge sub sub))
+
+let test_convolve_all_impls_match () =
+  let state = Random.State.make [| 103 |] in
+  for _ = 1 to 40 do
+    let dists = List.init (1 + Random.State.int state 7) (fun _ -> random_dist state) in
+    List.iter
+      (fun max_points ->
+        Alcotest.check support "convolve_all merge = reference"
+          (D.support (D.convolve_all ~impl:`Reference ~max_points dists))
+          (D.support (D.convolve_all ~impl:`Merge ~max_points dists)))
+      [ 24; 65536 ]
+  done
+
+(* --- convolve_pow ------------------------------------------------------- *)
+
+let copies d k = List.init k (fun _ -> d)
+
+(* Bit-identity with the balanced tree, capping included: the pow
+   ladder reproduces the tree's exact shape, so every intermediate cap
+   sees the same input. *)
+let test_pow_matches_tree () =
+  let state = Random.State.make [| 107 |] in
+  for _ = 1 to 50 do
+    let d = random_dist state in
+    for k = 0 to 9 do
+      List.iter
+        (fun max_points ->
+          List.iter
+            (fun impl ->
+              Alcotest.check support
+                (Printf.sprintf "pow %d = tree, cap %d" k max_points)
+                (D.support (D.convolve_all ~impl ~max_points (copies d k)))
+                (D.support (D.convolve_pow ~impl ~max_points d k)))
+            [ `Merge; `Reference ])
+        [ 16; 65536 ]
+    done
+  done
+
+(* Uncapped dyadic: every convolution order is exact, so pow also equals
+   the k-fold left fold bit for bit (associativity/commutativity of the
+   convolution multiset — DESIGN.md §7). *)
+let test_pow_matches_fold_uncapped () =
+  let state = Random.State.make [| 109 |] in
+  let fold_pow d k =
+    List.fold_left (fun acc x -> D.convolve acc x) d (copies d (k - 1))
+  in
+  for _ = 1 to 50 do
+    let d = random_dyadic_dist state in
+    for k = 1 to 6 do
+      Alcotest.check support
+        (Printf.sprintf "pow %d = fold" k)
+        (D.support (fold_pow d k))
+        (D.support (D.convolve_pow d k))
+    done
+  done
+
+let test_pow_capped_is_conservative () =
+  (* Independent of the tree identity: a capped power must still
+     conservatively dominate the uncapped one and keep its mass. *)
+  let state = Random.State.make [| 113 |] in
+  for _ = 1 to 20 do
+    let d = random_dist state in
+    let k = 2 + Random.State.int state 4 in
+    let exact = D.convolve_pow ~max_points:max_int d k in
+    let capped = D.convolve_pow ~max_points:24 d k in
+    Alcotest.(check bool) "cap honoured" true (D.size capped <= 24);
+    Alcotest.(check (float 1e-9)) "mass preserved" (D.total_mass exact) (D.total_mass capped);
+    List.iter
+      (fun (x, _) ->
+        Alcotest.(check bool) "capped dominates" true
+          (D.exceedance capped x +. 1e-12 >= D.exceedance exact x))
+      (D.support exact)
+  done
+
+let test_pow_invalid () =
+  match D.convolve_pow (D.point 1) (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- grouped vs reference total distribution ----------------------------- *)
+
+let quantile_targets = [ 1e-6; 1e-9; 1e-12; 1e-15; 1e-18 ]
+
+let check_total_engines label fmm ~pbf =
+  let reference = Pwcet.Penalty.total_distribution ~impl:`Reference ~fmm ~pbf () in
+  let grouped = Pwcet.Penalty.total_distribution ~impl:`Grouped ~fmm ~pbf () in
+  Alcotest.(check (float 1e-12))
+    (label ^ " mass") (D.total_mass reference) (D.total_mass grouped);
+  List.iter
+    (fun target ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s quantile at %g" label target)
+        (D.quantile reference ~target) (D.quantile grouped ~target))
+    quantile_targets;
+  (* jobs-determinism of the grouped engine: bit-identical supports. *)
+  Alcotest.check support (label ^ " jobs determinism")
+    (D.support (Pwcet.Penalty.total_distribution ~impl:`Grouped ~jobs:1 ~fmm ~pbf ()))
+    (D.support (Pwcet.Penalty.total_distribution ~impl:`Grouped ~jobs:3 ~fmm ~pbf ()))
+
+(* Every registry benchmark x all three mechanisms, on the fast 8x2
+   geometry, with the paper's pbf. *)
+let test_registry_differential () =
+  let config = Cache.Config.make ~sets:8 ~ways:2 ~line_bytes:16 () in
+  let pbf = Fault.Model.pbf_of_config ~pfail:1e-4 config in
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let compiled = Minic.Compile.compile e.Benchmarks.Registry.program in
+      let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () in
+      List.iter
+        (fun mechanism ->
+          let est = Pwcet.Estimator.estimate task ~pfail:1e-4 ~mechanism () in
+          check_total_engines
+            (Printf.sprintf "%s/%s" e.Benchmarks.Registry.name
+               (Pwcet.Mechanism.short_name mechanism))
+            est.Pwcet.Estimator.fmm ~pbf)
+        Pwcet.Mechanism.all)
+    Benchmarks.Registry.all
+
+(* Random monotone FMM tables drawn from a small row pool, so grouping
+   sees plenty of duplicate rows; random pbf. *)
+let test_random_fmm_differential =
+  let gen =
+    QCheck2.Gen.(
+      let row ways =
+        list_size (return ways) (int_bound 40) >|= fun deltas ->
+        let row = Array.make (ways + 1) 0 in
+        List.iteri (fun i d -> row.(i + 1) <- row.(i) + d) deltas;
+        row
+      in
+      int_range 1 4 >>= fun ways ->
+      int_range 0 3 >>= fun pool_bits ->
+      let sets = 8 in
+      list_size (return (1 + pool_bits)) (row ways) >>= fun pool ->
+      list_size (return sets) (int_bound pool_bits) >>= fun picks ->
+      float_range 1e-6 0.5 >|= fun pbf ->
+      let pool = Array.of_list pool in
+      let table = Array.of_list (List.map (fun i -> Array.copy pool.(i)) picks) in
+      (sets, ways, table, pbf))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"random FMM tables: grouped = reference quantiles"
+       gen (fun (sets, ways, table, pbf) ->
+         let config = Cache.Config.make ~sets ~ways ~line_bytes:16 () in
+         let fmm =
+           Pwcet.Fmm.of_table ~config ~mechanism:Pwcet.Mechanism.No_protection table
+         in
+         let reference = Pwcet.Penalty.total_distribution ~impl:`Reference ~fmm ~pbf () in
+         let grouped = Pwcet.Penalty.total_distribution ~impl:`Grouped ~fmm ~pbf () in
+         Float.abs (D.total_mass reference -. D.total_mass grouped) <= 1e-12
+         && List.for_all
+              (fun target -> D.quantile reference ~target = D.quantile grouped ~target)
+              quantile_targets))
+
+(* --- shared-PMF hoist ---------------------------------------------------- *)
+
+let test_shared_pmf_identity () =
+  let config = Cache.Config.make ~sets:4 ~ways:2 ~line_bytes:16 () in
+  List.iter
+    (fun mechanism ->
+      let fmm =
+        Pwcet.Fmm.of_table ~config ~mechanism
+          [| [| 0; 10; 130 |]; [| 0; 14; 164 |]; [| 0; 0; 0 |]; [| 0; 20; 240 |] |]
+      in
+      let pbf = 0.1 in
+      let pmf = Pwcet.Penalty.way_pmf ~fmm ~pbf in
+      for set = 0 to 3 do
+        Alcotest.check support
+          (Printf.sprintf "%s set %d" (Pwcet.Mechanism.short_name mechanism) set)
+          (D.support (Pwcet.Penalty.set_distribution ~fmm ~pbf ~set ()))
+          (D.support (Pwcet.Penalty.set_distribution ~pmf ~fmm ~pbf ~set ()))
+      done)
+    Pwcet.Mechanism.all
+
+(* --- sweep identity -------------------------------------------------------- *)
+
+(* Estimator.sweep must be bit-identical to independent estimate calls
+   at each grid point, for every jobs value and mechanism. *)
+let test_sweep_matches_estimates () =
+  let config = Cache.Config.make ~sets:8 ~ways:2 ~line_bytes:16 () in
+  let grid = [ 1e-6; 1e-5; 1e-4; 1e-3 ] in
+  List.iter
+    (fun name ->
+      let entry = Option.get (Benchmarks.Registry.find name) in
+      let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
+      let task = Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config () in
+      List.iter
+        (fun mechanism ->
+          List.iter
+            (fun jobs ->
+              let swept =
+                Pwcet.Estimator.sweep task ~pfail_grid:grid ~mechanism ~jobs ()
+              in
+              List.iter2
+                (fun pfail est ->
+                  let label =
+                    Printf.sprintf "%s/%s pfail %g jobs %d" name
+                      (Pwcet.Mechanism.short_name mechanism) pfail jobs
+                  in
+                  let independent =
+                    Pwcet.Estimator.estimate task ~pfail ~mechanism ~jobs ()
+                  in
+                  Alcotest.(check (float 0.)) (label ^ " pbf")
+                    independent.Pwcet.Estimator.pbf est.Pwcet.Estimator.pbf;
+                  Alcotest.check support (label ^ " penalty")
+                    (D.support independent.Pwcet.Estimator.penalty)
+                    (D.support est.Pwcet.Estimator.penalty);
+                  List.iter
+                    (fun target ->
+                      Alcotest.(check int)
+                        (Printf.sprintf "%s pwcet at %g" label target)
+                        (Pwcet.Estimator.pwcet independent ~target)
+                        (Pwcet.Estimator.pwcet est ~target))
+                    quantile_targets)
+                grid swept)
+            [ 1; 2; 3 ])
+        Pwcet.Mechanism.all)
+    [ "fibcall"; "crc" ]
+
+let () =
+  Alcotest.run "dist_engine"
+    [ ( "kernel",
+        [ Alcotest.test_case "merge = reference, random" `Quick test_kernel_matches_reference
+        ; Alcotest.test_case "edge cases" `Quick test_kernel_edge_cases
+        ; Alcotest.test_case "convolve_all impls" `Quick test_convolve_all_impls_match
+        ] )
+    ; ( "power",
+        [ Alcotest.test_case "pow = tree (capping incl.)" `Quick test_pow_matches_tree
+        ; Alcotest.test_case "pow = fold, dyadic uncapped" `Quick test_pow_matches_fold_uncapped
+        ; Alcotest.test_case "capped pow conservative" `Quick test_pow_capped_is_conservative
+        ; Alcotest.test_case "negative power" `Quick test_pow_invalid
+        ] )
+    ; ( "total distribution",
+        [ Alcotest.test_case "registry differential" `Quick test_registry_differential
+        ; test_random_fmm_differential
+        ; Alcotest.test_case "shared pmf" `Quick test_shared_pmf_identity
+        ] )
+    ; ( "sweep",
+        [ Alcotest.test_case "sweep = independent estimates" `Quick test_sweep_matches_estimates
+        ] )
+    ]

@@ -28,7 +28,7 @@ let fig1_fmm mechanism =
 let test_fig1_set_distributions () =
   let fmm = fig1_fmm M.No_protection in
   let pbf = 0.1 in
-  let d0 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:0 in
+  let d0 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:0 () in
   (* Three points: 0, 10, 130 with binomial(2, 0.1) probabilities. *)
   Alcotest.(check (list (pair int (float 1e-12))))
     "set 0 points"
@@ -38,8 +38,8 @@ let test_fig1_set_distributions () =
 let test_fig1_convolution () =
   let fmm = fig1_fmm M.No_protection in
   let pbf = 0.1 in
-  let d0 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:0 in
-  let d1 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:1 in
+  let d0 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:0 () in
+  let d1 = Pwcet.Penalty.set_distribution ~fmm ~pbf ~set:1 () in
   let both = D.convolve d0 d1 in
   (* 3 x 3 = 9 distinct sums. *)
   Alcotest.(check (list int)) "penalties of set 0+1"
@@ -55,7 +55,7 @@ let test_fig1_rw_removes_top_point () =
   (* Paper Section III-B.1: under RW the set-0 distribution keeps only
      the points 0 and 10. *)
   let fmm = fig1_fmm M.Reliable_way in
-  let d0 = Pwcet.Penalty.set_distribution ~fmm ~pbf:0.1 ~set:0 in
+  let d0 = Pwcet.Penalty.set_distribution ~fmm ~pbf:0.1 ~set:0 () in
   Alcotest.(check (list int)) "two points" [ 0; 10 ] (List.map fst (D.support d0));
   (match D.support d0 with
   | [ (0, p0); (10, p1) ] ->
@@ -417,7 +417,7 @@ let test_total_distribution_skips_zero_rows () =
       let skipped = Pwcet.Penalty.total_distribution ~fmm ~pbf () in
       let unskipped =
         D.convolve_all
-          (List.init 8 (fun set -> Pwcet.Penalty.set_distribution ~fmm ~pbf ~set))
+          (List.init 8 (fun set -> Pwcet.Penalty.set_distribution ~fmm ~pbf ~set ()))
       in
       Alcotest.(check (list (pair int (float 0.))))
         ("support identical, " ^ M.name mechanism)
