@@ -1,6 +1,6 @@
 # Convenience entry points; `check` is the tier-1 gate.
 
-.PHONY: all build check test bench bench-json audit clean
+.PHONY: all build check test ci bench bench-json audit clean
 
 all: build
 
@@ -17,8 +17,14 @@ check:
 	  --timeout 0.000001 --sets 8 --ways 2
 	dune exec bin/pwcet_tool.exe -- sweep fibcall --pfail-grid 1e-5,1e-4,1e-3 \
 	  --verify --sets 8 --ways 2
+	sh scripts/check_store.sh ./_build/default/bin/pwcet_tool.exe
 
 test: check
+
+# What CI runs (see .github/workflows/ci.yml): the tier-1 gate plus the
+# invariant auditor. Kept as a make target so CI and a local pre-push
+# run are the same command.
+ci: check audit
 
 # Runtime invariant auditor over the full benchmark registry:
 # per-mechanism structural checks (FMM shape/monotonicity, distribution
@@ -35,11 +41,13 @@ bench:
 	dune exec bench/main.exe -- $(if $(JOBS),-j $(JOBS))
 
 # Machine-readable engine comparisons only: naive-vs-sliced FMM
-# (BENCH_fmm.json) and distribution-engine + pfail-sweep amortisation
-# (BENCH_dist.json).
+# (BENCH_fmm.json), distribution-engine + pfail-sweep amortisation
+# (BENCH_dist.json), and artifact-store cold/warm/uncached timings
+# (BENCH_store.json).
 bench-json:
 	dune exec bench/main.exe -- --only fmm-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only dist-json $(if $(JOBS),-j $(JOBS))
+	dune exec bench/main.exe -- --only store-json $(if $(JOBS),-j $(JOBS))
 
 clean:
 	dune clean

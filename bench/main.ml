@@ -15,6 +15,7 @@
      future work  refined SRB analysis; data-cache transposition
      fmm-json     naive vs sliced FMM engines -> BENCH_fmm.json
      dist-json    distribution engines + pfail sweep -> BENCH_dist.json
+     store-json   artifact-store cold/warm/uncached -> BENCH_store.json
      bechamel     timing of each analysis stage *)
 
 let config = Cache.Config.paper_default
@@ -22,24 +23,32 @@ let pfail = 1e-4
 let target = 1e-15
 
 (* -j/--jobs N: worker domains for the per-set fault analyses (results
-   are identical for every value; only wall-clock changes). *)
+   are identical for every value; only wall-clock changes). Validated
+   like the CLI's --jobs: at least 1, capped at a sane maximum —
+   thousands of domains would thrash the runtime far past any
+   speedup. *)
+let max_jobs = 256
+
 let jobs =
   let rec scan = function
     | ("-j" | "--jobs") :: v :: _ -> (
       match int_of_string_opt v with
-      | Some n when n >= 1 -> n
+      | Some n when n >= 1 && n <= max_jobs -> n
+      | Some n when n > max_jobs ->
+        Printf.eprintf "-j %d exceeds the cap of %d; using %d\n" n max_jobs max_jobs;
+        max_jobs
       | _ ->
-        Printf.eprintf "bad -j value %s; using 1\n" v;
+        Printf.eprintf "bad -j value %s (need 1..%d); using 1\n" v max_jobs;
         1)
     | _ :: rest -> scan rest
-    | [] -> Parallel.Pool.default_jobs ()
+    | [] -> min max_jobs (Parallel.Pool.default_jobs ())
   in
   scan (Array.to_list Sys.argv)
 
 (* --only NAME: run a single section (the full harness regenerates every
    figure and takes minutes). Names: equations figure1 figure3 figure4
    geometry ablations future-work data-cache fmm-json dist-json
-   bechamel. *)
+   store-json bechamel. *)
 let only =
   let rec scan = function
     | "--only" :: v :: _ -> Some v
@@ -52,6 +61,16 @@ let wanted name = match only with None -> true | Some w -> String.equal w name
 
 let banner title =
   Printf.printf "\n=== %s %s\n\n" title (String.make (max 0 (66 - String.length title)) '=')
+
+(* Stamped into the machine-readable BENCH_*.json emitters so archived
+   results stay attributable to the code that produced them. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> "unknown"
 
 (* --- eqs. 1-3 ------------------------------------------------------------ *)
 
@@ -411,6 +430,7 @@ let section_fmm_json () =
   let oc = open_out "BENCH_fmm.json" in
   Printf.fprintf oc
     "{\n\
+    \  \"schema_version\": 1,\n\
     \  \"benchmark\": \"adpcm\",\n\
     \  \"geometry\": { \"sets\": 64, \"ways\": 4, \"line_bytes\": 16 },\n\
     \  \"mechanism\": \"no_protection\",\n\
@@ -512,17 +532,10 @@ let section_dist_json () =
   let identical = dist_identical && sweep_identical in
   Printf.printf "  tables identical: %b\n" identical;
   if not identical then failwith "dist-json: engines disagree on pWCET tables";
-  let git_commit =
-    try
-      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
-      let line = try input_line ic with End_of_file -> "unknown" in
-      ignore (Unix.close_process_in ic);
-      line
-    with _ -> "unknown"
-  in
   let oc = open_out "BENCH_dist.json" in
   Printf.fprintf oc
     "{\n\
+    \  \"schema_version\": 1,\n\
     \  \"benchmark\": \"adpcm\",\n\
     \  \"geometry\": { \"sets\": %d, \"ways\": %d, \"line_bytes\": %d },\n\
     \  \"mechanism\": \"no_protection\",\n\
@@ -538,10 +551,97 @@ let section_dist_json () =
     \  \"tables_identical\": %b\n\
      }\n"
     wide_config.Cache.Config.sets wide_config.Cache.Config.ways
-    wide_config.Cache.Config.line_bytes git_commit reference_s grouped_s dist_speedup
+    wide_config.Cache.Config.line_bytes (git_commit ()) reference_s grouped_s dist_speedup
     (List.length grid) sweep_s independent_s sweep_speedup identical;
   close_out oc;
   Printf.printf "  wrote BENCH_dist.json\n"
+
+(* --- Artifact-store cold/warm comparison (machine-readable) --------------------- *)
+
+(* The crash-safe artifact store's value proposition, quantified: a
+   warm-cache rerun (FMM tables, fault-free WCET and per-point penalty
+   distributions all replayed from disk with integrity checks) vs a
+   cold populate-the-cache run vs the uncached pipeline. pWCETs are
+   asserted bit-identical across all three before any timing is
+   reported — the cache must buy time, never change results. *)
+let section_store_json () =
+  banner "Artifact store cold/warm comparison -> BENCH_store.json";
+  let wide_config = Cache.Config.make ~sets:64 ~ways:4 ~line_bytes:16 () in
+  let entry = Option.get (Benchmarks.Registry.find "adpcm") in
+  let program = (Minic.Compile.compile entry.Benchmarks.Registry.program).Minic.Compile.program in
+  let targets = [ 1e-9; 1e-12; 1e-15 ] in
+  let run ?store () =
+    let task = Pwcet.Estimator.prepare ~program ~config:wide_config ?store () in
+    List.concat_map
+      (fun mechanism ->
+        let est = Pwcet.Estimator.estimate task ~pfail ~mechanism ?store () in
+        List.map (fun target -> Pwcet.Estimator.pwcet est ~target) targets)
+      Pwcet.Mechanism.all
+  in
+  let time ?(reps = 3) f =
+    let result = f () in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (result, !best)
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun name -> rm (Filename.concat path name)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pwcet_bench_store.%d" (Unix.getpid ()))
+  in
+  let uncached, uncached_s = time (fun () -> run ()) in
+  (* Cold: every rep starts from an empty directory, so the measured
+     time includes computing and atomically writing every artifact. *)
+  let cold, cold_s =
+    time (fun () ->
+        rm dir;
+        run ~store:(Store.Artifact.open_store ~dir) ())
+  in
+  let warm_store = Store.Artifact.open_store ~dir in
+  let warm, warm_s = time (fun () -> run ~store:warm_store ()) in
+  let stats = Store.Artifact.stats warm_store in
+  let identical = uncached = cold && cold = warm in
+  rm dir;
+  if not identical then failwith "store-json: cached and uncached pWCETs differ";
+  Printf.printf "  uncached : %8.3f s\n" uncached_s;
+  Printf.printf "  cold     : %8.3f s   (cache populated; %.2fx vs uncached)\n" cold_s
+    (uncached_s /. cold_s);
+  Printf.printf "  warm     : %8.3f s   (%.2fx vs uncached)\n" warm_s (uncached_s /. warm_s);
+  Printf.printf "  pWCETs identical: %b\n" identical;
+  let oc = open_out "BENCH_store.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": 1,\n\
+    \  \"benchmark\": \"adpcm\",\n\
+    \  \"geometry\": { \"sets\": %d, \"ways\": %d, \"line_bytes\": %d },\n\
+    \  \"mechanisms\": [\"none\", \"srb\", \"rw\"],\n\
+    \  \"git_commit\": %S,\n\
+    \  \"runs\": \"best of 3\",\n\
+    \  \"uncached_s\": %.6f,\n\
+    \  \"cold_s\": %.6f,\n\
+    \  \"warm_s\": %.6f,\n\
+    \  \"speedup_warm_vs_uncached\": %.3f,\n\
+    \  \"warm_hits\": %d,\n\
+    \  \"warm_misses\": %d,\n\
+    \  \"pwcets_identical\": %b\n\
+     }\n"
+    wide_config.Cache.Config.sets wide_config.Cache.Config.ways
+    wide_config.Cache.Config.line_bytes (git_commit ()) uncached_s cold_s warm_s
+    (uncached_s /. warm_s) stats.Store.Artifact.hits stats.Store.Artifact.misses identical;
+  close_out oc;
+  Printf.printf "  wrote BENCH_store.json\n"
 
 (* --- Bechamel timing ------------------------------------------------------------ *)
 
@@ -668,5 +768,6 @@ let () =
   if wanted "data-cache" then section_data_cache ();
   if wanted "fmm-json" then section_fmm_json ();
   if wanted "dist-json" then section_dist_json ();
+  if wanted "store-json" then section_store_json ();
   if wanted "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

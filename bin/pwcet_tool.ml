@@ -8,10 +8,13 @@
      suite                    the Fig. 4 table over the whole suite
      simulate <bench>         Monte-Carlo faulty simulation vs the bound
      audit                    invariant auditor over the whole registry
+     cache                    artifact-store maintenance (stat / verify / gc)
 
    Exit codes: 0 success; 1 analysis failure, audit or simulated bound
-   violation; 2 invalid input (bad benchmark, source, cache geometry,
-   probability or budget); cmdliner's own codes for CLI errors. *)
+   violation, or corrupt store entries found by cache verify; 2 invalid
+   input (bad benchmark, source, cache geometry, probability, budget or
+   jobs count); 130 sweep/suite cancelled cleanly by SIGINT/SIGTERM;
+   cmdliner's own codes for CLI errors. *)
 
 open Cmdliner
 
@@ -19,6 +22,7 @@ let default_pfail = 1e-4
 let default_target = 1e-15
 
 let exit_invalid_input = 2
+let exit_cancelled = 130
 
 (* A target is a registered benchmark name or a path to a mini-C source
    file (anything containing '/' or ending in .c). *)
@@ -105,12 +109,29 @@ let exact_arg =
                  relaxation. Under a starved --ilp-nodes budget the solver degrades \
                  back down the Exact -> Relaxed -> Structural ladder instead of failing.")
 
+(* Worker-domain counts are validated at the CLI boundary: a
+   nonsensical value must never reach Pool (0 or a negative count
+   would silently run nothing; thousands of domains would thrash the
+   runtime far past any speedup). *)
+let max_jobs = 256
+
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "invalid jobs count %S" s))
+    | Some n when n < 1 -> Error (`Msg (Printf.sprintf "jobs must be at least 1, got %d" n))
+    | Some n when n > max_jobs ->
+      Error (`Msg (Printf.sprintf "jobs capped at %d, got %d" max_jobs n))
+    | Some n -> Ok n
+  in
+  Arg.conv ~docv:"N" (parse, fun fmt n -> Format.fprintf fmt "%d" n)
+
 let jobs_arg =
-  Arg.(value & opt int (Parallel.Pool.default_jobs ())
+  Arg.(value & opt jobs_conv (min max_jobs (Parallel.Pool.default_jobs ()))
        & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Worker domains for the per-set fault analyses (default: the \
-                 runtime's recommended domain count; 1 = sequential). Results \
-                 are identical for every value.")
+           ~doc:"Worker domains for the per-set fault analyses, between 1 \
+                 (sequential) and 256 (default: the runtime's recommended \
+                 domain count). Results are identical for every value.")
 
 let impl_conv = Arg.enum [ ("naive", `Naive); ("sliced", `Sliced) ]
 
@@ -143,12 +164,105 @@ let budget_of ilp_nodes timeout =
       Printf.eprintf "invalid budget: %s\n" msg;
       exit exit_invalid_input)
 
+(* --- artifact store, resume journal, clean cancellation ----------------- *)
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Crash-safe artifact cache: FMM tables, fault-free WCETs and per-point \
+                 penalty distributions are stored under $(docv) (created as needed), \
+                 keyed by code version, program content and analysis flags, and \
+                 integrity-checked on every read — a corrupt entry is quarantined and \
+                 transparently recomputed. Also the home of sweep/suite resume journals. \
+                 Budget-limited runs (--timeout/--ilp-nodes) bypass the cache.")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Ignore --cache-dir entirely: neither read nor write artifacts or \
+                 journals. Output is bit-identical to a cached run.")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Resume an interrupted run from its journal under --cache-dir: completed \
+                 (mechanism, pfail-point) or benchmark units are replayed from the \
+                 journal (integrity-checked; a torn trailing record from a crash is \
+                 dropped and recomputed) and only the remainder is analysed. The final \
+                 output is bit-identical to an uninterrupted run. Requires --cache-dir; \
+                 incompatible with --verify and with budget options.")
+
+(* Deterministic crash injection for the crash-safety gate in `make
+   check`: kill this very process with SIGKILL — no cleanup, no
+   at_exit, exactly like an OOM kill — right after the Nth journal
+   append, leaving a deliberately torn trailing record. *)
+let crash_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "crash-after" ] ~docv:"N"
+           ~doc:"Testing hook: SIGKILL this process (simulating a crash mid-write, with a \
+                 torn trailing journal record) after $(docv) journal appends.")
+
+let store_of cache_dir no_cache =
+  match cache_dir with
+  | Some dir when not no_cache -> Some (Store.Artifact.open_store ~dir)
+  | _ -> None
+
+let report_store_stats store =
+  match store with
+  | None -> ()
+  | Some st ->
+    Format.eprintf "cache: %a@." Store.Artifact.pp_stats (Store.Artifact.stats st)
+
+(* SIGINT/SIGTERM request a clean cancel: the flag is checked between
+   units, so the journal is left consistent (every appended record
+   complete and fsynced), no partial JSON is emitted, and the exit
+   code is 130. A second Ctrl-C still kills the process the hard way —
+   which the torn-record handling tolerates by design. *)
+let cancel_requested = ref false
+
+let install_cancel_handlers () =
+  let handle = Sys.Signal_handle (fun _ -> cancel_requested := true) in
+  List.iter
+    (fun signal -> try Sys.set_signal signal handle with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let bail_if_cancelled ?journal label =
+  if !cancel_requested then begin
+    Option.iter Store.Journal.close journal;
+    Printf.eprintf
+      "%s: cancelled by signal; completed units are journalled, rerun with --resume to \
+       continue\n"
+      label;
+    exit exit_cancelled
+  end
+
+let maybe_crash crash_after ~appended ~journal_path =
+  match crash_after with
+  | Some n when appended >= n ->
+    (* Torn trailing record: a length prefix promising far more bytes
+       than will ever arrive. [resume] must drop it. *)
+    let oc = open_out_gen [ Open_append; Open_binary ] 0o644 journal_path in
+    output_string oc "\xff\xff\xff\xff\xff\xff\xff\x7ftorn";
+    flush oc;
+    Unix.kill (Unix.getpid ()) Sys.sigkill
+  | _ -> ()
+
+let float_key f = Int64.to_string (Int64.bits_of_float f)
+let engine_tag = function `Path -> "path" | `Ilp -> "ilp"
+let impl_tag = function `Naive -> "naive" | `Sliced -> "sliced"
+
 let exits =
   Cmd.Exit.info 1
-    ~doc:"on an analysis failure, an audit violation, or a simulated bound violation."
+    ~doc:"on an analysis failure, an audit violation, a simulated bound violation, or \
+          corrupt artifact-store entries found by cache verify."
   :: Cmd.Exit.info exit_invalid_input
        ~doc:"on invalid input: unknown benchmark, source parse/type error, bad cache \
-             geometry, probability outside (0, 1), or a malformed budget."
+             geometry, probability outside (0, 1), a malformed budget, an out-of-range \
+             jobs count, or an inconsistent --resume combination."
+  :: Cmd.Exit.info exit_cancelled
+       ~doc:"when SIGINT/SIGTERM cancels a sweep/suite run cleanly: the resume journal \
+             is left consistent, no partial JSON is emitted, and completed units can be \
+             replayed with --resume."
   :: Cmd.Exit.defaults
 
 let cmd_info name ~doc = Cmd.info name ~doc ~exits
@@ -194,13 +308,14 @@ let disasm_cmd =
 
 let analyze_cmd =
   let run name pfail target sets ways line engine exact jobs impl ilp_nodes timeout show_curve
-      show_fmm check =
+      show_fmm check cache_dir no_cache =
     let label, compiled = compile_target name in
     let config = config_of sets ways line in
     let budget = budget_of ilp_nodes timeout in
+    let store = store_of cache_dir no_cache in
     let task =
       Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine ~exact
-        ?budget ()
+        ?budget ?store ()
     in
     Printf.printf "benchmark      : %s\n" label;
     Format.printf "cache          : %a@." Cache.Config.pp config;
@@ -214,11 +329,12 @@ let analyze_cmd =
         (fun mech ->
           let est =
             Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~exact ~jobs ~impl
-              ?budget ()
+              ?budget ?store ()
           in
           (mech, est))
         Pwcet.Mechanism.all
     in
+    report_store_stats store;
     List.iter
       (fun (mech, est) ->
         Printf.printf "%-30s pWCET(%g) = %d cycles%s\n" (Pwcet.Mechanism.name mech) target
@@ -281,54 +397,199 @@ let analyze_cmd =
        ~doc:"pWCET analysis of one benchmark (or mini-C file) under all three mechanisms")
     Term.(const run $ bench_arg $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg
           $ engine_arg $ exact_arg $ jobs_arg $ impl_arg $ ilp_nodes_arg $ timeout_arg
-          $ curve_arg $ fmm_arg $ check_arg)
+          $ curve_arg $ fmm_arg $ check_arg $ cache_dir_arg $ no_cache_arg)
 
 (* --- sweep ------------------------------------------------------------------ *)
 
+(* A sweep point as displayed, journalled and emitted as JSON —
+   identical in shape whether freshly computed or replayed from a
+   resume journal, which is what makes resumed output bit-identical to
+   an uninterrupted run. *)
+type sweep_point = {
+  sp_pfail : float;
+  sp_pbf : float;
+  sp_rung : Robust.Rung.t;
+  sp_pwcets : int list;  (* one per target, in --targets order *)
+}
+
+let sweep_point_payload ~mech_name point =
+  let w = Store.Wire.writer () in
+  Store.Wire.put_string w mech_name;
+  Store.Wire.put_float w point.sp_pfail;
+  Store.Wire.put_float w point.sp_pbf;
+  Store.Wire.put_int w (Robust.Rung.to_tag point.sp_rung);
+  Store.Wire.put_int_array w (Array.of_list point.sp_pwcets);
+  Store.Wire.contents w
+
+let sweep_point_of_payload payload =
+  match
+    Store.Wire.decode payload (fun r ->
+        let mech_name = Store.Wire.get_string r in
+        let sp_pfail = Store.Wire.get_float r in
+        let sp_pbf = Store.Wire.get_float r in
+        let sp_rung =
+          match Robust.Rung.of_tag (Store.Wire.get_int r) with
+          | Some rung -> rung
+          | None -> Store.Wire.malformed "bad rung tag"
+        in
+        let sp_pwcets = Array.to_list (Store.Wire.get_int_array r) in
+        (mech_name, { sp_pfail; sp_pbf; sp_rung; sp_pwcets }))
+  with
+  | Ok v -> Some v
+  | Error _ -> None
+
 let sweep_cmd =
   let run name grid targets sets ways line engine exact jobs impl ilp_nodes timeout mechanisms
-      json_file verify =
+      json_file verify cache_dir no_cache resume crash_after =
+    if resume && cache_dir = None then begin
+      Printf.eprintf "sweep: --resume requires --cache-dir (the journal lives there)\n";
+      exit exit_invalid_input
+    end;
+    if resume && verify then begin
+      Printf.eprintf "sweep: --resume is incompatible with --verify (replayed points have \
+                      no distribution to cross-check); rerun the verification without \
+                      --resume\n";
+      exit exit_invalid_input
+    end;
+    if resume && (ilp_nodes <> None || timeout <> None) then begin
+      Printf.eprintf "sweep: --resume is incompatible with budget options (budgeted \
+                      results depend on wall-clock and are never journalled)\n";
+      exit exit_invalid_input
+    end;
+    install_cancel_handlers ();
     let label, compiled = compile_target name in
     let config = config_of sets ways line in
     let budget = budget_of ilp_nodes timeout in
+    let store = store_of cache_dir no_cache in
     let task =
       Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine ~exact
-        ?budget ()
+        ?budget ?store ()
     in
+    (* The run key digests everything that shapes the output; a journal
+       written under different parameters is ignored wholesale. *)
+    let run_key =
+      Store.Artifact.key
+        (task.Pwcet.Estimator.identity
+        @ [ ("run", "sweep");
+            ("engine", engine_tag engine);
+            ("exact", string_of_bool exact);
+            ("impl", impl_tag impl);
+            ("grid", String.concat "," (List.map float_key grid));
+            ("targets", String.concat "," (List.map float_key targets));
+            ("mechanisms",
+             String.concat "," (List.map Pwcet.Mechanism.short_name mechanisms)) ])
+    in
+    let journal, replayed =
+      match store with
+      | Some st when budget = None ->
+        let path = Store.Artifact.journal_path st ~run_key in
+        if resume then
+          let w, units = Store.Journal.resume ~path ~run_key in
+          (Some (w, path), units)
+        else (Some (Store.Journal.create ~path ~run_key, path), [])
+      | _ -> (None, [])
+    in
+    let writer = Option.map fst journal in
+    let completed = Hashtbl.create 16 in
+    List.iter
+      (fun payload ->
+        match sweep_point_of_payload payload with
+        | Some (mech_name, point) ->
+          Hashtbl.replace completed (mech_name, Int64.bits_of_float point.sp_pfail) point
+        | None -> ())
+      replayed;
+    if Hashtbl.length completed > 0 then
+      Printf.eprintf "sweep: resuming %s: %d completed point(s) replayed from the journal\n"
+        label (Hashtbl.length completed);
+    let appended = ref 0 in
+    let append_point mech_name point =
+      match journal with
+      | None -> ()
+      | Some (w, path) ->
+        Store.Journal.append w (sweep_point_payload ~mech_name point);
+        incr appended;
+        maybe_crash crash_after ~appended:!appended ~journal_path:path
+    in
+    let point_of_est est =
+      { sp_pfail = est.Pwcet.Estimator.pfail;
+        sp_pbf = est.Pwcet.Estimator.pbf;
+        sp_rung = Pwcet.Estimator.worst_rung est;
+        sp_pwcets = List.map (fun target -> Pwcet.Estimator.pwcet est ~target) targets }
+    in
+    (* Fresh estimates kept around for --verify's cross-check. *)
+    let fresh_ests = Hashtbl.create 16 in
     let results =
       List.map
         (fun mech ->
-          ( mech,
-            Pwcet.Estimator.sweep task ~pfail_grid:grid ~mechanism:mech ~engine ~exact ~jobs
-              ~impl ?budget () ))
+          bail_if_cancelled ?journal:writer "sweep";
+          let mech_name = Pwcet.Mechanism.short_name mech in
+          let missing =
+            List.filter
+              (fun pfail -> not (Hashtbl.mem completed (mech_name, Int64.bits_of_float pfail)))
+              grid
+          in
+          let record est =
+            report_degradation mech_name est;
+            let point = point_of_est est in
+            Hashtbl.replace completed
+              (mech_name, Int64.bits_of_float est.Pwcet.Estimator.pfail)
+              point;
+            Hashtbl.replace fresh_ests
+              (mech_name, Int64.bits_of_float est.Pwcet.Estimator.pfail)
+              est;
+            append_point mech_name point
+          in
+          (match journal with
+          | Some _ ->
+            (* Journaled path: one estimate per point, so cancellation
+               and crashes have point granularity. The pfail-independent
+               work (FMM, fault-free WCET) is amortised through the
+               artifact store instead of the in-process sweep loop —
+               same bits either way. *)
+            List.iter
+              (fun pfail ->
+                bail_if_cancelled ?journal:writer "sweep";
+                record
+                  (Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~exact ~jobs
+                     ~impl ?budget ?store ()))
+              missing
+          | None ->
+            if missing <> [] then
+              List.iter record
+                (Pwcet.Estimator.sweep task ~pfail_grid:missing ~mechanism:mech ~engine ~exact
+                   ~jobs ~impl ?budget ?store ()));
+          let points =
+            List.map
+              (fun pfail -> Hashtbl.find completed (mech_name, Int64.bits_of_float pfail))
+              grid
+          in
+          (mech, points))
         mechanisms
     in
+    Option.iter Store.Journal.close writer;
     Printf.printf "benchmark      : %s\n" label;
     Format.printf "cache          : %a@." Cache.Config.pp config;
     Printf.printf "fault-free WCET: %d cycles%s\n" (Pwcet.Estimator.fault_free_wcet task)
       (rung_tag task.Pwcet.Estimator.wcet_rung);
     List.iter
-      (fun (mech, ests) ->
+      (fun (mech, points) ->
         Printf.printf "\n%s\n" (Pwcet.Mechanism.name mech);
         Printf.printf "  %-12s" "pfail";
         List.iter (fun t -> Printf.printf "  pWCET(%g)" t) targets;
         print_newline ();
         List.iter
-          (fun est ->
-            Printf.printf "  %-12g" est.Pwcet.Estimator.pfail;
-            List.iter
-              (fun target ->
-                Printf.printf "  %10d" (Pwcet.Estimator.pwcet est ~target))
-              targets;
-            Printf.printf "%s\n" (rung_tag (Pwcet.Estimator.worst_rung est));
-            report_degradation (Pwcet.Mechanism.short_name mech) est)
-          ests)
+          (fun point ->
+            Printf.printf "  %-12g" point.sp_pfail;
+            List.iter (fun q -> Printf.printf "  %10d" q) point.sp_pwcets;
+            Printf.printf "%s\n" (rung_tag point.sp_rung))
+          points)
       results;
     (match json_file with
     | None -> ()
     | Some file ->
       let buf = Buffer.create 1024 in
       Buffer.add_string buf "{\n";
+      Buffer.add_string buf "  \"schema_version\": 1,\n";
       Printf.bprintf buf "  \"benchmark\": %S,\n" label;
       Printf.bprintf buf "  \"geometry\": { \"sets\": %d, \"ways\": %d, \"line_bytes\": %d },\n"
         sets ways line;
@@ -337,19 +598,16 @@ let sweep_cmd =
         (String.concat ", " (List.map (Printf.sprintf "%.17g") targets));
       Buffer.add_string buf "  \"mechanisms\": [\n";
       List.iteri
-        (fun i (mech, ests) ->
+        (fun i (mech, points) ->
           Printf.bprintf buf "    { \"mechanism\": %S,\n      \"points\": [\n"
             (Pwcet.Mechanism.short_name mech);
           List.iteri
-            (fun j est ->
+            (fun j point ->
               Printf.bprintf buf "        { \"pfail\": %.17g, \"pbf\": %.17g, \"pwcet\": [%s] }%s\n"
-                est.Pwcet.Estimator.pfail est.Pwcet.Estimator.pbf
-                (String.concat ", "
-                   (List.map
-                      (fun target -> string_of_int (Pwcet.Estimator.pwcet est ~target))
-                      targets))
-                (if j = List.length ests - 1 then "" else ","))
-            ests;
+                point.sp_pfail point.sp_pbf
+                (String.concat ", " (List.map string_of_int point.sp_pwcets))
+                (if j = List.length points - 1 then "" else ","))
+            points;
           Printf.bprintf buf "      ] }%s\n" (if i = List.length results - 1 then "" else ","))
         results;
       Buffer.add_string buf "  ]\n}\n";
@@ -358,40 +616,46 @@ let sweep_cmd =
       close_out oc;
       Printf.printf "\nwrote %s\n" file);
     if verify then begin
-      (* Re-run every grid point as an independent end-to-end estimate
-         and demand bit-identical penalty distributions and equal pWCET
-         quantiles — the amortisation must be a pure refactoring of the
-         computation, never an approximation. *)
+      (* Re-run every grid point as an independent end-to-end estimate —
+         deliberately WITHOUT the store, so a cached sweep is checked
+         against genuine recomputation — and demand bit-identical
+         penalty distributions and equal pWCET quantiles. The
+         amortisation (in-process or through the cache) must be a pure
+         refactoring of the computation, never an approximation. *)
       let mismatches = ref 0 in
       List.iter
-        (fun (mech, ests) ->
+        (fun (mech, points) ->
+          let mech_name = Pwcet.Mechanism.short_name mech in
           List.iter2
-            (fun pfail est ->
+            (fun pfail point ->
               let independent =
                 Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~exact ~jobs ~impl
                   ?budget ()
+              in
+              let est =
+                Hashtbl.find fresh_ests (mech_name, Int64.bits_of_float pfail)
               in
               let same_support =
                 Prob.Dist.support independent.Pwcet.Estimator.penalty
                 = Prob.Dist.support est.Pwcet.Estimator.penalty
               in
               let same_quantiles =
-                List.for_all
-                  (fun target ->
-                    Pwcet.Estimator.pwcet independent ~target = Pwcet.Estimator.pwcet est ~target)
-                  targets
+                List.for_all2
+                  (fun target q -> Pwcet.Estimator.pwcet independent ~target = q)
+                  targets point.sp_pwcets
               in
               if not (same_support && same_quantiles) then begin
                 incr mismatches;
                 Printf.eprintf "verify FAILED: %s pfail=%g differs from an independent estimate\n"
-                  (Pwcet.Mechanism.short_name mech) pfail
+                  mech_name pfail
               end)
-            grid ests)
+            grid points)
         results;
       if !mismatches > 0 then exit 1
       else Printf.printf "\nverify: all %d sweep points bit-identical to independent estimates\n"
              (List.length grid * List.length results)
-    end
+    end;
+    report_store_stats store
   in
   let grid_arg =
     Arg.(value & opt (list ~sep:',' prob_conv) [ 1e-6; 1e-5; 1e-4; 1e-3 ]
@@ -435,25 +699,24 @@ let sweep_cmd =
              pfail-independent analysis once per mechanism")
     Term.(const run $ bench_arg $ grid_arg $ targets_arg $ sets_arg $ ways_arg $ line_arg
           $ engine_arg $ exact_arg $ jobs_arg $ impl_arg $ ilp_nodes_arg $ timeout_arg
-          $ mechanism_arg $ json_arg $ verify_arg)
+          $ mechanism_arg $ json_arg $ verify_arg $ cache_dir_arg $ no_cache_arg $ resume_arg
+          $ crash_after_arg)
 
 (* --- suite ------------------------------------------------------------------ *)
 
-let suite_row config ~pfail ~target ~engine ~exact ~jobs ?budget (e : Benchmarks.Registry.entry) =
-  let compiled = Minic.Compile.compile e.Benchmarks.Registry.program in
-  let task =
-    Pwcet.Estimator.prepare ~program:compiled.Minic.Compile.program ~config ~engine ~exact
-      ?budget ()
-  in
+let suite_row config ~pfail ~target ~engine ~exact ~jobs ?budget ?store (name, program) =
+  let task = Pwcet.Estimator.prepare ~program ~config ~engine ~exact ?budget ?store () in
   let worst = ref task.Pwcet.Estimator.wcet_rung in
   let pwcet mech =
-    let est = Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~exact ~jobs ?budget () in
+    let est =
+      Pwcet.Estimator.estimate task ~pfail ~mechanism:mech ~engine ~exact ~jobs ?budget ?store ()
+    in
     worst := Robust.Rung.worst !worst (Pwcet.Estimator.worst_rung est);
     Pwcet.Estimator.pwcet est ~target
   in
   let row =
     {
-      Pwcet.Report_data.name = e.Benchmarks.Registry.name;
+      Pwcet.Report_data.name;
       wcet_ff = Pwcet.Estimator.fault_free_wcet task;
       pwcet_none = pwcet Pwcet.Mechanism.No_protection;
       pwcet_srb = pwcet Pwcet.Mechanism.Shared_reliable_buffer;
@@ -462,15 +725,115 @@ let suite_row config ~pfail ~target ~engine ~exact ~jobs ?budget (e : Benchmarks
   in
   (row, !worst)
 
+(* One journal record per completed benchmark row. *)
+let suite_row_payload (row : Pwcet.Report_data.row) rung =
+  let w = Store.Wire.writer () in
+  Store.Wire.put_string w row.Pwcet.Report_data.name;
+  Store.Wire.put_int w row.Pwcet.Report_data.wcet_ff;
+  Store.Wire.put_int w row.Pwcet.Report_data.pwcet_none;
+  Store.Wire.put_int w row.Pwcet.Report_data.pwcet_srb;
+  Store.Wire.put_int w row.Pwcet.Report_data.pwcet_rw;
+  Store.Wire.put_int w (Robust.Rung.to_tag rung);
+  Store.Wire.contents w
+
+let suite_row_of_payload payload =
+  match
+    Store.Wire.decode payload (fun r ->
+        let name = Store.Wire.get_string r in
+        let wcet_ff = Store.Wire.get_int r in
+        let pwcet_none = Store.Wire.get_int r in
+        let pwcet_srb = Store.Wire.get_int r in
+        let pwcet_rw = Store.Wire.get_int r in
+        let rung =
+          match Robust.Rung.of_tag (Store.Wire.get_int r) with
+          | Some rung -> rung
+          | None -> Store.Wire.malformed "bad rung tag"
+        in
+        ({ Pwcet.Report_data.name; wcet_ff; pwcet_none; pwcet_srb; pwcet_rw }, rung))
+  with
+  | Ok v -> Some v
+  | Error _ -> None
+
 let suite_cmd =
-  let run pfail target sets ways line engine exact jobs ilp_nodes timeout =
+  let run pfail target sets ways line engine exact jobs ilp_nodes timeout cache_dir no_cache
+      resume crash_after =
+    if resume && cache_dir = None then begin
+      Printf.eprintf "suite: --resume requires --cache-dir (the journal lives there)\n";
+      exit exit_invalid_input
+    end;
+    if resume && (ilp_nodes <> None || timeout <> None) then begin
+      Printf.eprintf "suite: --resume is incompatible with budget options (budgeted \
+                      results depend on wall-clock and are never journalled)\n";
+      exit exit_invalid_input
+    end;
+    install_cancel_handlers ();
     let config = config_of sets ways line in
     let budget = budget_of ilp_nodes timeout in
-    let rows =
+    let store = store_of cache_dir no_cache in
+    let entries =
       List.map
-        (suite_row config ~pfail ~target ~engine ~exact ~jobs ?budget)
+        (fun (e : Benchmarks.Registry.entry) ->
+          ( e.Benchmarks.Registry.name,
+            (Minic.Compile.compile e.Benchmarks.Registry.program).Minic.Compile.program ))
         Benchmarks.Registry.all
     in
+    let run_key =
+      Store.Artifact.key
+        ([ ("run", "suite");
+           ("code", Pwcet.Estimator.code_version);
+           ("config", Format.asprintf "%a" Cache.Config.pp config);
+           ("pfail", float_key pfail);
+           ("target", float_key target);
+           ("engine", engine_tag engine);
+           ("exact", string_of_bool exact) ]
+        @ List.map
+            (fun (name, program) ->
+              (name, Digest.to_hex (Digest.string (Format.asprintf "%a" Isa.Program.pp program))))
+            entries)
+    in
+    let journal, replayed =
+      match store with
+      | Some st when budget = None ->
+        let path = Store.Artifact.journal_path st ~run_key in
+        if resume then
+          let w, units = Store.Journal.resume ~path ~run_key in
+          (Some (w, path), units)
+        else (Some (Store.Journal.create ~path ~run_key, path), [])
+      | _ -> (None, [])
+    in
+    let writer = Option.map fst journal in
+    let completed = Hashtbl.create 16 in
+    List.iter
+      (fun payload ->
+        match suite_row_of_payload payload with
+        | Some (row, rung) -> Hashtbl.replace completed row.Pwcet.Report_data.name (row, rung)
+        | None -> ())
+      replayed;
+    if Hashtbl.length completed > 0 then
+      Printf.eprintf "suite: resuming: %d completed benchmark(s) replayed from the journal\n"
+        (Hashtbl.length completed);
+    let appended = ref 0 in
+    let rows =
+      List.map
+        (fun (name, program) ->
+          bail_if_cancelled ?journal:writer "suite";
+          match Hashtbl.find_opt completed name with
+          | Some cached -> cached
+          | None ->
+            let (row, rung) =
+              suite_row config ~pfail ~target ~engine ~exact ~jobs ?budget ?store
+                (name, program)
+            in
+            (match journal with
+            | None -> ()
+            | Some (w, path) ->
+              Store.Journal.append w (suite_row_payload row rung);
+              incr appended;
+              maybe_crash crash_after ~appended:!appended ~journal_path:path);
+            (row, rung))
+        entries
+    in
+    Option.iter Store.Journal.close writer;
     print_string (Reporting.Table.fig4 (List.map fst rows));
     print_newline ();
     print_string (Reporting.Table.aggregates (List.map fst rows));
@@ -482,11 +845,13 @@ let suite_cmd =
         rows
     in
     if degraded <> [] then
-      Printf.printf "\ndegraded (budget-limited, still sound): %s\n" (String.concat ", " degraded)
+      Printf.printf "\ndegraded (budget-limited, still sound): %s\n" (String.concat ", " degraded);
+    report_store_stats store
   in
   Cmd.v (cmd_info "suite" ~doc:"Fig. 4 table: the whole suite under all three mechanisms")
     Term.(const run $ pfail_arg $ target_arg $ sets_arg $ ways_arg $ line_arg $ engine_arg
-          $ exact_arg $ jobs_arg $ ilp_nodes_arg $ timeout_arg)
+          $ exact_arg $ jobs_arg $ ilp_nodes_arg $ timeout_arg $ cache_dir_arg $ no_cache_arg
+          $ resume_arg $ crash_after_arg)
 
 (* --- simulate -------------------------------------------------------------- *)
 
@@ -584,6 +949,76 @@ let audit_cmd =
     Term.(const run $ pfail_arg $ sets_arg $ ways_arg $ line_arg $ jobs_arg $ samples_arg
           $ seed_arg)
 
+(* --- cache (artifact-store maintenance) -------------------------------------- *)
+
+let cache_dir_required =
+  Arg.(required & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR" ~doc:"The artifact store directory.")
+
+let cache_stat_cmd =
+  let run dir =
+    let st = Store.Artifact.open_store ~dir in
+    let d = Store.Artifact.disk_stats st in
+    Printf.printf "store      : %s\n" (Store.Artifact.root st);
+    Printf.printf "objects    : %d (%d bytes)\n" d.Store.Artifact.objects
+      d.Store.Artifact.object_bytes;
+    Printf.printf "quarantined: %d\n" d.Store.Artifact.quarantined;
+    Printf.printf "journals   : %d\n" d.Store.Artifact.journals
+  in
+  Cmd.v
+    (cmd_info "stat" ~doc:"What is in the artifact store: object/journal counts and bytes")
+    Term.(const run $ cache_dir_required)
+
+let cache_verify_cmd =
+  let run dir =
+    let st = Store.Artifact.open_store ~dir in
+    let r = Store.Artifact.verify ~expected:Pwcet.Estimator.artifact_kinds st in
+    Printf.printf "checked %d object(s): %d intact, %d corrupt (quarantined), %d stale\n"
+      r.Store.Artifact.total r.Store.Artifact.intact
+      (List.length r.Store.Artifact.quarantined)
+      (List.length r.Store.Artifact.stale);
+    List.iter
+      (fun (key, e) ->
+        Printf.printf "  corrupt %s: %s\n" key (Robust.Pwcet_error.to_string e))
+      r.Store.Artifact.quarantined;
+    List.iter
+      (fun (key, e) ->
+        Printf.printf "  stale   %s: %s\n" key (Robust.Pwcet_error.to_string e))
+      r.Store.Artifact.stale;
+    if r.Store.Artifact.quarantined <> [] then exit 1
+  in
+  Cmd.v
+    (cmd_info "verify"
+       ~doc:"Integrity-check every stored artifact; corrupt entries are quarantined (and \
+             will be recomputed on next use). Exit 1 if any corruption was found. Intact \
+             entries of an outdated format version are reported as stale.")
+    Term.(const run $ cache_dir_required)
+
+let cache_gc_cmd =
+  let run dir all =
+    let st = Store.Artifact.open_store ~dir in
+    let files, bytes = Store.Artifact.gc ~all st in
+    Printf.printf "removed %d file(s), %d bytes\n" files bytes
+  in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Drop every object and journal too — a full reset, not just the \
+                   quarantine and stale temp files.")
+  in
+  Cmd.v
+    (cmd_info "gc"
+       ~doc:"Empty the quarantine and drop stale temp files; with --all, reset the whole \
+             store.")
+    Term.(const run $ cache_dir_required $ all_arg)
+
+let cache_cmd =
+  Cmd.group
+    (cmd_info "cache"
+       ~doc:"Artifact-store maintenance: stat (disk usage), verify (integrity check every \
+             entry), gc (quarantine/full cleanup)")
+    [ cache_stat_cmd; cache_verify_cmd; cache_gc_cmd ]
+
 (* --- source ------------------------------------------------------------------ *)
 
 let source_cmd =
@@ -638,4 +1073,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; sweep_cmd; suite_cmd; simulate_cmd;
-            audit_cmd; refined_cmd ]))
+            audit_cmd; refined_cmd; cache_cmd ]))

@@ -6,6 +6,7 @@ type task = {
   chmc : Cache_analysis.Chmc.t;
   wcet_ff : int;
   wcet_rung : Robust.Rung.t;
+  identity : (string * string) list;
 }
 
 type estimate = {
@@ -17,41 +18,139 @@ type estimate = {
   penalty : Prob.Dist.t;
 }
 
-let prepare ~program ~config ?(engine = `Path) ?(exact = false) ?budget () =
+(* --- artifact-store plumbing --------------------------------------------- *)
+
+(* Bump whenever a change can alter any computed table: every existing
+   artifact then keys differently and reads as a miss, not a stale
+   hit. *)
+let code_version = "pwcet-analysis-1"
+
+let wcet_kind = "WCET" and wcet_version = 1
+let fmm_kind = "FMM " and fmm_version = 1
+let dist_kind = "DIST" and dist_version = 1
+
+let artifact_kinds =
+  [ (wcet_kind, wcet_version); (fmm_kind, fmm_version); (dist_kind, dist_version) ]
+
+let engine_tag = function `Path -> "path" | `Ilp -> "ilp"
+let impl_tag = function `Naive -> "naive" | `Sliced -> "sliced"
+
+let identity_of ~program ~config =
+  [ ("code", code_version);
+    (* Content digest, not a name: editing a benchmark or source file
+       changes the key, so a stale artifact cannot shadow new code. *)
+    ("program", Digest.to_hex (Digest.string (Format.asprintf "%a" Isa.Program.pp program)));
+    ("sets", string_of_int config.Cache.Config.sets);
+    ("ways", string_of_int config.Cache.Config.ways);
+    ("line", string_of_int config.Cache.Config.line_bytes);
+    ("hit", string_of_int config.Cache.Config.hit_latency);
+    ("miss", string_of_int config.Cache.Config.miss_latency) ]
+
+(* Read-through cache wrapper. Budgeted runs bypass the store in both
+   directions: their outcomes depend on wall-clock, so a cached
+   degraded table could mask an exact one (and vice versa). A payload
+   that decodes but fails semantic validation is quarantined exactly
+   like a checksum failure — corruption costs a recompute, never a
+   wrong result. *)
+let cached ~store ~budget ~parts ~kind ~version ~encode ~decode compute =
+  match store with
+  | Some st when budget = None -> (
+    let key = Store.Artifact.key parts in
+    let recompute_and_put () =
+      let v = compute () in
+      Store.Artifact.put st ~key ~kind ~version (encode v);
+      v
+    in
+    match Store.Artifact.get st ~key ~kind ~version with
+    | None -> recompute_and_put ()
+    | Some payload -> (
+      match decode payload with
+      | Ok v -> v
+      | Error reason ->
+        Store.Artifact.quarantine st ~key ~reason;
+        recompute_and_put ()))
+  | _ -> compute ()
+
+let prepare ~program ~config ?(engine = `Path) ?(exact = false) ?budget ?store () =
   let graph = Cfg.Graph.build program in
   let loops = Cfg.Loop.detect graph in
   let ctx = Cache_analysis.Context.make ~graph ~loops ~config in
   let chmc = Cache_analysis.Chmc.analyze ~ctx ~graph ~loops ~config () in
-  let result, wcet_rung =
-    match Ipet.Wcet.compute_result ~graph ~loops ~chmc ~config ~engine ~exact ?budget () with
-    | Ok v -> v
-    | Error e -> Robust.Pwcet_error.raise_error e
+  let identity = identity_of ~program ~config in
+  let wcet_ff, wcet_rung =
+    cached ~store ~budget
+      ~parts:
+        (identity
+        @ [ ("artifact", "wcet"); ("engine", engine_tag engine);
+            ("exact", string_of_bool exact) ])
+      ~kind:wcet_kind ~version:wcet_version
+      ~encode:(fun (wcet, rung) ->
+        let w = Store.Wire.writer () in
+        Store.Wire.put_int w wcet;
+        Store.Wire.put_int w (Robust.Rung.to_tag rung);
+        Store.Wire.contents w)
+      ~decode:(fun payload ->
+        Store.Wire.decode payload (fun r ->
+            let wcet = Store.Wire.get_int r in
+            let tag = Store.Wire.get_int r in
+            if wcet < 0 then Store.Wire.malformed "wcet artifact: negative WCET";
+            match Robust.Rung.of_tag tag with
+            | Some rung -> (wcet, rung)
+            | None -> Store.Wire.malformed "wcet artifact: unknown rung tag"))
+      (fun () ->
+        match Ipet.Wcet.compute_result ~graph ~loops ~chmc ~config ~engine ~exact ?budget () with
+        | Ok (result, rung) -> (result.Ipet.Wcet.wcet, rung)
+        | Error e -> Robust.Pwcet_error.raise_error e)
   in
-  { graph; loops; config; ctx; chmc; wcet_ff = result.Ipet.Wcet.wcet; wcet_rung }
+  { graph; loops; config; ctx; chmc; wcet_ff; wcet_rung; identity }
 
 (* The FMM (and everything upstream of it) is pfail-independent: pfail
    only enters through the binomial reweighting of the per-set penalty
    distributions. [compute_fmm] is the expensive pfail-free prefix,
    [estimate_with_fmm] the cheap per-pfail suffix — [sweep] amortises
-   the former across a whole grid. *)
-let compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget () =
-  Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine ~exact
-    ~jobs ~impl ~ctx:task.ctx ?budget ()
+   the former across a whole grid, and the store persists both across
+   processes. [jobs] stays out of every key: results are bit-identical
+   across job counts. *)
+let fmm_parts task ~mechanism ~engine ~exact ~impl =
+  task.identity
+  @ [ ("mechanism", Mechanism.short_name mechanism); ("engine", engine_tag engine);
+      ("exact", string_of_bool exact); ("impl", impl_tag impl) ]
 
-let estimate_with_fmm task ~fmm ~mechanism ~jobs ~pfail =
+let compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget ?store () =
+  cached ~store ~budget
+    ~parts:(("artifact", "fmm") :: fmm_parts task ~mechanism ~engine ~exact ~impl)
+    ~kind:fmm_kind ~version:fmm_version ~encode:Fmm.to_wire
+    ~decode:(Fmm.of_wire ~config:task.config ~mechanism)
+    (fun () ->
+      Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine
+        ~exact ~jobs ~impl ~ctx:task.ctx ?budget ())
+
+let estimate_with_fmm task ~fmm ~parts ~mechanism ~jobs ~pfail ?budget ?store () =
   let pbf = Fault.Model.pbf_of_config ~pfail task.config in
-  let penalty = Penalty.total_distribution ~jobs ~fmm ~pbf () in
+  let penalty =
+    cached ~store ~budget
+      ~parts:
+        (("artifact", "penalty")
+        :: ("pfail", Int64.to_string (Int64.bits_of_float pfail))
+        :: parts)
+      ~kind:dist_kind ~version:dist_version ~encode:Prob.Dist.to_wire ~decode:Prob.Dist.of_wire
+      (fun () -> Penalty.total_distribution ~jobs ~fmm ~pbf ())
+  in
   { task; mechanism; pfail; pbf; fmm; penalty }
 
 let estimate task ~pfail ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
-    ?(impl = `Sliced) ?budget () =
-  let fmm = compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget () in
-  estimate_with_fmm task ~fmm ~mechanism ~jobs ~pfail
+    ?(impl = `Sliced) ?budget ?store () =
+  let fmm = compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget ?store () in
+  let parts = fmm_parts task ~mechanism ~engine ~exact ~impl in
+  estimate_with_fmm task ~fmm ~parts ~mechanism ~jobs ~pfail ?budget ?store ()
 
 let sweep task ~pfail_grid ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
-    ?(impl = `Sliced) ?budget () =
-  let fmm = compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget () in
-  List.map (fun pfail -> estimate_with_fmm task ~fmm ~mechanism ~jobs ~pfail) pfail_grid
+    ?(impl = `Sliced) ?budget ?store () =
+  let fmm = compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget ?store () in
+  let parts = fmm_parts task ~mechanism ~engine ~exact ~impl in
+  List.map
+    (fun pfail -> estimate_with_fmm task ~fmm ~parts ~mechanism ~jobs ~pfail ?budget ?store ())
+    pfail_grid
 
 let pwcet e ~target = e.task.wcet_ff + Prob.Dist.quantile e.penalty ~target
 

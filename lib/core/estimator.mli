@@ -20,6 +20,10 @@ type task = private {
   chmc : Cache_analysis.Chmc.t;
   wcet_ff : int;  (** fault-free WCET, cycles *)
   wcet_rung : Robust.Rung.t;  (** ladder rung that produced [wcet_ff] *)
+  identity : (string * string) list;
+      (** labelled artifact-key components pinning everything the
+          analysis results depend on: code version, program content
+          digest, cache geometry and latencies *)
 }
 
 type estimate = private {
@@ -31,14 +35,33 @@ type estimate = private {
   penalty : Prob.Dist.t;  (** total fault-induced penalty distribution *)
 }
 
+val code_version : string
+(** Version stamp of the analysis semantics, baked into every artifact
+    key — bump it whenever a change can alter any computed table, and
+    every cached artifact silently becomes a miss instead of a stale
+    hit. *)
+
+val artifact_kinds : (string * int) list
+(** The artifact kinds this module writes with their current envelope
+    format versions — what [cache verify] passes to
+    {!Store.Artifact.verify} as [expected]. *)
+
 val prepare :
   program:Isa.Program.t ->
   config:Cache.Config.t ->
   ?engine:[ `Path | `Ilp ] ->
   ?exact:bool ->
   ?budget:Robust.Budget.t ->
+  ?store:Store.Artifact.t ->
   unit ->
   task
+(** [store] caches the fault-free WCET (the ILP/path-engine result —
+    the expensive, pfail-independent tail of preparation) keyed by
+    program content, geometry and engine flags. Lookups are
+    integrity-checked; a corrupt entry is quarantined and recomputed.
+    Budgeted runs ([budget] present) bypass the store entirely: their
+    results depend on wall-clock, so they are neither read nor
+    written. *)
 
 val estimate :
   task ->
@@ -49,6 +72,7 @@ val estimate :
   ?jobs:int ->
   ?impl:[ `Naive | `Sliced ] ->
   ?budget:Robust.Budget.t ->
+  ?store:Store.Artifact.t ->
   unit ->
   estimate
 (** [jobs] (default 1) runs the independent per-set FMM analyses and
@@ -56,7 +80,14 @@ val estimate :
     identical for every value. [impl] selects the FMM degraded-analysis
     engine (see {!Fmm.compute}); both yield the same estimate.
     [budget] flows into {!Fmm.compute}; exhaustion loosens FMM cells
-    (soundly) rather than raising. *)
+    (soundly) rather than raising.
+
+    [store] caches the FMM table (per mechanism/engine flags) and the
+    per-point penalty distribution (additionally per pfail). [jobs]
+    deliberately stays out of every key — results are bit-identical
+    across job counts — so warm hits are bit-identical to cold
+    recomputation by construction (pinned by test/test_store.ml), and
+    budgeted runs bypass the store as in {!prepare}. *)
 
 val sweep :
   task ->
@@ -67,6 +98,7 @@ val sweep :
   ?jobs:int ->
   ?impl:[ `Naive | `Sliced ] ->
   ?budget:Robust.Budget.t ->
+  ?store:Store.Artifact.t ->
   unit ->
   estimate list
 (** One estimate per grid point, in grid order, computing the

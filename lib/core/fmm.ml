@@ -281,3 +281,60 @@ let pp fmt t =
       done;
       Format.fprintf fmt "@.")
     t.misses
+
+(* --- canonical serialization --------------------------------------------
+
+   Payload only: geometry and mechanism live in the store key, so the
+   decoder receives them as trusted context and revalidates the payload
+   against them (shape, zero column, monotone rows, known provenance
+   tags) — a decoded map upholds exactly the invariants [of_table]
+   enforces on a fresh one. *)
+
+let to_wire t =
+  let w = Store.Wire.writer () in
+  Store.Wire.put_int w (Array.length t.misses);
+  Store.Wire.put_int w t.config.Cache.Config.ways;
+  Array.iter (Store.Wire.put_int_array w) t.misses;
+  Array.iter
+    (fun row -> Store.Wire.put_int_array w (Array.map Rung.to_tag row))
+    t.provenance;
+  Store.Wire.put_int w (List.length t.errors);
+  List.iter
+    (fun (set, e) ->
+      Store.Wire.put_int w set;
+      Store.Wire.put_string w (E.category e);
+      Store.Wire.put_string w (E.message e))
+    t.errors;
+  Store.Wire.contents w
+
+let of_wire ~config ~mechanism data =
+  let n_sets = config.Cache.Config.sets and ways = config.Cache.Config.ways in
+  Store.Wire.decode data (fun r ->
+      if Store.Wire.get_int r <> n_sets then Store.Wire.malformed "Fmm.of_wire: set count";
+      if Store.Wire.get_int r <> ways then Store.Wire.malformed "Fmm.of_wire: way count";
+      let misses = Array.init n_sets (fun _ -> Store.Wire.get_int_array r) in
+      let provenance =
+        Array.init n_sets (fun _ ->
+            Array.map
+              (fun tag ->
+                match Rung.of_tag tag with
+                | Some rung -> rung
+                | None -> Store.Wire.malformed "Fmm.of_wire: unknown provenance tag")
+              (Store.Wire.get_int_array r))
+      in
+      let n_errors = Store.Wire.get_int r in
+      if n_errors < 0 || n_errors > n_sets then
+        Store.Wire.malformed "Fmm.of_wire: implausible error count";
+      let errors =
+        List.init n_errors (fun _ ->
+            let set = Store.Wire.get_int r in
+            let category = Store.Wire.get_string r in
+            let message = Store.Wire.get_string r in
+            if set < 0 || set >= n_sets then Store.Wire.malformed "Fmm.of_wire: error set";
+            match E.of_category category message with
+            | Some e -> (set, e)
+            | None -> Store.Wire.malformed "Fmm.of_wire: unknown error category")
+      in
+      match of_table ~config ~mechanism ~provenance ~errors misses with
+      | t -> t
+      | exception Invalid_argument msg -> Store.Wire.malformed msg)

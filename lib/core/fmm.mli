@@ -107,3 +107,17 @@ val max_penalty_misses : t -> int
 
 val pp : Format.formatter -> t -> unit
 (** The tabular rendering of Fig. 1a. *)
+
+val to_wire : t -> string
+(** Canonical binary payload (table, provenance, recorded errors) for
+    the artifact store — deterministic byte-for-byte in the map's
+    contents. The geometry and mechanism are {e not} embedded; they are
+    part of the store key, and {!of_wire} revalidates the payload
+    against them. *)
+
+val of_wire :
+  config:Cache.Config.t -> mechanism:Mechanism.t -> string -> (t, string) result
+(** Inverse of {!to_wire} under the given key context. Every structural
+    invariant ({!of_table}'s shape, zero column, monotonicity — plus
+    provenance tags and error categories) is revalidated, so a stored
+    payload that decodes is as trustworthy as a fresh computation. *)

@@ -60,3 +60,17 @@ val reduce_pairs : jobs:int -> ('a -> 'a -> 'a) -> 'a array -> 'a option
     identical for every [jobs] value. Combination order matters for
     non-associative [f] (e.g. capped convolution): the shape matches a
     sequential pairwise tree, {e not} a left fold. *)
+
+val reduce_pairs_result :
+  ?deadline:float ->
+  jobs:int ->
+  ('a -> 'a -> 'a) ->
+  'a array ->
+  ('a option, Robust.Pwcet_error.t) Stdlib.result
+(** {!reduce_pairs} with the same deadline contract the [_result] maps
+    give items, applied between reduction layers: when [deadline]
+    (absolute, {!Robust.Budget.now} scale) has passed before a layer
+    starts, the reduction stops with [Error (Budget_exhausted _)]
+    instead of running its remaining layers. A reduction that starts
+    its last layer in time completes it; without [deadline] this is
+    exactly {!reduce_pairs}. *)

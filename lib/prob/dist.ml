@@ -440,3 +440,54 @@ let pp fmt t =
   Format.fprintf fmt "@[<v>";
   Array.iteri (fun i x -> Format.fprintf fmt "%d: %.6g@," x t.probs.(i)) t.penalties;
   Format.fprintf fmt "@]"
+
+(* --- canonical serialization --------------------------------------------
+
+   Fixed-width little-endian, no implicit state: [n] then n pairs of
+   (penalty as int64, probability as IEEE-754 bits). The suffix array
+   is derived data and is rebuilt on decode by the same [build_suffix]
+   that built the original — storing it would only add bytes that can
+   disagree with the probabilities. *)
+
+let to_wire t =
+  let n = Array.length t.penalties in
+  let b = Buffer.create (8 + (16 * n)) in
+  Buffer.add_int64_le b (Int64.of_int n);
+  for i = 0 to n - 1 do
+    Buffer.add_int64_le b (Int64.of_int t.penalties.(i));
+    Buffer.add_int64_le b (Int64.bits_of_float t.probs.(i))
+  done;
+  Buffer.contents b
+
+let of_wire data =
+  let len = String.length data in
+  if len < 8 then Error "Dist.of_wire: truncated header"
+  else begin
+    let n = Int64.to_int (String.get_int64_le data 0) in
+    if n < 0 || len <> 8 + (16 * n) then
+      Error (Printf.sprintf "Dist.of_wire: length %d inconsistent with %d points" len n)
+    else begin
+      let penalties = Array.make n 0 in
+      let probs = Array.make n 0.0 in
+      let error = ref None in
+      let fail msg = if !error = None then error := Some msg in
+      for i = 0 to n - 1 do
+        let x = Int64.to_int (String.get_int64_le data (8 + (16 * i))) in
+        let p = Int64.float_of_bits (String.get_int64_le data (16 + (16 * i))) in
+        if x < 0 then fail (Printf.sprintf "Dist.of_wire: negative penalty %d" x);
+        if i > 0 && x <= penalties.(i - 1) then
+          fail (Printf.sprintf "Dist.of_wire: penalties not strictly ascending at %d" i);
+        if (not (Float.is_finite p)) || p <= 0.0 || p > 1.0 then
+          fail (Printf.sprintf "Dist.of_wire: bad probability at %d" i);
+        penalties.(i) <- x;
+        probs.(i) <- p
+      done;
+      match !error with
+      | Some msg -> Error msg
+      | None ->
+        let t = of_sorted_arrays penalties probs in
+        if total_mass t > 1.0 +. 1e-9 then
+          Error (Printf.sprintf "Dist.of_wire: total mass %.12g > 1" (total_mass t))
+        else Ok t
+    end
+  end

@@ -104,3 +104,22 @@ val exceedance_curve : t -> (int * float) list
 
 val expectation : t -> float
 val pp : Format.formatter -> t -> unit
+
+(** {2 Canonical serialization}
+
+    The wire form is a pure function of the distribution — ascending
+    [(penalty, probability-bits)] pairs, fixed-width little-endian — so
+    equal distributions encode to equal bytes and a byte-for-byte
+    comparison of artifacts is a distribution comparison. The suffix
+    (exceedance) array is {e not} stored: {!of_wire} rebuilds it with
+    the same compensated summation that built the original, so a
+    decoded distribution is structurally identical to the encoded one,
+    including every derived tail value. *)
+
+val to_wire : t -> string
+
+val of_wire : string -> (t, string) result
+(** Validates shape and content (strictly ascending non-negative
+    penalties, finite positive probabilities, total mass at most 1) —
+    a corrupted or adversarial payload yields [Error], never a
+    distribution that violates the module invariants. *)

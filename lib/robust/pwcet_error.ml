@@ -5,6 +5,8 @@ type t =
   | Fixpoint_divergence of string
   | Invalid_input of string
   | Worker_crash of string
+  | Corrupt_artifact of string
+  | Version_mismatch of string
 
 exception Error of t
 
@@ -15,6 +17,8 @@ let category = function
   | Fixpoint_divergence _ -> "fixpoint-divergence"
   | Invalid_input _ -> "invalid-input"
   | Worker_crash _ -> "worker-crash"
+  | Corrupt_artifact _ -> "corrupt-artifact"
+  | Version_mismatch _ -> "version-mismatch"
 
 let message = function
   | Infeasible m
@@ -22,8 +26,22 @@ let message = function
   | Budget_exhausted m
   | Fixpoint_divergence m
   | Invalid_input m
-  | Worker_crash m ->
+  | Worker_crash m
+  | Corrupt_artifact m
+  | Version_mismatch m ->
     m
+
+let of_category category message =
+  match category with
+  | "infeasible" -> Some (Infeasible message)
+  | "unbounded" -> Some (Unbounded message)
+  | "budget-exhausted" -> Some (Budget_exhausted message)
+  | "fixpoint-divergence" -> Some (Fixpoint_divergence message)
+  | "invalid-input" -> Some (Invalid_input message)
+  | "worker-crash" -> Some (Worker_crash message)
+  | "corrupt-artifact" -> Some (Corrupt_artifact message)
+  | "version-mismatch" -> Some (Version_mismatch message)
+  | _ -> None
 
 let to_string t = category t ^ ": " ^ message t
 

@@ -20,7 +20,14 @@
        non-probability, malformed table);}
     {- [Worker_crash]: an exception escaped a pool worker; the payload
        carries the original exception text so sibling items can
-       survive while the crash stays diagnosable.}} *)
+       survive while the crash stays diagnosable;}
+    {- [Corrupt_artifact]: an on-disk artifact failed its integrity
+       check (bad magic, torn write, checksum mismatch, malformed
+       payload). The store quarantines the entry and the caller
+       recomputes — corruption must never surface as a wrong table;}
+    {- [Version_mismatch]: an artifact was written by a different
+       on-disk format version; treated like a miss (recompute), never
+       decoded on trust.}} *)
 
 type t =
   | Infeasible of string
@@ -29,6 +36,8 @@ type t =
   | Fixpoint_divergence of string
   | Invalid_input of string
   | Worker_crash of string
+  | Corrupt_artifact of string
+  | Version_mismatch of string
 
 exception Error of t
 (** The raising mirror of [t], for the thin compatibility wrappers
@@ -40,6 +49,11 @@ val category : t -> string
 
 val message : t -> string
 (** The constructor payload. *)
+
+val of_category : string -> string -> t option
+(** [of_category cat msg] inverts {!category} — the wire decoding of a
+    serialized error ([None] on an unknown tag, so readers of artifacts
+    written by a future version fail closed). *)
 
 val to_string : t -> string
 (** ["category: message"]. *)

@@ -17,3 +17,11 @@ let worst a b = if compare a b >= 0 then a else b
 let equal a b = rank a = rank b
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let to_tag = rank
+
+let of_tag = function
+  | 0 -> Some Exact
+  | 1 -> Some Relaxed
+  | 2 -> Some Structural
+  | _ -> None

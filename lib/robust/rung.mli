@@ -31,3 +31,10 @@ val worst : t -> t -> t
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+val to_tag : t -> int
+(** Stable wire tag (the looseness rank) for serialized provenance. *)
+
+val of_tag : int -> t option
+(** Inverse of {!to_tag}; [None] on an unknown tag, so artifact readers
+    fail closed. *)

@@ -1,0 +1,217 @@
+module E = Robust.Pwcet_error
+
+type stats = {
+  hits : int;
+  misses : int;
+  corrupt : int;
+  version_mismatch : int;
+  puts : int;
+}
+
+type t = {
+  root : string;
+  mutable s : stats;
+  mutable tmp_counter : int;
+}
+
+let zero_stats = { hits = 0; misses = 0; corrupt = 0; version_mismatch = 0; puts = 0 }
+
+let mkdir_p dir =
+  let rec make d =
+    if not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+let objects_dir t = Filename.concat t.root "objects"
+let quarantine_dir t = Filename.concat t.root "quarantine"
+let journals_dir t = Filename.concat t.root "journals"
+let tmp_dir t = Filename.concat t.root "tmp"
+
+let open_store ~dir =
+  let t = { root = dir; s = zero_stats; tmp_counter = 0 } in
+  mkdir_p (objects_dir t);
+  mkdir_p (quarantine_dir t);
+  mkdir_p (journals_dir t);
+  mkdir_p (tmp_dir t);
+  t
+
+let root t = t.root
+
+let key components =
+  let w = Wire.writer () in
+  Wire.put_int w (List.length components);
+  List.iter
+    (fun (label, value) ->
+      Wire.put_string w label;
+      Wire.put_string w value)
+    components;
+  Digest.to_hex (Digest.string (Wire.contents w))
+
+(* objects/<k2>/<key>: two-level fan-out keeps directory listings sane
+   on large stores. *)
+let object_path t ~key =
+  let prefix = if String.length key >= 2 then String.sub key 0 2 else "xx" in
+  Filename.concat (Filename.concat (objects_dir t) prefix) key
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+(* Atomic durable write: unique temp file in the same tree (same
+   filesystem, so rename is atomic), contents fsynced before the
+   rename. A kill -9 at any instant leaves either the previous entry
+   or no entry under [path] — never a torn one. *)
+let write_atomic t ~path data =
+  t.tmp_counter <- t.tmp_counter + 1;
+  let tmp =
+    Filename.concat (tmp_dir t)
+      (Printf.sprintf "%d.%d.%s" (Unix.getpid ()) t.tmp_counter (Filename.basename path))
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let bytes = Bytes.of_string data in
+      let n = Unix.write fd bytes 0 (Bytes.length bytes) in
+      if n <> Bytes.length bytes then failwith "Artifact.put: short write";
+      Unix.fsync fd);
+  mkdir_p (Filename.dirname path);
+  Sys.rename tmp path
+
+let put t ~key ~kind ~version payload =
+  write_atomic t ~path:(object_path t ~key) (Codec.encode ~kind ~version payload);
+  t.s <- { t.s with puts = t.s.puts + 1 }
+
+let quarantine_entry t ~key =
+  let path = object_path t ~key in
+  if Sys.file_exists path then
+    try Sys.rename path (Filename.concat (quarantine_dir t) key)
+    with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ())
+
+let get t ~key ~kind ~version =
+  match read_file (object_path t ~key) with
+  | None ->
+    t.s <- { t.s with misses = t.s.misses + 1 };
+    None
+  | Some data -> (
+    match Codec.decode ~kind ~version data with
+    | Ok payload ->
+      t.s <- { t.s with hits = t.s.hits + 1 };
+      Some payload
+    | Error (E.Version_mismatch _) ->
+      t.s <- { t.s with misses = t.s.misses + 1; version_mismatch = t.s.version_mismatch + 1 };
+      None
+    | Error _ ->
+      quarantine_entry t ~key;
+      t.s <- { t.s with misses = t.s.misses + 1; corrupt = t.s.corrupt + 1 };
+      None)
+
+let quarantine t ~key ~reason:_ =
+  quarantine_entry t ~key;
+  t.s <- { t.s with corrupt = t.s.corrupt + 1 }
+
+let journal_path t ~run_key = Filename.concat (journals_dir t) (run_key ^ ".journal")
+
+let stats t = t.s
+
+let pp_stats fmt s =
+  let looked_up = s.hits + s.misses in
+  Format.fprintf fmt "%d hits / %d lookups (%.0f%%), %d writes" s.hits looked_up
+    (if looked_up = 0 then 0.0 else 100.0 *. float_of_int s.hits /. float_of_int looked_up)
+    s.puts;
+  if s.corrupt > 0 then Format.fprintf fmt ", %d corrupt (quarantined)" s.corrupt;
+  if s.version_mismatch > 0 then Format.fprintf fmt ", %d version-mismatched" s.version_mismatch
+
+type verify_report = {
+  total : int;
+  intact : int;
+  quarantined : (string * E.t) list;
+  stale : (string * E.t) list;
+}
+
+let list_dir dir = try Array.to_list (Sys.readdir dir) with Sys_error _ -> []
+
+let iter_objects t f =
+  List.iter
+    (fun prefix ->
+      let sub = Filename.concat (objects_dir t) prefix in
+      if Sys.is_directory sub then List.iter (fun name -> f name) (List.sort compare (list_dir sub)))
+    (List.sort compare (list_dir (objects_dir t)))
+
+type disk_stats = {
+  objects : int;
+  object_bytes : int;
+  quarantined : int;
+  journals : int;
+}
+
+let disk_stats t =
+  let objects = ref 0 and object_bytes = ref 0 in
+  iter_objects t (fun key ->
+      incr objects;
+      object_bytes :=
+        !object_bytes
+        + (try (Unix.stat (object_path t ~key)).Unix.st_size with Unix.Unix_error _ -> 0));
+  { objects = !objects;
+    object_bytes = !object_bytes;
+    quarantined = List.length (list_dir (quarantine_dir t));
+    journals = List.length (list_dir (journals_dir t)) }
+
+let verify ?(expected = []) t =
+  let total = ref 0 and intact = ref 0 in
+  let quarantined = ref [] and stale = ref [] in
+  iter_objects t (fun key ->
+      incr total;
+      match read_file (object_path t ~key) with
+      | None -> ()
+      | Some data -> (
+        match Codec.inspect data with
+        | Ok (kind, version, _) -> (
+          incr intact;
+          match List.assoc_opt kind expected with
+          | Some v when v <> version ->
+            stale :=
+              ( key,
+                E.Version_mismatch
+                  (Printf.sprintf "kind %S at version %d, readers expect %d" kind version v) )
+              :: !stale
+          | _ -> ())
+        | Error e ->
+          quarantine_entry t ~key;
+          t.s <- { t.s with corrupt = t.s.corrupt + 1 };
+          quarantined := (key, e) :: !quarantined));
+  { total = !total; intact = !intact; quarantined = List.rev !quarantined;
+    stale = List.rev !stale }
+
+let remove_all dir =
+  List.fold_left
+    (fun (n, bytes) name ->
+      let path = Filename.concat dir name in
+      if Sys.is_directory path then (n, bytes)
+      else begin
+        let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+        (try Sys.remove path with Sys_error _ -> ());
+        (n + 1, bytes + size)
+      end)
+    (0, 0) (list_dir dir)
+
+let gc ?(all = false) t =
+  let add (a, b) (c, d) = (a + c, b + d) in
+  let removed = ref (remove_all (quarantine_dir t)) in
+  removed := add !removed (remove_all (tmp_dir t));
+  if all then begin
+    iter_objects t (fun key ->
+        let path = object_path t ~key in
+        let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+        (try Sys.remove path with Sys_error _ -> ());
+        removed := add !removed (1, size));
+    removed := add !removed (remove_all (journals_dir t))
+  end;
+  !removed

@@ -1,0 +1,70 @@
+module E = Robust.Pwcet_error
+
+let magic = "PWCETAR1"
+let digest_size = 16
+
+(* magic + kind + version(8) + payload length(8) + digest *)
+let header_size = String.length magic + 4 + 8 + 8 + digest_size
+
+(* The digest covers kind, version and payload: a flip in any of them
+   must read as corruption. The length field is implicitly covered — a
+   wrong length either truncates the digested region or fails the
+   whole-file size check. *)
+let digest_of ~kind ~version payload =
+  let b = Buffer.create (String.length payload + 16) in
+  Buffer.add_string b kind;
+  Buffer.add_int64_le b (Int64.of_int version);
+  Buffer.add_string b payload;
+  Digest.bytes (Buffer.to_bytes b)
+
+let encode ~kind ~version payload =
+  if String.length kind <> 4 then invalid_arg "Codec.encode: kind must be 4 chars";
+  let b = Buffer.create (header_size + String.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_string b kind;
+  Buffer.add_int64_le b (Int64.of_int version);
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_string b (digest_of ~kind ~version payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let inspect data =
+  let corrupt fmt = Printf.ksprintf (fun m -> Error (E.Corrupt_artifact m)) fmt in
+  if String.length data < header_size then
+    corrupt "truncated header: %d bytes, need %d" (String.length data) header_size
+  else if String.sub data 0 (String.length magic) <> magic then
+    corrupt "bad magic"
+  else begin
+    let off = String.length magic in
+    let kind = String.sub data off 4 in
+    (* [Int64.to_int] wraps modulo 2^63, so a flipped top bit in either
+       field would otherwise read back as the original value — and the
+       recomputed digest (over the re-encoded value) would then match a
+       vandalised file. Demand an exact round trip instead. *)
+    let version64 = String.get_int64_le data (off + 4) in
+    let len64 = String.get_int64_le data (off + 12) in
+    let version = Int64.to_int version64 in
+    let payload_len = Int64.to_int len64 in
+    if Int64.of_int version <> version64 || Int64.of_int payload_len <> len64 then
+      corrupt "field overflows the native int range"
+    else if payload_len < 0 || String.length data <> header_size + payload_len then
+      corrupt "length mismatch: header claims %d payload bytes, file has %d" payload_len
+        (String.length data - header_size)
+    else begin
+      let stored_digest = String.sub data (off + 20) digest_size in
+      let payload = String.sub data header_size payload_len in
+      if not (String.equal stored_digest (digest_of ~kind ~version payload)) then
+        corrupt "checksum mismatch"
+      else Ok (kind, version, payload)
+    end
+  end
+
+let decode ~kind ~version data =
+  match inspect data with
+  | Error _ as e -> e
+  | Ok (k, v, payload) ->
+    if not (String.equal k kind) then
+      Error (E.Version_mismatch (Printf.sprintf "kind %S, expected %S" k kind))
+    else if v <> version then
+      Error (E.Version_mismatch (Printf.sprintf "format version %d, expected %d" v version))
+    else Ok payload

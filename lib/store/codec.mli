@@ -1,0 +1,40 @@
+(** The versioned on-disk envelope every stored artifact travels in.
+
+    No bare [Marshal] trust anywhere: an artifact file is
+
+    {v magic(8) | kind(4) | format version | payload length | MD5 | payload v}
+
+    where the MD5 digest covers kind, version {e and} payload, so a bit
+    flip anywhere in the file — header or body — fails the integrity
+    check. {!decode} distinguishes the two failure modes the callers
+    treat differently:
+
+    {ul
+    {- [Corrupt_artifact]: bad magic, truncated or oversized file, or a
+       digest mismatch — the bytes cannot be trusted at all; the store
+       quarantines the file and recomputes;}
+    {- [Version_mismatch]: an intact envelope written by another format
+       version (or for another kind) — decodable in principle but not
+       by this reader; treated as a miss, never decoded on trust.}}
+
+    Integrity is checked {e before} the version comparison, so a flip
+    inside the version field itself reads as corruption, not as a
+    plausible old version. *)
+
+val magic : string
+(** ["PWCETAR1"] — 8 bytes. *)
+
+val header_size : int
+(** Bytes before the payload. *)
+
+val encode : kind:string -> version:int -> string -> string
+(** [kind] is a 4-character artifact tag (e.g. ["FMM "]).
+    @raise Invalid_argument if [kind] is not exactly 4 chars. *)
+
+val decode :
+  kind:string -> version:int -> string -> (string, Robust.Pwcet_error.t) result
+(** The payload, after the integrity and version checks above. *)
+
+val inspect : string -> (string * int * string, Robust.Pwcet_error.t) result
+(** [(kind, version, payload)] after the integrity check only — what
+    [cache verify] runs over every object regardless of its kind. *)

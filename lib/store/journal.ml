@@ -1,0 +1,80 @@
+let header_tag = "PWCETJL1"
+let record_overhead = 8 + 16 (* length + MD5 *)
+
+type writer = { fd : Unix.file_descr }
+
+let record payload =
+  let b = Buffer.create (record_overhead + String.length payload) in
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_string b (Digest.string payload);
+  Buffer.add_string b payload;
+  Buffer.to_bytes b
+
+(* Scan the raw file contents for the valid record prefix: payloads of
+   every intact record, and the byte offset where validity ends. The
+   first short or digest-failing record ends the scan — it and
+   everything after it are dropped (torn tail). *)
+let scan data =
+  let len = String.length data in
+  let rec loop pos acc =
+    if pos + record_overhead > len then (List.rev acc, pos)
+    else begin
+      let n = Int64.to_int (String.get_int64_le data pos) in
+      if n < 0 || pos + record_overhead + n > len then (List.rev acc, pos)
+      else begin
+        let digest = String.sub data (pos + 8) 16 in
+        let payload = String.sub data (pos + record_overhead) n in
+        if not (String.equal digest (Digest.string payload)) then (List.rev acc, pos)
+        else loop (pos + record_overhead + n) (payload :: acc)
+      end
+    end
+  in
+  loop 0 []
+
+(* Valid units and the clean-prefix length, [None] when the journal is
+   absent or belongs to a different run (mismatched header). *)
+let scan_for ~run_key data =
+  match scan data with
+  | header :: units, valid_end when String.equal header (header_tag ^ run_key) ->
+    Some (units, valid_end)
+  | _ -> None
+
+let read_existing path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ""
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~path ~run_key =
+  match scan_for ~run_key (read_existing path) with
+  | Some (units, _) -> units
+  | None -> []
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off = if off < len then go (off + Unix.write fd bytes off (len - off)) in
+  go 0
+
+let append w payload =
+  write_all w.fd (record payload);
+  Unix.fsync w.fd
+
+let open_at path ~truncate_to =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  Unix.ftruncate fd truncate_to;
+  ignore (Unix.lseek fd truncate_to Unix.SEEK_SET);
+  { fd }
+
+let create ~path ~run_key =
+  let w = open_at path ~truncate_to:0 in
+  append w (header_tag ^ run_key);
+  w
+
+let resume ~path ~run_key =
+  match scan_for ~run_key (read_existing path) with
+  | Some (units, valid_end) -> (open_at path ~truncate_to:valid_end, units)
+  | None -> (create ~path ~run_key, [])
+
+let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,73 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents = Buffer.contents
+
+let put_int b i = Buffer.add_int64_le b (Int64.of_int i)
+let put_float b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let put_string b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let put_int_array b a =
+  put_int b (Array.length a);
+  Array.iter (put_int b) a
+
+let put_float_array b a =
+  put_int b (Array.length a);
+  Array.iter (put_float b) a
+
+type reader = { data : string; mutable pos : int }
+
+exception Malformed of string
+
+let malformed msg = raise (Malformed msg)
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.data then
+    malformed
+      (Printf.sprintf "truncated: need %d bytes at offset %d of %d" n r.pos
+         (String.length r.data))
+
+let get_int r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_float r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_string r =
+  let n = get_int r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_array caller get r =
+  let n = get_int r in
+  (* Each element is at least 8 bytes, so a length claiming more
+     elements than remaining bytes / 8 is lying — reject before
+     allocating. *)
+  if n < 0 || n > (String.length r.data - r.pos) / 8 then
+    malformed (Printf.sprintf "%s: implausible length %d" caller n);
+  Array.init n (fun _ -> get r)
+
+let get_int_array r = get_array "int array" get_int r
+let get_float_array r = get_array "float array" get_float r
+
+let decode data f =
+  let r = { data; pos = 0 } in
+  match f r with
+  | v ->
+    if r.pos <> String.length data then
+      Error
+        (Printf.sprintf "trailing garbage: %d bytes left after decode"
+           (String.length data - r.pos))
+    else Ok v
+  | exception Malformed msg -> Error msg

@@ -1,0 +1,50 @@
+(** Deterministic binary primitives for artifact payloads.
+
+    Every multi-byte quantity is little-endian and fixed-width, every
+    variable-length field is length-prefixed, and floats travel as
+    their IEEE-754 bit patterns — the encoding of a value is a pure
+    function of the value, byte for byte, on every platform. That
+    determinism is what lets the store checksum payloads, compare
+    cached artifacts bit-for-bit against recomputation, and derive
+    content keys from encoded components.
+
+    Decoding never trusts the input: reads are bounds-checked and a
+    malformed buffer surfaces as [Error] from {!decode}, not as an
+    exception escaping to the caller (and certainly not as garbage
+    data). *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val put_int : writer -> int -> unit
+(** 64-bit two's-complement little-endian. *)
+
+val put_float : writer -> float -> unit
+(** IEEE-754 bit pattern ({!Int64.bits_of_float}), little-endian — an
+    exact round trip for every float including infinities and NaNs. *)
+
+val put_string : writer -> string -> unit
+(** Length ({!put_int}) followed by the raw bytes. *)
+
+val put_int_array : writer -> int array -> unit
+val put_float_array : writer -> float array -> unit
+
+type reader
+
+val malformed : string -> 'a
+(** Abort decoding with a message; caught by {!decode}. Domain decoders
+    use it for semantic validation (bad shapes, out-of-range values) so
+    every failure funnels through the same [result]. *)
+
+val decode : string -> (reader -> 'a) -> ('a, string) result
+(** [decode data f] runs [f] on a reader over [data], catching
+    truncation, trailing garbage (the reader must consume [data]
+    exactly) and {!malformed} aborts. *)
+
+val get_int : reader -> int
+val get_float : reader -> float
+val get_string : reader -> string
+val get_int_array : reader -> int array
+val get_float_array : reader -> float array

@@ -133,6 +133,47 @@ let test_map_result_matches_map_when_clean () =
     (Array.map (fun x -> Ok (f x)) input)
     (Pool.map_result ~jobs:4 f input)
 
+let test_reduce_pairs_result_starved () =
+  (* A deadline in the past stops the reduction before its first layer,
+     mirroring map_result's pre-item refusal — and the combiner must
+     never run. *)
+  let ran = Atomic.make 0 in
+  let combine a b =
+    Atomic.incr ran;
+    a + b
+  in
+  (match Pool.reduce_pairs_result ~deadline:0.0 ~jobs:4 combine (Array.init 32 Fun.id) with
+  | Error (Robust.Pwcet_error.Budget_exhausted _) -> ()
+  | Ok _ -> Alcotest.fail "starved reduction must not complete"
+  | Error e -> Alcotest.failf "expected Budget_exhausted, got %s" (Robust.Pwcet_error.to_string e));
+  Alcotest.(check int) "no layer ran" 0 (Atomic.get ran);
+  (* Degenerate inputs need no layers, so even a starved deadline
+     yields their (trivial) result — the check is per layer, not a
+     blanket abort. *)
+  (match Pool.reduce_pairs_result ~deadline:0.0 ~jobs:4 combine [| 7 |] with
+  | Ok (Some 7) -> ()
+  | _ -> Alcotest.fail "singleton needs no layer");
+  match Pool.reduce_pairs_result ~deadline:0.0 ~jobs:4 combine [||] with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "empty needs no layer"
+
+let test_reduce_pairs_result_clean () =
+  (* With a generous deadline the result matches reduce_pairs exactly,
+     for every jobs value (same fixed tree shape). *)
+  let input = Array.init 37 (fun i -> [ i ]) in
+  let combine = ( @ ) in
+  let reference = Pool.reduce_pairs ~jobs:1 combine input in
+  let deadline = Robust.Budget.now () +. 3600.0 in
+  List.iter
+    (fun jobs ->
+      match Pool.reduce_pairs_result ~deadline ~jobs combine input with
+      | Ok v ->
+        Alcotest.(check (option (list int)))
+          (Printf.sprintf "jobs=%d" jobs)
+          reference v
+      | Error e -> Alcotest.failf "unexpected error: %s" (Robust.Pwcet_error.to_string e))
+    [ 1; 3; 8 ]
+
 (* --- parallel FMM determinism ---------------------------------------------- *)
 
 let task_of name =
@@ -200,6 +241,9 @@ let () =
             test_mapi_result_deterministic_across_jobs
         ; Alcotest.test_case "map_result deadline" `Quick test_map_result_deadline
         ; Alcotest.test_case "map_result clean run" `Quick test_map_result_matches_map_when_clean
+        ; Alcotest.test_case "reduce_pairs_result starved" `Quick
+            test_reduce_pairs_result_starved
+        ; Alcotest.test_case "reduce_pairs_result clean" `Quick test_reduce_pairs_result_clean
         ] )
     ; ( "determinism",
         [ Alcotest.test_case "fmm jobs 1 = 4" `Quick test_fmm_jobs_bit_identical

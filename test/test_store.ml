@@ -1,0 +1,519 @@
+(* Tests for the crash-safe artifact store: wire codec round-trips,
+   envelope integrity, corruption fuzzing (bit flips, truncations,
+   extensions — the store must never return wrong bytes, only misses),
+   journal torn-tail recovery, and the end-to-end contract that a
+   warm-cache estimate is bit-identical to a cold one even after every
+   stored object has been vandalised. All randomness is seeded. *)
+
+module Wire = Store.Wire
+module Codec = Store.Codec
+module Artifact = Store.Artifact
+module Journal = Store.Journal
+module E = Robust.Pwcet_error
+module M = Pwcet.Mechanism
+module D = Prob.Dist
+
+let tmp_root = Filename.concat (Filename.get_temp_dir_name ()) "pwcet_store_test"
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir = Filename.concat tmp_root (Printf.sprintf "case%d.%d" (Unix.getpid ()) !counter) in
+    let rec rm path =
+      if Sys.file_exists path then
+        if Sys.is_directory path then begin
+          Array.iter (fun name -> rm (Filename.concat path name)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+    in
+    rm dir;
+    dir
+
+(* --- wire primitives -------------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let state = Random.State.make [| 11 |] in
+  for _ = 1 to 50 do
+    let ints = Array.init (Random.State.int state 20) (fun _ -> Random.State.full_int state max_int - (max_int / 2)) in
+    let floats = Array.init (Random.State.int state 20) (fun _ -> Random.State.float state 1e9 -. 5e8) in
+    let str = String.init (Random.State.int state 40) (fun _ -> Char.chr (Random.State.int state 256)) in
+    let w = Wire.writer () in
+    Wire.put_string w str;
+    Wire.put_int_array w ints;
+    Wire.put_float_array w floats;
+    Wire.put_int w (-42);
+    Wire.put_float w 0.1;
+    match
+      Wire.decode (Wire.contents w) (fun r ->
+          let str' = Wire.get_string r in
+          let ints' = Wire.get_int_array r in
+          let floats' = Wire.get_float_array r in
+          let i = Wire.get_int r in
+          let f = Wire.get_float r in
+          (str', ints', floats', i, f))
+    with
+    | Ok (str', ints', floats', i, f) ->
+      Alcotest.(check string) "string" str str';
+      Alcotest.(check (array int)) "ints" ints ints';
+      Alcotest.(check (array (float 0.))) "floats" floats floats';
+      Alcotest.(check int) "int" (-42) i;
+      Alcotest.(check (float 0.)) "float" 0.1 f
+    | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  done
+
+let test_wire_rejects_malformed () =
+  let w = Wire.writer () in
+  Wire.put_int_array w [| 1; 2; 3 |];
+  let data = Wire.contents w in
+  (* Truncations at every length, trailing garbage, and an inflated
+     element count must all surface as Error, never as an exception or
+     as garbage data. *)
+  for len = 0 to String.length data - 1 do
+    match Wire.decode (String.sub data 0 len) Wire.get_int_array with
+    | Error _ -> ()
+    | Ok arr ->
+      if len > 0 then Alcotest.failf "truncation to %d yielded %d elems" len (Array.length arr)
+  done;
+  (match Wire.decode (data ^ "x") Wire.get_int_array with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  let inflated = Bytes.of_string data in
+  Bytes.set inflated 0 '\xff';
+  match Wire.decode (Bytes.to_string inflated) Wire.get_int_array with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "inflated count accepted"
+
+(* --- envelope --------------------------------------------------------------- *)
+
+let test_codec_roundtrip_and_version () =
+  let payload = "some payload bytes \x00\xff with binary" in
+  let data = Codec.encode ~kind:"TEST" ~version:3 payload in
+  (match Codec.decode ~kind:"TEST" ~version:3 data with
+  | Ok p -> Alcotest.(check string) "payload" payload p
+  | Error e -> Alcotest.failf "decode failed: %s" (E.to_string e));
+  (match Codec.decode ~kind:"TEST" ~version:4 data with
+  | Error (E.Version_mismatch _) -> ()
+  | _ -> Alcotest.fail "other version must be Version_mismatch");
+  (match Codec.decode ~kind:"OTHR" ~version:3 data with
+  | Error (E.Version_mismatch _) -> ()
+  | _ -> Alcotest.fail "other kind must be Version_mismatch");
+  match Codec.inspect data with
+  | Ok (kind, version, p) ->
+    Alcotest.(check string) "kind" "TEST" kind;
+    Alcotest.(check int) "version" 3 version;
+    Alcotest.(check string) "inspect payload" payload p
+  | Error e -> Alcotest.failf "inspect failed: %s" (E.to_string e)
+
+let test_codec_every_bit_flip_is_corrupt () =
+  (* Flip every single bit of an encoded artifact, including the
+     version field: each one must read as Corrupt_artifact (the digest
+     covers the whole envelope; a flipped version byte must not
+     masquerade as a plausible old version). This alone injects
+     8 * |data| > 1000 faults. *)
+  let payload = String.init 97 (fun i -> Char.chr ((i * 37) land 0xff)) in
+  let data = Codec.encode ~kind:"FUZZ" ~version:1 payload in
+  let faults = ref 0 in
+  String.iteri
+    (fun i _ ->
+      for bit = 0 to 7 do
+        incr faults;
+        let mutated = Bytes.of_string data in
+        Bytes.set mutated i (Char.chr (Char.code data.[i] lxor (1 lsl bit)));
+        match Codec.decode ~kind:"FUZZ" ~version:1 (Bytes.to_string mutated) with
+        | Error (E.Corrupt_artifact _) -> ()
+        | Error e ->
+          Alcotest.failf "byte %d bit %d: expected Corrupt_artifact, got %s" i bit
+            (E.to_string e)
+        | Ok p ->
+          if p <> payload then
+            Alcotest.failf "byte %d bit %d: silently wrong payload" i bit
+          else Alcotest.failf "byte %d bit %d: flip accepted" i bit
+      done)
+    data;
+  Alcotest.(check bool) ">= 1000 faults" true (!faults >= 1000)
+
+(* --- artifact store --------------------------------------------------------- *)
+
+let test_artifact_put_get () =
+  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let key = Artifact.key [ ("a", "1"); ("b", "2") ] in
+  Alcotest.(check (option string)) "cold miss" None (Artifact.get st ~key ~kind:"TEST" ~version:1);
+  Artifact.put st ~key ~kind:"TEST" ~version:1 "hello";
+  Alcotest.(check (option string)) "hit" (Some "hello")
+    (Artifact.get st ~key ~kind:"TEST" ~version:1);
+  Alcotest.(check (option string)) "version bump misses" None
+    (Artifact.get st ~key ~kind:"TEST" ~version:2);
+  let s = Artifact.stats st in
+  Alcotest.(check int) "hits" 1 s.Artifact.hits;
+  Alcotest.(check int) "misses" 2 s.Artifact.misses;
+  Alcotest.(check int) "version_mismatch" 1 s.Artifact.version_mismatch;
+  Alcotest.(check int) "puts" 1 s.Artifact.puts;
+  (* Key sensitivity: permuted components and boundary-shifted values
+     are different keys. *)
+  Alcotest.(check bool) "order-sensitive" true
+    (Artifact.key [ ("b", "2"); ("a", "1") ] <> key);
+  Alcotest.(check bool) "boundary-sensitive" true
+    (Artifact.key [ ("a", "12"); ("b", "") ] <> Artifact.key [ ("a", "1"); ("b", "2") ])
+
+let object_file st ~key =
+  (* The store's fan-out layout is objects/<first-2>/<key>. *)
+  Filename.concat
+    (Filename.concat (Filename.concat (Artifact.root st) "objects") (String.sub key 0 2))
+    key
+
+let test_artifact_corruption_fuzz () =
+  (* >= 1000 injected faults against a stored object: random byte
+     mutations, truncations and extensions. Every single one must read
+     back as a miss with the file quarantined — never as wrong bytes. *)
+  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let key = Artifact.key [ ("fuzz", "object") ] in
+  let payload = String.init 256 (fun i -> Char.chr ((i * 131) land 0xff)) in
+  let state = Random.State.make [| 23 |] in
+  let faults = ref 0 in
+  let corrupted = ref 0 in
+  Artifact.put st ~key ~kind:"TEST" ~version:1 payload;
+  let pristine = In_channel.with_open_bin (object_file st ~key) In_channel.input_all in
+  for _ = 1 to 1100 do
+    incr faults;
+    let mutated =
+      match Random.State.int state 3 with
+      | 0 ->
+        (* random byte mutation *)
+        let b = Bytes.of_string pristine in
+        let i = Random.State.int state (Bytes.length b) in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Random.State.int state 255)));
+        Bytes.to_string b
+      | 1 -> String.sub pristine 0 (Random.State.int state (String.length pristine))
+      | _ -> pristine ^ String.init (1 + Random.State.int state 16) (fun _ -> Char.chr (Random.State.int state 256))
+    in
+    Out_channel.with_open_bin (object_file st ~key) (fun oc -> Out_channel.output_string oc mutated);
+    (match Artifact.get st ~key ~kind:"TEST" ~version:1 with
+    | None -> incr corrupted
+    | Some p ->
+      if p <> payload then Alcotest.fail "corrupted object read back as wrong bytes"
+      else Alcotest.fail "corrupted object passed the integrity check");
+    (* quarantined, so the slot is now empty; restore for the next round *)
+    Alcotest.(check bool) "quarantined away" false (Sys.file_exists (object_file st ~key));
+    Out_channel.with_open_bin (object_file st ~key) (fun oc -> Out_channel.output_string oc pristine)
+  done;
+  Alcotest.(check int) "every fault detected" !faults !corrupted;
+  Alcotest.(check bool) ">= 1000 faults" true (!faults >= 1000);
+  (* The pristine copy still reads fine, and gc clears the quarantine. *)
+  Alcotest.(check (option string)) "pristine survives" (Some payload)
+    (Artifact.get st ~key ~kind:"TEST" ~version:1);
+  let files, _bytes = Artifact.gc st in
+  Alcotest.(check bool) "gc removed the quarantine" true (files >= 1)
+
+let test_artifact_verify_quarantines () =
+  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let keys =
+    List.init 5 (fun i ->
+        let key = Artifact.key [ ("n", string_of_int i) ] in
+        Artifact.put st ~key ~kind:"TEST" ~version:1 (String.make 20 (Char.chr (65 + i)));
+        key)
+  in
+  (* vandalise two of them, leave one stale at an old version *)
+  List.iteri
+    (fun i key ->
+      if i < 2 then
+        Out_channel.with_open_bin (object_file st ~key) (fun oc ->
+            Out_channel.output_string oc "garbage"))
+    keys;
+  let stale_key = Artifact.key [ ("stale", "x") ] in
+  Artifact.put st ~key:stale_key ~kind:"TEST" ~version:0 "old";
+  let r = Artifact.verify ~expected:[ ("TEST", 1) ] st in
+  Alcotest.(check int) "total" 6 r.Artifact.total;
+  Alcotest.(check int) "intact" 4 r.Artifact.intact;
+  Alcotest.(check int) "quarantined" 2 (List.length r.Artifact.quarantined);
+  Alcotest.(check int) "stale" 1 (List.length r.Artifact.stale);
+  (* verify already moved the corrupt files: a second pass is clean *)
+  let r2 = Artifact.verify ~expected:[ ("TEST", 1) ] st in
+  Alcotest.(check int) "second pass total" 4 r2.Artifact.total;
+  Alcotest.(check int) "second pass quarantined" 0 (List.length r2.Artifact.quarantined)
+
+(* --- journal ---------------------------------------------------------------- *)
+
+let test_journal_roundtrip () =
+  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let path = Artifact.journal_path st ~run_key:"run1" in
+  let w = Journal.create ~path ~run_key:"run1" in
+  let units = [ "alpha"; String.make 500 'b'; "\x00binary\xff"; "" ] in
+  List.iter (Journal.append w) units;
+  Journal.close w;
+  Alcotest.(check (list string)) "load" units (Journal.load ~path ~run_key:"run1");
+  Alcotest.(check (list string)) "other run key ignored" []
+    (Journal.load ~path ~run_key:"run2");
+  let w2, replayed = Journal.resume ~path ~run_key:"run1" in
+  Alcotest.(check (list string)) "resume replays" units replayed;
+  Journal.append w2 "epsilon";
+  Journal.close w2;
+  Alcotest.(check (list string)) "append after resume" (units @ [ "epsilon" ])
+    (Journal.load ~path ~run_key:"run1")
+
+let test_journal_torn_tail_fuzz () =
+  (* Truncate the journal at every possible byte length and flip random
+     bits in the tail: the loaded units must always be a prefix of the
+     appended ones — a torn or vandalised journal can lose work, never
+     invent or alter it. *)
+  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let path = Artifact.journal_path st ~run_key:"fuzz" in
+  let w = Journal.create ~path ~run_key:"fuzz" in
+  let units = List.init 8 (fun i -> Printf.sprintf "unit-%d-%s" i (String.make (i * 7) 'x')) in
+  List.iter (Journal.append w) units;
+  Journal.close w;
+  let pristine = In_channel.with_open_bin path In_channel.input_all in
+  let is_prefix loaded =
+    let rec go = function
+      | [], _ -> true
+      | _ :: _, [] -> false
+      | l :: ls, u :: us -> l = u && go (ls, us)
+    in
+    go (loaded, units)
+  in
+  let faults = ref 0 in
+  for len = 0 to String.length pristine - 1 do
+    incr faults;
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (String.sub pristine 0 len));
+    if not (is_prefix (Journal.load ~path ~run_key:"fuzz")) then
+      Alcotest.failf "truncation to %d bytes produced a non-prefix" len
+  done;
+  let state = Random.State.make [| 31 |] in
+  for _ = 1 to 300 do
+    incr faults;
+    let b = Bytes.of_string pristine in
+    let i = Random.State.int state (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Random.State.int state 8)));
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+    if not (is_prefix (Journal.load ~path ~run_key:"fuzz")) then
+      Alcotest.fail "bit flip produced a non-prefix"
+  done;
+  Alcotest.(check bool) "covered both fault families" true (!faults >= 300);
+  (* Torn-append recovery: resume after garbage was appended must drop
+     the garbage, truncate, and leave the file appendable. *)
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc pristine);
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\xff\xff\xff\xff\xff\xff\xff\x7ftorn trailing record";
+  close_out oc;
+  let w2, replayed = Journal.resume ~path ~run_key:"fuzz" in
+  Alcotest.(check (list string)) "torn tail dropped" units replayed;
+  Journal.append w2 "after-recovery";
+  Journal.close w2;
+  Alcotest.(check (list string)) "clean append after recovery" (units @ [ "after-recovery" ])
+    (Journal.load ~path ~run_key:"fuzz")
+
+(* --- domain codecs ---------------------------------------------------------- *)
+
+let task_of name =
+  let entry = Option.get (Benchmarks.Registry.find name) in
+  let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
+  compiled.Minic.Compile.program
+
+let test_dist_wire_roundtrip () =
+  let program = task_of "crc" in
+  let config = Cache.Config.paper_default in
+  let task = Pwcet.Estimator.prepare ~program ~config () in
+  let est = Pwcet.Estimator.estimate task ~pfail:1e-4 ~mechanism:M.No_protection () in
+  let dist = est.Pwcet.Estimator.penalty in
+  match D.of_wire (D.to_wire dist) with
+  | Error msg -> Alcotest.failf "of_wire failed: %s" msg
+  | Ok dist' ->
+    Alcotest.(check (list (pair int (float 0.)))) "support" (D.support dist) (D.support dist');
+    (* derived tail values must match bit for bit, not just approximately *)
+    List.iter
+      (fun target ->
+        Alcotest.(check int)
+          (Printf.sprintf "quantile %g" target)
+          (D.quantile dist ~target) (D.quantile dist' ~target))
+      [ 1e-9; 1e-12; 1e-15 ];
+    Alcotest.(check string) "re-encoding is stable" (D.to_wire dist) (D.to_wire dist')
+
+let test_dist_wire_rejects_invalid () =
+  let encode pairs =
+    let w = Wire.writer () in
+    Wire.put_int w (List.length pairs);
+    List.iter
+      (fun (x, p) ->
+        Wire.put_int w x;
+        Wire.put_float w p)
+      pairs;
+    Wire.contents w
+  in
+  List.iter
+    (fun (label, pairs) ->
+      match D.of_wire (encode pairs) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" label)
+    [ ("negative penalty", [ (-1, 0.5); (2, 0.5) ])
+    ; ("non-ascending", [ (3, 0.5); (2, 0.5) ])
+    ; ("duplicate", [ (2, 0.5); (2, 0.5) ])
+    ; ("zero probability", [ (1, 0.0) ])
+    ; ("nan probability", [ (1, Float.nan) ])
+    ; ("mass above one", [ (1, 0.7); (2, 0.7) ])
+    ]
+
+let test_fmm_wire_roundtrip () =
+  let program = task_of "bs" in
+  let config = Cache.Config.paper_default in
+  let task = Pwcet.Estimator.prepare ~program ~config () in
+  List.iter
+    (fun mechanism ->
+      let est = Pwcet.Estimator.estimate task ~pfail:1e-4 ~mechanism () in
+      let fmm = est.Pwcet.Estimator.fmm in
+      match Pwcet.Fmm.of_wire ~config ~mechanism (Pwcet.Fmm.to_wire fmm) with
+      | Error msg -> Alcotest.failf "%s: of_wire failed: %s" (M.name mechanism) msg
+      | Ok fmm' ->
+        Alcotest.(check (array (array int)))
+          (Printf.sprintf "%s table" (M.name mechanism))
+          (Pwcet.Fmm.table fmm) (Pwcet.Fmm.table fmm');
+        Alcotest.(check string)
+          (Printf.sprintf "%s stable re-encoding" (M.name mechanism))
+          (Pwcet.Fmm.to_wire fmm) (Pwcet.Fmm.to_wire fmm'))
+    M.all
+
+let test_fmm_wire_rejects_corruption () =
+  let program = task_of "fibcall" in
+  let config = Cache.Config.paper_default in
+  let task = Pwcet.Estimator.prepare ~program ~config () in
+  let est = Pwcet.Estimator.estimate task ~pfail:1e-4 ~mechanism:M.No_protection () in
+  let wire = Pwcet.Fmm.to_wire est.Pwcet.Estimator.fmm in
+  let table = Pwcet.Fmm.table est.Pwcet.Estimator.fmm in
+  let state = Random.State.make [| 47 |] in
+  for _ = 1 to 200 do
+    let b = Bytes.of_string wire in
+    let i = Random.State.int state (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Random.State.int state 255)));
+    match Pwcet.Fmm.of_wire ~config ~mechanism:M.No_protection (Bytes.to_string b) with
+    | Error _ -> ()
+    | Ok fmm' ->
+      (* A mutation may luckily preserve validity (e.g. a cell bumped
+         within monotone range); what it must never do is produce an
+         invalid table or crash. *)
+      let t' = Pwcet.Fmm.table fmm' in
+      Alcotest.(check int) "sets preserved" (Array.length table) (Array.length t')
+  done
+
+(* --- end-to-end estimator caching ------------------------------------------- *)
+
+let est_fingerprint est =
+  ( D.support est.Pwcet.Estimator.penalty,
+    Pwcet.Estimator.pwcet est ~target:1e-15,
+    Pwcet.Estimator.worst_rung est,
+    Pwcet.Fmm.table est.Pwcet.Estimator.fmm )
+
+let test_estimator_warm_bit_identical () =
+  let program = task_of "bs" in
+  let config = Cache.Config.paper_default in
+  let dir = fresh_dir () in
+  let st = Artifact.open_store ~dir in
+  let cold_task = Pwcet.Estimator.prepare ~program ~config ~store:st () in
+  let cold =
+    Pwcet.Estimator.estimate cold_task ~pfail:1e-4 ~mechanism:M.Shared_reliable_buffer ~store:st ()
+  in
+  Alcotest.(check bool) "cold run wrote artifacts" true ((Artifact.stats st).Artifact.puts > 0);
+  let st2 = Artifact.open_store ~dir in
+  let warm_task = Pwcet.Estimator.prepare ~program ~config ~store:st2 () in
+  let warm =
+    Pwcet.Estimator.estimate warm_task ~pfail:1e-4 ~mechanism:M.Shared_reliable_buffer ~store:st2 ()
+  in
+  let s2 = Artifact.stats st2 in
+  Alcotest.(check int) "warm run recomputed nothing" 0 s2.Artifact.puts;
+  Alcotest.(check bool) "warm run hit the cache" true (s2.Artifact.hits >= 3);
+  Alcotest.(check bool) "warm == cold" true (est_fingerprint warm = est_fingerprint cold);
+  (* and both match a storeless run — the --no-cache contract *)
+  let plain_task = Pwcet.Estimator.prepare ~program ~config () in
+  let plain =
+    Pwcet.Estimator.estimate plain_task ~pfail:1e-4 ~mechanism:M.Shared_reliable_buffer ()
+  in
+  Alcotest.(check bool) "cached == uncached" true (est_fingerprint warm = est_fingerprint plain)
+
+let test_estimator_survives_vandalised_store () =
+  (* Flip a byte in EVERY stored object: the next run must quarantine
+     them all and still produce the exact uncached result. *)
+  let program = task_of "fibcall" in
+  let config = Cache.Config.paper_default in
+  let dir = fresh_dir () in
+  let st = Artifact.open_store ~dir in
+  let task = Pwcet.Estimator.prepare ~program ~config ~store:st () in
+  let reference =
+    Pwcet.Estimator.estimate task ~pfail:1e-4 ~mechanism:M.Reliable_way ~store:st ()
+  in
+  let objects_root = Filename.concat dir "objects" in
+  let vandalised = ref 0 in
+  Array.iter
+    (fun prefix ->
+      let sub = Filename.concat objects_root prefix in
+      if Sys.is_directory sub then
+        Array.iter
+          (fun name ->
+            let path = Filename.concat sub name in
+            let data = In_channel.with_open_bin path In_channel.input_all in
+            let b = Bytes.of_string data in
+            let i = Bytes.length b / 2 in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+            Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+            incr vandalised)
+          (Sys.readdir sub))
+    (Sys.readdir objects_root);
+  Alcotest.(check bool) "something to vandalise" true (!vandalised >= 3);
+  let st2 = Artifact.open_store ~dir in
+  let task2 = Pwcet.Estimator.prepare ~program ~config ~store:st2 () in
+  let recomputed =
+    Pwcet.Estimator.estimate task2 ~pfail:1e-4 ~mechanism:M.Reliable_way ~store:st2 ()
+  in
+  let s2 = Artifact.stats st2 in
+  Alcotest.(check int) "every object quarantined" !vandalised s2.Artifact.corrupt;
+  Alcotest.(check int) "nothing served from cache" 0 s2.Artifact.hits;
+  Alcotest.(check bool) "recomputed == reference" true
+    (est_fingerprint recomputed = est_fingerprint reference)
+
+let test_estimator_budget_bypasses_store () =
+  let program = task_of "fibcall" in
+  let config = Cache.Config.paper_default in
+  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let budget = Robust.Budget.make ~timeout:3600.0 () in
+  let task = Pwcet.Estimator.prepare ~program ~config ~budget ~store:st () in
+  let _ =
+    Pwcet.Estimator.estimate task ~pfail:1e-4 ~mechanism:M.No_protection ~budget ~store:st ()
+  in
+  let s = Artifact.stats st in
+  Alcotest.(check int) "no lookups" 0 (s.Artifact.hits + s.Artifact.misses);
+  Alcotest.(check int) "no writes" 0 s.Artifact.puts
+
+let () =
+  Alcotest.run "store"
+    [ ( "wire",
+        [ Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip
+        ; Alcotest.test_case "rejects malformed" `Quick test_wire_rejects_malformed
+        ] )
+    ; ( "codec",
+        [ Alcotest.test_case "roundtrip + versioning" `Quick test_codec_roundtrip_and_version
+        ; Alcotest.test_case "every bit flip is corrupt" `Quick
+            test_codec_every_bit_flip_is_corrupt
+        ] )
+    ; ( "artifact",
+        [ Alcotest.test_case "put/get/stats" `Quick test_artifact_put_get
+        ; Alcotest.test_case "corruption fuzz (1100 faults)" `Quick
+            test_artifact_corruption_fuzz
+        ; Alcotest.test_case "verify quarantines" `Quick test_artifact_verify_quarantines
+        ] )
+    ; ( "journal",
+        [ Alcotest.test_case "roundtrip + resume" `Quick test_journal_roundtrip
+        ; Alcotest.test_case "torn-tail fuzz" `Quick test_journal_torn_tail_fuzz
+        ] )
+    ; ( "domain codecs",
+        [ Alcotest.test_case "dist roundtrip" `Quick test_dist_wire_roundtrip
+        ; Alcotest.test_case "dist rejects invalid" `Quick test_dist_wire_rejects_invalid
+        ; Alcotest.test_case "fmm roundtrip" `Quick test_fmm_wire_roundtrip
+        ; Alcotest.test_case "fmm corruption never crashes" `Quick
+            test_fmm_wire_rejects_corruption
+        ] )
+    ; ( "estimator",
+        [ Alcotest.test_case "warm cache bit-identical" `Quick test_estimator_warm_bit_identical
+        ; Alcotest.test_case "vandalised store recomputes" `Quick
+            test_estimator_survives_vandalised_store
+        ; Alcotest.test_case "budget bypasses store" `Quick test_estimator_budget_bypasses_store
+        ] )
+    ]
