@@ -9,12 +9,16 @@
      simulate <bench>         Monte-Carlo faulty simulation vs the bound
      audit                    invariant auditor over the whole registry
      cache                    artifact-store maintenance (stat / verify / gc)
+     serve                    long-running analysis daemon on a Unix socket
+     client                   talk to a running daemon (ping / stats / analyze / load)
 
    Exit codes: 0 success; 1 analysis failure, audit or simulated bound
    violation, or corrupt store entries found by cache verify; 2 invalid
    input (bad benchmark, source, cache geometry, probability, budget or
-   jobs count); 130 sweep/suite cancelled cleanly by SIGINT/SIGTERM;
-   cmdliner's own codes for CLI errors. *)
+   jobs count); 3 a client request shed by the daemon's admission
+   control; 130 sweep/suite cancelled cleanly by SIGINT/SIGTERM, or a
+   serve run ended by those signals after a clean drain; cmdliner's own
+   codes for CLI errors. *)
 
 open Cmdliner
 
@@ -1019,6 +1023,235 @@ let cache_cmd =
              entry), gc (quarantine/full cleanup)")
     [ cache_stat_cmd; cache_verify_cmd; cache_gc_cmd ]
 
+(* --- serve / client (the analysis daemon) ------------------------------------ *)
+
+let exit_overloaded = 3
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "s"; "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the daemon listens on (serve) or connects to (client).")
+
+let serve_cmd =
+  let run socket domains queue_max task_cache result_cache cache_dir no_cache =
+    if queue_max < 0 then begin
+      Printf.eprintf "serve: --queue-max must be non-negative, got %d\n" queue_max;
+      exit exit_invalid_input
+    end;
+    if task_cache < 1 then begin
+      Printf.eprintf "serve: --task-cache must be at least 1, got %d\n" task_cache;
+      exit exit_invalid_input
+    end;
+    if result_cache < 0 then begin
+      Printf.eprintf "serve: --result-cache must be non-negative, got %d\n" result_cache;
+      exit exit_invalid_input
+    end;
+    let store = store_of cache_dir no_cache in
+    let scheduler =
+      Service.Scheduler.create
+        { Service.Scheduler.domains; queue_max; store; task_cache_max = task_cache;
+          result_cache_max = result_cache }
+    in
+    let stop = Atomic.make false in
+    let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+    List.iter
+      (fun signal -> try Sys.set_signal signal handle with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ];
+    let on_ready () =
+      Printf.printf "pwcet_tool serve: listening on %s (domains=%d, queue-max=%d%s)\n%!" socket
+        domains queue_max
+        (match store with
+        | Some st -> Printf.sprintf ", store %s" (Store.Artifact.root st)
+        | None -> ", no store")
+    in
+    match
+      Service.Server.run
+        { Service.Server.socket_path = socket; scheduler; on_ready; stop }
+    with
+    | () ->
+      let s = Service.Scheduler.stats scheduler in
+      Printf.printf
+        "pwcet_tool serve: clean shutdown after %.1f s: %d request(s) (%d computed, %d \
+         deduped, %d shed, %d errors)\n"
+        s.Service.Protocol.uptime_s s.Service.Protocol.requests s.Service.Protocol.computations
+        s.Service.Protocol.deduped s.Service.Protocol.overloaded s.Service.Protocol.errors;
+      report_store_stats store;
+      exit exit_cancelled
+    | exception Service.Server.Already_running msg ->
+      Printf.eprintf "serve: %s\n" msg;
+      exit 1
+  in
+  let domains_arg =
+    Arg.(value & opt jobs_conv 2
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains computing estimates, between 1 and 256.")
+  in
+  let queue_max_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-max" ] ~docv:"N"
+             ~doc:"Bound on queued (not yet running) computations; beyond it requests are \
+                   shed with a typed overloaded response instead of queuing unboundedly.")
+  in
+  let task_cache_arg =
+    Arg.(value & opt int 32
+         & info [ "task-cache" ] ~docv:"N"
+             ~doc:"Prepared analysis tasks kept in memory (FIFO-evicted), so warm requests \
+                   skip CFG recovery and cache analysis entirely.")
+  in
+  let result_cache_arg =
+    Arg.(value & opt int 256
+         & info [ "result-cache" ] ~docv:"N"
+             ~doc:"Completed estimates kept in memory (FIFO-evicted) and returned directly \
+                   for repeat requests; 0 disables the layer so every warm request replays \
+                   from the artifact store instead.")
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:"Long-running pWCET analysis daemon: length-prefixed JSON over a Unix socket, \
+             concurrent requests fanned across worker domains, identical in-flight \
+             requests deduplicated by content-addressed identity, admission control with \
+             typed load shedding, per-request deadlines on the degradation ladder, and the \
+             artifact store as a warm cross-restart cache. SIGTERM/SIGINT shut it down \
+             cleanly (in-flight responses finish, the store is left consistent, the \
+             socket is removed); it then exits 130 like every signal-ended run.")
+    Term.(const run $ socket_arg $ domains_arg $ queue_max_arg $ task_cache_arg
+          $ result_cache_arg $ cache_dir_arg $ no_cache_arg)
+
+let client_mech_conv =
+  Arg.enum
+    [ ("none", Pwcet.Mechanism.No_protection);
+      ("srb", Pwcet.Mechanism.Shared_reliable_buffer);
+      ("rw", Pwcet.Mechanism.Reliable_way) ]
+
+let client_cmd =
+  let run socket op bench pfail target mech sets ways line engine exact impl timeout_ms
+      delay_ms bench_load clients requests =
+    let fail_transport msg =
+      Printf.eprintf "client: %s\n" msg;
+      exit 1
+    in
+    let analyze_request () =
+      match bench with
+      | None ->
+        Printf.eprintf "client: analyze needs a TARGET benchmark name\n";
+        exit exit_invalid_input
+      | Some bench ->
+        { (Service.Protocol.default_analyze ~bench) with
+          Service.Protocol.pfail; target; mechanism = mech; sets; ways; line; engine; exact;
+          impl; timeout_ms; delay_ms }
+    in
+    let print_stats (s : Service.Protocol.stats_payload) =
+      Printf.printf "requests     : %d\n" s.Service.Protocol.requests;
+      Printf.printf "computations : %d\n" s.Service.Protocol.computations;
+      Printf.printf "deduped      : %d\n" s.Service.Protocol.deduped;
+      Printf.printf "overloaded   : %d\n" s.Service.Protocol.overloaded;
+      Printf.printf "errors       : %d\n" s.Service.Protocol.errors;
+      Printf.printf "queued       : %d\n" s.Service.Protocol.queued;
+      (match s.Service.Protocol.store with
+      | None -> ()
+      | Some (hits, misses, puts) ->
+        Printf.printf "store        : %d hits, %d misses, %d puts\n" hits misses puts);
+      Printf.printf "uptime       : %.1f s\n" s.Service.Protocol.uptime_s
+    in
+    match op with
+    | `Ping -> (
+      match Service.Client.request ~socket Service.Protocol.Ping with
+      | Ok Service.Protocol.Pong -> print_endline "pong"
+      | Ok _ -> fail_transport "unexpected response to ping"
+      | Error msg -> fail_transport msg)
+    | `Stats -> (
+      match Service.Client.request ~socket Service.Protocol.Stats with
+      | Ok (Service.Protocol.Stats_reply s) -> print_stats s
+      | Ok _ -> fail_transport "unexpected response to stats"
+      | Error msg -> fail_transport msg)
+    | `Analyze ->
+      let req = analyze_request () in
+      if bench_load then begin
+        if clients < 1 || requests < 1 then begin
+          Printf.eprintf "client: --clients and --requests must be at least 1\n";
+          exit exit_invalid_input
+        end;
+        let report = Service.Client.load ~socket ~clients ~requests [ req ] in
+        Format.printf "%a@." Service.Client.pp_load_report report;
+        if report.Service.Client.errors > 0 then exit 1
+      end
+      else begin
+        match Service.Client.request ~socket (Service.Protocol.Analyze req) with
+        | Ok (Service.Protocol.Result r) ->
+          Printf.printf "benchmark      : %s\n" req.Service.Protocol.bench;
+          Printf.printf "mechanism      : %s\n" (Pwcet.Mechanism.short_name mech);
+          Printf.printf "fault-free WCET: %d cycles\n" r.Service.Protocol.wcet_ff;
+          Printf.printf "pbf            : %g\n" r.Service.Protocol.pbf;
+          Printf.printf "pWCET(%g) = %d cycles%s\n" target r.Service.Protocol.pwcet
+            (if r.Service.Protocol.rung = "exact" then ""
+             else Printf.sprintf "  [degraded: %s]" r.Service.Protocol.rung);
+          Printf.printf "computed       : %b\n" r.Service.Protocol.computed
+        | Ok (Service.Protocol.Overloaded { queued; queue_max }) ->
+          Printf.eprintf "client: request shed by admission control (%d/%d queued)\n" queued
+            queue_max;
+          exit exit_overloaded
+        | Ok (Service.Protocol.Error_reply msg) ->
+          Printf.eprintf "client: daemon error: %s\n" msg;
+          exit 1
+        | Ok _ -> fail_transport "unexpected response to analyze"
+        | Error msg -> fail_transport msg
+      end
+  in
+  let op_arg =
+    Arg.(required
+         & pos 0 (some (enum [ ("ping", `Ping); ("stats", `Stats); ("analyze", `Analyze) ])) None
+         & info [] ~docv:"OP" ~doc:"ping, stats, or analyze.")
+  in
+  let client_bench_arg =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"TARGET" ~doc:"Benchmark name (analyze only).")
+  in
+  let mech_arg =
+    Arg.(value & opt client_mech_conv Pwcet.Mechanism.No_protection
+         & info [ "mechanism" ] ~docv:"MECH" ~doc:"Mechanism: 'none' (default), 'srb' or 'rw'.")
+  in
+  let timeout_ms_arg =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline in milliseconds, enforced on the daemon's monotonic \
+                   clock; bounds that start after it fall down the degradation ladder \
+                   (still sound). Budgeted requests bypass the daemon's caches and dedup.")
+  in
+  let delay_ms_arg =
+    Arg.(value & opt int 0
+         & info [ "delay-ms" ] ~docv:"MS"
+             ~doc:"Testing hook: ask the daemon to sleep this long inside the computation, \
+                   widening the dedup/overload windows deterministically.")
+  in
+  let load_arg =
+    Arg.(value & flag
+         & info [ "bench" ]
+             ~doc:"Concurrent-load generator: --clients threads each issue --requests \
+                   copies of this analyze request over their own connection, then report \
+                   throughput and p50/p95/p99 latency.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc:"Load-generator connections.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 16
+         & info [ "requests" ] ~docv:"N" ~doc:"Requests per load-generator connection.")
+  in
+  let exits =
+    Cmd.Exit.info exit_overloaded
+      ~doc:"when the daemon sheds the request via admission control (typed overloaded \
+            response); retry later or against a less loaded daemon."
+    :: exits
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running analysis daemon: single ping/stats/analyze round trips, or \
+             the --bench concurrent-load generator."
+       ~exits)
+    Term.(const run $ socket_arg $ op_arg $ client_bench_arg $ pfail_arg $ target_arg
+          $ mech_arg $ sets_arg $ ways_arg $ line_arg $ engine_arg $ exact_arg $ impl_arg
+          $ timeout_ms_arg $ delay_ms_arg $ load_arg $ clients_arg $ requests_arg)
+
 (* --- source ------------------------------------------------------------------ *)
 
 let source_cmd =
@@ -1073,4 +1306,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; sweep_cmd; suite_cmd; simulate_cmd;
-            audit_cmd; refined_cmd; cache_cmd ]))
+            audit_cmd; refined_cmd; cache_cmd; serve_cmd; client_cmd ]))

@@ -46,6 +46,15 @@ val artifact_kinds : (string * int) list
     format versions — what [cache verify] passes to
     {!Store.Artifact.verify} as [expected]. *)
 
+val identity_of : program:Isa.Program.t -> config:Cache.Config.t -> (string * string) list
+(** The labelled identity components the [task] produced by {!prepare}
+    for this program and configuration will carry — code version,
+    program content digest, cache geometry and latencies — available
+    {e without} running the analysis. This is what lets a service
+    compute a request's content-addressed key (and dedup identical
+    in-flight requests against it) before deciding whether to spend
+    the preparation work at all. *)
+
 val prepare :
   program:Isa.Program.t ->
   config:Cache.Config.t ->

@@ -2,6 +2,42 @@ module E = Robust.Pwcet_error
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Test-only fault injection: make the [count]-th (0-based) spawn of a
+   map call fail, simulating the runtime's domain limit being hit under
+   load.  [None] (the default) never injects. *)
+let injected_spawn_failure : int option Atomic.t = Atomic.make None
+let inject_spawn_failure_after count = Atomic.set injected_spawn_failure count
+
+let spawn worker =
+  (match Atomic.get injected_spawn_failure with
+  | Some k when k <= 0 -> failwith "Pool: injected Domain.spawn failure"
+  | Some k ->
+    Atomic.set injected_spawn_failure (Some (k - 1));
+    ()
+  | None -> ());
+  Domain.spawn worker
+
+(* Spawn [count] worker domains, all-or-error.  [Domain.spawn] itself
+   can raise (domain limit reached — routine for a process fanning many
+   concurrent requests over pools); spawning bare [Array.init] would
+   then unwind with the already-spawned domains never joined: they keep
+   racing on the result array after the exception propagates, and the
+   domains leak.  Instead, on a spawn failure: push the shared item
+   counter past [n] so in-flight workers drain instead of starting new
+   items, join every domain that did spawn, then re-raise. *)
+let spawn_all ~count ~next ~n worker =
+  let spawned = ref [] in
+  (try
+     for _ = 1 to count do
+       spawned := spawn worker :: !spawned
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Atomic.set next n;
+     List.iter Domain.join !spawned;
+     Printexc.raise_with_backtrace e bt);
+  !spawned
+
 let mapi ~jobs f input =
   let n = Array.length input in
   if jobs <= 1 || n <= 1 then Array.mapi f input
@@ -24,9 +60,9 @@ let mapi ~jobs f input =
       done
     in
     (* The caller is one of the workers: [jobs] domains run in total. *)
-    let spawned = Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    let spawned = spawn_all ~count:(min (jobs - 1) (n - 1)) ~next ~n worker in
     worker ();
-    Array.iter Domain.join spawned;
+    List.iter Domain.join spawned;
     (match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
@@ -63,9 +99,9 @@ let mapi_result ?deadline ~jobs f input =
         if i >= n then continue := false else results.(i) <- Some (item i input.(i))
       done
     in
-    let spawned = Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    let spawned = spawn_all ~count:(min (jobs - 1) (n - 1)) ~next ~n worker in
     worker ();
-    Array.iter Domain.join spawned;
+    List.iter Domain.join spawned;
     Array.map (function Some v -> v | None -> assert false) results
   end
 

@@ -18,11 +18,24 @@
     joined, and the first exception observed is re-raised (with its
     backtrace) in the calling domain. The [_result] variants instead
     isolate each item's outcome — the graceful-degradation entry
-    points the FMM batch layers build on. *)
+    points the FMM batch layers build on.
+
+    If [Domain.spawn] itself raises partway through fan-out (the
+    runtime's domain limit, routine under heavy concurrent service
+    load), the same discipline applies: in-flight workers drain,
+    every domain that did spawn is joined, and the spawn exception is
+    re-raised — no worker ever outlives the call that spawned it. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the runtime's estimate of
     how many domains the hardware can usefully run. *)
+
+val inject_spawn_failure_after : int option -> unit
+(** Test-only fault injection: [Some k] makes the [k]-th (0-based)
+    domain spawn of the next map call raise [Failure], simulating the
+    runtime's domain limit being hit mid-fan-out; [None] restores
+    normal operation. Pins the join-on-spawn-failure contract above —
+    not for production use. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
@@ -41,7 +54,10 @@ val mapi_result :
     [deadline] (absolute, {!Robust.Budget.now} scale) has passed before
     an item starts, that item yields [Error (Budget_exhausted _)]
     without running. Outcomes of items that do run are independent of
-    [jobs]; never raises and never aborts remaining items. *)
+    [jobs]; never raises and never aborts remaining items — with the
+    single exception of a [Domain.spawn] failure during fan-out, which
+    (after draining and joining every spawned domain) re-raises: it is
+    an environment failure of the call itself, not of any item. *)
 
 val map_result :
   ?deadline:float ->

@@ -1,0 +1,87 @@
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;  (** signalled on enqueue and on shutdown *)
+  jobs : (unit -> unit) Queue.t;
+  queue_max : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;  (** emptied by [shutdown] *)
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    let rec next () =
+      match Queue.take_opt t.jobs with
+      | Some job -> Some job
+      | None ->
+        if t.stopping then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          next ()
+        end
+    in
+    let job = next () in
+    Mutex.unlock t.lock;
+    match job with
+    | None -> ()
+    | Some job ->
+      (* Crash containment, as in [Pool.mapi_result]: the job's own
+         result channel carries failures; a worker must survive any
+         job to keep serving the rest. *)
+      (try job () with _ -> ());
+      loop ()
+  in
+  loop ()
+
+let create ~domains ~queue_max =
+  if domains < 1 then invalid_arg "Workers.create: domains must be at least 1";
+  if queue_max < 0 then invalid_arg "Workers.create: negative queue_max";
+  let t =
+    { lock = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      queue_max;
+      stopping = false;
+      domains = [] }
+  in
+  (* Eager spawn under the Pool discipline: if the runtime's domain
+     limit bites midway, drain (nothing is queued yet) and join the
+     domains that did start before re-raising. *)
+  (try
+     for _ = 1 to domains do
+       t.domains <- Domain.spawn (worker t) :: t.domains
+     done
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock t.lock;
+     t.stopping <- true;
+     Condition.broadcast t.nonempty;
+     Mutex.unlock t.lock;
+     List.iter Domain.join t.domains;
+     Printexc.raise_with_backtrace e bt);
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  let accepted = (not t.stopping) && Queue.length t.jobs < t.queue_max in
+  if accepted then begin
+    Queue.add job t.jobs;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  accepted
+
+let queued t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.lock;
+  n
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let domains = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join domains

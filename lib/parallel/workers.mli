@@ -1,0 +1,44 @@
+(** A persistent pool of worker domains with a bounded job queue.
+
+    {!Pool} fans a {e known} array of items across short-lived domains;
+    a long-running service needs the dual: domains that outlive any one
+    request and pull jobs as they arrive. The queue bound is the
+    admission-control primitive — {!submit} refuses (returns [false])
+    instead of queuing unboundedly, so overload surfaces to the caller
+    as a typed decision point, never as unbounded memory growth or
+    unbounded latency.
+
+    Jobs are [unit -> unit] closures; result delivery is the
+    submitter's business (the service layer blocks the submitting
+    thread on a condition variable until its job fills an ivar). A job
+    that raises is contained: the exception is swallowed by the worker
+    loop (the closure is expected to capture failures into its own
+    result channel, mirroring {!Pool.mapi_result}'s crash isolation),
+    and the worker keeps serving.
+
+    All operations are safe from any domain or thread. *)
+
+type t
+
+val create : domains:int -> queue_max:int -> t
+(** [domains] worker domains are spawned eagerly (so a later
+    [Domain.spawn] failure cannot strand a half-started pool — the
+    {!Pool} spawn discipline) and block waiting for work. [queue_max]
+    bounds the number of {e queued} (not yet running) jobs.
+    @raise Invalid_argument if [domains < 1] or [queue_max < 0]. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a job for the next free worker. [false] — and the job is
+    {e not} enqueued — when the queue already holds [queue_max] jobs
+    (shed load now, don't promise latency you can't deliver) or the
+    pool is shutting down. Never blocks. *)
+
+val queued : t -> int
+(** Jobs accepted but not yet picked up by a worker — the instantaneous
+    queue depth, for stats reporting. *)
+
+val shutdown : t -> unit
+(** Stop accepting new jobs, let the workers finish everything already
+    queued, then join every domain. Idempotent; safe to call
+    concurrently with {!submit} (the loser of that race gets
+    [false]). *)

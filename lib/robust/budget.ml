@@ -8,7 +8,14 @@ let unlimited = { ilp_nodes = None; fixpoint_iters = None; deadline = None }
 
 let default_ilp_nodes = 100_000
 
-let now () = Unix.gettimeofday ()
+(* Deadlines live on the monotonic scale, not the wall clock: a
+   long-running daemon holds deadlines open for hours, and an NTP step
+   or manual clock change under [Unix.gettimeofday] would fire every
+   in-flight deadline spuriously (clock jumped forward) or never
+   (clock jumped back).  CLOCK_MONOTONIC only ever advances. *)
+external monotonic_now : unit -> float = "pwcet_monotonic_now"
+
+let now = monotonic_now
 
 let make ?ilp_nodes ?fixpoint_iters ?timeout () =
   let positive what = function
@@ -30,5 +37,5 @@ let expired t =
 
 let check_deadline ~what t =
   if expired t then
-    Error (Pwcet_error.Budget_exhausted (what ^ ": wall-clock deadline expired"))
+    Error (Pwcet_error.Budget_exhausted (what ^ ": deadline expired"))
   else Ok ()

@@ -10,7 +10,7 @@
 type t = {
   ilp_nodes : int option;  (** branch-and-bound node cap *)
   fixpoint_iters : int option;  (** worklist-pop cap per fixpoint run *)
-  deadline : float option;  (** absolute wall-clock instant, {!now} scale *)
+  deadline : float option;  (** absolute monotonic instant, {!now} scale *)
 }
 
 val unlimited : t
@@ -27,7 +27,14 @@ val make : ?ilp_nodes:int -> ?fixpoint_iters:int -> ?timeout:float -> unit -> t
     @raise Invalid_argument on a negative or non-finite cap. *)
 
 val now : unit -> float
-(** Wall-clock seconds ([Unix.gettimeofday]) — the deadline scale. *)
+(** Monotonic seconds ([clock_gettime(CLOCK_MONOTONIC)]) — the
+    deadline scale.  {e Not} the wall clock: the origin is arbitrary
+    (typically boot), the value only ever advances, and an NTP step or
+    manual clock change does not move it — so a deadline held open for
+    hours by a long-running service fires exactly [timeout] seconds
+    after {!make}, never spuriously and never late because the wall
+    clock jumped. Compare instants from this function only with each
+    other, within one process. *)
 
 val expired : t -> bool
 (** Whether the deadline (if any) has passed. *)

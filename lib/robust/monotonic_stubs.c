@@ -1,0 +1,24 @@
+/* Monotonic clock for deadline arithmetic.
+ *
+ * Budget deadlines must survive wall-clock steps: an NTP correction or
+ * a manual `date` while an analysis daemon holds deadlines open must
+ * neither fire every in-flight deadline spuriously nor postpone them
+ * indefinitely.  CLOCK_MONOTONIC is immune to both — it only ever
+ * advances, at (adjusted) real-time rate, from an arbitrary origin.
+ *
+ * Kept as a local stub (no external opam dependency): the repository's
+ * no-deps rule also covers the clock.
+ */
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value pwcet_monotonic_now(value unit)
+{
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+        caml_failwith("Budget.now: clock_gettime(CLOCK_MONOTONIC) failed");
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec / 1e9);
+}

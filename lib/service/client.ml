@@ -1,0 +1,137 @@
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message err))
+
+let round_trip fd req =
+  match Frame.write fd (Protocol.request_to_string req) with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+  | () -> (
+    match Frame.read fd with
+    | Error msg -> Error (Printf.sprintf "bad response frame: %s" msg)
+    | Ok None -> Error "server closed the connection before responding"
+    | Ok (Some payload) -> Protocol.response_of_string payload
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "receive failed: %s" (Unix.error_message err)))
+
+let request ~socket req =
+  match connect ~socket with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> round_trip fd req)
+
+(* --- load generator -------------------------------------------------------- *)
+
+type load_report = {
+  total : int;
+  ok : int;
+  computed : int;
+  shared : int;
+  overloaded : int;
+  errors : int;
+  elapsed_s : float;
+  throughput : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else begin
+    let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+type tally = {
+  mutable t_ok : int;
+  mutable t_computed : int;
+  mutable t_shared : int;
+  mutable t_overloaded : int;
+  mutable t_errors : int;
+  latencies : float list ref;  (* seconds, completed round trips only *)
+}
+
+let client_thread ~socket ~requests ~offset reqs tally tally_lock =
+  let reqs = Array.of_list reqs in
+  let record f =
+    Mutex.lock tally_lock;
+    f ();
+    Mutex.unlock tally_lock
+  in
+  match connect ~socket with
+  | Error _ -> record (fun () -> tally.t_errors <- tally.t_errors + requests)
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        for i = 0 to requests - 1 do
+          let req = reqs.((offset + i) mod Array.length reqs) in
+          let t0 = Robust.Budget.now () in
+          let outcome = round_trip fd (Protocol.Analyze req) in
+          let dt = Robust.Budget.now () -. t0 in
+          record (fun () ->
+              match outcome with
+              | Ok (Protocol.Result r) ->
+                tally.t_ok <- tally.t_ok + 1;
+                if r.Protocol.computed then tally.t_computed <- tally.t_computed + 1
+                else tally.t_shared <- tally.t_shared + 1;
+                tally.latencies := dt :: !(tally.latencies)
+              | Ok (Protocol.Overloaded _) ->
+                tally.t_overloaded <- tally.t_overloaded + 1;
+                tally.latencies := dt :: !(tally.latencies)
+              | Ok _ | Error _ -> tally.t_errors <- tally.t_errors + 1)
+        done)
+
+let load ~socket ~clients ~requests reqs =
+  if clients < 1 then invalid_arg "Client.load: clients must be at least 1";
+  if requests < 1 then invalid_arg "Client.load: requests must be at least 1";
+  if reqs = [] then invalid_arg "Client.load: empty request list";
+  let tally =
+    { t_ok = 0; t_computed = 0; t_shared = 0; t_overloaded = 0; t_errors = 0;
+      latencies = ref [] }
+  in
+  let tally_lock = Mutex.create () in
+  let t0 = Robust.Budget.now () in
+  let threads =
+    List.init clients (fun c ->
+        Thread.create
+          (fun () -> client_thread ~socket ~requests ~offset:c reqs tally tally_lock)
+          ())
+  in
+  List.iter Thread.join threads;
+  let elapsed_s = Robust.Budget.now () -. t0 in
+  let sorted = Array.of_list !(tally.latencies) in
+  Array.sort compare sorted;
+  let ms p = 1000.0 *. percentile sorted p in
+  let total = clients * requests in
+  { total;
+    ok = tally.t_ok;
+    computed = tally.t_computed;
+    shared = tally.t_shared;
+    overloaded = tally.t_overloaded;
+    errors = tally.t_errors;
+    elapsed_s;
+    throughput =
+      (if elapsed_s > 0.0 then float_of_int (tally.t_ok + tally.t_overloaded) /. elapsed_s
+       else 0.0);
+    p50_ms = ms 0.50;
+    p95_ms = ms 0.95;
+    p99_ms = ms 0.99;
+    max_ms = (if Array.length sorted = 0 then Float.nan else 1000.0 *. sorted.(Array.length sorted - 1)) }
+
+let pp_load_report fmt r =
+  Format.fprintf fmt
+    "@[<v>requests   : %d (%d ok: %d computed, %d shared; %d overloaded, %d errors)@,\
+     elapsed    : %.3f s  (%.1f req/s)@,\
+     latency ms : p50 %.2f  p95 %.2f  p99 %.2f  max %.2f@]"
+    r.total r.ok r.computed r.shared r.overloaded r.errors r.elapsed_s r.throughput r.p50_ms
+    r.p95_ms r.p99_ms r.max_ms

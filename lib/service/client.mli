@@ -1,0 +1,45 @@
+(** Client side of the daemon protocol: one-shot requests and a
+    concurrent load generator.
+
+    The load generator is both the benchmark harness's measurement
+    tool and the stress half of the service check script: [clients]
+    threads each open their own connection and issue [requests]
+    sequential requests, every latency measured on the monotonic clock
+    ({!Robust.Budget.now} — the same scale the daemon's deadlines use,
+    immune to wall-clock steps mid-run). *)
+
+val request : socket:string -> Protocol.request -> (Protocol.response, string) result
+(** Connect, send one request, read one response, close. [Error] on
+    connection failure, framing violation, or an undecodable
+    response. *)
+
+type load_report = {
+  total : int;  (** requests attempted *)
+  ok : int;  (** [Result] responses *)
+  computed : int;  (** of [ok], how many ran their own computation *)
+  shared : int;  (** of [ok], how many joined an in-flight twin *)
+  overloaded : int;
+  errors : int;  (** error replies plus transport failures *)
+  elapsed_s : float;
+  throughput : float;  (** completed requests per second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [0, 1] — nearest-rank on an
+    ascending array; [nan] on an empty one. Exposed for the benchmark
+    harness. *)
+
+val load :
+  socket:string -> clients:int -> requests:int -> Protocol.analyze list -> load_report
+(** Each client thread cycles through the request list round-robin
+    (offset by its index, so concurrent clients overlap on the same
+    keys — the dedup-visible schedule), [requests] requests per
+    client, one connection per client held open for its whole run.
+    @raise Invalid_argument on a non-positive [clients]/[requests] or
+    an empty request list. *)
+
+val pp_load_report : Format.formatter -> load_report -> unit

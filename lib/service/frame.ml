@@ -1,0 +1,51 @@
+let max_payload = 16 * 1024 * 1024
+let header_bytes = 8
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write fd bytes !sent (len - !sent)
+  done
+
+let write fd payload =
+  let len = String.length payload in
+  if len > max_payload then
+    invalid_arg (Printf.sprintf "Frame.write: %d-byte payload exceeds the %d-byte cap" len max_payload);
+  (* One buffer, one (likely) syscall: header and payload together, so
+     a concurrent writer on a duped descriptor cannot interleave
+     between them. *)
+  let frame = Bytes.create (header_bytes + len) in
+  Bytes.set_int64_le frame 0 (Int64.of_int len);
+  Bytes.blit_string payload 0 frame header_bytes len;
+  write_all fd frame
+
+(* [Ok false] = clean EOF before the first byte; [Ok true] = filled. *)
+let read_exact fd buf =
+  let len = Bytes.length buf in
+  let rec loop got =
+    if got = len then Ok true
+    else
+      match Unix.read fd buf got (len - got) with
+      | 0 -> if got = 0 then Ok false else Error (Printf.sprintf "EOF mid-frame (%d of %d bytes)" got len)
+      | n -> loop (got + n)
+  in
+  loop 0
+
+let read fd =
+  let header = Bytes.create header_bytes in
+  match read_exact fd header with
+  | Error e -> Error e
+  | Ok false -> Ok None
+  | Ok true -> (
+    let len64 = Bytes.get_int64_le header 0 in
+    if Int64.compare len64 0L < 0 || Int64.compare len64 (Int64.of_int max_payload) > 0 then
+      Error (Printf.sprintf "bad frame length %Ld (cap %d)" len64 max_payload)
+    else
+      let payload = Bytes.create (Int64.to_int len64) in
+      match read_exact fd payload with
+      | Ok true -> Ok (Some (Bytes.unsafe_to_string payload))
+      | Ok false ->
+        if Bytes.length payload = 0 then Ok (Some "")
+        else Error "EOF where a frame payload was promised"
+      | Error e -> Error e)

@@ -1,0 +1,26 @@
+(** Length-prefixed message framing over a stream socket.
+
+    The same framing discipline as {!Store.Journal}'s on-disk records:
+    an 8-byte little-endian payload length followed by the payload
+    bytes. A reader always knows exactly how many bytes the next
+    message needs, so a slow or malicious peer can stall only its own
+    connection, never desynchronise it — and the length bound rejects
+    absurd frames before any allocation. *)
+
+val max_payload : int
+(** Upper bound on a single frame's payload (16 MiB) — far above any
+    real protocol message, low enough that a corrupt or hostile length
+    prefix cannot trigger a giant allocation. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one complete frame (length prefix + payload), looping over
+    short writes.
+    @raise Invalid_argument if the payload exceeds {!max_payload}.
+    @raise Unix.Unix_error as the underlying writes do (e.g. [EPIPE]
+    when the peer is gone). *)
+
+val read : Unix.file_descr -> (string option, string) result
+(** The next frame's payload; [Ok None] on a clean end-of-stream (the
+    peer closed between frames). [Error] on a malformed stream: an
+    oversized or negative length prefix, or EOF mid-frame.
+    @raise Unix.Unix_error as the underlying reads do. *)

@@ -1,0 +1,294 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing -------------------------------------------------------------- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* Keep small integral floats readable ("8" not "8.0000...e+00");
+       still an exact round trip. *)
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  else
+    (* JSON has no literal for these; the protocol validates ranges
+       before encoding, so this is a belt-and-braces fallback. *)
+    Buffer.add_string buf "null"
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> add_escaped buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        add buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (name, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf name;
+        Buffer.add_char buf ':';
+        add buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add buf v;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------------- *)
+
+exception Bad of string
+
+type reader = { data : string; mutable pos : int }
+
+let bad r msg = raise (Bad (Printf.sprintf "%s at offset %d" msg r.pos))
+let peek r = if r.pos < String.length r.data then Some r.data.[r.pos] else None
+
+let skip_ws r =
+  while
+    r.pos < String.length r.data
+    && match r.data.[r.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    r.pos <- r.pos + 1
+  done
+
+let expect r c =
+  match peek r with
+  | Some c' when c' = c -> r.pos <- r.pos + 1
+  | _ -> bad r (Printf.sprintf "expected %C" c)
+
+let literal r word value =
+  if
+    r.pos + String.length word <= String.length r.data
+    && String.sub r.data r.pos (String.length word) = word
+  then begin
+    r.pos <- r.pos + String.length word;
+    value
+  end
+  else bad r ("expected " ^ word)
+
+let parse_hex4 r =
+  if r.pos + 4 > String.length r.data then bad r "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let c = r.data.[r.pos + i] in
+    let d =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> bad r "bad \\u escape"
+    in
+    v := (!v * 16) + d
+  done;
+  r.pos <- r.pos + 4;
+  !v
+
+(* Encode a Unicode scalar as UTF-8.  Lone surrogates are kept as the
+   replacement character; the protocol never emits them. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let parse_string r =
+  expect r '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if r.pos >= String.length r.data then bad r "unterminated string";
+    let c = r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+      (if r.pos >= String.length r.data then bad r "unterminated escape";
+       let e = r.data.[r.pos] in
+       r.pos <- r.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char buf '"'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '/' -> Buffer.add_char buf '/'
+       | 'b' -> Buffer.add_char buf '\b'
+       | 'f' -> Buffer.add_char buf '\012'
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'u' -> add_utf8 buf (parse_hex4 r)
+       | _ -> bad r "unknown escape");
+      loop ()
+    | c when Char.code c < 0x20 -> bad r "raw control character in string"
+    | c ->
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ()
+
+let parse_number r =
+  let start = r.pos in
+  let is_int = ref true in
+  if peek r = Some '-' then r.pos <- r.pos + 1;
+  let digits () =
+    let d0 = r.pos in
+    while (match peek r with Some '0' .. '9' -> true | _ -> false) do
+      r.pos <- r.pos + 1
+    done;
+    if r.pos = d0 then bad r "expected digit"
+  in
+  digits ();
+  if peek r = Some '.' then begin
+    is_int := false;
+    r.pos <- r.pos + 1;
+    digits ()
+  end;
+  (match peek r with
+  | Some ('e' | 'E') ->
+    is_int := false;
+    r.pos <- r.pos + 1;
+    (match peek r with Some ('+' | '-') -> r.pos <- r.pos + 1 | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub r.data start (r.pos - start) in
+  if !is_int then
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text)  (* overflow: keep the magnitude *)
+  else Float (float_of_string text)
+
+let rec parse_value depth r =
+  if depth > 100 then bad r "nesting too deep";
+  skip_ws r;
+  match peek r with
+  | None -> bad r "unexpected end of input"
+  | Some 'n' -> literal r "null" Null
+  | Some 't' -> literal r "true" (Bool true)
+  | Some 'f' -> literal r "false" (Bool false)
+  | Some '"' -> String (parse_string r)
+  | Some ('-' | '0' .. '9') -> parse_number r
+  | Some '[' ->
+    r.pos <- r.pos + 1;
+    skip_ws r;
+    if peek r = Some ']' then begin
+      r.pos <- r.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value (depth + 1) r in
+        skip_ws r;
+        match peek r with
+        | Some ',' ->
+          r.pos <- r.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          r.pos <- r.pos + 1;
+          List.rev (v :: acc)
+        | _ -> bad r "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    r.pos <- r.pos + 1;
+    skip_ws r;
+    if peek r = Some '}' then begin
+      r.pos <- r.pos + 1;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws r;
+        let name = parse_string r in
+        skip_ws r;
+        expect r ':';
+        (name, parse_value (depth + 1) r)
+      in
+      let rec fields acc =
+        let f = field () in
+        skip_ws r;
+        match peek r with
+        | Some ',' ->
+          r.pos <- r.pos + 1;
+          fields (f :: acc)
+        | Some '}' ->
+          r.pos <- r.pos + 1;
+          List.rev (f :: acc)
+        | _ -> bad r "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some c -> bad r (Printf.sprintf "unexpected character %C" c)
+
+let of_string data =
+  let r = { data; pos = 0 } in
+  match parse_value 0 r with
+  | v ->
+    skip_ws r;
+    if r.pos <> String.length data then Error "trailing garbage after JSON value"
+    else Ok v
+  | exception Bad msg -> Error msg
+
+(* --- accessors ------------------------------------------------------------- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let type_error field what = Error (Printf.sprintf "field %S: expected %s" field what)
+
+let to_int ~field = function
+  | Int i -> Ok i
+  | Float f when Float.is_integer f && Float.abs f <= 2.0 ** 53.0 -> Ok (int_of_float f)
+  | _ -> type_error field "an integer"
+
+let to_float ~field = function
+  | Int i -> Ok (float_of_int i)
+  | Float f -> Ok f
+  | _ -> type_error field "a number"
+
+let to_text ~field = function
+  | String s -> Ok s
+  | _ -> type_error field "a string"
+
+let to_list ~field = function
+  | List items -> Ok items
+  | _ -> type_error field "an array"
+
+let to_bool ~field = function
+  | Bool b -> Ok b
+  | _ -> type_error field "a boolean"

@@ -1,0 +1,39 @@
+(** Minimal JSON for the service protocol — no external dependency.
+
+    Covers exactly what the wire protocol needs: the standard value
+    tree, a strict recursive-descent parser (bounds-checked, no
+    exceptions escaping — malformed input is [Error]), and a
+    deterministic printer. Integers that fit OCaml's [int] stay exact;
+    all other numbers travel as floats printed with [%.17g] (a lossless
+    round trip for every finite double). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering; object fields in the given order. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of exactly one JSON value (trailing garbage is an
+    error). Numbers with neither fraction, exponent, nor overflow
+    parse as [Int]; everything else as [Float]. *)
+
+(** Accessors used by the protocol decoders: [Error] with a message
+    naming the field, never an exception. *)
+
+val member : string -> t -> t option
+(** Field lookup on an object; [None] on absent field or non-object. *)
+
+val to_int : field:string -> t -> (int, string) result
+(** Accepts [Int] and integral [Float] (JSON has one number type). *)
+
+val to_float : field:string -> t -> (float, string) result
+val to_text : field:string -> t -> (string, string) result
+val to_list : field:string -> t -> (t list, string) result
+val to_bool : field:string -> t -> (bool, string) result

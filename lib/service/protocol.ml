@@ -1,0 +1,252 @@
+type analyze = {
+  bench : string;
+  pfail : float;
+  target : float;
+  mechanism : Pwcet.Mechanism.t;
+  sets : int;
+  ways : int;
+  line : int;
+  engine : [ `Path | `Ilp ];
+  exact : bool;
+  impl : [ `Naive | `Sliced ];
+  timeout_ms : int option;
+  delay_ms : int;
+}
+
+let default_analyze ~bench =
+  { bench;
+    pfail = 1e-4;
+    target = 1e-15;
+    mechanism = Pwcet.Mechanism.No_protection;
+    sets = 16;
+    ways = 4;
+    line = 16;
+    engine = `Path;
+    exact = false;
+    impl = `Sliced;
+    timeout_ms = None;
+    delay_ms = 0 }
+
+type request = Ping | Stats | Analyze of analyze
+
+type result_payload = {
+  pwcet : int;
+  wcet_ff : int;
+  pbf : float;
+  rung : string;
+  computed : bool;
+}
+
+type stats_payload = {
+  requests : int;
+  computations : int;
+  deduped : int;
+  overloaded : int;
+  errors : int;
+  queued : int;
+  store : (int * int * int) option;
+  uptime_s : float;
+}
+
+type response =
+  | Result of result_payload
+  | Pong
+  | Stats_reply of stats_payload
+  | Overloaded of { queued : int; queue_max : int }
+  | Error_reply of string
+
+let engine_tag = function `Path -> "path" | `Ilp -> "ilp"
+let impl_tag = function `Naive -> "naive" | `Sliced -> "sliced"
+
+(* --- encoding -------------------------------------------------------------- *)
+
+let analyze_fields a =
+  [ ("op", Json.String "analyze");
+    ("bench", Json.String a.bench);
+    ("pfail", Json.Float a.pfail);
+    ("target", Json.Float a.target);
+    ("mechanism", Json.String (Pwcet.Mechanism.short_name a.mechanism));
+    ("sets", Json.Int a.sets);
+    ("ways", Json.Int a.ways);
+    ("line", Json.Int a.line);
+    ("engine", Json.String (engine_tag a.engine));
+    ("exact", Json.Bool a.exact);
+    ("impl", Json.String (impl_tag a.impl)) ]
+  @ (match a.timeout_ms with None -> [] | Some ms -> [ ("timeout_ms", Json.Int ms) ])
+  @ if a.delay_ms = 0 then [] else [ ("delay_ms", Json.Int a.delay_ms) ]
+
+let request_to_string = function
+  | Ping -> Json.to_string (Json.Obj [ ("op", Json.String "ping") ])
+  | Stats -> Json.to_string (Json.Obj [ ("op", Json.String "stats") ])
+  | Analyze a -> Json.to_string (Json.Obj (analyze_fields a))
+
+let response_to_string = function
+  | Result r ->
+    Json.to_string
+      (Json.Obj
+         [ ("status", Json.String "ok");
+           ("pwcet", Json.Int r.pwcet);
+           ("wcet_ff", Json.Int r.wcet_ff);
+           ("pbf", Json.Float r.pbf);
+           ("rung", Json.String r.rung);
+           ("computed", Json.Bool r.computed) ])
+  | Pong -> Json.to_string (Json.Obj [ ("status", Json.String "pong") ])
+  | Stats_reply s ->
+    Json.to_string
+      (Json.Obj
+         ([ ("status", Json.String "stats");
+            ("requests", Json.Int s.requests);
+            ("computations", Json.Int s.computations);
+            ("deduped", Json.Int s.deduped);
+            ("overloaded", Json.Int s.overloaded);
+            ("errors", Json.Int s.errors);
+            ("queued", Json.Int s.queued);
+            ("uptime_s", Json.Float s.uptime_s) ]
+         @
+         match s.store with
+         | None -> []
+         | Some (hits, misses, puts) ->
+           [ ("store_hits", Json.Int hits);
+             ("store_misses", Json.Int misses);
+             ("store_puts", Json.Int puts) ]))
+  | Overloaded { queued; queue_max } ->
+    Json.to_string
+      (Json.Obj
+         [ ("status", Json.String "overloaded");
+           ("queued", Json.Int queued);
+           ("queue_max", Json.Int queue_max) ])
+  | Error_reply message ->
+    Json.to_string
+      (Json.Obj [ ("status", Json.String "error"); ("message", Json.String message) ])
+
+(* --- decoding -------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let required ~field json decode =
+  match Json.member field json with
+  | None -> Error (Printf.sprintf "missing field %S" field)
+  | Some v -> decode ~field v
+
+let optional ~field json decode ~default =
+  match Json.member field json with None -> Ok default | Some v -> decode ~field v
+
+(* Same validation the CLI's [prob_conv] applies: finite, strictly
+   inside (0, 1). NaN and infinities must never reach the pipeline. *)
+let probability ~field json =
+  let* p = Json.to_float ~field json in
+  if Float.is_finite p && p > 0.0 && p < 1.0 then Ok p
+  else Error (Printf.sprintf "field %S: probability must lie strictly inside (0, 1)" field)
+
+let positive ~field json =
+  let* n = Json.to_int ~field json in
+  if n >= 1 then Ok n else Error (Printf.sprintf "field %S: must be at least 1" field)
+
+let enum ~what options ~field json =
+  let* tag = Json.to_text ~field json in
+  match List.assoc_opt tag options with
+  | Some v -> Ok v
+  | None ->
+    Error
+      (Printf.sprintf "field %S: unknown %s %S (expected %s)" field what tag
+         (String.concat ", " (List.map fst options)))
+
+let decode_analyze json =
+  let* bench = required ~field:"bench" json Json.to_text in
+  if bench = "" then Error "field \"bench\": must be non-empty"
+  else
+    let* pfail = optional ~field:"pfail" json probability ~default:1e-4 in
+    let* target = optional ~field:"target" json probability ~default:1e-15 in
+    let* mechanism =
+      optional ~field:"mechanism" json
+        (fun ~field j ->
+          let* tag = Json.to_text ~field j in
+          match Pwcet.Mechanism.of_string tag with
+          | Some m -> Ok m
+          | None -> Error (Printf.sprintf "field %S: unknown mechanism %S" field tag))
+        ~default:Pwcet.Mechanism.No_protection
+    in
+    let* sets = optional ~field:"sets" json positive ~default:16 in
+    let* ways = optional ~field:"ways" json positive ~default:4 in
+    let* line = optional ~field:"line" json positive ~default:16 in
+    let* engine =
+      optional ~field:"engine" json
+        (enum ~what:"engine" [ ("path", `Path); ("ilp", `Ilp) ])
+        ~default:`Path
+    in
+    let* exact = optional ~field:"exact" json Json.to_bool ~default:false in
+    let* impl =
+      optional ~field:"impl" json
+        (enum ~what:"impl" [ ("naive", `Naive); ("sliced", `Sliced) ])
+        ~default:`Sliced
+    in
+    let* timeout_ms =
+      optional ~field:"timeout_ms" json
+        (fun ~field j ->
+          let* ms = positive ~field j in
+          Ok (Some ms))
+        ~default:None
+    in
+    let* delay_ms =
+      optional ~field:"delay_ms" json
+        (fun ~field j ->
+          let* ms = Json.to_int ~field j in
+          if ms >= 0 then Ok ms else Error (Printf.sprintf "field %S: must be non-negative" field))
+        ~default:0
+    in
+    Ok
+      (Analyze
+         { bench; pfail; target; mechanism; sets; ways; line; engine; exact; impl; timeout_ms;
+           delay_ms })
+
+let request_of_string s =
+  let* json = Json.of_string s in
+  let* op = required ~field:"op" json Json.to_text in
+  match op with
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "analyze" -> decode_analyze json
+  | op -> Error (Printf.sprintf "unknown op %S (expected ping, stats or analyze)" op)
+
+let decode_result json =
+  let* pwcet = required ~field:"pwcet" json Json.to_int in
+  let* wcet_ff = required ~field:"wcet_ff" json Json.to_int in
+  let* pbf = required ~field:"pbf" json Json.to_float in
+  let* rung = required ~field:"rung" json Json.to_text in
+  let* computed = required ~field:"computed" json Json.to_bool in
+  Ok (Result { pwcet; wcet_ff; pbf; rung; computed })
+
+let decode_stats json =
+  let* requests = required ~field:"requests" json Json.to_int in
+  let* computations = required ~field:"computations" json Json.to_int in
+  let* deduped = required ~field:"deduped" json Json.to_int in
+  let* overloaded = required ~field:"overloaded" json Json.to_int in
+  let* errors = required ~field:"errors" json Json.to_int in
+  let* queued = required ~field:"queued" json Json.to_int in
+  let* uptime_s = required ~field:"uptime_s" json Json.to_float in
+  let* store =
+    match Json.member "store_hits" json with
+    | None -> Ok None
+    | Some _ ->
+      let* hits = required ~field:"store_hits" json Json.to_int in
+      let* misses = required ~field:"store_misses" json Json.to_int in
+      let* puts = required ~field:"store_puts" json Json.to_int in
+      Ok (Some (hits, misses, puts))
+  in
+  Ok (Stats_reply { requests; computations; deduped; overloaded; errors; queued; store; uptime_s })
+
+let response_of_string s =
+  let* json = Json.of_string s in
+  let* status = required ~field:"status" json Json.to_text in
+  match status with
+  | "ok" -> decode_result json
+  | "pong" -> Ok Pong
+  | "stats" -> decode_stats json
+  | "overloaded" ->
+    let* queued = required ~field:"queued" json Json.to_int in
+    let* queue_max = required ~field:"queue_max" json Json.to_int in
+    Ok (Overloaded { queued; queue_max })
+  | "error" ->
+    let* message = required ~field:"message" json Json.to_text in
+    Ok (Error_reply message)
+  | status -> Error (Printf.sprintf "unknown response status %S" status)

@@ -1,0 +1,72 @@
+(** The analysis daemon's wire protocol: typed requests and responses
+    with JSON codecs.
+
+    One JSON object per {!Frame} frame, in either direction. Every
+    decoder is total — malformed input comes back as [Error], and the
+    server turns that into an [Error_reply] rather than dropping the
+    connection — and every numeric field is validated on decode with
+    the same bounds the CLI enforces (probabilities strictly inside
+    (0, 1), geometry at least 1), so a request that decodes is a
+    request the pipeline can run. *)
+
+type analyze = {
+  bench : string;  (** registry benchmark name *)
+  pfail : float;
+  target : float;  (** exceedance target for the reported quantile *)
+  mechanism : Pwcet.Mechanism.t;
+  sets : int;
+  ways : int;
+  line : int;
+  engine : [ `Path | `Ilp ];
+  exact : bool;
+  impl : [ `Naive | `Sliced ];
+  timeout_ms : int option;
+      (** per-request deadline; rides the degradation ladder and (like
+          every budgeted run) bypasses both the artifact store and
+          request dedup *)
+  delay_ms : int;
+      (** testing hook: sleep this long inside the computation, making
+          dedup and overload windows deterministic in tests. 0 in real
+          traffic. *)
+}
+
+val default_analyze : bench:string -> analyze
+(** The CLI's defaults: pfail 1e-4, target 1e-15, no protection,
+    16x4x16 geometry, path engine, sliced FMM, no timeout, no delay. *)
+
+type request = Ping | Stats | Analyze of analyze
+
+type result_payload = {
+  pwcet : int;  (** cycles, at the request's [target] *)
+  wcet_ff : int;
+  pbf : float;
+  rung : string;  (** worst degradation rung, {!Robust.Rung.to_string} *)
+  computed : bool;
+      (** [true] when this request ran the computation; [false] when it
+          joined an in-flight identical request and shared the result *)
+}
+
+type stats_payload = {
+  requests : int;
+  computations : int;  (** estimate computations actually run *)
+  deduped : int;  (** requests served by joining an in-flight twin *)
+  overloaded : int;  (** requests shed by admission control *)
+  errors : int;
+  queued : int;  (** jobs accepted but not yet running, right now *)
+  store : (int * int * int) option;  (** (hits, misses, puts), when a store is attached *)
+  uptime_s : float;
+}
+
+type response =
+  | Result of result_payload
+  | Pong
+  | Stats_reply of stats_payload
+  | Overloaded of { queued : int; queue_max : int }
+      (** typed load shedding: the request was not admitted and ran no
+          computation; retry against a less loaded daemon *)
+  | Error_reply of string
+
+val request_to_string : request -> string
+val request_of_string : string -> (request, string) result
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result

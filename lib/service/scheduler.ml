@@ -1,0 +1,306 @@
+type config = {
+  domains : int;
+  queue_max : int;
+  store : Store.Artifact.t option;
+  task_cache_max : int;
+  result_cache_max : int;
+}
+
+let default_config ?store () =
+  { domains = 2; queue_max = 64; store; task_cache_max = 32; result_cache_max = 256 }
+
+(* A write-once cell: the leader's computation fills it, every waiter
+   (the leader's own connection thread included) blocks on it. *)
+type 'a ivar = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+let ivar () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+let fill iv x =
+  Mutex.lock iv.m;
+  iv.v <- Some x;
+  Condition.broadcast iv.c;
+  Mutex.unlock iv.m
+
+let wait iv =
+  Mutex.lock iv.m;
+  while Option.is_none iv.v do
+    Condition.wait iv.c iv.m
+  done;
+  let x = Option.get iv.v in
+  Mutex.unlock iv.m;
+  x
+
+type outcome = (Pwcet.Estimator.estimate, string) result
+type task_outcome = (Pwcet.Estimator.task, string) result
+
+type t = {
+  pool : Parallel.Workers.t;
+  store : Store.Artifact.t option;
+  queue_max : int;
+  task_cache_max : int;
+  result_cache_max : int;
+  started : float;  (* Budget.now scale *)
+  lock : Mutex.t;  (* guards everything below *)
+  inflight : (string, outcome ivar) Hashtbl.t;
+  task_inflight : (string, task_outcome ivar) Hashtbl.t;
+  tasks : (string, Pwcet.Estimator.task) Hashtbl.t;
+  task_order : string Queue.t;  (* FIFO eviction for [tasks] *)
+  results : (string, Pwcet.Estimator.estimate) Hashtbl.t;
+  result_order : string Queue.t;  (* FIFO eviction for [results] *)
+  mutable requests : int;
+  mutable computations : int;
+  mutable deduped : int;
+  mutable overloaded : int;
+  mutable errors : int;
+}
+
+let create (config : config) =
+  if config.task_cache_max < 1 then invalid_arg "Scheduler.create: task_cache_max must be at least 1";
+  if config.result_cache_max < 0 then
+    invalid_arg "Scheduler.create: result_cache_max must be non-negative";
+  { pool = Parallel.Workers.create ~domains:config.domains ~queue_max:config.queue_max;
+    store = config.store;
+    queue_max = config.queue_max;
+    task_cache_max = config.task_cache_max;
+    result_cache_max = config.result_cache_max;
+    started = Robust.Budget.now ();
+    lock = Mutex.create ();
+    inflight = Hashtbl.create 16;
+    task_inflight = Hashtbl.create 16;
+    tasks = Hashtbl.create 16;
+    task_order = Queue.create ();
+    results = Hashtbl.create 16;
+    result_order = Queue.create ();
+    requests = 0;
+    computations = 0;
+    deduped = 0;
+    overloaded = 0;
+    errors = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Exactly the CLI's convention for float-valued key components. *)
+let float_key f = Int64.to_string (Int64.bits_of_float f)
+let engine_tag = function `Path -> "path" | `Ilp -> "ilp"
+let impl_tag = function `Naive -> "naive" | `Sliced -> "sliced"
+
+let task_key ~identity ~engine ~exact =
+  Store.Artifact.key
+    (identity
+    @ [ ("service", "task"); ("engine", engine_tag engine); ("exact", string_of_bool exact) ])
+
+(* The dedup key: everything that shapes the computed estimate. The
+   exceedance target stays out — waiters read their own quantile from
+   the shared penalty distribution — and so do jobs/delay, which never
+   change results. *)
+let request_key ~identity (a : Protocol.analyze) =
+  Store.Artifact.key
+    (identity
+    @ [ ("service", "analyze");
+        ("mechanism", Pwcet.Mechanism.short_name a.mechanism);
+        ("engine", engine_tag a.engine);
+        ("exact", string_of_bool a.exact);
+        ("impl", impl_tag a.impl);
+        ("pfail", float_key a.pfail) ])
+
+exception Compute_error of string
+
+(* Prepared-task cache: bounded, FIFO-evicted, with its own in-flight
+   dedup so N concurrent cold requests against one benchmark run the
+   expensive preparation (CFG recovery, cache analysis, fault-free
+   WCET) once. Only called from worker domains. *)
+let prepared_task t ~program ~config ~identity (a : Protocol.analyze) =
+  let tk = task_key ~identity ~engine:a.engine ~exact:a.exact in
+  let claim =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tasks tk with
+        | Some task -> `Cached task
+        | None -> (
+          match Hashtbl.find_opt t.task_inflight tk with
+          | Some tiv -> `Join tiv
+          | None ->
+            let tiv = ivar () in
+            Hashtbl.add t.task_inflight tk tiv;
+            `Lead tiv))
+  in
+  match claim with
+  | `Cached task -> task
+  | `Join tiv -> (
+    match wait tiv with Ok task -> task | Error msg -> raise (Compute_error msg))
+  | `Lead tiv -> (
+    let outcome =
+      try
+        Ok
+          (Pwcet.Estimator.prepare ~program ~config ~engine:a.engine ~exact:a.exact
+             ?store:t.store ())
+      with e -> Error (Printexc.to_string e)
+    in
+    locked t (fun () ->
+        Hashtbl.remove t.task_inflight tk;
+        match outcome with
+        | Error _ -> ()
+        | Ok task ->
+          Hashtbl.replace t.tasks tk task;
+          Queue.push tk t.task_order;
+          while Hashtbl.length t.tasks > t.task_cache_max && not (Queue.is_empty t.task_order) do
+            Hashtbl.remove t.tasks (Queue.pop t.task_order)
+          done);
+    fill tiv outcome;
+    match outcome with Ok task -> task | Error msg -> raise (Compute_error msg))
+
+(* The computation a worker domain runs. [jobs:1]: request-level
+   parallelism comes from the pool itself; nested per-set domains
+   would oversubscribe it. *)
+let compute t ~program ~config ~identity ?budget (a : Protocol.analyze) () =
+  if a.delay_ms > 0 then Unix.sleepf (float_of_int a.delay_ms /. 1000.0);
+  match budget with
+  | Some b ->
+    (* Budgeted bypass: fresh prepare + estimate, no task cache, no
+       store (a degraded, wall-clock-dependent result must never be
+       memoised), deadline riding the whole ladder. *)
+    let task =
+      Pwcet.Estimator.prepare ~program ~config ~engine:a.engine ~exact:a.exact ~budget:b ()
+    in
+    Pwcet.Estimator.estimate task ~pfail:a.pfail ~mechanism:a.mechanism ~engine:a.engine
+      ~exact:a.exact ~jobs:1 ~impl:a.impl ~budget:b ()
+  | None ->
+    let task = prepared_task t ~program ~config ~identity a in
+    Pwcet.Estimator.estimate task ~pfail:a.pfail ~mechanism:a.mechanism ~engine:a.engine
+      ~exact:a.exact ~jobs:1 ~impl:a.impl ?store:t.store ()
+
+let respond t (a : Protocol.analyze) ~computed (outcome : outcome) : Protocol.response =
+  match outcome with
+  | Ok est ->
+    Protocol.Result
+      { pwcet = Pwcet.Estimator.pwcet est ~target:a.target;
+        wcet_ff = Pwcet.Estimator.fault_free_wcet est.Pwcet.Estimator.task;
+        pbf = est.Pwcet.Estimator.pbf;
+        rung = Robust.Rung.to_string (Pwcet.Estimator.worst_rung est);
+        computed }
+  | Error msg ->
+    locked t (fun () -> t.errors <- t.errors + 1);
+    Protocol.Error_reply msg
+
+let shed t =
+  let queued = Parallel.Workers.queued t.pool in
+  locked t (fun () -> t.overloaded <- t.overloaded + 1);
+  Protocol.Overloaded { queued; queue_max = t.queue_max }
+
+let run_job t ?budget ~program ~config ~identity (a : Protocol.analyze) iv ~on_done =
+  let job () =
+    let outcome =
+      try Ok (compute t ~program ~config ~identity ?budget a ())
+      with
+      | Compute_error msg -> Error msg
+      | e -> Error (Printexc.to_string e)
+    in
+    on_done outcome;
+    fill iv outcome
+  in
+  Parallel.Workers.submit t.pool job
+
+let analyze t (a : Protocol.analyze) : Protocol.response =
+  locked t (fun () -> t.requests <- t.requests + 1);
+  match Benchmarks.Registry.find a.bench with
+  | None ->
+    locked t (fun () -> t.errors <- t.errors + 1);
+    Protocol.Error_reply
+      (Printf.sprintf "unknown benchmark %S; the registry lists the valid names" a.bench)
+  | Some entry -> (
+    match
+      ( (try Ok (Minic.Compile.compile entry.Benchmarks.Registry.program).Minic.Compile.program
+         with Minic.Typecheck.Error msg | Minic.Compile.Error msg -> Error msg),
+        try Ok (Cache.Config.make ~sets:a.sets ~ways:a.ways ~line_bytes:a.line ())
+        with Invalid_argument msg -> Error msg )
+    with
+    | Error msg, _ | _, Error msg ->
+      locked t (fun () -> t.errors <- t.errors + 1);
+      Protocol.Error_reply msg
+    | Ok program, Ok config -> (
+      let identity = Pwcet.Estimator.identity_of ~program ~config in
+      match a.timeout_ms with
+      | Some ms ->
+        (* Budgeted: private computation, admission control only. *)
+        let budget = Robust.Budget.make ~timeout:(float_of_int ms /. 1000.0) () in
+        let iv = ivar () in
+        let on_done outcome =
+          match outcome with
+          | Ok _ -> locked t (fun () -> t.computations <- t.computations + 1)
+          | Error _ -> ()
+        in
+        if run_job t ~budget ~program ~config ~identity a iv ~on_done then
+          respond t a ~computed:true (wait iv)
+        else shed t
+      | None -> (
+        let key = request_key ~identity a in
+        let claim =
+          locked t (fun () ->
+              match Hashtbl.find_opt t.results key with
+              | Some est -> `Warm est
+              | None -> (
+                match Hashtbl.find_opt t.inflight key with
+                | Some iv ->
+                  t.deduped <- t.deduped + 1;
+                  `Join iv
+                | None ->
+                  let iv = ivar () in
+                  Hashtbl.add t.inflight key iv;
+                  `Lead iv))
+        in
+        match claim with
+        | `Warm est -> respond t a ~computed:false (Ok est)
+        | `Join iv -> respond t a ~computed:false (wait iv)
+        | `Lead iv ->
+          let on_done outcome =
+            locked t (fun () ->
+                Hashtbl.remove t.inflight key;
+                match outcome with
+                | Ok est ->
+                  t.computations <- t.computations + 1;
+                  if t.result_cache_max > 0 then begin
+                    Hashtbl.replace t.results key est;
+                    Queue.push key t.result_order;
+                    while
+                      Hashtbl.length t.results > t.result_cache_max
+                      && not (Queue.is_empty t.result_order)
+                    do
+                      Hashtbl.remove t.results (Queue.pop t.result_order)
+                    done
+                  end
+                | Error _ -> ())
+          in
+          if run_job t ~program ~config ~identity a iv ~on_done then
+            respond t a ~computed:true (wait iv)
+          else begin
+            (* Nobody else can be waiting: joiners found the entry only
+               while it existed, and its removal under the lock precedes
+               any chance of a response — fill the ivar anyway so a racy
+               joiner that slipped in between claim and shed still
+               unblocks. *)
+            locked t (fun () -> Hashtbl.remove t.inflight key);
+            fill iv (Error "request shed by admission control");
+            shed t
+          end)))
+
+let stats t : Protocol.stats_payload =
+  let queued = Parallel.Workers.queued t.pool in
+  let store =
+    Option.map
+      (fun st ->
+        let s = Store.Artifact.stats st in
+        (s.Store.Artifact.hits, s.Store.Artifact.misses, s.Store.Artifact.puts))
+      t.store
+  in
+  locked t (fun () ->
+      { Protocol.requests = t.requests;
+        computations = t.computations;
+        deduped = t.deduped;
+        overloaded = t.overloaded;
+        errors = t.errors;
+        queued;
+        store;
+        uptime_s = Robust.Budget.now () -. t.started })
+
+let shutdown t = Parallel.Workers.shutdown t.pool

@@ -1,0 +1,132 @@
+type config = {
+  socket_path : string;
+  scheduler : Scheduler.t;
+  on_ready : unit -> unit;
+  stop : bool Atomic.t;
+}
+
+(* How often the accept loop re-checks [stop]: SIGTERM latency, not
+   request latency — connections are served by their own threads. *)
+let poll_interval = 0.2
+
+exception Already_running of string
+
+(* Claim the socket path. A live daemon answers a probe connect and we
+   refuse to fight it; a dead one left a stale inode we may unlink. *)
+let bind_or_replace sock path =
+  try Unix.bind sock (Unix.ADDR_UNIX path)
+  with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      Fun.protect
+        ~finally:(fun () -> Unix.close probe)
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false)
+    in
+    if alive then
+      raise (Already_running (Printf.sprintf "another daemon is already serving on %s" path))
+    else begin
+      Unix.unlink path;
+      Unix.bind sock (Unix.ADDR_UNIX path)
+    end
+
+type conns = {
+  lock : Mutex.t;
+  drained : Condition.t;
+  fds : (int, Unix.file_descr) Hashtbl.t;  (* keyed by a connection id *)
+  mutable next_id : int;
+  mutable active : int;
+}
+
+let serve_connection scheduler fd =
+  let respond response = Frame.write fd (Protocol.response_to_string response) in
+  let rec loop () =
+    match Frame.read fd with
+    | Ok None -> ()  (* peer done *)
+    | Error msg ->
+      (* Malformed framing: answer if the pipe still works, then drop
+         the connection — after a framing error the stream position is
+         unreliable. *)
+      (try respond (Protocol.Error_reply (Printf.sprintf "bad frame: %s" msg)) with _ -> ())
+    | Ok (Some payload) ->
+      let response =
+        match Protocol.request_of_string payload with
+        | Error msg -> Protocol.Error_reply (Printf.sprintf "bad request: %s" msg)
+        | Ok Protocol.Ping -> Protocol.Pong
+        | Ok Protocol.Stats -> Protocol.Stats_reply (Scheduler.stats scheduler)
+        | Ok (Protocol.Analyze a) -> Scheduler.analyze scheduler a
+      in
+      respond response;
+      loop ()
+  in
+  loop ()
+
+let run { socket_path; scheduler; on_ready; stop } =
+  (* A client vanishing mid-reply must cost one connection (EPIPE on
+     its thread), never the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try bind_or_replace listener socket_path
+   with e ->
+     Unix.close listener;
+     raise e);
+  Unix.listen listener 64;
+  let conns =
+    { lock = Mutex.create ();
+      drained = Condition.create ();
+      fds = Hashtbl.create 16;
+      next_id = 0;
+      active = 0 }
+  in
+  let handle fd =
+    let id =
+      Mutex.lock conns.lock;
+      let id = conns.next_id in
+      conns.next_id <- id + 1;
+      conns.active <- conns.active + 1;
+      Hashtbl.replace conns.fds id fd;
+      Mutex.unlock conns.lock;
+      id
+    in
+    ignore
+      (Thread.create
+         (fun () ->
+           (try serve_connection scheduler fd with _ -> ());
+           Mutex.lock conns.lock;
+           Hashtbl.remove conns.fds id;
+           conns.active <- conns.active - 1;
+           if conns.active = 0 then Condition.broadcast conns.drained;
+           Mutex.unlock conns.lock;
+           try Unix.close fd with Unix.Unix_error _ -> ())
+         ())
+  in
+  on_ready ();
+  (* Accept loop: poll so a signal-set [stop] flag is honoured within
+     [poll_interval] even though the handler itself can only set a
+     flag. *)
+  while not (Atomic.get stop) do
+    match Unix.select [ listener ] [] [] poll_interval with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept listener with
+      | fd, _ -> handle fd
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.ECONNABORTED), _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* Clean shutdown: stop accepting, nudge every open connection (its
+     blocking read returns EOF), wait for the threads to finish their
+     in-flight responses, then drain the compute pool and remove the
+     socket so the next daemon starts fresh. *)
+  Unix.close listener;
+  Mutex.lock conns.lock;
+  Hashtbl.iter
+    (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns.fds;
+  while conns.active > 0 do
+    Condition.wait conns.drained conns.lock
+  done;
+  Mutex.unlock conns.lock;
+  Scheduler.shutdown scheduler;
+  try Unix.unlink socket_path with Unix.Unix_error _ -> ()

@@ -1,0 +1,29 @@
+(** Unix-domain-socket front end of the analysis daemon.
+
+    One listener, one thread per connection, one {!Frame}d JSON
+    request/response pair per round trip; all computation and policy
+    (dedup, admission, deadlines) lives in the {!Scheduler} the server
+    is given. The accept loop polls a [stop] flag — the CLI's
+    SIGTERM/SIGINT handlers just set it — and shutdown is clean by
+    construction: stop accepting, nudge open connections shut, wait
+    for in-flight responses to finish, drain the compute pool, unlink
+    the socket. A store-backed daemon therefore leaves a consistent
+    artifact cache behind on SIGTERM. *)
+
+type config = {
+  socket_path : string;
+  scheduler : Scheduler.t;
+  on_ready : unit -> unit;
+      (** called once the socket is listening, before the first accept
+          — the readiness hook for tests and scripts *)
+  stop : bool Atomic.t;  (** set (by anyone) to request shutdown *)
+}
+
+exception Already_running of string
+(** The socket path is owned by a daemon that still answers. A stale
+    socket left by a crashed daemon is silently replaced instead. *)
+
+val run : config -> unit
+(** Serve until [stop] is set (checked a few times per second), then
+    shut down cleanly as described above and return. Also raises
+    [Unix.Unix_error] if the socket cannot be created at all. *)

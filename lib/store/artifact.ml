@@ -10,11 +10,20 @@ type stats = {
 
 type t = {
   root : string;
+  lock : Mutex.t;  (** guards [s]; everything else is immutable or on-disk *)
   mutable s : stats;
-  mutable tmp_counter : int;
+  tmp_counter : int Atomic.t;
 }
 
 let zero_stats = { hits = 0; misses = 0; corrupt = 0; version_mismatch = 0; puts = 0 }
+
+(* Stats are touched from every worker domain of a concurrent daemon
+   sharing one handle; a plain [t.s <- ...] read-modify-write would
+   lose increments. *)
+let bump t f =
+  Mutex.lock t.lock;
+  t.s <- f t.s;
+  Mutex.unlock t.lock
 
 let mkdir_p dir =
   let rec make d =
@@ -31,7 +40,7 @@ let journals_dir t = Filename.concat t.root "journals"
 let tmp_dir t = Filename.concat t.root "tmp"
 
 let open_store ~dir =
-  let t = { root = dir; s = zero_stats; tmp_counter = 0 } in
+  let t = { root = dir; lock = Mutex.create (); s = zero_stats; tmp_counter = Atomic.make 0 } in
   mkdir_p (objects_dir t);
   mkdir_p (quarantine_dir t);
   mkdir_p (journals_dir t);
@@ -64,17 +73,52 @@ let read_file path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> Some (really_input_string ic (in_channel_length ic)))
 
+(* Durability for the rename itself: the parent directory's metadata
+   (the new directory entry) must reach disk too, or a power loss
+   shortly after a "committed" put can roll the entry back even though
+   the data blocks survived.  kill -9 alone never needed this — the
+   page cache survives a process death — but a daemon promising
+   committed results to remote clients must survive the machine dying,
+   not just the process.  Directory fsync is optional on some
+   filesystems (EINVAL/EBADF there), so failures are ignored: the
+   atomicity guarantee never depends on it, only power-loss
+   durability, and only where the OS supports it. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 (* Atomic durable write: unique temp file in the same tree (same
    filesystem, so rename is atomic), contents fsynced before the
-   rename. A kill -9 at any instant leaves either the previous entry
-   or no entry under [path] — never a torn one. *)
+   rename, parent directory fsynced after it. A kill -9 at any
+   instant leaves either the previous entry or no entry under [path] —
+   never a torn one.
+
+   The temp name must be unique per {e writer}, not per handle: the
+   counter is atomic (daemon worker domains share one handle — a
+   plain [mutable] here raced, two writers could draw the same counter
+   value) and the pid distinguishes processes (a daemon plus a CLI run
+   writing the same key).  [O_EXCL] turns any residual collision —
+   e.g. a recycled pid colliding with a crashed process's leftover
+   temp file — into a retry with a fresh name instead of two writers
+   silently interleaving into one [O_TRUNC]-ed file and renaming a
+   torn blob into place. *)
 let write_atomic t ~path data =
-  t.tmp_counter <- t.tmp_counter + 1;
-  let tmp =
-    Filename.concat (tmp_dir t)
-      (Printf.sprintf "%d.%d.%s" (Unix.getpid ()) t.tmp_counter (Filename.basename path))
+  let rec create_tmp attempts =
+    let tmp =
+      Filename.concat (tmp_dir t)
+        (Printf.sprintf "%d.%d.%s" (Unix.getpid ())
+           (Atomic.fetch_and_add t.tmp_counter 1)
+           (Filename.basename path))
+    in
+    match Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+    | fd -> (tmp, fd)
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when attempts > 0 ->
+      create_tmp (attempts - 1)
   in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let tmp, fd = create_tmp 1024 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -83,11 +127,12 @@ let write_atomic t ~path data =
       if n <> Bytes.length bytes then failwith "Artifact.put: short write";
       Unix.fsync fd);
   mkdir_p (Filename.dirname path);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 let put t ~key ~kind ~version payload =
   write_atomic t ~path:(object_path t ~key) (Codec.encode ~kind ~version payload);
-  t.s <- { t.s with puts = t.s.puts + 1 }
+  bump t (fun s -> { s with puts = s.puts + 1 })
 
 let quarantine_entry t ~key =
   let path = object_path t ~key in
@@ -98,24 +143,25 @@ let quarantine_entry t ~key =
 let get t ~key ~kind ~version =
   match read_file (object_path t ~key) with
   | None ->
-    t.s <- { t.s with misses = t.s.misses + 1 };
+    bump t (fun s -> { s with misses = s.misses + 1 });
     None
   | Some data -> (
     match Codec.decode ~kind ~version data with
     | Ok payload ->
-      t.s <- { t.s with hits = t.s.hits + 1 };
+      bump t (fun s -> { s with hits = s.hits + 1 });
       Some payload
     | Error (E.Version_mismatch _) ->
-      t.s <- { t.s with misses = t.s.misses + 1; version_mismatch = t.s.version_mismatch + 1 };
+      bump t (fun s ->
+          { s with misses = s.misses + 1; version_mismatch = s.version_mismatch + 1 });
       None
     | Error _ ->
       quarantine_entry t ~key;
-      t.s <- { t.s with misses = t.s.misses + 1; corrupt = t.s.corrupt + 1 };
+      bump t (fun s -> { s with misses = s.misses + 1; corrupt = s.corrupt + 1 });
       None)
 
 let quarantine t ~key ~reason:_ =
   quarantine_entry t ~key;
-  t.s <- { t.s with corrupt = t.s.corrupt + 1 }
+  bump t (fun s -> { s with corrupt = s.corrupt + 1 })
 
 let journal_path t ~run_key = Filename.concat (journals_dir t) (run_key ^ ".journal")
 
@@ -185,7 +231,7 @@ let verify ?(expected = []) t =
           | _ -> ())
         | Error e ->
           quarantine_entry t ~key;
-          t.s <- { t.s with corrupt = t.s.corrupt + 1 };
+          bump t (fun s -> { s with corrupt = s.corrupt + 1 });
           quarantined := (key, e) :: !quarantined));
   { total = !total; intact = !intact; quarantined = List.rev !quarantined;
     stale = List.rev !stale }

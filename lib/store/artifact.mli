@@ -23,9 +23,18 @@
 
     Counters ({!stats}) track hits, misses, corruption and version
     mismatches for degradation reports and the [cache stat]
-    subcommand. A store handle is not thread-safe; open one per domain
-    (the files themselves tolerate concurrent processes thanks to the
-    atomic rename). *)
+    subcommand.
+
+    One handle may be shared across domains and threads: {!put} uses a
+    per-writer unique temp file (atomic counter + pid, created with
+    [O_EXCL] so even a name collision can never interleave two
+    writers), the rename is atomic and followed by a parent-directory
+    fsync (a committed entry survives power loss, not just [kill -9]),
+    and the stats counters are lock-protected. Separate processes — a
+    daemon plus a CLI run — tolerate each other on the same store for
+    the same reasons; last writer of a key wins with an intact entry
+    either way. Maintenance operations ({!verify}, {!gc}) still assume
+    no concurrent writer to the entries they walk. *)
 
 type t
 

@@ -55,6 +55,76 @@ let test_pool_propagates_exception () =
       | exception Boom 17 -> ())
     [ 1; 4 ]
 
+(* Regression for the spawn-failure domain leak: when [Domain.spawn]
+   raises partway through fan-out (injected here; the domain limit in
+   production), the domains that did spawn must be drained and joined
+   before the exception propagates.  Pre-fix they leaked and kept
+   processing items — observable as the item counter still advancing
+   after the call has already raised. *)
+let test_pool_spawn_failure_joins_workers () =
+  let run map_call =
+    let n = 512 in
+    let processed = Atomic.make 0 in
+    let f _i _x =
+      (* Slow items keep the leaked (pre-fix) worker busy well past the
+         exception, so the post-raise counter freeze is discriminating. *)
+      Unix.sleepf 0.0005;
+      Atomic.incr processed;
+      0
+    in
+    Pool.inject_spawn_failure_after (Some 1);
+    Fun.protect
+      ~finally:(fun () -> Pool.inject_spawn_failure_after None)
+      (fun () ->
+        (match map_call f (Array.init n Fun.id) with
+        | (_ : int array) -> Alcotest.fail "expected the injected spawn failure to propagate"
+        | exception Failure _ -> ());
+        (* All spawned domains are joined, so no item can complete after
+           the call returns: the counter must be frozen. *)
+        let at_raise = Atomic.get processed in
+        Unix.sleepf 0.05;
+        Alcotest.(check int) "no worker survived the call" at_raise (Atomic.get processed))
+  in
+  run (fun f input -> Pool.mapi ~jobs:4 f input);
+  run (fun f input ->
+      Array.map
+        (function Ok v -> v | Error _ -> -1)
+        (Pool.mapi_result ~jobs:4 f input))
+
+(* The persistent pool behind the analysis service: jobs run exactly
+   once, the queue bound sheds overflow instead of queuing unboundedly,
+   and shutdown drains everything already accepted. *)
+let test_workers_run_shed_shutdown () =
+  let w = Parallel.Workers.create ~domains:2 ~queue_max:64 in
+  let counter = Atomic.make 0 in
+  let accepted = ref 0 in
+  for _ = 1 to 50 do
+    if Parallel.Workers.submit w (fun () -> Atomic.incr counter) then incr accepted
+  done;
+  Parallel.Workers.shutdown w;
+  Alcotest.(check int) "every accepted job ran before shutdown returned" !accepted
+    (Atomic.get counter);
+  Alcotest.(check bool) "submit after shutdown refused" false
+    (Parallel.Workers.submit w (fun () -> Atomic.incr counter));
+  (* A single worker blocked on a gate, queue_max 2: at most
+     1 running + 2 queued submissions can be accepted; the rest shed. *)
+  let slow = Parallel.Workers.create ~domains:1 ~queue_max:2 in
+  let gate = Atomic.make false in
+  let ran = Atomic.make 0 in
+  let job () =
+    while not (Atomic.get gate) do
+      Unix.sleepf 0.0005
+    done;
+    Atomic.incr ran
+  in
+  let flags = List.init 8 (fun _ -> Parallel.Workers.submit slow job) in
+  let accepted = List.length (List.filter Fun.id flags) in
+  Alcotest.(check bool) "overflow shed" true (accepted <= 3);
+  Alcotest.(check bool) "queue filled before shedding" true (accepted >= 2);
+  Atomic.set gate true;
+  Parallel.Workers.shutdown slow;
+  Alcotest.(check int) "accepted jobs all drained" accepted (Atomic.get ran)
+
 let test_pool_empty_and_singleton () =
   Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:4 (fun x -> x) [||]);
   Alcotest.(check (array int)) "singleton" [| 9 |] (Pool.map ~jobs:4 (fun x -> x * 3) [| 3 |])
@@ -236,6 +306,10 @@ let () =
         ; Alcotest.test_case "ordered under skew" `Quick test_pool_preserves_order_under_skew
         ; Alcotest.test_case "exception propagation" `Quick test_pool_propagates_exception
         ; Alcotest.test_case "edge sizes" `Quick test_pool_empty_and_singleton
+        ; Alcotest.test_case "spawn failure joins workers" `Quick
+            test_pool_spawn_failure_joins_workers
+        ; Alcotest.test_case "persistent workers run/shed/shutdown" `Quick
+            test_workers_run_shed_shutdown
         ; Alcotest.test_case "mapi_result crash isolation" `Quick test_mapi_result_isolates_crash
         ; Alcotest.test_case "mapi_result deterministic" `Quick
             test_mapi_result_deterministic_across_jobs

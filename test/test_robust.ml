@@ -65,6 +65,34 @@ let test_budget_validation () =
   | Ok () -> ()
   | Error _ -> Alcotest.fail "unlimited deadline must pass"
 
+(* Regression for the monotonic-clock fix: [Budget.now] must read
+   CLOCK_MONOTONIC, not the wall clock, or an NTP step / manual clock
+   change fires (or indefinitely postpones) every in-flight deadline a
+   daemon holds open.  A test cannot step the system clock, but the
+   scale check is equivalent: any clock on the epoch scale IS the
+   steppable wall clock.  Pre-fix ([Unix.gettimeofday]) the two
+   readings below coincide to within microseconds; post-fix the
+   monotonic origin is boot time, decades away from 1970. *)
+let test_budget_monotonic_clock () =
+  let wall = Unix.gettimeofday () in
+  let mono = Budget.now () in
+  let year = 365.0 *. 86_400.0 in
+  Alcotest.(check bool) "now() is not on the wall-clock (epoch) scale" true
+    (Float.abs (wall -. mono) > year);
+  let prev = ref (Budget.now ()) in
+  for i = 1 to 100_000 do
+    let t = Budget.now () in
+    if t < !prev then Alcotest.failf "now() went backwards at sample %d" i;
+    prev := t
+  done;
+  (* Deadline arithmetic stays on the [now] scale: a generous fresh
+     timeout is live, an already-elapsed one is expired. *)
+  Alcotest.(check bool) "fresh deadline live" false
+    (Budget.expired (Budget.make ~timeout:3600.0 ()));
+  let zero = Budget.make ~timeout:0.0 () in
+  Unix.sleepf 0.005;
+  Alcotest.(check bool) "elapsed deadline expired" true (Budget.expired zero)
+
 let test_rung_order () =
   Alcotest.(check bool) "exact < relaxed" true (Rung.compare Rung.Exact Rung.Relaxed < 0);
   Alcotest.(check bool) "relaxed < structural" true
@@ -416,6 +444,7 @@ let () =
     [ ( "units",
         [ Alcotest.test_case "error taxonomy" `Quick test_error_roundtrip
         ; Alcotest.test_case "budget validation" `Quick test_budget_validation
+        ; Alcotest.test_case "budget monotonic clock" `Quick test_budget_monotonic_clock
         ; Alcotest.test_case "rung order" `Quick test_rung_order
         ] )
     ; ( "solver ladder",

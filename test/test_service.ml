@@ -1,0 +1,521 @@
+(* Tests for the analysis daemon: the JSON codec, length-prefixed
+   framing, the typed protocol round trip, and — live, against an
+   in-process server on a temp Unix socket — request dedup (K identical
+   concurrent requests run exactly one computation), admission-control
+   shedding with the typed Overloaded response, budgeted requests
+   riding the degradation ladder past the caches, and client/server
+   result identity with the direct Estimator pipeline. *)
+
+module Json = Service.Json
+module Frame = Service.Frame
+module Protocol = Service.Protocol
+module Scheduler = Service.Scheduler
+module Server = Service.Server
+module Client = Service.Client
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v' = v
+  | Error _ -> false
+
+let test_json_roundtrip () =
+  let cases =
+    [ Json.Null;
+      Json.Bool true;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 1e-15;
+      Json.Float (-0.125);
+      Json.Float 1.7976931348623157e308;
+      Json.String "";
+      Json.String "plain";
+      Json.String "esc \"quotes\" \\ and \n\t control \001 bytes";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.String "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj [ ("a", Json.Int 1); ("nested", Json.Obj [ ("b", Json.List [ Json.Bool false ]) ]) ]
+    ]
+  in
+  List.iteri (fun i v -> check (Printf.sprintf "roundtrip %d" i) true (roundtrip v)) cases
+
+let test_json_malformed () =
+  let bad =
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "1.2.3"; "\"unterminated"; "{\"a\":1} trailing";
+      "\"bad \\x escape\""; "nan"; "[1 2]"; "{'single':1}" ]
+  in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed JSON %S" s)
+    bad;
+  (* Strict but correct on the edges the protocol relies on. *)
+  check "int stays int" true (Json.of_string "7" = Ok (Json.Int 7));
+  check "fraction is float" true (Json.of_string "7.0" = Ok (Json.Float 7.0));
+  check "exponent is float" true (Json.of_string "1e3" = Ok (Json.Float 1000.0));
+  check "escapes decode" true
+    (Json.of_string "\"a\\u0041\\n\"" = Ok (Json.String "aA\n"))
+
+(* --- framing --------------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let payloads = [ ""; "x"; String.make 70_000 'q'; "{\"op\":\"ping\"}" ] in
+      List.iter
+        (fun payload ->
+          Frame.write a payload;
+          match Frame.read b with
+          | Ok (Some got) -> check_str "frame payload" payload got
+          | Ok None -> Alcotest.fail "unexpected EOF"
+          | Error e -> Alcotest.failf "frame error: %s" e)
+        payloads;
+      Unix.close a;
+      check "clean EOF" true (Frame.read b = Ok None))
+
+let test_frame_bad_length () =
+  with_socketpair (fun a b ->
+      (* A hostile length prefix far past the cap must be rejected
+         before any allocation-sized read. *)
+      let header = Bytes.create 8 in
+      Bytes.set_int64_le header 0 0x7fff_ffff_ffffL;
+      ignore (Unix.write a header 0 8);
+      (match Frame.read b with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "oversized frame accepted");
+      ());
+  with_socketpair (fun a b ->
+      (* Truncation mid-frame is an error, not silence. *)
+      Frame.write a "full message";
+      let whole = Bytes.create 15 in
+      let got = Unix.read b whole 0 15 in
+      check "read the truncated prefix" true (got > 8);
+      ());
+  with_socketpair (fun a b ->
+      let header = Bytes.create 8 in
+      Bytes.set_int64_le header 0 100L;
+      ignore (Unix.write a header 0 8);
+      ignore (Unix.write_substring a "only a few bytes" 0 16);
+      Unix.close a;
+      match Frame.read b with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "truncated frame accepted")
+
+(* --- protocol -------------------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [ Protocol.Ping;
+      Protocol.Stats;
+      Protocol.Analyze (Protocol.default_analyze ~bench:"crc");
+      Protocol.Analyze
+        { (Protocol.default_analyze ~bench:"adpcm") with
+          Protocol.pfail = 1e-6;
+          target = 1e-12;
+          mechanism = Pwcet.Mechanism.Reliable_way;
+          sets = 32;
+          ways = 2;
+          line = 32;
+          engine = `Ilp;
+          exact = true;
+          impl = `Naive;
+          timeout_ms = Some 250;
+          delay_ms = 10 } ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.request_of_string (Protocol.request_to_string req) with
+      | Ok req' -> check "request roundtrip" true (req = req')
+      | Error e -> Alcotest.failf "request decode: %s" e)
+    reqs;
+  let resps =
+    [ Protocol.Pong;
+      Protocol.Result
+        { Protocol.pwcet = 110247; wcet_ff = 11148; pbf = 0.0127; rung = "exact";
+          computed = true };
+      Protocol.Overloaded { queued = 64; queue_max = 64 };
+      Protocol.Error_reply "unknown benchmark";
+      Protocol.Stats_reply
+        { Protocol.requests = 9; computations = 3; deduped = 5; overloaded = 1; errors = 0;
+          queued = 2; store = Some (4, 2, 2); uptime_s = 1.5 };
+      Protocol.Stats_reply
+        { Protocol.requests = 0; computations = 0; deduped = 0; overloaded = 0; errors = 0;
+          queued = 0; store = None; uptime_s = 0.0 } ]
+  in
+  List.iter
+    (fun resp ->
+      match Protocol.response_of_string (Protocol.response_to_string resp) with
+      | Ok resp' -> check "response roundtrip" true (resp = resp')
+      | Error e -> Alcotest.failf "response decode: %s" e)
+    resps
+
+let test_protocol_validation () =
+  let bad =
+    [ "{}";
+      "{\"op\":\"noop\"}";
+      "{\"op\":\"analyze\"}";
+      "{\"op\":\"analyze\",\"bench\":\"\"}";
+      "{\"op\":\"analyze\",\"bench\":\"crc\",\"pfail\":0}";
+      "{\"op\":\"analyze\",\"bench\":\"crc\",\"pfail\":1}";
+      "{\"op\":\"analyze\",\"bench\":\"crc\",\"pfail\":\"NaN\"}";
+      "{\"op\":\"analyze\",\"bench\":\"crc\",\"mechanism\":\"tmr\"}";
+      "{\"op\":\"analyze\",\"bench\":\"crc\",\"sets\":0}";
+      "{\"op\":\"analyze\",\"bench\":\"crc\",\"timeout_ms\":0}";
+      "{\"op\":\"analyze\",\"bench\":\"crc\",\"delay_ms\":-1}" ]
+  in
+  List.iter
+    (fun s ->
+      match Protocol.request_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid request %s" s)
+    bad;
+  (* Absent optional fields take the CLI's defaults. *)
+  match Protocol.request_of_string "{\"op\":\"analyze\",\"bench\":\"crc\"}" with
+  | Ok (Protocol.Analyze a) ->
+    check "default analyze" true (a = Protocol.default_analyze ~bench:"crc")
+  | Ok _ | Error _ -> Alcotest.fail "minimal analyze request rejected"
+
+(* --- a live in-process daemon ---------------------------------------------- *)
+
+let fresh_socket =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pwcet_test_service.%d.%d.sock" (Unix.getpid ()) !counter)
+
+(* Start a server on a fresh socket, run [f socket scheduler], always
+   shut the server down. [on_ready] gates [f]: no polling races. *)
+let with_server ?store ?(domains = 2) ?(queue_max = 64) ?(result_cache_max = 64) f =
+  let scheduler =
+    Scheduler.create
+      { Scheduler.domains; queue_max; store; task_cache_max = 8; result_cache_max }
+  in
+  let socket = fresh_socket () in
+  let stop = Atomic.make false in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let on_ready () =
+    Mutex.lock ready_m;
+    ready := true;
+    Condition.broadcast ready_c;
+    Mutex.unlock ready_m
+  in
+  let server =
+    Thread.create
+      (fun () -> Server.run { Server.socket_path = socket; scheduler; on_ready; stop })
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join server)
+    (fun () ->
+      Mutex.lock ready_m;
+      while not !ready do
+        Condition.wait ready_c ready_m
+      done;
+      Mutex.unlock ready_m;
+      f socket scheduler)
+
+let daemon_stats ~socket =
+  match Client.request ~socket Protocol.Stats with
+  | Ok (Protocol.Stats_reply s) -> s
+  | Ok _ -> Alcotest.fail "unexpected response to stats"
+  | Error e -> Alcotest.failf "stats failed: %s" e
+
+let test_server_roundtrip_identity () =
+  with_server (fun socket _scheduler ->
+      (match Client.request ~socket Protocol.Ping with
+      | Ok Protocol.Pong -> ()
+      | _ -> Alcotest.fail "ping failed");
+      (* The daemon's answer must be the direct pipeline's answer. *)
+      let req =
+        { (Protocol.default_analyze ~bench:"crc") with
+          Protocol.mechanism = Pwcet.Mechanism.Shared_reliable_buffer }
+      in
+      let entry = Option.get (Benchmarks.Registry.find "crc") in
+      let program = (Minic.Compile.compile entry.Benchmarks.Registry.program).Minic.Compile.program in
+      let config = Cache.Config.make ~sets:16 ~ways:4 ~line_bytes:16 () in
+      let task = Pwcet.Estimator.prepare ~program ~config () in
+      let est =
+        Pwcet.Estimator.estimate task ~pfail:req.Protocol.pfail
+          ~mechanism:req.Protocol.mechanism ()
+      in
+      match Client.request ~socket (Protocol.Analyze req) with
+      | Ok (Protocol.Result r) ->
+        check_int "pwcet matches direct pipeline"
+          (Pwcet.Estimator.pwcet est ~target:req.Protocol.target)
+          r.Protocol.pwcet;
+        check_int "wcet_ff matches" (Pwcet.Estimator.fault_free_wcet task) r.Protocol.wcet_ff;
+        check_str "rung" "exact" r.Protocol.rung;
+        check "leader computed" true r.Protocol.computed
+      | Ok other ->
+        Alcotest.failf "unexpected analyze response: %s" (Protocol.response_to_string other)
+      | Error e -> Alcotest.failf "analyze failed: %s" e)
+
+let test_server_bad_requests () =
+  with_server (fun socket _scheduler ->
+      (match
+         Client.request ~socket
+           (Protocol.Analyze (Protocol.default_analyze ~bench:"no-such-benchmark"))
+       with
+      | Ok (Protocol.Error_reply _) -> ()
+      | _ -> Alcotest.fail "unknown benchmark must yield a typed error");
+      (* A malformed frame payload gets a typed error too, on a fresh
+         connection the server keeps serving. *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          Frame.write fd "this is not json";
+          match Frame.read fd with
+          | Ok (Some payload) -> (
+            match Protocol.response_of_string payload with
+            | Ok (Protocol.Error_reply _) -> ()
+            | _ -> Alcotest.fail "malformed request must yield a typed error")
+          | _ -> Alcotest.fail "no response to malformed request");
+      match Client.request ~socket Protocol.Ping with
+      | Ok Protocol.Pong -> ()
+      | _ -> Alcotest.fail "server died after a malformed request")
+
+(* K identical concurrent requests: exactly one computation; everyone
+   gets the same numbers. The delay keeps the computation in flight
+   while the followers arrive. *)
+let test_dedup_single_computation () =
+  with_server (fun socket _scheduler ->
+      let k = 6 in
+      let req =
+        { (Protocol.default_analyze ~bench:"fibcall") with Protocol.delay_ms = 400 }
+      in
+      let report = Client.load ~socket ~clients:k ~requests:1 [ req ] in
+      check_int "all ok" k report.Client.ok;
+      check_int "exactly one computation" 1 report.Client.computed;
+      check_int "everyone else shared" (k - 1) report.Client.shared;
+      let s = daemon_stats ~socket in
+      check_int "stats: one computation" 1 s.Protocol.computations;
+      check_int "stats: k-1 deduped" (k - 1) s.Protocol.deduped)
+
+(* Different targets on the same (bench, pfail, mechanism) still share
+   one computation: the target is read off the shared distribution. *)
+let test_dedup_across_targets () =
+  with_server (fun socket _scheduler ->
+      let base = { (Protocol.default_analyze ~bench:"fibcall") with Protocol.delay_ms = 400 } in
+      let targets = [ 1e-9; 1e-12; 1e-15; 1e-18 ] in
+      let results = Array.make (List.length targets) 0 in
+      let threads =
+        List.mapi
+          (fun i target ->
+            Thread.create
+              (fun () ->
+                match
+                  Client.request ~socket (Protocol.Analyze { base with Protocol.target })
+                with
+                | Ok (Protocol.Result r) -> results.(i) <- r.Protocol.pwcet
+                | _ -> ())
+              ())
+          targets
+      in
+      List.iter Thread.join threads;
+      let s = daemon_stats ~socket in
+      check_int "one computation across targets" 1 s.Protocol.computations;
+      check_int "three joined" 3 s.Protocol.deduped;
+      (* Monotone: a rarer exceedance target can only raise the bound. *)
+      for i = 0 to Array.length results - 2 do
+        check "pwcet monotone in target" true (results.(i) <= results.(i + 1));
+        check "pwcet positive" true (results.(i) > 0)
+      done)
+
+(* A saturated queue sheds with the typed Overloaded response; nothing
+   hangs, and the daemon recovers once drained. *)
+let test_overload_shedding () =
+  with_server ~domains:1 ~queue_max:1 (fun socket _scheduler ->
+      let slow = { (Protocol.default_analyze ~bench:"fibcall") with Protocol.delay_ms = 600 } in
+      let distinct i =
+        (* Different pfail -> different identity key -> no dedup: each
+           request needs its own pool slot. *)
+        { slow with Protocol.pfail = 1e-4 +. (1e-6 *. float_of_int i) }
+      in
+      let n = 5 in
+      let responses = Array.make n None in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                match Client.request ~socket (Protocol.Analyze (distinct i)) with
+                | Ok r -> responses.(i) <- Some r
+                | Error _ -> ())
+              ())
+      in
+      List.iter Thread.join threads;
+      let shed, served =
+        Array.fold_left
+          (fun (shed, served) r ->
+            match r with
+            | Some (Protocol.Overloaded { queue_max; _ }) ->
+              check_int "queue_max reported" 1 queue_max;
+              (shed + 1, served)
+            | Some (Protocol.Result _) -> (shed, served + 1)
+            | _ -> (shed, served))
+          (0, 0) responses
+      in
+      check_int "every request answered" n (shed + served);
+      check "some requests shed" true (shed >= 1);
+      check "some requests served" true (served >= 1);
+      let s = daemon_stats ~socket in
+      check_int "stats agree on shed count" shed s.Protocol.overloaded;
+      (* Drained daemon admits again. *)
+      match
+        Client.request ~socket (Protocol.Analyze (Protocol.default_analyze ~bench:"fibcall"))
+      with
+      | Ok (Protocol.Result _) -> ()
+      | _ -> Alcotest.fail "daemon did not recover after shedding")
+
+(* Budgeted requests: an expired-scale deadline degrades (never fails),
+   bypasses dedup, and leaves no artifact behind. *)
+let test_budgeted_request_degrades () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pwcet_test_service_store.%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun name -> rm (Filename.concat path name)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm dir;
+  let store = Store.Artifact.open_store ~dir in
+  Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
+  with_server ~store (fun socket _scheduler ->
+      let req =
+        { (Protocol.default_analyze ~bench:"crc") with Protocol.timeout_ms = Some 1 }
+      in
+      (match Client.request ~socket (Protocol.Analyze req) with
+      | Ok (Protocol.Result r) ->
+        (* 1 ms cannot cover crc's preparation: the bound degraded but
+           exists — and was counted as its own computation. *)
+        check "degraded rung" true (r.Protocol.rung <> "exact");
+        check "bound still positive" true (r.Protocol.pwcet > 0)
+      | Ok other ->
+        Alcotest.failf "unexpected budgeted response: %s" (Protocol.response_to_string other)
+      | Error e -> Alcotest.failf "budgeted analyze failed: %s" e);
+      let s = daemon_stats ~socket in
+      (* The budgeted run bypassed the store in both directions. *)
+      match s.Protocol.store with
+      | Some (_, _, puts) -> check_int "no artifacts from budgeted run" 0 puts
+      | None -> Alcotest.fail "store stats missing")
+
+(* Warm requests skip preparation via the store + task cache: the
+   second identical request must not write anything new, and must hit
+   the store for nothing either (the in-memory task/estimate path
+   serves it); results stay bit-identical. *)
+(* The in-memory result cache: a serial repeat of an answered request
+   returns the shared estimate without recomputing ([computed = false],
+   computation count unchanged); with the layer disabled
+   ([result_cache_max = 0]) the repeat recomputes. *)
+let test_result_cache () =
+  let req = Protocol.default_analyze ~bench:"fibcall" in
+  let ask socket =
+    match Client.request ~socket (Protocol.Analyze req) with
+    | Ok (Protocol.Result r) -> r
+    | Ok other -> Alcotest.failf "unexpected response: %s" (Protocol.response_to_string other)
+    | Error e -> Alcotest.failf "analyze failed: %s" e
+  in
+  with_server (fun socket _scheduler ->
+      let first = ask socket in
+      let second = ask socket in
+      check "first computed" true first.Protocol.computed;
+      check "repeat served from the result cache" false second.Protocol.computed;
+      check_int "identical pwcet" first.Protocol.pwcet second.Protocol.pwcet;
+      check_int "one computation" 1 (daemon_stats ~socket).Protocol.computations);
+  with_server ~result_cache_max:0 (fun socket _scheduler ->
+      let first = ask socket in
+      let second = ask socket in
+      check "first computed" true first.Protocol.computed;
+      check "disabled cache recomputes" true second.Protocol.computed;
+      check_int "identical pwcet" first.Protocol.pwcet second.Protocol.pwcet;
+      check_int "two computations" 2 (daemon_stats ~socket).Protocol.computations)
+
+let test_warm_requests_consistent () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pwcet_test_service_warm.%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun name -> rm (Filename.concat path name)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  rm dir;
+  let store = Store.Artifact.open_store ~dir in
+  Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
+  with_server ~store (fun socket _scheduler ->
+      let req = Protocol.default_analyze ~bench:"cnt" in
+      let ask () =
+        match Client.request ~socket (Protocol.Analyze req) with
+        | Ok (Protocol.Result r) -> r
+        | Ok other ->
+          Alcotest.failf "unexpected response: %s" (Protocol.response_to_string other)
+        | Error e -> Alcotest.failf "analyze failed: %s" e
+      in
+      let cold = ask () in
+      let puts_after_cold =
+        match (daemon_stats ~socket).Protocol.store with
+        | Some (_, _, p) -> p
+        | None -> Alcotest.fail "store stats missing"
+      in
+      check "cold run populated the store" true (puts_after_cold > 0);
+      let warm = ask () in
+      check_int "warm pwcet identical" cold.Protocol.pwcet warm.Protocol.pwcet;
+      check_int "warm wcet_ff identical" cold.Protocol.wcet_ff warm.Protocol.wcet_ff;
+      match (daemon_stats ~socket).Protocol.store with
+      | Some (_, _, puts) -> check_int "warm run wrote nothing" puts_after_cold puts
+      | None -> Alcotest.fail "store stats missing")
+
+let () =
+  Alcotest.run "service"
+    [ ( "json",
+        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip
+        ; Alcotest.test_case "malformed rejected" `Quick test_json_malformed
+        ] )
+    ; ( "frame",
+        [ Alcotest.test_case "roundtrip + EOF" `Quick test_frame_roundtrip
+        ; Alcotest.test_case "hostile lengths" `Quick test_frame_bad_length
+        ] )
+    ; ( "protocol",
+        [ Alcotest.test_case "roundtrip" `Quick test_protocol_roundtrip
+        ; Alcotest.test_case "validation" `Quick test_protocol_validation
+        ] )
+    ; ( "daemon",
+        [ Alcotest.test_case "round-trip identity" `Quick test_server_roundtrip_identity
+        ; Alcotest.test_case "typed errors" `Quick test_server_bad_requests
+        ; Alcotest.test_case "dedup: K identical -> 1 computation" `Quick
+            test_dedup_single_computation
+        ; Alcotest.test_case "dedup across targets" `Quick test_dedup_across_targets
+        ; Alcotest.test_case "overload shedding" `Quick test_overload_shedding
+        ; Alcotest.test_case "budgeted request degrades" `Quick test_budgeted_request_degrades
+        ; Alcotest.test_case "result cache" `Quick test_result_cache
+        ; Alcotest.test_case "warm requests consistent" `Quick test_warm_requests_consistent
+        ] )
+    ]

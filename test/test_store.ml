@@ -206,6 +206,112 @@ let test_artifact_corruption_fuzz () =
   let files, _bytes = Artifact.gc st in
   Alcotest.(check bool) "gc removed the quarantine" true (files >= 1)
 
+(* Regression for the concurrent-writer temp-file race: several domains
+   hammer put/get on a small overlapping key set through ONE shared
+   handle.  Pre-fix the per-handle temp counter was a plain mutable
+   int, so two domains could draw the same value, open the same temp
+   path ([O_TRUNC], no [O_EXCL]), interleave their writes and rename a
+   torn blob into place — surfacing as quarantined corruption, a
+   failed rename, or a short read.  Post-fix every read must be
+   bit-identical to exactly one writer's payload and nothing is ever
+   quarantined. *)
+let test_artifact_concurrent_writers () =
+  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let domains = 6 and rounds = 150 and nkeys = 3 in
+  let payload ~writer ~round ~k =
+    (* Distinct payload per (writer, round), sized like a real table
+       blob so interleaved writes have room to tear. *)
+    let body = Printf.sprintf "writer=%d round=%d key=%d." writer round k in
+    body ^ String.init 4096 (fun i -> Char.chr ((writer + (i * 131)) land 0xff))
+  in
+  let keys = Array.init nkeys (fun k -> Artifact.key [ ("stress", string_of_int k) ]) in
+  let errors = Atomic.make [] in
+  let record msg =
+    let rec push () =
+      let old = Atomic.get errors in
+      if not (Atomic.compare_and_set errors old (msg :: old)) then push ()
+    in
+    push ()
+  in
+  let worker writer () =
+    try
+      for round = 1 to rounds do
+        let k = (writer + round) mod nkeys in
+        let key = keys.(k) in
+        Artifact.put st ~key ~kind:"TEST" ~version:1 (payload ~writer ~round ~k);
+        match Artifact.get st ~key ~kind:"TEST" ~version:1 with
+        | None -> record (Printf.sprintf "writer %d round %d: miss/quarantine" writer round)
+        | Some data -> (
+          (* Whatever won the race, the bytes must be one writer's
+             payload in full — regenerate it from the tag and compare. *)
+          match Scanf.sscanf_opt data "writer=%d round=%d key=%d." (fun w r k' -> (w, r, k')) with
+          | Some (w, r, k') when k' = k && String.equal data (payload ~writer:w ~round:r ~k) ->
+            ()
+          | _ -> record (Printf.sprintf "writer %d round %d: torn payload" writer round))
+      done
+    with e -> record (Printf.sprintf "writer %d: exception %s" writer (Printexc.to_string e))
+  in
+  let spawned = Array.init domains (fun w -> Domain.spawn (worker w)) in
+  Array.iter Domain.join spawned;
+  (match Atomic.get errors with
+  | [] -> ()
+  | msgs -> Alcotest.failf "%d data race(s): %s" (List.length msgs) (List.hd msgs));
+  let s = Artifact.stats st in
+  Alcotest.(check int) "zero quarantines" 0 s.Artifact.corrupt;
+  Alcotest.(check int) "quarantine dir empty" 0 (Artifact.disk_stats st).Artifact.quarantined;
+  Alcotest.(check int) "every put accounted" (domains * rounds) s.Artifact.puts
+
+(* Same contract, separate handles: every writer opens its OWN handle
+   on the same directory — a daemon's per-domain handles, or a daemon
+   plus a CLI run.  All counters then start at 0 and march in
+   lockstep, so pre-fix ([O_TRUNC], no [O_EXCL]) the writers collide
+   on the same temp path nearly every round: one truncates the other's
+   fully-written temp file mid-commit and a torn blob gets renamed
+   into place (or the loser's rename fails outright).  [O_EXCL] plus
+   the retry turns every collision into a fresh name. *)
+let test_artifact_concurrent_handles () =
+  let dir = fresh_dir () in
+  let domains = 4 and rounds = 200 in
+  (* One shared key: temp names embed the object basename, so a single
+     key keeps all writers on a collision course. *)
+  let key = Artifact.key [ ("stress", "shared") ] in
+  let payload ~writer ~round =
+    let body = Printf.sprintf "writer=%d round=%d." writer round in
+    body ^ String.init 8192 (fun i -> Char.chr ((writer + (i * 173)) land 0xff))
+  in
+  let errors = Atomic.make [] in
+  let record msg =
+    let rec push () =
+      let old = Atomic.get errors in
+      if not (Atomic.compare_and_set errors old (msg :: old)) then push ()
+    in
+    push ()
+  in
+  let worker writer () =
+    let st = Artifact.open_store ~dir in
+    try
+      for round = 1 to rounds do
+        Artifact.put st ~key ~kind:"TEST" ~version:1 (payload ~writer ~round);
+        match Artifact.get st ~key ~kind:"TEST" ~version:1 with
+        | None -> record (Printf.sprintf "writer %d round %d: miss/quarantine" writer round)
+        | Some data -> (
+          match Scanf.sscanf_opt data "writer=%d round=%d." (fun w r -> (w, r)) with
+          | Some (w, r) when String.equal data (payload ~writer:w ~round:r) -> ()
+          | _ -> record (Printf.sprintf "writer %d round %d: torn payload" writer round))
+      done;
+      let s = Artifact.stats st in
+      if s.Artifact.corrupt > 0 then
+        record (Printf.sprintf "writer %d: %d quarantined read(s)" writer s.Artifact.corrupt)
+    with e -> record (Printf.sprintf "writer %d: exception %s" writer (Printexc.to_string e))
+  in
+  let spawned = Array.init domains (fun w -> Domain.spawn (worker w)) in
+  Array.iter Domain.join spawned;
+  (match Atomic.get errors with
+  | [] -> ()
+  | msgs -> Alcotest.failf "%d data race(s): %s" (List.length msgs) (List.hd msgs));
+  let audit = Artifact.open_store ~dir in
+  Alcotest.(check int) "quarantine dir empty" 0 (Artifact.disk_stats audit).Artifact.quarantined
+
 let test_artifact_verify_quarantines () =
   let st = Artifact.open_store ~dir:(fresh_dir ()) in
   let keys =
@@ -498,6 +604,10 @@ let () =
         ; Alcotest.test_case "corruption fuzz (1100 faults)" `Quick
             test_artifact_corruption_fuzz
         ; Alcotest.test_case "verify quarantines" `Quick test_artifact_verify_quarantines
+        ; Alcotest.test_case "concurrent writers (multi-domain)" `Quick
+            test_artifact_concurrent_writers
+        ; Alcotest.test_case "concurrent writers (separate handles)" `Quick
+            test_artifact_concurrent_handles
         ] )
     ; ( "journal",
         [ Alcotest.test_case "roundtrip + resume" `Quick test_journal_roundtrip
