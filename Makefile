@@ -10,8 +10,8 @@ build:
 # Tier-1 gate: build + unit/property tests, then an intentionally
 # budget-starved analysis that must *complete gracefully* (degraded but
 # sound bounds, exit 0) rather than raise — the robustness contract of
-# the degradation ladder — plus the end-to-end store crash-safety and
-# daemon lifecycle gates.
+# the degradation ladder — plus the end-to-end store crash-safety,
+# daemon lifecycle and fault-injection validation gates.
 check:
 	dune build && dune runtest
 	dune exec bin/pwcet_tool.exe -- analyze fibcall --engine ilp --exact \
@@ -20,6 +20,7 @@ check:
 	  --verify --sets 8 --ways 2
 	sh scripts/check_store.sh ./_build/default/bin/pwcet_tool.exe
 	sh scripts/check_service.sh ./_build/default/bin/pwcet_tool.exe
+	sh scripts/check_sim.sh ./_build/default/bin/pwcet_tool.exe
 
 test: check
 
@@ -45,13 +46,16 @@ bench:
 # Machine-readable engine comparisons only: naive-vs-sliced FMM
 # (BENCH_fmm.json), distribution-engine + pfail-sweep amortisation
 # (BENCH_dist.json), artifact-store cold/warm/uncached timings
-# (BENCH_store.json), and the analysis daemon's cold/warm/concurrent
-# latencies plus live dedup proof (BENCH_service.json).
+# (BENCH_store.json), the analysis daemon's cold/warm/concurrent
+# latencies plus live dedup proof (BENCH_service.json), and the batched
+# fault-injection emulator's speedup + million-sample campaign results
+# (BENCH_sim.json).
 bench-json:
 	dune exec bench/main.exe -- --only fmm-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only dist-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only store-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only service-json $(if $(JOBS),-j $(JOBS))
+	dune exec bench/main.exe -- --only sim-json $(if $(JOBS),-j $(JOBS))
 
 clean:
 	dune clean

@@ -17,6 +17,7 @@
      dist-json    distribution engines + pfail sweep -> BENCH_dist.json
      store-json   artifact-store cold/warm/uncached -> BENCH_store.json
      service-json analysis daemon cold/warm/concurrent -> BENCH_service.json
+     sim-json     batched fault-injection campaigns + speedup -> BENCH_sim.json
      bechamel     timing of each analysis stage *)
 
 let config = Cache.Config.paper_default
@@ -49,7 +50,7 @@ let jobs =
 (* --only NAME: run a single section (the full harness regenerates every
    figure and takes minutes). Names: equations figure1 figure3 figure4
    geometry ablations future-work data-cache fmm-json dist-json
-   store-json service-json bechamel. *)
+   store-json service-json sim-json bechamel. *)
 let only =
   let rec scan = function
     | "--only" :: v :: _ -> Some v
@@ -818,6 +819,70 @@ let section_service_json () =
 
 (* --- Bechamel timing ------------------------------------------------------------ *)
 
+(* --- sim-json ---------------------------------------------------------------- *)
+
+(* The fault-injection emulator's evaluation artifact: the
+   batched-vs-baseline speedup on adpcm over the 64-set geometry
+   (acceptance: >= 10x, with per-sample cycle identity against the
+   concrete Isa.Machine + cache-simulator baseline and replay/emulate
+   digest identity), then million-sample campaigns for six registry
+   benchmarks under all three mechanisms on the paper geometry, each
+   held against the analytic pWCET curve. Everything is written to
+   BENCH_sim.json by the same emitter the CLI uses. *)
+let section_sim_json () =
+  banner "Batched fault-injection campaigns + speedup -> BENCH_sim.json";
+  let campaign_samples = 1_000_000 in
+  let seed = 42 in
+  let benches = [ "adpcm"; "bs"; "crc"; "fibcall"; "insertsort"; "matmult" ] in
+  let compiled_of name =
+    let entry = Option.get (Benchmarks.Registry.find name) in
+    Minic.Compile.compile entry.Benchmarks.Registry.program
+  in
+  (* Speedup on the wide geometry, where the baseline's per-sample
+     simulator construction hurts the most. *)
+  let wide_config = Cache.Config.make ~sets:64 ~ways:4 ~line_bytes:16 () in
+  let adpcm = compiled_of "adpcm" in
+  let wide_task =
+    Pwcet.Estimator.prepare ~program:adpcm.Minic.Compile.program ~config:wide_config ()
+  in
+  let wide_est =
+    Pwcet.Estimator.estimate wide_task ~pfail ~mechanism:Pwcet.Mechanism.No_protection ~jobs ()
+  in
+  let sp =
+    Pwcet.Validate.measure_speedup ~program:adpcm.Minic.Compile.program
+      ~data:adpcm.Minic.Compile.data ~est:wide_est ~benchmark:"adpcm" ~samples:500 ()
+  in
+  Printf.printf "speedup (adpcm, 64 sets, %d samples):\n" sp.Pwcet.Validate.sp_samples;
+  Printf.printf "  baseline: %10.0f samples/s\n" sp.Pwcet.Validate.baseline_samples_per_sec;
+  Printf.printf "  batched : %10.0f samples/s (incl. one-time trace preparation)\n"
+    sp.Pwcet.Validate.batched_samples_per_sec;
+  Printf.printf "  factor  : %.1fx  (cycles identical: %b, engines identical: %b)\n\n"
+    sp.Pwcet.Validate.factor sp.Pwcet.Validate.cycles_identical
+    sp.Pwcet.Validate.engines_identical;
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+      let compiled = compiled_of name in
+      let program = compiled.Minic.Compile.program in
+      let data = compiled.Minic.Compile.data in
+      let task = Pwcet.Estimator.prepare ~program ~config () in
+      List.iter
+        (fun mechanism ->
+          let est = Pwcet.Estimator.estimate task ~pfail ~mechanism ~jobs () in
+          let c =
+            Pwcet.Validate.check ~program ~data ~est ~samples:campaign_samples ~seed ~jobs ()
+          in
+          Printf.printf "  %-12s %-4s %9d samples %10.0f/s  gap %+.3e  %s\n" name
+            (Pwcet.Mechanism.short_name mechanism)
+            c.Pwcet.Validate.samples c.Pwcet.Validate.samples_per_sec c.Pwcet.Validate.max_gap
+            (if Pwcet.Validate.ok c then "ok" else "VIOLATION");
+          rows := (name, c) :: !rows)
+        Pwcet.Mechanism.all)
+    benches;
+  Pwcet.Validate.write_json ~path:"BENCH_sim.json" ~git_commit:(git_commit ()) ~config ~pfail
+    ~speedup:(Some sp) ~rows:(List.rev !rows);
+  Printf.printf "  wrote BENCH_sim.json\n"
+
 let section_bechamel () =
   banner "Analysis performance (Bechamel, one test per pipeline stage / figure)";
   let open Bechamel in
@@ -943,5 +1008,6 @@ let () =
   if wanted "dist-json" then section_dist_json ();
   if wanted "store-json" then section_store_json ();
   if wanted "service-json" then section_service_json ();
+  if wanted "sim-json" then section_sim_json ();
   if wanted "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

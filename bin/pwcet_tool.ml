@@ -7,6 +7,7 @@
      sweep <bench>            pWCET across a pfail grid, one analysis per mechanism
      suite                    the Fig. 4 table over the whole suite
      simulate <bench>         Monte-Carlo faulty simulation vs the bound
+     validate [bench...]      batched fault-injection campaigns vs the analytic curve
      audit                    invariant auditor over the whole registry
      cache                    artifact-store maintenance (stat / verify / gc)
      serve                    long-running analysis daemon on a Unix socket
@@ -902,6 +903,142 @@ let simulate_cmd =
     (cmd_info "simulate" ~doc:"Monte-Carlo faulty execution checked against the analytic bound")
     Term.(const run $ bench_arg $ pfail_arg $ samples_arg $ seed_arg $ jobs_arg)
 
+(* --- validate (batched fault-injection campaigns vs the analytic curve) ------ *)
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> "unknown"
+
+let validate_cmd =
+  let run benches pfail samples seed jobs sets ways line engine baseline_samples json =
+    let config = config_of sets ways line in
+    let names =
+      match benches with
+      | [] -> List.map (fun e -> e.Benchmarks.Registry.name) Benchmarks.Registry.all
+      | names -> names
+    in
+    let failures = ref 0 in
+    let rows = ref [] in
+    let speedup = ref None in
+    List.iteri
+      (fun i name ->
+        let label, compiled = compile_target name in
+        let program = compiled.Minic.Compile.program in
+        let data = compiled.Minic.Compile.data in
+        let task = Pwcet.Estimator.prepare ~program ~config () in
+        List.iter
+          (fun mechanism ->
+            let est = Pwcet.Estimator.estimate task ~pfail ~mechanism ~jobs () in
+            let c =
+              try Pwcet.Validate.check ~program ~data ~est ~samples ~seed ~jobs ~engine ()
+              with Failure msg ->
+                Printf.eprintf "%s/%s: campaign failed: %s\n" label
+                  (Pwcet.Mechanism.short_name mechanism) msg;
+                exit 1
+            in
+            let r = c.Pwcet.Validate.result in
+            Printf.printf
+              "%-14s %-4s %9d samples %10.0f/s  range [%d, %d]  gap %+.3e  %s  digest %s\n"
+              label
+              (Pwcet.Mechanism.short_name mechanism)
+              c.Pwcet.Validate.samples c.Pwcet.Validate.samples_per_sec
+              r.Sim.Campaign.min_cycles r.Sim.Campaign.max_cycles c.Pwcet.Validate.max_gap
+              (if Pwcet.Validate.ok c then "ok" else "FAIL")
+              c.Pwcet.Validate.digest;
+            if not c.Pwcet.Validate.curve_ok then
+              Printf.printf
+                "  FAIL: empirical exceedance above the analytic curve by %.3e (past noise) \
+                 at one of %d observed values\n"
+                c.Pwcet.Validate.max_gap c.Pwcet.Validate.curve_points;
+            if not c.Pwcet.Validate.bound_ok then
+              Printf.printf "  FAIL: %d sample(s) exceeded their per-pattern FMM bound\n"
+                r.Sim.Campaign.bound_violations;
+            if not (Pwcet.Validate.ok c) then incr failures;
+            rows := (label, c) :: !rows)
+          Pwcet.Mechanism.all;
+        if i = 0 && baseline_samples > 0 then begin
+          let est =
+            Pwcet.Estimator.estimate task ~pfail ~mechanism:Pwcet.Mechanism.No_protection ~jobs
+              ()
+          in
+          let sp =
+            Pwcet.Validate.measure_speedup ~program ~data ~est ~benchmark:label
+              ~samples:baseline_samples ()
+          in
+          Printf.printf
+            "%-14s speedup: batched %.0f/s vs baseline %.0f/s = %.1fx (cycles identical: %b, \
+             engines identical: %b)\n"
+            label sp.Pwcet.Validate.batched_samples_per_sec
+            sp.Pwcet.Validate.baseline_samples_per_sec sp.Pwcet.Validate.factor
+            sp.Pwcet.Validate.cycles_identical sp.Pwcet.Validate.engines_identical;
+          if not (sp.Pwcet.Validate.cycles_identical && sp.Pwcet.Validate.engines_identical)
+          then begin
+            Printf.printf "  FAIL: batched engine disagrees with the reference simulator\n";
+            incr failures
+          end;
+          speedup := Some sp
+        end)
+      names;
+    Option.iter
+      (fun path ->
+        Pwcet.Validate.write_json ~path ~git_commit:(git_commit ()) ~config ~pfail
+          ~speedup:!speedup ~rows:(List.rev !rows);
+        Printf.printf "wrote %s\n" path)
+      json;
+    if !failures > 0 then begin
+      Printf.printf "\nvalidate FAILED on %d campaign(s)\n" !failures;
+      exit 1
+    end
+    else
+      Printf.printf "\nvalidate passed: empirical exceedance within the analytic pWCET on %d \
+                     campaign(s)\n"
+        (List.length !rows)
+  in
+  let benches_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"BENCH"
+             ~doc:"Benchmarks to validate (default: the whole registry).")
+  in
+  let samples_arg =
+    Arg.(value & opt int 1_000_000
+         & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo samples per (benchmark, mechanism).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~doc:"Campaign seed; per-sample RNG streams derive from it.")
+  in
+  let engine_arg =
+    Arg.(value & opt (enum [ ("replay", `Replay); ("emulate", `Emulate) ]) `Replay
+         & info [ "sim-engine" ] ~docv:"ENGINE"
+             ~doc:"Campaign engine: 'replay' (trace-composed, the fast default) or 'emulate' \
+                   (full per-sample machine emulation; the ground truth replay is \
+                   cross-checked against).")
+  in
+  let baseline_arg =
+    Arg.(value & opt int 200
+         & info [ "baseline-samples" ] ~docv:"N"
+             ~doc:"Samples for the batched-vs-baseline speedup measurement on the first \
+                   benchmark (0 disables it).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the BENCH_sim.json document to $(docv).")
+  in
+  Cmd.v
+    (cmd_info "validate"
+       ~doc:"Batched fault-injection campaigns: for each benchmark and mechanism, draw N \
+             fault patterns from the paper's fault law, execute each on the flat emulator's \
+             faulty cache, and check the empirical execution-time exceedance curve lies at \
+             or below the analytic pWCET at every observed value (within binomial sampling \
+             noise) and every sample under its own per-pattern FMM bound. Exits 1 on any \
+             violation. Results are bit-identical for every --jobs value.")
+    Term.(const run $ benches_arg $ pfail_arg $ samples_arg $ seed_arg $ jobs_arg $ sets_arg
+          $ ways_arg $ line_arg $ engine_arg $ baseline_arg $ json_arg)
+
 (* --- audit ------------------------------------------------------------------ *)
 
 let audit_cmd =
@@ -1306,4 +1443,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; sweep_cmd; suite_cmd; simulate_cmd;
-            audit_cmd; refined_cmd; cache_cmd; serve_cmd; client_cmd ]))
+            validate_cmd; audit_cmd; refined_cmd; cache_cmd; serve_cmd; client_cmd ]))

@@ -163,27 +163,37 @@ let monte_carlo ?(samples = 10) ?(seed = 42) e =
     done;
     !misses * miss_penalty
   in
-  let penalties = List.init samples (fun _ -> sample_penalty ()) in
+  (* Stream the samples: Welford moments plus per-threshold exceedance
+     counters, so the sample count never implies O(samples) live
+     memory — the flags on `pwcet_tool audit` invite millions. *)
   let ceiling = Fmm.max_penalty_misses e.Estimator.fmm * miss_penalty in
-  let ceiling_tests =
-    List.map
-      (fun p ->
-        ( p <= ceiling,
-          Printf.sprintf "monte-carlo: sampled penalty %d exceeds support ceiling %d" p ceiling ))
-      penalties
-  in
   let thresholds =
     List.sort_uniq compare
       (List.map (fun t -> Prob.Dist.quantile e.Estimator.penalty ~target:t) [ 0.5; 0.1; 0.01 ])
   in
+  let threshold_arr = Array.of_list thresholds in
+  let exceed_counts = Array.make (Array.length threshold_arr) 0 in
+  let moments = Sim.Welford.create () in
+  let over_ceiling = ref 0 and worst = ref min_int in
+  for _ = 1 to samples do
+    let p = sample_penalty () in
+    Sim.Welford.add moments (float_of_int p);
+    if p > !worst then worst := p;
+    if p > ceiling then incr over_ceiling;
+    Array.iteri (fun i x -> if p > x then exceed_counts.(i) <- exceed_counts.(i) + 1) threshold_arr
+  done;
+  let ceiling_test =
+    ( !over_ceiling = 0,
+      Printf.sprintf
+        "monte-carlo: %d of %d sampled penalties exceed support ceiling %d (max %d, mean %.1f)"
+        !over_ceiling samples ceiling !worst (Sim.Welford.mean moments) )
+  in
   let n = float_of_int samples in
   let tail_tests =
-    List.map
-      (fun x ->
+    List.mapi
+      (fun i x ->
         let analytic = Prob.Dist.exceedance e.Estimator.penalty x in
-        let empirical =
-          float_of_int (List.length (List.filter (fun p -> p > x) penalties)) /. n
-        in
+        let empirical = float_of_int exceed_counts.(i) /. n in
         let noise = (5.0 *. sqrt (Float.max analytic (1.0 /. n) /. n)) +. (1.0 /. n) in
         ( empirical <= analytic +. noise,
           Printf.sprintf
@@ -191,7 +201,7 @@ let monte_carlo ?(samples = 10) ?(seed = 42) e =
             empirical analytic noise ))
       thresholds
   in
-  run "monte-carlo" (ceiling_tests @ tail_tests)
+  run "monte-carlo" (ceiling_test :: tail_tests)
 
 let pp_violation fmt v = Format.fprintf fmt "VIOLATION %s: %s" v.check v.detail
 

@@ -7,6 +7,7 @@ type result = {
   cycles : int;
   instructions : int;
   return_value : int;
+  regs : int array;
 }
 
 exception Trap of string
@@ -150,6 +151,7 @@ let run ?(max_steps = 50_000_000) ?(args = []) ?(memory_init = []) ?(fetch = fun
     cycles = !cycles;
     instructions = !executed;
     return_value = regs.(Reg.index Reg.v0);
+    regs = Array.copy regs;
   }
 
 let run_trace program =

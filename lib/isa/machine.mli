@@ -19,6 +19,8 @@ type result = {
   cycles : int;       (** total fetch cycles charged by the oracle *)
   instructions : int; (** dynamic instruction count *)
   return_value : int; (** contents of $v0 at the end *)
+  regs : int array;   (** final register file (copy) — for differential
+                          cross-validation of alternative interpreters *)
 }
 
 exception Trap of string

@@ -1,0 +1,113 @@
+(** Batched Monte-Carlo fault-injection campaigns.
+
+    A campaign draws [samples] independent fault patterns (per-set
+    faulty-way counts from the paper's binomial law) and measures the
+    concrete execution time of one program under each, producing an
+    empirical execution-time distribution to hold against the analytic
+    pWCET curve.
+
+    Two engines compute the very same per-sample cycle counts:
+
+    - [`Emulate] runs the flat-state machine once per sample — the
+      ground truth, linear in the dynamic instruction count.
+    - [`Replay] (default) exploits that cache faults affect only
+      timing, never architectural state: the fetch trace is the same
+      for every fault pattern, so per-set misses depend only on that
+      set's working-way capacity. One emulator run extracts the trace;
+      per-(set, capacity) miss counts are precomputed by replaying each
+      set's sub-trace through an LRU stack; a sample then costs O(sets)
+      table lookups. The SRB couples fully-dead sets through its single
+      shared buffer, so dead-set misses come from a precomputed
+      "dead alone" count when one set is dead and from an exact merged
+      sub-trace replay when several are (rare at realistic [pbf]).
+
+    Both engines are bit-identical per sample (pinned by tests), and
+    results are bit-identical for every [jobs] value: the RNG is
+    counter-based per sample index ({!Rng}), samples are chunked by a
+    fixed rule independent of [jobs], and partial histograms/moments
+    merge in fixed chunk order. *)
+
+type mechanism =
+  | No_protection
+  | Reliable_way
+  | Shared_reliable_buffer
+
+type bound = {
+  bound_base : int;  (** analytic fault-free WCET, cycles *)
+  bound_misses : int array array;
+      (** FMM table, [sets x (ways+1)]: extra-miss bound per (set,
+          faulty count) *)
+}
+
+type spec = {
+  program : Isa.Program.t;
+  data : (int * int) list;
+  config : Cache.Config.t;
+  mechanism : mechanism;
+  pbf : float;
+  samples : int;
+  seed : int;
+  jobs : int;
+  engine : [ `Replay | `Emulate ];
+  bound : bound option;
+      (** when present, every sample's simulated time is checked
+          against its own analytic bound
+          [bound_base + miss_penalty * sum_s bound_misses.(s).(f_s)] —
+          a per-pattern soundness check far stronger than comparing
+          curves *)
+}
+
+type t
+
+val prepare : spec -> t
+(** Decodes the program, runs it once fault-free to extract the fetch
+    trace, and precomputes the per-(set, capacity) miss tables.
+    @raise Failure if the program does not halt. *)
+
+type result = {
+  samples : int;
+  accesses : int;  (** dynamic fetch count N (same for every sample) *)
+  fault_free_cycles : int;
+  fault_free_misses : int;
+  hit_cycles : int;  (** N * hit_latency *)
+  miss_penalty : int;
+  counts : int array;
+      (** empirical histogram over total misses; bucket [d] counts
+          samples with [fault_free_misses + d] misses *)
+  min_cycles : int;
+  max_cycles : int;
+  mean_cycles : float;
+  variance_cycles : float;
+  bound_violations : int;
+  srb_merged_replays : int;
+}
+
+val run : t -> result
+
+val cycles_of_bucket : result -> int -> int
+(** [hit_cycles + miss_penalty * (fault_free_misses + bucket)]. *)
+
+val curve : result -> (int * float) list
+(** Weak empirical exceedance staircase [(x, P(T >= x))] at observed
+    values, ascending — same convention as
+    [Estimator.exceedance_curve]. *)
+
+val exceedance : result -> int -> float
+(** Strict empirical [P(T > x)]. *)
+
+val digest : result -> string
+(** Hex digest over the histogram, the moment bits and the counters —
+    equal digests mean bit-identical campaign results (the determinism
+    gates compare these across [--jobs] values). *)
+
+(** {2 Per-sample access (cross-checks and baselines)}
+
+    These expose the exact per-sample law the batched run uses, so a
+    baseline loop over [Isa.Machine.run] or the full emulator can be
+    compared sample by sample. *)
+
+val sample_faulty_counts : t -> sample:int -> int array -> unit
+(** Fills per-set faulty-way counts for the given sample index. *)
+
+val replay_cycles : t -> sample:int -> int
+val emulate_cycles : t -> sample:int -> int

@@ -1,0 +1,151 @@
+let k_alu = 0
+let k_alui = 1
+let k_li = 2
+let k_lw = 3
+let k_sw = 4
+let k_lb = 5
+let k_sb = 6
+let k_beq2 = 7
+let k_beqz = 8
+let k_j = 9
+let k_jal = 10
+let k_jr = 11
+let k_nop = 12
+let k_halt = 13
+
+type t = {
+  kind : int array;
+  sub : int array;
+  a : int array;
+  b : int array;
+  c : int array;
+  iset : int array;
+  iblock : int array;
+  base_address : int;
+  entry : int;
+  count : int;
+  config : Cache.Config.t;
+}
+
+let binop_code : Isa.Instr.binop -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Rem -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Nor -> 8
+  | Slt -> 9
+  | Sltu -> 10
+  | Sllv -> 11
+  | Srlv -> 12
+  | Srav -> 13
+
+let cond_code : Isa.Instr.cond -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lez -> 2
+  | Gtz -> 3
+  | Ltz -> 4
+  | Gez -> 5
+
+let wrap32 x =
+  let m = x land 0xFFFF_FFFF in
+  if m >= 0x8000_0000 then m - 0x1_0000_0000 else m
+
+let decode ~config (program : Isa.Program.t) =
+  let n = Isa.Program.instruction_count program in
+  let kind = Array.make n 0
+  and sub = Array.make n 0
+  and a = Array.make n 0
+  and b = Array.make n 0
+  and c = Array.make n 0
+  and iset = Array.make n 0
+  and iblock = Array.make n 0 in
+  let reg = Isa.Reg.index in
+  for i = 0 to n - 1 do
+    (match Isa.Program.instruction program i with
+    | Alu (op, rd, rs, rt) ->
+      kind.(i) <- k_alu;
+      sub.(i) <- binop_code op;
+      a.(i) <- reg rd;
+      b.(i) <- reg rs;
+      c.(i) <- reg rt
+    | Alui (op, rd, rs, imm) ->
+      kind.(i) <- k_alui;
+      sub.(i) <- binop_code op;
+      a.(i) <- reg rd;
+      b.(i) <- reg rs;
+      c.(i) <- imm
+    | Shift (op, rd, rs, shamt) ->
+      kind.(i) <- k_alui;
+      sub.(i) <- binop_code op;
+      a.(i) <- reg rd;
+      b.(i) <- reg rs;
+      c.(i) <- shamt
+    | Li (rd, imm) ->
+      kind.(i) <- k_li;
+      a.(i) <- reg rd;
+      c.(i) <- wrap32 imm
+    | Lw (rt, off, base) ->
+      kind.(i) <- k_lw;
+      a.(i) <- reg rt;
+      b.(i) <- reg base;
+      c.(i) <- off
+    | Sw (rt, off, base) ->
+      kind.(i) <- k_sw;
+      a.(i) <- reg rt;
+      b.(i) <- reg base;
+      c.(i) <- off
+    | Lb (rt, off, base) ->
+      kind.(i) <- k_lb;
+      a.(i) <- reg rt;
+      b.(i) <- reg base;
+      c.(i) <- off
+    | Sb (rt, off, base) ->
+      kind.(i) <- k_sb;
+      a.(i) <- reg rt;
+      b.(i) <- reg base;
+      c.(i) <- off
+    | Beq2 (cond, rs, rt, target) ->
+      kind.(i) <- k_beq2;
+      sub.(i) <- cond_code cond;
+      a.(i) <- reg rs;
+      b.(i) <- reg rt;
+      c.(i) <- target
+    | Beqz (cond, rs, target) ->
+      kind.(i) <- k_beqz;
+      sub.(i) <- cond_code cond;
+      a.(i) <- reg rs;
+      c.(i) <- target
+    | J target ->
+      kind.(i) <- k_j;
+      c.(i) <- target
+    | Jal target ->
+      kind.(i) <- k_jal;
+      c.(i) <- target
+    | Jr r ->
+      kind.(i) <- k_jr;
+      a.(i) <- reg r
+    | Nop -> kind.(i) <- k_nop
+    | Halt -> kind.(i) <- k_halt);
+    let addr = Isa.Program.address_of_index program i in
+    let block = Cache.Config.block_of_address config addr in
+    iblock.(i) <- block;
+    iset.(i) <- Cache.Config.set_of_block config block
+  done;
+  {
+    kind;
+    sub;
+    a;
+    b;
+    c;
+    iset;
+    iblock;
+    base_address = program.Isa.Program.base_address;
+    entry = program.Isa.Program.entry;
+    count = n;
+    config;
+  }

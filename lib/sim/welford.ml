@@ -1,0 +1,44 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let merge ~into src =
+  if src.n > 0 then begin
+    if into.n = 0 then begin
+      into.n <- src.n;
+      into.mean <- src.mean;
+      into.m2 <- src.m2;
+      into.min_v <- src.min_v;
+      into.max_v <- src.max_v
+    end
+    else begin
+      let na = float_of_int into.n and nb = float_of_int src.n in
+      let n = na +. nb in
+      let delta = src.mean -. into.mean in
+      into.mean <- into.mean +. (delta *. nb /. n);
+      into.m2 <- into.m2 +. src.m2 +. (delta *. delta *. na *. nb /. n);
+      into.n <- into.n + src.n;
+      if src.min_v < into.min_v then into.min_v <- src.min_v;
+      if src.max_v > into.max_v then into.max_v <- src.max_v
+    end
+  end
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+let min_value t = t.min_v
+let max_value t = t.max_v

@@ -1,0 +1,27 @@
+(** Streaming moment accumulator (Welford's algorithm) with min/max.
+
+    Constant memory however many observations are folded in, and an
+    exact pairwise merge (Chan et al.) so partial accumulators from a
+    fixed chunking of the sample space combine — in a fixed order —
+    into the same bits for every worker count. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val merge : into:t -> t -> unit
+(** Folds [src] into [into]; [src] is unchanged. Merging the same
+    accumulators in the same order always yields the same bits. *)
+
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Population variance (M2/n); 0 when fewer than 2 observations. *)
+
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)

@@ -298,6 +298,52 @@ let test_dcache_jobs_bit_identical () =
         (Dcache.Destimator.pwcet seq ~target) (Dcache.Destimator.pwcet par ~target))
     [ 1e-9; 1e-15 ]
 
+(* The Monte-Carlo campaign engine: the RNG is split per sample index —
+   not per domain — and partial results merge in a fixed chunk order,
+   so every [jobs] value must produce the bit-identical histogram,
+   moments, and counters. pbf is high enough that the SRB merged-replay
+   path runs inside the sampled window. *)
+let test_sim_campaign_jobs_bit_identical () =
+  let config = Cache.Config.make ~sets:8 ~ways:2 ~line_bytes:16 () in
+  let entry = Option.get (Benchmarks.Registry.find "crc") in
+  let compiled = Minic.Compile.compile entry.Benchmarks.Registry.program in
+  List.iter
+    (fun mechanism ->
+      let run jobs =
+        Sim.Campaign.run
+          (Sim.Campaign.prepare
+             {
+               Sim.Campaign.program = compiled.Minic.Compile.program;
+               data = compiled.Minic.Compile.data;
+               config;
+               mechanism;
+               pbf = 0.3;
+               samples = 4000;
+               seed = 5;
+               jobs;
+               engine = `Replay;
+               bound = None;
+             })
+      in
+      let reference = run 1 in
+      List.iter
+        (fun jobs ->
+          let r = run jobs in
+          let tag s = Printf.sprintf "jobs=%d %s" jobs s in
+          Alcotest.(check (array int)) (tag "histogram") reference.Sim.Campaign.counts
+            r.Sim.Campaign.counts;
+          Alcotest.(check int)
+            (tag "merged replays")
+            reference.Sim.Campaign.srb_merged_replays r.Sim.Campaign.srb_merged_replays;
+          Alcotest.(check string)
+            (tag "digest (moment bits included)")
+            (Sim.Campaign.digest reference) (Sim.Campaign.digest r))
+        [ 2; 4; 13 ])
+    [ Sim.Campaign.No_protection
+    ; Sim.Campaign.Reliable_way
+    ; Sim.Campaign.Shared_reliable_buffer
+    ]
+
 let () =
   Alcotest.run "parallel"
     [ ( "pool",
@@ -323,5 +369,7 @@ let () =
         [ Alcotest.test_case "fmm jobs 1 = 4" `Quick test_fmm_jobs_bit_identical
         ; Alcotest.test_case "penalty jobs 1 = 4" `Quick test_penalty_jobs_bit_identical
         ; Alcotest.test_case "dcache jobs 1 = 4" `Quick test_dcache_jobs_bit_identical
+        ; Alcotest.test_case "sim campaign jobs 1 = 2 = 4 = 13" `Quick
+            test_sim_campaign_jobs_bit_identical
         ] )
     ]

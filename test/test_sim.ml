@@ -1,0 +1,306 @@
+(* Differential validation of the batched fault-injection engine
+   (lib/sim) against the reference interpreter (Isa.Machine) and the
+   concrete cache simulators (Cache.Lru / Cache.Reliable.Srb):
+
+   - the flat-state machine is bit-compatible with Isa.Machine.run
+     (final registers, instruction count, cycle count, fetch trace)
+     across the whole benchmark registry and QCheck-random programs;
+   - with faulty capacities it reproduces the Lru/Srb latency-oracle
+     cycle counts exactly, for every mechanism;
+   - the campaign's [`Replay] engine, its [`Emulate] engine and a
+     baseline loop over Isa.Machine.run agree sample by sample on the
+     same per-sample fault law. *)
+
+module SimM = Sim.Machine
+module SimC = Sim.Campaign
+module M = Isa.Machine
+module Cfg = Cache.Config
+
+(* Unit-latency geometry: hit = miss = 1 makes the simulated icache
+   timing-neutral, so cycles must equal Isa.Machine.run's default
+   constant-1 fetch. *)
+let unit_config = Cfg.make ~sets:16 ~ways:4 ~line_bytes:16 ~hit_latency:1 ~miss_latency:1 ()
+let small_config = Cfg.make ~sets:8 ~ways:2 ~line_bytes:16 ()
+
+let compile name =
+  let entry = Option.get (Benchmarks.Registry.find name) in
+  Minic.Compile.compile entry.Benchmarks.Registry.program
+
+let sim_of_compiled config (compiled : Minic.Compile.compiled) =
+  let code = Sim.Code.decode ~config compiled.Minic.Compile.program in
+  SimM.create ~code ~data:compiled.Minic.Compile.data
+
+let check_same_run name (reference : M.result) (m : SimM.t) (r : SimM.result) =
+  Alcotest.(check bool)
+    (name ^ " halted") true
+    (reference.M.status = M.Halted && r.SimM.status = SimM.Halted);
+  Alcotest.(check int) (name ^ " instructions") reference.M.instructions r.SimM.instructions;
+  Alcotest.(check int) (name ^ " cycles") reference.M.cycles r.SimM.cycles;
+  Alcotest.(check int) (name ^ " return") reference.M.return_value r.SimM.return_value;
+  Alcotest.(check (array int)) (name ^ " registers") reference.M.regs (SimM.registers m)
+
+let test_registry_unit_latency () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let compiled = Minic.Compile.compile e.Benchmarks.Registry.program in
+      let ref_trace = ref [] in
+      let reference =
+        Minic.Compile.run ~on_fetch:(fun a -> ref_trace := a :: !ref_trace) compiled
+      in
+      let m = sim_of_compiled unit_config compiled in
+      let base = compiled.Minic.Compile.program.Isa.Program.base_address in
+      let sim_trace = ref [] in
+      let r = SimM.run ~on_fetch:(fun i -> sim_trace := (base + (4 * i)) :: !sim_trace) m in
+      check_same_run e.Benchmarks.Registry.name reference m r;
+      Alcotest.(check bool)
+        (e.Benchmarks.Registry.name ^ " fetch trace")
+        true
+        (!ref_trace = !sim_trace))
+    Benchmarks.Registry.all
+
+let test_warm_reset_is_clean () =
+  (* Reusing the warm machine across runs — the whole point of the
+     batched engine — must leave no residue: run 3 of a benchmark after
+     two other fault patterns equals run 1 bit for bit. *)
+  let compiled = compile "crc" in
+  let m = sim_of_compiled small_config compiled in
+  let first = SimM.run m in
+  SimM.set_capacities m [| 0; 1; 2; 1; 0; 2; 1; 1 |];
+  let (_ : SimM.result) = SimM.run m in
+  SimM.set_capacities m ~srb:true [| 0; 0; 0; 0; 0; 0; 0; 0 |];
+  let (_ : SimM.result) = SimM.run m in
+  SimM.set_fault_free m;
+  let again = SimM.run m in
+  Alcotest.(check bool) "same status" true (first.SimM.status = again.SimM.status);
+  Alcotest.(check int) "same cycles" first.SimM.cycles again.SimM.cycles;
+  Alcotest.(check int) "same instructions" first.SimM.instructions again.SimM.instructions;
+  Alcotest.(check int) "same return" first.SimM.return_value again.SimM.return_value
+
+let test_faulty_matches_oracles () =
+  let config = small_config in
+  let rng = Random.State.make [| 11 |] in
+  List.iter
+    (fun name ->
+      let compiled = compile name in
+      let m = sim_of_compiled config compiled in
+      for round = 1 to 5 do
+        let map = Cache.Fault_map.sample config ~pbf:0.25 rng in
+        let tag mech = Printf.sprintf "%s %s round %d" name mech round in
+        (* no protection: plain faulty LRU *)
+        let lru = Cache.Lru.create ~fault_map:map config in
+        let reference = Minic.Compile.run ~fetch:(Cache.Lru.latency_oracle lru) compiled in
+        SimM.set_fault_map m map;
+        let r = SimM.run m in
+        Alcotest.(check int) (tag "none") reference.M.cycles r.SimM.cycles;
+        Alcotest.(check int) (tag "none misses") (Cache.Lru.misses lru) (SimM.misses m);
+        (* RW: reliable way masked (the audit convention) *)
+        let masked = Cache.Fault_map.mask_way map ~way:(config.Cfg.ways - 1) in
+        let lru_rw = Cache.Lru.create ~fault_map:masked config in
+        let reference = Minic.Compile.run ~fetch:(Cache.Lru.latency_oracle lru_rw) compiled in
+        SimM.set_fault_map m masked;
+        let r = SimM.run m in
+        Alcotest.(check int) (tag "rw") reference.M.cycles r.SimM.cycles;
+        (* SRB: shared buffer serves fully-dead sets *)
+        let srb = Cache.Reliable.Srb.create ~fault_map:map config in
+        let reference =
+          Minic.Compile.run ~fetch:(Cache.Reliable.Srb.latency_oracle srb) compiled
+        in
+        SimM.set_fault_map m ~srb:true map;
+        let r = SimM.run m in
+        Alcotest.(check int) (tag "srb") reference.M.cycles r.SimM.cycles
+      done)
+    [ "fibcall"; "bs"; "insertsort"; "expint"; "prime"; "crc" ]
+
+(* --- campaign engines ------------------------------------------------------ *)
+
+let spec_of compiled config mechanism ~samples ~engine =
+  {
+    SimC.program = compiled.Minic.Compile.program;
+    data = compiled.Minic.Compile.data;
+    config;
+    mechanism;
+    (* pbf high enough that dead sets — including several at once, the
+       SRB merged-replay path — occur routinely in a few hundred
+       samples on a 2-way cache. *)
+    pbf = 0.3;
+    samples;
+    seed = 9;
+    jobs = 1;
+    engine;
+    bound = None;
+  }
+
+let baseline_cycles compiled config mechanism campaign counts ~sample =
+  SimC.sample_faulty_counts campaign ~sample counts;
+  let fault_map = Cache.Fault_map.of_faulty_counts config counts in
+  let fetch =
+    match mechanism with
+    | SimC.No_protection | SimC.Reliable_way ->
+      Cache.Lru.latency_oracle (Cache.Lru.create ~fault_map config)
+    | SimC.Shared_reliable_buffer ->
+      Cache.Reliable.Srb.latency_oracle (Cache.Reliable.Srb.create ~fault_map config)
+  in
+  (Minic.Compile.run ~fetch compiled).M.cycles
+
+let test_campaign_engines_agree () =
+  let config = small_config in
+  List.iter
+    (fun name ->
+      let compiled = compile name in
+      List.iter
+        (fun mechanism ->
+          let samples = 300 in
+          let spec = spec_of compiled config mechanism ~samples ~engine:`Replay in
+          let campaign = SimC.prepare spec in
+          let counts = Array.make config.Cfg.sets 0 in
+          for sample = 0 to samples - 1 do
+            let replay = SimC.replay_cycles campaign ~sample in
+            let emulate = SimC.emulate_cycles campaign ~sample in
+            let baseline = baseline_cycles compiled config mechanism campaign counts ~sample in
+            Alcotest.(check int) (Printf.sprintf "%s replay=emulate @%d" name sample) emulate
+              replay;
+            Alcotest.(check int)
+              (Printf.sprintf "%s replay=baseline @%d" name sample)
+              baseline replay
+          done;
+          (* and the full batched run is bit-identical across engines *)
+          let d_replay = SimC.digest (SimC.run campaign) in
+          let d_emulate =
+            SimC.digest (SimC.run (SimC.prepare { spec with SimC.engine = `Emulate }))
+          in
+          Alcotest.(check string) (name ^ " engines digest") d_replay d_emulate)
+        [ SimC.No_protection; SimC.Reliable_way; SimC.Shared_reliable_buffer ])
+    [ "fibcall"; "bs" ]
+
+let test_campaign_moments_match_histogram () =
+  let compiled = compile "crc" in
+  let spec = spec_of compiled small_config SimC.No_protection ~samples:500 ~engine:`Replay in
+  let r = SimC.run (SimC.prepare spec) in
+  Alcotest.(check int) "histogram mass" r.SimC.samples (Array.fold_left ( + ) 0 r.SimC.counts);
+  (* recompute mean/min/max from the histogram *)
+  let total = ref 0.0 and mn = ref max_int and mx = ref min_int in
+  Array.iteri
+    (fun d c ->
+      if c > 0 then begin
+        let x = SimC.cycles_of_bucket r d in
+        total := !total +. (float_of_int c *. float_of_int x);
+        if x < !mn then mn := x;
+        if x > !mx then mx := x
+      end)
+    r.SimC.counts;
+  Alcotest.(check int) "min" !mn r.SimC.min_cycles;
+  Alcotest.(check int) "max" !mx r.SimC.max_cycles;
+  Alcotest.(check (float 1e-6)) "mean" (!total /. float_of_int r.SimC.samples) r.SimC.mean_cycles;
+  (* the empirical curve is a well-formed exceedance staircase *)
+  let curve = SimC.curve r in
+  Alcotest.(check bool) "curve nonempty" true (curve <> []);
+  Alcotest.(check (float 0.)) "first point has full mass" 1.0 (snd (List.hd curve));
+  let rec decreasing = function
+    | (x1, p1) :: ((x2, p2) :: _ as rest) -> x1 < x2 && p2 <= p1 && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "staircase" true (decreasing curve)
+
+(* --- QCheck-random programs ------------------------------------------------ *)
+
+let qcheck_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:120 ~name:"flat machine = Isa.Machine on random programs"
+       ~print:(fun p -> Format.asprintf "%a" Minic.Ast.pp_program p)
+       Minic_gen.gen_program (fun program ->
+         match Minic.Compile.compile program with
+         | exception Minic.Typecheck.Error _ -> QCheck2.assume_fail ()
+         | compiled -> (
+           let reference = Minic.Compile.run ~max_steps:5_000_000 compiled in
+           match reference.M.status with
+           | M.Out_of_fuel -> QCheck2.assume_fail ()
+           | M.Halted ->
+             let m = sim_of_compiled unit_config compiled in
+             let r = SimM.run ~max_steps:5_000_000 m in
+             let unit_ok =
+               r.SimM.status = SimM.Halted
+               && r.SimM.instructions = reference.M.instructions
+               && r.SimM.cycles = reference.M.cycles
+               && r.SimM.return_value = reference.M.return_value
+               && SimM.registers m = reference.M.regs
+             in
+             (* and under a fixed fault pattern on a tiny cache *)
+             let config = Cfg.make ~sets:4 ~ways:2 ~line_bytes:8 () in
+             let map = Cache.Fault_map.of_faulty_counts config [| 1; 2; 0; 1 |] in
+             let lru = Cache.Lru.create ~fault_map:map config in
+             let faulty_ref =
+               Minic.Compile.run ~max_steps:5_000_000
+                 ~fetch:(Cache.Lru.latency_oracle lru)
+                 compiled
+             in
+             let mf = sim_of_compiled config compiled in
+             SimM.set_fault_map mf map;
+             let rf = SimM.run ~max_steps:5_000_000 mf in
+             unit_ok && rf.SimM.cycles = faulty_ref.M.cycles)))
+
+(* --- engine plumbing ------------------------------------------------------- *)
+
+let test_welford () =
+  let xs = [ 3.0; -1.5; 8.0; 0.0; 2.25; 7.5; -4.0; 11.0 ] in
+  let whole = Sim.Welford.create () in
+  List.iter (Sim.Welford.add whole) xs;
+  let n = float_of_int (List.length xs) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. n in
+  let var = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. n in
+  Alcotest.(check int) "count" (List.length xs) (Sim.Welford.count whole);
+  Alcotest.(check (float 1e-9)) "mean" mean (Sim.Welford.mean whole);
+  Alcotest.(check (float 1e-9)) "variance" var (Sim.Welford.variance whole);
+  Alcotest.(check (float 0.)) "min" (-4.0) (Sim.Welford.min_value whole);
+  Alcotest.(check (float 0.)) "max" 11.0 (Sim.Welford.max_value whole);
+  (* chunked merge reproduces the same moments *)
+  let a = Sim.Welford.create () and b = Sim.Welford.create () in
+  List.iteri (fun i x -> Sim.Welford.add (if i < 3 then a else b) x) xs;
+  let merged = Sim.Welford.create () in
+  Sim.Welford.merge ~into:merged a;
+  Sim.Welford.merge ~into:merged b;
+  Alcotest.(check int) "merged count" (Sim.Welford.count whole) (Sim.Welford.count merged);
+  Alcotest.(check (float 1e-9)) "merged mean" (Sim.Welford.mean whole) (Sim.Welford.mean merged);
+  Alcotest.(check (float 1e-9)) "merged variance" (Sim.Welford.variance whole)
+    (Sim.Welford.variance merged)
+
+let test_rng_streams () =
+  (* deterministic, uniform-ish, and distinct across samples *)
+  let u1 = Sim.Rng.uniform ~stream:(Sim.Rng.stream ~seed:42 ~sample:7) ~draw:3 in
+  let u2 = Sim.Rng.uniform ~stream:(Sim.Rng.stream ~seed:42 ~sample:7) ~draw:3 in
+  Alcotest.(check (float 0.)) "pure function" u1 u2;
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for sample = 0 to n - 1 do
+    let u = Sim.Rng.uniform ~stream:(Sim.Rng.stream ~seed:1 ~sample) ~draw:0 in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0.0 && u < 1.0);
+    sum := !sum +. u
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_way_cdf_clamps () =
+  (* The RW law never returns [ways], even for u -> 1. *)
+  let cdf = Fault.Sampler.way_cdf ~ways:4 ~pbf:0.9 ~rw:true in
+  Alcotest.(check int) "rw top" 3 (Fault.Sampler.index_of_u ~cdf 0.999999999999);
+  let cdf = Fault.Sampler.way_cdf ~ways:4 ~pbf:0.0 ~rw:false in
+  Alcotest.(check int) "pbf=0 always 0" 0 (Fault.Sampler.index_of_u ~cdf 0.999999999999)
+
+let () =
+  Alcotest.run "sim"
+    [ ( "flat machine",
+        [ Alcotest.test_case "registry, unit latency" `Quick test_registry_unit_latency
+        ; Alcotest.test_case "warm reset leaves no residue" `Quick test_warm_reset_is_clean
+        ; Alcotest.test_case "faulty caches match oracles" `Quick test_faulty_matches_oracles
+        ; qcheck_differential
+        ] )
+    ; ( "campaign",
+        [ Alcotest.test_case "replay = emulate = baseline" `Quick test_campaign_engines_agree
+        ; Alcotest.test_case "moments match histogram" `Quick
+            test_campaign_moments_match_histogram
+        ] )
+    ; ( "plumbing",
+        [ Alcotest.test_case "welford" `Quick test_welford
+        ; Alcotest.test_case "rng streams" `Quick test_rng_streams
+        ; Alcotest.test_case "way cdf clamps" `Quick test_way_cdf_clamps
+        ] )
+    ]
