@@ -11,7 +11,8 @@ build:
 # budget-starved analysis that must *complete gracefully* (degraded but
 # sound bounds, exit 0) rather than raise — the robustness contract of
 # the degradation ladder — plus the end-to-end store crash-safety,
-# daemon lifecycle and fault-injection validation gates.
+# daemon lifecycle, fault-injection validation and schedulability
+# campaign gates.
 check:
 	dune build && dune runtest
 	dune exec bin/pwcet_tool.exe -- analyze fibcall --engine ilp --exact \
@@ -21,6 +22,7 @@ check:
 	sh scripts/check_store.sh ./_build/default/bin/pwcet_tool.exe
 	sh scripts/check_service.sh ./_build/default/bin/pwcet_tool.exe
 	sh scripts/check_sim.sh ./_build/default/bin/pwcet_tool.exe
+	sh scripts/check_sched.sh ./_build/default/bin/pwcet_tool.exe
 
 test: check
 
@@ -47,15 +49,17 @@ bench:
 # (BENCH_fmm.json), distribution-engine + pfail-sweep amortisation
 # (BENCH_dist.json), artifact-store cold/warm/uncached timings
 # (BENCH_store.json), the analysis daemon's cold/warm/concurrent
-# latencies plus live dedup proof (BENCH_service.json), and the batched
+# latencies plus live dedup proof (BENCH_service.json), the batched
 # fault-injection emulator's speedup + million-sample campaign results
-# (BENCH_sim.json).
+# (BENCH_sim.json), and the schedulability campaign's batched-vs-
+# independent law-reuse speedup (BENCH_sched.json).
 bench-json:
 	dune exec bench/main.exe -- --only fmm-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only dist-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only store-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only service-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only sim-json $(if $(JOBS),-j $(JOBS))
+	dune exec bench/main.exe -- --only sched-json $(if $(JOBS),-j $(JOBS))
 
 clean:
 	dune clean

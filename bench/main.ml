@@ -18,6 +18,7 @@
      store-json   artifact-store cold/warm/uncached -> BENCH_store.json
      service-json analysis daemon cold/warm/concurrent -> BENCH_service.json
      sim-json     batched fault-injection campaigns + speedup -> BENCH_sim.json
+     sched-json   sched campaign batched vs independent -> BENCH_sched.json
      bechamel     timing of each analysis stage *)
 
 let config = Cache.Config.paper_default
@@ -50,7 +51,7 @@ let jobs =
 (* --only NAME: run a single section (the full harness regenerates every
    figure and takes minutes). Names: equations figure1 figure3 figure4
    geometry ablations future-work data-cache fmm-json dist-json
-   store-json service-json sim-json bechamel. *)
+   store-json service-json sim-json sched-json bechamel. *)
 let only =
   let rec scan = function
     | "--only" :: v :: _ -> Some v
@@ -817,6 +818,113 @@ let section_service_json () =
       close_out oc;
       Printf.printf "  wrote BENCH_service.json\n")
 
+(* --- Sched campaign: batched law reuse vs independent analysis ------------------ *)
+
+(* The schedulability campaign's value proposition, quantified: a
+   campaign computes each distinct benchmark's pWCET law exactly once
+   and reuses it across every task set (batched), while the obvious
+   baseline re-derives the laws each set needs from the warm artifact
+   store, set by set (independent). Both paths read the same warm
+   store, and the campaign digests are asserted bit-identical before
+   any timing is reported — batching must buy time, never change
+   verdicts. Acceptance: batched >= 5x faster than independent. *)
+let section_sched_json () =
+  banner "Sched campaign batched vs independent -> BENCH_sched.json";
+  let module SC = Sched.Campaign in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun name -> rm (Filename.concat path name)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pwcet_bench_sched.%d" (Unix.getpid ()))
+  in
+  let spec =
+    match
+      SC.make ~count:40 ~n_tasks:3 ~utilisation:0.6 ~seed:42
+        ~benchmarks:[ "nsichneu"; "fft"; "statemate"; "edn"; "adpcm" ]
+        ~sets:64 ~ways:4 ~k_max:1 ~max_points:64 ()
+    with
+    | Ok spec -> spec
+    | Error msg -> failwith ("sched-json: bad spec: " ^ msg)
+  in
+  rm dir;
+  (* Populate the store once (untimed): both measured paths then run
+     against the identical warm cache. *)
+  ignore (SC.laws ~store:(Store.Artifact.open_store ~dir) spec);
+  let time ?(reps = 3) f =
+    let result = f () in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (result, !best)
+  in
+  let batched, batched_s =
+    time (fun () ->
+        let store = Store.Artifact.open_store ~dir in
+        let laws = SC.laws ~store spec in
+        (SC.run_with_laws spec laws).SC.results)
+  in
+  let independent, independent_s =
+    time (fun () ->
+        let store = Store.Artifact.open_store ~dir in
+        List.init spec.SC.count (fun index ->
+            let ts = Sched.Taskset.generate (SC.taskset_spec spec) ~index in
+            let benches =
+              List.fold_left
+                (fun acc (t : Sched.Taskset.task) ->
+                  if List.mem t.bench acc then acc else acc @ [ t.bench ])
+                [] ts.Sched.Taskset.tasks
+            in
+            let laws = SC.laws ~store { spec with SC.benchmarks = benches } in
+            fst (SC.analyze_set spec laws ~index)))
+  in
+  let batched_digest = SC.digest_of_results batched in
+  let independent_digest = SC.digest_of_results independent in
+  rm dir;
+  if batched_digest <> independent_digest then
+    failwith "sched-json: batched and independent campaign digests differ";
+  let speedup = independent_s /. batched_s in
+  Printf.printf "  independent : %8.3f s   (laws re-derived per task set)\n" independent_s;
+  Printf.printf "  batched     : %8.3f s   (laws computed once; %.2fx)\n" batched_s speedup;
+  Printf.printf "  digests identical: %b  (%s)\n" true batched_digest;
+  if speedup < 5.0 then
+    failwith (Printf.sprintf "sched-json: speedup %.2fx below the 5x acceptance floor" speedup);
+  let oc = open_out "BENCH_sched.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": 1,\n\
+    \  \"git_commit\": %S,\n\
+    \  \"runs\": \"best of 3\",\n\
+    \  \"task_sets\": %d,\n\
+    \  \"tasks_per_set\": %d,\n\
+    \  \"utilisation\": %.3f,\n\
+    \  \"benchmarks\": [%s],\n\
+    \  \"geometry\": { \"sets\": %d, \"ways\": %d, \"line_bytes\": %d },\n\
+    \  \"policy\": \"rm\",\n\
+    \  \"k_max\": %d,\n\
+    \  \"max_points\": %d,\n\
+    \  \"independent_s\": %.6f,\n\
+    \  \"batched_s\": %.6f,\n\
+    \  \"speedup_batched_vs_independent\": %.3f,\n\
+    \  \"digest\": %S,\n\
+    \  \"digests_identical\": true\n\
+     }\n"
+    (git_commit ()) spec.SC.count spec.SC.n_tasks spec.SC.utilisation
+    (String.concat ", " (List.map (Printf.sprintf "%S") spec.SC.benchmarks))
+    spec.SC.sets spec.SC.ways spec.SC.line spec.SC.k_max spec.SC.max_points independent_s
+    batched_s speedup batched_digest;
+  close_out oc;
+  Printf.printf "  wrote BENCH_sched.json\n"
+
 (* --- Bechamel timing ------------------------------------------------------------ *)
 
 (* --- sim-json ---------------------------------------------------------------- *)
@@ -1008,6 +1116,7 @@ let () =
   if wanted "dist-json" then section_dist_json ();
   if wanted "store-json" then section_store_json ();
   if wanted "service-json" then section_service_json ();
+  if wanted "sched-json" then section_sched_json ();
   if wanted "sim-json" then section_sim_json ();
   if wanted "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

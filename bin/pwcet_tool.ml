@@ -9,6 +9,7 @@
      simulate <bench>         Monte-Carlo faulty simulation vs the bound
      validate [bench...]      batched fault-injection campaigns vs the analytic curve
      audit                    invariant auditor over the whole registry
+     sched                    probabilistic schedulability campaigns (generate / analyze / sweep)
      cache                    artifact-store maintenance (stat / verify / gc)
      serve                    long-running analysis daemon on a Unix socket
      client                   talk to a running daemon (ping / stats / analyze / load)
@@ -1260,12 +1261,539 @@ let client_mech_conv =
       ("srb", Pwcet.Mechanism.Shared_reliable_buffer);
       ("rw", Pwcet.Mechanism.Reliable_way) ]
 
+(* --- sched (probabilistic schedulability) ------------------------------------ *)
+
+let policy_conv = Arg.enum [ ("rm", Sched.Analysis.Rm); ("edf", Sched.Analysis.Edf) ]
+
+let positive_float_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f > 0.0 -> Ok f
+    | _ -> Error (`Msg (Printf.sprintf "%s must be a positive finite number, got %S" what s))
+  in
+  Arg.conv ~docv:"X" (parse, fun fmt f -> Format.fprintf fmt "%g" f)
+
+(* All campaign parameters funnel through Campaign.make, so the CLI and
+   the service validate specs identically. *)
+let sched_spec_term =
+  let count_arg =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"N" ~doc:"Task sets in the campaign.")
+  in
+  let n_tasks_arg =
+    Arg.(value & opt int 4 & info [ "n-tasks" ] ~docv:"N" ~doc:"Tasks per set.")
+  in
+  let utilisation_arg =
+    Arg.(value & opt (positive_float_conv "utilisation") 0.6
+         & info [ "utilisation" ] ~docv:"U"
+             ~doc:"Total utilisation UUniFast splits across the set, in (0, n-tasks].")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Campaign seed; task set $(i,i) is a pure function of (seed, i).")
+  in
+  let policy_arg =
+    Arg.(value & opt policy_conv Sched.Analysis.Rm
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Scheduling policy: 'rm' (default) or 'edf'.")
+  in
+  let reexec_arg =
+    Arg.(value & opt int 1
+         & info [ "reexec" ] ~docv:"K"
+             ~doc:"Re-execution budget k: a fault-flagged job re-runs up to $(docv) times \
+                   (k+1 executions in total) before it counts as failed.")
+  in
+  let k_max_arg =
+    Arg.(value & opt int 3
+         & info [ "k-max" ] ~docv:"K"
+             ~doc:"Top of the minimal-budget scan reported per target; at least --reexec.")
+  in
+  let sched_targets_arg =
+    Arg.(value & opt (list ~sep:',' prob_conv) Sched.Analysis.default_targets
+         & info [ "targets" ] ~docv:"P,P,..."
+             ~doc:"Per-hour deadline-failure-rate targets (default 1e-3,1e-5,1e-7,1e-9).")
+  in
+  let fault_rate_arg =
+    Arg.(value & opt prob_conv 1e-4
+         & info [ "fault-rate" ] ~docv:"P"
+             ~doc:"Transient (detected) fault probability per hour of execution, composed \
+                   per execution in log space.")
+  in
+  let clock_arg =
+    Arg.(value & opt (positive_float_conv "clock") 100.0
+         & info [ "clock-mhz" ] ~docv:"MHZ" ~doc:"Processor clock, for cycles-per-hour.")
+  in
+  let rep_target_arg =
+    Arg.(value & opt prob_conv 1e-9
+         & info [ "rep-target" ] ~docv:"P"
+             ~doc:"Quantile of each task's pWCET law provisioning its per-execution budget \
+                   (and fault-exposure window).")
+  in
+  let max_points_arg =
+    Arg.(value & opt int 512
+         & info [ "max-points" ] ~docv:"N"
+             ~doc:"Convolution support cap for the sched layer; capping is recorded as \
+                   degraded (relaxed-rung) provenance and only ever rounds upward.")
+  in
+  let benchmarks_arg =
+    Arg.(value & opt (list ~sep:',' string) []
+         & info [ "benchmarks" ] ~docv:"NAME,NAME,..."
+             ~doc:"Benchmarks tasks draw from (default: the whole registry).")
+  in
+  let build count n_tasks utilisation seed policy reexec_budget k_max targets pfail mech sets
+      ways line fault_rate clock_mhz rep_target max_points benchmarks =
+    let benchmarks =
+      match benchmarks with [] -> Benchmarks.Registry.names | names -> names
+    in
+    match
+      Sched.Campaign.make ~count ~n_tasks ~utilisation ~seed ~policy ~reexec_budget ~k_max
+        ~targets ~pfail ~mechanism:mech ~sets ~ways ~line ~fault_rate ~clock_mhz ~rep_target
+        ~max_points ~benchmarks ()
+    with
+    | Ok spec -> spec
+    | Error msg ->
+      Printf.eprintf "sched: %s\n" msg;
+      exit exit_invalid_input
+  in
+  let sched_mech_arg =
+    Arg.(value & opt client_mech_conv Pwcet.Mechanism.Shared_reliable_buffer
+         & info [ "mechanism" ] ~docv:"MECH" ~doc:"Mechanism: 'none', 'srb' (default) or 'rw'.")
+  in
+  Term.(const build $ count_arg $ n_tasks_arg $ utilisation_arg $ seed_arg $ policy_arg
+        $ reexec_arg $ k_max_arg $ sched_targets_arg $ pfail_arg $ sched_mech_arg $ sets_arg
+        $ ways_arg $ line_arg $ fault_rate_arg $ clock_arg $ rep_target_arg $ max_points_arg
+        $ benchmarks_arg)
+
+let sched_generate_cmd =
+  let run (spec : Sched.Campaign.spec) =
+    for index = 0 to spec.count - 1 do
+      let ts = Sched.Taskset.generate (Sched.Campaign.taskset_spec spec) ~index in
+      Printf.printf "set %4d  U=%.4f " index (Sched.Taskset.total_utilisation ts);
+      List.iter
+        (fun (t : Sched.Taskset.task) -> Printf.printf " %s:%.4f" t.bench t.utilisation)
+        ts.tasks;
+      print_newline ()
+    done
+  in
+  Cmd.v
+    (cmd_info "generate"
+       ~doc:"Print the campaign's UUniFast task sets (pure function of seed and index)")
+    Term.(const run $ sched_spec_term)
+
+let mc_samples_arg =
+  Arg.(value & opt int 0
+       & info [ "mc-samples" ] ~docv:"N"
+           ~doc:"Cross-validate each analysed set against $(docv) Monte-Carlo scheduler \
+                 samples (empirical deadline misses must stay under the analytic bound \
+                 plus 5-sigma noise); 0 (default) skips validation.")
+
+let mc_seed_arg =
+  Arg.(value & opt (some int) None
+       & info [ "mc-seed" ] ~docv:"N"
+           ~doc:"Seed of the Monte-Carlo cross-validation (default: the campaign seed).")
+
+let print_sched_summary (spec : Sched.Campaign.spec) results digest =
+  let count = List.length results in
+  Printf.printf "campaign    : %d set(s) x %d task(s), U=%g, policy %s, k=%d (scan to %d)\n"
+    count spec.n_tasks spec.utilisation
+    (Sched.Analysis.policy_name spec.policy)
+    spec.reexec_budget spec.k_max;
+  Printf.printf "model       : %s, pfail %g, fault rate %g/h @ %g MHz, rep target %g\n"
+    (Pwcet.Mechanism.short_name spec.mechanism)
+    spec.pfail spec.fault_rate spec.clock_mhz spec.rep_target;
+  List.iter
+    (fun target ->
+      let passed =
+        List.length
+          (List.filter
+             (fun (r : Sched.Campaign.set_result) ->
+               match List.assoc_opt target r.passes with Some ok -> ok | None -> false)
+             results)
+      in
+      let feasible =
+        List.length
+          (List.filter
+             (fun (r : Sched.Campaign.set_result) ->
+               match List.assoc_opt target r.min_budget with
+               | Some (Some _) -> true
+               | _ -> false)
+             results)
+      in
+      Printf.printf "  target %-8g: %4d/%d pass at k=%d, %4d feasible within k<=%d\n" target
+        passed count spec.reexec_budget feasible spec.k_max)
+    spec.targets;
+  let count_if pred = List.length (List.filter pred results) in
+  Printf.printf "degraded    : %d set(s) on budget-exhausted upper bounds\n"
+    (count_if (fun (r : Sched.Campaign.set_result) -> r.degraded));
+  Printf.printf "capped      : %d set(s) with max-points provenance\n"
+    (count_if (fun (r : Sched.Campaign.set_result) -> r.capped));
+  let worst =
+    List.fold_left
+      (fun acc (r : Sched.Campaign.set_result) -> Float.max acc r.p_system_hour)
+      0.0 results
+  in
+  Printf.printf "worst system: %g /h\n" worst;
+  Printf.printf "digest      : %s\n" digest
+
+let print_sched_per_set results =
+  List.iter
+    (fun (r : Sched.Campaign.set_result) ->
+      Printf.printf "  set %4d: p_system %.3e /h%s%s%s\n" r.set_index r.p_system_hour
+        (rung_tag r.rung)
+        (if r.capped then "  [capped]" else "")
+        (if r.degraded then "  [degraded]" else ""))
+    results
+
+let sched_json results (spec : Sched.Campaign.spec) digest file =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema_version\": 1,\n";
+  Printf.bprintf buf "  \"count\": %d,\n" (List.length results);
+  Printf.bprintf buf "  \"n_tasks\": %d,\n" spec.n_tasks;
+  Printf.bprintf buf "  \"utilisation\": %.17g,\n" spec.utilisation;
+  Printf.bprintf buf "  \"seed\": %d,\n" spec.seed;
+  Printf.bprintf buf "  \"policy\": %S,\n" (Sched.Analysis.policy_name spec.policy);
+  Printf.bprintf buf "  \"reexec_budget\": %d,\n" spec.reexec_budget;
+  Printf.bprintf buf "  \"k_max\": %d,\n" spec.k_max;
+  Printf.bprintf buf "  \"pfail\": %.17g,\n" spec.pfail;
+  Printf.bprintf buf "  \"mechanism\": %S,\n" (Pwcet.Mechanism.short_name spec.mechanism);
+  Printf.bprintf buf "  \"fault_rate\": %.17g,\n" spec.fault_rate;
+  Printf.bprintf buf "  \"clock_mhz\": %.17g,\n" spec.clock_mhz;
+  Printf.bprintf buf "  \"targets\": [%s],\n"
+    (String.concat ", " (List.map (Printf.sprintf "%.17g") spec.targets));
+  Printf.bprintf buf "  \"digest\": %S,\n" digest;
+  Buffer.add_string buf "  \"sets\": [\n";
+  List.iteri
+    (fun i (r : Sched.Campaign.set_result) ->
+      Printf.bprintf buf "    { \"index\": %d, \"p_system_hour\": %.17g, \"rung\": %S,\n"
+        r.set_index r.p_system_hour
+        (Robust.Rung.to_string r.rung);
+      Printf.bprintf buf "      \"capped\": %b, \"degraded\": %b,\n" r.capped r.degraded;
+      Printf.bprintf buf "      \"passes\": [%s],\n"
+        (String.concat ", " (List.map (fun (_, ok) -> string_of_bool ok) r.passes));
+      Printf.bprintf buf "      \"min_budget\": [%s],\n"
+        (String.concat ", "
+           (List.map
+              (fun (_, k) -> match k with None -> "null" | Some k -> string_of_int k)
+              r.min_budget));
+      Printf.bprintf buf "      \"tasks\": [\n";
+      List.iteri
+        (fun j (row : Sched.Campaign.task_row) ->
+          Printf.bprintf buf
+            "        { \"bench\": %S, \"utilisation\": %.17g, \"period\": %d, \"p_exec\": \
+             %.17g, \"p_job\": %.17g, \"p_hour\": %.17g }%s\n"
+            row.bench row.utilisation row.period row.p_exec row.p_job row.p_hour
+            (if j = List.length r.rows - 1 then "" else ","))
+        r.rows;
+      Printf.bprintf buf "      ] }%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let sched_analyze_cmd =
+  let run (spec : Sched.Campaign.spec) jobs ilp_nodes timeout mc_samples mc_seed json_file
+      per_set cache_dir no_cache resume crash_after =
+    if resume && cache_dir = None then begin
+      Printf.eprintf "sched analyze: --resume requires --cache-dir (the journal lives there)\n";
+      exit exit_invalid_input
+    end;
+    if resume && (ilp_nodes <> None || timeout <> None) then begin
+      Printf.eprintf
+        "sched analyze: --resume is incompatible with budget options (budgeted results \
+         depend on wall-clock and are never journalled)\n";
+      exit exit_invalid_input
+    end;
+    install_cancel_handlers ();
+    let budget = budget_of ilp_nodes timeout in
+    let store = store_of cache_dir no_cache in
+    let laws = Sched.Campaign.laws ?store ?budget ~jobs spec in
+    let run_key = Store.Artifact.key (Sched.Campaign.identity spec) in
+    let journal, replayed =
+      match store with
+      | Some st when budget = None ->
+        let path = Store.Artifact.journal_path st ~run_key in
+        if resume then
+          let w, units = Store.Journal.resume ~path ~run_key in
+          (Some (w, path), units)
+        else (Some (Store.Journal.create ~path ~run_key, path), [])
+      | _ -> (None, [])
+    in
+    let writer = Option.map fst journal in
+    let completed = Hashtbl.create 64 in
+    List.iter
+      (fun payload ->
+        match Sched.Campaign.result_of_wire payload with
+        | Ok r -> Hashtbl.replace completed r.set_index r
+        | Error _ -> ())
+      replayed;
+    if Hashtbl.length completed > 0 then
+      Printf.eprintf "sched analyze: resuming: %d completed set(s) replayed from the journal\n"
+        (Hashtbl.length completed);
+    let appended = ref 0 in
+    let append_result r =
+      match journal with
+      | None -> ()
+      | Some (w, path) ->
+        Store.Journal.append w (Sched.Campaign.result_to_wire r);
+        incr appended;
+        maybe_crash crash_after ~appended:!appended ~journal_path:path
+    in
+    let mcs = ref [] in
+    let results =
+      match journal with
+      | Some _ ->
+        (* Journaled path: sequential, set granularity — cancellation
+           and crashes lose at most the set in flight. Replayed sets
+           skip Monte-Carlo re-validation (they were validated when
+           first computed, and the digest covers only the analytic
+           results either way). *)
+        let out = ref [] in
+        for index = 0 to spec.count - 1 do
+          bail_if_cancelled ?journal:writer "sched analyze";
+          let r =
+            match Hashtbl.find_opt completed index with
+            | Some r -> r
+            | None ->
+              let r, mc =
+                Sched.Campaign.analyze_set ?budget ~mc_samples ?mc_seed spec laws ~index
+              in
+              Option.iter (fun m -> mcs := (index, m) :: !mcs) mc;
+              append_result r;
+              r
+          in
+          out := r :: !out
+        done;
+        List.rev !out
+      | None ->
+        let t = Sched.Campaign.run_with_laws ?budget ~jobs ~mc_samples ?mc_seed spec laws in
+        mcs := List.rev t.Sched.Campaign.mc;
+        t.Sched.Campaign.results
+    in
+    Option.iter Store.Journal.close writer;
+    let digest = Sched.Campaign.digest_of_results results in
+    print_sched_summary spec results digest;
+    if per_set then print_sched_per_set results;
+    let mc_failures =
+      List.filter (fun ((_ : int), (m : Sched.Montecarlo.t)) -> not m.pass) (List.rev !mcs)
+    in
+    if mc_samples > 0 then begin
+      let validated = List.length !mcs in
+      if mc_failures = [] then
+        Printf.printf "monte-carlo : %d set(s) x %d sample(s): analytic bounds hold\n"
+          validated mc_samples
+      else
+        List.iter
+          (fun (index, (m : Sched.Montecarlo.t)) ->
+            List.iteri
+              (fun i (s : Sched.Montecarlo.task_stat) ->
+                if not s.pass then
+                  Printf.eprintf
+                    "monte-carlo VIOLATION: set %d task %d: empirical %.3e > analytic %.3e \
+                     + noise %.3e\n"
+                    index i s.empirical s.analytic s.noise)
+              m.tasks)
+          mc_failures
+    end;
+    Option.iter (sched_json results spec digest) json_file;
+    report_store_stats store;
+    if mc_failures <> [] then exit 1
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the campaign results as JSON.")
+  in
+  let per_set_arg =
+    Arg.(value & flag & info [ "per-set" ] ~doc:"Print one line per analysed task set.")
+  in
+  Cmd.v
+    (cmd_info "analyze"
+       ~doc:"Deadline-failure-probability campaign: per-benchmark pWCET laws once (store- \
+             backed), then UUniFast task sets analysed under bounded re-execution, with \
+             per-target verdicts, minimal budgets, journal resume and optional Monte-Carlo \
+             cross-validation")
+    Term.(const run $ sched_spec_term $ jobs_arg $ ilp_nodes_arg $ timeout_arg
+          $ mc_samples_arg $ mc_seed_arg $ json_arg $ per_set_arg $ cache_dir_arg
+          $ no_cache_arg $ resume_arg $ crash_after_arg)
+
+let sched_sweep_cmd =
+  let run (spec : Sched.Campaign.spec) jobs ilp_nodes timeout u_grid n_grid pfail_grid
+      json_file cache_dir no_cache =
+    install_cancel_handlers ();
+    let budget = budget_of ilp_nodes timeout in
+    let store = store_of cache_dir no_cache in
+    let u_grid = match u_grid with [] -> [ spec.utilisation ] | g -> g in
+    let n_grid = match n_grid with [] -> [ spec.n_tasks ] | g -> g in
+    let pfail_grid = match pfail_grid with [] -> [ spec.pfail ] | g -> g in
+    (* Validate every grid combination before computing anything. *)
+    List.iter
+      (fun pfail ->
+        List.iter
+          (fun n_tasks ->
+            List.iter
+              (fun utilisation ->
+                match
+                  Sched.Campaign.validate { spec with pfail; n_tasks; utilisation }
+                with
+                | Ok () -> ()
+                | Error msg ->
+                  Printf.eprintf "sched sweep: pfail=%g n=%d U=%g: %s\n" pfail n_tasks
+                    utilisation msg;
+                  exit exit_invalid_input)
+              u_grid)
+          n_grid)
+      pfail_grid;
+    let rows =
+      List.concat_map
+        (fun pfail ->
+          (* The expensive per-benchmark estimates depend on pfail but
+             not on the task-set shape: one law pool serves the whole
+             utilisation x n-tasks sub-grid. *)
+          let laws = Sched.Campaign.laws ?store ?budget ~jobs { spec with pfail } in
+          List.concat_map
+            (fun n_tasks ->
+              List.map
+                (fun utilisation ->
+                  bail_if_cancelled "sched sweep";
+                  let spec' = { spec with pfail; n_tasks; utilisation } in
+                  let t = Sched.Campaign.run_with_laws ?budget ~jobs spec' laws in
+                  (spec', t))
+                u_grid)
+            n_grid)
+        pfail_grid
+    in
+    Printf.printf "%-10s %-7s %-8s" "pfail" "n-tasks" "U";
+    List.iter (fun t -> Printf.printf "  pass(%g)" t) spec.targets;
+    print_newline ();
+    List.iter
+      (fun ((spec' : Sched.Campaign.spec), (t : Sched.Campaign.t)) ->
+        Printf.printf "%-10g %-7d %-8g" spec'.pfail spec'.n_tasks spec'.utilisation;
+        List.iter
+          (fun target ->
+            let passed =
+              List.length
+                (List.filter
+                   (fun (r : Sched.Campaign.set_result) ->
+                     match List.assoc_opt target r.passes with
+                     | Some ok -> ok
+                     | None -> false)
+                   t.results)
+            in
+            Printf.printf "  %4d/%-4d" passed (List.length t.results))
+          spec'.targets;
+        print_newline ())
+      rows;
+    (match json_file with
+    | None -> ()
+    | Some file ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{\n  \"schema_version\": 1,\n  \"points\": [\n";
+      List.iteri
+        (fun i ((spec' : Sched.Campaign.spec), (t : Sched.Campaign.t)) ->
+          Printf.bprintf buf
+            "    { \"pfail\": %.17g, \"n_tasks\": %d, \"utilisation\": %.17g, \"digest\": \
+             %S,\n      \"targets\": [%s],\n      \"pass\": [%s] }%s\n"
+            spec'.pfail spec'.n_tasks spec'.utilisation t.digest
+            (String.concat ", " (List.map (Printf.sprintf "%.17g") spec'.targets))
+            (String.concat ", "
+               (List.map
+                  (fun target ->
+                    string_of_int
+                      (List.length
+                         (List.filter
+                            (fun (r : Sched.Campaign.set_result) ->
+                              match List.assoc_opt target r.passes with
+                              | Some ok -> ok
+                              | None -> false)
+                            t.results)))
+                  spec'.targets))
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Buffer.add_string buf "  ]\n}\n";
+      let oc = open_out file in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      Printf.printf "wrote %s\n" file);
+    report_store_stats store
+  in
+  let u_grid_arg =
+    Arg.(value & opt (list ~sep:',' (positive_float_conv "utilisation")) []
+         & info [ "utilisation-grid" ] ~docv:"U,U,..."
+             ~doc:"Total-utilisation grid (default: just --utilisation).")
+  in
+  let n_grid_arg =
+    Arg.(value & opt (list ~sep:',' int) []
+         & info [ "n-tasks-grid" ] ~docv:"N,N,..."
+             ~doc:"Tasks-per-set grid (default: just --n-tasks).")
+  in
+  let sweep_pfail_grid_arg =
+    Arg.(value & opt (list ~sep:',' prob_conv) []
+         & info [ "pfail-grid" ] ~docv:"P,P,..."
+             ~doc:"pfail grid; the per-benchmark laws are computed once per pfail and \
+                   shared across the whole utilisation x n-tasks sub-grid.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Also write the sweep table as JSON.")
+  in
+  Cmd.v
+    (cmd_info "sweep"
+       ~doc:"Schedulability sweep over utilisation x n-tasks x pfail grids, amortising the \
+             per-benchmark pWCET laws across each pfail slice")
+    Term.(const run $ sched_spec_term $ jobs_arg $ ilp_nodes_arg $ timeout_arg $ u_grid_arg
+          $ n_grid_arg $ sweep_pfail_grid_arg $ json_arg $ cache_dir_arg $ no_cache_arg)
+
+let sched_cmd =
+  Cmd.group
+    (cmd_info "sched"
+       ~doc:"Probabilistic schedulability: UUniFast task-set campaigns over the suite's \
+             pWCET laws, with bounded re-execution, per-hour reliability targets and \
+             Monte-Carlo cross-validation")
+    [ sched_generate_cmd; sched_analyze_cmd; sched_sweep_cmd ]
+
+(* --- client (talks to a running daemon) -------------------------------------- *)
+
+(* The campaign spec, reshaped for the wire. Field for field, so a
+   daemon-side Campaign.make sees exactly what a local one would. *)
+let sched_request_of_spec (spec : Sched.Campaign.spec) : Service.Protocol.sched =
+  { Service.Protocol.count = spec.count;
+    n_tasks = spec.n_tasks;
+    utilisation = spec.utilisation;
+    seed = spec.seed;
+    policy = spec.policy;
+    reexec = spec.reexec_budget;
+    k_max = spec.k_max;
+    targets = spec.targets;
+    s_pfail = spec.pfail;
+    s_mechanism = spec.mechanism;
+    s_sets = spec.sets;
+    s_ways = spec.ways;
+    s_line = spec.line;
+    fault_rate = spec.fault_rate;
+    clock_mhz = spec.clock_mhz;
+    rep_target = spec.rep_target;
+    max_points = spec.max_points;
+    benchmarks = spec.benchmarks }
+
 let client_cmd =
   let run socket op bench pfail target mech sets ways line engine exact impl timeout_ms
-      delay_ms bench_load clients requests =
+      delay_ms bench_load clients requests retries retry_base_ms (spec : Sched.Campaign.spec) =
+    if retries < 0 || retry_base_ms < 0 then begin
+      Printf.eprintf "client: --retries and --retry-base-ms must be non-negative\n";
+      exit exit_invalid_input
+    end;
     let fail_transport msg =
       Printf.eprintf "client: %s\n" msg;
       exit 1
+    in
+    let request req = Service.Client.request_with_retry ~socket ~retries ~base_ms:retry_base_ms req in
+    let fail_overloaded queued queue_max =
+      Printf.eprintf "client: request shed by admission control (%d/%d queued%s)\n" queued
+        queue_max
+        (if retries > 0 then Printf.sprintf " after %d retries" retries else "");
+      exit exit_overloaded
     in
     let analyze_request () =
       match bench with
@@ -1301,6 +1829,22 @@ let client_cmd =
       | Ok (Service.Protocol.Stats_reply s) -> print_stats s
       | Ok _ -> fail_transport "unexpected response to stats"
       | Error msg -> fail_transport msg)
+    | `Sched -> (
+      match request (Service.Protocol.Sched (sched_request_of_spec spec)) with
+      | Ok (Service.Protocol.Sched_reply r) ->
+        Printf.printf "analyzed : %d task set(s)\n" r.Service.Protocol.analyzed;
+        Printf.printf "passes   : %d (every target, at k=%d)\n" r.Service.Protocol.passes
+          spec.reexec_budget;
+        Printf.printf "degraded : %d\n" r.Service.Protocol.degraded;
+        Printf.printf "digest   : %s\n" r.Service.Protocol.digest;
+        Printf.printf "computed : %b\n" r.Service.Protocol.sched_computed
+      | Ok (Service.Protocol.Overloaded { queued; queue_max }) ->
+        fail_overloaded queued queue_max
+      | Ok (Service.Protocol.Error_reply msg) ->
+        Printf.eprintf "client: daemon error: %s\n" msg;
+        exit 1
+      | Ok _ -> fail_transport "unexpected response to sched"
+      | Error msg -> fail_transport msg)
     | `Analyze ->
       let req = analyze_request () in
       if bench_load then begin
@@ -1313,7 +1857,7 @@ let client_cmd =
         if report.Service.Client.errors > 0 then exit 1
       end
       else begin
-        match Service.Client.request ~socket (Service.Protocol.Analyze req) with
+        match request (Service.Protocol.Analyze req) with
         | Ok (Service.Protocol.Result r) ->
           Printf.printf "benchmark      : %s\n" req.Service.Protocol.bench;
           Printf.printf "mechanism      : %s\n" (Pwcet.Mechanism.short_name mech);
@@ -1324,9 +1868,7 @@ let client_cmd =
              else Printf.sprintf "  [degraded: %s]" r.Service.Protocol.rung);
           Printf.printf "computed       : %b\n" r.Service.Protocol.computed
         | Ok (Service.Protocol.Overloaded { queued; queue_max }) ->
-          Printf.eprintf "client: request shed by admission control (%d/%d queued)\n" queued
-            queue_max;
-          exit exit_overloaded
+          fail_overloaded queued queue_max
         | Ok (Service.Protocol.Error_reply msg) ->
           Printf.eprintf "client: daemon error: %s\n" msg;
           exit 1
@@ -1336,8 +1878,13 @@ let client_cmd =
   in
   let op_arg =
     Arg.(required
-         & pos 0 (some (enum [ ("ping", `Ping); ("stats", `Stats); ("analyze", `Analyze) ])) None
-         & info [] ~docv:"OP" ~doc:"ping, stats, or analyze.")
+         & pos 0
+             (some
+                (enum
+                   [ ("ping", `Ping); ("stats", `Stats); ("analyze", `Analyze);
+                     ("sched", `Sched) ]))
+             None
+         & info [] ~docv:"OP" ~doc:"ping, stats, analyze, or sched.")
   in
   let client_bench_arg =
     Arg.(value & pos 1 (some string) None
@@ -1345,7 +1892,9 @@ let client_cmd =
   in
   let mech_arg =
     Arg.(value & opt client_mech_conv Pwcet.Mechanism.No_protection
-         & info [ "mechanism" ] ~docv:"MECH" ~doc:"Mechanism: 'none' (default), 'srb' or 'rw'.")
+         & info [ "analyze-mechanism" ] ~docv:"MECH"
+             ~doc:"Mechanism for the analyze op: 'none' (default), 'srb' or 'rw'. The sched \
+                   op takes --mechanism (default srb), like the sched subcommands.")
   in
   let timeout_ms_arg =
     Arg.(value & opt (some int) None
@@ -1374,20 +1923,35 @@ let client_cmd =
     Arg.(value & opt int 16
          & info [ "requests" ] ~docv:"N" ~doc:"Requests per load-generator connection.")
   in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a shed (overloaded) analyze/sched request up to $(docv) more \
+                   times with jittered exponential backoff before giving up with exit 3. \
+                   Only typed shedding is retried; errors are final.")
+  in
+  let retry_base_arg =
+    Arg.(value & opt int 50
+         & info [ "retry-base-ms" ] ~docv:"MS"
+             ~doc:"Base backoff delay: retry $(i,i) sleeps base * 2^i * (0.5 + jitter) ms.")
+  in
   let exits =
     Cmd.Exit.info exit_overloaded
       ~doc:"when the daemon sheds the request via admission control (typed overloaded \
-            response); retry later or against a less loaded daemon."
+            response) and --retries attempts were exhausted; retry later or against a \
+            less loaded daemon."
     :: exits
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Talk to a running analysis daemon: single ping/stats/analyze round trips, or \
-             the --bench concurrent-load generator."
+       ~doc:"Talk to a running analysis daemon: single ping/stats/analyze round trips, \
+             bulk sched campaigns (same options as the sched subcommands, digest-identical \
+             to a local run), or the --bench concurrent-load generator."
        ~exits)
     Term.(const run $ socket_arg $ op_arg $ client_bench_arg $ pfail_arg $ target_arg
           $ mech_arg $ sets_arg $ ways_arg $ line_arg $ engine_arg $ exact_arg $ impl_arg
-          $ timeout_ms_arg $ delay_ms_arg $ load_arg $ clients_arg $ requests_arg)
+          $ timeout_ms_arg $ delay_ms_arg $ load_arg $ clients_arg $ requests_arg
+          $ retries_arg $ retry_base_arg $ sched_spec_term)
 
 (* --- source ------------------------------------------------------------------ *)
 
@@ -1443,4 +2007,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; sweep_cmd; suite_cmd; simulate_cmd;
-            validate_cmd; audit_cmd; refined_cmd; cache_cmd; serve_cmd; client_cmd ]))
+            validate_cmd; audit_cmd; refined_cmd; sched_cmd; cache_cmd; serve_cmd;
+            client_cmd ]))

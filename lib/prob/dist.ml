@@ -66,6 +66,15 @@ let scale factor t =
   let pairs = List.rev !pairs in
   of_sorted_arrays (Array.of_list (List.map fst pairs)) (Array.of_list (List.map snd pairs))
 
+(* Shifting every penalty by a constant leaves the probabilities — and
+   therefore the suffix (exceedance) array — untouched, so the derived
+   tails of the result are bit-identical to the input's: no re-summation
+   happens that could perturb a 1e-12 tail. *)
+let shift c t =
+  let n = Array.length t.penalties in
+  if n > 0 && t.penalties.(0) + c < 0 then invalid_arg "Dist.shift: negative penalty";
+  { t with penalties = Array.map (fun x -> x + c) t.penalties }
+
 let support t = Array.to_list (Array.map2 (fun x p -> (x, p)) t.penalties t.probs)
 let size t = Array.length t.penalties
 let total_mass t = if size t = 0 then 0.0 else t.suffix.(0)
@@ -339,6 +348,34 @@ let convolve_merge ~max_points a b =
     of_sorted_arrays pens probs
     end
   end
+
+(* Weighted mixture. The per-penalty accumulation order is the given
+   part order (Hashtbl bucket per penalty, like the reference convolution
+   engine); within one part the support is strictly ascending so each
+   penalty is touched at most once per part. Weighted masses that
+   underflow to exactly 0.0 are dropped — below the subnormal floor
+   (~1e-323) there is nothing left to keep, ~300 orders of magnitude
+   past any exceedance target this pipeline answers. *)
+let mixture ?(max_points = 65536) parts =
+  let points = ref [] in
+  List.iter
+    (fun (w, t) ->
+      if not (Float.is_finite w) || w < 0.0 || w > 1.0 then
+        invalid_arg "Dist.mixture: weight outside [0,1]";
+      if w > 0.0 then
+        Array.iteri (fun i x -> points := (x, w *. t.probs.(i)) :: !points) t.penalties)
+    parts;
+  let merged = merge_points "Dist.mixture" (List.rev !points) in
+  let total = Kahan.sum_by snd merged in
+  if total > 1.0 +. 1e-9 then
+    invalid_arg (Printf.sprintf "Dist.mixture: total mass %.12g > 1" total);
+  match merged with
+  | [] -> of_sorted_arrays [||] [||]
+  | merged ->
+    let merged = cap_points max_points merged in
+    of_sorted_arrays
+      (Array.of_list (List.map fst merged))
+      (Array.of_list (List.map snd merged))
 
 let convolve ?(impl = `Merge) ?(max_points = 65536) a b =
   match impl with

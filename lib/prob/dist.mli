@@ -29,6 +29,25 @@ val of_sub_points : (int * float) list -> t
 val scale : float -> t -> t
 (** Multiply every probability by a factor in [0, 1]. *)
 
+val shift : int -> t -> t
+(** [shift c t] adds [c] cycles to every penalty. The probabilities —
+    and therefore the derived exceedance (suffix) array — are reused
+    bit-for-bit, so no re-summation can perturb a deep tail.
+    @raise Invalid_argument when a shifted penalty would be negative. *)
+
+val mixture : ?max_points:int -> (float * t) list -> t
+(** [mixture parts] is the weighted sum [Σ wᵢ·dᵢ] of the given
+    (sub-)distributions — the law of a variable that follows [dᵢ] with
+    probability [wᵢ]. Weights must lie in [0, 1]; the total mass may be
+    any value in [0, 1] (a sub-distribution, as with
+    {!of_sub_points}), which is how the re-execution model carries the
+    residual unrecovered-fault mass outside the mixture. Capping at
+    [max_points] (default 65536) is the same upward-conservative fold
+    as {!convolve}. Weighted masses that underflow to exactly [0.0]
+    are dropped, consistent with the engine-wide [p > 0] invariant.
+    @raise Invalid_argument on a weight outside [0,1] or total mass
+    beyond [1 + 1e-9]. *)
+
 val support : t -> (int * float) list
 (** Ascending penalties with their probabilities. *)
 

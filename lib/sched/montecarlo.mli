@@ -1,0 +1,52 @@
+(** Monte-Carlo cross-validation of the analytic deadline-failure
+    probabilities.
+
+    Simulates exactly the probabilistic model {!Analysis} integrates:
+    per sample, every task's job draws its executions from the task's
+    single-execution law (inverse-CDF over the same
+    {!Prob.Dist.quantile} machinery the analysis reads), each execution
+    faults independently with the task's [p_exec], re-execution stops
+    at the budget, and interfering jobs run their full re-execution
+    sequences regardless of outcome. A job misses when it exhausts its
+    budget or when interference plus its own executed cycles exceed
+    the deadline.
+
+    Because the sampler and the integrator share one model, the
+    analytic probability upper-bounds the empirical frequency up to
+    sampling noise — strictly upper-bounds it once convolution capping
+    binds (capping only moves mass towards higher penalties). The
+    acceptance test is the same 5-sigma convention as
+    [Pwcet.Validate]: [empirical <= analytic + noise] with
+    [noise = 5 sqrt(max analytic (1/n) / n) + 1/n].
+
+    Draws are {!Sim.Rng} per-sample streams: sample [s] of seed [g] is
+    reproducible in isolation, and the whole run is a pure function of
+    [(seed, samples, models, budget, policy)]. *)
+
+type task_stat = {
+  misses : int;
+  empirical : float;
+  analytic : float;  (** the analysis' per-job bound for this task *)
+  noise : float;  (** 5-sigma allowance at this sample count *)
+  pass : bool;  (** [empirical <= analytic + noise] *)
+}
+
+type t = {
+  samples : int;
+  seed : int;
+  tasks : task_stat list;
+  pass : bool;  (** every task passed *)
+}
+
+val run :
+  seed:int ->
+  samples:int ->
+  reexec_budget:int ->
+  policy:Analysis.policy ->
+  models:Analysis.model array ->
+  analytic:float array ->
+  t
+(** [analytic.(i)] is task [i]'s per-job deadline-failure bound (the
+    [p_job] of the corresponding {!Analysis.task_verdict}).
+    @raise Invalid_argument on [samples < 1], a negative budget, or an
+    [analytic] array whose length differs from [models]. *)

@@ -1,0 +1,52 @@
+let p_exec ~fault_rate_per_hour ~cycles_per_hour ~exec_cycles =
+  if not (Float.is_finite cycles_per_hour) || cycles_per_hour <= 0.0 then
+    invalid_arg "Reexec.p_exec: cycles_per_hour must be positive";
+  if exec_cycles < 0 then invalid_arg "Reexec.p_exec: negative exec_cycles";
+  (* (1 - rate)^(1/cycles_per_hour) per cycle, composed over C cycles,
+     collapses to a single real exponent — one log1p/expm1 round trip
+     instead of two, so there is no intermediate per-cycle probability
+     to round to 0. Probfloat validates the rate. *)
+  Numeric.Probfloat.one_minus_pow_one_minus_real ~p:fault_rate_per_hour
+    ~n:(float_of_int exec_cycles /. cycles_per_hour)
+
+let check_weight_args p budget =
+  if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+    invalid_arg "Reexec: p_exec outside [0,1]";
+  if budget < 0 then invalid_arg "Reexec: negative re-execution budget"
+
+let attempt_weights ~p ~budget =
+  check_weight_args p budget;
+  let weights = Array.make (budget + 1) 0.0 in
+  let pow = ref 1.0 in
+  for j = 0 to budget do
+    weights.(j) <- !pow *. (1.0 -. p);
+    pow := !pow *. p
+  done;
+  (weights, !pow)
+
+let powers ?max_points ~budget exec =
+  check_weight_args 0.0 budget;
+  let out = Array.make (budget + 1) exec in
+  for j = 1 to budget do
+    out.(j) <- Prob.Dist.convolve ?max_points out.(j - 1) exec
+  done;
+  out
+
+let mixture_of_weights ?max_points ~weights ~budget powers =
+  if Array.length powers <= budget then invalid_arg "Reexec: powers ladder shorter than budget";
+  let parts = ref [] in
+  for j = budget downto 0 do
+    parts := (weights.(j), powers.(j)) :: !parts
+  done;
+  Prob.Dist.mixture ?max_points !parts
+
+let own_demand ?max_points ~p ~budget powers =
+  let weights, _residual = attempt_weights ~p ~budget in
+  mixture_of_weights ?max_points ~weights ~budget powers
+
+let interference_demand ?max_points ~p ~budget powers =
+  let weights, residual = attempt_weights ~p ~budget in
+  (* The never-succeeding job still ran all budget+1 executions: its
+     mass rides the top rung, restoring total mass 1. *)
+  weights.(budget) <- weights.(budget) +. residual;
+  mixture_of_weights ?max_points ~weights ~budget powers

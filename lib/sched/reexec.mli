@@ -1,0 +1,55 @@
+(** Bounded re-execution on fault detection — the Reghenzani-style
+    per-execution fault-probability composition.
+
+    A job runs its task once; when the detection mechanism flags a
+    fault it re-executes, up to a budget of [k] re-executions ([k + 1]
+    executions in total). Each execution independently faults with
+    probability [p_exec], derived from a per-hour transient fault rate
+    composed over the execution's share of an hour of cycles — the
+    composition runs in log space ({!Numeric.Probfloat}) so rates down
+    to 1e-19/hour survive billion-cycle exponents.
+
+    Two demand laws come out of the model, and they are deliberately
+    different:
+    {ul
+    {- {!own_demand} — the law of the {e completing} job's executed
+       work: a sub-distribution with weight [p^j (1-p)] on the
+       [(j+1)]-fold convolution of the execution law, missing the
+       residual mass [p^(k+1)] of the never-succeeding case. The
+       verdict layer adds that residual back as certain failure —
+       a job that exhausts its budget has failed no matter what the
+       clock says.}
+    {- {!interference_demand} — the law of the processor time a job
+       {e occupies} regardless of outcome: the same mixture but with
+       the full mass [p^k] of "reached the last execution" on the
+       [(k+1)]-fold convolution, totalling 1. Interference from a
+       failing job is still interference.}} *)
+
+val p_exec : fault_rate_per_hour:float -> cycles_per_hour:float -> exec_cycles:int -> float
+(** Per-execution fault probability: [1 - (1 - rate)^(C / cycles_per_hour)].
+    @raise Invalid_argument on a rate outside [0,1], a non-positive
+    [cycles_per_hour], or negative [exec_cycles]. *)
+
+val attempt_weights : p:float -> budget:int -> float array * float
+(** [(weights, residual)]: [weights.(j)] (0-based) is the probability
+    that the job completes on execution [j + 1], i.e. [p^j * (1 - p)]
+    for [j <= budget]; [residual = p^(budget+1)] is the probability
+    that every execution faults. The masses sum to 1 exactly in real
+    arithmetic (telescoping product).
+    @raise Invalid_argument on [p] outside [0,1] or a negative budget. *)
+
+val powers : ?max_points:int -> budget:int -> Prob.Dist.t -> Prob.Dist.t array
+(** [powers ~budget exec]: element [j] is the [(j+1)]-fold convolution
+    of [exec], for [j = 0..budget] — the shared ladder both demand
+    laws mix over, built incrementally so a [k]-scan pays each
+    convolution once. *)
+
+val own_demand : ?max_points:int -> p:float -> budget:int -> Prob.Dist.t array -> Prob.Dist.t
+(** [own_demand ~p ~budget powers] — sub-distribution of the completing
+    job's executed cycles (see above); [total_mass] is
+    [1 - p^(budget+1)] up to rounding. [powers] must come from
+    {!powers} with a budget of at least [budget]. *)
+
+val interference_demand :
+  ?max_points:int -> p:float -> budget:int -> Prob.Dist.t array -> Prob.Dist.t
+(** Full-mass law of the processor time one job occupies. *)

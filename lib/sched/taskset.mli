@@ -1,0 +1,41 @@
+(** Synthetic task-set generation for the schedulability layer.
+
+    UUniFast (Bini & Buttazzo) draws [n] per-task utilisations that sum
+    exactly to the requested total, uniformly over the simplex; the
+    {e discard} variant redraws the whole vector whenever any component
+    falls outside (0, 1], which keeps the distribution uniform over the
+    valid region for totals above 1. Every draw comes from
+    {!Sim.Rng}'s counter-based streams, so a task set is a pure
+    function of [(spec, index)] — regenerating set 412 of a campaign
+    needs no state from sets 0..411. *)
+
+type spec = {
+  n_tasks : int;  (** tasks per set, at least 1 *)
+  utilisation : float;  (** total utilisation, in (0, n_tasks] *)
+  seed : int;  (** campaign seed; set [index] selects the stream *)
+  benchmarks : string list;
+      (** candidate benchmark names, drawn uniformly per task;
+          validated against the registry by the campaign layer *)
+}
+
+type task = {
+  bench : string;  (** benchmark supplying this task's pWCET law *)
+  utilisation : float;  (** share of the processor, in (0, 1] *)
+}
+
+type t = {
+  index : int;  (** which set of the campaign this is *)
+  tasks : task list;  (** [n_tasks] tasks, generation order *)
+}
+
+val validate : spec -> (unit, string) result
+(** Shape check: positive task count, total utilisation in
+    (0, n_tasks], non-empty benchmark list. *)
+
+val generate : spec -> index:int -> t
+(** The [index]-th task set of the campaign — deterministic, order- and
+    history-independent.
+    @raise Invalid_argument when {!validate} rejects the spec. *)
+
+val total_utilisation : t -> float
+(** Compensated sum of the per-task utilisations. *)

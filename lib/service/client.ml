@@ -26,6 +26,33 @@ let request ~socket req =
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () -> round_trip fd req)
 
+(* Typed shedding is the daemon saying "try again later" — so try
+   again later. Jittered exponential backoff: attempt [i] sleeps
+   [base_ms * 2^i * (0.5 + u)] with [u] drawn from the counter-based
+   generator (a pure function of [(seed, attempt)], so a retry
+   schedule is reproducible), then the request is reissued on a fresh
+   connection. Transport errors and error replies are NOT retried —
+   they are answers, not congestion. *)
+let request_with_retry ~socket ?(retries = 0) ?(base_ms = 50) ?(seed = 0) req =
+  if retries < 0 then invalid_arg "Client.request_with_retry: negative retries";
+  if base_ms < 0 then invalid_arg "Client.request_with_retry: negative base_ms";
+  let rec go attempt =
+    match request ~socket req with
+    | Ok (Protocol.Overloaded _) as shed ->
+      if attempt >= retries then shed
+      else begin
+        let stream = Sim.Rng.stream ~seed ~sample:attempt in
+        let u = Sim.Rng.uniform ~stream ~draw:0 in
+        let delay_s =
+          float_of_int base_ms *. Float.ldexp 1.0 attempt *. (0.5 +. u) /. 1000.0
+        in
+        Unix.sleepf delay_s;
+        go (attempt + 1)
+      end
+    | r -> r
+  in
+  go 0
+
 (* --- load generator -------------------------------------------------------- *)
 
 type load_report = {

@@ -13,6 +13,23 @@ val request : socket:string -> Protocol.request -> (Protocol.response, string) r
     connection failure, framing violation, or an undecodable
     response. *)
 
+val request_with_retry :
+  socket:string ->
+  ?retries:int ->
+  ?base_ms:int ->
+  ?seed:int ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** {!request}, but an {!Protocol.Overloaded} reply — typed load
+    shedding, the one response that means "later", not "no" — is
+    retried up to [retries] more times with jittered exponential
+    backoff: attempt [i] sleeps [base_ms * 2^i * (0.5 + u)]
+    milliseconds, [u] uniform from the counter-based generator seeded
+    by [(seed, i)] so a schedule is reproducible. Defaults: no
+    retries, 50 ms base, seed 0. Transport failures and [Error_reply]
+    are returned immediately — only shedding is transient. The last
+    shed response is returned when every attempt was shed. *)
+
 type load_report = {
   total : int;  (** requests attempted *)
   ok : int;  (** [Result] responses *)

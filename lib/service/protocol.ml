@@ -27,7 +27,48 @@ let default_analyze ~bench =
     timeout_ms = None;
     delay_ms = 0 }
 
-type request = Ping | Stats | Analyze of analyze
+type sched = {
+  count : int;
+  n_tasks : int;
+  utilisation : float;
+  seed : int;
+  policy : Sched.Analysis.policy;
+  reexec : int;
+  k_max : int;
+  targets : float list;
+  s_pfail : float;
+  s_mechanism : Pwcet.Mechanism.t;
+  s_sets : int;
+  s_ways : int;
+  s_line : int;
+  fault_rate : float;
+  clock_mhz : float;
+  rep_target : float;
+  max_points : int;
+  benchmarks : string list;
+}
+
+let default_sched =
+  { count = 100;
+    n_tasks = 4;
+    utilisation = 0.6;
+    seed = 42;
+    policy = Sched.Analysis.Rm;
+    reexec = 1;
+    k_max = 3;
+    targets = [ 1e-3; 1e-5; 1e-7; 1e-9 ];
+    s_pfail = 1e-4;
+    s_mechanism = Pwcet.Mechanism.Shared_reliable_buffer;
+    s_sets = 16;
+    s_ways = 4;
+    s_line = 16;
+    fault_rate = 1e-4;
+    clock_mhz = 100.0;
+    rep_target = 1e-9;
+    max_points = 512;
+    benchmarks = [] }
+
+type request = Ping | Stats | Analyze of analyze | Sched of sched
 
 type result_payload = {
   pwcet : int;
@@ -48,10 +89,19 @@ type stats_payload = {
   uptime_s : float;
 }
 
+type sched_payload = {
+  analyzed : int;
+  passes : int;
+  degraded : int;
+  digest : string;
+  sched_computed : bool;
+}
+
 type response =
   | Result of result_payload
   | Pong
   | Stats_reply of stats_payload
+  | Sched_reply of sched_payload
   | Overloaded of { queued : int; queue_max : int }
   | Error_reply of string
 
@@ -75,10 +125,38 @@ let analyze_fields a =
   @ (match a.timeout_ms with None -> [] | Some ms -> [ ("timeout_ms", Json.Int ms) ])
   @ if a.delay_ms = 0 then [] else [ ("delay_ms", Json.Int a.delay_ms) ]
 
+(* Every field travels, defaults included: the wire form is the dedup
+   key's input, and an explicit field can never drift from an implicit
+   default. Floats print with %.17g (lossless), so the daemon's
+   Campaign.identity — IEEE bit patterns — matches the CLI's exactly. *)
+let sched_fields s =
+  [ ("op", Json.String "sched");
+    ("count", Json.Int s.count);
+    ("n_tasks", Json.Int s.n_tasks);
+    ("utilisation", Json.Float s.utilisation);
+    ("seed", Json.Int s.seed);
+    ("policy", Json.String (Sched.Analysis.policy_name s.policy));
+    ("reexec", Json.Int s.reexec);
+    ("k_max", Json.Int s.k_max);
+    ("targets", Json.List (List.map (fun t -> Json.Float t) s.targets));
+    ("pfail", Json.Float s.s_pfail);
+    ("mechanism", Json.String (Pwcet.Mechanism.short_name s.s_mechanism));
+    ("sets", Json.Int s.s_sets);
+    ("ways", Json.Int s.s_ways);
+    ("line", Json.Int s.s_line);
+    ("fault_rate", Json.Float s.fault_rate);
+    ("clock_mhz", Json.Float s.clock_mhz);
+    ("rep_target", Json.Float s.rep_target);
+    ("max_points", Json.Int s.max_points) ]
+  @
+  if s.benchmarks = [] then []
+  else [ ("benchmarks", Json.List (List.map (fun b -> Json.String b) s.benchmarks)) ]
+
 let request_to_string = function
   | Ping -> Json.to_string (Json.Obj [ ("op", Json.String "ping") ])
   | Stats -> Json.to_string (Json.Obj [ ("op", Json.String "stats") ])
   | Analyze a -> Json.to_string (Json.Obj (analyze_fields a))
+  | Sched s -> Json.to_string (Json.Obj (sched_fields s))
 
 let response_to_string = function
   | Result r ->
@@ -109,6 +187,15 @@ let response_to_string = function
            [ ("store_hits", Json.Int hits);
              ("store_misses", Json.Int misses);
              ("store_puts", Json.Int puts) ]))
+  | Sched_reply s ->
+    Json.to_string
+      (Json.Obj
+         [ ("status", Json.String "sched");
+           ("analyzed", Json.Int s.analyzed);
+           ("passes", Json.Int s.passes);
+           ("degraded", Json.Int s.degraded);
+           ("digest", Json.String s.digest);
+           ("computed", Json.Bool s.sched_computed) ])
   | Overloaded { queued; queue_max } ->
     Json.to_string
       (Json.Obj
@@ -141,6 +228,21 @@ let probability ~field json =
 let positive ~field json =
   let* n = Json.to_int ~field json in
   if n >= 1 then Ok n else Error (Printf.sprintf "field %S: must be at least 1" field)
+
+let non_negative ~field json =
+  let* n = Json.to_int ~field json in
+  if n >= 0 then Ok n else Error (Printf.sprintf "field %S: must be non-negative" field)
+
+let positive_float ~field json =
+  let* x = Json.to_float ~field json in
+  if Float.is_finite x && x > 0.0 then Ok x
+  else Error (Printf.sprintf "field %S: must be a positive finite number" field)
+
+(* fault_rate semantics: a per-hour probability, zero allowed. *)
+let unit_rate ~field json =
+  let* x = Json.to_float ~field json in
+  if Float.is_finite x && x >= 0.0 && x < 1.0 then Ok x
+  else Error (Printf.sprintf "field %S: must lie inside [0, 1)" field)
 
 let enum ~what options ~field json =
   let* tag = Json.to_text ~field json in
@@ -199,6 +301,71 @@ let decode_analyze json =
          { bench; pfail; target; mechanism; sets; ways; line; engine; exact; impl; timeout_ms;
            delay_ms })
 
+let decode_sched json =
+  let d = default_sched in
+  let* count = optional ~field:"count" json positive ~default:d.count in
+  let* n_tasks = optional ~field:"n_tasks" json positive ~default:d.n_tasks in
+  let* utilisation = optional ~field:"utilisation" json positive_float ~default:d.utilisation in
+  let* seed = optional ~field:"seed" json Json.to_int ~default:d.seed in
+  let* policy =
+    optional ~field:"policy" json
+      (fun ~field j ->
+        let* tag = Json.to_text ~field j in
+        match Sched.Analysis.policy_of_string tag with
+        | Some p -> Ok p
+        | None -> Error (Printf.sprintf "field %S: unknown policy %S (expected rm or edf)" field tag))
+      ~default:d.policy
+  in
+  let* reexec = optional ~field:"reexec" json non_negative ~default:d.reexec in
+  let* k_max = optional ~field:"k_max" json non_negative ~default:d.k_max in
+  let* targets =
+    optional ~field:"targets" json
+      (fun ~field j ->
+        let* items = Json.to_list ~field j in
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            let* p = probability ~field item in
+            Ok (p :: acc))
+          items (Ok []))
+      ~default:d.targets
+  in
+  let* s_pfail = optional ~field:"pfail" json probability ~default:d.s_pfail in
+  let* s_mechanism =
+    optional ~field:"mechanism" json
+      (fun ~field j ->
+        let* tag = Json.to_text ~field j in
+        match Pwcet.Mechanism.of_string tag with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "field %S: unknown mechanism %S" field tag))
+      ~default:d.s_mechanism
+  in
+  let* s_sets = optional ~field:"sets" json positive ~default:d.s_sets in
+  let* s_ways = optional ~field:"ways" json positive ~default:d.s_ways in
+  let* s_line = optional ~field:"line" json positive ~default:d.s_line in
+  let* fault_rate = optional ~field:"fault_rate" json unit_rate ~default:d.fault_rate in
+  let* clock_mhz = optional ~field:"clock_mhz" json positive_float ~default:d.clock_mhz in
+  let* rep_target = optional ~field:"rep_target" json probability ~default:d.rep_target in
+  let* max_points = optional ~field:"max_points" json positive ~default:d.max_points in
+  let* benchmarks =
+    optional ~field:"benchmarks" json
+      (fun ~field j ->
+        let* items = Json.to_list ~field j in
+        List.fold_right
+          (fun item acc ->
+            let* acc = acc in
+            let* b = Json.to_text ~field item in
+            if b = "" then Error (Printf.sprintf "field %S: empty benchmark name" field)
+            else Ok (b :: acc))
+          items (Ok []))
+      ~default:d.benchmarks
+  in
+  Ok
+    (Sched
+       { count; n_tasks; utilisation; seed; policy; reexec; k_max; targets; s_pfail;
+         s_mechanism; s_sets; s_ways; s_line; fault_rate; clock_mhz; rep_target; max_points;
+         benchmarks })
+
 let request_of_string s =
   let* json = Json.of_string s in
   let* op = required ~field:"op" json Json.to_text in
@@ -206,7 +373,8 @@ let request_of_string s =
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
   | "analyze" -> decode_analyze json
-  | op -> Error (Printf.sprintf "unknown op %S (expected ping, stats or analyze)" op)
+  | "sched" -> decode_sched json
+  | op -> Error (Printf.sprintf "unknown op %S (expected ping, stats, analyze or sched)" op)
 
 let decode_result json =
   let* pwcet = required ~field:"pwcet" json Json.to_int in
@@ -242,6 +410,13 @@ let response_of_string s =
   | "ok" -> decode_result json
   | "pong" -> Ok Pong
   | "stats" -> decode_stats json
+  | "sched" ->
+    let* analyzed = required ~field:"analyzed" json Json.to_int in
+    let* passes = required ~field:"passes" json Json.to_int in
+    let* degraded = required ~field:"degraded" json Json.to_int in
+    let* digest = required ~field:"digest" json Json.to_text in
+    let* sched_computed = required ~field:"computed" json Json.to_bool in
+    Ok (Sched_reply { analyzed; passes; degraded; digest; sched_computed })
   | "overloaded" ->
     let* queued = required ~field:"queued" json Json.to_int in
     let* queue_max = required ~field:"queue_max" json Json.to_int in

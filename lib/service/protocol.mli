@@ -34,7 +34,42 @@ val default_analyze : bench:string -> analyze
 (** The CLI's defaults: pfail 1e-4, target 1e-15, no protection,
     16x4x16 geometry, path engine, sliced FMM, no timeout, no delay. *)
 
-type request = Ping | Stats | Analyze of analyze
+(** A bulk schedulability campaign — the service face of
+    {!Sched.Campaign}. One request analyses [count] UUniFast task sets
+    against one pool of per-benchmark pWCET laws; the daemon computes
+    each distinct benchmark's law at most once (deduplicated with
+    concurrent [analyze] traffic through the same caches) and reports
+    the campaign digest, so a client can check bit-identity against a
+    direct CLI run. Field names follow {!Sched.Campaign.spec}; an
+    empty [benchmarks] means the whole registry. *)
+type sched = {
+  count : int;
+  n_tasks : int;
+  utilisation : float;
+  seed : int;
+  policy : Sched.Analysis.policy;
+  reexec : int;  (** headline re-execution budget k *)
+  k_max : int;
+  targets : float list;
+  s_pfail : float;
+  s_mechanism : Pwcet.Mechanism.t;
+  s_sets : int;
+  s_ways : int;
+  s_line : int;
+  fault_rate : float;
+  clock_mhz : float;
+  rep_target : float;
+  max_points : int;
+  benchmarks : string list;
+}
+
+val default_sched : sched
+(** {!Sched.Campaign.make}'s defaults: 100 sets of 4 tasks at total
+    utilisation 0.6 under RM, budget 1 scanned to 3, pfail 1e-4, SRB,
+    16x4x16 geometry, fault rate 1e-4/hour at 100 MHz, rep target
+    1e-9, 512-point cap, whole registry. *)
+
+type request = Ping | Stats | Analyze of analyze | Sched of sched
 
 type result_payload = {
   pwcet : int;  (** cycles, at the request's [target] *)
@@ -57,10 +92,22 @@ type stats_payload = {
   uptime_s : float;
 }
 
+type sched_payload = {
+  analyzed : int;  (** task sets analysed (always the request's [count]) *)
+  passes : int;  (** sets meeting every target at the headline budget *)
+  degraded : int;  (** sets carrying a non-[Exact] rung *)
+  digest : string;
+      (** campaign digest ({!Sched.Campaign.digest_of_results}) — equal
+          to a direct CLI run's digest, bit for bit *)
+  sched_computed : bool;
+      (** [true] when this request led the campaign computation *)
+}
+
 type response =
   | Result of result_payload
   | Pong
   | Stats_reply of stats_payload
+  | Sched_reply of sched_payload
   | Overloaded of { queued : int; queue_max : int }
       (** typed load shedding: the request was not admitted and ran no
           computation; retry against a less loaded daemon *)

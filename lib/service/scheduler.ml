@@ -33,6 +33,9 @@ let wait iv =
 type outcome = (Pwcet.Estimator.estimate, string) result
 type task_outcome = (Pwcet.Estimator.task, string) result
 
+type sched_summary = { analyzed : int; passes : int; degraded : int; digest : string }
+type sched_outcome = (sched_summary, string) result
+
 type t = {
   pool : Parallel.Workers.t;
   store : Store.Artifact.t option;
@@ -43,10 +46,17 @@ type t = {
   lock : Mutex.t;  (* guards everything below *)
   inflight : (string, outcome ivar) Hashtbl.t;
   task_inflight : (string, task_outcome ivar) Hashtbl.t;
+  bench_inflight : (string, outcome ivar) Hashtbl.t;
+      (* per-benchmark estimates led inline by sched campaign jobs —
+         kept apart from [inflight], whose leaders are pool jobs a
+         worker-resident waiter could deadlock against *)
+  sched_inflight : (string, sched_outcome ivar) Hashtbl.t;
   tasks : (string, Pwcet.Estimator.task) Hashtbl.t;
   task_order : string Queue.t;  (* FIFO eviction for [tasks] *)
   results : (string, Pwcet.Estimator.estimate) Hashtbl.t;
   result_order : string Queue.t;  (* FIFO eviction for [results] *)
+  sched_results : (string, sched_summary) Hashtbl.t;
+  sched_order : string Queue.t;  (* FIFO eviction for [sched_results] *)
   mutable requests : int;
   mutable computations : int;
   mutable deduped : int;
@@ -67,10 +77,14 @@ let create (config : config) =
     lock = Mutex.create ();
     inflight = Hashtbl.create 16;
     task_inflight = Hashtbl.create 16;
+    bench_inflight = Hashtbl.create 16;
+    sched_inflight = Hashtbl.create 16;
     tasks = Hashtbl.create 16;
     task_order = Queue.create ();
     results = Hashtbl.create 16;
     result_order = Queue.create ();
+    sched_results = Hashtbl.create 16;
+    sched_order = Queue.create ();
     requests = 0;
     computations = 0;
     deduped = 0;
@@ -80,6 +94,16 @@ let create (config : config) =
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Caller holds [t.lock]. *)
+let cache_result_locked t key est =
+  if t.result_cache_max > 0 then begin
+    Hashtbl.replace t.results key est;
+    Queue.push key t.result_order;
+    while Hashtbl.length t.results > t.result_cache_max && not (Queue.is_empty t.result_order) do
+      Hashtbl.remove t.results (Queue.pop t.result_order)
+    done
+  end
 
 (* Exactly the CLI's convention for float-valued key components. *)
 let float_key f = Int64.to_string (Int64.bits_of_float f)
@@ -259,16 +283,7 @@ let analyze t (a : Protocol.analyze) : Protocol.response =
                 match outcome with
                 | Ok est ->
                   t.computations <- t.computations + 1;
-                  if t.result_cache_max > 0 then begin
-                    Hashtbl.replace t.results key est;
-                    Queue.push key t.result_order;
-                    while
-                      Hashtbl.length t.results > t.result_cache_max
-                      && not (Queue.is_empty t.result_order)
-                    do
-                      Hashtbl.remove t.results (Queue.pop t.result_order)
-                    done
-                  end
+                  cache_result_locked t key est
                 | Error _ -> ())
           in
           if run_job t ~program ~config ~identity a iv ~on_done then
@@ -283,6 +298,178 @@ let analyze t (a : Protocol.analyze) : Protocol.response =
             fill iv (Error "request shed by admission control");
             shed t
           end)))
+
+(* --- bulk schedulability campaigns ----------------------------------------- *)
+
+let spec_of_sched (s : Protocol.sched) =
+  Sched.Campaign.make ~count:s.count ~n_tasks:s.n_tasks ~utilisation:s.utilisation
+    ~seed:s.seed ~policy:s.policy ~reexec_budget:s.reexec ~k_max:s.k_max ~targets:s.targets
+    ~pfail:s.s_pfail ~mechanism:s.s_mechanism ~sets:s.s_sets ~ways:s.s_ways ~line:s.s_line
+    ~fault_rate:s.fault_rate ~clock_mhz:s.clock_mhz ~rep_target:s.rep_target
+    ~max_points:s.max_points
+    ?benchmarks:(match s.benchmarks with [] -> None | bs -> Some bs)
+    ()
+
+(* One benchmark's estimate for a sched campaign, computed INLINE on
+   the calling worker domain. Submitting it to the pool — or joining
+   an [inflight] entry whose leader is a pool job that may be queued
+   behind this very campaign — could deadlock a fully sched-occupied
+   pool, so the campaign path has its own in-flight table whose
+   leaders never need a pool slot. It still reads and feeds the shared
+   [results] cache (same [request_key]), so sched campaigns and
+   analyze traffic warm each other. *)
+let bench_estimate t ~config (spec : Sched.Campaign.spec) bench =
+  let entry =
+    match Benchmarks.Registry.find bench with
+    | Some entry -> entry
+    | None ->
+      raise
+        (Compute_error
+           (Printf.sprintf "unknown benchmark %S; the registry lists the valid names" bench))
+  in
+  let program = (Minic.Compile.compile entry.Benchmarks.Registry.program).Minic.Compile.program in
+  let identity = Pwcet.Estimator.identity_of ~program ~config in
+  let a =
+    { (Protocol.default_analyze ~bench) with
+      Protocol.pfail = spec.pfail;
+      mechanism = spec.mechanism;
+      sets = spec.sets;
+      ways = spec.ways;
+      line = spec.line }
+  in
+  let key = request_key ~identity a in
+  let claim =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.results key with
+        | Some est -> `Warm est
+        | None -> (
+          match Hashtbl.find_opt t.bench_inflight key with
+          | Some iv ->
+            t.deduped <- t.deduped + 1;
+            `Join iv
+          | None ->
+            let iv = ivar () in
+            Hashtbl.add t.bench_inflight key iv;
+            `Lead iv))
+  in
+  match claim with
+  | `Warm est -> est
+  | `Join iv -> (
+    match wait iv with Ok est -> est | Error msg -> raise (Compute_error msg))
+  | `Lead iv -> (
+    let outcome =
+      try
+        let task = prepared_task t ~program ~config ~identity a in
+        Ok
+          (Pwcet.Estimator.estimate task ~pfail:a.pfail ~mechanism:a.mechanism
+             ~engine:a.engine ~exact:a.exact ~jobs:1 ~impl:a.impl ?store:t.store ())
+      with
+      | Compute_error msg -> Error msg
+      | e -> Error (Printexc.to_string e)
+    in
+    locked t (fun () ->
+        Hashtbl.remove t.bench_inflight key;
+        match outcome with
+        | Ok est ->
+          t.computations <- t.computations + 1;
+          cache_result_locked t key est
+        | Error _ -> ());
+    fill iv outcome;
+    match outcome with Ok est -> est | Error msg -> raise (Compute_error msg))
+
+(* The campaign computation a worker domain runs. [jobs:1] as in
+   [compute]: request-level parallelism comes from the pool itself. *)
+let compute_sched t (spec : Sched.Campaign.spec) () =
+  let config = Cache.Config.make ~sets:spec.sets ~ways:spec.ways ~line_bytes:spec.line () in
+  let laws =
+    List.map
+      (fun bench ->
+        Sched.Campaign.law_of_estimate spec ~bench (bench_estimate t ~config spec bench))
+      (Sched.Campaign.distinct_benchmarks spec)
+  in
+  let c = Sched.Campaign.run_with_laws ~jobs:1 spec laws in
+  let passes =
+    List.length
+      (List.filter
+         (fun (r : Sched.Campaign.set_result) -> List.for_all snd r.passes)
+         c.Sched.Campaign.results)
+  in
+  let degraded =
+    List.length
+      (List.filter (fun (r : Sched.Campaign.set_result) -> r.degraded) c.Sched.Campaign.results)
+  in
+  { analyzed = spec.count; passes; degraded; digest = c.Sched.Campaign.digest }
+
+let sched t (s : Protocol.sched) : Protocol.response =
+  locked t (fun () -> t.requests <- t.requests + 1);
+  let respond_sched ~computed (outcome : sched_outcome) : Protocol.response =
+    match outcome with
+    | Ok sum ->
+      Protocol.Sched_reply
+        { Protocol.analyzed = sum.analyzed;
+          passes = sum.passes;
+          degraded = sum.degraded;
+          digest = sum.digest;
+          sched_computed = computed }
+    | Error msg ->
+      locked t (fun () -> t.errors <- t.errors + 1);
+      Protocol.Error_reply msg
+  in
+  match spec_of_sched s with
+  | Error msg ->
+    locked t (fun () -> t.errors <- t.errors + 1);
+    Protocol.Error_reply msg
+  | Ok spec -> (
+    let key = Store.Artifact.key (("service", "sched") :: Sched.Campaign.identity spec) in
+    let claim =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.sched_results key with
+          | Some sum -> `Warm sum
+          | None -> (
+            match Hashtbl.find_opt t.sched_inflight key with
+            | Some iv ->
+              t.deduped <- t.deduped + 1;
+              `Join iv
+            | None ->
+              let iv = ivar () in
+              Hashtbl.add t.sched_inflight key iv;
+              `Lead iv))
+    in
+    match claim with
+    | `Warm sum -> respond_sched ~computed:false (Ok sum)
+    | `Join iv -> respond_sched ~computed:false (wait iv)
+    | `Lead iv ->
+      let job () =
+        let outcome =
+          try Ok (compute_sched t spec ())
+          with
+          | Compute_error msg -> Error msg
+          | e -> Error (Printexc.to_string e)
+        in
+        locked t (fun () ->
+            Hashtbl.remove t.sched_inflight key;
+            match outcome with
+            | Ok sum ->
+              if t.result_cache_max > 0 then begin
+                Hashtbl.replace t.sched_results key sum;
+                Queue.push key t.sched_order;
+                while
+                  Hashtbl.length t.sched_results > t.result_cache_max
+                  && not (Queue.is_empty t.sched_order)
+                do
+                  Hashtbl.remove t.sched_results (Queue.pop t.sched_order)
+                done
+              end
+            | Error _ -> ());
+        fill iv outcome
+      in
+      if Parallel.Workers.submit t.pool job then respond_sched ~computed:true (wait iv)
+      else begin
+        (* Same racy-joiner courtesy as the analyze path. *)
+        locked t (fun () -> Hashtbl.remove t.sched_inflight key);
+        fill iv (Error "request shed by admission control");
+        shed t
+      end)
 
 let stats t : Protocol.stats_payload =
   let queued = Parallel.Workers.queued t.pool in

@@ -57,6 +57,19 @@ val analyze : t -> Protocol.analyze -> Protocol.response
 (** Blocks the calling thread until the result (or shed/error
     decision) is ready. Never raises. *)
 
+val sched : t -> Protocol.sched -> Protocol.response
+(** A bulk schedulability campaign ({!Sched.Campaign}), analysed as
+    one admission-controlled pool job. Identical in-flight campaigns
+    dedup on {!Sched.Campaign.identity} and completed ones are cached
+    (bounded by [result_cache_max], like estimates). The campaign's
+    per-benchmark estimates run {e inline} on the worker that owns the
+    job — never as nested pool submissions, which could deadlock a
+    fully sched-occupied pool — but share their own in-flight table,
+    the estimate result cache, and the artifact store with concurrent
+    [analyze] traffic, so each distinct benchmark law is computed at
+    most once per daemon, whoever asks first. Blocks until the reply
+    is ready; never raises. *)
+
 val stats : t -> Protocol.stats_payload
 
 val shutdown : t -> unit

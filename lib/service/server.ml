@@ -57,6 +57,7 @@ let serve_connection scheduler fd =
         | Ok Protocol.Ping -> Protocol.Pong
         | Ok Protocol.Stats -> Protocol.Stats_reply (Scheduler.stats scheduler)
         | Ok (Protocol.Analyze a) -> Scheduler.analyze scheduler a
+        | Ok (Protocol.Sched s) -> Scheduler.sched scheduler s
       in
       respond response;
       loop ()

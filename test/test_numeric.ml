@@ -262,6 +262,37 @@ let test_probfloat_eq1 () =
   let tiny = Pf.one_minus_pow_one_minus ~p:1e-18 ~k:128 in
   Alcotest.(check bool) "no cancellation" true (tiny > 1.27e-16 && tiny < 1.29e-16)
 
+let test_probfloat_real_exponent () =
+  (* Real-exponent rate composition (the sched re-execution model):
+     1 - (1-p)^n over n ~ 1e9 jobs/hour with p ~ 1e-19 per job. The
+     naive form rounds (1-p) to 1.0 and answers 0; the expm1/log1p
+     form keeps the leading term n*p with only O((n*p)^2) bias. *)
+  let p = 1e-19 and n = 1e9 in
+  let v = Pf.one_minus_pow_one_minus_real ~p ~n in
+  let rel = Float.abs (v -. n *. p) /. (n *. p) in
+  Alcotest.(check bool) (Printf.sprintf "1-(1-1e-19)^1e9 ~ 1e-10 (rel %g)" rel)
+    true (rel < 1e-9);
+  (* The two forms are complements. *)
+  let w = Pf.pow_one_minus_real ~p ~n in
+  Alcotest.(check (float 1e-15)) "complement" 1.0 (w +. v);
+  (* Integer exponents agree with the integer implementation bit-for-bit. *)
+  List.iter
+    (fun (p, k) ->
+      Alcotest.(check (float 0.)) (Printf.sprintf "int agreement p=%g k=%d" p k)
+        (Pf.one_minus_pow_one_minus ~p ~k)
+        (Pf.one_minus_pow_one_minus_real ~p ~n:(float_of_int k)))
+    [ (1e-4, 128); (1e-18, 128); (0.5, 3); (0.0, 7); (1.0, 0); (1.0, 5) ];
+  (* Domain validation. *)
+  let rejects f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  rejects (fun () -> Pf.pow_one_minus_real ~p:(-0.1) ~n:1.0);
+  rejects (fun () -> Pf.pow_one_minus_real ~p:1.1 ~n:1.0);
+  rejects (fun () -> Pf.pow_one_minus_real ~p:0.5 ~n:(-1.0));
+  rejects (fun () -> Pf.pow_one_minus_real ~p:Float.nan ~n:1.0);
+  rejects (fun () -> Pf.pow_one_minus_real ~p:0.5 ~n:Float.infinity)
+
 let binomial_props =
   [ prop "pmf matches exact rational computation"
       QCheck2.Gen.(pair (int_range 0 12) (int_range 1 99))
@@ -325,6 +356,7 @@ let () =
         ; Alcotest.test_case "tiny p no underflow" `Quick test_pmf_tiny_p_no_underflow
         ; Alcotest.test_case "survival + cdf = 1" `Quick test_survival_cdf
         ; Alcotest.test_case "paper eq.1 values" `Quick test_probfloat_eq1
+        ; Alcotest.test_case "real exponents" `Quick test_probfloat_real_exponent
         ] )
     ; ("binomial-props", binomial_props)
     ]

@@ -96,6 +96,83 @@ let test_tiny_tail_accuracy () =
   Alcotest.(check int) "quantile at 1e-15" 0 (D.quantile d ~target:1e-15);
   Alcotest.(check int) "quantile at 1e-17" 1000 (D.quantile d ~target:1e-17)
 
+(* --- deep tails (1e-9/hour regime) ------------------------------------------- *)
+
+(* The suffix array is Kahan-summed from the top of the support down, so
+   a 1e-12-mass tail is never formed by subtracting near-equal head
+   masses. Pin that against closed forms. *)
+
+let check_rel msg ~tol expected actual =
+  let rel =
+    if expected = 0.0 then Float.abs actual
+    else Float.abs (actual -. expected) /. Float.abs expected
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.17g got %.17g (rel %g)" msg expected actual rel)
+    true (rel <= tol)
+
+let test_deep_tail_geometric () =
+  (* Truncated geometric: P(X = i) = (1-p)·p^i for i < n, residual p^n
+     at n. Closed form: P(X > i) = p^(i+1). With p = 1e-3 and n = 7 the
+     checked tails run down to 1e-21 — far below the 1e-12 regime. *)
+  let p = 1e-3 and n = 7 in
+  let pts =
+    List.init n (fun i -> (i, (1.0 -. p) *. (p ** float_of_int i))) @ [ (n, p ** float_of_int n) ]
+  in
+  let d = D.of_points pts in
+  for i = 0 to n - 1 do
+    let closed = p ** float_of_int (i + 1) in
+    check_rel (Printf.sprintf "P(X > %d)" i) ~tol:1e-12 closed (D.exceedance d i);
+    (* Quantile inverts the tail: just above the closed-form mass the
+       answer is i; at half of it the next support point is needed. *)
+    Alcotest.(check int) (Printf.sprintf "q(%g+)" closed) i
+      (D.quantile d ~target:(closed *. (1.0 +. 1e-9)));
+    Alcotest.(check int) (Printf.sprintf "q(%g/2)" closed) (min n (i + 1))
+      (D.quantile d ~target:(closed *. 0.5))
+  done;
+  feq "P(X > n)" 0.0 (D.exceedance d n)
+
+let test_deep_tail_binomial () =
+  (* n-fold power of a Bernoulli(p): the k-th strict tail is the
+     binomial survival function. p = 1e-4, n = 40: the k = 6 tail is
+     ~1.9e-21. Both convolution engines must agree with the closed form
+     to ~1e-10 relative — accumulation-order loss in the suffix sums
+     would show up orders of magnitude earlier. *)
+  let p = 1e-4 and n = 40 in
+  let bern = D.of_points [ (0, 1.0 -. p); (1, p) ] in
+  List.iter
+    (fun impl ->
+      let d = D.convolve_pow ~impl bern n in
+      Alcotest.(check int) "support size" (n + 1) (D.size d);
+      for k = 0 to 6 do
+        check_rel (Printf.sprintf "P(X > %d)" k) ~tol:1e-10
+          (Numeric.Binomial.survival ~n ~p k)
+          (D.exceedance d k)
+      done)
+    [ `Merge; `Reference ]
+
+let test_deep_tail_mixture_shift () =
+  (* The re-execution model's building blocks must not disturb deep
+     tails: [shift] reuses the suffix array bit-for-bit, and a
+     sub-probability [mixture] carries a 1e-15 residual exactly. *)
+  let p = 1e-3 and n = 7 in
+  let pts =
+    List.init n (fun i -> (i, (1.0 -. p) *. (p ** float_of_int i))) @ [ (n, p ** float_of_int n) ]
+  in
+  let d = D.of_points pts in
+  let s = D.shift 1000 d in
+  for i = 0 to n do
+    Alcotest.(check (float 0.)) (Printf.sprintf "shift tail %d" i)
+      (D.exceedance d i) (D.exceedance s (i + 1000))
+  done;
+  let w = 1e-15 in
+  let m = D.mixture [ (1.0 -. w, D.point 0); (w, D.point 10) ] in
+  check_rel "mixture deep component" ~tol:1e-12 w (D.exceedance m 9);
+  (* Sub-probability parts keep their mass deficit (the residual rides
+     outside the mixture in the sched model). *)
+  let sub = D.mixture [ (0.5, D.point 3) ] in
+  feq "sub-probability mass" 0.5 (D.total_mass sub)
+
 (* --- conservative capping --------------------------------------------------- *)
 
 let test_capping_is_conservative () =
@@ -347,6 +424,11 @@ let () =
         ; Alcotest.test_case "tiny tails" `Quick test_tiny_tail_accuracy
         ; Alcotest.test_case "binary search = scan" `Quick test_quantile_binary_matches_scan
         ; Alcotest.test_case "convention" `Quick test_exceedance_convention
+        ] )
+    ; ( "deep tails",
+        [ Alcotest.test_case "geometric closed form" `Quick test_deep_tail_geometric
+        ; Alcotest.test_case "binomial closed form" `Quick test_deep_tail_binomial
+        ; Alcotest.test_case "mixture and shift" `Quick test_deep_tail_mixture_shift
         ] )
     ; ( "capping",
         [ Alcotest.test_case "conservative" `Quick test_capping_is_conservative

@@ -163,6 +163,55 @@ let test_protocol_roundtrip () =
       | Error e -> Alcotest.failf "response decode: %s" e)
     resps
 
+let test_protocol_sched_roundtrip () =
+  let reqs =
+    [ Protocol.Sched Protocol.default_sched;
+      Protocol.Sched
+        { Protocol.default_sched with
+          Protocol.count = 1000;
+          n_tasks = 6;
+          utilisation = 1.8;
+          policy = Sched.Analysis.Edf;
+          reexec = 2;
+          k_max = 5;
+          targets = [ 1e-3; 1e-6 ];
+          s_pfail = 1e-5;
+          s_mechanism = Pwcet.Mechanism.Reliable_way;
+          s_sets = 8;
+          s_ways = 2;
+          benchmarks = [ "fibcall"; "bs" ] } ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.request_of_string (Protocol.request_to_string req) with
+      | Ok req' -> check "sched request roundtrip" true (req = req')
+      | Error e -> Alcotest.failf "sched request decode: %s" e)
+    reqs;
+  let resp =
+    Protocol.Sched_reply
+      { Protocol.analyzed = 1000; passes = 412; degraded = 3;
+        digest = "cbb4b8676f3b72b64f4a03fa829b0244"; sched_computed = true }
+  in
+  (match Protocol.response_of_string (Protocol.response_to_string resp) with
+  | Ok resp' -> check "sched reply roundtrip" true (resp = resp')
+  | Error e -> Alcotest.failf "sched reply decode: %s" e);
+  (* Hostile sched fields are rejected by the decoder, not the pool. *)
+  List.iter
+    (fun s ->
+      match Protocol.request_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid sched request %s" s)
+    [ "{\"op\":\"sched\",\"count\":0}";
+      "{\"op\":\"sched\",\"n_tasks\":0}";
+      "{\"op\":\"sched\",\"utilisation\":0}";
+      "{\"op\":\"sched\",\"policy\":\"fifo\"}";
+      "{\"op\":\"sched\",\"reexec\":-1}";
+      "{\"op\":\"sched\",\"targets\":[0.5,2.0]}" ];
+  (* A minimal sched request takes the campaign defaults. *)
+  match Protocol.request_of_string "{\"op\":\"sched\"}" with
+  | Ok (Protocol.Sched s) -> check "default sched" true (s = Protocol.default_sched)
+  | Ok _ | Error _ -> Alcotest.fail "minimal sched request rejected"
+
 let test_protocol_validation () =
   let bad =
     [ "{}";
@@ -386,6 +435,97 @@ let test_overload_shedding () =
       | Ok (Protocol.Result _) -> ()
       | _ -> Alcotest.fail "daemon did not recover after shedding")
 
+(* The retry satellite: a shed request reissued with jittered
+   exponential backoff must eventually succeed once the queue drains —
+   the daemon said "later", and the client now knows how to come back
+   later instead of giving up (the old behaviour, pinned above by
+   [test_overload_shedding]'s plain requests). *)
+let test_retry_after_shed () =
+  with_server ~domains:1 ~queue_max:1 (fun socket _scheduler ->
+      let slow i =
+        { (Protocol.default_analyze ~bench:"fibcall") with
+          Protocol.delay_ms = 600;
+          pfail = 1e-4 +. (1e-6 *. float_of_int i) }
+      in
+      (* Fill the single domain, then the single queue slot — staggered,
+         so the first job is already running when the second queues (two
+         simultaneous submissions could race each other into the queue
+         and shed one occupant instead of the probe). *)
+      let outcomes = Array.make 2 None in
+      let occupant i =
+        Thread.create
+          (fun () -> outcomes.(i) <- Some (Client.request ~socket (Protocol.Analyze (slow i))))
+          ()
+      in
+      let first = occupant 0 in
+      Thread.delay 0.2;
+      let second = occupant 1 in
+      let occupants = [ first; second ] in
+      Thread.delay 0.2;
+      let third = Protocol.Analyze (slow 2) in
+      (* Saturated: the plain client is shed immediately... *)
+      (match Client.request ~socket third with
+      | Ok (Protocol.Overloaded _) -> ()
+      | r ->
+        Alcotest.failf "expected a shed, got %s"
+          (match r with Ok resp -> Protocol.response_to_string resp | Error e -> e));
+      (* ...but the retrying client outlives the congestion. Backoff
+         sleeps alone sum past the ~1.2 s drain well within 7 attempts. *)
+      (match Client.request_with_retry ~socket ~retries:7 ~base_ms:150 ~seed:9 third with
+      | Ok (Protocol.Result _) -> ()
+      | Ok other ->
+        Alcotest.failf "retry ended in %s" (Protocol.response_to_string other)
+      | Error e -> Alcotest.failf "retry transport failure: %s" e);
+      List.iter Thread.join occupants;
+      Array.iter
+        (fun o ->
+          match o with
+          | Some (Ok (Protocol.Result _)) -> ()
+          | _ -> Alcotest.fail "an occupant did not hold its slot")
+        outcomes;
+      let s = daemon_stats ~socket in
+      check "sheds were counted" true (s.Protocol.overloaded >= 1))
+
+(* Bulk sched campaigns: the daemon's digest is the direct library
+   run's digest, bit for bit; an identical repeat is served from the
+   campaign cache without recomputing. *)
+let test_sched_bulk_identity () =
+  let sched_req =
+    { Protocol.default_sched with
+      Protocol.count = 4;
+      n_tasks = 2;
+      utilisation = 0.6;
+      seed = 11;
+      s_sets = 8;
+      s_ways = 2;
+      benchmarks = [ "fibcall"; "bs" ] }
+  in
+  let direct =
+    match
+      Sched.Campaign.make ~count:4 ~n_tasks:2 ~utilisation:0.6 ~seed:11 ~sets:8 ~ways:2
+        ~benchmarks:[ "fibcall"; "bs" ] ()
+    with
+    | Ok spec -> Sched.Campaign.run ~jobs:1 spec
+    | Error e -> Alcotest.failf "direct spec rejected: %s" e
+  in
+  with_server (fun socket _scheduler ->
+      let ask () =
+        match Client.request ~socket (Protocol.Sched sched_req) with
+        | Ok (Protocol.Sched_reply r) -> r
+        | Ok other ->
+          Alcotest.failf "unexpected sched response: %s" (Protocol.response_to_string other)
+        | Error e -> Alcotest.failf "sched request failed: %s" e
+      in
+      let first = ask () in
+      check_int "all sets analysed" 4 first.Protocol.analyzed;
+      check "leader computed" true first.Protocol.sched_computed;
+      check_str "daemon digest = direct run digest" direct.Sched.Campaign.digest
+        first.Protocol.digest;
+      check_int "no degraded sets" 0 first.Protocol.degraded;
+      let again = ask () in
+      check "repeat served from the campaign cache" false again.Protocol.sched_computed;
+      check_str "cached digest identical" first.Protocol.digest again.Protocol.digest)
+
 (* Budgeted requests: an expired-scale deadline degrades (never fails),
    bypasses dedup, and leaves no artifact behind. *)
 let test_budgeted_request_degrades () =
@@ -505,6 +645,7 @@ let () =
         ] )
     ; ( "protocol",
         [ Alcotest.test_case "roundtrip" `Quick test_protocol_roundtrip
+        ; Alcotest.test_case "sched roundtrip" `Quick test_protocol_sched_roundtrip
         ; Alcotest.test_case "validation" `Quick test_protocol_validation
         ] )
     ; ( "daemon",
@@ -514,6 +655,8 @@ let () =
             test_dedup_single_computation
         ; Alcotest.test_case "dedup across targets" `Quick test_dedup_across_targets
         ; Alcotest.test_case "overload shedding" `Quick test_overload_shedding
+        ; Alcotest.test_case "retry after shed" `Quick test_retry_after_shed
+        ; Alcotest.test_case "sched bulk identity" `Quick test_sched_bulk_identity
         ; Alcotest.test_case "budgeted request degrades" `Quick test_budgeted_request_degrades
         ; Alcotest.test_case "result cache" `Quick test_result_cache
         ; Alcotest.test_case "warm requests consistent" `Quick test_warm_requests_consistent
