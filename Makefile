@@ -23,6 +23,7 @@ check:
 	sh scripts/check_service.sh ./_build/default/bin/pwcet_tool.exe
 	sh scripts/check_sim.sh ./_build/default/bin/pwcet_tool.exe
 	sh scripts/check_sched.sh ./_build/default/bin/pwcet_tool.exe
+	sh scripts/check_grid.sh ./_build/default/bin/pwcet_tool.exe
 
 test: check
 
@@ -51,8 +52,10 @@ bench:
 # (BENCH_store.json), the analysis daemon's cold/warm/concurrent
 # latencies plus live dedup proof (BENCH_service.json), the batched
 # fault-injection emulator's speedup + million-sample campaign results
-# (BENCH_sim.json), and the schedulability campaign's batched-vs-
-# independent law-reuse speedup (BENCH_sched.json).
+# (BENCH_sim.json), the schedulability campaign's batched-vs-
+# independent law-reuse speedup (BENCH_sched.json), and the one-pass
+# grid engine's structural-sharing speedup (BENCH_grid.json). Every
+# emitted file is then gated on carrying schema_version + git_commit.
 bench-json:
 	dune exec bench/main.exe -- --only fmm-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only dist-json $(if $(JOBS),-j $(JOBS))
@@ -60,6 +63,8 @@ bench-json:
 	dune exec bench/main.exe -- --only service-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only sim-json $(if $(JOBS),-j $(JOBS))
 	dune exec bench/main.exe -- --only sched-json $(if $(JOBS),-j $(JOBS))
+	dune exec bench/main.exe -- --only grid-json $(if $(JOBS),-j $(JOBS))
+	sh scripts/check_bench_json.sh
 
 clean:
 	dune clean

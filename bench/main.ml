@@ -19,6 +19,7 @@
      service-json analysis daemon cold/warm/concurrent -> BENCH_service.json
      sim-json     batched fault-injection campaigns + speedup -> BENCH_sim.json
      sched-json   sched campaign batched vs independent -> BENCH_sched.json
+     grid-json    one-pass grid vs independent per-cell -> BENCH_grid.json
      bechamel     timing of each analysis stage *)
 
 let config = Cache.Config.paper_default
@@ -49,9 +50,12 @@ let jobs =
   scan (Array.to_list Sys.argv)
 
 (* --only NAME: run a single section (the full harness regenerates every
-   figure and takes minutes). Names: equations figure1 figure3 figure4
-   geometry ablations future-work data-cache fmm-json dist-json
-   store-json service-json sim-json sched-json bechamel. *)
+   figure and takes minutes). *)
+let known_sections =
+  [ "equations"; "figure1"; "figure3"; "figure4"; "geometry"; "ablations"; "future-work";
+    "data-cache"; "fmm-json"; "dist-json"; "store-json"; "service-json"; "sched-json";
+    "sim-json"; "grid-json"; "bechamel" ]
+
 let only =
   let rec scan = function
     | "--only" :: v :: _ -> Some v
@@ -59,6 +63,16 @@ let only =
     | [] -> None
   in
   scan (Array.to_list Sys.argv)
+
+(* An unknown --only name would silently run nothing — a CI pipeline
+   grepping for "wrote BENCH_x.json" deserves a hard failure instead. *)
+let () =
+  match only with
+  | Some w when not (List.mem w known_sections) ->
+    Printf.eprintf "bench: unknown section %S (expected one of: %s)\n" w
+      (String.concat ", " known_sections);
+    exit 2
+  | _ -> ()
 
 let wanted name = match only with None -> true | Some w -> String.equal w name
 
@@ -434,6 +448,7 @@ let section_fmm_json () =
   Printf.fprintf oc
     "{\n\
     \  \"schema_version\": 1,\n\
+    \  \"git_commit\": %S,\n\
     \  \"benchmark\": \"adpcm\",\n\
     \  \"geometry\": { \"sets\": 64, \"ways\": 4, \"line_bytes\": 16 },\n\
     \  \"mechanism\": \"no_protection\",\n\
@@ -447,7 +462,8 @@ let section_fmm_json () =
     \  \"speedup_sliced_jobs_vs_naive\": %.3f,\n\
     \  \"tables_identical\": %b\n\
      }\n"
-    naive_s sliced_s n_jobs sliced_jobs_s speedup (naive_s /. sliced_jobs_s) identical;
+    (git_commit ()) naive_s sliced_s n_jobs sliced_jobs_s speedup (naive_s /. sliced_jobs_s)
+    identical;
   close_out oc;
   Printf.printf "  wrote BENCH_fmm.json\n"
 
@@ -927,6 +943,143 @@ let section_sched_json () =
 
 (* --- Bechamel timing ------------------------------------------------------------ *)
 
+(* --- grid-json --------------------------------------------------------------- *)
+
+(* The cross-configuration grid engine's claim, quantified: one pass
+   over mechanism x geometry x pfail shares the per-(program, geometry)
+   analysis context, CHMC fixpoints, fault-free WCET and the
+   mechanism-independent FMM row prefixes, so the whole matrix costs a
+   little more than one full analysis per geometry instead of one per
+   cell. Run single-threaded on purpose — the container is one core,
+   so the reported speedup is pure structural sharing, not
+   parallelism. Every cell is asserted bit-identical to an independent
+   end-to-end estimate and the matrix digest identical for jobs 1/2/4
+   before any timing is reported (acceptance: >= 5x on the 3-mechanism
+   x 2-geometry x 8-pfail grid). *)
+let section_grid_json () =
+  banner "One-pass grid vs independent per-cell estimates -> BENCH_grid.json";
+  let bench = "adpcm" in
+  let entry = Option.get (Benchmarks.Registry.find bench) in
+  let program = (Minic.Compile.compile entry.Benchmarks.Registry.program).Minic.Compile.program in
+  let geometries = [ (16, 4, 16); (64, 4, 16) ] in
+  let configs =
+    List.map (fun (sets, ways, line) -> Cache.Config.make ~sets ~ways ~line_bytes:line ()) geometries
+  in
+  let pfails = [ 1e-8; 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1 ] in
+  let grid_target = 1e-15 in
+  let spec =
+    { Grid.benchmarks = [ (bench, program) ];
+      configs;
+      mechanisms = Pwcet.Mechanism.all;
+      pfail_grid = pfails;
+      targets = [ grid_target ];
+      engine = `Path;
+      exact = false;
+      impl = `Sliced }
+  in
+  (* Best of three runs, after one warm-up that also yields the data. *)
+  let time f =
+    let result = f () in
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (result, !best)
+  in
+  let one_pass, one_pass_s = time (fun () -> Grid.run ~jobs:1 spec) in
+  let digest = Grid.digest one_pass in
+  List.iter
+    (fun jobs ->
+      if Grid.digest (Grid.run ~jobs spec) <> digest then
+        failwith (Printf.sprintf "grid-json: jobs=%d digest differs from jobs=1" jobs))
+    [ 2; 4 ];
+  (* The baseline the grid replaces: every cell prepared and estimated
+     from scratch, exactly what N independent analyze runs would do. *)
+  let independents, independent_s =
+    time (fun () ->
+        List.map
+          (fun (point : Grid.point) ->
+            let task = Pwcet.Estimator.prepare ~program ~config:point.Grid.config () in
+            ( point,
+              task,
+              Pwcet.Estimator.estimate task ~pfail:point.Grid.pfail
+                ~mechanism:point.Grid.mechanism ~jobs:1 () ))
+          (Grid.points spec))
+  in
+  List.iter2
+    (fun (point, outcome) (point', task, est) ->
+      if Grid.point_key point <> Grid.point_key point' then
+        failwith "grid-json: grid and independent cell orders diverge";
+      match outcome with
+      | Error e ->
+        failwith
+          (Printf.sprintf "grid-json: cell %s failed: %s" (Grid.point_key point)
+             (Robust.Pwcet_error.to_string e))
+      | Ok cell ->
+        let same =
+          cell.Grid.wcet_ff = Pwcet.Estimator.fault_free_wcet task
+          && cell.Grid.pbf = est.Pwcet.Estimator.pbf
+          && List.for_all
+               (fun (t, q) -> Pwcet.Estimator.pwcet est ~target:t = q)
+               cell.Grid.pwcets
+          && Robust.Rung.equal cell.Grid.rung (Pwcet.Estimator.worst_rung est)
+        in
+        if not same then
+          failwith
+            (Printf.sprintf "grid-json: cell %s differs from its independent estimate"
+               (Grid.point_key point)))
+    one_pass independents;
+  let cells = List.length one_pass in
+  let speedup = independent_s /. one_pass_s in
+  Printf.printf "  cells                : %d (%s x %d geometries x %d mechanisms x %d pfails)\n"
+    cells bench (List.length configs)
+    (List.length spec.Grid.mechanisms)
+    (List.length pfails);
+  Printf.printf "  one-pass  jobs=1     : %8.3f s\n" one_pass_s;
+  Printf.printf "  independent per-cell : %8.3f s\n" independent_s;
+  Printf.printf "  speedup              : %.2fx\n" speedup;
+  Printf.printf "  digest (jobs 1=2=4)  : %s\n" digest;
+  Printf.printf "  cells identical to independent estimates: true\n";
+  if speedup < 5.0 then
+    failwith
+      (Printf.sprintf "grid-json: one-pass speedup %.2fx is below the 5x acceptance floor"
+         speedup);
+  let oc = open_out "BENCH_grid.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema_version\": 1,\n\
+    \  \"git_commit\": %S,\n\
+    \  \"benchmark\": %S,\n\
+    \  \"geometries\": [%s],\n\
+    \  \"mechanisms\": [%s],\n\
+    \  \"pfail_points\": %d,\n\
+    \  \"target\": %.17g,\n\
+    \  \"cells\": %d,\n\
+    \  \"runs\": \"best of 3\",\n\
+    \  \"one_pass_jobs1_s\": %.6f,\n\
+    \  \"independent_per_cell_s\": %.6f,\n\
+    \  \"speedup_one_pass_vs_independent\": %.3f,\n\
+    \  \"cells_identical\": true,\n\
+    \  \"jobs_digests_identical\": true,\n\
+    \  \"digest\": %S\n\
+     }\n"
+    (git_commit ()) bench
+    (String.concat ", "
+       (List.map
+          (fun (sets, ways, line) ->
+            Printf.sprintf "{ \"sets\": %d, \"ways\": %d, \"line_bytes\": %d }" sets ways line)
+          geometries))
+    (String.concat ", "
+       (List.map
+          (fun m -> Printf.sprintf "%S" (Pwcet.Mechanism.short_name m))
+          spec.Grid.mechanisms))
+    (List.length pfails) grid_target cells one_pass_s independent_s speedup digest;
+  close_out oc;
+  Printf.printf "  wrote BENCH_grid.json\n"
+
 (* --- sim-json ---------------------------------------------------------------- *)
 
 (* The fault-injection emulator's evaluation artifact: the
@@ -1118,5 +1271,6 @@ let () =
   if wanted "service-json" then section_service_json ();
   if wanted "sched-json" then section_sched_json ();
   if wanted "sim-json" then section_sim_json ();
+  if wanted "grid-json" then section_grid_json ();
   if wanted "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

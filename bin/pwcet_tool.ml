@@ -5,6 +5,7 @@
      disasm <bench>           disassembly of a compiled benchmark
      analyze <bench>          WCET / pWCET analysis of one benchmark
      sweep <bench>            pWCET across a pfail grid, one analysis per mechanism
+     grid [bench...]          one-pass benchmark x geometry x mechanism x pfail matrix
      suite                    the Fig. 4 table over the whole suite
      simulate <bench>         Monte-Carlo faulty simulation vs the bound
      validate [bench...]      batched fault-injection campaigns vs the analytic curve
@@ -447,6 +448,14 @@ let sweep_point_of_payload payload =
 let sweep_cmd =
   let run name grid targets sets ways line engine exact jobs impl ilp_nodes timeout mechanisms
       json_file verify cache_dir no_cache resume crash_after =
+    if grid = [] then begin
+      Printf.eprintf "sweep: --pfail-grid must name at least one pfail point\n";
+      exit exit_invalid_input
+    end;
+    if targets = [] then begin
+      Printf.eprintf "sweep: --targets must name at least one exceedance target\n";
+      exit exit_invalid_input
+    end;
     if resume && cache_dir = None then begin
       Printf.eprintf "sweep: --resume requires --cache-dir (the journal lives there)\n";
       exit exit_invalid_input
@@ -706,6 +715,319 @@ let sweep_cmd =
     Term.(const run $ bench_arg $ grid_arg $ targets_arg $ sets_arg $ ways_arg $ line_arg
           $ engine_arg $ exact_arg $ jobs_arg $ impl_arg $ ilp_nodes_arg $ timeout_arg
           $ mechanism_arg $ json_arg $ verify_arg $ cache_dir_arg $ no_cache_arg $ resume_arg
+          $ crash_after_arg)
+
+(* --- grid ------------------------------------------------------------------- *)
+
+(* Axis lists are validated at the CLI boundary with exit 2: an empty
+   axis would silently evaluate nothing, and an unknown mechanism or a
+   malformed geometry would otherwise surface as a confusing mid-run
+   failure. *)
+let mechanisms_of ~label names =
+  if names = [] then begin
+    Printf.eprintf "%s: --mechanisms must name at least one mechanism (none, srb, rw, all)\n"
+      label;
+    exit exit_invalid_input
+  end;
+  List.concat_map
+    (fun name ->
+      if name = "all" then Pwcet.Mechanism.all
+      else
+        match Pwcet.Mechanism.of_string name with
+        | Some m -> [ m ]
+        | None ->
+          Printf.eprintf "%s: unknown mechanism %S (expected none, srb, rw or all)\n" label
+            name;
+          exit exit_invalid_input)
+    names
+
+(* A geometry is SETSxWAYS or SETSxWAYSxLINE_BYTES, e.g. 16x4 or 8x2x32. *)
+let geometries_of ~label specs =
+  if specs = [] then begin
+    Printf.eprintf "%s: --geometries must name at least one geometry (SETSxWAYS[xLINE])\n"
+      label;
+    exit exit_invalid_input
+  end;
+  List.map
+    (fun spec ->
+      let bad () =
+        Printf.eprintf "%s: malformed geometry %S (expected SETSxWAYS[xLINE], e.g. 16x4x16)\n"
+          label spec;
+        exit exit_invalid_input
+      in
+      match List.map int_of_string_opt (String.split_on_char 'x' spec) with
+      | [ Some sets; Some ways ] -> config_of sets ways 16
+      | [ Some sets; Some ways; Some line ] -> config_of sets ways line
+      | _ -> bad ())
+    specs
+
+let grid_cmd =
+  let run benches geometries mechanisms grid targets engine exact jobs impl ilp_nodes timeout
+      json_file verify cache_dir no_cache resume crash_after =
+    let label = "grid" in
+    if benches = [] then begin
+      Printf.eprintf "grid: at least one benchmark (or mini-C file) is required\n";
+      exit exit_invalid_input
+    end;
+    if grid = [] then begin
+      Printf.eprintf "grid: --pfail-grid must name at least one pfail point\n";
+      exit exit_invalid_input
+    end;
+    if targets = [] then begin
+      Printf.eprintf "grid: --targets must name at least one exceedance target\n";
+      exit exit_invalid_input
+    end;
+    let mechanisms = mechanisms_of ~label mechanisms in
+    let configs = geometries_of ~label geometries in
+    if resume && cache_dir = None then begin
+      Printf.eprintf "grid: --resume requires --cache-dir (the journal lives there)\n";
+      exit exit_invalid_input
+    end;
+    if resume && verify then begin
+      Printf.eprintf "grid: --resume is incompatible with --verify (replayed cells have no \
+                      distribution to cross-check); rerun the verification without --resume\n";
+      exit exit_invalid_input
+    end;
+    if resume && (ilp_nodes <> None || timeout <> None) then begin
+      Printf.eprintf "grid: --resume is incompatible with budget options (budgeted results \
+                      depend on wall-clock and are never journalled)\n";
+      exit exit_invalid_input
+    end;
+    install_cancel_handlers ();
+    let budget = budget_of ilp_nodes timeout in
+    let store = store_of cache_dir no_cache in
+    let benchmarks =
+      List.map
+        (fun name ->
+          let label, compiled = compile_target name in
+          (label, compiled.Minic.Compile.program))
+        benches
+    in
+    let spec =
+      { Grid.benchmarks; configs; mechanisms; pfail_grid = grid; targets; engine; exact; impl }
+    in
+    let run_key = Store.Artifact.key (("run", "grid") :: Grid.identity spec) in
+    let journal =
+      match store with
+      | Some st when budget = None ->
+        let path = Store.Artifact.journal_path st ~run_key in
+        if resume then
+          let w, units = Store.Journal.resume ~path ~run_key in
+          (Some (w, path), units)
+        else (Some (Store.Journal.create ~path ~run_key, path), [])
+      | _ -> (None, [])
+    in
+    let journal, replayed = journal in
+    let writer = Option.map fst journal in
+    let completed = Hashtbl.create 64 in
+    List.iter
+      (fun payload ->
+        match Grid.cell_of_wire payload with
+        | Ok cell -> Hashtbl.replace completed (Grid.point_key cell.Grid.point) cell
+        | Error _ -> ())
+      replayed;
+    if Hashtbl.length completed > 0 then
+      Printf.eprintf "grid: resuming: %d completed cell(s) replayed from the journal\n"
+        (Hashtbl.length completed);
+    bail_if_cancelled ?journal:writer "grid";
+    (* [on_cell] runs on worker domains in completion order; the
+       journal writer is serialised under a mutex, and the crash hook
+       fires under the same lock so the append count is exact. *)
+    let append_lock = Mutex.create () in
+    let appended = ref 0 in
+    let on_cell cell =
+      match journal with
+      | None -> ()
+      | Some (w, path) ->
+        Mutex.lock append_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock append_lock)
+          (fun () ->
+            Store.Journal.append w (Grid.cell_to_wire cell);
+            incr appended;
+            maybe_crash crash_after ~appended:!appended ~journal_path:path)
+    in
+    let results =
+      Grid.run ~jobs ?budget ?store
+        ~skip:(fun point -> Hashtbl.find_opt completed (Grid.point_key point))
+        ~on_cell spec
+    in
+    Option.iter Store.Journal.close writer;
+    bail_if_cancelled "grid";
+    let failures =
+      List.filter_map
+        (fun (point, outcome) ->
+          match outcome with Ok _ -> None | Error e -> Some (point, e))
+        results
+    in
+    List.iter
+      (fun (point, e) ->
+        Printf.eprintf "grid: cell %s failed: %s\n" (Grid.point_key point)
+          (Robust.Pwcet_error.to_string e))
+      failures;
+    (* The comparison matrix, one panel per (benchmark, geometry). *)
+    let last_panel = ref None in
+    List.iter
+      (fun (point, outcome) ->
+        match outcome with
+        | Error _ -> ()
+        | Ok cell ->
+          let panel = (point.Grid.bench, point.Grid.config) in
+          if !last_panel <> Some panel then begin
+            last_panel := Some panel;
+            Printf.printf "\nbenchmark %-14s cache %s   fault-free WCET %d\n"
+              point.Grid.bench
+              (Format.asprintf "%a" Cache.Config.pp point.Grid.config)
+              cell.Grid.wcet_ff;
+            Printf.printf "  %-6s %-12s" "mech" "pfail";
+            List.iter (fun t -> Printf.printf "  pWCET(%g)" t) targets;
+            print_newline ()
+          end;
+          Printf.printf "  %-6s %-12g"
+            (Pwcet.Mechanism.short_name point.Grid.mechanism)
+            point.Grid.pfail;
+          List.iter (fun (_, q) -> Printf.printf "  %10d" q) cell.Grid.pwcets;
+          Printf.printf "%s\n" (rung_tag cell.Grid.rung))
+      results;
+    let digest = Grid.digest results in
+    Printf.printf "\ncells  : %d (%d replayed, %d failed)\n" (List.length results)
+      (Hashtbl.length completed) (List.length failures);
+    Printf.printf "digest : %s\n" digest;
+    (match json_file with
+    | None -> ()
+    | Some file ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{\n  \"schema_version\": 1,\n";
+      Printf.bprintf buf "  \"targets\": [%s],\n"
+        (String.concat ", " (List.map (Printf.sprintf "%.17g") targets));
+      Printf.bprintf buf "  \"digest\": %S,\n" digest;
+      Buffer.add_string buf "  \"cells\": [\n";
+      let ok_cells =
+        List.filter_map
+          (fun (_, outcome) -> match outcome with Ok c -> Some c | Error _ -> None)
+          results
+      in
+      List.iteri
+        (fun i cell ->
+          let cfg = cell.Grid.point.Grid.config in
+          Printf.bprintf buf
+            "    { \"bench\": %S, \"geometry\": { \"sets\": %d, \"ways\": %d, \
+             \"line_bytes\": %d },\n      \"mechanism\": %S, \"pfail\": %.17g, \"pbf\": \
+             %.17g, \"wcet_ff\": %d,\n      \"pwcet\": [%s], \"rung\": %S, \
+             \"degraded_fmm_cells\": %d }%s\n"
+            cell.Grid.point.Grid.bench cfg.Cache.Config.sets cfg.Cache.Config.ways
+            cfg.Cache.Config.line_bytes
+            (Pwcet.Mechanism.short_name cell.Grid.point.Grid.mechanism)
+            cell.Grid.point.Grid.pfail cell.Grid.pbf cell.Grid.wcet_ff
+            (String.concat ", " (List.map (fun (_, q) -> string_of_int q) cell.Grid.pwcets))
+            (Robust.Rung.to_string cell.Grid.rung)
+            cell.Grid.degraded
+            (if i = List.length ok_cells - 1 then "" else ","))
+        ok_cells;
+      Buffer.add_string buf "  ]\n}\n";
+      let oc = open_out file in
+      Buffer.output_buffer oc buf;
+      close_out oc;
+      Printf.printf "wrote %s\n" file);
+    if verify then begin
+      (* Re-run every cell as an independent end-to-end estimate —
+         deliberately WITHOUT the store — and demand equal quantiles,
+         pbf and provenance. The one-pass sharing must be a pure
+         refactoring of the computation, never an approximation. *)
+      let tasks = Hashtbl.create 16 in
+      List.iter
+        (fun (name, program) ->
+          List.iter
+            (fun config ->
+              Hashtbl.replace tasks (name, config)
+                (Pwcet.Estimator.prepare ~program ~config ~engine ~exact ()))
+            configs)
+        benchmarks;
+      let mismatches = ref 0 in
+      List.iter
+        (fun (point, outcome) ->
+          match outcome with
+          | Error _ -> incr mismatches
+          | Ok cell ->
+            let task = Hashtbl.find tasks (point.Grid.bench, point.Grid.config) in
+            let independent =
+              Pwcet.Estimator.estimate task ~pfail:point.Grid.pfail
+                ~mechanism:point.Grid.mechanism ~engine ~exact ~jobs ~impl ()
+            in
+            let same =
+              Pwcet.Estimator.fault_free_wcet task = cell.Grid.wcet_ff
+              && independent.Pwcet.Estimator.pbf = cell.Grid.pbf
+              && List.for_all
+                   (fun (target, q) -> Pwcet.Estimator.pwcet independent ~target = q)
+                   cell.Grid.pwcets
+              && Robust.Rung.equal (Pwcet.Estimator.worst_rung independent) cell.Grid.rung
+            in
+            if not same then begin
+              incr mismatches;
+              Printf.eprintf "verify FAILED: cell %s differs from an independent estimate\n"
+                (Grid.point_key point)
+            end)
+        results;
+      if !mismatches > 0 then exit 1
+      else
+        Printf.printf "verify : all %d cells bit-identical to independent estimates\n"
+          (List.length results)
+    end;
+    report_store_stats store;
+    if failures <> [] then exit 1
+  in
+  let benches_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"TARGET"
+             ~doc:"Benchmark names or mini-C source files (at least one).")
+  in
+  let geometries_arg =
+    Arg.(value & opt (list ~sep:',' string) [ "16x4x16" ]
+         & info [ "geometries" ] ~docv:"SxW[xL],..."
+             ~doc:"Comma-separated cache geometries, each SETSxWAYS or SETSxWAYSxLINE_BYTES \
+                   (default 16x4x16, the paper's). The per-geometry analysis context, CHMC \
+                   fixpoints and fault-free WCET are shared across all mechanisms and pfail \
+                   points at that geometry.")
+  in
+  let mechanisms_arg =
+    Arg.(value & opt (list ~sep:',' string) [ "all" ]
+         & info [ "mechanisms" ] ~docv:"MECH,..."
+             ~doc:"Comma-separated mechanisms: none, srb, rw, or all (default). All \
+                   mechanisms at a geometry share one set of degraded-classification \
+                   fixpoints; unknown names are rejected with exit 2.")
+  in
+  let grid_arg =
+    Arg.(value & opt (list ~sep:',' prob_conv) [ 1e-6; 1e-5; 1e-4; 1e-3 ]
+         & info [ "pfail-grid" ] ~docv:"P,P,..."
+             ~doc:"Comma-separated pfail grid; only the binomial reweighting, convolution \
+                   and quantile read-off are redone per point.")
+  in
+  let targets_arg =
+    Arg.(value & opt (list ~sep:',' prob_conv) [ default_target ]
+         & info [ "targets" ] ~docv:"P,P,..."
+             ~doc:"Comma-separated exceedance targets; one pWCET column per target.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the machine-readable comparison matrix as JSON to $(docv).")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Cross-check every grid cell against an independent end-to-end estimate \
+                   (equal pWCET quantiles, pbf and degradation provenance); exit 1 on any \
+                   mismatch.")
+  in
+  Cmd.v
+    (cmd_info "grid"
+       ~doc:"One-pass benchmark x geometry x mechanism x pfail comparison grid: per-geometry \
+             analysis stages are computed once and shared, cells are scheduled on a \
+             work-stealing pool, and the matrix is bit-identical to independent per-cell \
+             runs for every --jobs value")
+    Term.(const run $ benches_arg $ geometries_arg $ mechanisms_arg $ grid_arg $ targets_arg
+          $ engine_arg $ exact_arg $ jobs_arg $ impl_arg $ ilp_nodes_arg $ timeout_arg
+          $ json_arg $ verify_arg $ cache_dir_arg $ no_cache_arg $ resume_arg
           $ crash_after_arg)
 
 (* --- suite ------------------------------------------------------------------ *)
@@ -1779,7 +2101,8 @@ let sched_request_of_spec (spec : Sched.Campaign.spec) : Service.Protocol.sched 
 
 let client_cmd =
   let run socket op bench pfail target mech sets ways line engine exact impl timeout_ms
-      delay_ms bench_load clients requests retries retry_base_ms (spec : Sched.Campaign.spec) =
+      delay_ms bench_load clients requests retries retry_base_ms (spec : Sched.Campaign.spec)
+      grid_benchmarks grid_geometries grid_mechanisms grid_pfails grid_targets =
     if retries < 0 || retry_base_ms < 0 then begin
       Printf.eprintf "client: --retries and --retry-base-ms must be non-negative\n";
       exit exit_invalid_input
@@ -1845,6 +2168,52 @@ let client_cmd =
         exit 1
       | Ok _ -> fail_transport "unexpected response to sched"
       | Error msg -> fail_transport msg)
+    | `Grid -> (
+      let benchmarks =
+        match (grid_benchmarks, bench) with
+        | [], None ->
+          Printf.eprintf
+            "client: grid needs a TARGET benchmark name or --grid-benchmarks\n";
+          exit exit_invalid_input
+        | [], Some b -> [ b ]
+        | bs, _ -> bs
+      in
+      if grid_pfails = [] then begin
+        Printf.eprintf "client: --grid-pfails must name at least one pfail point\n";
+        exit exit_invalid_input
+      end;
+      if grid_targets = [] then begin
+        Printf.eprintf "client: --grid-targets must name at least one exceedance target\n";
+        exit exit_invalid_input
+      end;
+      let req =
+        { (Service.Protocol.default_grid ~benchmarks) with
+          Service.Protocol.g_geometries =
+            List.map
+              (fun c ->
+                (c.Cache.Config.sets, c.Cache.Config.ways, c.Cache.Config.line_bytes))
+              (geometries_of ~label:"client" grid_geometries);
+          g_mechanisms = mechanisms_of ~label:"client" grid_mechanisms;
+          g_pfails = grid_pfails;
+          g_targets = grid_targets;
+          g_engine = engine;
+          g_exact = exact;
+          g_impl = impl }
+      in
+      match request (Service.Protocol.Grid req) with
+      | Ok (Service.Protocol.Grid_reply r) ->
+        Printf.printf "cells    : %d (%d failed)\n" r.Service.Protocol.cells
+          r.Service.Protocol.failed;
+        Printf.printf "digest   : %s\n" r.Service.Protocol.grid_digest;
+        Printf.printf "computed : %b\n" r.Service.Protocol.grid_computed;
+        if r.Service.Protocol.failed > 0 then exit 1
+      | Ok (Service.Protocol.Overloaded { queued; queue_max }) ->
+        fail_overloaded queued queue_max
+      | Ok (Service.Protocol.Error_reply msg) ->
+        Printf.eprintf "client: daemon error: %s\n" msg;
+        exit 1
+      | Ok _ -> fail_transport "unexpected response to grid"
+      | Error msg -> fail_transport msg)
     | `Analyze ->
       let req = analyze_request () in
       if bench_load then begin
@@ -1882,13 +2251,37 @@ let client_cmd =
              (some
                 (enum
                    [ ("ping", `Ping); ("stats", `Stats); ("analyze", `Analyze);
-                     ("sched", `Sched) ]))
+                     ("sched", `Sched); ("grid", `Grid) ]))
              None
-         & info [] ~docv:"OP" ~doc:"ping, stats, analyze, or sched.")
+         & info [] ~docv:"OP" ~doc:"ping, stats, analyze, sched, or grid.")
   in
   let client_bench_arg =
     Arg.(value & pos 1 (some string) None
-         & info [] ~docv:"TARGET" ~doc:"Benchmark name (analyze only).")
+         & info [] ~docv:"TARGET" ~doc:"Benchmark name (analyze and grid only).")
+  in
+  let grid_benchmarks_arg =
+    Arg.(value & opt (list ~sep:',' string) []
+         & info [ "grid-benchmarks" ] ~docv:"B,B,..."
+             ~doc:"Benchmarks for the grid op (overrides the positional TARGET).")
+  in
+  let grid_geometries_arg =
+    Arg.(value & opt (list ~sep:',' string) [ "16x4x16" ]
+         & info [ "grid-geometries" ] ~docv:"SxW[xL],..."
+             ~doc:"Cache geometries for the grid op, as in the grid subcommand.")
+  in
+  let grid_mechanisms_arg =
+    Arg.(value & opt (list ~sep:',' string) [ "all" ]
+         & info [ "grid-mechanisms" ] ~docv:"MECH,..."
+             ~doc:"Mechanisms for the grid op: none, srb, rw, or all (default).")
+  in
+  let grid_pfails_arg =
+    Arg.(value & opt (list ~sep:',' prob_conv) [ 1e-6; 1e-5; 1e-4; 1e-3 ]
+         & info [ "grid-pfails" ] ~docv:"P,P,..." ~doc:"Pfail grid for the grid op.")
+  in
+  let grid_targets_arg =
+    Arg.(value & opt (list ~sep:',' prob_conv) [ default_target ]
+         & info [ "grid-targets" ] ~docv:"P,P,..."
+             ~doc:"Exceedance targets for the grid op.")
   in
   let mech_arg =
     Arg.(value & opt client_mech_conv Pwcet.Mechanism.No_protection
@@ -1951,7 +2344,8 @@ let client_cmd =
     Term.(const run $ socket_arg $ op_arg $ client_bench_arg $ pfail_arg $ target_arg
           $ mech_arg $ sets_arg $ ways_arg $ line_arg $ engine_arg $ exact_arg $ impl_arg
           $ timeout_ms_arg $ delay_ms_arg $ load_arg $ clients_arg $ requests_arg
-          $ retries_arg $ retry_base_arg $ sched_spec_term)
+          $ retries_arg $ retry_base_arg $ sched_spec_term $ grid_benchmarks_arg
+          $ grid_geometries_arg $ grid_mechanisms_arg $ grid_pfails_arg $ grid_targets_arg)
 
 (* --- source ------------------------------------------------------------------ *)
 
@@ -2006,6 +2400,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; sweep_cmd; suite_cmd; simulate_cmd;
-            validate_cmd; audit_cmd; refined_cmd; sched_cmd; cache_cmd; serve_cmd;
-            client_cmd ]))
+          [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; sweep_cmd; grid_cmd; suite_cmd;
+            simulate_cmd; validate_cmd; audit_cmd; refined_cmd; sched_cmd; cache_cmd;
+            serve_cmd; client_cmd ]))

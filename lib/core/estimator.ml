@@ -123,7 +123,66 @@ let compute_fmm task ~mechanism ~engine ~exact ~jobs ~impl ?budget ?store () =
     ~decode:(Fmm.of_wire ~config:task.config ~mechanism)
     (fun () ->
       Fmm.compute ~graph:task.graph ~loops:task.loops ~config:task.config ~mechanism ~engine
-        ~exact ~jobs ~impl ~ctx:task.ctx ?budget ())
+        ~exact ~jobs ~impl ~ctx:task.ctx ?budget ~baseline:task.chmc ())
+
+(* Multi-mechanism FMM with store read-through: cached tables are
+   served per mechanism, the misses are computed together through
+   {!Fmm.compute_multi} (sharing the mechanism-independent row
+   prefixes), and every fresh table is persisted under the exact same
+   per-mechanism key [compute_fmm] uses — so grid runs and single runs
+   interchangeably warm each other's cache. *)
+let fmm_grid task ~mechanisms ?(engine = `Path) ?(exact = false) ?(jobs = 1) ?(impl = `Sliced)
+    ?budget ?store () =
+  let parts_of mechanism =
+    ("artifact", "fmm") :: fmm_parts task ~mechanism ~engine ~exact ~impl
+  in
+  let lookup mechanism =
+    match store with
+    | Some st when budget = None -> (
+      let key = Store.Artifact.key (parts_of mechanism) in
+      match Store.Artifact.get st ~key ~kind:fmm_kind ~version:fmm_version with
+      | None -> None
+      | Some payload -> (
+        match Fmm.of_wire ~config:task.config ~mechanism payload with
+        | Ok fmm -> Some fmm
+        | Error reason ->
+          Store.Artifact.quarantine st ~key ~reason;
+          None))
+    | _ -> None
+  in
+  let hits = List.map (fun m -> (m, lookup m)) mechanisms in
+  let missing =
+    List.rev
+      (List.fold_left
+         (fun acc (m, hit) ->
+           match hit with
+           | Some _ -> acc
+           | None -> if List.exists (Mechanism.equal m) acc then acc else m :: acc)
+         [] hits)
+  in
+  let computed =
+    match missing with
+    | [] -> []
+    | _ ->
+      Fmm.compute_multi ~graph:task.graph ~loops:task.loops ~config:task.config
+        ~mechanisms:missing ~engine ~exact ~jobs ~impl ~ctx:task.ctx ?budget
+        ~baseline:task.chmc ()
+  in
+  (match store with
+  | Some st when budget = None ->
+    List.iter
+      (fun (mechanism, fmm) ->
+        Store.Artifact.put st
+          ~key:(Store.Artifact.key (parts_of mechanism))
+          ~kind:fmm_kind ~version:fmm_version (Fmm.to_wire fmm))
+      computed
+  | _ -> ());
+  List.map
+    (fun (m, hit) ->
+      match hit with
+      | Some fmm -> (m, fmm)
+      | None -> (m, snd (List.find (fun (m', _) -> Mechanism.equal m m') computed)))
+    hits
 
 let estimate_with_fmm task ~fmm ~parts ~mechanism ~jobs ~pfail ?budget ?store () =
   let pbf = Fault.Model.pbf_of_config ~pfail task.config in
@@ -151,6 +210,12 @@ let sweep task ~pfail_grid ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs 
   List.map
     (fun pfail -> estimate_with_fmm task ~fmm ~parts ~mechanism ~jobs ~pfail ?budget ?store ())
     pfail_grid
+
+let estimate_of_fmm task ~fmm ~pfail ?(engine = `Path) ?(exact = false) ?(jobs = 1)
+    ?(impl = `Sliced) ?budget ?store () =
+  let mechanism = Fmm.mechanism fmm in
+  let parts = fmm_parts task ~mechanism ~engine ~exact ~impl in
+  estimate_with_fmm task ~fmm ~parts ~mechanism ~jobs ~pfail ?budget ?store ()
 
 let pwcet e ~target = e.task.wcet_ff + Prob.Dist.quantile e.penalty ~target
 

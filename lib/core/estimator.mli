@@ -120,6 +120,47 @@ val sweep :
     FMM is deterministic in its inputs), pinned by
     test/test_dist_engine.ml for every [jobs] value. *)
 
+val fmm_grid :
+  task ->
+  mechanisms:Mechanism.t list ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  ?jobs:int ->
+  ?impl:[ `Naive | `Sliced ] ->
+  ?budget:Robust.Budget.t ->
+  ?store:Store.Artifact.t ->
+  unit ->
+  (Mechanism.t * Fmm.t) list
+(** One FMM per requested mechanism (in list order), computing the
+    misses together through {!Fmm.compute_multi} so the
+    mechanism-independent per-set row prefixes (degraded fixpoints,
+    signature memo, delta bounds) are paid once instead of once per
+    mechanism. Each table is bit-identical to what a standalone
+    {!estimate} at the same options would compute, and is read from /
+    written to [store] under the exact per-mechanism key {!estimate}
+    uses — grid and single runs warm each other's cache. Budgeted runs
+    bypass the store as everywhere else. *)
+
+val estimate_of_fmm :
+  task ->
+  fmm:Fmm.t ->
+  pfail:float ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  ?jobs:int ->
+  ?impl:[ `Naive | `Sliced ] ->
+  ?budget:Robust.Budget.t ->
+  ?store:Store.Artifact.t ->
+  unit ->
+  estimate
+(** The per-pfail suffix of {!estimate} for a map obtained from
+    {!fmm_grid} (or a previous estimate): binomial reweight,
+    convolution, penalty caching. [engine]/[exact]/[impl] must match
+    the options the map was computed under — they only enter the
+    penalty artifact's store key, which must agree with the key an
+    equivalent {!estimate} call would use. The result is bit-identical
+    to that {!estimate} call. *)
+
 val pwcet : estimate -> target:float -> int
 (** pWCET at the target exceedance probability, in cycles. *)
 

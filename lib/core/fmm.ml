@@ -160,11 +160,109 @@ let structural_row ~ctx ~graph ~loops ~config ~baseline ~ways set =
   rungs.(0) <- Rung.Exact;
   (row, rungs)
 
+(* Multi-mechanism rows with a shared prefix.  The f < W loop body of
+   [compute_row]/[compute_row_sliced] never consults the mechanism: the
+   degraded analysis shrinks the set's associativity, the signature memo
+   keys on the classification alone, and the delta bound sees only the
+   classification.  Only the dead-set column (f = W) is
+   mechanism-dependent — RW copies column W-1 (the all-faulty situation
+   cannot occur), while None/SRB classify the dead set via
+   [dead_set_degraded].  So one prefix pass (f = 1 .. W-1) feeds every
+   mechanism's tail, bit-identically to running each mechanism alone:
+   the tails read the prefix's signature memo exactly where a
+   single-mechanism run would, and never write it. *)
+let compute_rows_multi ~ctx ~graph ~loops ~config ~mechanisms ~engine ~exact ~budget ~baseline
+    ~srb ~impl set =
+  let ways = config.Cache.Config.ways in
+  let row = Array.make (ways + 1) 0 in
+  let rungs = Array.make (ways + 1) Rung.Exact in
+  let previous : (Chmc.classification list * (int * Rung.t)) option ref = ref None in
+  let delta ~with_ctx ~degraded =
+    match
+      Ipet.Delta.extra_misses_result ~graph ~loops ~config ~baseline ~degraded ~sets:[ set ]
+        ?ctx:(if with_ctx then Some ctx else None)
+        ~engine ~exact ?budget ()
+    with
+    | Ok v -> v
+    | Error e -> E.raise_error e
+  in
+  (* The shared signature-memo/monotone-update step of the prefix,
+     verbatim from the single-mechanism rows. *)
+  let step ~with_ctx ~degraded f =
+    let signature = Chmc.set_signature ctx ~set ~degraded in
+    let value, rung =
+      match !previous with
+      | Some (prev_sig, prev) when prev_sig = signature -> prev
+      | _ ->
+        let v = delta ~with_ctx ~degraded in
+        previous := Some (signature, v);
+        v
+    in
+    row.(f) <- max value row.(f - 1);
+    rungs.(f) <- pick_rung ~value ~rung ~prev_value:row.(f - 1) ~prev_rung:rungs.(f - 1)
+  in
+  (match impl with
+  | `Naive ->
+    for f = 1 to ways - 1 do
+      let chmc_f =
+        Chmc.analyze ~graph ~loops ~config
+          ~assoc:(fun s -> if s = set then ways - f else ways)
+          ~only_sets:[ set ] ()
+      in
+      step ~with_ctx:false
+        ~degraded:(fun ~node ~offset -> Chmc.classification chmc_f ~node ~offset)
+        f
+    done
+  | `Sliced ->
+    let slice = Slice.make ctx ~set in
+    let prev_result = ref None in
+    let saturated = ref false in
+    for f = 1 to ways - 1 do
+      if !saturated then begin
+        row.(f) <- row.(f - 1);
+        rungs.(f) <- rungs.(f - 1)
+      end
+      else begin
+        let r = Slice.analyze slice ~assoc:(ways - f) ?prev:!prev_result () in
+        prev_result := Some r;
+        if Slice.saturated r then saturated := true;
+        step ~with_ctx:true
+          ~degraded:(fun ~node ~offset -> Slice.classification r ~node ~offset)
+          f
+      end
+    done);
+  let with_ctx = match impl with `Naive -> false | `Sliced -> true in
+  List.map
+    (fun mechanism ->
+      let row_m = Array.copy row and rungs_m = Array.copy rungs in
+      (match mechanism with
+      | Mechanism.Reliable_way ->
+        row_m.(ways) <- row_m.(ways - 1);
+        rungs_m.(ways) <- rungs_m.(ways - 1)
+      | Mechanism.No_protection | Mechanism.Shared_reliable_buffer ->
+        let srb =
+          match mechanism with Mechanism.Shared_reliable_buffer -> srb | _ -> None
+        in
+        let degraded = dead_set_degraded ~srb in
+        let signature = Chmc.set_signature ctx ~set ~degraded in
+        let value, rung =
+          match !previous with
+          | Some (prev_sig, prev) when prev_sig = signature -> prev
+          | _ -> delta ~with_ctx ~degraded
+        in
+        row_m.(ways) <- max value row_m.(ways - 1);
+        rungs_m.(ways) <-
+          pick_rung ~value ~rung ~prev_value:row_m.(ways - 1) ~prev_rung:rungs_m.(ways - 1));
+      (mechanism, row_m, rungs_m))
+    mechanisms
+
 let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) ?(jobs = 1)
-    ?(impl = `Sliced) ?ctx ?budget () =
+    ?(impl = `Sliced) ?ctx ?budget ?baseline () =
   let n_sets = config.Cache.Config.sets and ways = config.Cache.Config.ways in
   let ctx = match ctx with Some c -> c | None -> Context.make ~graph ~loops ~config in
-  let baseline = Chmc.analyze ~ctx ~graph ~loops ~config () in
+  let baseline =
+    match baseline with Some b -> b | None -> Chmc.analyze ~ctx ~graph ~loops ~config ()
+  in
   let srb =
     match mechanism with
     | Mechanism.Shared_reliable_buffer -> Some (Srb_analysis.analyze ~ctx ~graph ~config ())
@@ -204,6 +302,61 @@ let compute ~graph ~loops ~config ~mechanism ?(engine = `Path) ?(exact = false) 
         errors := (set, e) :: !errors)
     used_sets;
   { misses; provenance; errors = List.rev !errors; config; mechanism }
+
+let compute_multi ~graph ~loops ~config ~mechanisms ?(engine = `Path) ?(exact = false)
+    ?(jobs = 1) ?(impl = `Sliced) ?ctx ?budget ?baseline () =
+  match mechanisms with
+  | [] -> []
+  | _ ->
+    let n_sets = config.Cache.Config.sets and ways = config.Cache.Config.ways in
+    let ctx = match ctx with Some c -> c | None -> Context.make ~graph ~loops ~config in
+    let baseline =
+      match baseline with Some b -> b | None -> Chmc.analyze ~ctx ~graph ~loops ~config ()
+    in
+    (* One SRB analysis serves every mechanism that needs it. *)
+    let srb =
+      if List.mem Mechanism.Shared_reliable_buffer mechanisms then
+        Some (Srb_analysis.analyze ~ctx ~graph ~config ())
+      else None
+    in
+    let used_sets =
+      Array.of_list
+        (List.filter
+           (fun s -> Array.length ctx.Context.touching.(s) > 0)
+           (List.init n_sets Fun.id))
+    in
+    let deadline = match budget with Some b -> b.Robust.Budget.deadline | None -> None in
+    let rows =
+      Parallel.Pool.map_result ?deadline ~jobs
+        (compute_rows_multi ~ctx ~graph ~loops ~config ~mechanisms ~engine ~exact ~budget
+           ~baseline ~srb ~impl)
+        used_sets
+    in
+    List.map
+      (fun mechanism ->
+        let misses = Array.make_matrix n_sets (ways + 1) 0 in
+        let provenance = Array.init n_sets (fun _ -> Array.make (ways + 1) Rung.Exact) in
+        let errors = ref [] in
+        Array.iteri
+          (fun i set ->
+            match rows.(i) with
+            | Ok per_mech ->
+              let _, r, p =
+                List.find (fun (m, _, _) -> Mechanism.equal m mechanism) per_mech
+              in
+              misses.(set) <- Array.copy r;
+              provenance.(set) <- Array.copy p
+            | Error e ->
+              (* A crashed or starved shared prefix poisons the set's
+                 row for every mechanism — each falls back to the same
+                 structural bound an independent run would. *)
+              let r, p = structural_row ~ctx ~graph ~loops ~config ~baseline ~ways set in
+              misses.(set) <- r;
+              provenance.(set) <- p;
+              errors := (set, e) :: !errors)
+          used_sets;
+        (mechanism, { misses; provenance; errors = List.rev !errors; config; mechanism }))
+      mechanisms
 
 let of_table ~config ~mechanism ?provenance ?(errors = []) table =
   if Array.length table <> config.Cache.Config.sets then

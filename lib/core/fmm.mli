@@ -31,6 +31,7 @@ val compute :
   ?impl:[ `Naive | `Sliced ] ->
   ?ctx:Cache_analysis.Context.t ->
   ?budget:Robust.Budget.t ->
+  ?baseline:Cache_analysis.Chmc.t ->
   unit ->
   t
 (** Runs the fault-free analysis once, then one degraded analysis +
@@ -61,7 +62,44 @@ val compute :
     starts past the deadline falls back to a constant
     {!Ipet.Delta.structural_extra_misses} row tagged [Structural], with
     the cause recorded in {!errors}. [compute] never raises on budget
-    exhaustion or worker crashes — the result is merely looser. *)
+    exhaustion or worker crashes — the result is merely looser.
+
+    [baseline] supplies the precomputed fault-free CHMC for
+    [graph]/[loops]/[config] (the same value
+    [Cache_analysis.Chmc.analyze ~ctx ~graph ~loops ~config ()]
+    returns); computed on the fly when absent. The analysis is
+    deterministic, so passing it is a pure recompute-skip. *)
+
+val compute_multi :
+  graph:Cfg.Graph.t ->
+  loops:Cfg.Loop.loop list ->
+  config:Cache.Config.t ->
+  mechanisms:Mechanism.t list ->
+  ?engine:[ `Path | `Ilp ] ->
+  ?exact:bool ->
+  ?jobs:int ->
+  ?impl:[ `Naive | `Sliced ] ->
+  ?ctx:Cache_analysis.Context.t ->
+  ?budget:Robust.Budget.t ->
+  ?baseline:Cache_analysis.Chmc.t ->
+  unit ->
+  (Mechanism.t * t) list
+(** One map per requested mechanism (in [mechanisms] order, duplicates
+    allowed), sharing everything that is mechanism-independent: the
+    fault-free baseline, the SRB reachability analysis (run once iff
+    SRB is requested), and — the expensive part — the whole
+    [f = 1 .. W-1] prefix of every per-set row, whose degraded
+    analyses, signature memo and delta bounds never consult the
+    mechanism. Only the dead-set column (f = W) is evaluated per
+    mechanism: RW copies column W-1, None/SRB classify the dead set.
+
+    Each returned map is bit-identical to the map a standalone
+    {!compute} call with the same parameters produces — pinned by the
+    differential tests — so [compute_multi] is a pure cost optimisation
+    ([k] mechanisms for roughly the price of one). Budget/crash
+    fallback matches {!compute}, with one difference in failure
+    granularity: the shared prefix means a crashed or starved set
+    degrades that set's row for {e every} mechanism. *)
 
 val of_table :
   config:Cache.Config.t ->

@@ -142,3 +142,138 @@ let reduce_pairs ~jobs f input =
   match reduce_pairs_result ~jobs f input with
   | Ok v -> v
   | Error _ -> assert false (* no deadline, so no starvation path *)
+
+type 'a dag_node = { deps : int array; run : 'a array -> 'a }
+
+(* Deadline-aware work-stealing executor for an irregular DAG of
+   heterogeneous tasks.  The fixed chunking of [mapi_result] leaves
+   domains idle behind the slowest item when per-item costs vary by
+   orders of magnitude (a whole-program fixpoint next to a single
+   convolution); here idle workers instead pull from a shared deque of
+   ready nodes, so any runnable node keeps every domain busy.
+
+   Node outcomes are a pure function of the node's own [run] and its
+   dependencies' outcomes — the deque only decides *when* a node runs,
+   never *what* it computes — and results are returned in node-index
+   order, so the output is bit-identical for every [jobs] value. *)
+let run_dag ?deadline ~jobs nodes =
+  let n = Array.length nodes in
+  Array.iteri
+    (fun i node ->
+      Array.iter
+        (fun d ->
+          if d < 0 || d >= i then
+            invalid_arg
+              (Printf.sprintf "Pool.run_dag: node %d depends on %d (deps must point backwards)" i d))
+        node.deps)
+    nodes;
+  let past_deadline () =
+    match deadline with None -> false | Some d -> Robust.Budget.now () > d
+  in
+  let results : ('a, E.t) result option array = Array.make n None in
+  let outcome i =
+    match results.(i) with Some r -> r | None -> assert false
+  in
+  (* A node whose dependency failed propagates the first (lowest dep
+     index) failure without running — deterministic given the deps'
+     outcomes, hence independent of scheduling. *)
+  let compute i =
+    let node = nodes.(i) in
+    let failed =
+      Array.fold_left
+        (fun acc d ->
+          match acc with
+          | Some _ -> acc
+          | None -> ( match outcome d with Error e -> Some e | Ok _ -> None))
+        None node.deps
+    in
+    match failed with
+    | Some e -> Error e
+    | None ->
+      if past_deadline () then
+        Error
+          (E.Budget_exhausted
+             (Printf.sprintf "Pool.run_dag: deadline expired before node %d" i))
+      else
+        let args = Array.map (fun d -> match outcome d with Ok v -> v | Error _ -> assert false) node.deps in
+        (match node.run args with
+        | v -> Ok v
+        | exception e -> Error (E.Worker_crash (Printexc.to_string e)))
+  in
+  if jobs <= 1 || n <= 1 then begin
+    (* Dependencies point backwards, so index order is a topological
+       order: the sequential path is a plain left-to-right scan. *)
+    for i = 0 to n - 1 do
+      results.(i) <- Some (compute i)
+    done;
+    Array.init n outcome
+  end
+  else begin
+    let dependents = Array.make n [] in
+    let pending = Array.make n 0 in
+    Array.iteri
+      (fun i node ->
+        pending.(i) <- Array.length node.deps;
+        Array.iter (fun d -> dependents.(d) <- i :: dependents.(d)) node.deps)
+      nodes;
+    let ready = Queue.create () in
+    for i = 0 to n - 1 do
+      if pending.(i) = 0 then Queue.push i ready
+    done;
+    let mutex = Mutex.create () in
+    let cond = Condition.create () in
+    let completed = ref 0 in
+    let aborted = ref false in
+    (* Worker: steal a ready node, run it, publish its outcome and
+       release newly-ready dependents.  Result slots are written under
+       the mutex and a dependent is only enqueued afterwards, so its
+       worker's later pop (also under the mutex) sees every dependency
+       outcome published. *)
+    let worker () =
+      let running = ref true in
+      while !running do
+        Mutex.lock mutex;
+        while Queue.is_empty ready && !completed < n && not !aborted do
+          Condition.wait cond mutex
+        done;
+        if !aborted || (Queue.is_empty ready && !completed >= n) then begin
+          Mutex.unlock mutex;
+          running := false
+        end
+        else begin
+          let i = Queue.pop ready in
+          Mutex.unlock mutex;
+          let r = compute i in
+          Mutex.lock mutex;
+          results.(i) <- Some r;
+          incr completed;
+          List.iter
+            (fun j ->
+              pending.(j) <- pending.(j) - 1;
+              if pending.(j) = 0 then Queue.push j ready)
+            dependents.(i);
+          Condition.broadcast cond;
+          Mutex.unlock mutex
+        end
+      done
+    in
+    (* Same all-or-error spawn discipline as [spawn_all], adapted to
+       the deque: on a spawn failure, abort (waking any waiting
+       workers), join every domain that did spawn, then re-raise. *)
+    let spawned = ref [] in
+    (try
+       for _ = 1 to min (jobs - 1) (n - 1) do
+         spawned := spawn worker :: !spawned
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock mutex;
+       aborted := true;
+       Condition.broadcast cond;
+       Mutex.unlock mutex;
+       List.iter Domain.join !spawned;
+       Printexc.raise_with_backtrace e bt);
+    worker ();
+    List.iter Domain.join !spawned;
+    Array.init n outcome
+  end

@@ -77,6 +77,43 @@ val reduce_pairs : jobs:int -> ('a -> 'a -> 'a) -> 'a array -> 'a option
     non-associative [f] (e.g. capped convolution): the shape matches a
     sequential pairwise tree, {e not} a left fold. *)
 
+type 'a dag_node = {
+  deps : int array;
+      (** Indices of the nodes this node consumes. Every index must be
+          strictly smaller than the node's own index (the array is given
+          in topological order); violations raise [Invalid_argument]. *)
+  run : 'a array -> 'a;
+      (** Computes the node's value from its dependencies' values, in
+          [deps] order. Must be deterministic and safe to run
+          concurrently with other nodes' [run]. *)
+}
+
+val run_dag :
+  ?deadline:float ->
+  jobs:int ->
+  'a dag_node array ->
+  ('a, Robust.Pwcet_error.t) Stdlib.result array
+(** Deadline-aware work-stealing execution of an irregular task DAG:
+    idle domains steal from a shared deque of ready nodes, so uneven
+    node costs (a whole-program fixpoint next to a single convolution)
+    never leave a runnable node waiting behind a fixed chunk boundary.
+    One outcome per node, in node-index order.
+
+    Crash isolation matches {!mapi_result}: a node whose [run] raises
+    yields [Error (Worker_crash text)]; a node picked up after
+    [deadline] (absolute, {!Robust.Budget.now} scale) yields
+    [Error (Budget_exhausted _)] without running. A node with a failed
+    dependency propagates the first (lowest dependency index) failure
+    without running, so errors flow down the DAG deterministically.
+
+    Every outcome of a node that runs is a pure function of its [run]
+    and its dependencies' outcomes — the deque only decides {e when} a
+    node runs — and with [jobs <= 1] (or fewer than two nodes) the DAG
+    executes sequentially in index order on the calling domain. Results
+    are therefore bit-identical for every [jobs] value (deadline
+    refusals aside, which are timing-dependent by nature). The
+    [Domain.spawn]-failure discipline of the header applies. *)
+
 val reduce_pairs_result :
   ?deadline:float ->
   jobs:int ->

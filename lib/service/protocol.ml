@@ -68,7 +68,28 @@ let default_sched =
     max_points = 512;
     benchmarks = [] }
 
-type request = Ping | Stats | Analyze of analyze | Sched of sched
+type grid = {
+  g_benchmarks : string list;
+  g_geometries : (int * int * int) list;
+  g_mechanisms : Pwcet.Mechanism.t list;
+  g_pfails : float list;
+  g_targets : float list;
+  g_engine : [ `Path | `Ilp ];
+  g_exact : bool;
+  g_impl : [ `Naive | `Sliced ];
+}
+
+let default_grid ~benchmarks =
+  { g_benchmarks = benchmarks;
+    g_geometries = [ (16, 4, 16) ];
+    g_mechanisms = Pwcet.Mechanism.all;
+    g_pfails = [ 1e-6; 1e-5; 1e-4; 1e-3 ];
+    g_targets = [ 1e-15 ];
+    g_engine = `Path;
+    g_exact = false;
+    g_impl = `Sliced }
+
+type request = Ping | Stats | Analyze of analyze | Sched of sched | Grid of grid
 
 type result_payload = {
   pwcet : int;
@@ -97,11 +118,19 @@ type sched_payload = {
   sched_computed : bool;
 }
 
+type grid_payload = {
+  cells : int;
+  failed : int;
+  grid_digest : string;
+  grid_computed : bool;
+}
+
 type response =
   | Result of result_payload
   | Pong
   | Stats_reply of stats_payload
   | Sched_reply of sched_payload
+  | Grid_reply of grid_payload
   | Overloaded of { queued : int; queue_max : int }
   | Error_reply of string
 
@@ -152,11 +181,32 @@ let sched_fields s =
   if s.benchmarks = [] then []
   else [ ("benchmarks", Json.List (List.map (fun b -> Json.String b) s.benchmarks)) ]
 
+(* As with sched: every field travels, defaults included, geometries as
+   "SETSxWAYSxLINE" strings and floats as %.17g, so the daemon's
+   Grid.identity — IEEE bit patterns — matches the CLI's exactly. *)
+let grid_fields g =
+  [ ("op", Json.String "grid");
+    ("benchmarks", Json.List (List.map (fun b -> Json.String b) g.g_benchmarks));
+    ( "geometries",
+      Json.List
+        (List.map
+           (fun (sets, ways, line) -> Json.String (Printf.sprintf "%dx%dx%d" sets ways line))
+           g.g_geometries) );
+    ( "mechanisms",
+      Json.List (List.map (fun m -> Json.String (Pwcet.Mechanism.short_name m)) g.g_mechanisms)
+    );
+    ("pfail_grid", Json.List (List.map (fun p -> Json.Float p) g.g_pfails));
+    ("targets", Json.List (List.map (fun t -> Json.Float t) g.g_targets));
+    ("engine", Json.String (engine_tag g.g_engine));
+    ("exact", Json.Bool g.g_exact);
+    ("impl", Json.String (impl_tag g.g_impl)) ]
+
 let request_to_string = function
   | Ping -> Json.to_string (Json.Obj [ ("op", Json.String "ping") ])
   | Stats -> Json.to_string (Json.Obj [ ("op", Json.String "stats") ])
   | Analyze a -> Json.to_string (Json.Obj (analyze_fields a))
   | Sched s -> Json.to_string (Json.Obj (sched_fields s))
+  | Grid g -> Json.to_string (Json.Obj (grid_fields g))
 
 let response_to_string = function
   | Result r ->
@@ -196,6 +246,14 @@ let response_to_string = function
            ("degraded", Json.Int s.degraded);
            ("digest", Json.String s.digest);
            ("computed", Json.Bool s.sched_computed) ])
+  | Grid_reply g ->
+    Json.to_string
+      (Json.Obj
+         [ ("status", Json.String "grid");
+           ("cells", Json.Int g.cells);
+           ("failed", Json.Int g.failed);
+           ("digest", Json.String g.grid_digest);
+           ("computed", Json.Bool g.grid_computed) ])
   | Overloaded { queued; queue_max } ->
     Json.to_string
       (Json.Obj
@@ -366,6 +424,89 @@ let decode_sched json =
          s_mechanism; s_sets; s_ways; s_line; fault_rate; clock_mhz; rep_target; max_points;
          benchmarks })
 
+(* List-valued axes share one decoder shape: decode every element,
+   then reject the empty list — an empty axis would make the grid
+   silently evaluate nothing, which is the same mistake the CLI
+   rejects with exit 2. *)
+let non_empty_list ~what decode ~field json =
+  let* items = Json.to_list ~field json in
+  let* values =
+    List.fold_right
+      (fun item acc ->
+        let* acc = acc in
+        let* v = decode ~field item in
+        Ok (v :: acc))
+      items (Ok [])
+  in
+  if values = [] then
+    Error (Printf.sprintf "field %S: must name at least one %s" field what)
+  else Ok values
+
+let geometry ~field json =
+  let* tag = Json.to_text ~field json in
+  let malformed () =
+    Error
+      (Printf.sprintf "field %S: malformed geometry %S (expected SETSxWAYS[xLINE])" field tag)
+  in
+  let* sets, ways, line =
+    match List.map int_of_string_opt (String.split_on_char 'x' tag) with
+    | [ Some sets; Some ways ] -> Ok (sets, ways, 16)
+    | [ Some sets; Some ways; Some line ] -> Ok (sets, ways, line)
+    | _ -> malformed ()
+  in
+  if sets >= 1 && ways >= 1 && line >= 1 then Ok (sets, ways, line) else malformed ()
+
+let mechanism_of_json ~field json =
+  let* tag = Json.to_text ~field json in
+  match Pwcet.Mechanism.of_string tag with
+  | Some m -> Ok m
+  | None -> Error (Printf.sprintf "field %S: unknown mechanism %S" field tag)
+
+let decode_grid json =
+  let d = default_grid ~benchmarks:[] in
+  let* g_benchmarks =
+    required ~field:"benchmarks" json
+      (non_empty_list ~what:"benchmark" (fun ~field j ->
+           let* b = Json.to_text ~field j in
+           if b = "" then Error (Printf.sprintf "field %S: empty benchmark name" field)
+           else Ok b))
+  in
+  let* g_geometries =
+    optional ~field:"geometries" json
+      (non_empty_list ~what:"geometry" geometry)
+      ~default:d.g_geometries
+  in
+  let* g_mechanisms =
+    optional ~field:"mechanisms" json
+      (non_empty_list ~what:"mechanism" mechanism_of_json)
+      ~default:d.g_mechanisms
+  in
+  let* g_pfails =
+    optional ~field:"pfail_grid" json
+      (non_empty_list ~what:"pfail point" probability)
+      ~default:d.g_pfails
+  in
+  let* g_targets =
+    optional ~field:"targets" json
+      (non_empty_list ~what:"exceedance target" probability)
+      ~default:d.g_targets
+  in
+  let* g_engine =
+    optional ~field:"engine" json
+      (enum ~what:"engine" [ ("path", `Path); ("ilp", `Ilp) ])
+      ~default:d.g_engine
+  in
+  let* g_exact = optional ~field:"exact" json Json.to_bool ~default:d.g_exact in
+  let* g_impl =
+    optional ~field:"impl" json
+      (enum ~what:"impl" [ ("naive", `Naive); ("sliced", `Sliced) ])
+      ~default:d.g_impl
+  in
+  Ok
+    (Grid
+       { g_benchmarks; g_geometries; g_mechanisms; g_pfails; g_targets; g_engine; g_exact;
+         g_impl })
+
 let request_of_string s =
   let* json = Json.of_string s in
   let* op = required ~field:"op" json Json.to_text in
@@ -374,7 +515,9 @@ let request_of_string s =
   | "stats" -> Ok Stats
   | "analyze" -> decode_analyze json
   | "sched" -> decode_sched json
-  | op -> Error (Printf.sprintf "unknown op %S (expected ping, stats, analyze or sched)" op)
+  | "grid" -> decode_grid json
+  | op ->
+    Error (Printf.sprintf "unknown op %S (expected ping, stats, analyze, sched or grid)" op)
 
 let decode_result json =
   let* pwcet = required ~field:"pwcet" json Json.to_int in
@@ -417,6 +560,12 @@ let response_of_string s =
     let* digest = required ~field:"digest" json Json.to_text in
     let* sched_computed = required ~field:"computed" json Json.to_bool in
     Ok (Sched_reply { analyzed; passes; degraded; digest; sched_computed })
+  | "grid" ->
+    let* cells = required ~field:"cells" json Json.to_int in
+    let* failed = required ~field:"failed" json Json.to_int in
+    let* grid_digest = required ~field:"digest" json Json.to_text in
+    let* grid_computed = required ~field:"computed" json Json.to_bool in
+    Ok (Grid_reply { cells; failed; grid_digest; grid_computed })
   | "overloaded" ->
     let* queued = required ~field:"queued" json Json.to_int in
     let* queue_max = required ~field:"queue_max" json Json.to_int in

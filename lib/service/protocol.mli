@@ -69,7 +69,28 @@ val default_sched : sched
     16x4x16 geometry, fault rate 1e-4/hour at 100 MHz, rep target
     1e-9, 512-point cap, whole registry. *)
 
-type request = Ping | Stats | Analyze of analyze | Sched of sched
+(** A bulk comparison grid — the service face of {!Grid.run}. One
+    request evaluates benchmark x geometry x mechanism x pfail in one
+    pass over the shared per-(benchmark, geometry) analysis stages and
+    reports the canonical matrix digest ({!Grid.digest}), so a client
+    can check bit-identity against a direct [pwcet_tool grid] run.
+    Every axis must be non-empty; [benchmarks] is required. *)
+type grid = {
+  g_benchmarks : string list;
+  g_geometries : (int * int * int) list;  (** (sets, ways, line_bytes) *)
+  g_mechanisms : Pwcet.Mechanism.t list;
+  g_pfails : float list;
+  g_targets : float list;
+  g_engine : [ `Path | `Ilp ];
+  g_exact : bool;
+  g_impl : [ `Naive | `Sliced ];
+}
+
+val default_grid : benchmarks:string list -> grid
+(** The CLI's defaults: 16x4x16 geometry, all three mechanisms, pfail
+    grid 1e-6..1e-3, target 1e-15, path engine, sliced FMM. *)
+
+type request = Ping | Stats | Analyze of analyze | Sched of sched | Grid of grid
 
 type result_payload = {
   pwcet : int;  (** cycles, at the request's [target] *)
@@ -103,11 +124,22 @@ type sched_payload = {
       (** [true] when this request led the campaign computation *)
 }
 
+type grid_payload = {
+  cells : int;  (** total grid cells evaluated *)
+  failed : int;  (** cells whose pipeline returned an error *)
+  grid_digest : string;
+      (** canonical matrix digest ({!Grid.digest}) — equal to a direct
+          CLI run's digest, bit for bit *)
+  grid_computed : bool;
+      (** [true] when this request led the grid computation *)
+}
+
 type response =
   | Result of result_payload
   | Pong
   | Stats_reply of stats_payload
   | Sched_reply of sched_payload
+  | Grid_reply of grid_payload
   | Overloaded of { queued : int; queue_max : int }
       (** typed load shedding: the request was not admitted and ran no
           computation; retry against a less loaded daemon *)

@@ -36,6 +36,9 @@ type task_outcome = (Pwcet.Estimator.task, string) result
 type sched_summary = { analyzed : int; passes : int; degraded : int; digest : string }
 type sched_outcome = (sched_summary, string) result
 
+type grid_summary = { cells : int; failed : int; grid_digest : string }
+type grid_outcome = (grid_summary, string) result
+
 type t = {
   pool : Parallel.Workers.t;
   store : Store.Artifact.t option;
@@ -51,12 +54,15 @@ type t = {
          kept apart from [inflight], whose leaders are pool jobs a
          worker-resident waiter could deadlock against *)
   sched_inflight : (string, sched_outcome ivar) Hashtbl.t;
+  grid_inflight : (string, grid_outcome ivar) Hashtbl.t;
   tasks : (string, Pwcet.Estimator.task) Hashtbl.t;
   task_order : string Queue.t;  (* FIFO eviction for [tasks] *)
   results : (string, Pwcet.Estimator.estimate) Hashtbl.t;
   result_order : string Queue.t;  (* FIFO eviction for [results] *)
   sched_results : (string, sched_summary) Hashtbl.t;
   sched_order : string Queue.t;  (* FIFO eviction for [sched_results] *)
+  grid_results : (string, grid_summary) Hashtbl.t;
+  grid_order : string Queue.t;  (* FIFO eviction for [grid_results] *)
   mutable requests : int;
   mutable computations : int;
   mutable deduped : int;
@@ -79,12 +85,15 @@ let create (config : config) =
     task_inflight = Hashtbl.create 16;
     bench_inflight = Hashtbl.create 16;
     sched_inflight = Hashtbl.create 16;
+    grid_inflight = Hashtbl.create 16;
     tasks = Hashtbl.create 16;
     task_order = Queue.create ();
     results = Hashtbl.create 16;
     result_order = Queue.create ();
     sched_results = Hashtbl.create 16;
     sched_order = Queue.create ();
+    grid_results = Hashtbl.create 16;
+    grid_order = Queue.create ();
     requests = 0;
     computations = 0;
     deduped = 0;
@@ -467,6 +476,123 @@ let sched t (s : Protocol.sched) : Protocol.response =
       else begin
         (* Same racy-joiner courtesy as the analyze path. *)
         locked t (fun () -> Hashtbl.remove t.sched_inflight key);
+        fill iv (Error "request shed by admission control");
+        shed t
+      end)
+
+(* --- bulk comparison grids -------------------------------------------------- *)
+
+let spec_of_grid (g : Protocol.grid) =
+  try
+    let benchmarks =
+      List.map
+        (fun bench ->
+          match Benchmarks.Registry.find bench with
+          | None ->
+            raise
+              (Compute_error
+                 (Printf.sprintf "unknown benchmark %S; the registry lists the valid names"
+                    bench))
+          | Some entry -> (
+            try
+              ( bench,
+                (Minic.Compile.compile entry.Benchmarks.Registry.program)
+                  .Minic.Compile.program )
+            with Minic.Typecheck.Error msg | Minic.Compile.Error msg ->
+              raise (Compute_error msg)))
+        g.g_benchmarks
+    in
+    let configs =
+      List.map
+        (fun (sets, ways, line) ->
+          try Cache.Config.make ~sets ~ways ~line_bytes:line ()
+          with Invalid_argument msg -> raise (Compute_error msg))
+        g.g_geometries
+    in
+    Ok
+      { Grid.benchmarks; configs; mechanisms = g.g_mechanisms; pfail_grid = g.g_pfails;
+        targets = g.g_targets; engine = g.g_engine; exact = g.g_exact; impl = g.g_impl }
+  with Compute_error msg -> Error msg
+
+(* The grid computation a worker domain runs. [jobs:1] as everywhere
+   on the pool: request-level parallelism comes from the pool itself,
+   and the one-pass sharing — not the work-stealing DAG — is what the
+   daemon buys here. The store read-through means a repeat grid over a
+   populated store replays its FMMs instead of recomputing. *)
+let compute_grid t (spec : Grid.spec) () =
+  let results = Grid.run ~jobs:1 ?store:t.store spec in
+  let failed =
+    List.length (List.filter (fun (_, r) -> Result.is_error r) results)
+  in
+  { cells = List.length results; failed; grid_digest = Grid.digest results }
+
+let grid t (g : Protocol.grid) : Protocol.response =
+  locked t (fun () -> t.requests <- t.requests + 1);
+  let respond_grid ~computed (outcome : grid_outcome) : Protocol.response =
+    match outcome with
+    | Ok sum ->
+      Protocol.Grid_reply
+        { Protocol.cells = sum.cells;
+          failed = sum.failed;
+          grid_digest = sum.grid_digest;
+          grid_computed = computed }
+    | Error msg ->
+      locked t (fun () -> t.errors <- t.errors + 1);
+      Protocol.Error_reply msg
+  in
+  match spec_of_grid g with
+  | Error msg ->
+    locked t (fun () -> t.errors <- t.errors + 1);
+    Protocol.Error_reply msg
+  | Ok spec -> (
+    let key = Store.Artifact.key (("service", "grid") :: Grid.identity spec) in
+    let claim =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.grid_results key with
+          | Some sum -> `Warm sum
+          | None -> (
+            match Hashtbl.find_opt t.grid_inflight key with
+            | Some iv ->
+              t.deduped <- t.deduped + 1;
+              `Join iv
+            | None ->
+              let iv = ivar () in
+              Hashtbl.add t.grid_inflight key iv;
+              `Lead iv))
+    in
+    match claim with
+    | `Warm sum -> respond_grid ~computed:false (Ok sum)
+    | `Join iv -> respond_grid ~computed:false (wait iv)
+    | `Lead iv ->
+      let job () =
+        let outcome =
+          try Ok (compute_grid t spec ())
+          with
+          | Compute_error msg -> Error msg
+          | e -> Error (Printexc.to_string e)
+        in
+        locked t (fun () ->
+            Hashtbl.remove t.grid_inflight key;
+            match outcome with
+            | Ok sum ->
+              t.computations <- t.computations + 1;
+              if t.result_cache_max > 0 then begin
+                Hashtbl.replace t.grid_results key sum;
+                Queue.push key t.grid_order;
+                while
+                  Hashtbl.length t.grid_results > t.result_cache_max
+                  && not (Queue.is_empty t.grid_order)
+                do
+                  Hashtbl.remove t.grid_results (Queue.pop t.grid_order)
+                done
+              end
+            | Error _ -> ());
+        fill iv outcome
+      in
+      if Parallel.Workers.submit t.pool job then respond_grid ~computed:true (wait iv)
+      else begin
+        (* Same racy-joiner courtesy as the analyze and sched paths. *)
+        locked t (fun () -> Hashtbl.remove t.grid_inflight key);
         fill iv (Error "request shed by admission control");
         shed t
       end)

@@ -70,6 +70,16 @@ val sched : t -> Protocol.sched -> Protocol.response
     most once per daemon, whoever asks first. Blocks until the reply
     is ready; never raises. *)
 
+val grid : t -> Protocol.grid -> Protocol.response
+(** A bulk comparison grid ({!Grid.run}), evaluated as one
+    admission-controlled pool job at [jobs:1] — what the daemon buys
+    is the one-pass structural sharing across mechanisms and pfail
+    points, plus dedup: identical in-flight grids join on
+    {!Grid.identity} and completed ones are cached (bounded by
+    [result_cache_max]). The reply carries the canonical matrix digest,
+    bit-identical to a direct CLI run over the same axes. Blocks until
+    the reply is ready; never raises. *)
+
 val stats : t -> Protocol.stats_payload
 
 val shutdown : t -> unit

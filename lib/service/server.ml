@@ -58,6 +58,7 @@ let serve_connection scheduler fd =
         | Ok Protocol.Stats -> Protocol.Stats_reply (Scheduler.stats scheduler)
         | Ok (Protocol.Analyze a) -> Scheduler.analyze scheduler a
         | Ok (Protocol.Sched s) -> Scheduler.sched scheduler s
+        | Ok (Protocol.Grid g) -> Scheduler.grid scheduler g
       in
       respond response;
       loop ()

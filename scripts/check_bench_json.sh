@@ -1,0 +1,19 @@
+#!/bin/sh
+# Schema gate for the machine-readable benchmark artifacts: every
+# BENCH_*.json present must carry a schema_version and a git_commit, so
+# archived results stay parseable and attributable to the code that
+# produced them. Run by `make bench-json` after the emitters.
+set -eu
+
+found=0
+for f in BENCH_*.json; do
+  [ -e "$f" ] || continue
+  found=1
+  grep -q '"schema_version"' "$f" \
+    || { echo "check_bench_json: FAIL: $f has no schema_version" >&2; exit 1; }
+  grep -q '"git_commit"' "$f" \
+    || { echo "check_bench_json: FAIL: $f has no git_commit" >&2; exit 1; }
+done
+[ "$found" -eq 1 ] || { echo "check_bench_json: FAIL: no BENCH_*.json found" >&2; exit 1; }
+
+echo "check_bench_json: OK (every BENCH_*.json carries schema_version + git_commit)"

@@ -244,6 +244,137 @@ let test_reduce_pairs_result_clean () =
       | Error e -> Alcotest.failf "unexpected error: %s" (Robust.Pwcet_error.to_string e))
     [ 1; 3; 8 ]
 
+(* --- work-stealing DAG executor -------------------------------------------- *)
+
+(* A deterministic random DAG with uneven node costs: node i depends on
+   a few earlier nodes and combines their values, so any scheduling
+   error (missing dependency, lost update, wrong merge order) shows up
+   as a value difference against the sequential reference. *)
+let make_random_dag state n =
+  Array.init n (fun i ->
+      let n_deps = if i = 0 then 0 else Random.State.int state (min i 4) in
+      let deps =
+        Array.init n_deps (fun _ -> Random.State.int state i)
+      in
+      let spins = if i mod 5 = 0 then 5_000 else 10 in
+      let run values =
+        let acc = ref (i + 1) in
+        for _ = 1 to spins do
+          acc := (!acc * 48271) mod 0x7fffffff
+        done;
+        Array.fold_left (fun a v -> (a + v) mod 1_000_003) (!acc mod 1_000_003) values
+      in
+      { Pool.deps; run })
+
+let test_run_dag_deterministic_across_jobs () =
+  let state = Random.State.make [| 11 |] in
+  let dag = make_random_dag state 120 in
+  let reference = Pool.run_dag ~jobs:1 dag in
+  Array.iter
+    (function Ok _ -> () | Error _ -> Alcotest.fail "clean DAG must not error")
+    reference;
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array outcome_testable))
+        (Printf.sprintf "jobs=%d" jobs)
+        reference
+        (Pool.run_dag ~jobs dag))
+    [ 2; 4; 13 ]
+
+let test_run_dag_crash_isolation_and_propagation () =
+  (* Node 5 crashes; 9 depends on 5, 12 depends on 9 — all three must
+     carry the original crash, everything else its clean value. *)
+  let dag =
+    Array.init 20 (fun i ->
+        let deps =
+          if i = 9 then [| 5 |] else if i = 12 then [| 9; 3 |] else [||]
+        in
+        let run values =
+          if i = 5 then raise (Boom i) else Array.fold_left ( + ) (i * 2) values
+        in
+        { Pool.deps; run })
+  in
+  List.iter
+    (fun jobs ->
+      let results = Pool.run_dag ~jobs dag in
+      Array.iteri
+        (fun i r ->
+          let tag = Printf.sprintf "jobs=%d node %d" jobs i in
+          match (i, r) with
+          | (5 | 9 | 12), Error (Robust.Pwcet_error.Worker_crash msg) ->
+            Alcotest.(check bool) tag true
+              (String.length msg >= 2 && String.sub msg (String.length msg - 2) 2 = "5)")
+          | (5 | 9 | 12), _ -> Alcotest.failf "%s: expected the propagated crash" tag
+          | _, Ok _ -> ()
+          | _, Error _ -> Alcotest.failf "%s: clean node errored" tag)
+        results)
+    [ 1; 4 ]
+
+let test_run_dag_deadline () =
+  (* A deadline in the past refuses every root without running it, and
+     dependents propagate the roots' starvation. *)
+  let ran = Atomic.make 0 in
+  let dag =
+    Array.init 16 (fun i ->
+        {
+          Pool.deps = (if i < 8 then [||] else [| i - 8 |]);
+          run =
+            (fun _ ->
+              Atomic.incr ran;
+              i);
+        })
+  in
+  let results = Pool.run_dag ~deadline:0.0 ~jobs:4 dag in
+  Alcotest.(check int) "nothing ran" 0 (Atomic.get ran);
+  Array.iter
+    (function
+      | Error (Robust.Pwcet_error.Budget_exhausted _) -> ()
+      | _ -> Alcotest.fail "expected Budget_exhausted everywhere")
+    results
+
+let test_run_dag_rejects_forward_deps () =
+  let bad = [| { Pool.deps = [| 0 |]; run = (fun _ -> 0) } |] in
+  (match Pool.run_dag ~jobs:1 bad with
+  | _ -> Alcotest.fail "self-dependency must be rejected"
+  | exception Invalid_argument _ -> ());
+  let forward =
+    [| { Pool.deps = [| 1 |]; run = (fun _ -> 0) }; { Pool.deps = [||]; run = (fun _ -> 1) } |]
+  in
+  match Pool.run_dag ~jobs:4 forward with
+  | _ -> Alcotest.fail "forward dependency must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_run_dag_spawn_failure_joins_workers () =
+  let n = 256 in
+  let processed = Atomic.make 0 in
+  let dag =
+    Array.init n (fun i ->
+        {
+          Pool.deps = [||];
+          run =
+            (fun _ ->
+              Unix.sleepf 0.0005;
+              Atomic.incr processed;
+              i);
+        })
+  in
+  Pool.inject_spawn_failure_after (Some 1);
+  Fun.protect
+    ~finally:(fun () -> Pool.inject_spawn_failure_after None)
+    (fun () ->
+      (match Pool.run_dag ~jobs:4 dag with
+      | _ -> Alcotest.fail "expected the injected spawn failure to propagate"
+      | exception Failure _ -> ());
+      let at_raise = Atomic.get processed in
+      Unix.sleepf 0.05;
+      Alcotest.(check int) "no worker survived the call" at_raise (Atomic.get processed))
+
+let test_run_dag_empty_and_singleton () =
+  Alcotest.(check int) "empty" 0 (Array.length (Pool.run_dag ~jobs:4 ([||] : int Pool.dag_node array)));
+  match Pool.run_dag ~jobs:4 [| { Pool.deps = [||]; run = (fun _ -> 41) } |] with
+  | [| Ok 41 |] -> ()
+  | _ -> Alcotest.fail "singleton"
+
 (* --- parallel FMM determinism ---------------------------------------------- *)
 
 let task_of name =
@@ -364,6 +495,17 @@ let () =
         ; Alcotest.test_case "reduce_pairs_result starved" `Quick
             test_reduce_pairs_result_starved
         ; Alcotest.test_case "reduce_pairs_result clean" `Quick test_reduce_pairs_result_clean
+        ] )
+    ; ( "run_dag",
+        [ Alcotest.test_case "deterministic across jobs" `Quick
+            test_run_dag_deterministic_across_jobs
+        ; Alcotest.test_case "crash isolation + propagation" `Quick
+            test_run_dag_crash_isolation_and_propagation
+        ; Alcotest.test_case "deadline refusal" `Quick test_run_dag_deadline
+        ; Alcotest.test_case "rejects forward deps" `Quick test_run_dag_rejects_forward_deps
+        ; Alcotest.test_case "spawn failure joins workers" `Quick
+            test_run_dag_spawn_failure_joins_workers
+        ; Alcotest.test_case "edge sizes" `Quick test_run_dag_empty_and_singleton
         ] )
     ; ( "determinism",
         [ Alcotest.test_case "fmm jobs 1 = 4" `Quick test_fmm_jobs_bit_identical

@@ -526,6 +526,67 @@ let test_sched_bulk_identity () =
       check "repeat served from the campaign cache" false again.Protocol.sched_computed;
       check_str "cached digest identical" first.Protocol.digest again.Protocol.digest)
 
+(* Bulk comparison grids: the daemon's matrix digest is the direct
+   library run's digest, bit for bit; an identical repeat is served
+   from the grid cache without recomputing; hostile axes are rejected
+   by the decoder. *)
+let test_grid_bulk_identity () =
+  let grid_req =
+    { (Protocol.default_grid ~benchmarks:[ "fibcall"; "bs" ]) with
+      Protocol.g_geometries = [ (8, 2, 16) ];
+      g_pfails = [ 1e-5; 1e-4 ] }
+  in
+  (* The request roundtrips the wire unchanged — the dedup key's input
+     is the wire form, so lossy encoding would split identical grids. *)
+  (match Protocol.request_of_string (Protocol.request_to_string (Protocol.Grid grid_req)) with
+  | Ok req' -> check "grid request roundtrip" true (Protocol.Grid grid_req = req')
+  | Error e -> Alcotest.failf "grid request decode: %s" e);
+  List.iter
+    (fun s ->
+      match Protocol.request_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid grid request %s" s)
+    [ "{\"op\":\"grid\"}";
+      "{\"op\":\"grid\",\"benchmarks\":[]}";
+      "{\"op\":\"grid\",\"benchmarks\":[\"fibcall\"],\"mechanisms\":[]}";
+      "{\"op\":\"grid\",\"benchmarks\":[\"fibcall\"],\"mechanisms\":[\"bogus\"]}";
+      "{\"op\":\"grid\",\"benchmarks\":[\"fibcall\"],\"geometries\":[\"9q\"]}";
+      "{\"op\":\"grid\",\"benchmarks\":[\"fibcall\"],\"pfail_grid\":[]}";
+      "{\"op\":\"grid\",\"benchmarks\":[\"fibcall\"],\"pfail_grid\":[2.0]}" ];
+  let direct =
+    let compile name =
+      let entry = Option.get (Benchmarks.Registry.find name) in
+      (Minic.Compile.compile entry.Benchmarks.Registry.program).Minic.Compile.program
+    in
+    Grid.run ~jobs:1
+      { Grid.benchmarks = [ ("fibcall", compile "fibcall"); ("bs", compile "bs") ];
+        configs = [ Cache.Config.make ~sets:8 ~ways:2 ~line_bytes:16 () ];
+        mechanisms = Pwcet.Mechanism.all;
+        pfail_grid = [ 1e-5; 1e-4 ];
+        targets = [ 1e-15 ];
+        engine = `Path;
+        exact = false;
+        impl = `Sliced }
+  in
+  with_server (fun socket _scheduler ->
+      let ask () =
+        match Client.request ~socket (Protocol.Grid grid_req) with
+        | Ok (Protocol.Grid_reply r) -> r
+        | Ok other ->
+          Alcotest.failf "unexpected grid response: %s" (Protocol.response_to_string other)
+        | Error e -> Alcotest.failf "grid request failed: %s" e
+      in
+      let first = ask () in
+      check_int "all cells evaluated" (List.length direct) first.Protocol.cells;
+      check_int "no failed cells" 0 first.Protocol.failed;
+      check "leader computed" true first.Protocol.grid_computed;
+      check_str "daemon digest = direct run digest" (Grid.digest direct)
+        first.Protocol.grid_digest;
+      let again = ask () in
+      check "repeat served from the grid cache" false again.Protocol.grid_computed;
+      check_str "cached digest identical" first.Protocol.grid_digest
+        again.Protocol.grid_digest)
+
 (* Budgeted requests: an expired-scale deadline degrades (never fails),
    bypasses dedup, and leaves no artifact behind. *)
 let test_budgeted_request_degrades () =
@@ -657,6 +718,7 @@ let () =
         ; Alcotest.test_case "overload shedding" `Quick test_overload_shedding
         ; Alcotest.test_case "retry after shed" `Quick test_retry_after_shed
         ; Alcotest.test_case "sched bulk identity" `Quick test_sched_bulk_identity
+        ; Alcotest.test_case "grid bulk identity" `Quick test_grid_bulk_identity
         ; Alcotest.test_case "budgeted request degrades" `Quick test_budgeted_request_degrades
         ; Alcotest.test_case "result cache" `Quick test_result_cache
         ; Alcotest.test_case "warm requests consistent" `Quick test_warm_requests_consistent
