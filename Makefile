@@ -11,8 +11,8 @@ build:
 # budget-starved analysis that must *complete gracefully* (degraded but
 # sound bounds, exit 0) rather than raise — the robustness contract of
 # the degradation ladder — plus the end-to-end store crash-safety,
-# daemon lifecycle, fault-injection validation and schedulability
-# campaign gates.
+# daemon lifecycle, fault-injection validation, schedulability
+# campaign, grid and chaos-injection gates.
 check:
 	dune build && dune runtest
 	dune exec bin/pwcet_tool.exe -- analyze fibcall --engine ilp --exact \
@@ -24,6 +24,7 @@ check:
 	sh scripts/check_sim.sh ./_build/default/bin/pwcet_tool.exe
 	sh scripts/check_sched.sh ./_build/default/bin/pwcet_tool.exe
 	sh scripts/check_grid.sh ./_build/default/bin/pwcet_tool.exe
+	sh scripts/check_chaos.sh ./_build/default/bin/pwcet_tool.exe
 
 test: check
 

@@ -626,9 +626,9 @@ let section_store_json () =
   let cold, cold_s =
     time (fun () ->
         rm dir;
-        run ~store:(Store.Artifact.open_store ~dir) ())
+        run ~store:(Store.Artifact.open_store ~dir ()) ())
   in
-  let warm_store = Store.Artifact.open_store ~dir in
+  let warm_store = Store.Artifact.open_store ~dir () in
   let warm, warm_s = time (fun () -> run ~store:warm_store ()) in
   let stats = Store.Artifact.stats warm_store in
   let identical = uncached = cold && cold = warm in
@@ -687,12 +687,12 @@ let section_service_json () =
   let socket = Filename.concat tmp (Printf.sprintf "pwcet_bench_svc.%d.sock" (Unix.getpid ())) in
   rm store_dir;
   (try Sys.remove socket with Sys_error _ -> ());
-  let store = Store.Artifact.open_store ~dir:store_dir in
+  let store = Store.Artifact.open_store ~dir:store_dir () in
   let domains = max 2 (min 4 jobs) in
   let scheduler =
     Service.Scheduler.create
       { Service.Scheduler.domains; queue_max = 64; store = Some store; task_cache_max = 32;
-        result_cache_max = 256 }
+        result_cache_max = 256; chaos = None }
   in
   let stop = Atomic.make false in
   let ready_m = Mutex.create () and ready_c = Condition.create () and ready = ref false in
@@ -700,7 +700,8 @@ let section_service_json () =
     Thread.create
       (fun () ->
         Service.Server.run
-          { Service.Server.socket_path = socket; scheduler; stop;
+          { Service.Server.socket_path = socket; scheduler; stop; max_conns = None;
+            read_timeout_s = None; chaos = None;
             on_ready =
               (fun () ->
                 Mutex.lock ready_m;
@@ -871,7 +872,7 @@ let section_sched_json () =
   rm dir;
   (* Populate the store once (untimed): both measured paths then run
      against the identical warm cache. *)
-  ignore (SC.laws ~store:(Store.Artifact.open_store ~dir) spec);
+  ignore (SC.laws ~store:(Store.Artifact.open_store ~dir ()) spec);
   let time ?(reps = 3) f =
     let result = f () in
     let best = ref infinity in
@@ -885,13 +886,13 @@ let section_sched_json () =
   in
   let batched, batched_s =
     time (fun () ->
-        let store = Store.Artifact.open_store ~dir in
+        let store = Store.Artifact.open_store ~dir () in
         let laws = SC.laws ~store spec in
         (SC.run_with_laws spec laws).SC.results)
   in
   let independent, independent_s =
     time (fun () ->
-        let store = Store.Artifact.open_store ~dir in
+        let store = Store.Artifact.open_store ~dir () in
         List.init spec.SC.count (fun index ->
             let ts = Sched.Taskset.generate (SC.taskset_spec spec) ~index in
             let benches =

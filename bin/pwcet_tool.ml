@@ -14,6 +14,7 @@
      cache                    artifact-store maintenance (stat / verify / gc)
      serve                    long-running analysis daemon on a Unix socket
      client                   talk to a running daemon (ping / stats / analyze / load)
+     chaos                    deterministic fault-injection soak (self-healing audit)
 
    Exit codes: 0 success; 1 analysis failure, audit or simulated bound
    violation, or corrupt store entries found by cache verify; 2 invalid
@@ -211,7 +212,7 @@ let crash_after_arg =
 
 let store_of cache_dir no_cache =
   match cache_dir with
-  | Some dir when not no_cache -> Some (Store.Artifact.open_store ~dir)
+  | Some dir when not no_cache -> Some (Store.Artifact.open_store ~dir ())
   | _ -> None
 
 let report_store_stats store =
@@ -499,9 +500,9 @@ let sweep_cmd =
       | Some st when budget = None ->
         let path = Store.Artifact.journal_path st ~run_key in
         if resume then
-          let w, units = Store.Journal.resume ~path ~run_key in
+          let w, units = Store.Journal.resume ~path ~run_key () in
           (Some (w, path), units)
-        else (Some (Store.Journal.create ~path ~run_key, path), [])
+        else (Some (Store.Journal.create ~path ~run_key (), path), [])
       | _ -> (None, [])
     in
     let writer = Option.map fst journal in
@@ -812,9 +813,9 @@ let grid_cmd =
       | Some st when budget = None ->
         let path = Store.Artifact.journal_path st ~run_key in
         if resume then
-          let w, units = Store.Journal.resume ~path ~run_key in
+          let w, units = Store.Journal.resume ~path ~run_key () in
           (Some (w, path), units)
-        else (Some (Store.Journal.create ~path ~run_key, path), [])
+        else (Some (Store.Journal.create ~path ~run_key (), path), [])
       | _ -> (None, [])
     in
     let journal, replayed = journal in
@@ -1124,9 +1125,9 @@ let suite_cmd =
       | Some st when budget = None ->
         let path = Store.Artifact.journal_path st ~run_key in
         if resume then
-          let w, units = Store.Journal.resume ~path ~run_key in
+          let w, units = Store.Journal.resume ~path ~run_key () in
           (Some (w, path), units)
-        else (Some (Store.Journal.create ~path ~run_key, path), [])
+        else (Some (Store.Journal.create ~path ~run_key (), path), [])
       | _ -> (None, [])
     in
     let writer = Option.map fst journal in
@@ -1421,7 +1422,7 @@ let cache_dir_required =
 
 let cache_stat_cmd =
   let run dir =
-    let st = Store.Artifact.open_store ~dir in
+    let st = Store.Artifact.open_store ~dir () in
     let d = Store.Artifact.disk_stats st in
     Printf.printf "store      : %s\n" (Store.Artifact.root st);
     Printf.printf "objects    : %d (%d bytes)\n" d.Store.Artifact.objects
@@ -1435,7 +1436,7 @@ let cache_stat_cmd =
 
 let cache_verify_cmd =
   let run dir =
-    let st = Store.Artifact.open_store ~dir in
+    let st = Store.Artifact.open_store ~dir () in
     let r = Store.Artifact.verify ~expected:Pwcet.Estimator.artifact_kinds st in
     Printf.printf "checked %d object(s): %d intact, %d corrupt (quarantined), %d stale\n"
       r.Store.Artifact.total r.Store.Artifact.intact
@@ -1460,7 +1461,7 @@ let cache_verify_cmd =
 
 let cache_gc_cmd =
   let run dir all =
-    let st = Store.Artifact.open_store ~dir in
+    let st = Store.Artifact.open_store ~dir () in
     let files, bytes = Store.Artifact.gc ~all st in
     Printf.printf "removed %d file(s), %d bytes\n" files bytes
   in
@@ -1493,7 +1494,8 @@ let socket_arg =
            ~doc:"Unix-domain socket the daemon listens on (serve) or connects to (client).")
 
 let serve_cmd =
-  let run socket domains queue_max task_cache result_cache cache_dir no_cache =
+  let run socket domains queue_max task_cache result_cache cache_dir no_cache max_conns
+      read_timeout chaos_plan chaos_seed =
     if queue_max < 0 then begin
       Printf.eprintf "serve: --queue-max must be non-negative, got %d\n" queue_max;
       exit exit_invalid_input
@@ -1506,11 +1508,31 @@ let serve_cmd =
       Printf.eprintf "serve: --result-cache must be non-negative, got %d\n" result_cache;
       exit exit_invalid_input
     end;
+    (match max_conns with
+    | Some n when n < 1 ->
+      Printf.eprintf "serve: --max-conns must be at least 1, got %d\n" n;
+      exit exit_invalid_input
+    | _ -> ());
+    (match read_timeout with
+    | Some s when s <= 0.0 ->
+      Printf.eprintf "serve: --read-timeout must be positive, got %g\n" s;
+      exit exit_invalid_input
+    | _ -> ());
+    let chaos =
+      match chaos_plan with
+      | None -> None
+      | Some name -> (
+        match Chaos.Plan.named name with
+        | Ok plan -> Some (Chaos.Injector.create ~seed:chaos_seed plan)
+        | Error msg ->
+          Printf.eprintf "serve: %s\n" msg;
+          exit exit_invalid_input)
+    in
     let store = store_of cache_dir no_cache in
     let scheduler =
       Service.Scheduler.create
         { Service.Scheduler.domains; queue_max; store; task_cache_max = task_cache;
-          result_cache_max = result_cache }
+          result_cache_max = result_cache; chaos }
     in
     let stop = Atomic.make false in
     let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
@@ -1526,7 +1548,8 @@ let serve_cmd =
     in
     match
       Service.Server.run
-        { Service.Server.socket_path = socket; scheduler; on_ready; stop }
+        { Service.Server.socket_path = socket; scheduler; on_ready; stop; max_conns;
+          read_timeout_s = read_timeout; chaos }
     with
     | () ->
       let s = Service.Scheduler.stats scheduler in
@@ -1565,6 +1588,33 @@ let serve_cmd =
                    for repeat requests; 0 disables the layer so every warm request replays \
                    from the artifact store instead.")
   in
+  let max_conns_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Connection admission cap: beyond N concurrently served connections, new \
+                   ones are refused at accept with a typed overloaded response — the \
+                   fd/thread analogue of --queue-max. Default: unbounded.")
+  in
+  let read_timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-frame read deadline: a client stalling mid-request longer than this \
+                   is shed with a typed overloaded response and disconnected (slow-loris \
+                   defence). Default: wait forever.")
+  in
+  let chaos_plan_arg =
+    Arg.(value & opt (some string) None
+         & info [ "chaos-plan" ] ~docv:"PLAN"
+             ~doc:"Arm deterministic fault injection inside the daemon using the named \
+                   built-in plan (none, store, workers, pool, service, all) — worker-domain \
+                   deaths, stalled and reset transfers. For soak testing only.")
+  in
+  let chaos_seed_arg =
+    Arg.(value & opt int 0
+         & info [ "chaos-seed" ] ~docv:"SEED"
+             ~doc:"Seed for --chaos-plan; the fault schedule is a pure function of \
+                   (seed, site, occurrence).")
+  in
   Cmd.v
     (cmd_info "serve"
        ~doc:"Long-running pWCET analysis daemon: length-prefixed JSON over a Unix socket, \
@@ -1575,7 +1625,8 @@ let serve_cmd =
              cleanly (in-flight responses finish, the store is left consistent, the \
              socket is removed); it then exits 130 like every signal-ended run.")
     Term.(const run $ socket_arg $ domains_arg $ queue_max_arg $ task_cache_arg
-          $ result_cache_arg $ cache_dir_arg $ no_cache_arg)
+          $ result_cache_arg $ cache_dir_arg $ no_cache_arg $ max_conns_arg
+          $ read_timeout_arg $ chaos_plan_arg $ chaos_seed_arg)
 
 let client_mech_conv =
   Arg.enum
@@ -1838,9 +1889,9 @@ let sched_analyze_cmd =
       | Some st when budget = None ->
         let path = Store.Artifact.journal_path st ~run_key in
         if resume then
-          let w, units = Store.Journal.resume ~path ~run_key in
+          let w, units = Store.Journal.resume ~path ~run_key () in
           (Some (w, path), units)
-        else (Some (Store.Journal.create ~path ~run_key, path), [])
+        else (Some (Store.Journal.create ~path ~run_key (), path), [])
       | _ -> (None, [])
     in
     let writer = Option.map fst journal in
@@ -2101,8 +2152,9 @@ let sched_request_of_spec (spec : Sched.Campaign.spec) : Service.Protocol.sched 
 
 let client_cmd =
   let run socket op bench pfail target mech sets ways line engine exact impl timeout_ms
-      delay_ms bench_load clients requests retries retry_base_ms (spec : Sched.Campaign.spec)
-      grid_benchmarks grid_geometries grid_mechanisms grid_pfails grid_targets =
+      delay_ms bench_load clients requests retries retry_base_ms hold_ms
+      (spec : Sched.Campaign.spec) grid_benchmarks grid_geometries grid_mechanisms
+      grid_pfails grid_targets =
     if retries < 0 || retry_base_ms < 0 then begin
       Printf.eprintf "client: --retries and --retry-base-ms must be non-negative\n";
       exit exit_invalid_input
@@ -2135,6 +2187,10 @@ let client_cmd =
       Printf.printf "overloaded   : %d\n" s.Service.Protocol.overloaded;
       Printf.printf "errors       : %d\n" s.Service.Protocol.errors;
       Printf.printf "queued       : %d\n" s.Service.Protocol.queued;
+      Printf.printf "crashed      : %d\n" s.Service.Protocol.crashed_workers;
+      Printf.printf "respawned    : %d\n" s.Service.Protocol.respawned_workers;
+      Printf.printf "slow-clients : %d\n" s.Service.Protocol.slow_clients;
+      Printf.printf "rejected     : %d\n" s.Service.Protocol.rejected_conns;
       (match s.Service.Protocol.store with
       | None -> ()
       | Some (hits, misses, puts) ->
@@ -2214,6 +2270,47 @@ let client_cmd =
         exit 1
       | Ok _ -> fail_transport "unexpected response to grid"
       | Error msg -> fail_transport msg)
+    | `Stall ->
+      (* Slow-loris probe: each connection sends a deliberately
+         unfinished frame (3 of the 8 length-prefix bytes) and then
+         goes silent, exactly the shape the daemon's --read-timeout
+         exists to shed. Counts how many connections were answered
+         with the typed overloaded response before [--hold-ms]
+         expired. *)
+      if clients < 1 then begin
+        Printf.eprintf "client: --clients must be at least 1\n";
+        exit exit_invalid_input
+      end;
+      let hold_s = float_of_int hold_ms /. 1000.0 in
+      let shed = ref 0 and lock = Mutex.create () in
+      let one () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            match Unix.connect fd (Unix.ADDR_UNIX socket) with
+            | exception Unix.Unix_error _ -> ()
+            | () ->
+              let partial = Bytes.of_string "\x03\x00\x00" in
+              (match Unix.write fd partial 0 (Bytes.length partial) with
+              | _ -> ()
+              | exception Unix.Unix_error _ -> ());
+              let deadline = Robust.Budget.now () +. hold_s in
+              (match Service.Frame.read_within ~deadline fd with
+              | Ok (Some payload) -> (
+                match Service.Protocol.response_of_string payload with
+                | Ok (Service.Protocol.Overloaded _) ->
+                  Mutex.lock lock;
+                  incr shed;
+                  Mutex.unlock lock
+                | Ok _ | Error _ -> ())
+              | Ok None | Error _ -> ()
+              | exception Unix.Unix_error _ -> ()))
+      in
+      let threads = List.init clients (fun _ -> Thread.create one ()) in
+      List.iter Thread.join threads;
+      Printf.printf "stalled : %d\n" clients;
+      Printf.printf "shed    : %d\n" !shed
     | `Analyze ->
       let req = analyze_request () in
       if bench_load then begin
@@ -2251,9 +2348,9 @@ let client_cmd =
              (some
                 (enum
                    [ ("ping", `Ping); ("stats", `Stats); ("analyze", `Analyze);
-                     ("sched", `Sched); ("grid", `Grid) ]))
+                     ("sched", `Sched); ("grid", `Grid); ("stall", `Stall) ]))
              None
-         & info [] ~docv:"OP" ~doc:"ping, stats, analyze, sched, or grid.")
+         & info [] ~docv:"OP" ~doc:"ping, stats, analyze, sched, grid, or stall.")
   in
   let client_bench_arg =
     Arg.(value & pos 1 (some string) None
@@ -2328,6 +2425,13 @@ let client_cmd =
          & info [ "retry-base-ms" ] ~docv:"MS"
              ~doc:"Base backoff delay: retry $(i,i) sleeps base * 2^i * (0.5 + jitter) ms.")
   in
+  let hold_ms_arg =
+    Arg.(value & opt int 2000
+         & info [ "hold-ms" ] ~docv:"MS"
+             ~doc:"For the stall op: how long each stalled connection waits for the \
+                   daemon's verdict before giving up. Must exceed the daemon's \
+                   --read-timeout for the shed count to be meaningful.")
+  in
   let exits =
     Cmd.Exit.info exit_overloaded
       ~doc:"when the daemon sheds the request via admission control (typed overloaded \
@@ -2344,8 +2448,9 @@ let client_cmd =
     Term.(const run $ socket_arg $ op_arg $ client_bench_arg $ pfail_arg $ target_arg
           $ mech_arg $ sets_arg $ ways_arg $ line_arg $ engine_arg $ exact_arg $ impl_arg
           $ timeout_ms_arg $ delay_ms_arg $ load_arg $ clients_arg $ requests_arg
-          $ retries_arg $ retry_base_arg $ sched_spec_term $ grid_benchmarks_arg
-          $ grid_geometries_arg $ grid_mechanisms_arg $ grid_pfails_arg $ grid_targets_arg)
+          $ retries_arg $ retry_base_arg $ hold_ms_arg $ sched_spec_term
+          $ grid_benchmarks_arg $ grid_geometries_arg $ grid_mechanisms_arg
+          $ grid_pfails_arg $ grid_targets_arg)
 
 (* --- source ------------------------------------------------------------------ *)
 
@@ -2394,6 +2499,269 @@ let refined_cmd =
        ~doc:"Refined SRB analysis (the paper's future-work direction) vs the paper's bound")
     Term.(const run $ bench_arg $ pfail_arg $ target_arg $ jobs_arg)
 
+
+(* --- chaos (deterministic fault-injection soak) ------------------------------ *)
+
+(* The soak harness behind scripts/check_chaos.sh: [campaigns] seeded
+   campaigns cycle through the analyze / sweep / grid / sched
+   workloads, each under its own deterministic injector (seeded purely
+   from (--seed, campaign index)), each against its own throwaway
+   store. Every campaign is classified:
+
+     match    the result digest is bit-identical to the fault-free
+              reference (the self-healing layers fully masked the
+              injected faults);
+     typed    the run surfaced a typed error (a killed DAG node's
+              [Worker_crash] cells) — visible, attributable, sound;
+     corrupt  the result differs from the reference with no typed
+              error — silent corruption, the one outcome the
+              architecture promises never happens;
+     escape   an exception leaked out of a workload.
+
+   The soak digest folds every campaign's (workload, verdict, result
+   digest) triple; it is a pure function of (--seed, --plan,
+   --campaigns) — the same at any --jobs — because pool-node faults
+   are keyed by node index and store faults are fully masked. Exit 1
+   on any corrupt or escape. *)
+
+let chaos_cmd =
+  let run campaigns seed plan_name jobs dir_opt verbose =
+    if campaigns < 1 then begin
+      Printf.eprintf "chaos: --campaigns must be at least 1\n";
+      exit exit_invalid_input
+    end;
+    let plan =
+      match Chaos.Plan.named plan_name with
+      | Ok p -> p
+      | Error msg ->
+        Printf.eprintf "chaos: %s\n" msg;
+        exit exit_invalid_input
+    in
+    let bench = "fibcall" in
+    let _, compiled = compile_target bench in
+    let program = compiled.Minic.Compile.program in
+    let config = config_of 8 2 16 in
+    let target = 1e-12 in
+    let root =
+      match dir_opt with
+      | Some d -> d
+      | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "pwcet_chaos.%d" (Unix.getpid ()))
+    in
+    let rec rm_rf path =
+      match Sys.is_directory path with
+      | true ->
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      | false -> ( try Sys.remove path with Sys_error _ -> ())
+      | exception Sys_error _ -> ()
+    in
+    (try Unix.mkdir root 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let md5 s = Digest.to_hex (Digest.string s) in
+    (* --- workloads, shared between reference and chaotic runs --- *)
+    let analyze_of ?store () =
+      let task = Pwcet.Estimator.prepare ~program ~config ?store () in
+      let ff = Pwcet.Estimator.fault_free_wcet task in
+      let est =
+        Pwcet.Estimator.estimate task ~pfail:default_pfail
+          ~mechanism:Pwcet.Mechanism.Shared_reliable_buffer ?store ()
+      in
+      md5
+        (Printf.sprintf "%d|%.17g|%d" ff est.Pwcet.Estimator.pbf
+           (ff + Prob.Dist.quantile est.Pwcet.Estimator.penalty ~target))
+    in
+    let sweep_of ?store () =
+      let task = Pwcet.Estimator.prepare ~program ~config ?store () in
+      let ff = Pwcet.Estimator.fault_free_wcet task in
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun mech ->
+          let ests =
+            Pwcet.Estimator.sweep task ~pfail_grid:[ 1e-5; 1e-4; 1e-3 ] ~mechanism:mech
+              ?store ()
+          in
+          List.iter
+            (fun (e : Pwcet.Estimator.estimate) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s|%.17g|%d;"
+                   (Pwcet.Mechanism.short_name mech)
+                   e.Pwcet.Estimator.pfail
+                   (ff + Prob.Dist.quantile e.Pwcet.Estimator.penalty ~target)))
+            ests)
+        [ Pwcet.Mechanism.No_protection; Pwcet.Mechanism.Shared_reliable_buffer ];
+      md5 (Buffer.contents buf)
+    in
+    let grid_spec =
+      { Grid.benchmarks = [ (bench, program) ];
+        configs = [ config ];
+        mechanisms = Pwcet.Mechanism.all;
+        pfail_grid = [ 1e-5; 1e-4 ];
+        targets = [ target ];
+        engine = `Path;
+        exact = false;
+        impl = `Sliced }
+    in
+    let sched_spec =
+      match
+        Sched.Campaign.make ~count:2 ~n_tasks:3 ~utilisation:0.5 ~seed:42
+          ~benchmarks:[ bench ] ~sets:8 ~ways:2 ~line:16 ()
+      with
+      | Ok spec -> spec
+      | Error msg ->
+        Printf.eprintf "chaos: internal sched spec invalid: %s\n" msg;
+        exit 1
+    in
+    (* --- fault-free references, computed once --- *)
+    let analyze_ref = analyze_of () in
+    let sweep_ref = sweep_of () in
+    let grid_ref = Grid.run ~jobs:1 grid_spec in
+    let grid_ref_digest = Grid.digest grid_ref in
+    let sched_ref = (Sched.Campaign.run sched_spec).Sched.Campaign.digest in
+    (* --- the soak --- *)
+    let workloads = [| "analyze"; "sweep"; "grid"; "sched" |] in
+    let tallies = Array.make_matrix (Array.length workloads) 4 0 in
+    let soak = Buffer.create 4096 in
+    let injected = ref 0 in
+    for i = 0 to campaigns - 1 do
+      let cseed = Sim.Rng.stream ~seed ~sample:i in
+      let injector = Chaos.Injector.create ~seed:cseed plan in
+      let dir = Filename.concat root (Printf.sprintf "c%d" i) in
+      let with_store f =
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () -> f (Store.Artifact.open_store ~chaos:injector ~dir ()))
+      in
+      let w = i mod Array.length workloads in
+      let thunk () =
+        match w with
+        | 0 ->
+          with_store (fun store ->
+              let d = analyze_of ~store () in
+              if d = analyze_ref then (`Match, d, None)
+              else (`Corrupt, d, Some "analyze digest mismatch"))
+        | 1 ->
+          with_store (fun store ->
+              let d = sweep_of ~store () in
+              (* Journal fuzz rides along: a torn chaotic append must
+                 cost exactly the records that never returned, never a
+                 poisoned resume. *)
+              let jpath = Filename.concat root (Printf.sprintf "c%d.journal" i) in
+              let writer =
+                Store.Journal.create ~chaos:injector ~path:jpath ~run_key:"chaos-soak" ()
+              in
+              let appended = ref [] in
+              (try
+                 for r = 0 to 4 do
+                   let record = Printf.sprintf "record-%d-%d" i r in
+                   Store.Journal.append writer record;
+                   appended := record :: !appended
+                 done
+               with Unix.Unix_error _ -> ());
+              Store.Journal.close writer;
+              let _, replayed = Store.Journal.resume ~path:jpath ~run_key:"chaos-soak" () in
+              (try Sys.remove jpath with Sys_error _ -> ());
+              if replayed <> List.rev !appended then
+                (`Corrupt, d, Some "journal replay mismatch")
+              else if d = sweep_ref then (`Match, d, None)
+              else (`Corrupt, d, Some "sweep digest mismatch"))
+        | 2 ->
+          with_store (fun store ->
+              let outcomes = Grid.run ~jobs ~store ~chaos:injector grid_spec in
+              let d = Grid.digest outcomes in
+              let errors = List.exists (fun (_, r) -> Result.is_error r) outcomes in
+              let silent =
+                List.exists2
+                  (fun (_, r) (_, r0) ->
+                    match (r, r0) with
+                    | Ok c, Ok c0 -> Grid.cell_to_wire c <> Grid.cell_to_wire c0
+                    | Ok _, Error _ -> true
+                    | Error _, _ -> false)
+                  outcomes grid_ref
+              in
+              if silent then (`Corrupt, d, Some "grid cell differs from reference")
+              else if errors then (`Typed, d, None)
+              else if d = grid_ref_digest then (`Match, d, None)
+              else (`Corrupt, d, Some "grid digest mismatch"))
+        | _ ->
+          with_store (fun store ->
+              let t = Sched.Campaign.run ~store ~jobs sched_spec in
+              let d = t.Sched.Campaign.digest in
+              if d = sched_ref then (`Match, d, None)
+              else (`Corrupt, d, Some "sched digest mismatch"))
+      in
+      let verdict, digest, detail =
+        try thunk () with e -> (`Escape, "-", Some (Printexc.to_string e))
+      in
+      let v_idx, v_name =
+        match verdict with
+        | `Match -> (0, "match")
+        | `Typed -> (1, "typed")
+        | `Corrupt -> (2, "corrupt")
+        | `Escape -> (3, "escape")
+      in
+      tallies.(w).(v_idx) <- tallies.(w).(v_idx) + 1;
+      injected := !injected + Chaos.Injector.total_injected injector;
+      Buffer.add_string soak (Printf.sprintf "%d:%s:%s:%s\n" i workloads.(w) v_name digest);
+      if verbose || v_idx >= 2 then
+        Printf.printf "campaign %3d  %-7s  %-7s%s\n" i workloads.(w) v_name
+          (match detail with None -> "" | Some m -> "  " ^ m)
+    done;
+    (try Unix.rmdir root with Unix.Unix_error _ -> ());
+    let corrupts = Array.fold_left (fun a t -> a + t.(2)) 0 tallies in
+    let escapes = Array.fold_left (fun a t -> a + t.(3)) 0 tallies in
+    Printf.printf "plan        : %s  (seed %d, %d campaigns, jobs %d)\n" plan.Chaos.Plan.name
+      seed campaigns jobs;
+    Array.iteri
+      (fun w name ->
+        let t = tallies.(w) in
+        Printf.printf "%-12s: %d run, %d match, %d typed, %d corrupt, %d escape\n" name
+          (t.(0) + t.(1) + t.(2) + t.(3))
+          t.(0) t.(1) t.(2) t.(3))
+      workloads;
+    Printf.printf "injected    : %d faults\n" !injected;
+    Printf.printf "soak digest : %s\n" (md5 (Buffer.contents soak));
+    if corrupts > 0 || escapes > 0 then begin
+      Printf.printf "verdict     : FAIL — %d silent corruption(s), %d escape(s)\n" corrupts
+        escapes;
+      exit 1
+    end
+    else Printf.printf "verdict     : OK — every campaign bit-identical or typed\n"
+  in
+  let campaigns_arg =
+    Arg.(value & opt int 200
+         & info [ "campaigns" ] ~docv:"N" ~doc:"Soak campaigns to run (cycling workloads).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Soak seed; every campaign's fault schedule is a pure function of \
+                   ($(docv), campaign index).")
+  in
+  let plan_arg =
+    Arg.(value & opt string "all"
+         & info [ "plan" ] ~docv:"PLAN"
+             ~doc:"Fault plan: none, store, workers, pool, service, or all (default).")
+  in
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Scratch directory for the per-campaign stores and journals \
+                   (default: a fresh one under the system temp dir). Cleaned as the \
+                   soak goes.")
+  in
+  let verbose_arg =
+    Arg.(value & flag
+         & info [ "verbose" ] ~doc:"Print one line per campaign, not just the failures.")
+  in
+  Cmd.v
+    (cmd_info "chaos"
+       ~doc:"Deterministic fault-injection soak: run seeded analyze/sweep/grid/sched \
+             campaigns under a named fault plan, asserting every result is bit-identical \
+             to its fault-free reference or a typed error — never silent corruption. The \
+             soak digest is reproducible from (--seed, --plan, --campaigns) at any --jobs.")
+    Term.(const run $ campaigns_arg $ seed_arg $ plan_arg $ jobs_arg $ dir_arg $ verbose_arg)
+
 let () =
   let doc = "probabilistic WCET estimation with fault-mitigation hardware (DATE'16 reproduction)" in
   let info = Cmd.info "pwcet_tool" ~version:"1.0.0" ~doc ~exits in
@@ -2402,4 +2770,4 @@ let () =
        (Cmd.group info
           [ list_cmd; source_cmd; disasm_cmd; analyze_cmd; sweep_cmd; grid_cmd; suite_cmd;
             simulate_cmd; validate_cmd; audit_cmd; refined_cmd; sched_cmd; cache_cmd;
-            serve_cmd; client_cmd ]))
+            serve_cmd; client_cmd; chaos_cmd ]))

@@ -1,0 +1,22 @@
+(* One constant per injection point, so plans, call sites and reports
+   all spell a site the same way. The namespace mirrors the layer
+   layout: store.*, journal.*, frame.*, client.*, workers.*, pool.*. *)
+
+let store_read = "store.read"
+let store_read_data = "store.read.data"
+let store_write = "store.write"
+let store_fsync = "store.fsync"
+let store_rename = "store.rename"
+let journal_append = "journal.append"
+let frame_read = "frame.read"
+let frame_write = "frame.write"
+let client_connect = "client.connect"
+let client_send = "client.send"
+let client_recv = "client.recv"
+let workers_job = "workers.job"
+let pool_node = "pool.node"
+
+let all =
+  [ store_read; store_read_data; store_write; store_fsync; store_rename; journal_append;
+    frame_read; frame_write; client_connect; client_send; client_recv; workers_job;
+    pool_node ]

@@ -1,0 +1,19 @@
+(** Canonical injection-site names, one constant per instrumented
+    operation, so plans, taps and reports never disagree on
+    spelling. *)
+
+val store_read : string
+val store_read_data : string
+val store_write : string
+val store_fsync : string
+val store_rename : string
+val journal_append : string
+val frame_read : string
+val frame_write : string
+val client_connect : string
+val client_send : string
+val client_recv : string
+val workers_job : string
+val pool_node : string
+
+val all : string list

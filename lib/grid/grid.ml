@@ -169,7 +169,7 @@ type value =
   | Panel of Estimator.task * (Mechanism.t * Fmm.t) list
   | Cell of cell
 
-let run ?(jobs = 1) ?budget ?store ?skip ?on_cell spec =
+let run ?(jobs = 1) ?budget ?store ?skip ?on_cell ?chaos spec =
   let skip = match skip with Some f -> f | None -> fun _ -> None in
   let all_points = points spec in
   let nodes = ref [] in
@@ -273,7 +273,7 @@ let run ?(jobs = 1) ?budget ?store ?skip ?on_cell spec =
      each of which degrades internally and completes — a starved grid
      yields looser cells, not missing ones.  [run_dag]'s own deadline
      refusal is deliberately not armed here for that reason. *)
-  let outcomes = Parallel.Pool.run_dag ~jobs node_array in
+  let outcomes = Parallel.Pool.run_dag ?chaos ~jobs node_array in
   List.map
     (fun slot ->
       match slot with

@@ -75,6 +75,7 @@ val run :
   ?store:Store.Artifact.t ->
   ?skip:(point -> cell option) ->
   ?on_cell:(cell -> unit) ->
+  ?chaos:Chaos.Injector.t ->
   spec ->
   (point * (cell, Robust.Pwcet_error.t) result) list
 (** Evaluates the grid in one pass, returning one outcome per point in
@@ -90,7 +91,13 @@ val run :
     degrades internally and completes — a starved grid yields looser
     (non-[Exact] rung) cells, not missing ones. [Error] outcomes only
     arise from a crashed worker (or its downstream cells). Budgeted
-    runs bypass [store] exactly as in {!Pwcet.Estimator}. *)
+    runs bypass [store] exactly as in {!Pwcet.Estimator}.
+
+    [chaos] arms DAG-node death/stall injection ({!Parallel.Pool.run_dag},
+    site [pool.node], keyed by node index): a killed node and its
+    dependents surface as typed [Error] cells, identically at every
+    [jobs] value — the grid digest over outcomes stays jobs-invariant
+    even under injected faults. *)
 
 val digest : (point * (cell, Robust.Pwcet_error.t) result) list -> string
 (** Hex digest over the canonical encodings of the outcomes, in the

@@ -74,8 +74,11 @@ let map ~jobs f input = mapi ~jobs (fun _ x -> f x) input
 (* Crash-isolating variant: every item gets its own outcome, a raising
    item poisons only its own slot, and items picked up after the
    deadline are refused without running. Unlike [mapi], nothing aborts
-   the remaining work — independent items survive a crashing sibling. *)
-let mapi_result ?deadline ~jobs f input =
+   the remaining work — independent items survive a crashing sibling.
+   [chaos] may kill or stall individual items (occurrence = item index,
+   so the same items die at every [jobs]); a killed item is exactly a
+   crashed one — a typed [Worker_crash] in its own slot. *)
+let mapi_result ?deadline ?chaos ~jobs f input =
   let past_deadline () =
     match deadline with None -> false | Some d -> Robust.Budget.now () > d
   in
@@ -83,7 +86,10 @@ let mapi_result ?deadline ~jobs f input =
     if past_deadline () then
       Error (E.Budget_exhausted (Printf.sprintf "Pool.mapi_result: deadline expired before item %d" i))
     else
-      match f i x with
+      match
+        Chaos.Injector.tap_at chaos ~site:Chaos.Site.pool_node ~occurrence:i;
+        f i x
+      with
       | v -> Ok v
       | exception e -> Error (E.Worker_crash (Printexc.to_string e))
   in
@@ -105,7 +111,8 @@ let mapi_result ?deadline ~jobs f input =
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let map_result ?deadline ~jobs f input = mapi_result ?deadline ~jobs (fun _ x -> f x) input
+let map_result ?deadline ?chaos ~jobs f input =
+  mapi_result ?deadline ?chaos ~jobs (fun _ x -> f x) input
 
 (* Balanced pairwise reduction with per-layer fan-out: each layer's
    pairs are independent, so they run through [map]; the combination
@@ -156,7 +163,7 @@ type 'a dag_node = { deps : int array; run : 'a array -> 'a }
    dependencies' outcomes — the deque only decides *when* a node runs,
    never *what* it computes — and results are returned in node-index
    order, so the output is bit-identical for every [jobs] value. *)
-let run_dag ?deadline ~jobs nodes =
+let run_dag ?deadline ?chaos ~jobs nodes =
   let n = Array.length nodes in
   Array.iteri
     (fun i node ->
@@ -196,7 +203,13 @@ let run_dag ?deadline ~jobs nodes =
              (Printf.sprintf "Pool.run_dag: deadline expired before node %d" i))
       else
         let args = Array.map (fun d -> match outcome d with Ok v -> v | Error _ -> assert false) node.deps in
-        (match node.run args with
+        (* The chaos tap is keyed by node index, not arrival order, so
+           the same nodes die (as typed [Worker_crash] outcomes) at
+           every [jobs] value — fault schedules stay jobs-invariant. *)
+        (match
+           Chaos.Injector.tap_at chaos ~site:Chaos.Site.pool_node ~occurrence:i;
+           node.run args
+         with
         | v -> Ok v
         | exception e -> Error (E.Worker_crash (Printexc.to_string e)))
   in

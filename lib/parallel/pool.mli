@@ -44,6 +44,7 @@ val mapi : jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 
 val mapi_result :
   ?deadline:float ->
+  ?chaos:Chaos.Injector.t ->
   jobs:int ->
   (int -> 'a -> 'b) ->
   'a array ->
@@ -51,6 +52,9 @@ val mapi_result :
 (** Crash-isolating {!mapi}: one outcome per item, in input order.
     An item whose [f] raises yields [Error (Worker_crash text)] (with
     the original exception text) without disturbing its siblings; when
+    [chaos] is given, items may additionally be killed or stalled at
+    site {!Chaos.Site.pool_node} — keyed by item index, so the same
+    items fault at every [jobs] value, as typed [Worker_crash]; when
     [deadline] (absolute, {!Robust.Budget.now} scale) has passed before
     an item starts, that item yields [Error (Budget_exhausted _)]
     without running. Outcomes of items that do run are independent of
@@ -61,6 +65,7 @@ val mapi_result :
 
 val map_result :
   ?deadline:float ->
+  ?chaos:Chaos.Injector.t ->
   jobs:int ->
   ('a -> 'b) ->
   'a array ->
@@ -90,6 +95,7 @@ type 'a dag_node = {
 
 val run_dag :
   ?deadline:float ->
+  ?chaos:Chaos.Injector.t ->
   jobs:int ->
   'a dag_node array ->
   ('a, Robust.Pwcet_error.t) Stdlib.result array
@@ -100,8 +106,10 @@ val run_dag :
     One outcome per node, in node-index order.
 
     Crash isolation matches {!mapi_result}: a node whose [run] raises
-    yields [Error (Worker_crash text)]; a node picked up after
-    [deadline] (absolute, {!Robust.Budget.now} scale) yields
+    yields [Error (Worker_crash text)]; with [chaos], nodes may be
+    killed or stalled at site {!Chaos.Site.pool_node}, keyed by node
+    index so the same nodes fault at every [jobs] value; a node picked
+    up after [deadline] (absolute, {!Robust.Budget.now} scale) yields
     [Error (Budget_exhausted _)] without running. A node with a failed
     dependency propagates the first (lowest dependency index) failure
     without running, so errors flow down the DAG deterministically.

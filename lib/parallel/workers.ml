@@ -3,11 +3,38 @@ type t = {
   nonempty : Condition.t;  (** signalled on enqueue and on shutdown *)
   jobs : (unit -> unit) Queue.t;
   queue_max : int;
+  target : int;  (** domains requested at {!create} *)
+  chaos : Chaos.Injector.t option;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;  (** emptied by [shutdown] *)
+  mutable live : int;  (** workers currently in their serve loop *)
+  mutable crashed : int;
+  mutable respawned : int;
 }
 
-let worker t () =
+(* A worker's death must never lose the job it had already dequeued:
+   the job goes back on the queue before anything else (jobs are
+   idempotent computations filling ivars, so re-running is safe), then
+   the dying worker spawns its own replacement while still holding the
+   lock — the successor is in [t.domains] before any observer can see
+   the pool short-handed. A failed replacement spawn (domain limit) is
+   tolerated: [ensure_alive] repairs the deficit from a live thread. *)
+let rec die_with_job t job =
+  Mutex.lock t.lock;
+  Queue.add job t.jobs;
+  t.crashed <- t.crashed + 1;
+  t.live <- t.live - 1;
+  if not t.stopping then begin
+    try
+      t.domains <- Domain.spawn (worker t) :: t.domains;
+      t.live <- t.live + 1;
+      t.respawned <- t.respawned + 1
+    with _ -> ()
+  end;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+and worker t () =
   let rec loop () =
     Mutex.lock t.lock;
     let rec next () =
@@ -23,17 +50,31 @@ let worker t () =
     let job = next () in
     Mutex.unlock t.lock;
     match job with
-    | None -> ()
-    | Some job ->
-      (* Crash containment, as in [Pool.mapi_result]: the job's own
-         result channel carries failures; a worker must survive any
-         job to keep serving the rest. *)
-      (try job () with _ -> ());
-      loop ()
+    | None ->
+      Mutex.lock t.lock;
+      t.live <- t.live - 1;
+      Mutex.unlock t.lock
+    | Some job -> (
+      (* The chaos tap sits between dequeue and execution: a [`Die]
+         here simulates the domain dying with a claimed-but-unserved
+         job in hand — the hardest loss window — and exercises the
+         requeue-and-respawn protocol above. *)
+      match Chaos.Injector.tap_worker t.chaos ~site:Chaos.Site.workers_job with
+      | `Die -> die_with_job t job
+      | `Sleep s ->
+        Unix.sleepf s;
+        run_and_loop job
+      | `Pass -> run_and_loop job)
+  and run_and_loop job =
+    (* Crash containment, as in [Pool.mapi_result]: the job's own
+       result channel carries failures; a worker must survive any
+       job to keep serving the rest. *)
+    (try job () with _ -> ());
+    loop ()
   in
   loop ()
 
-let create ~domains ~queue_max =
+let create ?chaos ~domains ~queue_max () =
   if domains < 1 then invalid_arg "Workers.create: domains must be at least 1";
   if queue_max < 0 then invalid_arg "Workers.create: negative queue_max";
   let t =
@@ -41,15 +82,21 @@ let create ~domains ~queue_max =
       nonempty = Condition.create ();
       jobs = Queue.create ();
       queue_max;
+      target = domains;
+      chaos;
       stopping = false;
-      domains = [] }
+      domains = [];
+      live = 0;
+      crashed = 0;
+      respawned = 0 }
   in
   (* Eager spawn under the Pool discipline: if the runtime's domain
      limit bites midway, drain (nothing is queued yet) and join the
      domains that did start before re-raising. *)
   (try
      for _ = 1 to domains do
-       t.domains <- Domain.spawn (worker t) :: t.domains
+       t.domains <- Domain.spawn (worker t) :: t.domains;
+       t.live <- t.live + 1
      done
    with e ->
      let bt = Printexc.get_raw_backtrace () in
@@ -71,9 +118,46 @@ let submit t job =
   Mutex.unlock t.lock;
   accepted
 
+(* Belt-and-braces watchdog: top up the pool to its target headcount.
+   Normally a no-op — a dying worker respawns its own successor — but
+   it repairs the deficit when that in-line respawn failed (domain
+   limit at the moment of death). Called opportunistically from the
+   service layer on each admission. *)
+let ensure_alive t =
+  Mutex.lock t.lock;
+  let spawned = ref 0 in
+  (try
+     while (not t.stopping) && t.live < t.target do
+       t.domains <- Domain.spawn (worker t) :: t.domains;
+       t.live <- t.live + 1;
+       t.respawned <- t.respawned + 1;
+       incr spawned
+     done
+   with _ -> ());
+  Mutex.unlock t.lock;
+  !spawned
+
 let queued t =
   Mutex.lock t.lock;
   let n = Queue.length t.jobs in
+  Mutex.unlock t.lock;
+  n
+
+let crashed t =
+  Mutex.lock t.lock;
+  let n = t.crashed in
+  Mutex.unlock t.lock;
+  n
+
+let respawned t =
+  Mutex.lock t.lock;
+  let n = t.respawned in
+  Mutex.unlock t.lock;
+  n
+
+let live t =
+  Mutex.lock t.lock;
+  let n = t.live in
   Mutex.unlock t.lock;
   n
 

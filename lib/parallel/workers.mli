@@ -1,4 +1,5 @@
-(** A persistent pool of worker domains with a bounded job queue.
+(** A persistent, self-healing pool of worker domains with a bounded
+    job queue.
 
     {!Pool} fans a {e known} array of items across short-lived domains;
     a long-running service needs the dual: domains that outlive any one
@@ -16,15 +17,24 @@
     result channel, mirroring {!Pool.mapi_result}'s crash isolation),
     and the worker keeps serving.
 
+    The pool also survives the death of a worker domain itself (the
+    chaos layer simulates this between dequeue and execution — the
+    widest loss window): the claimed job is requeued first, the dying
+    worker spawns its own replacement, and {!ensure_alive} tops the
+    pool back up to its target headcount whenever an in-line respawn
+    failed. Jobs must be idempotent for the requeue to be safe — true
+    of every scheduler job, which only fills an ivar.
+
     All operations are safe from any domain or thread. *)
 
 type t
 
-val create : domains:int -> queue_max:int -> t
+val create : ?chaos:Chaos.Injector.t -> domains:int -> queue_max:int -> unit -> t
 (** [domains] worker domains are spawned eagerly (so a later
     [Domain.spawn] failure cannot strand a half-started pool — the
     {!Pool} spawn discipline) and block waiting for work. [queue_max]
-    bounds the number of {e queued} (not yet running) jobs.
+    bounds the number of {e queued} (not yet running) jobs. [chaos]
+    injects worker deaths and stalls at site {!Chaos.Site.workers_job}.
     @raise Invalid_argument if [domains < 1] or [queue_max < 0]. *)
 
 val submit : t -> (unit -> unit) -> bool
@@ -33,9 +43,26 @@ val submit : t -> (unit -> unit) -> bool
     (shed load now, don't promise latency you can't deliver) or the
     pool is shutting down. Never blocks. *)
 
+val ensure_alive : t -> int
+(** Watchdog: spawn workers until the pool is back at its target
+    headcount (a no-op when nothing died, or when every death already
+    respawned its own successor in-line). Returns the number of
+    workers spawned. Never raises — a failed spawn leaves the repair
+    to a later call. *)
+
 val queued : t -> int
 (** Jobs accepted but not yet picked up by a worker — the instantaneous
     queue depth, for stats reporting. *)
+
+val crashed : t -> int
+(** Worker-domain deaths observed so far (injected or real). *)
+
+val respawned : t -> int
+(** Replacement workers spawned so far (in-line or by
+    {!ensure_alive}). *)
+
+val live : t -> int
+(** Workers currently serving — [target] when the pool is healthy. *)
 
 val shutdown : t -> unit
 (** Stop accepting new jobs, let the workers finish everything already

@@ -8,8 +8,16 @@ let connect ~socket =
 
 let round_trip fd req =
   match Frame.write fd (Protocol.request_to_string req) with
-  | exception Unix.Unix_error (err, _, _) ->
-    Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+  | exception Unix.Unix_error (err, _, _) -> (
+    (* The daemon may have answered and closed before we finished
+       sending — typed shedding at accept does exactly this. A reply
+       already sitting in the socket buffer outranks the send error. *)
+    match Frame.read fd with
+    | Ok (Some payload) -> Protocol.response_of_string payload
+    | Ok None | Error _ ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message err))
+    | exception Unix.Unix_error _ ->
+      Error (Printf.sprintf "send failed: %s" (Unix.error_message err)))
   | () -> (
     match Frame.read fd with
     | Error msg -> Error (Printf.sprintf "bad response frame: %s" msg)
@@ -26,30 +34,109 @@ let request ~socket req =
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () -> round_trip fd req)
 
+(* Connection-level errnos that mean "the infrastructure hiccuped",
+   not "the request is wrong": peer reset, broken pipe, nobody
+   listening (a daemon mid-restart leaves ECONNREFUSED or a missing
+   socket path behind for a moment). *)
+let transient_errno = function
+  | Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN
+  | Unix.EWOULDBLOCK | Unix.EINTR ->
+    true
+  | _ -> false
+
+(* One attempt, with the failure's {e phase} preserved. Connect- and
+   send-phase failures are always safe to retry: the daemon cannot
+   have acted on a request it never finished receiving. A recv-phase
+   failure (the connection died mid-reply) is retried only for
+   idempotent requests — the daemon DID serve it, and a blind reissue
+   of a non-idempotent one would double-serve. Every current protocol
+   op is idempotent (analyses are pure, stats/ping read-only), but the
+   guard keeps the contract honest for future ops. *)
+let attempt ?chaos ~idempotent ~socket req =
+  let fail ~phase err ctx =
+    let msg = Printf.sprintf "%s: %s" ctx (Unix.error_message err) in
+    let retryable =
+      transient_errno err && match phase with `Connect | `Send -> true | `Recv -> idempotent
+    in
+    if retryable then Error (`Transient msg) else Error (`Fatal msg)
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        Chaos.Injector.tap chaos ~site:Chaos.Site.client_connect;
+        Unix.connect fd (Unix.ADDR_UNIX socket)
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+        fail ~phase:`Connect err (Printf.sprintf "cannot connect to %s" socket)
+      | () -> (
+        match
+          Chaos.Injector.tap chaos ~site:Chaos.Site.client_send;
+          Frame.write fd (Protocol.request_to_string req)
+        with
+        | exception Unix.Unix_error (err, _, _) -> (
+          (* As in {!round_trip}: a typed reply already in the buffer
+             (shed at accept, then close) outranks the send error. *)
+          match Frame.read fd with
+          | Ok (Some payload) -> (
+            match Protocol.response_of_string payload with
+            | Ok response -> Ok response
+            | Error _ -> fail ~phase:`Send err "send failed")
+          | Ok None | Error _ -> fail ~phase:`Send err "send failed"
+          | exception Unix.Unix_error _ -> fail ~phase:`Send err "send failed")
+        | () -> (
+          match
+            Chaos.Injector.tap chaos ~site:Chaos.Site.client_recv;
+            Frame.read fd
+          with
+          | exception Unix.Unix_error (err, _, _) -> fail ~phase:`Recv err "receive failed"
+          | Error msg -> Error (`Fatal (Printf.sprintf "bad response frame: %s" msg))
+          | Ok None ->
+            (* The daemon accepted and then closed without a reply —
+               restarting, or shedding at accept without managing the
+               courtesy frame. Phase semantics of [`Recv]. *)
+            let msg = "server closed the connection before responding" in
+            if idempotent then Error (`Transient msg) else Error (`Fatal msg)
+          | Ok (Some payload) -> (
+            match Protocol.response_of_string payload with
+            | Ok response -> Ok response
+            | Error msg -> Error (`Fatal msg)))))
+
 (* Typed shedding is the daemon saying "try again later" — so try
-   again later. Jittered exponential backoff: attempt [i] sleeps
+   again later; a transient connection failure is the infrastructure
+   saying the same thing, so it hedges on the identical schedule.
+   Jittered exponential backoff: attempt [i] sleeps
    [base_ms * 2^i * (0.5 + u)] with [u] drawn from the counter-based
    generator (a pure function of [(seed, attempt)], so a retry
    schedule is reproducible), then the request is reissued on a fresh
-   connection. Transport errors and error replies are NOT retried —
+   connection. Error replies and decode failures are NOT retried —
    they are answers, not congestion. *)
-let request_with_retry ~socket ?(retries = 0) ?(base_ms = 50) ?(seed = 0) req =
+let request_with_retry ~socket ?(retries = 0) ?(base_ms = 50) ?(seed = 0) ?(idempotent = true)
+    ?chaos req =
   if retries < 0 then invalid_arg "Client.request_with_retry: negative retries";
   if base_ms < 0 then invalid_arg "Client.request_with_retry: negative base_ms";
-  let rec go attempt =
-    match request ~socket req with
-    | Ok (Protocol.Overloaded _) as shed ->
-      if attempt >= retries then shed
+  let backoff attempt =
+    let stream = Sim.Rng.stream ~seed ~sample:attempt in
+    let u = Sim.Rng.uniform ~stream ~draw:0 in
+    Unix.sleepf (float_of_int base_ms *. Float.ldexp 1.0 attempt *. (0.5 +. u) /. 1000.0)
+  in
+  let outcome () =
+    match attempt ?chaos ~idempotent ~socket req with
+    | Ok (Protocol.Overloaded _) as shed -> `Again shed
+    | Error (`Transient msg) -> `Again (Error msg)
+    | Error (`Fatal msg) -> `Done (Error msg)
+    | Ok _ as r -> `Done r
+  in
+  let rec go i =
+    match outcome () with
+    | `Done r -> r
+    | `Again last ->
+      if i >= retries then last
       else begin
-        let stream = Sim.Rng.stream ~seed ~sample:attempt in
-        let u = Sim.Rng.uniform ~stream ~draw:0 in
-        let delay_s =
-          float_of_int base_ms *. Float.ldexp 1.0 attempt *. (0.5 +. u) /. 1000.0
-        in
-        Unix.sleepf delay_s;
-        go (attempt + 1)
+        backoff i;
+        go (i + 1)
       end
-    | r -> r
   in
   go 0
 

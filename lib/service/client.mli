@@ -11,24 +11,44 @@
 val request : socket:string -> Protocol.request -> (Protocol.response, string) result
 (** Connect, send one request, read one response, close. [Error] on
     connection failure, framing violation, or an undecodable
-    response. *)
+    response.
+
+    A send failure does not immediately fail the request: the daemon
+    may have already answered and closed (shed-at-accept writes a
+    typed [Overloaded] before closing, which surfaces to the sender as
+    EPIPE/ECONNRESET), so the socket is drained first and a decodable
+    buffered reply wins over the send error. *)
 
 val request_with_retry :
   socket:string ->
   ?retries:int ->
   ?base_ms:int ->
   ?seed:int ->
+  ?idempotent:bool ->
+  ?chaos:Chaos.Injector.t ->
   Protocol.request ->
   (Protocol.response, string) result
-(** {!request}, but an {!Protocol.Overloaded} reply — typed load
-    shedding, the one response that means "later", not "no" — is
-    retried up to [retries] more times with jittered exponential
-    backoff: attempt [i] sleeps [base_ms * 2^i * (0.5 + u)]
+(** {!request}, but two kinds of "later, not no" are retried up to
+    [retries] more times, each on a fresh connection, with jittered
+    exponential backoff: attempt [i] sleeps [base_ms * 2^i * (0.5+u)]
     milliseconds, [u] uniform from the counter-based generator seeded
-    by [(seed, i)] so a schedule is reproducible. Defaults: no
-    retries, 50 ms base, seed 0. Transport failures and [Error_reply]
-    are returned immediately — only shedding is transient. The last
-    shed response is returned when every attempt was shed. *)
+    by [(seed, i)], so a schedule is reproducible.
+
+    {ul
+    {- An {!Protocol.Overloaded} reply — typed load shedding.}
+    {- A {e transient} connection failure (ECONNRESET, EPIPE,
+       ECONNREFUSED, missing socket): in the connect or send phase
+       always — the daemon cannot have acted on an unreceived request —
+       and in the receive phase (mid-reply, daemon already served it)
+       only when [idempotent] (default [true]; every current op is).
+       A non-idempotent request that dies mid-reply is returned as the
+       error, never blindly double-served.}}
+
+    [Error_reply] and undecodable responses are returned immediately —
+    they are answers, not congestion. When every attempt was shed or
+    transient, the last such outcome is returned. Defaults: no retries,
+    50 ms base, seed 0. [chaos] arms the [client.connect]/[client.send]/
+    [client.recv] injection sites. *)
 
 type load_report = {
   total : int;  (** requests attempted *)

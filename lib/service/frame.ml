@@ -1,14 +1,14 @@
 let max_payload = 16 * 1024 * 1024
 let header_bytes = 8
 
-let write_all fd bytes =
-  let len = Bytes.length bytes in
-  let sent = ref 0 in
-  while !sent < len do
-    sent := !sent + Unix.write fd bytes !sent (len - !sent)
+let write_all fd bytes off len =
+  let sent = ref off in
+  let stop = off + len in
+  while !sent < stop do
+    sent := !sent + Unix.write fd bytes !sent (stop - !sent)
   done
 
-let write fd payload =
+let write ?chaos fd payload =
   let len = String.length payload in
   if len > max_payload then
     invalid_arg (Printf.sprintf "Frame.write: %d-byte payload exceeds the %d-byte cap" len max_payload);
@@ -18,34 +18,78 @@ let write fd payload =
   let frame = Bytes.create (header_bytes + len) in
   Bytes.set_int64_le frame 0 (Int64.of_int len);
   Bytes.blit_string payload 0 frame header_bytes len;
-  write_all fd frame
+  (* Injected faults: an errno ([EPIPE]/[ECONNRESET]) raises exactly
+     like the peer vanishing; a short write splits the frame across two
+     syscalls — the receiver's length-prefixed reassembly must not
+     care where the packet boundary fell. *)
+  match Chaos.Injector.tap_io chaos ~site:Chaos.Site.frame_write ~len:(Bytes.length frame) with
+  | `Full -> write_all fd frame 0 (Bytes.length frame)
+  | `Partial n ->
+    write_all fd frame 0 n;
+    write_all fd frame n (Bytes.length frame - n)
 
-(* [Ok false] = clean EOF before the first byte; [Ok true] = filled. *)
-let read_exact fd buf =
+type read_error = Timeout | Malformed of string
+
+(* [Ok false] = clean EOF before the first byte; [Ok true] = filled.
+   With a [deadline] (absolute, {!Robust.Budget.now} scale), the wait
+   for readability is bounded: a peer that stops sending mid-frame —
+   the slow-loris shape — yields [Error Timeout] instead of pinning
+   this thread forever. *)
+let read_exact ?deadline fd buf =
   let len = Bytes.length buf in
+  let wait_readable () =
+    match deadline with
+    | None -> Ok ()
+    | Some d ->
+      let rec poll () =
+        let remaining = d -. Robust.Budget.now () in
+        if remaining <= 0.0 then Error Timeout
+        else
+          match Unix.select [ fd ] [] [] remaining with
+          | [], _, _ -> poll ()
+          | _ :: _, _, _ -> Ok ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> poll ()
+      in
+      poll ()
+  in
   let rec loop got =
     if got = len then Ok true
     else
-      match Unix.read fd buf got (len - got) with
-      | 0 -> if got = 0 then Ok false else Error (Printf.sprintf "EOF mid-frame (%d of %d bytes)" got len)
-      | n -> loop (got + n)
+      match wait_readable () with
+      | Error _ as e -> e
+      | Ok () -> (
+        match Unix.read fd buf got (len - got) with
+        | 0 ->
+          if got = 0 then Ok false
+          else Error (Malformed (Printf.sprintf "EOF mid-frame (%d of %d bytes)" got len))
+        | n -> loop (got + n))
   in
   loop 0
 
-let read fd =
+let read_within ?deadline ?chaos fd =
+  (* The injected fault fires before any byte moves: an errno
+     ([EAGAIN], [ECONNRESET]) raises as the matching real read
+     would. *)
+  Chaos.Injector.tap chaos ~site:Chaos.Site.frame_read;
   let header = Bytes.create header_bytes in
-  match read_exact fd header with
-  | Error e -> Error e
+  match read_exact ?deadline fd header with
+  | Error _ as e -> e
   | Ok false -> Ok None
   | Ok true -> (
     let len64 = Bytes.get_int64_le header 0 in
     if Int64.compare len64 0L < 0 || Int64.compare len64 (Int64.of_int max_payload) > 0 then
-      Error (Printf.sprintf "bad frame length %Ld (cap %d)" len64 max_payload)
+      Error (Malformed (Printf.sprintf "bad frame length %Ld (cap %d)" len64 max_payload))
     else
       let payload = Bytes.create (Int64.to_int len64) in
-      match read_exact fd payload with
+      match read_exact ?deadline fd payload with
       | Ok true -> Ok (Some (Bytes.unsafe_to_string payload))
       | Ok false ->
         if Bytes.length payload = 0 then Ok (Some "")
-        else Error "EOF where a frame payload was promised"
-      | Error e -> Error e)
+        else Error (Malformed "EOF where a frame payload was promised")
+      | Error _ as e -> e)
+
+let read fd =
+  match read_within fd with
+  | Ok _ as ok -> ok
+  | Error (Malformed msg) -> Error msg
+  | Error Timeout -> assert false (* no deadline was given *)

@@ -12,15 +12,32 @@ val max_payload : int
     real protocol message, low enough that a corrupt or hostile length
     prefix cannot trigger a giant allocation. *)
 
-val write : Unix.file_descr -> string -> unit
+val write : ?chaos:Chaos.Injector.t -> Unix.file_descr -> string -> unit
 (** Write one complete frame (length prefix + payload), looping over
-    short writes.
+    short writes. [chaos] arms the [frame.write] site: injected errnos
+    raise like the real thing, an injected short write splits the
+    frame across two syscalls (the reader must reassemble).
     @raise Invalid_argument if the payload exceeds {!max_payload}.
     @raise Unix.Unix_error as the underlying writes do (e.g. [EPIPE]
     when the peer is gone). *)
 
-val read : Unix.file_descr -> (string option, string) result
+type read_error =
+  | Timeout  (** the peer stalled past the deadline mid-frame *)
+  | Malformed of string
+      (** oversized or negative length prefix, or EOF mid-frame *)
+
+val read_within :
+  ?deadline:float ->
+  ?chaos:Chaos.Injector.t ->
+  Unix.file_descr ->
+  (string option, read_error) result
 (** The next frame's payload; [Ok None] on a clean end-of-stream (the
-    peer closed between frames). [Error] on a malformed stream: an
-    oversized or negative length prefix, or EOF mid-frame.
+    peer closed between frames). [deadline] (absolute,
+    {!Robust.Budget.now} scale) bounds the whole wait, including
+    between the bytes of one frame — the slow-loris defence. [chaos]
+    arms the [frame.read] site (injected errnos raise).
+    @raise Unix.Unix_error as the underlying reads do. *)
+
+val read : Unix.file_descr -> (string option, string) result
+(** {!read_within} without deadline or injection, errors as text.
     @raise Unix.Unix_error as the underlying reads do. *)

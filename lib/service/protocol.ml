@@ -106,6 +106,10 @@ type stats_payload = {
   overloaded : int;
   errors : int;
   queued : int;
+  crashed_workers : int;
+  respawned_workers : int;
+  slow_clients : int;
+  rejected_conns : int;
   store : (int * int * int) option;
   uptime_s : float;
 }
@@ -229,6 +233,10 @@ let response_to_string = function
             ("overloaded", Json.Int s.overloaded);
             ("errors", Json.Int s.errors);
             ("queued", Json.Int s.queued);
+            ("crashed_workers", Json.Int s.crashed_workers);
+            ("respawned_workers", Json.Int s.respawned_workers);
+            ("slow_clients", Json.Int s.slow_clients);
+            ("rejected_conns", Json.Int s.rejected_conns);
             ("uptime_s", Json.Float s.uptime_s) ]
          @
          match s.store with
@@ -534,6 +542,17 @@ let decode_stats json =
   let* overloaded = required ~field:"overloaded" json Json.to_int in
   let* errors = required ~field:"errors" json Json.to_int in
   let* queued = required ~field:"queued" json Json.to_int in
+  (* Health counters arrived with the chaos layer; absent on replies
+     from an older daemon, where they read as zero. *)
+  let optional_int ~field json =
+    match Json.member field json with
+    | None -> Ok 0
+    | Some _ -> required ~field json Json.to_int
+  in
+  let* crashed_workers = optional_int ~field:"crashed_workers" json in
+  let* respawned_workers = optional_int ~field:"respawned_workers" json in
+  let* slow_clients = optional_int ~field:"slow_clients" json in
+  let* rejected_conns = optional_int ~field:"rejected_conns" json in
   let* uptime_s = required ~field:"uptime_s" json Json.to_float in
   let* store =
     match Json.member "store_hits" json with
@@ -544,7 +563,10 @@ let decode_stats json =
       let* puts = required ~field:"store_puts" json Json.to_int in
       Ok (Some (hits, misses, puts))
   in
-  Ok (Stats_reply { requests; computations; deduped; overloaded; errors; queued; store; uptime_s })
+  Ok
+    (Stats_reply
+       { requests; computations; deduped; overloaded; errors; queued; crashed_workers;
+         respawned_workers; slow_clients; rejected_conns; store; uptime_s })
 
 let response_of_string s =
   let* json = Json.of_string s in

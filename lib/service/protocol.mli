@@ -109,6 +109,10 @@ type stats_payload = {
   overloaded : int;  (** requests shed by admission control *)
   errors : int;
   queued : int;  (** jobs accepted but not yet running, right now *)
+  crashed_workers : int;  (** worker-domain deaths survived so far *)
+  respawned_workers : int;  (** replacement workers the watchdog spawned *)
+  slow_clients : int;  (** connections shed for stalling mid-request *)
+  rejected_conns : int;  (** connections refused at the admission cap *)
   store : (int * int * int) option;  (** (hits, misses, puts), when a store is attached *)
   uptime_s : float;
 }

@@ -4,10 +4,11 @@ type config = {
   store : Store.Artifact.t option;
   task_cache_max : int;
   result_cache_max : int;
+  chaos : Chaos.Injector.t option;
 }
 
-let default_config ?store () =
-  { domains = 2; queue_max = 64; store; task_cache_max = 32; result_cache_max = 256 }
+let default_config ?store ?chaos () =
+  { domains = 2; queue_max = 64; store; task_cache_max = 32; result_cache_max = 256; chaos }
 
 (* A write-once cell: the leader's computation fills it, every waiter
    (the leader's own connection thread included) blocks on it. *)
@@ -68,13 +69,17 @@ type t = {
   mutable deduped : int;
   mutable overloaded : int;
   mutable errors : int;
+  mutable slow_clients : int;
+  mutable rejected_conns : int;
 }
 
 let create (config : config) =
   if config.task_cache_max < 1 then invalid_arg "Scheduler.create: task_cache_max must be at least 1";
   if config.result_cache_max < 0 then
     invalid_arg "Scheduler.create: result_cache_max must be non-negative";
-  { pool = Parallel.Workers.create ~domains:config.domains ~queue_max:config.queue_max;
+  { pool =
+      Parallel.Workers.create ?chaos:config.chaos ~domains:config.domains
+        ~queue_max:config.queue_max ();
     store = config.store;
     queue_max = config.queue_max;
     task_cache_max = config.task_cache_max;
@@ -98,7 +103,9 @@ let create (config : config) =
     computations = 0;
     deduped = 0;
     overloaded = 0;
-    errors = 0 }
+    errors = 0;
+    slow_clients = 0;
+    rejected_conns = 0 }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -221,6 +228,19 @@ let shed t =
   locked t (fun () -> t.overloaded <- t.overloaded + 1);
   Protocol.Overloaded { queued; queue_max = t.queue_max }
 
+(* Per-request bookkeeping shared by the three entry points. The
+   [ensure_alive] call is the watchdog's second line: every admission
+   tops the pool back up to its target headcount, so even if a dying
+   worker's in-line respawn failed, the very next request repairs the
+   deficit before it needs a worker. *)
+let admit t =
+  ignore (Parallel.Workers.ensure_alive t.pool);
+  locked t (fun () -> t.requests <- t.requests + 1)
+
+(* Connection-level incidents reported by the server front end. *)
+let note_slow_client t = locked t (fun () -> t.slow_clients <- t.slow_clients + 1)
+let note_rejected_conn t = locked t (fun () -> t.rejected_conns <- t.rejected_conns + 1)
+
 let run_job t ?budget ~program ~config ~identity (a : Protocol.analyze) iv ~on_done =
   let job () =
     let outcome =
@@ -235,7 +255,7 @@ let run_job t ?budget ~program ~config ~identity (a : Protocol.analyze) iv ~on_d
   Parallel.Workers.submit t.pool job
 
 let analyze t (a : Protocol.analyze) : Protocol.response =
-  locked t (fun () -> t.requests <- t.requests + 1);
+  admit t;
   match Benchmarks.Registry.find a.bench with
   | None ->
     locked t (fun () -> t.errors <- t.errors + 1);
@@ -410,7 +430,7 @@ let compute_sched t (spec : Sched.Campaign.spec) () =
   { analyzed = spec.count; passes; degraded; digest = c.Sched.Campaign.digest }
 
 let sched t (s : Protocol.sched) : Protocol.response =
-  locked t (fun () -> t.requests <- t.requests + 1);
+  admit t;
   let respond_sched ~computed (outcome : sched_outcome) : Protocol.response =
     match outcome with
     | Ok sum ->
@@ -527,7 +547,7 @@ let compute_grid t (spec : Grid.spec) () =
   { cells = List.length results; failed; grid_digest = Grid.digest results }
 
 let grid t (g : Protocol.grid) : Protocol.response =
-  locked t (fun () -> t.requests <- t.requests + 1);
+  admit t;
   let respond_grid ~computed (outcome : grid_outcome) : Protocol.response =
     match outcome with
     | Ok sum ->
@@ -599,6 +619,8 @@ let grid t (g : Protocol.grid) : Protocol.response =
 
 let stats t : Protocol.stats_payload =
   let queued = Parallel.Workers.queued t.pool in
+  let crashed_workers = Parallel.Workers.crashed t.pool in
+  let respawned_workers = Parallel.Workers.respawned t.pool in
   let store =
     Option.map
       (fun st ->
@@ -613,6 +635,10 @@ let stats t : Protocol.stats_payload =
         overloaded = t.overloaded;
         errors = t.errors;
         queued;
+        crashed_workers;
+        respawned_workers;
+        slow_clients = t.slow_clients;
+        rejected_conns = t.rejected_conns;
         store;
         uptime_s = Robust.Budget.now () -. t.started })
 

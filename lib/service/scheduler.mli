@@ -39,11 +39,13 @@ type config = {
   store : Store.Artifact.t option;
   task_cache_max : int;  (** prepared tasks kept in memory *)
   result_cache_max : int;  (** completed estimates kept in memory; 0 disables *)
+  chaos : Chaos.Injector.t option;
+      (** arms worker-domain death/stall injection on the pool *)
 }
 
-val default_config : ?store:Store.Artifact.t -> unit -> config
+val default_config : ?store:Store.Artifact.t -> ?chaos:Chaos.Injector.t -> unit -> config
 (** Two worker domains, queue bound 64, task cache 32, result cache
-    256. *)
+    256, no injection. *)
 
 type t
 
@@ -81,6 +83,14 @@ val grid : t -> Protocol.grid -> Protocol.response
     the reply is ready; never raises. *)
 
 val stats : t -> Protocol.stats_payload
+
+val note_slow_client : t -> unit
+(** Record a connection shed for stalling mid-request (the server's
+    read deadline fired) — surfaces as [slow_clients] in {!stats}. *)
+
+val note_rejected_conn : t -> unit
+(** Record a connection refused at the admission cap — surfaces as
+    [rejected_conns] in {!stats}. *)
 
 val shutdown : t -> unit
 (** Stop admitting, drain every queued computation (their waiters get

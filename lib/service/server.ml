@@ -3,6 +3,9 @@ type config = {
   scheduler : Scheduler.t;
   on_ready : unit -> unit;
   stop : bool Atomic.t;
+  max_conns : int option;
+  read_timeout_s : float option;
+  chaos : Chaos.Injector.t option;
 }
 
 (* How often the accept loop re-checks [stop]: SIGTERM latency, not
@@ -40,12 +43,25 @@ type conns = {
   mutable active : int;
 }
 
-let serve_connection scheduler fd =
-  let respond response = Frame.write fd (Protocol.response_to_string response) in
+let serve_connection ?read_timeout_s ?chaos scheduler fd =
+  let respond response = Frame.write ?chaos fd (Protocol.response_to_string response) in
   let rec loop () =
-    match Frame.read fd with
+    let deadline = Option.map (fun s -> Robust.Budget.now () +. s) read_timeout_s in
+    match Frame.read_within ?deadline ?chaos fd with
+    (* A transient read errno — injected EAGAIN, or a real EINTR — is
+       the kernel saying "not yet", not "never": keep serving. Any
+       other errno (ECONNRESET and friends) costs this connection. *)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> loop ()
     | Ok None -> ()  (* peer done *)
-    | Error msg ->
+    | Error Frame.Timeout ->
+      (* Slow-loris shedding: a client that stalls mid-request past the
+         read deadline gets a typed [Overloaded] — the same "later, not
+         no" any admission decision uses — and loses its connection.
+         One stalled peer costs one thread for [read_timeout_s], never
+         forever. *)
+      Scheduler.note_slow_client scheduler;
+      (try respond (Protocol.Overloaded { queued = 0; queue_max = 0 }) with _ -> ())
+    | Error (Frame.Malformed msg) ->
       (* Malformed framing: answer if the pipe still works, then drop
          the connection — after a framing error the stream position is
          unreliable. *)
@@ -65,7 +81,7 @@ let serve_connection scheduler fd =
   in
   loop ()
 
-let run { socket_path; scheduler; on_ready; stop } =
+let run { socket_path; scheduler; on_ready; stop; max_conns; read_timeout_s; chaos } =
   (* A client vanishing mid-reply must cost one connection (EPIPE on
      its thread), never the daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ());
@@ -82,6 +98,25 @@ let run { socket_path; scheduler; on_ready; stop } =
       next_id = 0;
       active = 0 }
   in
+  (* Connection-level admission: beyond [max_conns] concurrently served
+     connections the daemon refuses at accept with a best-effort typed
+     [Overloaded] — bounding threads and fds the same way [queue_max]
+     bounds queued compute. *)
+  let over_cap () =
+    match max_conns with
+    | None -> false
+    | Some cap ->
+      Mutex.lock conns.lock;
+      let over = conns.active >= cap in
+      Mutex.unlock conns.lock;
+      over
+  in
+  let reject fd =
+    Scheduler.note_rejected_conn scheduler;
+    (try Frame.write fd (Protocol.response_to_string (Protocol.Overloaded { queued = 0; queue_max = 0 }))
+     with _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   let handle fd =
     let id =
       Mutex.lock conns.lock;
@@ -95,7 +130,7 @@ let run { socket_path; scheduler; on_ready; stop } =
     ignore
       (Thread.create
          (fun () ->
-           (try serve_connection scheduler fd with _ -> ());
+           (try serve_connection ?read_timeout_s ?chaos scheduler fd with _ -> ());
            Mutex.lock conns.lock;
            Hashtbl.remove conns.fds id;
            conns.active <- conns.active - 1;
@@ -113,7 +148,7 @@ let run { socket_path; scheduler; on_ready; stop } =
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
       match Unix.accept listener with
-      | fd, _ -> handle fd
+      | fd, _ -> if over_cap () then reject fd else handle fd
       | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.ECONNABORTED), _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;

@@ -17,6 +17,19 @@ type config = {
       (** called once the socket is listening, before the first accept
           — the readiness hook for tests and scripts *)
   stop : bool Atomic.t;  (** set (by anyone) to request shutdown *)
+  max_conns : int option;
+      (** connection admission cap: beyond this many concurrently
+          served connections, new ones are refused at accept with a
+          best-effort typed {!Protocol.Overloaded} — the fd/thread
+          analogue of the scheduler's [queue_max]. [None]: unbounded. *)
+  read_timeout_s : float option;
+      (** per-frame read deadline: a client that stalls mid-request
+          longer than this — the slow-loris shape — is answered with a
+          typed {!Protocol.Overloaded} and disconnected, and counted
+          in [slow_clients]. [None]: wait forever. *)
+  chaos : Chaos.Injector.t option;
+      (** arms the [frame.read]/[frame.write] injection sites on every
+          connection this server serves *)
 }
 
 exception Already_running of string

@@ -6,16 +6,21 @@ type stats = {
   corrupt : int;
   version_mismatch : int;
   puts : int;
+  unavailable : int;
 }
 
 type t = {
   root : string;
-  lock : Mutex.t;  (** guards [s]; everything else is immutable or on-disk *)
+  lock : Mutex.t;  (** guards [s] and [degraded]; everything else is immutable or on-disk *)
   mutable s : stats;
+  mutable degraded : bool;
+      (** sticky: set on ENOSPC, after which puts stop touching disk *)
   tmp_counter : int Atomic.t;
+  chaos : Chaos.Injector.t option;
 }
 
-let zero_stats = { hits = 0; misses = 0; corrupt = 0; version_mismatch = 0; puts = 0 }
+let zero_stats =
+  { hits = 0; misses = 0; corrupt = 0; version_mismatch = 0; puts = 0; unavailable = 0 }
 
 (* Stats are touched from every worker domain of a concurrent daemon
    sharing one handle; a plain [t.s <- ...] read-modify-write would
@@ -39,8 +44,15 @@ let quarantine_dir t = Filename.concat t.root "quarantine"
 let journals_dir t = Filename.concat t.root "journals"
 let tmp_dir t = Filename.concat t.root "tmp"
 
-let open_store ~dir =
-  let t = { root = dir; lock = Mutex.create (); s = zero_stats; tmp_counter = Atomic.make 0 } in
+let open_store ?chaos ~dir () =
+  let t =
+    { root = dir;
+      lock = Mutex.create ();
+      s = zero_stats;
+      degraded = false;
+      tmp_counter = Atomic.make 0;
+      chaos }
+  in
   mkdir_p (objects_dir t);
   mkdir_p (quarantine_dir t);
   mkdir_p (journals_dir t);
@@ -71,7 +83,11 @@ let read_file path =
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+      (fun () ->
+        (* [End_of_file] if a concurrent writer replaced the entry with
+           a shorter one between length query and read: a miss, not a
+           crash — the caller recomputes. *)
+        try Some (really_input_string ic (in_channel_length ic)) with End_of_file -> None)
 
 (* Durability for the rename itself: the parent directory's metadata
    (the new directory entry) must reach disk too, or a power loss
@@ -123,16 +139,57 @@ let write_atomic t ~path data =
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       let bytes = Bytes.of_string data in
-      let n = Unix.write fd bytes 0 (Bytes.length bytes) in
-      if n <> Bytes.length bytes then failwith "Artifact.put: short write";
+      (* An injected [`Partial] leaves a torn temp file and raises: the
+         tear can never reach [path] — only the rename publishes — and
+         the temp is [gc]'s to reap. A real short write on a regular
+         file means the disk filled mid-write; same containment. *)
+      let want =
+        match Chaos.Injector.tap_io t.chaos ~site:Chaos.Site.store_write ~len:(Bytes.length bytes) with
+        | `Full -> Bytes.length bytes
+        | `Partial n ->
+          ignore (Unix.write fd bytes 0 n);
+          raise (Unix.Unix_error (Unix.EIO, Chaos.Site.store_write, "chaos short write"))
+      in
+      let n = Unix.write fd bytes 0 want in
+      if n <> want then failwith "Artifact.put: short write";
+      Chaos.Injector.tap t.chaos ~site:Chaos.Site.store_fsync;
       Unix.fsync fd);
   mkdir_p (Filename.dirname path);
+  Chaos.Injector.tap t.chaos ~site:Chaos.Site.store_rename;
   Sys.rename tmp path;
   fsync_dir (Filename.dirname path)
 
+(* A put is a cache investment, never a correctness requirement: any
+   I/O failure is absorbed into the [unavailable] counter and the
+   computation that produced the payload proceeds with its result.
+   ENOSPC flips the handle into sticky degraded mode — once the disk is
+   full, later puts skip straight to the counter instead of grinding
+   through a doomed write-fsync-rename each time. *)
 let put t ~key ~kind ~version payload =
-  write_atomic t ~path:(object_path t ~key) (Codec.encode ~kind ~version payload);
-  bump t (fun s -> { s with puts = s.puts + 1 })
+  let skip =
+    Mutex.lock t.lock;
+    let d = t.degraded in
+    if d then t.s <- { t.s with unavailable = t.s.unavailable + 1 };
+    Mutex.unlock t.lock;
+    d
+  in
+  if not skip then
+    match write_atomic t ~path:(object_path t ~key) (Codec.encode ~kind ~version payload) with
+    | () -> bump t (fun s -> { s with puts = s.puts + 1 })
+    | exception ((Unix.Unix_error _ | Sys_error _ | Failure _) as e) ->
+      let full =
+        match e with Unix.Unix_error (Unix.ENOSPC, _, _) -> true | _ -> false
+      in
+      Mutex.lock t.lock;
+      if full then t.degraded <- true;
+      t.s <- { t.s with unavailable = t.s.unavailable + 1 };
+      Mutex.unlock t.lock
+
+let degraded t =
+  Mutex.lock t.lock;
+  let d = t.degraded in
+  Mutex.unlock t.lock;
+  d
 
 let quarantine_entry t ~key =
   let path = object_path t ~key in
@@ -141,11 +198,36 @@ let quarantine_entry t ~key =
     with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ())
 
 let get t ~key ~kind ~version =
-  match read_file (object_path t ~key) with
-  | None ->
+  let path = object_path t ~key in
+  (* Transient read faults (injected or real EIO) are retried once; a
+     second consecutive fault quarantines the entry — the media under
+     it is presumed bad — and reports a miss, so the caller
+     transparently recomputes. *)
+  let attempt () =
+    Chaos.Injector.tap t.chaos ~site:Chaos.Site.store_read;
+    read_file path
+  in
+  let read =
+    match attempt () with
+    | r -> Ok r
+    | exception Unix.Unix_error _ -> (
+      match attempt () with
+      | r -> Ok r
+      | exception Unix.Unix_error _ -> Error ())
+  in
+  match read with
+  | Error () ->
+    quarantine_entry t ~key;
+    bump t (fun s -> { s with misses = s.misses + 1; corrupt = s.corrupt + 1 });
+    None
+  | Ok None ->
     bump t (fun s -> { s with misses = s.misses + 1 });
     None
-  | Some data -> (
+  | Ok (Some data) -> (
+    (* Readback bit-flips land *before* the envelope check, exactly
+       like silent media corruption — the decode below must catch
+       them. *)
+    let data = Chaos.Injector.tap_data t.chaos ~site:Chaos.Site.store_read_data data in
     match Codec.decode ~kind ~version data with
     | Ok payload ->
       bump t (fun s -> { s with hits = s.hits + 1 });
@@ -173,7 +255,8 @@ let pp_stats fmt s =
     (if looked_up = 0 then 0.0 else 100.0 *. float_of_int s.hits /. float_of_int looked_up)
     s.puts;
   if s.corrupt > 0 then Format.fprintf fmt ", %d corrupt (quarantined)" s.corrupt;
-  if s.version_mismatch > 0 then Format.fprintf fmt ", %d version-mismatched" s.version_mismatch
+  if s.version_mismatch > 0 then Format.fprintf fmt ", %d version-mismatched" s.version_mismatch;
+  if s.unavailable > 0 then Format.fprintf fmt ", %d writes dropped (store unavailable)" s.unavailable
 
 type verify_report = {
   total : int;
@@ -184,11 +267,16 @@ type verify_report = {
 
 let list_dir dir = try Array.to_list (Sys.readdir dir) with Sys_error _ -> []
 
+(* Directory entries observed by a walk can vanish before they are
+   stat'ed — another process's gc, or a concurrent writer's rename —
+   so existence checks must treat "gone" as an answer, not an error. *)
+let is_directory path = try Sys.is_directory path with Sys_error _ -> false
+
 let iter_objects t f =
   List.iter
     (fun prefix ->
       let sub = Filename.concat (objects_dir t) prefix in
-      if Sys.is_directory sub then List.iter (fun name -> f name) (List.sort compare (list_dir sub)))
+      if is_directory sub then List.iter (fun name -> f name) (List.sort compare (list_dir sub)))
     (List.sort compare (list_dir (objects_dir t)))
 
 type disk_stats = {
@@ -236,15 +324,20 @@ let verify ?(expected = []) t =
   { total = !total; intact = !intact; quarantined = List.rev !quarantined;
     stale = List.rev !stale }
 
+(* Concurrent-removal tolerant: a file another process (a racing gc, a
+   writer renaming its temp into place) already removed between listing
+   and unlink is simply not counted — ENOENT is a success here, the
+   file is gone either way. *)
 let remove_all dir =
   List.fold_left
     (fun (n, bytes) name ->
       let path = Filename.concat dir name in
-      if Sys.is_directory path then (n, bytes)
+      if is_directory path then (n, bytes)
       else begin
         let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
-        (try Sys.remove path with Sys_error _ -> ());
-        (n + 1, bytes + size)
+        match Sys.remove path with
+        | () -> (n + 1, bytes + size)
+        | exception Sys_error _ -> (n, bytes)
       end)
     (0, 0) (list_dir dir)
 
@@ -256,8 +349,9 @@ let gc ?(all = false) t =
     iter_objects t (fun key ->
         let path = object_path t ~key in
         let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
-        (try Sys.remove path with Sys_error _ -> ());
-        removed := add !removed (1, size));
+        match Sys.remove path with
+        | () -> removed := add !removed (1, size)
+        | exception Sys_error _ -> ());
     removed := add !removed (remove_all (journals_dir t))
   end;
   !removed

@@ -33,13 +33,25 @@
     and the stats counters are lock-protected. Separate processes — a
     daemon plus a CLI run — tolerate each other on the same store for
     the same reasons; last writer of a key wins with an intact entry
-    either way. Maintenance operations ({!verify}, {!gc}) still assume
-    no concurrent writer to the entries they walk. *)
+    either way. Maintenance operations ({!verify}, {!gc}) tolerate
+    concurrent writers and a concurrent gc: entries that vanish
+    between listing and removal are treated as already gone, never as
+    an error.
+
+    Self-healing under infrastructure faults (real or injected via the
+    [chaos] layer): a transient read error is retried once, then the
+    entry is quarantined and reported as a miss; a failed {!put} is
+    absorbed into the [unavailable] counter (the produced result flows
+    on uncached); ENOSPC flips the handle into sticky {!degraded} mode
+    in which puts bypass the disk entirely. The store can lose time —
+    never a result, and never correctness. *)
 
 type t
 
-val open_store : dir:string -> t
-(** Creates [dir] and its substructure as needed.
+val open_store : ?chaos:Chaos.Injector.t -> dir:string -> unit -> t
+(** Creates [dir] and its substructure as needed. [chaos] arms the
+    injection sites [store.read], [store.read.data], [store.write],
+    [store.fsync] and [store.rename] on this handle.
     @raise Sys_error if [dir] cannot be created. *)
 
 val root : t -> string
@@ -50,7 +62,15 @@ val key : (string * string) list -> string
     length-prefixed before digesting). *)
 
 val put : t -> key:string -> kind:string -> version:int -> string -> unit
-(** Atomic write-or-replace of the entry. *)
+(** Atomic write-or-replace of the entry. Never raises on I/O failure:
+    a failed write counts as [unavailable] (and, on ENOSPC, degrades
+    the handle) — the cache is an investment, not a requirement. *)
+
+val degraded : t -> bool
+(** True once an ENOSPC put flipped the handle into degraded mode:
+    reads still serve, writes bypass the disk. Sticky for the handle's
+    lifetime — a full disk rarely un-fills itself mid-run, and a fresh
+    handle probes again. *)
 
 val get : t -> key:string -> kind:string -> version:int -> string option
 (** The verified payload, or [None] on a miss, version mismatch, or
@@ -68,9 +88,10 @@ val journal_path : t -> run_key:string -> string
 type stats = {
   hits : int;
   misses : int;
-  corrupt : int;  (** quarantined on read: checksum or payload decode *)
+  corrupt : int;  (** quarantined on read: checksum, payload decode, or persistent read fault *)
   version_mismatch : int;
   puts : int;
+  unavailable : int;  (** puts dropped because the store could not take them *)
 }
 
 val stats : t -> stats

@@ -1,7 +1,7 @@
 let header_tag = "PWCETJL1"
 let record_overhead = 8 + 16 (* length + MD5 *)
 
-type writer = { fd : Unix.file_descr }
+type writer = { fd : Unix.file_descr; chaos : Chaos.Injector.t option }
 
 let record payload =
   let b = Buffer.create (record_overhead + String.length payload) in
@@ -57,24 +57,43 @@ let write_all fd bytes =
   let rec go off = if off < len then go (off + Unix.write fd bytes off (len - off)) in
   go 0
 
+(* An injected [`Partial] writes only a prefix of the record and then
+   raises — exactly the on-disk state of ENOSPC (or a crash) striking
+   mid-append: a torn trailing record. The torn bytes stay; the
+   recovery contract is entirely on the read side ({!scan} drops the
+   first invalid record and everything after it), so a journal torn at
+   any byte offset can only ever cost recomputation, never resurrect a
+   wrong unit. Callers that keep appending past a failure merely widen
+   the dropped suffix. *)
 let append w payload =
-  write_all w.fd (record payload);
+  let bytes = record payload in
+  (match Chaos.Injector.tap_io w.chaos ~site:Chaos.Site.journal_append ~len:(Bytes.length bytes) with
+  | `Full -> write_all w.fd bytes
+  | `Partial n ->
+    let rec go off = if off < n then go (off + Unix.write w.fd bytes off (n - off)) in
+    go 0;
+    raise (Unix.Unix_error (Unix.ENOSPC, Chaos.Site.journal_append, "chaos torn append")));
   Unix.fsync w.fd
 
-let open_at path ~truncate_to =
+let open_at ?chaos path ~truncate_to =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   Unix.ftruncate fd truncate_to;
   ignore (Unix.lseek fd truncate_to Unix.SEEK_SET);
-  { fd }
+  { fd; chaos }
 
-let create ~path ~run_key =
-  let w = open_at path ~truncate_to:0 in
-  append w (header_tag ^ run_key);
+let create ?chaos ~path ~run_key () =
+  let w = open_at ?chaos path ~truncate_to:0 in
+  (* The header is written without injection: a torn header reads as a
+     mismatched run key — a fresh journal — so nothing is gained by
+     faulting it, and sparing it keeps occurrence 0 at [journal.append]
+     pointing at the first real unit. *)
+  write_all w.fd (record (header_tag ^ run_key));
+  Unix.fsync w.fd;
   w
 
-let resume ~path ~run_key =
+let resume ?chaos ~path ~run_key () =
   match scan_for ~run_key (read_existing path) with
-  | Some (units, valid_end) -> (open_at path ~truncate_to:valid_end, units)
-  | None -> (create ~path ~run_key, [])
+  | Some (units, valid_end) -> (open_at ?chaos path ~truncate_to:valid_end, units)
+  | None -> (create ?chaos ~path ~run_key (), [])
 
 let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()

@@ -26,10 +26,14 @@
 
 type writer
 
-val create : path:string -> run_key:string -> writer
-(** Start a fresh journal (truncating any previous file at [path]). *)
+val create : ?chaos:Chaos.Injector.t -> path:string -> run_key:string -> unit -> writer
+(** Start a fresh journal (truncating any previous file at [path]).
+    [chaos] arms the [journal.append] injection site on this writer:
+    an injected short write tears the record on disk exactly as
+    ENOSPC-mid-append would and raises [Unix_error (ENOSPC, _, _)];
+    recovery is the read side's torn-tail drop, as for a crash. *)
 
-val resume : path:string -> run_key:string -> writer * string list
+val resume : ?chaos:Chaos.Injector.t -> path:string -> run_key:string -> unit -> writer * string list
 (** Reopen for append, returning the valid completed-unit payloads in
     append order. Missing file or mismatched run key: behaves as
     {!create} and returns no units. *)

@@ -1,0 +1,128 @@
+#!/bin/sh
+# Chaos gate: the binary must survive injected infrastructure faults
+# with bit-identical results or typed errors — never silent corruption.
+#
+#   1. seeded soak, 200 campaigns, --jobs 1 vs --jobs 3  -> same soak
+#      digest (fault schedules and outcomes are jobs-invariant), verdict
+#      OK both times; a second seed must also pass
+#   2. clean daemon                                      -> reference
+#      replies for 100 distinct analyze requests
+#   3. daemon under the `workers` plan (seeded kills and -> every reply
+#      stalls injected into worker domains)                 byte-identical
+#                                                           to the clean
+#                                                           reference;
+#                                                           >= 10 crashes,
+#                                                           every one
+#                                                           respawned
+#   4. 6 slow-loris clients against the chaos daemon     -> >= 5 shed as
+#      (partial frame, then silence)                        typed
+#                                                           Overloaded
+#   5. SIGTERM on the chaos daemon                       -> exit 130,
+#                                                           socket removed
+#
+# Any deviation exits non-zero, failing `make check`.
+set -eu
+
+TOOL=${1:?usage: check_chaos.sh path/to/pwcet_tool.exe}
+WORK=$(mktemp -d)
+SRV_PID=
+cleanup() {
+  if [ -n "$SRV_PID" ]; then kill -9 "$SRV_PID" 2> /dev/null || true; fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "check_chaos: FAIL: $*" >&2; exit 1; }
+stat_of() { awk -v k="$1" '$1 == k { print $3 }' "$2"; }
+
+# --- 1. seeded soak: digest invariant across --jobs --------------------------
+"$TOOL" chaos --campaigns 200 --seed 7 --jobs 1 > "$WORK/soak_j1.out" \
+  || fail "soak (jobs 1) reported corruption or escapes: $(cat "$WORK/soak_j1.out")"
+"$TOOL" chaos --campaigns 200 --seed 7 --jobs 3 > "$WORK/soak_j3.out" \
+  || fail "soak (jobs 3) reported corruption or escapes: $(cat "$WORK/soak_j3.out")"
+grep -q "^verdict     : OK" "$WORK/soak_j1.out" || fail "soak (jobs 1) verdict not OK"
+grep -q "^verdict     : OK" "$WORK/soak_j3.out" || fail "soak (jobs 3) verdict not OK"
+digest_of() { awk '$1 == "soak" && $2 == "digest" { print $4 }' "$1"; }
+d1=$(digest_of "$WORK/soak_j1.out")
+d3=$(digest_of "$WORK/soak_j3.out")
+[ -n "$d1" ] || fail "no soak digest in jobs-1 output"
+[ "$d1" = "$d3" ] || fail "soak digest differs across --jobs: $d1 vs $d3"
+inj=$(awk '$1 == "injected" { print $3 }' "$WORK/soak_j1.out")
+[ "$inj" -gt 0 ] || fail "soak injected no faults"
+"$TOOL" chaos --campaigns 40 --seed 1234 --jobs 2 > "$WORK/soak_alt.out" \
+  || fail "soak (alternate seed) failed: $(cat "$WORK/soak_alt.out")"
+grep -q "^verdict     : OK" "$WORK/soak_alt.out" || fail "alternate-seed soak verdict not OK"
+
+# --- 2. clean daemon: reference replies --------------------------------------
+SOCK="$WORK/clean.sock"
+GEOM="--sets 8 --ways 2"
+"$TOOL" serve -s "$SOCK" --domains 2 > "$WORK/serve_clean.out" 2>&1 &
+SRV_PID=$!
+i=0
+until "$TOOL" client -s "$SOCK" ping > /dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || fail "clean daemon did not answer ping within 10s"
+  kill -0 "$SRV_PID" 2> /dev/null || fail "clean daemon died: $(cat "$WORK/serve_clean.out")"
+  sleep 0.1
+done
+: > "$WORK/ref.replies"
+i=1
+while [ "$i" -le 100 ]; do
+  "$TOOL" client -s "$SOCK" analyze fibcall $GEOM --pfail "${i}e-7" \
+    | grep -v "computed" >> "$WORK/ref.replies" \
+    || fail "clean request $i failed"
+  i=$((i + 1))
+done
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || true
+SRV_PID=
+
+# --- 3. chaos daemon: identical replies despite worker kills -----------------
+SOCK="$WORK/chaos.sock"
+"$TOOL" serve -s "$SOCK" --domains 2 --chaos-plan workers --chaos-seed 2 \
+  --read-timeout 0.5 --max-conns 64 > "$WORK/serve_chaos.out" 2>&1 &
+SRV_PID=$!
+i=0
+until "$TOOL" client -s "$SOCK" ping > /dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || fail "chaos daemon did not answer ping within 10s"
+  kill -0 "$SRV_PID" 2> /dev/null || fail "chaos daemon died: $(cat "$WORK/serve_chaos.out")"
+  sleep 0.1
+done
+: > "$WORK/chaos.replies"
+i=1
+while [ "$i" -le 100 ]; do
+  "$TOOL" client -s "$SOCK" analyze fibcall $GEOM --pfail "${i}e-7" --retries 3 \
+    | grep -v "computed" >> "$WORK/chaos.replies" \
+    || fail "request $i failed under chaos (retries exhausted)"
+  i=$((i + 1))
+done
+cmp -s "$WORK/ref.replies" "$WORK/chaos.replies" \
+  || fail "replies under injected worker crashes differ from clean reference"
+"$TOOL" client -s "$SOCK" stats > "$WORK/stats_chaos.out" || fail "stats failed"
+crashed=$(stat_of crashed "$WORK/stats_chaos.out")
+respawned=$(stat_of respawned "$WORK/stats_chaos.out")
+[ "$crashed" -ge 10 ] || fail "only $crashed injected worker crashes, want >= 10"
+[ "$respawned" -ge "$crashed" ] || fail "$crashed crashes but only $respawned respawns"
+
+# --- 4. slow-loris clients shed as typed Overloaded --------------------------
+"$TOOL" client -s "$SOCK" stall --clients 6 --hold-ms 3000 > "$WORK/stall.out" \
+  || fail "stall op failed"
+shed=$(stat_of shed "$WORK/stall.out")
+[ "$shed" -ge 5 ] || fail "only $shed slow clients shed typed, want >= 5"
+"$TOOL" client -s "$SOCK" stats > "$WORK/stats_stall.out" || fail "stats failed"
+slow=$(stat_of slow-clients "$WORK/stats_stall.out")
+[ "$slow" -ge 5 ] || fail "daemon counted only $slow slow clients, want >= 5"
+"$TOOL" client -s "$SOCK" ping > /dev/null || fail "daemon unhealthy after shedding"
+
+# --- 5. SIGTERM on the chaos daemon ------------------------------------------
+kill -TERM "$SRV_PID"
+set +e
+wait "$SRV_PID"
+status=$?
+set -e
+SRV_PID=
+[ "$status" -eq 130 ] || fail "chaos serve exited $status on SIGTERM, want 130"
+[ ! -e "$SOCK" ] || fail "socket file left behind after shutdown"
+
+echo "check_chaos: OK (soak digest jobs-invariant, $crashed crashes healed, $shed loris shed)"

@@ -189,7 +189,7 @@ let test_grid_store_warm_identical () =
      grid (shared per-mechanism FMM keys). *)
   let dir = Filename.temp_file "grid_store" "" in
   Sys.remove dir;
-  let store = Store.Artifact.open_store ~dir in
+  let store = Store.Artifact.open_store ~dir () in
   let spec = spec_of ([ "bs" ], M.all, [ 1e-5; 1e-4 ], false) in
   let cold = Grid.run ~jobs:1 ~store spec in
   let warm = Grid.run ~jobs:4 ~store spec in

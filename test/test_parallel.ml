@@ -95,7 +95,7 @@ let test_pool_spawn_failure_joins_workers () =
    once, the queue bound sheds overflow instead of queuing unboundedly,
    and shutdown drains everything already accepted. *)
 let test_workers_run_shed_shutdown () =
-  let w = Parallel.Workers.create ~domains:2 ~queue_max:64 in
+  let w = Parallel.Workers.create ~domains:2 ~queue_max:64 () in
   let counter = Atomic.make 0 in
   let accepted = ref 0 in
   for _ = 1 to 50 do
@@ -108,7 +108,7 @@ let test_workers_run_shed_shutdown () =
     (Parallel.Workers.submit w (fun () -> Atomic.incr counter));
   (* A single worker blocked on a gate, queue_max 2: at most
      1 running + 2 queued submissions can be accepted; the rest shed. *)
-  let slow = Parallel.Workers.create ~domains:1 ~queue_max:2 in
+  let slow = Parallel.Workers.create ~domains:1 ~queue_max:2 () in
   let gate = Atomic.make false in
   let ran = Atomic.make 0 in
   let job () =

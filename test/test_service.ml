@@ -151,10 +151,12 @@ let test_protocol_roundtrip () =
       Protocol.Error_reply "unknown benchmark";
       Protocol.Stats_reply
         { Protocol.requests = 9; computations = 3; deduped = 5; overloaded = 1; errors = 0;
-          queued = 2; store = Some (4, 2, 2); uptime_s = 1.5 };
+          queued = 2; store = Some (4, 2, 2); uptime_s = 1.5; crashed_workers = 2;
+          respawned_workers = 2; slow_clients = 1; rejected_conns = 3 };
       Protocol.Stats_reply
         { Protocol.requests = 0; computations = 0; deduped = 0; overloaded = 0; errors = 0;
-          queued = 0; store = None; uptime_s = 0.0 } ]
+          queued = 0; store = None; uptime_s = 0.0; crashed_workers = 0; respawned_workers = 0;
+          slow_clients = 0; rejected_conns = 0 } ]
   in
   List.iter
     (fun resp ->
@@ -249,10 +251,11 @@ let fresh_socket =
 
 (* Start a server on a fresh socket, run [f socket scheduler], always
    shut the server down. [on_ready] gates [f]: no polling races. *)
-let with_server ?store ?(domains = 2) ?(queue_max = 64) ?(result_cache_max = 64) f =
+let with_server ?store ?(domains = 2) ?(queue_max = 64) ?(result_cache_max = 64) ?max_conns
+    ?read_timeout_s ?chaos f =
   let scheduler =
     Scheduler.create
-      { Scheduler.domains; queue_max; store; task_cache_max = 8; result_cache_max }
+      { Scheduler.domains; queue_max; store; task_cache_max = 8; result_cache_max; chaos }
   in
   let socket = fresh_socket () in
   let stop = Atomic.make false in
@@ -266,7 +269,10 @@ let with_server ?store ?(domains = 2) ?(queue_max = 64) ?(result_cache_max = 64)
   in
   let server =
     Thread.create
-      (fun () -> Server.run { Server.socket_path = socket; scheduler; on_ready; stop })
+      (fun () ->
+        Server.run
+          { Server.socket_path = socket; scheduler; on_ready; stop; max_conns;
+            read_timeout_s; chaos })
       ()
   in
   Fun.protect
@@ -603,7 +609,7 @@ let test_budgeted_request_degrades () =
       else Sys.remove path
   in
   rm dir;
-  let store = Store.Artifact.open_store ~dir in
+  let store = Store.Artifact.open_store ~dir () in
   Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
   with_server ~store (fun socket _scheduler ->
       let req =
@@ -669,7 +675,7 @@ let test_warm_requests_consistent () =
       else Sys.remove path
   in
   rm dir;
-  let store = Store.Artifact.open_store ~dir in
+  let store = Store.Artifact.open_store ~dir () in
   Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
   with_server ~store (fun socket _scheduler ->
       let req = Protocol.default_analyze ~bench:"cnt" in
@@ -693,6 +699,173 @@ let test_warm_requests_consistent () =
       match (daemon_stats ~socket).Protocol.store with
       | Some (_, _, puts) -> check_int "warm run wrote nothing" puts_after_cold puts
       | None -> Alcotest.fail "store stats missing")
+
+(* --- chaos: shedding, healing, retries -------------------------------------- *)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+(* Admission cap: with --max-conns 1 and the one slot held by an idle
+   connection, every further connection must be answered with the
+   typed Overloaded response at accept — counted, never queued, never
+   a hang. *)
+let test_max_conns_shedding () =
+  with_server ~max_conns:1 (fun socket scheduler ->
+      let holder = raw_connect socket in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close holder with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Wait until the holder is actually being served. *)
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          while
+            (Scheduler.stats scheduler).Protocol.rejected_conns = 0
+            && Unix.gettimeofday () < deadline
+            &&
+            (match Client.request ~socket Protocol.Ping with
+            | Ok (Protocol.Overloaded _) -> false
+            | Ok _ | Error _ -> true)
+          do
+            Unix.sleepf 0.01
+          done;
+          (match Client.request ~socket Protocol.Ping with
+          | Ok (Protocol.Overloaded _) -> ()
+          | Ok r ->
+            Alcotest.failf "expected typed shed, got %s" (Protocol.response_to_string r)
+          | Error e -> Alcotest.failf "expected typed shed, got transport error: %s" e);
+          check "rejections counted" true
+            ((Scheduler.stats scheduler).Protocol.rejected_conns >= 1)))
+
+(* Slow-loris shedding: a connection that sends 3 bytes of the 8-byte
+   length prefix and stalls must be answered with a typed Overloaded
+   within the read deadline and counted as a slow client. *)
+let test_slow_client_shed () =
+  with_server ~read_timeout_s:0.2 (fun socket scheduler ->
+      let fd = raw_connect socket in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          ignore (Unix.write fd (Bytes.of_string "\x03\x00\x00") 0 3);
+          let deadline = Robust.Budget.now () +. 5.0 in
+          (match Frame.read_within ~deadline fd with
+          | Ok (Some payload) -> (
+            match Protocol.response_of_string payload with
+            | Ok (Protocol.Overloaded _) -> ()
+            | Ok r ->
+              Alcotest.failf "expected overloaded, got %s" (Protocol.response_to_string r)
+            | Error e -> Alcotest.failf "undecodable shed response: %s" e)
+          | Ok None -> Alcotest.fail "connection closed without the typed response"
+          | Error Frame.Timeout -> Alcotest.fail "daemon never shed the stalled client"
+          | Error (Frame.Malformed e) -> Alcotest.failf "malformed shed response: %s" e);
+          check_int "slow client counted" 1
+            (Scheduler.stats scheduler).Protocol.slow_clients);
+      (* A healthy client on a fresh connection is unaffected. *)
+      match Client.request ~socket Protocol.Ping with
+      | Ok Protocol.Pong -> ()
+      | _ -> Alcotest.fail "daemon unhealthy after shedding the slow client")
+
+(* Client-side hedging: a transient connect-phase fault is retried on
+   the seeded backoff schedule and the request still succeeds; with no
+   retry budget the same schedule surfaces the failure. A
+   non-idempotent request that dies in the receive phase must fail
+   after exactly one attempt, whatever the retry budget. *)
+let test_client_transient_retry () =
+  with_server (fun socket _scheduler ->
+      let refuse_once =
+        { Chaos.Plan.name = "refuse";
+          rules = [ Chaos.Plan.rule Chaos.Site.client_connect 0.5
+                      (Chaos.Plan.Io_error Unix.ECONNREFUSED) ] }
+      in
+      let seed =
+        let rec go seed =
+          if seed > 10_000 then Alcotest.fail "no seed: fail then pass"
+          else
+            let inj = Chaos.Injector.create ~seed refuse_once in
+            let d0 = Chaos.Injector.decide inj ~site:Chaos.Site.client_connect in
+            let d1 = Chaos.Injector.decide inj ~site:Chaos.Site.client_connect in
+            if d0 <> Chaos.Injector.Pass && d1 = Chaos.Injector.Pass then seed
+            else go (seed + 1)
+        in
+        go 0
+      in
+      let chaos = Chaos.Injector.create ~seed refuse_once in
+      (match
+         Client.request_with_retry ~socket ~retries:1 ~base_ms:1 ~chaos Protocol.Ping
+       with
+      | Ok Protocol.Pong -> ()
+      | Ok r -> Alcotest.failf "unexpected reply: %s" (Protocol.response_to_string r)
+      | Error e -> Alcotest.failf "retry did not heal the refused connect: %s" e);
+      let chaos = Chaos.Injector.create ~seed refuse_once in
+      (match Client.request_with_retry ~socket ~retries:0 ~base_ms:1 ~chaos Protocol.Ping with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "no-retry request should have surfaced the refusal");
+      (* Receive-phase death, non-idempotent: exactly one attempt. *)
+      let reset_recv =
+        { Chaos.Plan.name = "reset";
+          rules = [ Chaos.Plan.rule Chaos.Site.client_recv 1.0
+                      (Chaos.Plan.Io_error Unix.ECONNRESET) ] }
+      in
+      let chaos = Chaos.Injector.create ~seed:0 reset_recv in
+      (match
+         Client.request_with_retry ~socket ~retries:5 ~base_ms:1 ~idempotent:false ~chaos
+           Protocol.Ping
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "mid-reply death must fail a non-idempotent request");
+      check_int "non-idempotent: exactly one attempt" 1
+        (Chaos.Injector.total_injected chaos);
+      (* Same fault, idempotent: the whole retry budget is spent. *)
+      let chaos = Chaos.Injector.create ~seed:0 reset_recv in
+      (match
+         Client.request_with_retry ~socket ~retries:2 ~base_ms:1 ~idempotent:true ~chaos
+           Protocol.Ping
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "every receive faults: the request cannot succeed");
+      check_int "idempotent: every attempt made" 3 (Chaos.Injector.total_injected chaos))
+
+(* Worker-domain deaths inside the daemon: jobs are requeued, domains
+   respawned, and every reply stays bit-identical to an undisturbed
+   daemon's. *)
+let test_worker_crash_healing () =
+  let requests =
+    List.init 8 (fun i ->
+        { (Protocol.default_analyze ~bench:"fibcall") with
+          Protocol.pfail = 1e-6 *. float_of_int (i + 1); sets = 8; ways = 2 })
+  in
+  let ask socket req =
+    match Client.request ~socket (Protocol.Analyze req) with
+    | Ok (Protocol.Result r) -> (r.Protocol.wcet_ff, r.Protocol.pwcet, r.Protocol.pbf)
+    | Ok r -> Alcotest.failf "unexpected reply: %s" (Protocol.response_to_string r)
+    | Error e -> Alcotest.failf "analyze failed: %s" e
+  in
+  let reference = with_server (fun socket _ -> List.map (ask socket) requests) in
+  (* A seed whose schedule kills at least twice early, so the healing
+     path provably runs. *)
+  let seed =
+    let rec go seed =
+      if seed > 10_000 then Alcotest.fail "no crashing seed"
+      else
+        let inj = Chaos.Injector.create ~seed Chaos.Plan.workers_plan in
+        let dies = ref 0 in
+        for _ = 1 to 16 do
+          match Chaos.Injector.decide inj ~site:Chaos.Site.workers_job with
+          | Chaos.Injector.Die -> incr dies
+          | _ -> ()
+        done;
+        if !dies >= 2 then seed else go (seed + 1)
+    in
+    go 0
+  in
+  let chaos = Chaos.Injector.create ~seed Chaos.Plan.workers_plan in
+  with_server ~chaos (fun socket scheduler ->
+      let chaotic = List.map (ask socket) requests in
+      check "replies bit-identical under worker crashes" true (chaotic = reference);
+      let stats = Scheduler.stats scheduler in
+      check "workers crashed" true (stats.Protocol.crashed_workers >= 2);
+      check "workers respawned" true
+        (stats.Protocol.respawned_workers >= stats.Protocol.crashed_workers))
 
 let () =
   Alcotest.run "service"
@@ -722,5 +895,11 @@ let () =
         ; Alcotest.test_case "budgeted request degrades" `Quick test_budgeted_request_degrades
         ; Alcotest.test_case "result cache" `Quick test_result_cache
         ; Alcotest.test_case "warm requests consistent" `Quick test_warm_requests_consistent
+        ] )
+    ; ( "chaos",
+        [ Alcotest.test_case "max-conns typed shedding" `Quick test_max_conns_shedding
+        ; Alcotest.test_case "slow-loris client shed" `Quick test_slow_client_shed
+        ; Alcotest.test_case "client transient retry" `Quick test_client_transient_retry
+        ; Alcotest.test_case "worker crash healing" `Quick test_worker_crash_healing
         ] )
     ]

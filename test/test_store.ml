@@ -137,7 +137,7 @@ let test_codec_every_bit_flip_is_corrupt () =
 (* --- artifact store --------------------------------------------------------- *)
 
 let test_artifact_put_get () =
-  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let st = Artifact.open_store ~dir:(fresh_dir ()) () in
   let key = Artifact.key [ ("a", "1"); ("b", "2") ] in
   Alcotest.(check (option string)) "cold miss" None (Artifact.get st ~key ~kind:"TEST" ~version:1);
   Artifact.put st ~key ~kind:"TEST" ~version:1 "hello";
@@ -167,7 +167,7 @@ let test_artifact_corruption_fuzz () =
   (* >= 1000 injected faults against a stored object: random byte
      mutations, truncations and extensions. Every single one must read
      back as a miss with the file quarantined — never as wrong bytes. *)
-  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let st = Artifact.open_store ~dir:(fresh_dir ()) () in
   let key = Artifact.key [ ("fuzz", "object") ] in
   let payload = String.init 256 (fun i -> Char.chr ((i * 131) land 0xff)) in
   let state = Random.State.make [| 23 |] in
@@ -216,7 +216,7 @@ let test_artifact_corruption_fuzz () =
    bit-identical to exactly one writer's payload and nothing is ever
    quarantined. *)
 let test_artifact_concurrent_writers () =
-  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let st = Artifact.open_store ~dir:(fresh_dir ()) () in
   let domains = 6 and rounds = 150 and nkeys = 3 in
   let payload ~writer ~round ~k =
     (* Distinct payload per (writer, round), sized like a real table
@@ -288,7 +288,7 @@ let test_artifact_concurrent_handles () =
     push ()
   in
   let worker writer () =
-    let st = Artifact.open_store ~dir in
+    let st = Artifact.open_store ~dir () in
     try
       for round = 1 to rounds do
         Artifact.put st ~key ~kind:"TEST" ~version:1 (payload ~writer ~round);
@@ -309,11 +309,11 @@ let test_artifact_concurrent_handles () =
   (match Atomic.get errors with
   | [] -> ()
   | msgs -> Alcotest.failf "%d data race(s): %s" (List.length msgs) (List.hd msgs));
-  let audit = Artifact.open_store ~dir in
+  let audit = Artifact.open_store ~dir () in
   Alcotest.(check int) "quarantine dir empty" 0 (Artifact.disk_stats audit).Artifact.quarantined
 
 let test_artifact_verify_quarantines () =
-  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let st = Artifact.open_store ~dir:(fresh_dir ()) () in
   let keys =
     List.init 5 (fun i ->
         let key = Artifact.key [ ("n", string_of_int i) ] in
@@ -342,16 +342,16 @@ let test_artifact_verify_quarantines () =
 (* --- journal ---------------------------------------------------------------- *)
 
 let test_journal_roundtrip () =
-  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let st = Artifact.open_store ~dir:(fresh_dir ()) () in
   let path = Artifact.journal_path st ~run_key:"run1" in
-  let w = Journal.create ~path ~run_key:"run1" in
+  let w = Journal.create ~path ~run_key:"run1" () in
   let units = [ "alpha"; String.make 500 'b'; "\x00binary\xff"; "" ] in
   List.iter (Journal.append w) units;
   Journal.close w;
   Alcotest.(check (list string)) "load" units (Journal.load ~path ~run_key:"run1");
   Alcotest.(check (list string)) "other run key ignored" []
     (Journal.load ~path ~run_key:"run2");
-  let w2, replayed = Journal.resume ~path ~run_key:"run1" in
+  let w2, replayed = Journal.resume ~path ~run_key:"run1" () in
   Alcotest.(check (list string)) "resume replays" units replayed;
   Journal.append w2 "epsilon";
   Journal.close w2;
@@ -363,9 +363,9 @@ let test_journal_torn_tail_fuzz () =
      bits in the tail: the loaded units must always be a prefix of the
      appended ones — a torn or vandalised journal can lose work, never
      invent or alter it. *)
-  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let st = Artifact.open_store ~dir:(fresh_dir ()) () in
   let path = Artifact.journal_path st ~run_key:"fuzz" in
-  let w = Journal.create ~path ~run_key:"fuzz" in
+  let w = Journal.create ~path ~run_key:"fuzz" () in
   let units = List.init 8 (fun i -> Printf.sprintf "unit-%d-%s" i (String.make (i * 7) 'x')) in
   List.iter (Journal.append w) units;
   Journal.close w;
@@ -403,7 +403,7 @@ let test_journal_torn_tail_fuzz () =
   let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
   output_string oc "\xff\xff\xff\xff\xff\xff\xff\x7ftorn trailing record";
   close_out oc;
-  let w2, replayed = Journal.resume ~path ~run_key:"fuzz" in
+  let w2, replayed = Journal.resume ~path ~run_key:"fuzz" () in
   Alcotest.(check (list string)) "torn tail dropped" units replayed;
   Journal.append w2 "after-recovery";
   Journal.close w2;
@@ -513,13 +513,13 @@ let test_estimator_warm_bit_identical () =
   let program = task_of "bs" in
   let config = Cache.Config.paper_default in
   let dir = fresh_dir () in
-  let st = Artifact.open_store ~dir in
+  let st = Artifact.open_store ~dir () in
   let cold_task = Pwcet.Estimator.prepare ~program ~config ~store:st () in
   let cold =
     Pwcet.Estimator.estimate cold_task ~pfail:1e-4 ~mechanism:M.Shared_reliable_buffer ~store:st ()
   in
   Alcotest.(check bool) "cold run wrote artifacts" true ((Artifact.stats st).Artifact.puts > 0);
-  let st2 = Artifact.open_store ~dir in
+  let st2 = Artifact.open_store ~dir () in
   let warm_task = Pwcet.Estimator.prepare ~program ~config ~store:st2 () in
   let warm =
     Pwcet.Estimator.estimate warm_task ~pfail:1e-4 ~mechanism:M.Shared_reliable_buffer ~store:st2 ()
@@ -541,7 +541,7 @@ let test_estimator_survives_vandalised_store () =
   let program = task_of "fibcall" in
   let config = Cache.Config.paper_default in
   let dir = fresh_dir () in
-  let st = Artifact.open_store ~dir in
+  let st = Artifact.open_store ~dir () in
   let task = Pwcet.Estimator.prepare ~program ~config ~store:st () in
   let reference =
     Pwcet.Estimator.estimate task ~pfail:1e-4 ~mechanism:M.Reliable_way ~store:st ()
@@ -564,7 +564,7 @@ let test_estimator_survives_vandalised_store () =
           (Sys.readdir sub))
     (Sys.readdir objects_root);
   Alcotest.(check bool) "something to vandalise" true (!vandalised >= 3);
-  let st2 = Artifact.open_store ~dir in
+  let st2 = Artifact.open_store ~dir () in
   let task2 = Pwcet.Estimator.prepare ~program ~config ~store:st2 () in
   let recomputed =
     Pwcet.Estimator.estimate task2 ~pfail:1e-4 ~mechanism:M.Reliable_way ~store:st2 ()
@@ -578,7 +578,7 @@ let test_estimator_survives_vandalised_store () =
 let test_estimator_budget_bypasses_store () =
   let program = task_of "fibcall" in
   let config = Cache.Config.paper_default in
-  let st = Artifact.open_store ~dir:(fresh_dir ()) in
+  let st = Artifact.open_store ~dir:(fresh_dir ()) () in
   let budget = Robust.Budget.make ~timeout:3600.0 () in
   let task = Pwcet.Estimator.prepare ~program ~config ~budget ~store:st () in
   let _ =
@@ -587,6 +587,76 @@ let test_estimator_budget_bypasses_store () =
   let s = Artifact.stats st in
   Alcotest.(check int) "no lookups" 0 (s.Artifact.hits + s.Artifact.misses);
   Alcotest.(check int) "no writes" 0 s.Artifact.puts
+
+(* Two processes, one store directory: a child process hammers writes
+   and reads while the parent repeatedly runs a full GC. Listing and
+   removal races (objects vanishing between readdir and unlink,
+   directories appearing mid-sweep) must be absorbed by both sides —
+   the child sees only hits or honest misses, the GC only counts what
+   it really removed, and neither process ever dies. OCaml 5 forbids
+   [fork] once domains exist (earlier tests spawn them), so the writer
+   side re-execs this very binary with PWCET_STORE_WRITER_DIR set; the
+   hook below runs before Alcotest and before any domain. *)
+let () =
+  match Sys.getenv_opt "PWCET_STORE_WRITER_DIR" with
+  | None -> ()
+  | Some dir ->
+    let code =
+      try
+        let st = Artifact.open_store ~dir () in
+        let payload = String.make 128 'y' in
+        for i = 0 to 399 do
+          let key = Printf.sprintf "w%d" i in
+          Artifact.put st ~key ~kind:"TEST" ~version:1 payload;
+          match Artifact.get st ~key ~kind:"TEST" ~version:1 with
+          | Some data when not (String.equal data payload) -> raise Exit
+          | Some _ -> ()
+          | None -> ()  (* the concurrent GC may have eaten it: an honest miss *)
+        done;
+        0
+      with _ -> 1
+    in
+    exit code
+
+let test_gc_concurrent_two_process () =
+  let dir = fresh_dir () in
+  let st = Artifact.open_store ~dir () in
+  for i = 0 to 19 do
+    Artifact.put st ~key:(Printf.sprintf "seed%d" i) ~kind:"TEST" ~version:1
+      (String.make 64 'x')
+  done;
+  let env =
+    Array.append (Unix.environment ()) [| "PWCET_STORE_WRITER_DIR=" ^ dir |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin Unix.stdout Unix.stderr
+  in
+  let removed = ref 0 in
+  (* First sweep clears the seeds; then wait until the writer is
+     demonstrably running before the contended sweeps, so the two
+     processes genuinely overlap. *)
+  let files, _ = Artifact.gc ~all:true st in
+  removed := !removed + files;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (Artifact.disk_stats st).Artifact.objects = 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  for _ = 1 to 50 do
+    let files, _bytes = Artifact.gc ~all:true st in
+    removed := !removed + files;
+    Unix.sleepf 0.002
+  done;
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> Alcotest.failf "writer process failed with code %d" c
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> Alcotest.fail "writer process killed");
+  Alcotest.(check bool) "gc removed files under fire" true (!removed > 0);
+  (* Whatever survived the crossfire must still be fully intact. *)
+  let report = Artifact.verify st in
+  Alcotest.(check int) "no corrupt survivors" 0 (List.length report.Artifact.quarantined)
 
 let () =
   Alcotest.run "store"
@@ -608,6 +678,8 @@ let () =
             test_artifact_concurrent_writers
         ; Alcotest.test_case "concurrent writers (separate handles)" `Quick
             test_artifact_concurrent_handles
+        ; Alcotest.test_case "gc vs writer (two processes)" `Quick
+            test_gc_concurrent_two_process
         ] )
     ; ( "journal",
         [ Alcotest.test_case "roundtrip + resume" `Quick test_journal_roundtrip
